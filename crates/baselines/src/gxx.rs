@@ -1,0 +1,212 @@
+//! The g++ 2.7.2.1 member lookup strategy, reimplemented from the paper's
+//! description (Section 7.1), in two flavours:
+//!
+//! * [`gxx_lookup`] — **faithful**, including the bug the paper reports
+//!   (confirmed by g++ co-author Mike Stump): during the breadth-first
+//!   scan of the subobject graph, the moment two definitions are found of
+//!   which neither dominates the other, ambiguity is reported and the
+//!   search quits. On Figure 9 this is wrong — a definition found later
+//!   dominates both. Per the paper, 3 of the 7 compilers the authors
+//!   tried shared this bug.
+//! * [`gxx_lookup_corrected`] — the same breadth-first traversal, but
+//!   deferring the verdict until all definitions are collected.
+//!
+//! Both run on the explicit subobject graph and therefore inherit its
+//! worst-case exponential size — the motivation for the paper's CHG-based
+//! algorithm.
+
+use std::collections::VecDeque;
+
+use cpplookup_chg::{Chg, ClassId, MemberId};
+use cpplookup_subobject::{most_dominant, SubobjectGraph, SubobjectId};
+
+/// Outcome of a g++-style lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GxxResult {
+    /// No subobject declares the member.
+    NotFound,
+    /// The lookup resolved to this subobject.
+    Resolved(SubobjectId),
+    /// The lookup was reported ambiguous. For the faithful variant this
+    /// may be a *false* ambiguity (see Figure 9 of the paper).
+    Ambiguous,
+}
+
+impl GxxResult {
+    /// The declaring class of a resolved lookup.
+    pub fn resolved_class(&self, sg: &SubobjectGraph) -> Option<ClassId> {
+        match self {
+            GxxResult::Resolved(id) => Some(sg.subobject(*id).class()),
+            _ => None,
+        }
+    }
+}
+
+fn bfs_order(sg: &SubobjectGraph) -> impl Iterator<Item = SubobjectId> + '_ {
+    let mut visited = vec![false; sg.len()];
+    let mut queue = VecDeque::new();
+    visited[sg.root().index()] = true;
+    queue.push_back(sg.root());
+    std::iter::from_fn(move || {
+        let id = queue.pop_front()?;
+        for &child in sg.direct_bases(id) {
+            if !visited[child.index()] {
+                visited[child.index()] = true;
+                queue.push_back(child);
+            }
+        }
+        Some(id)
+    })
+}
+
+/// The faithful g++ 2.7.2.1 algorithm: breadth-first scan keeping the
+/// most-dominant definition found *so far*, giving up on the first
+/// incomparable pair.
+///
+/// # Examples
+///
+/// The Figure 9 counterexample — faithful g++ reports a spurious
+/// ambiguity:
+///
+/// ```
+/// use cpplookup_chg::fixtures;
+/// use cpplookup_baselines::gxx::{gxx_lookup, gxx_lookup_corrected, GxxResult};
+/// use cpplookup_subobject::SubobjectGraph;
+///
+/// let g = fixtures::fig9();
+/// let e = g.class_by_name("E").unwrap();
+/// let m = g.member_by_name("m").unwrap();
+/// let sg = SubobjectGraph::build(&g, e, 1_000)?;
+/// assert_eq!(gxx_lookup(&g, &sg, m), GxxResult::Ambiguous); // the bug
+/// let fixed = gxx_lookup_corrected(&g, &sg, m);
+/// assert_eq!(fixed.resolved_class(&sg).map(|c| g.class_name(c)), Some("C"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn gxx_lookup(chg: &Chg, sg: &SubobjectGraph, m: MemberId) -> GxxResult {
+    let mut best: Option<SubobjectId> = None;
+    for id in bfs_order(sg) {
+        if !chg.declares(sg.subobject(id).class(), m) {
+            continue;
+        }
+        match best {
+            None => best = Some(id),
+            Some(b) => {
+                if sg.dominates(b, id) {
+                    // keep b
+                } else if sg.dominates(id, b) {
+                    best = Some(id);
+                } else {
+                    // Neither dominates: report ambiguity and quit —
+                    // the incorrect step the paper identifies.
+                    return GxxResult::Ambiguous;
+                }
+            }
+        }
+    }
+    match best {
+        Some(id) => GxxResult::Resolved(id),
+        None => GxxResult::NotFound,
+    }
+}
+
+/// The corrected breadth-first algorithm: collect every definition, then
+/// ask for a global most-dominant element.
+pub fn gxx_lookup_corrected(chg: &Chg, sg: &SubobjectGraph, m: MemberId) -> GxxResult {
+    let defs: Vec<SubobjectId> = bfs_order(sg)
+        .filter(|&id| chg.declares(sg.subobject(id).class(), m))
+        .collect();
+    if defs.is_empty() {
+        return GxxResult::NotFound;
+    }
+    match most_dominant(sg, &defs) {
+        Some(u) => GxxResult::Resolved(u),
+        None => GxxResult::Ambiguous,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+    use cpplookup_core::{LookupOutcome, LookupTable};
+
+    fn sg_of(g: &Chg, class: &str) -> SubobjectGraph {
+        SubobjectGraph::build(g, g.class_by_name(class).unwrap(), 10_000).unwrap()
+    }
+
+    #[test]
+    fn fig9_faithful_is_wrong_corrected_is_right() {
+        let g = fixtures::fig9();
+        let sg = sg_of(&g, "E");
+        let m = g.member_by_name("m").unwrap();
+        assert_eq!(gxx_lookup(&g, &sg, m), GxxResult::Ambiguous);
+        let fixed = gxx_lookup_corrected(&g, &sg, m);
+        assert_eq!(
+            fixed.resolved_class(&sg).map(|c| g.class_name(c)),
+            Some("C")
+        );
+        // And the paper's algorithm agrees with the corrected one.
+        let t = LookupTable::build(&g);
+        let e = g.class_by_name("E").unwrap();
+        match t.lookup(e, m) {
+            LookupOutcome::Resolved { class, .. } => assert_eq!(g.class_name(class), "C"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn both_agree_on_fig1_and_fig2() {
+        for (fixture, ambiguous) in [(fixtures::fig1(), true), (fixtures::fig2(), false)] {
+            let sg = sg_of(&fixture, "E");
+            let m = fixture.member_by_name("m").unwrap();
+            let faithful = gxx_lookup(&fixture, &sg, m);
+            let corrected = gxx_lookup_corrected(&fixture, &sg, m);
+            if ambiguous {
+                assert_eq!(faithful, GxxResult::Ambiguous);
+                assert_eq!(corrected, GxxResult::Ambiguous);
+            } else {
+                assert_eq!(faithful, corrected);
+                assert!(matches!(faithful, GxxResult::Resolved(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_foo_resolves_bar_does_not() {
+        let g = fixtures::fig3();
+        let sg = sg_of(&g, "H");
+        let foo = g.member_by_name("foo").unwrap();
+        let bar = g.member_by_name("bar").unwrap();
+        let r = gxx_lookup_corrected(&g, &sg, foo);
+        assert_eq!(r.resolved_class(&sg).map(|c| g.class_name(c)), Some("G"));
+        assert_eq!(gxx_lookup_corrected(&g, &sg, bar), GxxResult::Ambiguous);
+    }
+
+    #[test]
+    fn faithful_may_also_be_right_on_fig3() {
+        // Fig3/foo: BFS order from H visits GH before the deep As, so the
+        // faithful algorithm happens to get it right here.
+        let g = fixtures::fig3();
+        let sg = sg_of(&g, "H");
+        let foo = g.member_by_name("foo").unwrap();
+        assert!(matches!(gxx_lookup(&g, &sg, foo), GxxResult::Resolved(_)));
+    }
+
+    #[test]
+    fn not_found() {
+        let g = fixtures::fig3();
+        let sg = sg_of(&g, "A");
+        let bar = g.member_by_name("bar").unwrap();
+        assert_eq!(gxx_lookup(&g, &sg, bar), GxxResult::NotFound);
+        assert_eq!(gxx_lookup_corrected(&g, &sg, bar), GxxResult::NotFound);
+    }
+
+    #[test]
+    fn member_in_start_class_wins_immediately() {
+        let g = fixtures::fig3();
+        let sg = sg_of(&g, "G");
+        let foo = g.member_by_name("foo").unwrap();
+        let r = gxx_lookup(&g, &sg, foo);
+        assert_eq!(r.resolved_class(&sg).map(|c| g.class_name(c)), Some("G"));
+    }
+}

@@ -1,0 +1,348 @@
+//! The "simple, but inefficient" two-phase algorithm of Section 4 of the
+//! paper: propagate concrete definition *paths* through the CHG, then pick
+//! the most-dominant reaching definition per class — with the paper's
+//! killing optimization as a switch, so its effect can be measured
+//! (experiment E12) and Figures 4–5 reproduced, crossed-out definitions
+//! included.
+//!
+//! Dominance between concrete paths is decided through the subobject
+//! model (one subobject graph per class, built on demand), which is what
+//! makes this the *expensive* reference point: both the number of
+//! propagated paths and the dominance test can blow up exponentially.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use cpplookup_chg::{Chg, ClassId, MemberId, Path};
+use cpplookup_subobject::{Subobject, SubobjectGraph};
+
+/// Configuration for the naive propagation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PropagationConfig {
+    /// Whether dominated definitions are killed at each node (the
+    /// optimization of Section 4). Without killing, *every* definition
+    /// path reaches every node it can.
+    pub kill: bool,
+    /// Budget on the total number of propagated definitions, and on the
+    /// per-class subobject graphs used for dominance tests.
+    pub budget: usize,
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        PropagationConfig {
+            kill: true,
+            budget: 1_000_000,
+        }
+    }
+}
+
+/// The propagation exceeded its budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BudgetError {
+    /// The configured budget.
+    pub budget: usize,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "naive propagation exceeded budget of {} definitions", self.budget)
+    }
+}
+
+impl Error for BudgetError {}
+
+/// Per-class result of the propagation: the reaching definition paths,
+/// which of them were killed, and the most-dominant one if it exists —
+/// the content of one node annotation in Figures 4–5.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeDefs {
+    /// The class.
+    pub class: ClassId,
+    /// All reaching definitions (generated + inherited), in arrival
+    /// order.
+    pub reaching: Vec<Path>,
+    /// The subset of `reaching` killed at this node (empty when killing
+    /// is disabled). These are the crossed-out paths of the figures.
+    pub killed: Vec<Path>,
+    /// The definitions propagated along outgoing edges
+    /// (`reaching − killed`).
+    pub propagated: Vec<Path>,
+    /// The most-dominant reaching definition, when the lookup is
+    /// unambiguous.
+    pub most_dominant: Option<Path>,
+}
+
+/// Whole-hierarchy propagation result for one member name.
+#[derive(Clone, Debug)]
+pub struct Propagation {
+    /// Per-class results, in topological order, for classes where the
+    /// member is visible.
+    pub nodes: Vec<NodeDefs>,
+    /// Total definitions propagated (Σ per-node `propagated`), the cost
+    /// measure of experiment E12.
+    pub propagated_defs: usize,
+    /// Total reaching definitions (Σ per-node `reaching`).
+    pub reaching_defs: usize,
+}
+
+impl Propagation {
+    /// The node record for `class`, if the member is visible there.
+    pub fn node(&self, class: ClassId) -> Option<&NodeDefs> {
+        self.nodes.iter().find(|n| n.class == class)
+    }
+}
+
+/// Runs the two-phase Section 4 algorithm for member `m`.
+///
+/// # Errors
+///
+/// Returns [`BudgetError`] when the number of live definitions or the
+/// subobject graphs needed for dominance tests exceed `config.budget`.
+pub fn propagate(chg: &Chg, m: MemberId, config: PropagationConfig) -> Result<Propagation, BudgetError> {
+    let mut out_defs: HashMap<ClassId, Vec<Path>> = HashMap::new();
+    let mut nodes = Vec::new();
+    let mut propagated_defs = 0usize;
+    let mut reaching_defs = 0usize;
+
+    for &c in chg.topo_order() {
+        // Gather reaching definitions: inherited first (base declaration
+        // order), then the generated one, matching the figures.
+        let mut reaching: Vec<Path> = Vec::new();
+        for spec in chg.direct_bases(c) {
+            if let Some(defs) = out_defs.get(&spec.base) {
+                for p in defs {
+                    reaching.push(p.extended(chg, c));
+                }
+            }
+        }
+        if chg.declares(c, m) {
+            reaching.push(Path::trivial(c));
+        }
+        if reaching.is_empty() {
+            continue;
+        }
+        reaching_defs += reaching.len();
+        if reaching_defs > config.budget {
+            return Err(BudgetError { budget: config.budget });
+        }
+
+        // Dominance among the reaching paths, via the subobject poset of c.
+        let sg = SubobjectGraph::build(chg, c, config.budget)
+            .map_err(|_| BudgetError { budget: config.budget })?;
+        let ids: Vec<_> = reaching
+            .iter()
+            .map(|p| {
+                sg.id_of(&Subobject::from_path(chg, p))
+                    .expect("definition paths end at c")
+            })
+            .collect();
+        let dominated: Vec<bool> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                ids.iter().enumerate().any(|(j, &v)| {
+                    i != j && sg.dominates(v, u) && !(sg.dominates(u, v) && j > i)
+                })
+            })
+            .collect();
+        let most_dominant = ids
+            .iter()
+            .position(|&u| ids.iter().all(|&v| sg.dominates(u, v)))
+            .map(|i| reaching[i].clone());
+
+        let (killed, propagated): (Vec<Path>, Vec<Path>) = if config.kill {
+            let mut killed = Vec::new();
+            let mut kept = Vec::new();
+            for (i, p) in reaching.iter().enumerate() {
+                if dominated[i] {
+                    killed.push(p.clone());
+                } else {
+                    kept.push(p.clone());
+                }
+            }
+            (killed, kept)
+        } else {
+            (Vec::new(), reaching.clone())
+        };
+
+        propagated_defs += propagated.len();
+        out_defs.insert(c, propagated.clone());
+        nodes.push(NodeDefs {
+            class: c,
+            reaching,
+            killed,
+            propagated,
+            most_dominant,
+        });
+    }
+
+    Ok(Propagation {
+        nodes,
+        propagated_defs,
+        reaching_defs,
+    })
+}
+
+/// Phase-2 lookup on top of [`propagate`]: the most-dominant reaching
+/// definition at `c`, `Ok(None)` when `m` is invisible there, and
+/// `Err(reaching paths)` when ambiguous.
+///
+/// # Errors
+///
+/// The `Err` variant carries the reaching definitions that made the
+/// lookup ambiguous (inner result), wrapped in a [`BudgetError`] layer
+/// for the propagation itself.
+#[allow(clippy::type_complexity)]
+pub fn lookup_naive(
+    chg: &Chg,
+    c: ClassId,
+    m: MemberId,
+    config: PropagationConfig,
+) -> Result<Result<Option<Path>, Vec<Path>>, BudgetError> {
+    let prop = propagate(chg, m, config)?;
+    Ok(match prop.node(c) {
+        None => Ok(None),
+        Some(node) => match &node.most_dominant {
+            Some(p) => Ok(Some(p.clone())),
+            None => Err(node.reaching.clone()),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+
+    fn show(chg: &Chg, paths: &[Path]) -> Vec<String> {
+        let mut v: Vec<String> = paths.iter().map(|p| p.display(chg).to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn figure4_foo_propagation() {
+        let g = fixtures::fig3();
+        let foo = g.member_by_name("foo").unwrap();
+        let prop = propagate(&g, foo, PropagationConfig::default()).unwrap();
+
+        // Node D: ABD and ACD reach, neither dominates, both propagated.
+        let d = prop.node(g.class_by_name("D").unwrap()).unwrap();
+        assert_eq!(show(&g, &d.reaching), vec!["ABD", "ACD"]);
+        assert!(d.killed.is_empty());
+        assert_eq!(d.most_dominant, None);
+
+        // Node G: generated G kills ABDG and ACDG (Figure 4's crossed-out
+        // definitions).
+        let gn = prop.node(g.class_by_name("G").unwrap()).unwrap();
+        assert_eq!(show(&g, &gn.reaching), vec!["ABDG", "ACDG", "G"]);
+        assert_eq!(show(&g, &gn.killed), vec!["ABDG", "ACDG"]);
+        assert_eq!(show(&g, &gn.propagated), vec!["G"]);
+
+        // Node H: GH dominates and kills ABDFH/ACDFH.
+        let h = prop.node(g.class_by_name("H").unwrap()).unwrap();
+        assert_eq!(show(&g, &h.reaching), vec!["ABDFH", "ACDFH", "GH"]);
+        assert_eq!(show(&g, &h.killed), vec!["ABDFH", "ACDFH"]);
+        assert_eq!(
+            h.most_dominant.as_ref().unwrap().display(&g).to_string(),
+            "GH"
+        );
+    }
+
+    #[test]
+    fn figure5_bar_propagation() {
+        let g = fixtures::fig3();
+        let bar = g.member_by_name("bar").unwrap();
+        let prop = propagate(&g, bar, PropagationConfig::default()).unwrap();
+
+        // Node F: DF and EF reach; ambiguous; both (blue) propagated.
+        let f = prop.node(g.class_by_name("F").unwrap()).unwrap();
+        assert_eq!(show(&g, &f.reaching), vec!["DF", "EF"]);
+        assert_eq!(f.most_dominant, None);
+        assert_eq!(show(&g, &f.propagated), vec!["DF", "EF"]);
+
+        // Node G: G kills DG.
+        let gn = prop.node(g.class_by_name("G").unwrap()).unwrap();
+        assert_eq!(show(&g, &gn.killed), vec!["DG"]);
+
+        // Node H: EFH survives (GH does not dominate it): ambiguous,
+        // exactly the blue-definition scenario the paper uses to justify
+        // propagating blues.
+        let h = prop.node(g.class_by_name("H").unwrap()).unwrap();
+        assert_eq!(show(&g, &h.reaching), vec!["DFH", "EFH", "GH"]);
+        assert_eq!(h.most_dominant, None);
+        assert_eq!(show(&g, &h.killed), vec!["DFH"]);
+    }
+
+    #[test]
+    fn killing_never_changes_results() {
+        // Corollary 1 of the paper, checked on all fixtures.
+        for g in [
+            fixtures::fig1(),
+            fixtures::fig2(),
+            fixtures::fig3(),
+            fixtures::fig9(),
+            fixtures::static_diamond(),
+        ] {
+            for m in g.member_ids() {
+                let with = propagate(&g, m, PropagationConfig { kill: true, budget: 100_000 })
+                    .unwrap();
+                let without =
+                    propagate(&g, m, PropagationConfig { kill: false, budget: 100_000 })
+                        .unwrap();
+                for node in &with.nodes {
+                    let other = without.node(node.class).unwrap();
+                    // Ambiguity verdicts agree; winners are ≈-equivalent.
+                    match (&node.most_dominant, &other.most_dominant) {
+                        (None, None) => {}
+                        (Some(p), Some(q)) => {
+                            assert!(p.equivalent(q, &g), "winners must be ≈-equivalent")
+                        }
+                        (p, q) => panic!("kill changed the verdict: {p:?} vs {q:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn killing_reduces_propagated_counts() {
+        let g = fixtures::fig3();
+        let foo = g.member_by_name("foo").unwrap();
+        let with = propagate(&g, foo, PropagationConfig { kill: true, budget: 100_000 }).unwrap();
+        let without =
+            propagate(&g, foo, PropagationConfig { kill: false, budget: 100_000 }).unwrap();
+        assert!(with.propagated_defs < without.propagated_defs);
+    }
+
+    #[test]
+    fn lookup_naive_agrees_with_paper() {
+        let g = fixtures::fig3();
+        let h = g.class_by_name("H").unwrap();
+        let foo = g.member_by_name("foo").unwrap();
+        let bar = g.member_by_name("bar").unwrap();
+        let win = lookup_naive(&g, h, foo, PropagationConfig::default())
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        assert_eq!(win.display(&g).to_string(), "GH");
+        assert!(lookup_naive(&g, h, bar, PropagationConfig::default())
+            .unwrap()
+            .is_err());
+        // Invisible member.
+        let a = g.class_by_name("A").unwrap();
+        assert_eq!(
+            lookup_naive(&g, a, bar, PropagationConfig::default()).unwrap(),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn budget_trips() {
+        let g = fixtures::fig3();
+        let foo = g.member_by_name("foo").unwrap();
+        assert!(propagate(&g, foo, PropagationConfig { kill: false, budget: 3 }).is_err());
+    }
+}

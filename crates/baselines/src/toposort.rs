@@ -1,0 +1,102 @@
+//! The topological-number shortcut of Section 7.2 of the paper.
+//!
+//! *"If one assumes that a particular lookup is unambiguous, then the
+//! lookup can be done very simply as follows. Associate each class `X`
+//! with a topological number ... Then, from the set of definitions that
+//! reach a class `X`, one simply selects the `u` for which
+//! `top-sort(ldc(u))` is maximum as the most dominant definition."*
+//!
+//! This is the Eiffel/Attali-et-al. assumption: correct whenever the
+//! lookup really is unambiguous (the winner's `ldc` is strictly the most
+//! derived declaring ancestor), silently wrong otherwise — experiment E17
+//! quantifies how often.
+
+use cpplookup_chg::{Chg, ClassId, MemberId};
+
+/// Resolves `m` in `c` by picking the declaring ancestor class (or `c`
+/// itself) with the largest topological number. Returns `None` when `m`
+/// is not visible in `c`.
+///
+/// **Only sound when the real lookup is unambiguous** — see module docs.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::fixtures;
+/// use cpplookup_baselines::toposort::toposort_lookup;
+///
+/// let g = fixtures::fig2();
+/// let e = g.class_by_name("E").unwrap();
+/// let m = g.member_by_name("m").unwrap();
+/// // The fig2 lookup is unambiguous, so the shortcut gets it right.
+/// assert_eq!(toposort_lookup(&g, e, m).map(|c| g.class_name(c)), Some("D"));
+/// ```
+pub fn toposort_lookup(chg: &Chg, c: ClassId, m: MemberId) -> Option<ClassId> {
+    chg.declaring_classes(m)
+        .iter()
+        .copied()
+        .filter(|&d| d == c || chg.is_base_of(d, c))
+        .max_by_key(|&d| chg.topo_position(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+    use cpplookup_core::{LookupOutcome, LookupTable};
+
+    #[test]
+    fn matches_real_lookup_when_unambiguous() {
+        for g in [
+            fixtures::fig1(),
+            fixtures::fig2(),
+            fixtures::fig3(),
+            fixtures::fig9(),
+            fixtures::dominance_diamond(),
+        ] {
+            let t = LookupTable::build(&g);
+            for c in g.classes() {
+                for m in g.member_ids() {
+                    if let LookupOutcome::Resolved { class, .. } = t.lookup(c, m) {
+                        assert_eq!(
+                            toposort_lookup(&g, c, m),
+                            Some(class),
+                            "shortcut must agree on unambiguous lookup ({}, {})",
+                            g.class_name(c),
+                            g.member_name(m)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn silently_wrong_on_ambiguous_lookups() {
+        // fig1's lookup(E, m) is ambiguous, but the shortcut happily
+        // returns D (the most derived declarer) — the unsoundness the
+        // paper warns about.
+        let g = fixtures::fig1();
+        let e = g.class_by_name("E").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        let t = LookupTable::build(&g);
+        assert!(matches!(t.lookup(e, m), LookupOutcome::Ambiguous { .. }));
+        assert_eq!(toposort_lookup(&g, e, m).map(|c| g.class_name(c)), Some("D"));
+    }
+
+    #[test]
+    fn none_when_invisible() {
+        let g = fixtures::fig3();
+        let a = g.class_by_name("A").unwrap();
+        let bar = g.member_by_name("bar").unwrap();
+        assert_eq!(toposort_lookup(&g, a, bar), None);
+    }
+
+    #[test]
+    fn own_declaration_wins() {
+        let g = fixtures::fig3();
+        let gg = g.class_by_name("G").unwrap();
+        let foo = g.member_by_name("foo").unwrap();
+        assert_eq!(toposort_lookup(&g, gg, foo), Some(gg));
+    }
+}

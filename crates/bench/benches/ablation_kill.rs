@@ -1,0 +1,42 @@
+//! E12: the Section 4 killing optimization, as an ablation — naive path
+//! propagation with and without killing dominated definitions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpplookup_baselines::naive::{propagate, PropagationConfig};
+use cpplookup_chg::Inheritance;
+use cpplookup_hiergen::families;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_kill");
+    group.sample_size(10);
+    let cases = [
+        ("nvdiamond-8", families::stacked_diamonds(8, Inheritance::NonVirtual)),
+        (
+            "ovdiamond-11",
+            families::stacked_diamonds_overridden(11, Inheritance::NonVirtual),
+        ),
+        ("grid-5x5", families::grid(5, 5)),
+        ("gxxtrap-5", families::gxx_trap(5)),
+    ];
+    for (name, chg) in &cases {
+        let m = chg.member_by_name("m").unwrap();
+        for (label, kill) in [("kill", true), ("nokill", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, label),
+                &kill,
+                |b, &kill| {
+                    b.iter(|| {
+                        propagate(chg, m, PropagationConfig { kill, budget: 50_000_000 })
+                            .expect("within budget")
+                            .propagated_defs
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(ablation_kill, benches);
+criterion_main!(ablation_kill);

@@ -1,0 +1,52 @@
+//! E9: subobject-graph construction cost — exponential for non-virtual
+//! diamond stacks, linear for their virtual twins, while the CHG-side
+//! algorithm (table build) stays polynomial on both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpplookup_chg::Inheritance;
+use cpplookup_core::LookupTable;
+use cpplookup_hiergen::families;
+use cpplookup_subobject::stats::count_subobjects;
+use cpplookup_subobject::SubobjectGraph;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blowup");
+    group.sample_size(10);
+    for k in [6usize, 10, 14, 18] {
+        let nv = families::stacked_diamonds(k, Inheritance::NonVirtual);
+        let v = families::stacked_diamonds(k, Inheritance::Virtual);
+        let bottom_nv = nv.class_by_name(&format!("D{k}")).unwrap();
+        let bottom_v = v.class_by_name(&format!("D{k}")).unwrap();
+        // The full graph's dominance closure needs O(4^k) bits; build it
+        // only while that fits comfortably in memory, and fall back to
+        // counting (no closure) beyond.
+        if k <= 14 {
+            group.bench_with_input(
+                BenchmarkId::new("subobject_graph_nonvirtual", k),
+                &(),
+                |b, ()| {
+                    b.iter(|| SubobjectGraph::build(&nv, bottom_nv, 10_000_000).unwrap().len())
+                },
+            );
+        } else {
+            group.bench_with_input(
+                BenchmarkId::new("subobject_count_nonvirtual", k),
+                &(),
+                |b, ()| b.iter(|| count_subobjects(&nv, bottom_nv, 10_000_000).unwrap()),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("subobject_graph_virtual", k),
+            &(),
+            |b, ()| b.iter(|| SubobjectGraph::build(&v, bottom_v, 10_000_000).unwrap().len()),
+        );
+        group.bench_with_input(BenchmarkId::new("lookup_table_nonvirtual", k), &(), |b, ()| {
+            b.iter(|| LookupTable::build(&nv))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(blowup, benches);
+criterion_main!(blowup);

@@ -1,0 +1,27 @@
+//! E16: end-to-end frontend cost — parse-only vs parse+lower+table+
+//! resolve, the "member lookup is a real fraction of compilation"
+//! motivation from Section 7 of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpplookup_bench::workloads::frontend_source;
+use cpplookup_frontend::{analyze, parser};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    group.sample_size(10);
+    for (classes, accesses) in [(100usize, 500usize), (300, 3000)] {
+        let src = frontend_source(classes, accesses);
+        let label = format!("{classes}cls-{accesses}acc");
+        group.bench_with_input(BenchmarkId::new("parse_only", &label), &(), |b, ()| {
+            b.iter(|| parser::parse(&src))
+        });
+        group.bench_with_input(BenchmarkId::new("parse_and_resolve", &label), &(), |b, ()| {
+            b.iter(|| analyze(&src))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(frontend, benches);
+criterion_main!(frontend);

@@ -1,0 +1,62 @@
+//! E10: single-lookup cost across hierarchy families — the paper's
+//! algorithm (memoising lazy, cold cache) vs the subobject-graph BFS
+//! baseline vs the topological-number shortcut.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpplookup_baselines::gxx::gxx_lookup_corrected;
+use cpplookup_baselines::toposort::toposort_lookup;
+use cpplookup_bench::workloads::{self, Workload};
+use cpplookup_core::LazyLookup;
+use cpplookup_subobject::SubobjectGraph;
+
+fn bench_workload(c: &mut Criterion, workload: &Workload, gxx_feasible: bool) {
+    let Workload {
+        name,
+        chg,
+        class,
+        member,
+    } = workload;
+    let mut group = c.benchmark_group("single_lookup");
+    group.sample_size(20);
+
+    group.bench_with_input(BenchmarkId::new("ours_lazy", name), &(), |b, ()| {
+        b.iter(|| {
+            let mut lazy = LazyLookup::new(chg);
+            lazy.lookup(*class, *member)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("toposort", name), &(), |b, ()| {
+        b.iter(|| toposort_lookup(chg, *class, *member))
+    });
+    if gxx_feasible {
+        group.bench_with_input(BenchmarkId::new("gxx_bfs", name), &(), |b, ()| {
+            b.iter(|| {
+                let sg = SubobjectGraph::build(chg, *class, 10_000_000)
+                    .expect("within budget");
+                gxx_lookup_corrected(chg, &sg, *member)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    for n in [256, 1024, 4096] {
+        bench_workload(c, &workloads::chain(n), true);
+    }
+    for k in [32, 128] {
+        bench_workload(c, &workloads::virtual_diamonds(k), true);
+    }
+    // Non-virtual diamonds: the BFS baseline needs 2^k subobjects (and
+    // its dominance closure 4^k bits); skip it beyond k=14 — the shape of
+    // interest is that we do NOT blow up.
+    bench_workload(c, &workloads::nonvirtual_diamonds(10), true);
+    bench_workload(c, &workloads::nonvirtual_diamonds(14), true);
+    bench_workload(c, &workloads::nonvirtual_diamonds(48), false);
+    bench_workload(c, &workloads::gxx_trap(32), true);
+    bench_workload(c, &workloads::realistic(2000, 11), true);
+}
+
+criterion_group!(single_lookup, benches);
+criterion_main!(single_lookup);

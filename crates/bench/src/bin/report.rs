@@ -1,0 +1,34 @@
+//! Regenerates the paper's tables and figures on stdout.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p cpplookup-bench --bin report --release            # everything
+//! cargo run -p cpplookup-bench --bin report --release -- e9 e10  # a subset
+//! ```
+//!
+//! See `EXPERIMENTS.md` for the experiment index and expected shapes.
+
+use std::io::Write;
+
+use cpplookup_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            let _ = writeln!(out);
+        }
+        if let Err(e) = experiments::run(id, &mut out) {
+            eprintln!("error running {id}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Benchmark harness for the PLDI'97 member lookup paper: shared
+//! workload builders, a light timing helper for the `report` binary, and
+//! the experiment implementations behind every table and figure (see
+//! `EXPERIMENTS.md` at the workspace root).
+//!
+//! The Criterion benches under `benches/` reuse [`workloads`]; the
+//! `report` binary (`cargo run -p cpplookup-bench --bin report --release`)
+//! prints the paper-shaped tables via [`experiments`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod timing;
+pub mod workloads;

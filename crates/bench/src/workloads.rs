@@ -1,0 +1,180 @@
+//! Workload builders shared by the Criterion benches and the `report`
+//! binary.
+
+use cpplookup_chg::{Chg, ClassId, MemberId};
+use cpplookup_hiergen::families;
+use cpplookup_hiergen::{random_hierarchy, RandomConfig};
+
+/// A named hierarchy plus the single `(class, member)` query its family
+/// makes interesting (the deepest/most-derived lookup).
+pub struct Workload {
+    /// Display name (`chain-1000`, `vdiamond-8`, ...).
+    pub name: String,
+    /// The hierarchy.
+    pub chg: Chg,
+    /// The class to look up in.
+    pub class: ClassId,
+    /// The member to look up.
+    pub member: MemberId,
+}
+
+impl Workload {
+    fn new(name: impl Into<String>, chg: Chg, class: &str, member: &str) -> Self {
+        let class = chg.class_by_name(class).expect("workload class exists");
+        let member = chg.member_by_name(member).expect("workload member exists");
+        Workload {
+            name: name.into(),
+            chg,
+            class,
+            member,
+        }
+    }
+}
+
+/// A non-virtual chain of depth `n`: the unambiguous, linear-cost regime.
+pub fn chain(n: usize) -> Workload {
+    Workload::new(
+        format!("chain-{n}"),
+        families::chain(n, None),
+        &format!("C{}", n - 1),
+        "m",
+    )
+}
+
+/// `k` stacked *virtual* diamonds: unambiguous, subobject count linear.
+pub fn virtual_diamonds(k: usize) -> Workload {
+    Workload::new(
+        format!("vdiamond-{k}"),
+        families::stacked_diamonds(k, cpplookup_chg::Inheritance::Virtual),
+        &format!("D{k}"),
+        "m",
+    )
+}
+
+/// `k` stacked *non-virtual* diamonds: ambiguous, subobject count `2^k` —
+/// the regime where subobject-graph algorithms explode.
+pub fn nonvirtual_diamonds(k: usize) -> Workload {
+    Workload::new(
+        format!("nvdiamond-{k}"),
+        families::stacked_diamonds(k, cpplookup_chg::Inheritance::NonVirtual),
+        &format!("D{k}"),
+        "m",
+    )
+}
+
+/// The repeated Figure 9 pattern: unambiguous everywhere, adversarial
+/// for eager-ambiguity strategies.
+pub fn gxx_trap(stages: usize) -> Workload {
+    Workload::new(
+        format!("gxxtrap-{stages}"),
+        families::gxx_trap(stages),
+        &format!("E{stages}"),
+        "m",
+    )
+}
+
+/// A seeded "realistic codebase": mostly single inheritance, big member
+/// pool, rare ambiguity. The query member is whichever name the most
+/// derived class can see (falling back to `m0`).
+pub fn realistic(classes: usize, seed: u64) -> Workload {
+    let chg = random_hierarchy(&RandomConfig::realistic(classes, seed));
+    let class = *chg.topo_order().last().expect("nonempty");
+    let member = chg
+        .member_ids()
+        .find(|&m| chg.is_member_visible(class, m))
+        .or_else(|| chg.member_ids().next())
+        .expect("pool is nonempty");
+    Workload {
+        name: format!("realistic-{classes}-s{seed}"),
+        chg,
+        class,
+        member,
+    }
+}
+
+/// Renders a mini-C++ translation unit that declares a `classes`-deep
+/// mostly-single-inheritance library and then performs `accesses` member
+/// accesses in `main` — the end-to-end frontend workload (experiment
+/// E16).
+pub fn frontend_source(classes: usize, accesses: usize) -> String {
+    use std::fmt::Write as _;
+    let mut src = String::new();
+    src.push_str("struct K0 { int m0; static int s0; void f0(); };\n");
+    for i in 1..classes {
+        // Every 7th class mixes in an independent interface class
+        // (multiple inheritance without shared ancestors, so lookups stay
+        // unambiguous); everything else extends the tower.
+        if i % 7 == 3 {
+            let _ = writeln!(
+                src,
+                "struct X{i} {{ void x{i}(); }};\nstruct K{i} : K{}, X{i} {{ int m{i}; }};",
+                i - 1
+            );
+        } else {
+            let _ = writeln!(src, "struct K{i} : K{} {{ int m{i}; void f{i}(); }};", i - 1);
+        }
+    }
+    src.push_str("int main() {\n");
+    for j in 0..accesses {
+        let class = classes - 1 - (j % (classes / 2));
+        let member = j % classes.min(class + 1);
+        let _ = writeln!(src, "  K{class} v{j}; v{j}.m{member};");
+    }
+    src.push_str("}\n");
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_core::LookupTable;
+    use cpplookup_frontend::analyze;
+
+    #[test]
+    fn workload_queries_are_visible() {
+        for w in [
+            chain(50),
+            virtual_diamonds(5),
+            nonvirtual_diamonds(5),
+            gxx_trap(3),
+            realistic(60, 3),
+        ] {
+            assert!(
+                w.chg.is_member_visible(w.class, w.member),
+                "{}: query member must be visible",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn chain_and_vdiamond_resolve_nvdiamond_does_not() {
+        use cpplookup_core::LookupOutcome;
+        let t = LookupTable::build(&chain(20).chg);
+        let w = chain(20);
+        assert!(t.lookup(w.class, w.member).is_resolved());
+        let w = virtual_diamonds(4);
+        let t = LookupTable::build(&w.chg);
+        assert!(t.lookup(w.class, w.member).is_resolved());
+        let w = nonvirtual_diamonds(4);
+        let t = LookupTable::build(&w.chg);
+        assert!(matches!(
+            t.lookup(w.class, w.member),
+            LookupOutcome::Ambiguous { .. }
+        ));
+    }
+
+    #[test]
+    fn frontend_source_is_well_formed() {
+        let src = frontend_source(40, 100);
+        let analysis = analyze(&src);
+        assert!(
+            analysis.diagnostics.is_empty(),
+            "{:?}",
+            analysis.diagnostics.first()
+        );
+        assert_eq!(analysis.queries.len(), 100);
+        assert_eq!(analysis.failed_queries().count(), 0);
+        assert!(analysis.chg.class_count() >= 40, "tower plus mixins");
+    }
+}

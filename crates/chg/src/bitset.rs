@@ -1,0 +1,339 @@
+//! Fixed-capacity bit sets and bit matrices.
+//!
+//! The lookup algorithm's constant-time dominance test (paper, Lemma 4)
+//! requires constant-time "is `V` a virtual base of `L`" queries. The paper
+//! suggests a boolean matrix computed by a transitive-closure-like algorithm
+//! (Section 5); [`BitMatrix`] is that matrix, with rows unioned wordwise so
+//! the closure costs `O(|N| * (|N| + |E|) / 64)`.
+
+use std::fmt;
+
+/// A fixed-capacity set of `usize` indices backed by `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(97);
+/// assert!(s.contains(3));
+/// assert!(!s.contains(4));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 97]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The capacity this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `index`, returning whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(index < self.capacity, "bitset index out of range");
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes `index`, returning whether it was present.
+    pub fn remove(&mut self, index: usize) -> bool {
+        if index >= self.capacity {
+            return false;
+        }
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Whether `index` is present. Out-of-range indices are absent.
+    pub fn contains(&self, index: usize) -> bool {
+        index < self.capacity && self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Unions `other` into `self` wordwise; returns whether `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// Whether `self` and `other` share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether every element of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] in increasing order.
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+/// A dense square boolean matrix: `rows` bit sets of equal capacity.
+///
+/// Row `i` typically holds a relation image such as "the set of (virtual)
+/// bases of class `i`".
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: Vec<BitSet>,
+    columns: usize,
+}
+
+impl BitMatrix {
+    /// Creates an all-false matrix with `rows` rows and `columns` columns.
+    pub fn new(rows: usize, columns: usize) -> Self {
+        BitMatrix {
+            rows: vec![BitSet::new(columns); rows],
+            columns,
+        }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns
+    }
+
+    /// Sets cell `(row, column)` to true.
+    pub fn set(&mut self, row: usize, column: usize) {
+        self.rows[row].insert(column);
+    }
+
+    /// Reads cell `(row, column)`.
+    pub fn get(&self, row: usize, column: usize) -> bool {
+        self.rows[row].contains(column)
+    }
+
+    /// Borrows row `row`.
+    pub fn row(&self, row: usize) -> &BitSet {
+        &self.rows[row]
+    }
+
+    /// Unions row `src` into row `dst`; returns whether `dst` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` (aliasing a row with itself is a no-op the
+    /// caller almost certainly did not intend).
+    pub fn union_rows(&mut self, dst: usize, src: usize) -> bool {
+        assert_ne!(dst, src, "union of a row into itself");
+        let (a, b) = if dst < src {
+            let (lo, hi) = self.rows.split_at_mut(src);
+            (&mut lo[dst], &hi[0])
+        } else {
+            let (lo, hi) = self.rows.split_at_mut(dst);
+            (&mut hi[0], &lo[src])
+        };
+        a.union_with(b)
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix({}x{})", self.rows.len(), self.columns)?;
+        for (i, row) in self.rows.iter().enumerate() {
+            writeln!(f, "  {i}: {row:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports not-fresh");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(10));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let mut s = BitSet::new(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn union_and_change_detection() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        b.insert(1);
+        b.insert(70);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union changes nothing");
+        assert!(a.contains(70));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn intersects_and_subset() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(5);
+        a.insert(80);
+        b.insert(80);
+        assert!(a.intersects(&b));
+        assert!(b.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        b.clear();
+        assert!(!a.intersects(&b));
+        assert!(b.is_subset_of(&a), "empty set is a subset of anything");
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s = BitSet::new(200);
+        for &i in &[199, 0, 63, 64, 65, 128] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn iter_empty() {
+        let s = BitSet::new(70);
+        assert_eq!(s.iter().count(), 0);
+        let s0 = BitSet::new(0);
+        assert_eq!(s0.iter().count(), 0);
+    }
+
+    #[test]
+    fn matrix_rows_and_union() {
+        let mut m = BitMatrix::new(4, 4);
+        m.set(1, 2);
+        m.set(2, 3);
+        assert!(m.get(1, 2));
+        assert!(!m.get(2, 2));
+        assert!(m.union_rows(1, 2));
+        assert!(m.get(1, 3));
+        assert!(!m.union_rows(1, 2));
+        assert_eq!(m.row(1).iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(m.row_count(), 4);
+        assert_eq!(m.column_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "into itself")]
+    fn matrix_self_union_panics() {
+        let mut m = BitMatrix::new(2, 2);
+        m.union_rows(1, 1);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let s = BitSet::new(4);
+        assert_eq!(format!("{s:?}"), "{}");
+        let m = BitMatrix::new(1, 1);
+        assert!(format!("{m:?}").contains("BitMatrix"));
+    }
+}

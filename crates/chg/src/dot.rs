@@ -1,0 +1,90 @@
+//! Graphviz DOT export of class hierarchy graphs.
+//!
+//! Mirrors the paper's figures: solid edges for non-virtual inheritance,
+//! dashed edges for virtual inheritance, member names listed with their
+//! declaring class.
+
+use std::fmt::Write as _;
+
+use crate::graph::Chg;
+
+/// Renders `chg` as a Graphviz `digraph`.
+///
+/// Edges point from base to derived class, like the paper's figures.
+/// Classes are labelled `Name` or `Name\n(m1, m2)` when they declare
+/// members directly.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::{dot, fixtures};
+///
+/// let text = dot::to_dot(&fixtures::fig2());
+/// assert!(text.contains("digraph chg"));
+/// assert!(text.contains("style=dashed")); // virtual edges
+/// ```
+pub fn to_dot(chg: &Chg) -> String {
+    let mut out = String::new();
+    out.push_str("digraph chg {\n");
+    out.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for c in chg.classes() {
+        let members: Vec<&str> = chg
+            .declared_members(c)
+            .iter()
+            .map(|&(m, _)| chg.member_name(m))
+            .collect();
+        let label = if members.is_empty() {
+            chg.class_name(c).to_owned()
+        } else {
+            format!("{}\\n({})", chg.class_name(c), members.join(", "))
+        };
+        let _ = writeln!(out, "  c{} [label=\"{}\"];", c.index(), label);
+    }
+    for derived in chg.classes() {
+        for spec in chg.direct_bases(derived) {
+            let style = if spec.inheritance.is_virtual() {
+                " [style=dashed]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  c{} -> c{}{};", spec.base.index(), derived.index(), style);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn dot_contains_all_classes_and_edges() {
+        let g = fixtures::fig3();
+        let dot = to_dot(&g);
+        for c in g.classes() {
+            assert!(dot.contains(&format!("c{} [", c.index())));
+        }
+        // 9 edges total.
+        assert_eq!(dot.matches(" -> ").count(), 9);
+        // Two virtual edges in fig3 (D->F, D->G).
+        assert_eq!(dot.matches("style=dashed").count(), 2);
+    }
+
+    #[test]
+    fn dot_lists_members_in_labels() {
+        let g = fixtures::fig3();
+        let dot = to_dot(&g);
+        assert!(dot.contains("G\\n(foo, bar)"));
+        assert!(dot.contains("A\\n(foo)"));
+    }
+
+    #[test]
+    fn dot_of_empty_graph() {
+        let g = crate::ChgBuilder::new().finish().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph chg {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,144 @@
+//! Errors reported while building or validating a class hierarchy graph.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::ClassId;
+
+/// An error produced by [`crate::ChgBuilder`].
+///
+/// Class names are carried as owned strings so the error remains meaningful
+/// after the builder is gone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChgError {
+    /// The inheritance relation contains a cycle; C++ class hierarchies
+    /// must be acyclic. Carries one class on the cycle.
+    Cycle {
+        /// A class known to participate in the cycle.
+        class: String,
+    },
+    /// A class was listed twice as a direct base of the same derived class,
+    /// which is ill-formed in C++ (`class D : B, B {}`).
+    DuplicateDirectBase {
+        /// The derived class.
+        derived: String,
+        /// The base listed more than once.
+        base: String,
+    },
+    /// A class was made a direct base of itself (`class C : C {}`).
+    SelfInheritance {
+        /// The offending class.
+        class: String,
+    },
+    /// A member name was declared twice in the same class with incompatible
+    /// kinds. Function overloads (two `Function` declarations) are allowed
+    /// and merged; anything else is a redeclaration error.
+    ConflictingMember {
+        /// The declaring class.
+        class: String,
+        /// The member name.
+        member: String,
+    },
+    /// A `ClassId` that does not belong to this builder was used.
+    UnknownClass {
+        /// The stray id.
+        id: ClassId,
+    },
+}
+
+impl fmt::Display for ChgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChgError::Cycle { class } => {
+                write!(f, "inheritance cycle through class `{class}`")
+            }
+            ChgError::DuplicateDirectBase { derived, base } => {
+                write!(f, "class `{derived}` lists `{base}` as a direct base more than once")
+            }
+            ChgError::SelfInheritance { class } => {
+                write!(f, "class `{class}` cannot be its own direct base")
+            }
+            ChgError::ConflictingMember { class, member } => {
+                write!(f, "member `{member}` redeclared with a conflicting kind in class `{class}`")
+            }
+            ChgError::UnknownClass { id } => {
+                write!(f, "class id {id} does not belong to this graph")
+            }
+        }
+    }
+}
+
+impl Error for ChgError {}
+
+/// An error produced when constructing a [`crate::Path`] from a node
+/// sequence that is not a path of the graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathError {
+    /// The node sequence was empty; paths have at least one node.
+    Empty,
+    /// Two consecutive nodes are not joined by an inheritance edge.
+    MissingEdge {
+        /// The would-be base (edge source).
+        from: String,
+        /// The would-be derived class (edge target).
+        to: String,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "a path must contain at least one class"),
+            PathError::MissingEdge { from, to } => {
+                write!(f, "no inheritance edge from `{from}` to `{to}`")
+            }
+        }
+    }
+}
+
+impl Error for PathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ChgError::Cycle { class: "A".into() };
+        assert_eq!(e.to_string(), "inheritance cycle through class `A`");
+        let e = ChgError::DuplicateDirectBase {
+            derived: "D".into(),
+            base: "B".into(),
+        };
+        assert!(e.to_string().contains("more than once"));
+        let e = ChgError::SelfInheritance { class: "C".into() };
+        assert!(e.to_string().contains("own direct base"));
+        let e = ChgError::ConflictingMember {
+            class: "C".into(),
+            member: "m".into(),
+        };
+        assert!(e.to_string().contains("conflicting kind"));
+        let e = ChgError::UnknownClass {
+            id: ClassId::from_index(9),
+        };
+        assert!(e.to_string().contains("#9"));
+    }
+
+    #[test]
+    fn path_error_messages() {
+        assert!(PathError::Empty.to_string().contains("at least one"));
+        let e = PathError::MissingEdge {
+            from: "A".into(),
+            to: "B".into(),
+        };
+        assert!(e.to_string().contains("`A`"));
+        assert!(e.to_string().contains("`B`"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(ChgError::Cycle { class: "A".into() });
+        takes_err(PathError::Empty);
+    }
+}

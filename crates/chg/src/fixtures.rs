@@ -1,0 +1,363 @@
+//! The class hierarchies used as running examples in the paper, as ready
+//! to use [`Chg`] values.
+//!
+//! Tests, examples, and the `report` experiment harness all refer to these;
+//! class and member names match the paper exactly so results can be checked
+//! against the figures by eye.
+
+use crate::graph::{Chg, ChgBuilder, Inheritance};
+use crate::members::{MemberDecl, MemberKind};
+
+/// Figure 1: the non-virtual inheritance example.
+///
+/// ```cpp
+/// class A { void m(); };
+/// class B : A {};
+/// class C : B {};
+/// class D : B { void m(); };
+/// class E : C, D {};
+/// E *p; p->m(); // ambiguous!
+/// ```
+///
+/// An `E` object has **two** `A` subobjects, so `lookup(E, m)` is
+/// ambiguous: `D::m` dominates the `m` in the `A` below `D`, but not the
+/// one in the `A` below `C`.
+pub fn fig1() -> Chg {
+    let mut b = ChgBuilder::new();
+    let a = b.class("A");
+    let bb = b.class("B");
+    let c = b.class("C");
+    let d = b.class("D");
+    let e = b.class("E");
+    b.member_with(a, "m", MemberDecl::public(MemberKind::Function))
+        .unwrap();
+    b.member_with(d, "m", MemberDecl::public(MemberKind::Function))
+        .unwrap();
+    b.derive(bb, a, Inheritance::NonVirtual).unwrap();
+    b.derive(c, bb, Inheritance::NonVirtual).unwrap();
+    b.derive(d, bb, Inheritance::NonVirtual).unwrap();
+    b.derive(e, c, Inheritance::NonVirtual).unwrap();
+    b.derive(e, d, Inheritance::NonVirtual).unwrap();
+    b.finish().expect("fig1 is a valid hierarchy")
+}
+
+/// Figure 2: the virtual inheritance example — identical to
+/// [`fig1`] except that `C` and `D` inherit `B` *virtually*.
+///
+/// ```cpp
+/// class A { void m(); };
+/// class B : A {};
+/// class C : virtual B {};
+/// class D : virtual B { void m(); };
+/// class E : C, D {};
+/// E p; p.m(); // unambiguous: D::m
+/// ```
+///
+/// An `E` object now has a **single** shared `A` subobject, which `D::m`
+/// dominates, so the lookup resolves to `D::m`.
+pub fn fig2() -> Chg {
+    let mut b = ChgBuilder::new();
+    let a = b.class("A");
+    let bb = b.class("B");
+    let c = b.class("C");
+    let d = b.class("D");
+    let e = b.class("E");
+    b.member_with(a, "m", MemberDecl::public(MemberKind::Function))
+        .unwrap();
+    b.member_with(d, "m", MemberDecl::public(MemberKind::Function))
+        .unwrap();
+    b.derive(bb, a, Inheritance::NonVirtual).unwrap();
+    b.derive(c, bb, Inheritance::Virtual).unwrap();
+    b.derive(d, bb, Inheritance::Virtual).unwrap();
+    b.derive(e, c, Inheritance::NonVirtual).unwrap();
+    b.derive(e, d, Inheritance::NonVirtual).unwrap();
+    b.finish().expect("fig2 is a valid hierarchy")
+}
+
+/// Figure 3: the running example of Sections 3–5, with members `foo`
+/// (declared in `A` and `G`) and `bar` (declared in `D`, `E`, and `G`).
+///
+/// Edges (solid = non-virtual, dashed = virtual):
+///
+/// ```text
+///        A(foo)
+///       /      \
+///      B        C
+///       \      /
+///        D(bar)            E(bar)
+///       ⇣      ⇣ (virtual)  |
+///       F ←────+────────────+   G(foo,bar)
+///        \                     /
+///         +──────── H ────────+
+/// ```
+///
+/// Known results from the paper:
+/// `lookup(H, foo) = {GH}`; `lookup(H, bar) = ⊥`;
+/// `fixed(ABDFH) = ABD`; `ABDFH ≈ ABDGH`; `GH` dominates `ABDFH`.
+pub fn fig3() -> Chg {
+    let mut b = ChgBuilder::new();
+    let a = b.class("A");
+    let bb = b.class("B");
+    let c = b.class("C");
+    let d = b.class("D");
+    let e = b.class("E");
+    let f = b.class("F");
+    let g = b.class("G");
+    let h = b.class("H");
+    b.member_with(a, "foo", MemberDecl::public(MemberKind::Function))
+        .unwrap();
+    b.member_with(g, "foo", MemberDecl::public(MemberKind::Function))
+        .unwrap();
+    b.member_with(d, "bar", MemberDecl::public(MemberKind::Function))
+        .unwrap();
+    b.member_with(e, "bar", MemberDecl::public(MemberKind::Function))
+        .unwrap();
+    b.member_with(g, "bar", MemberDecl::public(MemberKind::Function))
+        .unwrap();
+    b.derive(bb, a, Inheritance::NonVirtual).unwrap();
+    b.derive(c, a, Inheritance::NonVirtual).unwrap();
+    b.derive(d, bb, Inheritance::NonVirtual).unwrap();
+    b.derive(d, c, Inheritance::NonVirtual).unwrap();
+    b.derive(f, d, Inheritance::Virtual).unwrap();
+    b.derive(f, e, Inheritance::NonVirtual).unwrap();
+    b.derive(g, d, Inheritance::Virtual).unwrap();
+    b.derive(h, f, Inheritance::NonVirtual).unwrap();
+    b.derive(h, g, Inheritance::NonVirtual).unwrap();
+    b.finish().expect("fig3 is a valid hierarchy")
+}
+
+/// Figure 9: the counterexample on which g++ 2.7.2.1 (and 3 of the 7
+/// compilers the authors tried) incorrectly reported an ambiguity.
+///
+/// ```cpp
+/// struct S { int m; };
+/// struct A : virtual S { int m; };
+/// struct B : virtual S { int m; };
+/// struct C : virtual A, virtual B { int m; };
+/// struct D : C {};
+/// struct E : virtual A, virtual B, D {};
+/// E e; e.m = 10; // unambiguous: C::m
+/// ```
+///
+/// A breadth-first traversal of the subobject graph of `E` meets the `m`s
+/// of `A` and `B` (neither dominating the other) before the `m` of `C`
+/// that dominates both, and gives up too early. The correct answer is
+/// `C::m`.
+pub fn fig9() -> Chg {
+    let mut b = ChgBuilder::new();
+    let s = b.class("S");
+    let a = b.class("A");
+    let bb = b.class("B");
+    let c = b.class("C");
+    let d = b.class("D");
+    let e = b.class("E");
+    for class in [s, a, bb, c] {
+        b.member_with(class, "m", MemberDecl::public(MemberKind::Data))
+            .unwrap();
+    }
+    b.derive(a, s, Inheritance::Virtual).unwrap();
+    b.derive(bb, s, Inheritance::Virtual).unwrap();
+    b.derive(c, a, Inheritance::Virtual).unwrap();
+    b.derive(c, bb, Inheritance::Virtual).unwrap();
+    b.derive(d, c, Inheritance::NonVirtual).unwrap();
+    b.derive(e, a, Inheritance::Virtual).unwrap();
+    b.derive(e, bb, Inheritance::Virtual).unwrap();
+    b.derive(e, d, Inheritance::NonVirtual).unwrap();
+    b.finish().expect("fig9 is a valid hierarchy")
+}
+
+/// A static-member example for Section 6 (Definitions 16–17):
+///
+/// ```cpp
+/// struct A { static int s; int d; };
+/// struct B : A {};
+/// struct C : A {};
+/// struct D : B, C {};
+/// ```
+///
+/// `lookup(D, d)` is ambiguous (two `A` subobjects), but `lookup(D, s)`
+/// is well-defined because both maximal definitions name the *same*
+/// static member `A::s`.
+pub fn static_diamond() -> Chg {
+    let mut b = ChgBuilder::new();
+    let a = b.class("A");
+    let bb = b.class("B");
+    let c = b.class("C");
+    let d = b.class("D");
+    b.member_with(a, "s", MemberDecl::public(MemberKind::StaticData))
+        .unwrap();
+    b.member_with(a, "d", MemberDecl::public(MemberKind::Data))
+        .unwrap();
+    b.derive(bb, a, Inheritance::NonVirtual).unwrap();
+    b.derive(c, a, Inheritance::NonVirtual).unwrap();
+    b.derive(d, bb, Inheritance::NonVirtual).unwrap();
+    b.derive(d, c, Inheritance::NonVirtual).unwrap();
+    b.finish().expect("static_diamond is a valid hierarchy")
+}
+
+/// A hierarchy demonstrating that Section 6's sketch ("modify
+/// `dominates` with the static rule") must track *sets* of co-maximal
+/// static definitions, not a representative:
+///
+/// ```cpp
+/// struct S0 { static int id; };
+/// struct M  : S0 {};
+/// struct J  : M, virtual S0 {};   // two S0 subobjects, both static id
+/// struct W  : J { int id; };      // W::id dominates the *virtual* S0 only
+/// struct T  : virtual W, J {};
+/// ```
+///
+/// `lookup(J, id)` is well-defined (both maximal definitions are the same
+/// static `S0::id`), but at `T` the non-static `W::id` dominates only the
+/// virtual `S0` — the replicated `S0` under `T`'s direct `J` base
+/// survives, so `lookup(T, id)` **is ambiguous** (different members `W::id`
+/// vs `S0::id`). An implementation that propagated only a representative
+/// of `J`'s shared-static pair would wrongly resolve it to `W::id`.
+/// Discovered by differential testing against the Definition 17 oracle.
+pub fn static_override_mix() -> Chg {
+    let mut b = ChgBuilder::new();
+    let s0 = b.class("S0");
+    let m = b.class("M");
+    let j = b.class("J");
+    let w = b.class("W");
+    let t = b.class("T");
+    b.member_with(s0, "id", MemberDecl::public(MemberKind::StaticData))
+        .unwrap();
+    b.member_with(w, "id", MemberDecl::public(MemberKind::Data))
+        .unwrap();
+    b.derive(m, s0, Inheritance::NonVirtual).unwrap();
+    b.derive(j, m, Inheritance::NonVirtual).unwrap();
+    b.derive(j, s0, Inheritance::Virtual).unwrap();
+    b.derive(w, j, Inheritance::NonVirtual).unwrap();
+    b.derive(t, w, Inheritance::Virtual).unwrap();
+    b.derive(t, j, Inheritance::NonVirtual).unwrap();
+    b.finish().expect("static_override_mix is a valid hierarchy")
+}
+
+/// The classic "dreaded diamond" with a virtual base and an override:
+///
+/// ```cpp
+/// struct Top { void f(); };
+/// struct Left : virtual Top { void f(); };
+/// struct Right : virtual Top {};
+/// struct Bottom : Left, Right {};
+/// ```
+///
+/// `lookup(Bottom, f)` resolves to `Left::f` by dominance — the textbook
+/// case the ARM describes informally.
+pub fn dominance_diamond() -> Chg {
+    let mut b = ChgBuilder::new();
+    let top = b.class("Top");
+    let left = b.class("Left");
+    let right = b.class("Right");
+    let bottom = b.class("Bottom");
+    b.member_with(top, "f", MemberDecl::public(MemberKind::Function))
+        .unwrap();
+    b.member_with(left, "f", MemberDecl::public(MemberKind::Function))
+        .unwrap();
+    b.derive(left, top, Inheritance::Virtual).unwrap();
+    b.derive(right, top, Inheritance::Virtual).unwrap();
+    b.derive(bottom, left, Inheritance::NonVirtual).unwrap();
+    b.derive(bottom, right, Inheritance::NonVirtual).unwrap();
+    b.finish().expect("dominance_diamond is a valid hierarchy")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape() {
+        let g = fig1();
+        assert_eq!(g.class_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        let e = g.class_by_name("E").unwrap();
+        let a = g.class_by_name("A").unwrap();
+        assert!(g.is_base_of(a, e));
+        assert!(!g.is_virtual_base_of(a, e));
+        assert_eq!(g.virtual_bases_of(e).count(), 0);
+    }
+
+    #[test]
+    fn fig2_has_virtual_b() {
+        let g = fig2();
+        let bb = g.class_by_name("B").unwrap();
+        let e = g.class_by_name("E").unwrap();
+        let c = g.class_by_name("C").unwrap();
+        assert!(g.is_virtual_base_of(bb, c));
+        assert!(g.is_virtual_base_of(bb, e));
+        let a = g.class_by_name("A").unwrap();
+        assert!(
+            !g.is_virtual_base_of(a, e),
+            "A itself is inherited non-virtually (below the virtual B)"
+        );
+    }
+
+    #[test]
+    fn fig3_shape_and_members() {
+        let g = fig3();
+        assert_eq!(g.class_count(), 8);
+        assert_eq!(g.edge_count(), 9);
+        let foo = g.member_by_name("foo").unwrap();
+        let bar = g.member_by_name("bar").unwrap();
+        let names = |m| -> Vec<&str> {
+            let mut v: Vec<&str> =
+                g.declaring_classes(m).iter().map(|&c| g.class_name(c)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(names(foo), vec!["A", "G"]);
+        assert_eq!(names(bar), vec!["D", "E", "G"]);
+        let d = g.class_by_name("D").unwrap();
+        let h = g.class_by_name("H").unwrap();
+        assert!(g.is_virtual_base_of(d, h));
+    }
+
+    #[test]
+    fn fig9_shape() {
+        let g = fig9();
+        assert_eq!(g.class_count(), 6);
+        assert_eq!(g.edge_count(), 8);
+        let e = g.class_by_name("E").unwrap();
+        let vb: Vec<&str> = g.virtual_bases_of(e).map(|c| g.class_name(c)).collect();
+        assert_eq!(vb, vec!["S", "A", "B"]);
+        let c = g.class_by_name("C").unwrap();
+        let vb_c: Vec<&str> = g.virtual_bases_of(c).map(|v| g.class_name(v)).collect();
+        assert_eq!(vb_c, vec!["S", "A", "B"]);
+    }
+
+    #[test]
+    fn static_diamond_kinds() {
+        let g = static_diamond();
+        let a = g.class_by_name("A").unwrap();
+        let s = g.member_by_name("s").unwrap();
+        let d = g.member_by_name("d").unwrap();
+        assert!(g.member_decl(a, s).unwrap().kind.is_static_for_lookup());
+        assert!(!g.member_decl(a, d).unwrap().kind.is_static_for_lookup());
+    }
+
+    #[test]
+    fn static_override_mix_shape() {
+        let g = static_override_mix();
+        assert_eq!(g.class_count(), 5);
+        assert_eq!(g.edge_count(), 6);
+        let s0 = g.class_by_name("S0").unwrap();
+        let j = g.class_by_name("J").unwrap();
+        let w = g.class_by_name("W").unwrap();
+        let t = g.class_by_name("T").unwrap();
+        assert!(g.is_virtual_base_of(s0, j));
+        assert!(g.is_virtual_base_of(w, t));
+        assert!(g.is_virtual_base_of(s0, t));
+        let id = g.member_by_name("id").unwrap();
+        assert!(g.member_decl(s0, id).unwrap().kind.is_static_for_lookup());
+        assert!(!g.member_decl(w, id).unwrap().kind.is_static_for_lookup());
+    }
+
+    #[test]
+    fn dominance_diamond_shape() {
+        let g = dominance_diamond();
+        let top = g.class_by_name("Top").unwrap();
+        let bottom = g.class_by_name("Bottom").unwrap();
+        assert!(g.is_virtual_base_of(top, bottom));
+    }
+}

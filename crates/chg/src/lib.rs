@@ -1,0 +1,65 @@
+//! Class hierarchy graph (CHG) substrate for C++ member lookup.
+//!
+//! This crate implements the graph model of Section 2 of *“A Member Lookup
+//! Algorithm for C++”* (Ramalingam & Srinivasan, PLDI 1997): classes,
+//! virtual and non-virtual inheritance edges, directly declared members
+//! `M[X]`, paths with their `fixed` prefixes and the *hides* relation, and
+//! the precomputed base/virtual-base closures the lookup algorithm's
+//! constant-time dominance test relies on.
+//!
+//! Downstream crates build on it:
+//!
+//! * `cpplookup-subobject` — the Rossie–Friedman subobject model and the
+//!   executable reference semantics of member lookup,
+//! * `cpplookup-core` — the paper's efficient lookup algorithm,
+//! * `cpplookup-baselines`, `cpplookup-frontend`, `cpplookup-hiergen`.
+//!
+//! # Examples
+//!
+//! Building Figure 1 of the paper by hand and asking structural questions:
+//!
+//! ```
+//! use cpplookup_chg::{ChgBuilder, Inheritance, Path};
+//!
+//! let mut b = ChgBuilder::new();
+//! let a = b.class("A");
+//! let b_ = b.class("B");
+//! let c = b.class("C");
+//! let d = b.class("D");
+//! let e = b.class("E");
+//! b.member(a, "m");
+//! b.member(d, "m");
+//! b.derive(b_, a, Inheritance::NonVirtual)?;
+//! b.derive(c, b_, Inheritance::NonVirtual)?;
+//! b.derive(d, b_, Inheritance::NonVirtual)?;
+//! b.derive(e, c, Inheritance::NonVirtual)?;
+//! b.derive(e, d, Inheritance::NonVirtual)?;
+//! let chg = b.finish()?;
+//!
+//! assert!(chg.is_base_of(a, e));
+//! let p = Path::new(&chg, vec![a, b_, d, e])?;
+//! assert_eq!(p.fixed(&chg), p, "no virtual edges: the path is all fixed");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The hierarchies of the paper's figures ship as [`fixtures`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bitset;
+pub mod dot;
+mod error;
+pub mod fixtures;
+mod graph;
+mod ids;
+mod members;
+mod path;
+pub mod spec;
+
+pub use bitset::{BitMatrix, BitSet};
+pub use error::{ChgError, PathError};
+pub use graph::{BaseSpec, Chg, ChgBuilder, Inheritance};
+pub use ids::{ClassId, Interner, MemberId};
+pub use members::{Access, MemberDecl, MemberKind};
+pub use path::{DisplayPath, Path};

@@ -1,0 +1,426 @@
+//! Paths in the class hierarchy graph and the path operations of the
+//! paper's formalism (Section 2 and 3).
+//!
+//! A path runs from a base class towards a derived class: its first node is
+//! `ldc` (the *least derived class*) and its last node is `mdc` (the *most
+//! derived class*). A path of a single node is valid and plays the role of
+//! a *generated* definition in the algorithm.
+//!
+//! Because C++ forbids listing the same class twice as a direct base, there
+//! is at most one edge between any ordered pair of classes, so a node
+//! sequence determines the edges (and their virtualness) uniquely and a
+//! path can be stored as a plain sequence of [`ClassId`]s.
+
+use std::fmt;
+
+use crate::error::PathError;
+use crate::graph::Chg;
+use crate::ids::ClassId;
+
+/// A path in a [`Chg`], stored as the sequence of its nodes.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::{fixtures, Path};
+///
+/// let g = fixtures::fig3();
+/// let p = Path::parse(&g, "ABDFH")?;
+/// assert_eq!(g.class_name(p.ldc()), "A");
+/// assert_eq!(g.class_name(p.mdc()), "H");
+/// assert_eq!(p.fixed(&g).display(&g).to_string(), "ABD");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    nodes: Vec<ClassId>,
+}
+
+impl Path {
+    /// The trivial path consisting of the single class `c`.
+    pub fn trivial(c: ClassId) -> Self {
+        Path { nodes: vec![c] }
+    }
+
+    /// Builds a path from a node sequence, validating every edge against
+    /// the graph.
+    ///
+    /// # Errors
+    ///
+    /// [`PathError::Empty`] for an empty sequence, and
+    /// [`PathError::MissingEdge`] if two consecutive classes are not
+    /// related by a direct inheritance edge.
+    pub fn new(chg: &Chg, nodes: Vec<ClassId>) -> Result<Self, PathError> {
+        if nodes.is_empty() {
+            return Err(PathError::Empty);
+        }
+        for w in nodes.windows(2) {
+            if chg.edge(w[0], w[1]).is_none() {
+                return Err(PathError::MissingEdge {
+                    from: chg.class_name(w[0]).to_owned(),
+                    to: chg.class_name(w[1]).to_owned(),
+                });
+            }
+        }
+        Ok(Path { nodes })
+    }
+
+    /// Parses a path written as a concatenation of single-character class
+    /// names, the notation the paper uses (`"ABDFH"`). Multi-character
+    /// class names can be separated by whitespace (`"Base Mid Derived"`).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Path::new`], or with [`PathError::MissingEdge`] when a
+    /// named class does not exist (reported as a missing edge from/to the
+    /// unknown name).
+    pub fn parse(chg: &Chg, text: &str) -> Result<Self, PathError> {
+        let names: Vec<String> = if text.contains(char::is_whitespace) {
+            text.split_whitespace().map(str::to_owned).collect()
+        } else {
+            text.chars().map(|c| c.to_string()).collect()
+        };
+        if names.is_empty() {
+            return Err(PathError::Empty);
+        }
+        let mut nodes = Vec::with_capacity(names.len());
+        for name in &names {
+            match chg.class_by_name(name) {
+                Some(id) => nodes.push(id),
+                None => {
+                    return Err(PathError::MissingEdge {
+                        from: name.clone(),
+                        to: name.clone(),
+                    })
+                }
+            }
+        }
+        Path::new(chg, nodes)
+    }
+
+    /// The nodes of the path, `ldc` first.
+    pub fn nodes(&self) -> &[ClassId] {
+        &self.nodes
+    }
+
+    /// The source of the path: the *least derived class* (paper, Def. 1).
+    pub fn ldc(&self) -> ClassId {
+        self.nodes[0]
+    }
+
+    /// The target of the path: the *most derived class* (paper, Def. 1).
+    pub fn mdc(&self) -> ClassId {
+        *self.nodes.last().expect("paths are nonempty")
+    }
+
+    /// Number of edges in the path (0 for a trivial path).
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Whether the path has no edges — identical to
+    /// [`is_trivial`](Path::is_trivial) (paths always have at least one
+    /// node).
+    pub fn is_empty(&self) -> bool {
+        self.is_trivial()
+    }
+
+    /// Whether the path is a single node (a *generated* definition).
+    pub fn is_trivial(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The longest prefix containing no virtual edge (paper, Def. 2).
+    ///
+    /// The result always contains at least the first node; if the very
+    /// first edge is virtual the fixed part is the trivial path at `ldc`.
+    pub fn fixed(&self, chg: &Chg) -> Path {
+        let mut end = 1;
+        for w in self.nodes.windows(2) {
+            match chg.edge(w[0], w[1]) {
+                Some(inh) if !inh.is_virtual() => end += 1,
+                _ => break,
+            }
+        }
+        Path {
+            nodes: self.nodes[..end].to_vec(),
+        }
+    }
+
+    /// Whether the path contains at least one virtual edge (a *v-path*,
+    /// paper Def. 13).
+    pub fn is_v_path(&self, chg: &Chg) -> bool {
+        self.nodes
+            .windows(2)
+            .any(|w| chg.edge(w[0], w[1]).map(|i| i.is_virtual()).unwrap_or(false))
+    }
+
+    /// Concatenation `self ∘ other`, defined when `self.mdc() ==
+    /// other.ldc()` (paper, Section 2: `(ABC)∘(CED) = ABCED`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints do not match.
+    pub fn concat(&self, other: &Path) -> Path {
+        assert_eq!(
+            self.mdc(),
+            other.ldc(),
+            "concatenation requires matching endpoints"
+        );
+        let mut nodes = self.nodes.clone();
+        nodes.extend_from_slice(&other.nodes[1..]);
+        Path { nodes }
+    }
+
+    /// Extends the path by one edge to `derived`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the edge `mdc -> derived` does not exist.
+    pub fn extended(&self, chg: &Chg, derived: ClassId) -> Path {
+        debug_assert!(
+            chg.edge(self.mdc(), derived).is_some(),
+            "extending along a nonexistent edge"
+        );
+        let mut nodes = self.nodes.clone();
+        nodes.push(derived);
+        Path { nodes }
+    }
+
+    /// Whether `self` is a suffix of `other` — the paper's *hides*
+    /// relation (Def. 5): `α` hides `β` iff `α` is a suffix of `β`.
+    pub fn is_suffix_of(&self, other: &Path) -> bool {
+        let n = self.nodes.len();
+        let m = other.nodes.len();
+        n <= m && other.nodes[m - n..] == self.nodes[..]
+    }
+
+    /// The *hides* relation (paper, Def. 5): `self` hides `other` iff
+    /// `self` is a suffix of `other`.
+    pub fn hides(&self, other: &Path) -> bool {
+        self.is_suffix_of(other)
+    }
+
+    /// Whether `self` is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        let n = self.nodes.len();
+        n <= other.nodes.len() && other.nodes[..n] == self.nodes[..]
+    }
+
+    /// The `≈` equivalence of Definition 3: same `fixed` part and same
+    /// `mdc`. Two paths are `≈`-equivalent iff they identify the same
+    /// subobject.
+    pub fn equivalent(&self, other: &Path, chg: &Chg) -> bool {
+        self.mdc() == other.mdc() && self.fixed(chg) == other.fixed(chg)
+    }
+
+    /// All proper prefixes, shortest first (used by tests of the *red*
+    /// definition property, paper Def. 12).
+    pub fn proper_prefixes(&self) -> impl Iterator<Item = Path> + '_ {
+        (1..self.nodes.len()).map(move |end| Path {
+            nodes: self.nodes[..end].to_vec(),
+        })
+    }
+
+    /// Renders the path with class names resolved against `chg`.
+    pub fn display<'a>(&'a self, chg: &'a Chg) -> DisplayPath<'a> {
+        DisplayPath { path: self, chg }
+    }
+}
+
+impl fmt::Debug for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Path[")?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, "→")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Helper returned by [`Path::display`]: formats the path using class
+/// names, matching the paper's `ABDFH` notation (names longer than one
+/// character are separated by `·`).
+pub struct DisplayPath<'a> {
+    path: &'a Path,
+    chg: &'a Chg,
+}
+
+impl fmt::Display for DisplayPath<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let all_short = self
+            .path
+            .nodes
+            .iter()
+            .all(|&n| self.chg.class_name(n).chars().count() == 1);
+        for (i, &n) in self.path.nodes.iter().enumerate() {
+            if i > 0 && !all_short {
+                write!(f, "·")?;
+            }
+            write!(f, "{}", self.chg.class_name(n))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::graph::{ChgBuilder, Inheritance};
+
+    #[test]
+    fn fig3_fixed_parts_match_paper() {
+        // Paper, Section 3 example: fixed(ABDFH) = ABD, fixed(ABDGH) = ABD,
+        // fixed(ACDFH) = ACD, fixed(ACDGH) = ACD.
+        let g = fixtures::fig3();
+        for (path, fixed) in [
+            ("ABDFH", "ABD"),
+            ("ABDGH", "ABD"),
+            ("ACDFH", "ACD"),
+            ("ACDGH", "ACD"),
+        ] {
+            let p = Path::parse(&g, path).unwrap();
+            assert_eq!(
+                p.fixed(&g).display(&g).to_string(),
+                fixed,
+                "fixed({path})"
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_equivalences_match_paper() {
+        // ABDFH ≈ ABDGH, ACDFH ≈ ACDGH, ABDFH !≈ ACDFH.
+        let g = fixtures::fig3();
+        let abdfh = Path::parse(&g, "ABDFH").unwrap();
+        let abdgh = Path::parse(&g, "ABDGH").unwrap();
+        let acdfh = Path::parse(&g, "ACDFH").unwrap();
+        let acdgh = Path::parse(&g, "ACDGH").unwrap();
+        assert!(abdfh.equivalent(&abdgh, &g));
+        assert!(acdfh.equivalent(&acdgh, &g));
+        assert!(!abdfh.equivalent(&acdfh, &g));
+    }
+
+    #[test]
+    fn fig3_hides_examples_match_paper() {
+        // "path GH hides ABDGH but not ABDFH"
+        let g = fixtures::fig3();
+        let gh = Path::parse(&g, "GH").unwrap();
+        let abdgh = Path::parse(&g, "ABDGH").unwrap();
+        let abdfh = Path::parse(&g, "ABDFH").unwrap();
+        assert!(gh.hides(&abdgh));
+        assert!(!gh.hides(&abdfh));
+    }
+
+    #[test]
+    fn trivial_path_properties() {
+        let g = fixtures::fig3();
+        let a = g.class_by_name("A").unwrap();
+        let p = Path::trivial(a);
+        assert!(p.is_trivial());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.ldc(), a);
+        assert_eq!(p.mdc(), a);
+        assert!(!p.is_v_path(&g));
+        assert_eq!(p.fixed(&g), p);
+        assert!(p.is_suffix_of(&p), "a path is a suffix of itself");
+        assert!(p.is_prefix_of(&p), "a path is a prefix of itself");
+    }
+
+    #[test]
+    fn invalid_paths_rejected() {
+        let g = fixtures::fig3();
+        assert_eq!(Path::new(&g, vec![]), Err(PathError::Empty));
+        // No edge H -> A (wrong direction).
+        assert!(matches!(
+            Path::parse(&g, "HA"),
+            Err(PathError::MissingEdge { .. })
+        ));
+        assert!(matches!(
+            Path::parse(&g, "AZ"),
+            Err(PathError::MissingEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn concat_matches_paper_notation() {
+        // (ABC)∘(CED) = ABCED analogue on fig3: (ABD)∘(DFH) = ABDFH.
+        let g = fixtures::fig3();
+        let abd = Path::parse(&g, "ABD").unwrap();
+        let dfh = Path::parse(&g, "DFH").unwrap();
+        let cat = abd.concat(&dfh);
+        assert_eq!(cat, Path::parse(&g, "ABDFH").unwrap());
+        assert!(abd.is_prefix_of(&cat));
+        assert!(dfh.is_suffix_of(&cat));
+    }
+
+    #[test]
+    #[should_panic(expected = "matching endpoints")]
+    fn concat_mismatched_endpoints_panics() {
+        let g = fixtures::fig3();
+        let ab = Path::parse(&g, "AB").unwrap();
+        let gh = Path::parse(&g, "GH").unwrap();
+        let _ = ab.concat(&gh);
+    }
+
+    #[test]
+    fn v_path_detection() {
+        let g = fixtures::fig3();
+        assert!(Path::parse(&g, "DFH").unwrap().is_v_path(&g));
+        assert!(!Path::parse(&g, "ABD").unwrap().is_v_path(&g));
+        assert!(!Path::parse(&g, "EFH").unwrap().is_v_path(&g));
+    }
+
+    #[test]
+    fn proper_prefixes_enumerated_shortest_first() {
+        let g = fixtures::fig3();
+        let p = Path::parse(&g, "ABD").unwrap();
+        let prefixes: Vec<String> = p
+            .proper_prefixes()
+            .map(|q| q.display(&g).to_string())
+            .collect();
+        assert_eq!(prefixes, vec!["A", "AB"]);
+    }
+
+    #[test]
+    fn extended_appends_edge() {
+        let g = fixtures::fig3();
+        let ab = Path::parse(&g, "AB").unwrap();
+        let d = g.class_by_name("D").unwrap();
+        assert_eq!(ab.extended(&g, d), Path::parse(&g, "ABD").unwrap());
+    }
+
+    #[test]
+    fn display_multichar_names_with_separator() {
+        let mut b = ChgBuilder::new();
+        let base = b.class("Base");
+        let derived = b.class("Derived");
+        b.derive(derived, base, Inheritance::NonVirtual).unwrap();
+        let g = b.finish().unwrap();
+        let p = Path::new(&g, vec![base, derived]).unwrap();
+        assert_eq!(p.display(&g).to_string(), "Base·Derived");
+        let parsed = Path::parse(&g, "Base Derived").unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn suffix_is_not_symmetric() {
+        let g = fixtures::fig3();
+        let gh = Path::parse(&g, "GH").unwrap();
+        let dgh = Path::parse(&g, "DGH").unwrap();
+        assert!(gh.is_suffix_of(&dgh));
+        assert!(!dgh.is_suffix_of(&gh));
+    }
+
+    #[test]
+    fn debug_format_nonempty() {
+        let g = fixtures::fig3();
+        let p = Path::parse(&g, "AB").unwrap();
+        let s = format!("{p:?}");
+        assert!(s.starts_with("Path["));
+    }
+}

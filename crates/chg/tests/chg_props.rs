@@ -1,0 +1,140 @@
+//! Property tests for the CHG substrate: bit sets, builder validation,
+//! closures, and the spec round-trip.
+
+use cpplookup_chg::{BitSet, ChgBuilder, Inheritance};
+use cpplookup_chg::spec::ChgSpec;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    /// BitSet agrees with a BTreeSet reference on any operation sequence.
+    #[test]
+    fn bitset_matches_btreeset(ops in proptest::collection::vec(
+        (0usize..3, 0usize..200), 0..200,
+    )) {
+        let mut bs = BitSet::new(200);
+        let mut reference: BTreeSet<usize> = BTreeSet::new();
+        for (op, idx) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(bs.insert(idx), reference.insert(idx));
+                }
+                1 => {
+                    prop_assert_eq!(bs.remove(idx), reference.remove(&idx));
+                }
+                _ => {
+                    prop_assert_eq!(bs.contains(idx), reference.contains(&idx));
+                }
+            }
+        }
+        prop_assert_eq!(bs.len(), reference.len());
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(),
+                        reference.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Union is idempotent, monotone, and matches the set union.
+    #[test]
+    fn bitset_union_laws(
+        a in proptest::collection::btree_set(0usize..150, 0..60),
+        b in proptest::collection::btree_set(0usize..150, 0..60),
+    ) {
+        let mut ba = BitSet::new(150);
+        let mut bb = BitSet::new(150);
+        for &x in &a { ba.insert(x); }
+        for &x in &b { bb.insert(x); }
+        let mut u = ba.clone();
+        u.union_with(&bb);
+        let reference: BTreeSet<usize> = a.union(&b).copied().collect();
+        prop_assert_eq!(u.iter().collect::<Vec<_>>(),
+                        reference.iter().copied().collect::<Vec<_>>());
+        prop_assert!(!u.clone().union_with(&bb), "idempotent");
+        prop_assert!(ba.is_subset_of(&u));
+        prop_assert!(bb.is_subset_of(&u));
+        prop_assert_eq!(ba.intersects(&bb), a.intersection(&b).next().is_some());
+    }
+
+    /// Random edge soups either build a valid DAG or report a precise
+    /// builder error; when they build, the closures agree with a naive
+    /// reachability computation.
+    #[test]
+    fn closures_match_naive_reachability(edges in proptest::collection::vec(
+        (0usize..12, 0usize..12, any::<bool>()), 0..40,
+    )) {
+        let mut b = ChgBuilder::new();
+        let ids: Vec<_> = (0..12).map(|i| b.class(&format!("K{i}"))).collect();
+        let mut accepted = Vec::new();
+        for (from, to, virt) in edges {
+            // Orient edges low -> high so the graph is acyclic.
+            if from == to { continue; }
+            let (lo, hi) = (from.min(to), from.max(to));
+            let inh = if virt { Inheritance::Virtual } else { Inheritance::NonVirtual };
+            if b.derive(ids[hi], ids[lo], inh).is_ok() {
+                accepted.push((lo, hi, virt));
+            }
+        }
+        let g = b.finish().expect("low->high edges cannot form a cycle");
+
+        // Naive transitive reachability over the accepted edges.
+        let mut reach = [[false; 12]; 12];
+        for &(lo, hi, _) in &accepted {
+            reach[hi][lo] = true;
+        }
+        for _ in 0..12 {
+            for d in 0..12 {
+                for mid in 0..12 {
+                    if reach[d][mid] {
+                        let via_mid = reach[mid];
+                        for (s, &r) in via_mid.iter().enumerate() {
+                            if r {
+                                reach[d][s] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for d in 0..12 {
+            for s in 0..12 {
+                prop_assert_eq!(
+                    g.is_base_of(ids[s], ids[d]),
+                    reach[d][s],
+                    "base closure mismatch {} -> {}", s, d
+                );
+            }
+        }
+        // Virtual-base closure: v is a virtual base of d iff some accepted
+        // virtual edge v -> w has w == d or w a base of d.
+        for d in 0..12 {
+            for v in 0..12 {
+                let expected = accepted.iter().any(|&(lo, hi, virt)| {
+                    virt && lo == v && (hi == d || reach[d][hi])
+                });
+                prop_assert_eq!(g.is_virtual_base_of(ids[v], ids[d]), expected);
+            }
+        }
+    }
+
+    /// Spec round-trips preserve the graph exactly.
+    #[test]
+    fn spec_roundtrip(edges in proptest::collection::vec(
+        (0usize..10, 0usize..10, any::<bool>()), 0..30,
+    ), members in proptest::collection::vec((0usize..10, 0usize..4), 0..20)) {
+        let mut b = ChgBuilder::new();
+        let ids: Vec<_> = (0..10).map(|i| b.class(&format!("K{i}"))).collect();
+        for (from, to, virt) in edges {
+            if from == to { continue; }
+            let (lo, hi) = (from.min(to), from.max(to));
+            let inh = if virt { Inheritance::Virtual } else { Inheritance::NonVirtual };
+            let _ = b.derive(ids[hi], ids[lo], inh);
+        }
+        for (c, m) in members {
+            let _ = b.member_with(ids[c], &format!("m{m}"), Default::default());
+        }
+        let g = b.finish().unwrap();
+        let spec = ChgSpec::from_chg(&g);
+        let rebuilt = spec.build().unwrap();
+        prop_assert_eq!(ChgSpec::from_chg(&rebuilt), spec);
+        prop_assert_eq!(rebuilt.class_count(), g.class_count());
+        prop_assert_eq!(rebuilt.edge_count(), g.edge_count());
+    }
+}

@@ -1,0 +1,351 @@
+//! The path abstractions of Section 4 of the paper: `leastVirtual`, the
+//! `∘` extension operator (Definition 15), and the constant-time dominance
+//! test of Lemma 4.
+//!
+//! The efficiency of the algorithm rests on not propagating paths at all:
+//!
+//! * a **blue** (ambiguous) definition `β` is abstracted to
+//!   `leastVirtual(β) ∈ N ∪ {Ω}`,
+//! * a **red** (unambiguous) definition `α` is abstracted to the pair
+//!   `(ldc(α), leastVirtual(α))`,
+//!
+//! and both abstractions can be pushed through an inheritance edge with
+//! the `∘` operator without consulting the underlying path.
+
+use std::fmt;
+
+use cpplookup_chg::{Chg, ClassId, Inheritance, MemberId, Path};
+
+/// `leastVirtual(β)` (Definition 14): `mdc(fixed(β))` when `β` contains a
+/// virtual edge, and `Ω` otherwise.
+///
+/// `Ω` is the paper's fresh symbol meaning "not a v-path"; the whole
+/// domain is `N ∪ {Ω}` (written `N_Ω`).
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::{fixtures, Path};
+/// use cpplookup_core::LeastVirtual;
+///
+/// let g = fixtures::fig3();
+/// let abdfh = Path::parse(&g, "ABDFH")?;
+/// let efh = Path::parse(&g, "EFH")?;
+/// let d = g.class_by_name("D").unwrap();
+/// assert_eq!(LeastVirtual::of_path(&g, &abdfh), LeastVirtual::Class(d));
+/// assert_eq!(LeastVirtual::of_path(&g, &efh), LeastVirtual::Omega);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LeastVirtual {
+    /// The path contains no virtual edge.
+    Omega,
+    /// The path's fixed part ends at this class (the first virtual edge
+    /// leaves from it).
+    Class(ClassId),
+}
+
+impl LeastVirtual {
+    /// Computes `leastVirtual` of a concrete path (used by tests and the
+    /// naive baseline; the algorithm itself never touches paths).
+    pub fn of_path(chg: &Chg, path: &Path) -> Self {
+        if path.is_v_path(chg) {
+            LeastVirtual::Class(path.fixed(chg).mdc())
+        } else {
+            LeastVirtual::Omega
+        }
+    }
+
+    /// The `∘` operator (Definition 15): extends the abstraction through
+    /// the edge `base -> derived` with inheritance kind `inh`:
+    ///
+    /// ```text
+    /// X ∘ (B→D) = X           if X ≠ Ω
+    ///           = B           if B→D is virtual
+    ///           = Ω           otherwise
+    /// ```
+    ///
+    /// satisfying `leastVirtual(β ∘ (B→D)) = leastVirtual(β) ∘ (B→D)`.
+    pub fn extend(self, base: ClassId, inh: Inheritance) -> Self {
+        match self {
+            LeastVirtual::Class(_) => self,
+            LeastVirtual::Omega => {
+                if inh.is_virtual() {
+                    LeastVirtual::Class(base)
+                } else {
+                    LeastVirtual::Omega
+                }
+            }
+        }
+    }
+
+    /// Whether this is `Ω`.
+    pub fn is_omega(self) -> bool {
+        matches!(self, LeastVirtual::Omega)
+    }
+
+    /// Renders the abstraction with class names (`Ω` or the class name).
+    pub fn display<'a>(&'a self, chg: &'a Chg) -> DisplayLv<'a> {
+        DisplayLv { lv: self, chg }
+    }
+}
+
+impl fmt::Debug for LeastVirtual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeastVirtual::Omega => write!(f, "Ω"),
+            LeastVirtual::Class(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Helper returned by [`LeastVirtual::display`].
+pub struct DisplayLv<'a> {
+    lv: &'a LeastVirtual,
+    chg: &'a Chg,
+}
+
+impl fmt::Display for DisplayLv<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lv {
+            LeastVirtual::Omega => write!(f, "Ω"),
+            LeastVirtual::Class(c) => write!(f, "{}", self.chg.class_name(*c)),
+        }
+    }
+}
+
+/// The red-definition abstraction `(ldc(α), leastVirtual(α))`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RedAbs {
+    /// The class that declares the member — `ldc(α)`.
+    pub ldc: ClassId,
+    /// `leastVirtual(α)`.
+    pub lv: LeastVirtual,
+}
+
+impl RedAbs {
+    /// The abstraction of a *generated* definition at `class`: the trivial
+    /// path, `(class, Ω)`.
+    pub fn generated(class: ClassId) -> Self {
+        RedAbs {
+            ldc: class,
+            lv: LeastVirtual::Omega,
+        }
+    }
+
+    /// Extends the abstraction through an edge (the red `∘`): the `ldc`
+    /// component is unchanged, `lv` is extended.
+    pub fn extend(self, base: ClassId, inh: Inheritance) -> Self {
+        RedAbs {
+            ldc: self.ldc,
+            lv: self.lv.extend(base, inh),
+        }
+    }
+}
+
+/// The dominance test of Lemma 4, extended with the static-member rule of
+/// Section 6: a red definition `a` dominates a definition with abstraction
+/// `b` iff
+///
+/// 1. `b.lv` is a virtual base of `a.ldc`, or
+/// 2. `a.lv == b.lv ≠ Ω`, or
+/// 3. `a.ldc == b.ldc` and `m` is a static member of `a.ldc`
+///    (only with [`StaticRule::Cpp`]).
+///
+/// The left argument **must** abstract a red definition — the lemma's
+/// hypothesis. Every comparison the algorithm performs satisfies it.
+pub fn red_dominates(
+    chg: &Chg,
+    m: MemberId,
+    a: RedAbs,
+    b: RedAbs,
+    statics: StaticRule,
+) -> bool {
+    if let LeastVirtual::Class(v2) = b.lv {
+        if chg.is_virtual_base_of(v2, a.ldc) {
+            return true;
+        }
+    }
+    if a.lv == b.lv && !a.lv.is_omega() {
+        return true;
+    }
+    statics == StaticRule::Cpp
+        && a.ldc == b.ldc
+        && chg
+            .member_decl(a.ldc, m)
+            .is_some_and(|d| d.kind.is_static_for_lookup())
+}
+
+/// Dominance of a red candidate over a *blue* abstraction, of which only
+/// `leastVirtual` survives (Figure 8, lines 37–40): conditions 1–2 of
+/// [`red_dominates`] restricted to what a bare `N_Ω` value permits.
+pub fn red_dominates_blue(chg: &Chg, a: RedAbs, b: LeastVirtual) -> bool {
+    match b {
+        LeastVirtual::Class(v) => {
+            chg.is_virtual_base_of(v, a.ldc) || LeastVirtual::Class(v) == a.lv
+        }
+        LeastVirtual::Omega => false,
+    }
+}
+
+/// Whether the static-member rule of Definition 17 participates in
+/// dominance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum StaticRule {
+    /// Full C++ semantics (Definition 17): multiple maximal definitions of
+    /// the *same* static member do not make a lookup ambiguous.
+    #[default]
+    Cpp,
+    /// Pure Definition 9 semantics: staticness is ignored. Useful for
+    /// comparing against the plain Rossie–Friedman `lookup`.
+    Ignore,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+
+    #[test]
+    fn least_virtual_of_paper_paths() {
+        let g = fixtures::fig3();
+        let d = g.class_by_name("D").unwrap();
+        for (text, expect) in [
+            ("ABDFH", LeastVirtual::Class(d)),
+            ("ABDGH", LeastVirtual::Class(d)),
+            ("DGH", LeastVirtual::Class(d)),
+            ("GH", LeastVirtual::Omega),
+            ("EFH", LeastVirtual::Omega),
+            ("ABD", LeastVirtual::Omega),
+        ] {
+            let p = Path::parse(&g, text).unwrap();
+            assert_eq!(LeastVirtual::of_path(&g, &p), expect, "leastVirtual({text})");
+        }
+    }
+
+    #[test]
+    fn extend_matches_definition15() {
+        let g = fixtures::fig3();
+        let d = g.class_by_name("D").unwrap();
+        let f = g.class_by_name("F").unwrap();
+        // X ≠ Ω is unchanged.
+        assert_eq!(
+            LeastVirtual::Class(d).extend(f, Inheritance::NonVirtual),
+            LeastVirtual::Class(d)
+        );
+        assert_eq!(
+            LeastVirtual::Class(d).extend(f, Inheritance::Virtual),
+            LeastVirtual::Class(d)
+        );
+        // Ω through a virtual edge becomes the edge's base.
+        assert_eq!(
+            LeastVirtual::Omega.extend(d, Inheritance::Virtual),
+            LeastVirtual::Class(d)
+        );
+        // Ω through a non-virtual edge stays Ω.
+        assert_eq!(
+            LeastVirtual::Omega.extend(d, Inheritance::NonVirtual),
+            LeastVirtual::Omega
+        );
+        let _ = g;
+    }
+
+    #[test]
+    fn extend_commutes_with_of_path() {
+        // leastVirtual(β·(B→D)) = leastVirtual(β) ∘ (B→D) on every edge
+        // extension available in fig3.
+        let g = fixtures::fig3();
+        for text in ["ABD", "DF", "DG", "ABDF", "EF", "ACDG"] {
+            let p = Path::parse(&g, text).unwrap();
+            for &derived in g.direct_derived(p.mdc()) {
+                let inh = g.edge(p.mdc(), derived).unwrap();
+                let extended = p.extended(&g, derived);
+                assert_eq!(
+                    LeastVirtual::of_path(&g, &extended),
+                    LeastVirtual::of_path(&g, &p).extend(p.mdc(), inh),
+                    "path {text} extended to {}",
+                    g.class_name(derived)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_examples_fig3() {
+        let g = fixtures::fig3();
+        let gh = RedAbs::generated(g.class_by_name("G").unwrap());
+        let foo = g.member_by_name("foo").unwrap();
+        let d = g.class_by_name("D").unwrap();
+        let a = g.class_by_name("A").unwrap();
+        // (G,Ω) dominates (A,D): D is a virtual base of G.
+        let abdxh = RedAbs {
+            ldc: a,
+            lv: LeastVirtual::Class(d),
+        };
+        assert!(red_dominates(&g, foo, gh, abdxh, StaticRule::Cpp));
+        // The converse fails: is (A,D) dominating (G,Ω)? Ω is not a
+        // virtual base, lvs differ, ldcs differ.
+        assert!(!red_dominates(&g, foo, abdxh, gh, StaticRule::Cpp));
+    }
+
+    #[test]
+    fn rule2_same_least_virtual() {
+        let g = fixtures::fig3();
+        let d = g.class_by_name("D").unwrap();
+        let a = g.class_by_name("A").unwrap();
+        let e = g.class_by_name("E").unwrap();
+        let foo = g.member_by_name("foo").unwrap();
+        let x = RedAbs { ldc: a, lv: LeastVirtual::Class(d) };
+        let y = RedAbs { ldc: e, lv: LeastVirtual::Class(d) };
+        assert!(red_dominates(&g, foo, x, y, StaticRule::Cpp));
+        assert!(red_dominates(&g, foo, y, x, StaticRule::Cpp));
+        // But Ω == Ω never triggers rule 2.
+        let xo = RedAbs { ldc: a, lv: LeastVirtual::Omega };
+        let yo = RedAbs { ldc: e, lv: LeastVirtual::Omega };
+        assert!(!red_dominates(&g, foo, xo, yo, StaticRule::Cpp));
+    }
+
+    #[test]
+    fn rule3_static_members() {
+        let g = fixtures::static_diamond();
+        let a = g.class_by_name("A").unwrap();
+        let s = g.member_by_name("s").unwrap();
+        let d = g.member_by_name("d").unwrap();
+        let x = RedAbs { ldc: a, lv: LeastVirtual::Omega };
+        // Static member: same-ldc definitions dominate each other.
+        assert!(red_dominates(&g, s, x, x, StaticRule::Cpp));
+        // But not when the rule is disabled or the member is non-static.
+        assert!(!red_dominates(&g, s, x, x, StaticRule::Ignore));
+        assert!(!red_dominates(&g, d, x, x, StaticRule::Cpp));
+    }
+
+    #[test]
+    fn blue_dominance() {
+        let g = fixtures::fig3();
+        let gh = RedAbs::generated(g.class_by_name("G").unwrap());
+        let d = g.class_by_name("D").unwrap();
+        assert!(red_dominates_blue(&g, gh, LeastVirtual::Class(d)));
+        assert!(!red_dominates_blue(&g, gh, LeastVirtual::Omega));
+        // Equality with the candidate's own non-Ω lv also counts.
+        let red_d = RedAbs { ldc: g.class_by_name("E").unwrap(), lv: LeastVirtual::Class(d) };
+        assert!(red_dominates_blue(&g, red_d, LeastVirtual::Class(d)));
+    }
+
+    #[test]
+    fn display_forms() {
+        let g = fixtures::fig3();
+        let d = g.class_by_name("D").unwrap();
+        assert_eq!(LeastVirtual::Omega.display(&g).to_string(), "Ω");
+        assert_eq!(LeastVirtual::Class(d).display(&g).to_string(), "D");
+        assert_eq!(format!("{:?}", LeastVirtual::Omega), "Ω");
+    }
+
+    #[test]
+    fn generated_is_omega() {
+        let g = fixtures::fig3();
+        let a = g.class_by_name("A").unwrap();
+        let r = RedAbs::generated(a);
+        assert_eq!(r.ldc, a);
+        assert!(r.lv.is_omega());
+    }
+}

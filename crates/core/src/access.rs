@@ -1,0 +1,649 @@
+//! Access rights, applied *after* a successful lookup.
+//!
+//! Section 6 of the paper: *"The access rights do not affect the member
+//! lookup process in any way; they are applied only after a successful
+//! member lookup to determine if that particular member access is
+//! legal,"* with the details deferred to the companion technical report
+//! \[8\]. This module implements the standard C++ composition of member
+//! access with inheritance access along the *resolved definition path*:
+//!
+//! * a member starts with its declared access in `ldc`;
+//! * crossing an edge `X → Y`, a `private` member of `X` becomes
+//!   inaccessible in `Y`, and otherwise its access is capped by the
+//!   edge's inheritance access (`class D : private B` makes `B`'s public
+//!   members private in `D`);
+//! * the final effective access in `mdc` is checked against the access
+//!   context.
+//!
+//! Simplifications relative to full C++ (documented substitutions):
+//! `friend` is not modelled, and for members reached through several
+//! paths of one `≈`-class we use the recovered representative path rather
+//! than the most permissive path.
+
+use std::error::Error;
+use std::fmt;
+
+use cpplookup_chg::{Access, Chg, ClassId, MemberId, Path};
+
+use crate::table::LookupTable;
+
+/// Where a member access occurs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessContext {
+    /// Outside any member function (e.g. `obj.m` at file scope).
+    External,
+    /// Inside a member function of the given class.
+    Inside(ClassId),
+}
+
+/// Why an access check failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AccessError {
+    /// Lookup found no such member.
+    NotFound,
+    /// Lookup was ambiguous; access rights are only checked after a
+    /// *successful* lookup.
+    Ambiguous,
+    /// The member is inaccessible in the given context. Carries the
+    /// effective access at the accessed class, if the member is visible
+    /// there at all.
+    Inaccessible {
+        /// Effective access at the accessed class (`None` if a private
+        /// cut along the path removed it entirely).
+        effective: Option<Access>,
+    },
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::NotFound => write!(f, "no such member"),
+            AccessError::Ambiguous => write!(f, "member lookup is ambiguous"),
+            AccessError::Inaccessible { effective: Some(a) } => {
+                write!(f, "member is {a} in this context")
+            }
+            AccessError::Inaccessible { effective: None } => {
+                write!(f, "member is private in an intermediate base")
+            }
+        }
+    }
+}
+
+impl Error for AccessError {}
+
+/// Computes the effective access of member `m` (declared in
+/// `path.ldc()`) at `path.mdc()`, walking the inheritance edges of
+/// `path`.
+///
+/// Returns `None` when the member is cut off by `private` visibility in
+/// an intermediate class, or when `path.ldc()` does not declare `m`.
+pub fn effective_access(chg: &Chg, path: &Path, m: MemberId) -> Option<Access> {
+    let mut access = chg.member_decl(path.ldc(), m)?.access;
+    for w in path.nodes().windows(2) {
+        if access == Access::Private {
+            // Private members of a base are inherited but inaccessible in
+            // the derived class.
+            return None;
+        }
+        let edge = chg
+            .edge_spec(w[0], w[1])
+            .expect("paths follow real edges");
+        access = access.min(edge.access);
+    }
+    Some(access)
+}
+
+/// Checks whether the member `m` of class `c`, as resolved by `table`,
+/// may be accessed in `context`. Returns the effective access on
+/// success.
+///
+/// The rules, applied to the effective access `a` at `c`:
+///
+/// * [`AccessContext::Inside`] the declaring class itself: always allowed
+///   (even for private members);
+/// * [`AccessContext::Inside`] `c` or a class derived from `c`: requires
+///   `a >= protected`;
+/// * anywhere else (including [`AccessContext::External`]): requires
+///   `a == public`.
+///
+/// # Errors
+///
+/// [`AccessError::NotFound`] / [`AccessError::Ambiguous`] if the lookup
+/// did not succeed, [`AccessError::Inaccessible`] if it did but the
+/// context may not touch the member.
+pub fn check_access(
+    chg: &Chg,
+    table: &LookupTable,
+    c: ClassId,
+    m: MemberId,
+    context: AccessContext,
+) -> Result<Access, AccessError> {
+    let path = match table.entry(c, m) {
+        None => return Err(AccessError::NotFound),
+        Some(e) if !e.is_red() => return Err(AccessError::Ambiguous),
+        Some(_) => table
+            .resolve_path(chg, c, m)
+            .expect("red entries always recover a path"),
+    };
+    if let AccessContext::Inside(k) = context {
+        if k == path.ldc() {
+            // Inside the declaring class: unrestricted.
+            return Ok(chg
+                .member_decl(path.ldc(), m)
+                .expect("ldc declares the member")
+                .access);
+        }
+    }
+    let effective = effective_access(chg, &path, m);
+    let allowed = match (effective, context) {
+        (None, _) => false,
+        (Some(a), AccessContext::External) => a == Access::Public,
+        (Some(a), AccessContext::Inside(k)) => {
+            if k == c {
+                // The member is part of c's own scope, whatever access it
+                // ended up with (privately inherited members are private
+                // members of c).
+                true
+            } else if chg.is_base_of(c, k) {
+                a >= Access::Protected
+            } else {
+                a == Access::Public
+            }
+        }
+    };
+    if allowed {
+        Ok(effective.expect("allowed implies visible"))
+    } else {
+        Err(AccessError::Inaccessible { effective })
+    }
+}
+
+/// Precomputed effective access for every unambiguous table entry — the
+/// "extend the lookup algorithm to compute access rights" idea the paper
+/// attributes to its companion technical report \[8\].
+///
+/// Instead of re-walking the recovered definition path on every access
+/// check (`O(depth)` per query), the effective access is propagated along
+/// the same parent pointers once, in one pass over the table: a generated
+/// entry starts at its declared access; an inherited entry composes its
+/// base's effective access with the inheritance edge. Queries become
+/// `O(1)`.
+#[derive(Clone, Debug)]
+pub struct AccessTable {
+    /// Per class: member -> effective access (`None` = cut off by a
+    /// `private` member in an intermediate base). Only unambiguous
+    /// entries appear.
+    effective: Vec<std::collections::HashMap<MemberId, Option<Access>>>,
+}
+
+impl AccessTable {
+    /// Computes effective accesses for every red entry of `table`.
+    pub fn compute(chg: &Chg, table: &LookupTable) -> Self {
+        use crate::result::Entry;
+        let mut effective: Vec<std::collections::HashMap<MemberId, Option<Access>>> =
+            vec![std::collections::HashMap::new(); chg.class_count()];
+        for &c in chg.topo_order() {
+            let members: Vec<MemberId> = table.members_of(c).collect();
+            for m in members {
+                let Some(Entry::Red { via, .. }) = table.entry(c, m) else {
+                    continue;
+                };
+                let value = match via {
+                    None => Some(
+                        chg.member_decl(c, m)
+                            .expect("generated entries are declared here")
+                            .access,
+                    ),
+                    Some(x) => {
+                        let inherited = effective[x.index()]
+                            .get(&m)
+                            .copied()
+                            .expect("bases processed first");
+                        let edge = chg.edge_spec(*x, c).expect("via is a direct base");
+                        match inherited {
+                            None => None,
+                            // Private members of a base are inaccessible
+                            // in the derived class.
+                            Some(Access::Private) => None,
+                            Some(a) => Some(a.min(edge.access)),
+                        }
+                    }
+                };
+                effective[c.index()].insert(m, value);
+            }
+        }
+        AccessTable { effective }
+    }
+
+    /// The effective access of the winning definition of `(c, m)`:
+    /// `None` if the entry is missing or ambiguous, `Some(None)` if the
+    /// member is cut off by an intermediate `private`, `Some(Some(a))`
+    /// otherwise.
+    pub fn effective(&self, c: ClassId, m: MemberId) -> Option<Option<Access>> {
+        self.effective[c.index()].get(&m).copied()
+    }
+}
+
+/// [`check_access`], answered from a precomputed [`AccessTable`] in
+/// `O(1)` — same verdicts (asserted by tests), none of the per-query
+/// path walking.
+///
+/// # Errors
+///
+/// As [`check_access`].
+pub fn check_access_fast(
+    chg: &Chg,
+    table: &LookupTable,
+    access_table: &AccessTable,
+    c: ClassId,
+    m: MemberId,
+    context: AccessContext,
+) -> Result<Access, AccessError> {
+    let entry = match table.entry(c, m) {
+        None => return Err(AccessError::NotFound),
+        Some(e) if !e.is_red() => return Err(AccessError::Ambiguous),
+        Some(e) => e,
+    };
+    if let AccessContext::Inside(k) = context {
+        let ldc = entry.red_abs().expect("red entry").ldc;
+        if k == ldc {
+            return Ok(chg
+                .member_decl(ldc, m)
+                .expect("ldc declares the member")
+                .access);
+        }
+    }
+    let effective = access_table
+        .effective(c, m)
+        .expect("red entries have an access record");
+    let allowed = match (effective, context) {
+        (None, _) => false,
+        (Some(a), AccessContext::External) => a == Access::Public,
+        (Some(a), AccessContext::Inside(k)) => {
+            if k == c {
+                true
+            } else if chg.is_base_of(c, k) {
+                a >= Access::Protected
+            } else {
+                a == Access::Public
+            }
+        }
+    };
+    if allowed {
+        Ok(effective.expect("allowed implies visible"))
+    } else {
+        Err(AccessError::Inaccessible { effective })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::{ChgBuilder, Inheritance, MemberDecl, MemberKind};
+
+    /// `class B { public: int pub_m; protected: int prot_m; private: int priv_m; };`
+    /// `class D : <edge_access> B {};`
+    fn hierarchy(edge_access: Access) -> (Chg, ClassId, ClassId) {
+        let mut b = ChgBuilder::new();
+        let base = b.class("B");
+        let derived = b.class("D");
+        b.member_with(base, "pub_m", MemberDecl::with_access(MemberKind::Data, Access::Public))
+            .unwrap();
+        b.member_with(
+            base,
+            "prot_m",
+            MemberDecl::with_access(MemberKind::Data, Access::Protected),
+        )
+        .unwrap();
+        b.member_with(
+            base,
+            "priv_m",
+            MemberDecl::with_access(MemberKind::Data, Access::Private),
+        )
+        .unwrap();
+        b.derive_with_access(derived, base, Inheritance::NonVirtual, edge_access)
+            .unwrap();
+        let g = b.finish().unwrap();
+        (g, base, derived)
+    }
+
+    #[test]
+    fn public_inheritance_preserves_access() {
+        let (g, _base, derived) = hierarchy(Access::Public);
+        let t = LookupTable::build(&g);
+        let m = |n: &str| g.member_by_name(n).unwrap();
+        assert_eq!(
+            check_access(&g, &t, derived, m("pub_m"), AccessContext::External),
+            Ok(Access::Public)
+        );
+        assert!(matches!(
+            check_access(&g, &t, derived, m("prot_m"), AccessContext::External),
+            Err(AccessError::Inaccessible { effective: Some(Access::Protected) })
+        ));
+        assert!(matches!(
+            check_access(&g, &t, derived, m("priv_m"), AccessContext::External),
+            Err(AccessError::Inaccessible { effective: None })
+        ));
+    }
+
+    #[test]
+    fn private_inheritance_hides_everything_externally() {
+        let (g, _base, derived) = hierarchy(Access::Private);
+        let t = LookupTable::build(&g);
+        let m = g.member_by_name("pub_m").unwrap();
+        assert!(matches!(
+            check_access(&g, &t, derived, m, AccessContext::External),
+            Err(AccessError::Inaccessible { effective: Some(Access::Private) })
+        ));
+        // But inside D itself the (privately inherited) member is usable.
+        assert_eq!(
+            check_access(&g, &t, derived, m, AccessContext::Inside(derived)),
+            Ok(Access::Private)
+        );
+    }
+
+    #[test]
+    fn protected_members_inside_derived() {
+        let (g, _base, derived) = hierarchy(Access::Public);
+        let t = LookupTable::build(&g);
+        let prot = g.member_by_name("prot_m").unwrap();
+        assert_eq!(
+            check_access(&g, &t, derived, prot, AccessContext::Inside(derived)),
+            Ok(Access::Protected)
+        );
+    }
+
+    #[test]
+    fn declaring_class_sees_its_own_privates() {
+        let (g, base, _derived) = hierarchy(Access::Public);
+        let t = LookupTable::build(&g);
+        let priv_m = g.member_by_name("priv_m").unwrap();
+        assert_eq!(
+            check_access(&g, &t, base, priv_m, AccessContext::Inside(base)),
+            Ok(Access::Private)
+        );
+        assert!(check_access(&g, &t, base, priv_m, AccessContext::External).is_err());
+    }
+
+    #[test]
+    fn ambiguous_lookup_reports_ambiguous() {
+        let g = cpplookup_chg::fixtures::fig1();
+        let t = LookupTable::build(&g);
+        let e = g.class_by_name("E").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        assert_eq!(
+            check_access(&g, &t, e, m, AccessContext::External),
+            Err(AccessError::Ambiguous)
+        );
+    }
+
+    #[test]
+    fn missing_member_reports_not_found() {
+        let mut b = ChgBuilder::new();
+        let owner = b.class("Owner");
+        let stranger = b.class("Stranger");
+        b.member(owner, "m");
+        let g = b.finish().unwrap();
+        let m = g.member_by_name("m").unwrap();
+        let t = LookupTable::build(&g);
+        assert_eq!(
+            check_access(&g, &t, stranger, m, AccessContext::External),
+            Err(AccessError::NotFound)
+        );
+        assert!(check_access(&g, &t, owner, m, AccessContext::External).is_ok());
+    }
+
+    #[test]
+    fn effective_access_composes_min() {
+        // B -(protected)-> M -(public)-> D: public member ends protected.
+        let mut b = ChgBuilder::new();
+        let base = b.class("B");
+        let mid = b.class("M");
+        let der = b.class("D");
+        b.member(base, "m");
+        b.derive_with_access(mid, base, Inheritance::NonVirtual, Access::Protected)
+            .unwrap();
+        b.derive_with_access(der, mid, Inheritance::NonVirtual, Access::Public)
+            .unwrap();
+        let g = b.finish().unwrap();
+        let m = g.member_by_name("m").unwrap();
+        let p = Path::new(&g, vec![base, mid, der]).unwrap();
+        assert_eq!(effective_access(&g, &p, m), Some(Access::Protected));
+        let t = LookupTable::build(&g);
+        assert!(check_access(&g, &t, der, m, AccessContext::External).is_err());
+        assert_eq!(
+            check_access(&g, &t, der, m, AccessContext::Inside(der)),
+            Ok(Access::Protected)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(AccessError::NotFound.to_string(), "no such member");
+        assert!(AccessError::Ambiguous.to_string().contains("ambiguous"));
+        assert!(AccessError::Inaccessible { effective: None }
+            .to_string()
+            .contains("intermediate"));
+    }
+}
+
+#[cfg(test)]
+mod access_table_tests {
+    use super::*;
+    use cpplookup_chg::{fixtures, ChgBuilder, Inheritance, MemberDecl, MemberKind};
+
+    /// The precomputed table must agree with the path-walking spec on
+    /// every red entry and every context.
+    fn assert_equivalent(chg: &Chg) {
+        let table = LookupTable::build(chg);
+        let at = AccessTable::compute(chg, &table);
+        for c in chg.classes() {
+            for m in chg.member_ids() {
+                // Effective access agrees with the recovered path.
+                if let Some(path) = table.resolve_path(chg, c, m) {
+                    assert_eq!(
+                        at.effective(c, m),
+                        Some(effective_access(chg, &path, m)),
+                        "effective mismatch at ({}, {})",
+                        chg.class_name(c),
+                        chg.member_name(m)
+                    );
+                }
+                // Verdicts agree in every context.
+                let mut contexts = vec![AccessContext::External];
+                contexts.extend(chg.classes().map(AccessContext::Inside));
+                for ctx in contexts {
+                    assert_eq!(
+                        check_access_fast(chg, &table, &at, c, m, ctx),
+                        check_access(chg, &table, c, m, ctx),
+                        "verdict mismatch at ({}, {}) ctx {ctx:?}",
+                        chg.class_name(c),
+                        chg.member_name(m)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_spec_on_fixtures() {
+        for g in [
+            fixtures::fig1(),
+            fixtures::fig2(),
+            fixtures::fig3(),
+            fixtures::fig9(),
+            fixtures::static_diamond(),
+            fixtures::static_override_mix(),
+            fixtures::dominance_diamond(),
+        ] {
+            assert_equivalent(&g);
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_spec_with_restricted_access() {
+        // Mixed access members and edges.
+        let mut b = ChgBuilder::new();
+        let base = b.class("Base");
+        let mid = b.class("Mid");
+        let der = b.class("Der");
+        b.member_with(base, "pub_m", MemberDecl::with_access(MemberKind::Data, Access::Public))
+            .unwrap();
+        b.member_with(
+            base,
+            "prot_m",
+            MemberDecl::with_access(MemberKind::Data, Access::Protected),
+        )
+        .unwrap();
+        b.member_with(
+            base,
+            "priv_m",
+            MemberDecl::with_access(MemberKind::Data, Access::Private),
+        )
+        .unwrap();
+        b.derive_with_access(mid, base, Inheritance::Virtual, Access::Protected)
+            .unwrap();
+        b.derive_with_access(der, mid, Inheritance::NonVirtual, Access::Private)
+            .unwrap();
+        let g = b.finish().unwrap();
+        assert_equivalent(&g);
+        let table = LookupTable::build(&g);
+        let at = AccessTable::compute(&g, &table);
+        let pub_m = g.member_by_name("pub_m").unwrap();
+        // public member, protected then private inheritance: private at Der.
+        assert_eq!(at.effective(der, pub_m), Some(Some(Access::Private)));
+        let priv_m = g.member_by_name("priv_m").unwrap();
+        assert_eq!(at.effective(mid, priv_m), Some(None), "cut at the first edge");
+    }
+}
+
+/// The *most permissive* effective access over **all** paths of the
+/// winning `≈`-equivalence class — the C++ rule ([class.paths]) that
+/// access is granted if any inheritance path grants it, where
+/// [`effective_access`] considers only the recovered representative.
+///
+/// Returns `None` when the lookup is missing/ambiguous; `Some(None)` when
+/// every path is cut off by an intermediate `private`; `Some(Some(a))`
+/// with the best access otherwise. At most `budget` paths are examined
+/// (the class can be exponential); when it is exceeded the best access
+/// seen so far is returned — a sound under-approximation.
+pub fn most_permissive_access(
+    chg: &Chg,
+    table: &LookupTable,
+    c: ClassId,
+    m: MemberId,
+    budget: usize,
+) -> Option<Option<Access>> {
+    let representative = table.resolve_path(chg, c, m)?;
+    let fixed = representative.fixed(chg);
+    let anchor = fixed.mdc();
+    let mut best: Option<Access> = None;
+    let mut seen = 0usize;
+    let mut consider = |path_nodes: &[ClassId]| {
+        let path = Path::new(chg, path_nodes.to_vec()).expect("real edges");
+        let eff = effective_access(chg, &path, m);
+        best = match (best, eff) {
+            (None, e) => e,
+            (b, None) => b,
+            (Some(a), Some(b2)) => Some(a.max(b2)),
+        };
+    };
+    if anchor == c {
+        consider(fixed.nodes());
+        return Some(best);
+    }
+    // Enumerate suffixes anchor -> c whose first edge is virtual.
+    let mut stack: Vec<Vec<ClassId>> = vec![vec![anchor]];
+    while let Some(suffix) = stack.pop() {
+        if seen >= budget {
+            break;
+        }
+        let last = *suffix.last().expect("nonempty");
+        if last == c && suffix.len() > 1 {
+            let mut nodes = fixed.nodes().to_vec();
+            nodes.extend_from_slice(&suffix[1..]);
+            consider(&nodes);
+            seen += 1;
+            continue;
+        }
+        for &next in chg.direct_derived(last) {
+            let inh = chg.edge(last, next).expect("derived adjacency");
+            if suffix.len() == 1 && !inh.is_virtual() {
+                continue;
+            }
+            if next != c && !chg.is_base_of(next, c) {
+                continue;
+            }
+            let mut longer = suffix.clone();
+            longer.push(next);
+            stack.push(longer);
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod most_permissive_tests {
+    use super::*;
+    use cpplookup_chg::{fixtures, ChgBuilder, Inheritance, MemberDecl, MemberKind};
+
+    #[test]
+    fn any_granting_path_wins() {
+        // Top::t reaches Bottom through a public-left and a private-right
+        // route to the same shared virtual base: C++ grants access.
+        let mut b = ChgBuilder::new();
+        let top = b.class("Top");
+        let left = b.class("Left");
+        let right = b.class("Right");
+        let bottom = b.class("Bottom");
+        b.member_with(top, "t", MemberDecl::public(MemberKind::Data))
+            .unwrap();
+        b.derive_with_access(left, top, Inheritance::Virtual, Access::Public)
+            .unwrap();
+        b.derive_with_access(right, top, Inheritance::Virtual, Access::Private)
+            .unwrap();
+        b.derive(bottom, left, Inheritance::NonVirtual).unwrap();
+        b.derive(bottom, right, Inheritance::NonVirtual).unwrap();
+        let g = b.finish().unwrap();
+        let table = LookupTable::build(&g);
+        let t = g.member_by_name("t").unwrap();
+        let best = most_permissive_access(&g, &table, bottom, t, 1000).unwrap();
+        assert_eq!(best, Some(Access::Public), "the public route wins");
+        // The representative path may have picked either route; the
+        // multi-path answer is at least as permissive.
+        let rep = table.resolve_path(&g, bottom, t).unwrap();
+        let rep_access = effective_access(&g, &rep, t);
+        assert!(best >= rep_access);
+    }
+
+    #[test]
+    fn single_path_matches_representative() {
+        for g in [fixtures::fig2(), fixtures::fig3(), fixtures::fig9()] {
+            let table = LookupTable::build(&g);
+            for c in g.classes() {
+                for m in g.member_ids() {
+                    let Some(best) = most_permissive_access(&g, &table, c, m, 10_000) else {
+                        continue;
+                    };
+                    let rep = table.resolve_path(&g, c, m).unwrap();
+                    let rep_access = effective_access(&g, &rep, m);
+                    assert!(
+                        best >= rep_access,
+                        "multi-path access can only improve ({}, {})",
+                        g.class_name(c),
+                        g.member_name(m)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ambiguous_and_missing_yield_none() {
+        let g = fixtures::fig1();
+        let table = LookupTable::build(&g);
+        let e = g.class_by_name("E").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        assert_eq!(most_permissive_access(&g, &table, e, m, 100), None);
+    }
+}

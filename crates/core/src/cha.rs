@@ -1,0 +1,185 @@
+//! Class-hierarchy analysis (CHA) — the "static analysis" application the
+//! paper names in Section 1: resolving the *possible targets* of a
+//! virtual call.
+//!
+//! For a call `p->m()` where `p` has static type `C`, the dynamic type of
+//! `*p` can be `C` or any class derived from `C`; the invoked declaration
+//! is `lookup(dynamic_type, m)`. CHA computes the set of declarations any
+//! such call could reach — the devirtualization question: a singleton
+//! target set means the call can be compiled as a direct call.
+
+use std::collections::BTreeSet;
+
+use cpplookup_chg::{Chg, ClassId, MemberId};
+
+use crate::result::LookupOutcome;
+use crate::table::LookupTable;
+
+/// The possible bindings of a virtual call through a given static type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallTargets {
+    /// Declaring classes the call can bind to, over all dynamic types,
+    /// sorted by class id.
+    pub targets: Vec<ClassId>,
+    /// Derived classes whose own lookup of the member is ambiguous —
+    /// they can never be the dynamic type of such a call in a
+    /// well-formed program, but their existence is worth reporting.
+    pub ambiguous_dynamic_types: Vec<ClassId>,
+}
+
+impl CallTargets {
+    /// Whether the call has exactly one possible target and can be
+    /// devirtualized.
+    pub fn is_monomorphic(&self) -> bool {
+        self.targets.len() == 1
+    }
+}
+
+/// All classes whose objects can appear behind a `C*`: `C` itself plus
+/// every class derived from it.
+pub fn possible_dynamic_types(chg: &Chg, c: ClassId) -> impl Iterator<Item = ClassId> + '_ {
+    chg.classes().filter(move |&d| d == c || chg.is_base_of(c, d))
+}
+
+/// Computes the CHA target set of a call `p->m()` with `p: C*`.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::fixtures;
+/// use cpplookup_core::cha::call_targets;
+/// use cpplookup_core::LookupTable;
+///
+/// let g = fixtures::dominance_diamond();
+/// let table = LookupTable::build(&g);
+/// let top = g.class_by_name("Top").unwrap();
+/// let f = g.member_by_name("f").unwrap();
+/// let targets = call_targets(&g, &table, top, f);
+/// // Through a Top*, the call can bind to Top::f or Left::f.
+/// let names: Vec<&str> = targets.targets.iter().map(|&c| g.class_name(c)).collect();
+/// assert_eq!(names, vec!["Top", "Left"]);
+/// assert!(!targets.is_monomorphic());
+/// ```
+pub fn call_targets(chg: &Chg, table: &LookupTable, c: ClassId, m: MemberId) -> CallTargets {
+    let mut targets: BTreeSet<ClassId> = BTreeSet::new();
+    let mut ambiguous = Vec::new();
+    for d in possible_dynamic_types(chg, c) {
+        match table.lookup(d, m) {
+            LookupOutcome::Resolved { class, .. } => {
+                targets.insert(class);
+            }
+            LookupOutcome::Ambiguous { .. } => ambiguous.push(d),
+            LookupOutcome::NotFound => {}
+        }
+    }
+    CallTargets {
+        targets: targets.into_iter().collect(),
+        ambiguous_dynamic_types: ambiguous,
+    }
+}
+
+/// Whole-hierarchy devirtualization census: for every `(class, member)`
+/// pair where the member resolves, whether CHA proves the call
+/// monomorphic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DevirtStats {
+    /// Call sites considered (resolved `(static type, member)` pairs).
+    pub call_sites: usize,
+    /// Of those, provably monomorphic.
+    pub monomorphic: usize,
+}
+
+/// Counts how many `(static type, member)` pairs CHA can devirtualize.
+pub fn devirtualization_census(chg: &Chg, table: &LookupTable) -> DevirtStats {
+    let mut stats = DevirtStats::default();
+    for c in chg.classes() {
+        for m in chg.member_ids() {
+            if !matches!(table.lookup(c, m), LookupOutcome::Resolved { .. }) {
+                continue;
+            }
+            stats.call_sites += 1;
+            if call_targets(chg, table, c, m).is_monomorphic() {
+                stats.monomorphic += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::{fixtures, ChgBuilder, Inheritance};
+
+    #[test]
+    fn leaf_calls_are_monomorphic() {
+        let g = fixtures::dominance_diamond();
+        let t = LookupTable::build(&g);
+        let bottom = g.class_by_name("Bottom").unwrap();
+        let f = g.member_by_name("f").unwrap();
+        let targets = call_targets(&g, &t, bottom, f);
+        assert!(targets.is_monomorphic());
+        assert_eq!(g.class_name(targets.targets[0]), "Left");
+    }
+
+    #[test]
+    fn base_calls_see_all_overrides() {
+        // Top <- Mid (overrides) <- Leaf (overrides): a Top* can reach
+        // three declarations; a Mid* only two.
+        let mut b = ChgBuilder::new();
+        let top = b.class("Top");
+        let mid = b.class("Mid");
+        let leaf = b.class("Leaf");
+        b.member(top, "f");
+        b.member(mid, "f");
+        b.member(leaf, "f");
+        b.derive(mid, top, Inheritance::NonVirtual).unwrap();
+        b.derive(leaf, mid, Inheritance::NonVirtual).unwrap();
+        let g = b.finish().unwrap();
+        let t = LookupTable::build(&g);
+        let f = g.member_by_name("f").unwrap();
+        assert_eq!(call_targets(&g, &t, top, f).targets.len(), 3);
+        assert_eq!(call_targets(&g, &t, mid, f).targets.len(), 2);
+        assert_eq!(call_targets(&g, &t, leaf, f).targets.len(), 1);
+    }
+
+    #[test]
+    fn ambiguous_dynamic_types_reported() {
+        let g = fixtures::fig1();
+        let t = LookupTable::build(&g);
+        let a = g.class_by_name("A").unwrap();
+        let e = g.class_by_name("E").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        let targets = call_targets(&g, &t, a, m);
+        // Dynamic types B, C resolve to A::m; D resolves to D::m; E is
+        // ambiguous.
+        assert_eq!(targets.targets.len(), 2);
+        assert_eq!(targets.ambiguous_dynamic_types, vec![e]);
+    }
+
+    #[test]
+    fn dynamic_type_census() {
+        let g = fixtures::fig3();
+        let d = g.class_by_name("D").unwrap();
+        let names: Vec<&str> = possible_dynamic_types(&g, d)
+            .map(|c| g.class_name(c))
+            .collect();
+        assert_eq!(names, vec!["D", "F", "G", "H"]);
+    }
+
+    #[test]
+    fn census_counts_are_consistent() {
+        let g = fixtures::fig3();
+        let t = LookupTable::build(&g);
+        let stats = devirtualization_census(&g, &t);
+        assert!(stats.monomorphic <= stats.call_sites);
+        assert!(stats.call_sites > 0);
+        // foo through A is polymorphic (G overrides below), foo through G
+        // is monomorphic.
+        let a = g.class_by_name("A").unwrap();
+        let gcls = g.class_by_name("G").unwrap();
+        let foo = g.member_by_name("foo").unwrap();
+        assert!(!call_targets(&g, &t, a, foo).is_monomorphic());
+        assert!(call_targets(&g, &t, gcls, foo).is_monomorphic());
+    }
+}

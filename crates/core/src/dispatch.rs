@@ -1,0 +1,320 @@
+//! Dispatch-table construction — the "constructing virtual-function
+//! tables" application the paper names in Section 1.
+//!
+//! A C++ compiler builds, per class, a table binding each callable member
+//! name to the declaration that dominates in that class. This module
+//! derives those tables directly from a [`LookupTable`]: each entry
+//! records the declaring class of the winning definition, whether it
+//! lives in a shared virtual base (which is what forces thunks/vbase
+//! offsets in real ABIs — the `leastVirtual` component answers this for
+//! free), or that the name is dispatch-ambiguous in this class (calling
+//! it would be a compile error).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use cpplookup_chg::{Chg, ClassId, MemberId};
+
+use crate::result::LookupOutcome;
+use crate::table::LookupTable;
+
+/// Where a dispatchable name binds in a particular class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DispatchTarget {
+    /// The call binds to the member declared in `declaring_class`.
+    Bound {
+        /// Class whose declaration is invoked.
+        declaring_class: ClassId,
+        /// Whether the winning definition lives in (or below) a shared
+        /// virtual base — real ABIs need a vbase offset / thunk here.
+        through_virtual_base: bool,
+    },
+    /// The name is visible but ambiguous; any call through this class is
+    /// ill-formed.
+    Ambiguous,
+}
+
+/// One row of a class's dispatch table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DispatchEntry {
+    /// The callable member name.
+    pub member: MemberId,
+    /// Its binding in this class.
+    pub target: DispatchTarget,
+}
+
+/// Dispatch tables for every class of a hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::fixtures;
+/// use cpplookup_core::dispatch::{build_dispatch_map, DispatchTarget};
+/// use cpplookup_core::LookupTable;
+///
+/// let g = fixtures::dominance_diamond();
+/// let table = LookupTable::build(&g);
+/// let map = build_dispatch_map(&g, &table);
+/// let bottom = g.class_by_name("Bottom").unwrap();
+/// let f = g.member_by_name("f").unwrap();
+/// match map.target(bottom, f) {
+///     Some(DispatchTarget::Bound { declaring_class, .. }) => {
+///         assert_eq!(g.class_name(*declaring_class), "Left");
+///     }
+///     other => panic!("expected Left::f, got {other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DispatchMap {
+    tables: Vec<Vec<DispatchEntry>>,
+    index: Vec<HashMap<MemberId, usize>>,
+}
+
+impl DispatchMap {
+    /// The dispatch table of `c`, sorted by member id.
+    pub fn table_of(&self, c: ClassId) -> &[DispatchEntry] {
+        &self.tables[c.index()]
+    }
+
+    /// The binding of `m` in `c`, if `m` is a callable member there.
+    pub fn target(&self, c: ClassId, m: MemberId) -> Option<&DispatchTarget> {
+        self.index[c.index()]
+            .get(&m)
+            .map(|&slot| &self.tables[c.index()][slot].target)
+    }
+
+    /// Total number of dispatch entries across all classes.
+    pub fn entry_count(&self) -> usize {
+        self.tables.iter().map(Vec::len).sum()
+    }
+
+    /// Renders all tables, `clang -fdump-record-layouts` style.
+    pub fn render(&self, chg: &Chg) -> String {
+        let mut out = String::new();
+        for c in chg.classes() {
+            let table = self.table_of(c);
+            if table.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "dispatch table for {}:", chg.class_name(c));
+            for entry in table {
+                let name = chg.member_name(entry.member);
+                match &entry.target {
+                    DispatchTarget::Bound {
+                        declaring_class,
+                        through_virtual_base,
+                    } => {
+                        let _ = writeln!(
+                            out,
+                            "  {name:<12} -> {}::{name}{}",
+                            chg.class_name(*declaring_class),
+                            if *through_virtual_base { "  [virtual base]" } else { "" }
+                        );
+                    }
+                    DispatchTarget::Ambiguous => {
+                        let _ = writeln!(out, "  {name:<12} -> <ambiguous>");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Whether a member name is callable somewhere in the hierarchy: some
+/// class declares it as a (possibly static) member function.
+fn is_callable(chg: &Chg, m: MemberId) -> bool {
+    chg.declaring_classes(m)
+        .iter()
+        .any(|&d| chg.member_decl(d, m).is_some_and(|decl| decl.kind.is_function()))
+}
+
+/// Builds the dispatch tables of every class from a prebuilt lookup
+/// table. Only names that are member functions somewhere in the
+/// hierarchy get entries.
+pub fn build_dispatch_map(chg: &Chg, table: &LookupTable) -> DispatchMap {
+    let callable: Vec<MemberId> = chg.member_ids().filter(|&m| is_callable(chg, m)).collect();
+    let mut tables = Vec::with_capacity(chg.class_count());
+    let mut index = Vec::with_capacity(chg.class_count());
+    for c in chg.classes() {
+        let mut rows: Vec<DispatchEntry> = Vec::new();
+        for &m in &callable {
+            let target = match table.lookup(c, m) {
+                LookupOutcome::NotFound => continue,
+                LookupOutcome::Ambiguous { .. } => DispatchTarget::Ambiguous,
+                LookupOutcome::Resolved { class, least_virtual } => {
+                    // Only produce an entry when the winner actually is a
+                    // function (the name may also be shadowed by data
+                    // members in other classes).
+                    let decl = chg
+                        .member_decl(class, m)
+                        .expect("resolved class declares the member");
+                    if !decl.kind.is_function() {
+                        continue;
+                    }
+                    DispatchTarget::Bound {
+                        declaring_class: class,
+                        through_virtual_base: !least_virtual.is_omega(),
+                    }
+                }
+            };
+            rows.push(DispatchEntry { member: m, target });
+        }
+        rows.sort_by_key(|e| e.member);
+        let idx = rows
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.member, i))
+            .collect();
+        tables.push(rows);
+        index.push(idx);
+    }
+    DispatchMap { tables, index }
+}
+
+/// The final binding of a *virtual call* when the receiver's dynamic
+/// type is `dynamic_type` — the Rossie–Friedman `dyn` operation realized
+/// through the table (constant time once the table exists).
+pub fn dynamic_target(
+    table: &LookupTable,
+    dynamic_type: ClassId,
+    m: MemberId,
+) -> Option<ClassId> {
+    match table.lookup(dynamic_type, m) {
+        LookupOutcome::Resolved { class, .. } => Some(class),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::{fixtures, ChgBuilder, Inheritance, MemberDecl, MemberKind};
+
+    fn map_of(chg: &Chg) -> DispatchMap {
+        build_dispatch_map(chg, &LookupTable::build(chg))
+    }
+
+    #[test]
+    fn dominance_diamond_binds_to_override() {
+        let g = fixtures::dominance_diamond();
+        let map = map_of(&g);
+        let f = g.member_by_name("f").unwrap();
+        let bottom = g.class_by_name("Bottom").unwrap();
+        match map.target(bottom, f) {
+            Some(DispatchTarget::Bound {
+                declaring_class,
+                through_virtual_base,
+            }) => {
+                assert_eq!(g.class_name(*declaring_class), "Left");
+                assert!(
+                    !through_virtual_base,
+                    "Left is reached through a non-virtual edge"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // In Right, Top::f is reached through the virtual base.
+        let right = g.class_by_name("Right").unwrap();
+        match map.target(right, f) {
+            Some(DispatchTarget::Bound {
+                declaring_class,
+                through_virtual_base,
+            }) => {
+                assert_eq!(g.class_name(*declaring_class), "Top");
+                assert!(*through_virtual_base);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ambiguous_names_marked() {
+        let g = fixtures::fig1(); // m is a function, ambiguous in E
+        let map = map_of(&g);
+        let e = g.class_by_name("E").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        assert_eq!(map.target(e, m), Some(&DispatchTarget::Ambiguous));
+        // But perfectly bound in D (its own override).
+        let d = g.class_by_name("D").unwrap();
+        assert!(matches!(
+            map.target(d, m),
+            Some(DispatchTarget::Bound { .. })
+        ));
+    }
+
+    #[test]
+    fn data_members_get_no_entries() {
+        let g = fixtures::fig9(); // m is a data member everywhere
+        let map = map_of(&g);
+        assert_eq!(map.entry_count(), 0);
+    }
+
+    #[test]
+    fn mixed_function_and_data_names() {
+        // `m` is a function in Base but data in Other; classes seeing the
+        // data declaration as winner get no dispatch entry.
+        let mut b = ChgBuilder::new();
+        let base = b.class("Base");
+        let other = b.class("Other");
+        let derived = b.class("Derived");
+        b.member_with(base, "m", MemberDecl::public(MemberKind::Function))
+            .unwrap();
+        b.member_with(other, "m", MemberDecl::public(MemberKind::Data))
+            .unwrap();
+        b.derive(derived, base, Inheritance::NonVirtual).unwrap();
+        let g = b.finish().unwrap();
+        let map = map_of(&g);
+        let m = g.member_by_name("m").unwrap();
+        assert!(matches!(
+            map.target(derived, m),
+            Some(DispatchTarget::Bound { .. })
+        ));
+        assert_eq!(map.target(other, m), None, "data winner: no dispatch row");
+    }
+
+    #[test]
+    fn dynamic_target_follows_dynamic_type() {
+        let g = fixtures::dominance_diamond();
+        let t = LookupTable::build(&g);
+        let f = g.member_by_name("f").unwrap();
+        let top = g.class_by_name("Top").unwrap();
+        let bottom = g.class_by_name("Bottom").unwrap();
+        // Static type Top, dynamic type Bottom: binds to Left::f.
+        assert_eq!(
+            dynamic_target(&t, bottom, f).map(|c| g.class_name(c)),
+            Some("Left")
+        );
+        assert_eq!(
+            dynamic_target(&t, top, f).map(|c| g.class_name(c)),
+            Some("Top")
+        );
+    }
+
+    #[test]
+    fn render_is_stable_and_readable() {
+        let g = fixtures::dominance_diamond();
+        let map = map_of(&g);
+        let text = map.render(&g);
+        assert!(text.contains("dispatch table for Bottom:"));
+        assert!(text.contains("f            -> Left::f"));
+        assert!(text.contains("[virtual base]"));
+    }
+
+    #[test]
+    fn tables_sorted_by_member_id() {
+        let mut b = ChgBuilder::new();
+        let c = b.class("C");
+        for name in ["zeta", "alpha", "mid"] {
+            b.member_with(c, name, MemberDecl::public(MemberKind::Function))
+                .unwrap();
+        }
+        let g = b.finish().unwrap();
+        let map = map_of(&g);
+        let ids: Vec<MemberId> = map.table_of(c).iter().map(|e| e.member).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+        assert_eq!(map.entry_count(), 3);
+    }
+}

@@ -1,0 +1,302 @@
+//! The memoising lazy variant of the lookup algorithm.
+//!
+//! Section 5 of the paper: *"It is easy enough to modify the algorithm
+//! into a memoising lazy algorithm that does not compute table entries
+//! that are unnecessary: a request for `lookup[C,m]` will recursively
+//! invoke `lookup[B,m]` for every direct base class `B` of `C` if
+//! necessary; as long as the algorithm caches or memoizes the results of
+//! every lookup performed, this will not worsen the complexity of the
+//! algorithm."*
+//!
+//! The recursion is realized with an explicit stack, so arbitrarily deep
+//! hierarchies (the chain workloads of the benchmarks) cannot overflow the
+//! call stack.
+
+use std::collections::HashMap;
+
+use cpplookup_chg::{Chg, ClassId, MemberId, Path};
+
+use crate::abstraction::RedAbs;
+use crate::result::{Entry, LookupOutcome};
+use crate::table::{LookupOptions, Merge};
+
+/// Cached value for one `(class, member)` pair: either a real entry or
+/// the knowledge that the member is not visible there.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Slot {
+    Present(Entry),
+    Absent,
+}
+
+/// A memoising, on-demand member lookup over a class hierarchy.
+///
+/// Computes only the `(class, member)` entries a query transitively
+/// needs, caching every intermediate result; repeated queries are `O(1)`.
+/// Produces entries identical to [`crate::LookupTable`] (asserted by the
+/// test suite over random hierarchies).
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::fixtures;
+/// use cpplookup_core::{LazyLookup, LookupOutcome};
+///
+/// let g = fixtures::fig9();
+/// let mut lazy = LazyLookup::new(&g);
+/// let e = g.class_by_name("E").unwrap();
+/// let m = g.member_by_name("m").unwrap();
+/// match lazy.lookup(e, m) {
+///     LookupOutcome::Resolved { class, .. } => assert_eq!(g.class_name(class), "C"),
+///     other => panic!("expected C::m, got {other:?}"),
+/// }
+/// ```
+pub struct LazyLookup<'a> {
+    chg: &'a Chg,
+    options: LookupOptions,
+    cache: Vec<HashMap<MemberId, Slot>>,
+    computed_entries: usize,
+}
+
+impl<'a> LazyLookup<'a> {
+    /// Creates an empty cache over `chg` with default options.
+    pub fn new(chg: &'a Chg) -> Self {
+        Self::with_options(chg, LookupOptions::default())
+    }
+
+    /// Creates an empty cache with explicit options.
+    pub fn with_options(chg: &'a Chg, options: LookupOptions) -> Self {
+        LazyLookup {
+            chg,
+            options,
+            cache: vec![HashMap::new(); chg.class_count()],
+            computed_entries: 0,
+        }
+    }
+
+    /// Number of `(class, member)` entries computed so far — the measure
+    /// of how much work laziness avoided.
+    pub fn computed_entries(&self) -> usize {
+        self.computed_entries
+    }
+
+    /// `lookup(c, m)`, computing and caching whatever it needs.
+    pub fn lookup(&mut self, c: ClassId, m: MemberId) -> LookupOutcome {
+        self.ensure(c, m);
+        match &self.cache[c.index()][&m] {
+            Slot::Absent => LookupOutcome::NotFound,
+            Slot::Present(e) => LookupOutcome::from_entry(Some(e)),
+        }
+    }
+
+    /// The raw entry for `(c, m)` (computing it if needed), or `None`
+    /// when the member is not visible in `c`.
+    pub fn entry(&mut self, c: ClassId, m: MemberId) -> Option<&Entry> {
+        self.ensure(c, m);
+        match &self.cache[c.index()][&m] {
+            Slot::Absent => None,
+            Slot::Present(e) => Some(e),
+        }
+    }
+
+    /// Recovers the winning definition path like
+    /// [`crate::LookupTable::resolve_path`].
+    pub fn resolve_path(&mut self, c: ClassId, m: MemberId) -> Option<Path> {
+        self.ensure(c, m);
+        let mut rev = vec![c];
+        let mut cur = c;
+        loop {
+            match self.cache[cur.index()].get(&m)? {
+                Slot::Present(Entry::Red { via: Some(x), .. }) => {
+                    let x = *x;
+                    rev.push(x);
+                    cur = x;
+                }
+                Slot::Present(Entry::Red { via: None, .. }) => break,
+                _ => return None,
+            }
+        }
+        rev.reverse();
+        Some(Path::new(self.chg, rev).expect("parent pointers follow real edges"))
+    }
+
+    fn ensure(&mut self, c: ClassId, m: MemberId) {
+        if self.cache[c.index()].contains_key(&m) {
+            return;
+        }
+        let mut stack = vec![c];
+        while let Some(&top) = stack.last() {
+            if self.cache[top.index()].contains_key(&m) {
+                stack.pop();
+                continue;
+            }
+            // Line 12: a directly declared member needs no base entries.
+            if self.chg.declares(top, m) {
+                self.insert(
+                    top,
+                    m,
+                    Slot::Present(Entry::Red {
+                        abs: RedAbs::generated(top),
+                        via: None,
+                        shared: Vec::new(),
+                    }),
+                );
+                stack.pop();
+                continue;
+            }
+            let missing: Vec<ClassId> = self
+                .chg
+                .direct_bases(top)
+                .iter()
+                .map(|s| s.base)
+                .filter(|b| !self.cache[b.index()].contains_key(&m))
+                .collect();
+            if !missing.is_empty() {
+                stack.extend(missing);
+                continue;
+            }
+            // All bases cached: merge exactly like the eager algorithm.
+            let mut merge = Merge::new();
+            let mut visible = false;
+            for spec in self.chg.direct_bases(top) {
+                match &self.cache[spec.base.index()][&m] {
+                    Slot::Absent => {}
+                    Slot::Present(Entry::Red { abs, shared, .. }) => {
+                        visible = true;
+                        let ext_shared: Vec<_> = shared
+                            .iter()
+                            .map(|lv| lv.extend(spec.base, spec.inheritance))
+                            .collect();
+                        merge.add_red(
+                            self.chg,
+                            m,
+                            abs.extend(spec.base, spec.inheritance),
+                            &ext_shared,
+                            spec.base,
+                            self.options.statics,
+                        );
+                    }
+                    Slot::Present(Entry::Blue(set)) => {
+                        visible = true;
+                        for &lv in set {
+                            merge.add_blue(lv.extend(spec.base, spec.inheritance));
+                        }
+                    }
+                }
+            }
+            let slot = if visible {
+                Slot::Present(merge.finish(self.chg))
+            } else {
+                Slot::Absent
+            };
+            self.insert(top, m, slot);
+            stack.pop();
+        }
+    }
+
+    fn insert(&mut self, c: ClassId, m: MemberId, slot: Slot) {
+        if matches!(slot, Slot::Present(_)) {
+            self.computed_entries += 1;
+        }
+        self.cache[c.index()].insert(m, slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::LookupTable;
+    use cpplookup_chg::fixtures;
+
+    #[test]
+    fn lazy_matches_eager_on_all_fixtures() {
+        for g in [
+            fixtures::fig1(),
+            fixtures::fig2(),
+            fixtures::fig3(),
+            fixtures::fig9(),
+            fixtures::static_diamond(),
+            fixtures::dominance_diamond(),
+        ] {
+            let eager = LookupTable::build(&g);
+            let mut lazy = LazyLookup::new(&g);
+            for c in g.classes() {
+                for m in g.member_ids() {
+                    assert_eq!(
+                        lazy.entry(c, m),
+                        eager.entry(c, m),
+                        "mismatch at ({}, {})",
+                        g.class_name(c),
+                        g.member_name(m)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn laziness_computes_only_whats_needed() {
+        let g = fixtures::fig3();
+        let mut lazy = LazyLookup::new(&g);
+        // Looking up foo in B touches only A and B.
+        let bb = g.class_by_name("B").unwrap();
+        let foo = g.member_by_name("foo").unwrap();
+        lazy.lookup(bb, foo);
+        assert_eq!(lazy.computed_entries(), 2);
+        // bar in H then explores the rest but never recomputes.
+        let h = g.class_by_name("H").unwrap();
+        let bar = g.member_by_name("bar").unwrap();
+        lazy.lookup(h, bar);
+        let after = lazy.computed_entries();
+        lazy.lookup(h, bar);
+        assert_eq!(lazy.computed_entries(), after, "memoised");
+    }
+
+    #[test]
+    fn lazy_path_recovery() {
+        let g = fixtures::fig3();
+        let mut lazy = LazyLookup::new(&g);
+        let h = g.class_by_name("H").unwrap();
+        let foo = g.member_by_name("foo").unwrap();
+        assert_eq!(
+            lazy.resolve_path(h, foo).unwrap().display(&g).to_string(),
+            "GH"
+        );
+        let bar = g.member_by_name("bar").unwrap();
+        assert_eq!(lazy.resolve_path(h, bar), None);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // A 50_000-deep single-inheritance chain: the explicit stack keeps
+        // this safe where naive recursion would overflow.
+        let mut b = cpplookup_chg::ChgBuilder::new();
+        let root = b.class("C0");
+        b.member(root, "m");
+        let mut prev = root;
+        for i in 1..50_000 {
+            let c = b.class(&format!("C{i}"));
+            b.derive(c, prev, cpplookup_chg::Inheritance::NonVirtual)
+                .unwrap();
+            prev = c;
+        }
+        let g = b.finish().unwrap();
+        let m = g.member_by_name("m").unwrap();
+        let mut lazy = LazyLookup::new(&g);
+        match lazy.lookup(prev, m) {
+            LookupOutcome::Resolved { class, .. } => assert_eq!(class, root),
+            other => panic!("expected C0::m, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absent_member_is_not_found_and_cached() {
+        let g = fixtures::fig1();
+        let mut lazy = LazyLookup::new(&g);
+        let e = g.class_by_name("E").unwrap();
+        // fig1 has only member "m"; ask for a class with no members above.
+        let a = g.class_by_name("A").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        assert!(matches!(lazy.lookup(e, m), LookupOutcome::Ambiguous { .. }));
+        assert!(lazy.lookup(a, m).is_resolved());
+    }
+}

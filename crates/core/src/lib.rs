@@ -1,0 +1,70 @@
+//! The Ramalingam–Srinivasan member lookup algorithm for C++
+//! (PLDI 1997) — the paper's primary contribution.
+//!
+//! Member lookup resolves a member name `m` in the context of a class
+//! `C`: the lookup succeeds iff one definition of `m` *dominates* all
+//! others inside a `C` object, which is subtle in the presence of
+//! multiple and virtual inheritance. This crate implements the paper's
+//! efficient, polynomial-time algorithm:
+//!
+//! * [`LeastVirtual`] / [`RedAbs`] — the path abstractions of Section 4
+//!   and the `∘` extension operator (Definition 15),
+//! * [`red_dominates`] — the constant-time dominance test (Lemma 4), with
+//!   the static-member extension of Section 6,
+//! * [`LookupTable`] — the eager, whole-table algorithm of Figure 8
+//!   (`O((|M|+|N|)·(|N|+|E|))` when all lookups are unambiguous),
+//! * [`LazyLookup`] — the memoising on-demand variant,
+//! * [`build_table_parallel`] — member-name-sharded parallel
+//!   construction,
+//! * [`trace`] — instrumented propagation reproducing Figures 6–7,
+//! * [`access`] — post-lookup access-rights checking (Section 6),
+//! * the applications the paper names in Section 1: [`dispatch`]
+//!   (virtual-function tables), [`cha`] (static analysis of virtual
+//!   calls), and [`slice`](mod@slice) (class hierarchy slicing).
+//!
+//! Every variant is differentially tested against the executable
+//! Rossie–Friedman specification in `cpplookup-subobject`.
+//!
+//! # Examples
+//!
+//! The paper's Figure 9 program, on which g++ 2.7.2.1 wrongly reported an
+//! ambiguity — the algorithm resolves it to `C::m`:
+//!
+//! ```
+//! use cpplookup_chg::fixtures;
+//! use cpplookup_core::{LookupOutcome, LookupTable};
+//!
+//! let g = fixtures::fig9();
+//! let table = LookupTable::build(&g);
+//! let e = g.class_by_name("E").unwrap();
+//! let m = g.member_by_name("m").unwrap();
+//! match table.lookup(e, m) {
+//!     LookupOutcome::Resolved { class, .. } => assert_eq!(g.class_name(class), "C"),
+//!     other => panic!("expected C::m, got {other:?}"),
+//! }
+//! // And the winning definition path is recoverable:
+//! let path = table.resolve_path(&g, e, m).unwrap();
+//! assert_eq!(path.display(&g).to_string(), "CDE");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod abstraction;
+pub mod access;
+pub mod cha;
+pub mod dispatch;
+mod lazy;
+mod parallel;
+mod result;
+pub mod slice;
+mod table;
+pub mod trace;
+
+pub use abstraction::{
+    red_dominates, red_dominates_blue, DisplayLv, LeastVirtual, RedAbs, StaticRule,
+};
+pub use lazy::LazyLookup;
+pub use parallel::build_table_parallel;
+pub use result::{DisplayEntry, Entry, LookupOutcome};
+pub use table::{LookupOptions, LookupTable, TableStats};

@@ -1,0 +1,203 @@
+//! Lookup table entries and user-facing outcomes.
+//!
+//! The algorithm tabulates, per `(class, member)`, either `Red D` with
+//! `D ∈ N × N_Ω` (the lookup is unambiguous and `D` abstracts the winning
+//! definition) or `Blue S` with `S ⊆ N_Ω` (the lookup is ambiguous and `S`
+//! abstracts the definitions that created the ambiguity) — exactly the two
+//! values of Figure 8.
+
+use std::fmt;
+
+use cpplookup_chg::{Chg, ClassId};
+
+use crate::abstraction::{LeastVirtual, RedAbs};
+
+/// A tabulated lookup value for one `(class, member)` pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Entry {
+    /// The lookup is unambiguous. Carries the winning abstraction and, for
+    /// path recovery, the direct base the winning definition was inherited
+    /// through (`None` for a generated definition).
+    Red {
+        /// `(ldc, leastVirtual)` of the winning (representative)
+        /// definition.
+        abs: RedAbs,
+        /// The direct base the definition arrived through, if inherited.
+        via: Option<ClassId>,
+        /// For *shared static* results (Definition 17, condition 2): the
+        /// `leastVirtual` abstractions of the co-maximal definitions
+        /// beyond the representative, sorted, deduplicated, and excluding
+        /// `abs.lv`. Empty for ordinary unambiguous lookups.
+        ///
+        /// Carrying the whole set (rather than a representative, as a
+        /// literal reading of the paper's Section 6 sketch would) is
+        /// required for correctness: a later definition may dominate the
+        /// representative without dominating its co-maximal twins, in
+        /// which case the lookup *is* ambiguous.
+        shared: Vec<LeastVirtual>,
+    },
+    /// The lookup is ambiguous. Carries the `leastVirtual` abstractions of
+    /// the definitions that caused the ambiguity, sorted and deduplicated.
+    Blue(Vec<LeastVirtual>),
+}
+
+impl Entry {
+    /// Whether the entry is red (unambiguous).
+    pub fn is_red(&self) -> bool {
+        matches!(self, Entry::Red { .. })
+    }
+
+    /// The red abstraction, if unambiguous.
+    pub fn red_abs(&self) -> Option<RedAbs> {
+        match self {
+            Entry::Red { abs, .. } => Some(*abs),
+            Entry::Blue(_) => None,
+        }
+    }
+
+    /// Renders the entry the way the paper annotates Figures 6–7:
+    /// `red (A, Ω)` / `blue {D, Ω}`.
+    pub fn display<'a>(&'a self, chg: &'a Chg) -> DisplayEntry<'a> {
+        DisplayEntry { entry: self, chg }
+    }
+}
+
+/// Helper returned by [`Entry::display`].
+pub struct DisplayEntry<'a> {
+    entry: &'a Entry,
+    chg: &'a Chg,
+}
+
+impl fmt::Display for DisplayEntry<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.entry {
+            Entry::Red { abs, shared, .. } => {
+                write!(
+                    f,
+                    "red ({}, {})",
+                    self.chg.class_name(abs.ldc),
+                    abs.lv.display(self.chg)
+                )?;
+                for lv in shared {
+                    write!(f, "+{}", lv.display(self.chg))?;
+                }
+                Ok(())
+            }
+            Entry::Blue(set) => {
+                write!(f, "blue {{")?;
+                for (i, lv) in set.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", lv.display(self.chg))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// The outcome of `lookup(C, m)` as seen by a client (a compiler
+/// diagnosing a member access).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// `m` is not a member of `C` at all (`m ∉ Members[C]`).
+    NotFound,
+    /// The lookup resolved to the member declared in `class`.
+    Resolved {
+        /// The declaring class (`ldc` of the winning definition).
+        class: ClassId,
+        /// `leastVirtual` of the winning definition — useful to clients
+        /// that need to know whether the member lives in a shared virtual
+        /// base.
+        least_virtual: LeastVirtual,
+    },
+    /// The lookup is ambiguous.
+    Ambiguous {
+        /// The `leastVirtual` witnesses of the ambiguity, sorted.
+        witnesses: Vec<LeastVirtual>,
+    },
+}
+
+impl LookupOutcome {
+    /// Whether the lookup resolved.
+    pub fn is_resolved(&self) -> bool {
+        matches!(self, LookupOutcome::Resolved { .. })
+    }
+
+    /// The resolved declaring class, if any.
+    pub fn resolved_class(&self) -> Option<ClassId> {
+        match self {
+            LookupOutcome::Resolved { class, .. } => Some(*class),
+            _ => None,
+        }
+    }
+
+    /// Builds an outcome from an optional table entry.
+    pub fn from_entry(entry: Option<&Entry>) -> Self {
+        match entry {
+            None => LookupOutcome::NotFound,
+            Some(Entry::Red { abs, .. }) => LookupOutcome::Resolved {
+                class: abs.ldc,
+                least_virtual: abs.lv,
+            },
+            Some(Entry::Blue(set)) => LookupOutcome::Ambiguous {
+                witnesses: set.clone(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+
+    #[test]
+    fn entry_display_matches_paper_notation() {
+        let g = fixtures::fig3();
+        let a = g.class_by_name("A").unwrap();
+        let d = g.class_by_name("D").unwrap();
+        let red = Entry::Red {
+            abs: RedAbs::generated(a),
+            via: None,
+            shared: Vec::new(),
+        };
+        assert_eq!(red.display(&g).to_string(), "red (A, Ω)");
+        let blue = Entry::Blue(vec![LeastVirtual::Omega, LeastVirtual::Class(d)]);
+        assert_eq!(blue.display(&g).to_string(), "blue {Ω, D}");
+    }
+
+    #[test]
+    fn outcome_from_entry() {
+        let g = fixtures::fig3();
+        let a = g.class_by_name("A").unwrap();
+        assert_eq!(LookupOutcome::from_entry(None), LookupOutcome::NotFound);
+        let red = Entry::Red {
+            abs: RedAbs::generated(a),
+            via: None,
+            shared: Vec::new(),
+        };
+        let out = LookupOutcome::from_entry(Some(&red));
+        assert!(out.is_resolved());
+        assert_eq!(out.resolved_class(), Some(a));
+        let blue = Entry::Blue(vec![LeastVirtual::Omega]);
+        let out = LookupOutcome::from_entry(Some(&blue));
+        assert!(!out.is_resolved());
+        assert_eq!(out.resolved_class(), None);
+    }
+
+    #[test]
+    fn red_abs_accessor() {
+        let g = fixtures::fig3();
+        let a = g.class_by_name("A").unwrap();
+        let red = Entry::Red {
+            abs: RedAbs::generated(a),
+            via: None,
+            shared: Vec::new(),
+        };
+        assert!(red.is_red());
+        assert_eq!(red.red_abs().unwrap().ldc, a);
+        assert_eq!(Entry::Blue(vec![]).red_abs(), None);
+    }
+}

@@ -1,0 +1,309 @@
+//! Class hierarchy slicing — the application from Tip, Choi, Field and
+//! Ramalingam (OOPSLA'96) that the paper cites as a client of fast
+//! member lookup.
+//!
+//! A *slice* restricts a hierarchy to what a given set of lookup queries
+//! can observe: the queried classes, all of their (transitive) bases,
+//! the inheritance edges among them, and only the queried member names.
+//! The guarantee — checked exhaustively by the tests — is that every
+//! preserved query resolves in the slice exactly as it did in the
+//! original hierarchy, because `lookup(C, m)` depends only on the
+//! base-closed subgraph above `C` and the declarations of `m` within it.
+
+use std::collections::{HashMap, HashSet};
+
+use cpplookup_chg::{Chg, ChgBuilder, ChgError, ClassId, MemberId};
+
+/// The result of slicing: the reduced hierarchy plus id mappings back
+/// and forth.
+#[derive(Debug)]
+pub struct Slice {
+    /// The sliced hierarchy.
+    pub chg: Chg,
+    /// Maps original class ids to slice class ids (only for retained
+    /// classes).
+    class_map: HashMap<ClassId, ClassId>,
+    /// Maps original member ids to slice member ids (only for retained
+    /// names).
+    member_map: HashMap<MemberId, MemberId>,
+    /// Classes of the original hierarchy that were dropped.
+    pub dropped_classes: usize,
+    /// Member declarations dropped from *retained* classes (declarations
+    /// in dropped classes disappear with their class and are not
+    /// counted here).
+    pub dropped_declarations: usize,
+}
+
+impl Slice {
+    /// The slice id of an original class, if it was retained.
+    pub fn class(&self, original: ClassId) -> Option<ClassId> {
+        self.class_map.get(&original).copied()
+    }
+
+    /// The slice id of an original member name, if it was retained.
+    pub fn member(&self, original: MemberId) -> Option<MemberId> {
+        self.member_map.get(&original).copied()
+    }
+}
+
+/// Slices `chg` down to what lookups of `members` in `roots` (and their
+/// bases) can observe.
+///
+/// Retained: every root, every base class of a root, every inheritance
+/// edge between retained classes, and every declaration of a queried
+/// member name in a retained class. Everything else is dropped.
+///
+/// # Errors
+///
+/// Propagates [`ChgError`] from rebuilding (cannot occur for well-formed
+/// inputs: slicing preserves acyclicity and base uniqueness).
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::fixtures;
+/// use cpplookup_core::slice::slice_hierarchy;
+/// use cpplookup_core::{LookupTable, LookupOutcome};
+///
+/// let g = fixtures::fig3();
+/// let h = g.class_by_name("H").unwrap();
+/// let foo = g.member_by_name("foo").unwrap();
+/// let slice = slice_hierarchy(&g, &[h], &[foo])?;
+/// // E declares only `bar`: it is irrelevant to foo-lookups... but it is
+/// // a base of H, so the class itself is kept (with no members).
+/// assert_eq!(slice.chg.class_count(), 8);
+/// assert!(slice.dropped_declarations > 0);
+/// // The preserved lookup gives the same answer.
+/// let table = LookupTable::build(&slice.chg);
+/// let (h2, foo2) = (slice.class(h).unwrap(), slice.member(foo).unwrap());
+/// match table.lookup(h2, foo2) {
+///     LookupOutcome::Resolved { class, .. } => {
+///         assert_eq!(slice.chg.class_name(class), "G");
+///     }
+///     other => panic!("{other:?}"),
+/// }
+/// # Ok::<(), cpplookup_chg::ChgError>(())
+/// ```
+pub fn slice_hierarchy(
+    chg: &Chg,
+    roots: &[ClassId],
+    members: &[MemberId],
+) -> Result<Slice, ChgError> {
+    // Retained classes: roots plus all their proper bases.
+    let mut retained: HashSet<ClassId> = HashSet::new();
+    for &r in roots {
+        retained.insert(r);
+        retained.extend(chg.bases_of(r));
+    }
+    let member_set: HashSet<MemberId> = members.iter().copied().collect();
+
+    // Rebuild in original creation order to keep things deterministic.
+    let mut b = ChgBuilder::new();
+    let mut class_map: HashMap<ClassId, ClassId> = HashMap::new();
+    for c in chg.classes() {
+        if retained.contains(&c) {
+            class_map.insert(c, b.class(chg.class_name(c)));
+        }
+    }
+    let mut member_map: HashMap<MemberId, MemberId> = HashMap::new();
+    let mut dropped_declarations = 0usize;
+    for c in chg.classes() {
+        let Some(&new_c) = class_map.get(&c) else { continue };
+        for spec in chg.direct_bases(c) {
+            let new_base = class_map[&spec.base]; // bases of retained classes are retained
+            b.derive_with_access(new_c, new_base, spec.inheritance, spec.access)?;
+        }
+        for &(m, decl) in chg.declared_members(c) {
+            if member_set.contains(&m) {
+                let new_m = b.member_with(new_c, chg.member_name(m), decl)?;
+                member_map.insert(m, new_m);
+            } else {
+                dropped_declarations += 1;
+            }
+        }
+    }
+    // Queried names that no retained class declares still map (interned,
+    // undeclared), so preserved NotFound queries stay expressible.
+    for &m in members {
+        member_map
+            .entry(m)
+            .or_insert_with(|| b.intern_member_name(chg.member_name(m)));
+    }
+    let sliced = b.finish()?;
+    Ok(Slice {
+        dropped_classes: chg.class_count() - class_map.len(),
+        dropped_declarations,
+        chg: sliced,
+        class_map,
+        member_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::LookupOutcome;
+    use crate::table::LookupTable;
+    use cpplookup_chg::fixtures;
+
+    /// The slicing contract: every preserved query resolves identically.
+    fn assert_preserved(chg: &Chg, roots: &[ClassId], members: &[MemberId]) {
+        let slice = slice_hierarchy(chg, roots, members).unwrap();
+        let original = LookupTable::build(chg);
+        let sliced = LookupTable::build(&slice.chg);
+        for &r in roots {
+            for &m in members {
+                let before = original.lookup(r, m);
+                let after = sliced.lookup(
+                    slice.class(r).expect("roots are retained"),
+                    slice.member(m).expect("queried members are mapped"),
+                );
+                match (&before, &after) {
+                    (LookupOutcome::NotFound, LookupOutcome::NotFound) => {}
+                    (
+                        LookupOutcome::Ambiguous { witnesses: a },
+                        LookupOutcome::Ambiguous { witnesses: b },
+                    ) => assert_eq!(a.len(), b.len()),
+                    (
+                        LookupOutcome::Resolved { class: a, .. },
+                        LookupOutcome::Resolved { class: b, .. },
+                    ) => {
+                        assert_eq!(
+                            chg.class_name(*a),
+                            slice.chg.class_name(*b),
+                            "winner preserved"
+                        );
+                    }
+                    other => panic!("slicing changed a verdict: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_all_fixture_lookups() {
+        for g in [
+            fixtures::fig1(),
+            fixtures::fig2(),
+            fixtures::fig3(),
+            fixtures::fig9(),
+            fixtures::static_diamond(),
+            fixtures::static_override_mix(),
+        ] {
+            let all_classes: Vec<ClassId> = g.classes().collect();
+            let all_members: Vec<MemberId> = g.member_ids().collect();
+            // Slice to every single (class, member) query individually...
+            for &c in &all_classes {
+                for &m in &all_members {
+                    assert_preserved(&g, &[c], &[m]);
+                }
+            }
+            // ... and to everything at once (identity-ish slice).
+            assert_preserved(&g, &all_classes, &all_members);
+        }
+    }
+
+    #[test]
+    fn drops_unrelated_classes_and_members() {
+        let g = fixtures::fig3();
+        // Slicing to lookups in D drops E, F, G, H (not bases of D).
+        let d = g.class_by_name("D").unwrap();
+        let foo = g.member_by_name("foo").unwrap();
+        let slice = slice_hierarchy(&g, &[d], &[foo]).unwrap();
+        assert_eq!(slice.chg.class_count(), 4); // A, B, C, D
+        assert_eq!(slice.dropped_classes, 4);
+        assert!(slice.chg.class_by_name("H").is_none());
+        // bar declarations dropped entirely (D::bar is the one retained
+        // class that declared it).
+        assert!(slice.chg.member_by_name("bar").is_none());
+        assert_eq!(slice.dropped_declarations, 1);
+    }
+
+    #[test]
+    fn unqueried_roots_keep_structure_only() {
+        let g = fixtures::fig3();
+        let h = g.class_by_name("H").unwrap();
+        let bar = g.member_by_name("bar").unwrap();
+        let slice = slice_hierarchy(&g, &[h], &[bar]).unwrap();
+        // All 8 classes are bases of H (or H), so all retained...
+        assert_eq!(slice.chg.class_count(), 8);
+        // ...but the foo declarations are gone.
+        assert!(slice.chg.member_by_name("foo").is_none());
+        // And the bar ambiguity at H is intact.
+        let t = LookupTable::build(&slice.chg);
+        let h2 = slice.class(h).unwrap();
+        let bar2 = slice.member(bar).unwrap();
+        assert!(matches!(t.lookup(h2, bar2), LookupOutcome::Ambiguous { .. }));
+    }
+
+    #[test]
+    fn not_found_queries_stay_not_found() {
+        let g = fixtures::fig3();
+        let a = g.class_by_name("A").unwrap();
+        let bar = g.member_by_name("bar").unwrap(); // invisible in A
+        let slice = slice_hierarchy(&g, &[a], &[bar]).unwrap();
+        assert_eq!(slice.chg.class_count(), 1);
+        let t = LookupTable::build(&slice.chg);
+        assert_eq!(
+            t.lookup(slice.class(a).unwrap(), slice.member(bar).unwrap()),
+            LookupOutcome::NotFound
+        );
+    }
+
+    #[test]
+    fn random_hierarchy_slices_preserve_lookups() {
+        // A light random sweep (the heavy differential suite lives in
+        // tests/): slice every class to a couple of member names.
+        for seed in 0..30 {
+            let g = cpplookup_hiergen_stub::stress(seed);
+            let members: Vec<MemberId> = g.member_ids().collect();
+            for c in g.classes() {
+                assert_preserved(&g, &[c], &members);
+            }
+        }
+    }
+
+    /// Local stand-in to avoid a dev-dependency cycle with hiergen: a
+    /// tiny seeded hierarchy generator of the same flavor.
+    mod cpplookup_hiergen_stub {
+        use cpplookup_chg::{Chg, ChgBuilder, Inheritance, MemberDecl, MemberKind};
+
+        pub fn stress(seed: u64) -> Chg {
+            // Simple xorshift so we need no extra dependency here.
+            let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+            let mut next = move |bound: u64| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % bound
+            };
+            let mut b = ChgBuilder::new();
+            let ids: Vec<_> = (0..10).map(|i| b.class(&format!("K{i}"))).collect();
+            for i in 1..10usize {
+                let bases = 1 + (next(2) as usize);
+                for _ in 0..bases {
+                    let base = ids[next(i as u64) as usize];
+                    let inh = if next(3) == 0 {
+                        Inheritance::Virtual
+                    } else {
+                        Inheritance::NonVirtual
+                    };
+                    let _ = b.derive(ids[i], base, inh);
+                }
+            }
+            for &c in &ids {
+                for m in 0..3 {
+                    if next(3) == 0 {
+                        let kind = if next(4) == 0 {
+                            MemberKind::StaticData
+                        } else {
+                            MemberKind::Data
+                        };
+                        let _ = b.member_with(c, &format!("m{m}"), MemberDecl::public(kind));
+                    }
+                }
+            }
+            b.finish().expect("creation order is topological")
+        }
+    }
+}

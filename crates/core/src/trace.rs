@@ -1,0 +1,328 @@
+//! Instrumented propagation that records, per class, the abstractions
+//! arriving along each inheritance edge and the resulting table entry —
+//! the machine-checkable version of Figures 6 and 7 of the paper.
+
+use std::fmt::Write as _;
+
+use cpplookup_chg::{Chg, ClassId, MemberId};
+
+use crate::abstraction::{LeastVirtual, RedAbs};
+use crate::result::Entry;
+use crate::table::{LookupOptions, Merge};
+
+/// An abstraction arriving at a class along one edge, *after* extension
+/// through the edge (the values printed on the left of `=>` in the
+/// paper's figures).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Incoming {
+    /// A red definition `(ldc, leastVirtual)` plus, for shared-static
+    /// sets, the co-maximal definitions' abstractions.
+    Red(RedAbs, Vec<LeastVirtual>),
+    /// The blue abstraction set of an ambiguous base lookup.
+    Blue(Vec<LeastVirtual>),
+}
+
+/// One class's row of the propagation trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceNode {
+    /// The class.
+    pub class: ClassId,
+    /// Whether the class declares the member directly (a *generated*
+    /// definition).
+    pub generated: bool,
+    /// Abstractions arriving along each direct-base edge carrying the
+    /// member, in base declaration order.
+    pub incoming: Vec<(ClassId, Incoming)>,
+    /// The resulting table entry (right of `=>` in the figures).
+    pub result: Entry,
+}
+
+/// Runs the propagation for a single member name, recording every step.
+///
+/// Returns one [`TraceNode`] per class where the member is visible, in
+/// topological order — exactly the annotations of Figures 6–7.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::fixtures;
+/// use cpplookup_core::trace::{render_trace, trace_member};
+/// use cpplookup_core::LookupOptions;
+///
+/// let g = fixtures::fig3();
+/// let foo = g.member_by_name("foo").unwrap();
+/// let trace = trace_member(&g, foo, LookupOptions::default());
+/// let text = render_trace(&g, &trace);
+/// assert!(text.contains("H: blue {D} via F, red (G, Ω) via G => red (G, Ω)"));
+/// ```
+pub fn trace_member(chg: &Chg, m: MemberId, options: LookupOptions) -> Vec<TraceNode> {
+    let mut slots: Vec<Option<Entry>> = vec![None; chg.class_count()];
+    let mut trace = Vec::new();
+    for &c in chg.topo_order() {
+        let generated = chg.declares(c, m);
+        let mut incoming = Vec::new();
+        for spec in chg.direct_bases(c) {
+            match &slots[spec.base.index()] {
+                None => {}
+                Some(Entry::Red { abs, shared, .. }) => incoming.push((
+                    spec.base,
+                    Incoming::Red(
+                        abs.extend(spec.base, spec.inheritance),
+                        shared
+                            .iter()
+                            .map(|lv| lv.extend(spec.base, spec.inheritance))
+                            .collect(),
+                    ),
+                )),
+                Some(Entry::Blue(set)) => incoming.push((
+                    spec.base,
+                    Incoming::Blue(
+                        set.iter()
+                            .map(|lv| lv.extend(spec.base, spec.inheritance))
+                            .collect(),
+                    ),
+                )),
+            }
+        }
+        if !generated && incoming.is_empty() {
+            continue;
+        }
+        let result = if generated {
+            Entry::Red {
+                abs: RedAbs::generated(c),
+                via: None,
+                shared: Vec::new(),
+            }
+        } else {
+            let mut merge = Merge::new();
+            for (via, inc) in &incoming {
+                match inc {
+                    Incoming::Red(abs, shared) => {
+                        merge.add_red(chg, m, *abs, shared, *via, options.statics)
+                    }
+                    Incoming::Blue(set) => {
+                        for &lv in set {
+                            merge.add_blue(lv);
+                        }
+                    }
+                }
+            }
+            merge.finish(chg)
+        };
+        slots[c.index()] = Some(result.clone());
+        trace.push(TraceNode {
+            class: c,
+            generated,
+            incoming,
+            result,
+        });
+    }
+    trace
+}
+
+/// Renders a trace in the figures' notation, one class per line:
+///
+/// ```text
+/// D: red (A, Ω) via B, red (A, Ω) via C => blue {Ω}
+/// ```
+pub fn render_trace(chg: &Chg, trace: &[TraceNode]) -> String {
+    let mut out = String::new();
+    for node in trace {
+        let _ = write!(out, "{}: ", chg.class_name(node.class));
+        let mut first = true;
+        if node.generated {
+            let _ = write!(out, "generated");
+            first = false;
+        }
+        for (via, inc) in &node.incoming {
+            if !first {
+                let _ = write!(out, ", ");
+            }
+            first = false;
+            match inc {
+                Incoming::Red(abs, shared) => {
+                    let _ = write!(
+                        out,
+                        "red ({}, {})",
+                        chg.class_name(abs.ldc),
+                        abs.lv.display(chg)
+                    );
+                    for lv in shared {
+                        let _ = write!(out, "+{}", lv.display(chg));
+                    }
+                }
+                Incoming::Blue(set) => {
+                    let _ = write!(out, "blue {{");
+                    for (i, lv) in set.iter().enumerate() {
+                        if i > 0 {
+                            let _ = write!(out, ", ");
+                        }
+                        let _ = write!(out, "{}", lv.display(chg));
+                    }
+                    let _ = write!(out, "}}");
+                }
+            }
+            let _ = write!(out, " via {}", chg.class_name(*via));
+        }
+        let _ = writeln!(out, " => {}", node.result.display(chg));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::LookupTable;
+    use cpplookup_chg::fixtures;
+
+    #[test]
+    fn figure6_foo_trace() {
+        let g = fixtures::fig3();
+        let foo = g.member_by_name("foo").unwrap();
+        let text = render_trace(&g, &trace_member(&g, foo, LookupOptions::default()));
+        // The annotations of Figure 6, line by line.
+        for expected in [
+            "A: generated => red (A, Ω)",
+            "B: red (A, Ω) via A => red (A, Ω)",
+            "C: red (A, Ω) via A => red (A, Ω)",
+            "D: red (A, Ω) via B, red (A, Ω) via C => blue {Ω}",
+            "F: blue {D} via D => blue {D}",
+            "G: generated, blue {D} via D => red (G, Ω)",
+            "H: blue {D} via F, red (G, Ω) via G => red (G, Ω)",
+        ] {
+            assert!(text.contains(expected), "missing line {expected:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn figure7_bar_trace() {
+        let g = fixtures::fig3();
+        let bar = g.member_by_name("bar").unwrap();
+        let text = render_trace(&g, &trace_member(&g, bar, LookupOptions::default()));
+        for expected in [
+            "D: generated => red (D, Ω)",
+            "E: generated => red (E, Ω)",
+            // At F the red from the virtual D edge is (D, D); from E, (E, Ω);
+            // neither dominates: blue {D, Ω} (Ω sorts first in our sets).
+            "F: red (D, D) via D, red (E, Ω) via E => blue {Ω, D}",
+            "G: generated, red (D, D) via D => red (G, Ω)",
+            // At H: the blue set {Ω, D} arrives from F, red (G, Ω) from G;
+            // G dominates D (virtual base) but not Ω: blue {Ω}.
+            "H: blue {Ω, D} via F, red (G, Ω) via G => blue {Ω}",
+        ] {
+            assert!(text.contains(expected), "missing line {expected:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn trace_results_match_table() {
+        for g in [
+            fixtures::fig1(),
+            fixtures::fig2(),
+            fixtures::fig3(),
+            fixtures::fig9(),
+        ] {
+            let table = LookupTable::build(&g);
+            for m in g.member_ids() {
+                for node in trace_member(&g, m, LookupOptions::default()) {
+                    assert_eq!(
+                        Some(&node.result),
+                        table.entry(node.class, m),
+                        "trace/table mismatch at {}",
+                        g.class_name(node.class)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_skips_invisible_classes() {
+        let g = fixtures::fig3();
+        let bar = g.member_by_name("bar").unwrap();
+        let trace = trace_member(&g, bar, LookupOptions::default());
+        let classes: Vec<&str> = trace.iter().map(|n| g.class_name(n.class)).collect();
+        // bar is invisible in A, B, C.
+        assert!(!classes.contains(&"A"));
+        assert!(!classes.contains(&"B"));
+        assert!(!classes.contains(&"C"));
+        assert_eq!(classes.len(), 5); // D, E, F, G, H
+    }
+}
+
+/// Renders a trace as an annotated Graphviz digraph: class nodes carry
+/// their resulting entry (the right-hand sides of Figures 6–7), edges are
+/// dashed when virtual.
+pub fn trace_to_dot(chg: &Chg, m: MemberId, trace: &[TraceNode]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph trace {{");
+    let _ = writeln!(
+        out,
+        "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];"
+    );
+    let _ = writeln!(out, "  label=\"propagation of {}\";", chg.member_name(m));
+    let by_class: std::collections::HashMap<ClassId, &TraceNode> =
+        trace.iter().map(|n| (n.class, n)).collect();
+    for c in chg.classes() {
+        let annotation = match by_class.get(&c) {
+            Some(node) => format!("\\n{}", node.result.display(chg)),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "  c{} [label=\"{}{}\"];",
+            c.index(),
+            chg.class_name(c),
+            annotation
+        );
+    }
+    for derived in chg.classes() {
+        for spec in chg.direct_bases(derived) {
+            let style = if spec.inheritance.is_virtual() {
+                " [style=dashed]"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  c{} -> c{}{};",
+                spec.base.index(),
+                derived.index(),
+                style
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+
+    #[test]
+    fn trace_dot_carries_annotations() {
+        let g = fixtures::fig3();
+        let foo = g.member_by_name("foo").unwrap();
+        let trace = trace_member(&g, foo, LookupOptions::default());
+        let dot = trace_to_dot(&g, foo, &trace);
+        assert!(dot.contains("digraph trace"));
+        assert!(dot.contains("propagation of foo"));
+        assert!(dot.contains("D\\nblue {Ω}"), "{dot}");
+        assert!(dot.contains("H\\nred (G, Ω)"));
+        // 9 inheritance edges, 2 virtual.
+        assert_eq!(dot.matches(" -> ").count(), 9);
+        assert_eq!(dot.matches("dashed").count(), 2);
+    }
+
+    #[test]
+    fn classes_without_entries_have_plain_labels() {
+        let g = fixtures::fig3();
+        let bar = g.member_by_name("bar").unwrap();
+        let trace = trace_member(&g, bar, LookupOptions::default());
+        let dot = trace_to_dot(&g, bar, &trace);
+        // A, B, C never see bar.
+        assert!(dot.contains("[label=\"A\"]"), "{dot}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Abstract syntax for the mini-C++ subset.
+//!
+//! The subset covers everything the lookup algorithm can observe: class
+//! declarations with virtual/non-virtual, access-specified bases; data,
+//! function, static, type, and enumerator members; global variables; and
+//! function bodies containing local declarations and member accesses
+//! (`p->m`, `obj.m`, `X::m`, bare `m`).
+
+use cpplookup_chg::{Access, MemberKind};
+
+use crate::span::Span;
+
+/// A parsed translation unit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Class definitions (and forward declarations) in source order.
+    pub classes: Vec<ClassDecl>,
+    /// Free functions with bodies (e.g. `main`).
+    pub functions: Vec<FunctionDef>,
+    /// Out-of-line member definitions (`void C::f() { ... }`); `scope`
+    /// holds the (qualified) class name they belong to.
+    pub out_of_line_methods: Vec<FunctionDef>,
+    /// Global variable declarations.
+    pub globals: Vec<GlobalVar>,
+}
+
+/// A base-class specifier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AstBase {
+    /// Base class name as written (possibly qualified, e.g. `gui::Widget`).
+    pub name: String,
+    /// Where the name appears.
+    pub span: Span,
+    /// Whether `virtual` was written.
+    pub virtual_: bool,
+    /// Explicit access, if written (defaults depend on class/struct).
+    pub access: Option<Access>,
+}
+
+/// A using-declaration inside a class body (`using Base::m;`), which
+/// re-declares an inherited member in the class's own scope — the C++
+/// mechanism for resolving lookup ambiguities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AstUsing {
+    /// The (possibly qualified) base class named on the left.
+    pub base: String,
+    /// The member name brought in.
+    pub member: String,
+    /// Where the declaration appears.
+    pub span: Span,
+    /// Access of the re-declared member (from the enclosing label).
+    pub access: Access,
+}
+
+/// A member declaration inside a class body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AstMember {
+    /// Member name.
+    pub name: String,
+    /// Where the name appears.
+    pub span: Span,
+    /// What kind of member it is.
+    pub kind: MemberKind,
+    /// Its access (from the enclosing access label).
+    pub access: Access,
+}
+
+/// A class or struct declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// Fully qualified class name (`Outer::Inner::X` inside namespaces,
+    /// plain `X` at global scope).
+    pub name: String,
+    /// The enclosing namespace path, joined with `::` (empty at global
+    /// scope).
+    pub scope: String,
+    /// Where the name appears.
+    pub name_span: Span,
+    /// `struct` (public defaults) vs `class` (private defaults).
+    pub is_struct: bool,
+    /// `class X;` with no body.
+    pub forward: bool,
+    /// Base specifiers in declaration order.
+    pub bases: Vec<AstBase>,
+    /// Members in declaration order.
+    pub members: Vec<AstMember>,
+    /// Using-declarations in declaration order.
+    pub usings: Vec<AstUsing>,
+    /// Inline method bodies (analyzed with this class as context).
+    pub methods: Vec<FunctionDef>,
+}
+
+/// A global variable (`E obj;` / `E *p;`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalVar {
+    /// The enclosing namespace path (empty at global scope).
+    pub scope: String,
+    /// Declared type name as written (possibly qualified).
+    pub type_name: String,
+    /// Where the type appears.
+    pub type_span: Span,
+    /// Fully qualified variable name.
+    pub name: String,
+    /// Where the variable name appears.
+    pub span: Span,
+}
+
+/// A function definition with a body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionDef {
+    /// The enclosing namespace path (empty at global scope).
+    pub scope: String,
+    /// Function name.
+    pub name: String,
+    /// Where the name appears.
+    pub span: Span,
+    /// The body.
+    pub body: Block,
+}
+
+/// A `{ ... }` block.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement of the subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `T x;` / `T *x;` / `T &x = ...;` — binds `x` to class `T`.
+    Local {
+        /// The declared type name.
+        type_name: String,
+        /// Where the type appears.
+        type_span: Span,
+        /// The variable name.
+        name: String,
+        /// Where the variable appears.
+        span: Span,
+    },
+    /// An expression statement; only the member accesses matter.
+    Expr(Vec<AccessExpr>),
+    /// A nested block (its locals scope to it).
+    Block(Block),
+}
+
+/// A member access found in an expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AccessExpr {
+    /// `X::m` — qualified lookup in class `X`.
+    Qualified {
+        /// The class name.
+        class: String,
+        /// Where the class name appears.
+        class_span: Span,
+        /// The member name.
+        member: String,
+        /// Where the member name appears.
+        member_span: Span,
+    },
+    /// `v->m` or `v.m` — lookup in the static type of `v`.
+    Through {
+        /// The receiver variable.
+        var: String,
+        /// Where the receiver appears.
+        var_span: Span,
+        /// The member name.
+        member: String,
+        /// Where the member name appears.
+        member_span: Span,
+    },
+    /// A bare identifier used as a value: unqualified lookup.
+    Unqualified {
+        /// The name.
+        name: String,
+        /// Where it appears.
+        span: Span,
+    },
+}
+
+impl AccessExpr {
+    /// The member (or bare) name this access asks about.
+    pub fn member_name(&self) -> &str {
+        match self {
+            AccessExpr::Qualified { member, .. } => member,
+            AccessExpr::Through { member, .. } => member,
+            AccessExpr::Unqualified { name, .. } => name,
+        }
+    }
+
+    /// The span of the member name, for diagnostics.
+    pub fn member_span(&self) -> Span {
+        match self {
+            AccessExpr::Qualified { member_span, .. } => *member_span,
+            AccessExpr::Through { member_span, .. } => *member_span,
+            AccessExpr::Unqualified { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_expr_accessors() {
+        let q = AccessExpr::Qualified {
+            class: "X".into(),
+            class_span: Span::new(0, 1),
+            member: "m".into(),
+            member_span: Span::new(3, 4),
+        };
+        assert_eq!(q.member_name(), "m");
+        assert_eq!(q.member_span(), Span::new(3, 4));
+        let u = AccessExpr::Unqualified {
+            name: "n".into(),
+            span: Span::new(7, 8),
+        };
+        assert_eq!(u.member_name(), "n");
+        assert_eq!(u.member_span(), Span::new(7, 8));
+    }
+}

@@ -1,0 +1,124 @@
+//! Compiler-style diagnostics with source locations.
+
+use std::fmt;
+
+use crate::span::{LineMap, Span};
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A note attached to other diagnostics or informational output.
+    Note,
+    /// Suspicious but not fatal.
+    Warning,
+    /// The program is ill-formed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One diagnostic message anchored to a source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity level.
+    pub severity: Severity,
+    /// Source range the message refers to.
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error diagnostic.
+    pub fn error(span: Span, message: String) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message,
+        }
+    }
+
+    /// A warning diagnostic.
+    pub fn warning(span: Span, message: String) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message,
+        }
+    }
+
+    /// A note diagnostic.
+    pub fn note(span: Span, message: String) -> Self {
+        Diagnostic {
+            severity: Severity::Note,
+            span,
+            message,
+        }
+    }
+
+    /// Renders the diagnostic with `file:line:col` position and the
+    /// offending source line, gcc-style.
+    pub fn render(&self, file: &str, source: &str) -> String {
+        let map = LineMap::new(source);
+        let pos = map.position(self.span.start);
+        let line_text = source.lines().nth(pos.line - 1).unwrap_or("");
+        let caret = " ".repeat(pos.column.saturating_sub(1)) + "^";
+        format!(
+            "{file}:{pos}: {}: {}\n  {line_text}\n  {caret}",
+            self.severity, self.message
+        )
+    }
+}
+
+/// Renders a batch of diagnostics.
+pub fn render_all(diags: &[Diagnostic], file: &str, source: &str) -> String {
+    diags
+        .iter()
+        .map(|d| d.render(file, source))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_span() {
+        let src = "class A {};\nclass B : Q {};\n";
+        let q = src.find('Q').unwrap();
+        let d = Diagnostic::error(Span::new(q, q + 1), "unknown base `Q`".into());
+        let out = d.render("t.cpp", src);
+        assert!(out.contains("t.cpp:2:11: error: unknown base `Q`"), "{out}");
+        assert!(out.contains("class B : Q {};"));
+        let caret_line = out.lines().last().unwrap();
+        assert!(caret_line.ends_with('^'));
+        // Two-space indent plus column-1 spaces of padding.
+        assert_eq!(caret_line.len(), 2 + 10 + 1);
+    }
+
+    #[test]
+    fn severities_order() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn render_all_joins() {
+        let src = "x";
+        let d1 = Diagnostic::warning(Span::new(0, 1), "w".into());
+        let d2 = Diagnostic::note(Span::new(0, 1), "n".into());
+        let out = render_all(&[d1, d2], "f", src);
+        assert!(out.contains("warning"));
+        assert!(out.contains("note"));
+    }
+}

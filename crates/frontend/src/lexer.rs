@@ -1,0 +1,249 @@
+//! Lexer for the mini-C++ subset.
+//!
+//! Handles `//` and `/* */` comments, preprocessor lines (skipped
+//! wholesale), identifiers/keywords, integer literals, and the
+//! punctuation the parser needs. Anything else produces a diagnostic and
+//! is skipped, so lexing always produces a usable token stream.
+
+use crate::diagnostics::Diagnostic;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `source`, returning the tokens (always terminated by
+/// [`TokenKind::Eof`]) and any diagnostics for unrecognized input.
+pub fn lex(source: &str) -> (Vec<Token>, Vec<Diagnostic>) {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut diags = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        diags.push(Diagnostic::error(
+                            Span::new(start, bytes.len()),
+                            "unterminated block comment".to_owned(),
+                        ));
+                        i = bytes.len();
+                        break;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'#' => {
+                // Preprocessor line: skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let kind = match text {
+                    "class" => TokenKind::Class,
+                    "struct" => TokenKind::Struct,
+                    "public" => TokenKind::Public,
+                    "protected" => TokenKind::Protected,
+                    "private" => TokenKind::Private,
+                    "virtual" => TokenKind::Virtual,
+                    "static" => TokenKind::Static,
+                    "typedef" => TokenKind::Typedef,
+                    "using" => TokenKind::Using,
+                    "enum" => TokenKind::Enum,
+                    "namespace" => TokenKind::Namespace,
+                    "const" => TokenKind::Const,
+                    _ => TokenKind::Ident(text.to_owned()),
+                };
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(start, i),
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Int(source[start..i].to_owned()),
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                let start = i;
+                let two = if i + 1 < bytes.len() { &bytes[i..i + 2] } else { &bytes[i..i + 1] };
+                let (kind, len) = match two {
+                    b"::" => (Some(TokenKind::ColonColon), 2),
+                    b"->" => (Some(TokenKind::Arrow), 2),
+                    _ => {
+                        let one = match b {
+                            b'{' => Some(TokenKind::LBrace),
+                            b'}' => Some(TokenKind::RBrace),
+                            b'(' => Some(TokenKind::LParen),
+                            b')' => Some(TokenKind::RParen),
+                            b';' => Some(TokenKind::Semi),
+                            b':' => Some(TokenKind::Colon),
+                            b',' => Some(TokenKind::Comma),
+                            b'<' => Some(TokenKind::Lt),
+                            b'>' => Some(TokenKind::Gt),
+                            b'*' => Some(TokenKind::Star),
+                            b'&' => Some(TokenKind::Amp),
+                            b'=' => Some(TokenKind::Eq),
+                            b'.' => Some(TokenKind::Dot),
+                            b'~' => Some(TokenKind::Tilde),
+                            _ => None,
+                        };
+                        (one, 1)
+                    }
+                };
+                match kind {
+                    Some(kind) => {
+                        tokens.push(Token {
+                            kind,
+                            span: Span::new(start, start + len),
+                        });
+                        i += len;
+                    }
+                    None => {
+                        // Advance by the full character so multi-byte
+                        // UTF-8 never leaves us on a non-boundary.
+                        let ch = source[start..].chars().next().unwrap_or('?');
+                        let width = ch.len_utf8();
+                        diags.push(Diagnostic::error(
+                            Span::new(start, start + width),
+                            format!("unexpected character `{ch}`"),
+                        ));
+                        i += width;
+                    }
+                }
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(bytes.len(), bytes.len()),
+    });
+    (tokens, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let (tokens, diags) = lex(src);
+        assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+        tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_class_declaration() {
+        let k = kinds("class D : virtual public B { void m(); };");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Class,
+                TokenKind::Ident("D".into()),
+                TokenKind::Colon,
+                TokenKind::Virtual,
+                TokenKind::Public,
+                TokenKind::Ident("B".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("void".into()),
+                TokenKind::Ident("m".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::RBrace,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        let k = kinds("#include <iostream>\n// c1\nint /* mid */ x;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let k = kinds("p->m; X::m;");
+        assert!(k.contains(&TokenKind::Arrow));
+        assert!(k.contains(&TokenKind::ColonColon));
+    }
+
+    #[test]
+    fn lone_colon_vs_double() {
+        let k = kinds(": ::");
+        assert_eq!(k[0], TokenKind::Colon);
+        assert_eq!(k[1], TokenKind::ColonColon);
+    }
+
+    #[test]
+    fn numbers() {
+        let k = kinds("x = 10;");
+        assert_eq!(k[2], TokenKind::Int("10".into()));
+    }
+
+    #[test]
+    fn bad_character_diagnosed_but_lexing_continues() {
+        let (tokens, diags) = lex("int @ x;");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains('@'));
+        assert_eq!(tokens.len(), 4); // int, x, ;, EOF
+    }
+
+    #[test]
+    fn multibyte_garbage_is_diagnosed_not_panicked() {
+        // Regression: the error path used to advance one byte at a time
+        // through multi-byte UTF-8 and then slice mid-character.
+        let (tokens, diags) = lex("int 𑎭𐖈 x; ¥");
+        assert_eq!(diags.len(), 3);
+        assert!(diags[0].message.contains('𑎭'));
+        // The real tokens survive.
+        assert_eq!(tokens.len(), 4); // int, x, ;, EOF
+    }
+
+    #[test]
+    fn unterminated_block_comment() {
+        let (_, diags) = lex("int x; /* oops");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unterminated"));
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let (tokens, _) = lex("ab cd");
+        assert_eq!(tokens[0].span, Span::new(0, 2));
+        assert_eq!(tokens[1].span, Span::new(3, 5));
+    }
+}

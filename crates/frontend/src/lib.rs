@@ -1,0 +1,46 @@
+//! A mini-C++ front end for driving member lookup the way a real
+//! compiler does.
+//!
+//! The paper's algorithm lives inside a C++ front end: class declarations
+//! are parsed, a class hierarchy graph is built, and every member access
+//! expression `x.m` / `p->m` / `X::m` triggers a lookup (plus the
+//! post-lookup access-rights check, plus the unqualified-name resolution
+//! of Section 6). This crate provides exactly that pipeline for a subset
+//! of C++ rich enough to express every program in the paper:
+//!
+//! * [`parser::parse`] — source → AST ([`ast`]), with resilient error
+//!   recovery and source-anchored [`Diagnostic`]s,
+//! * [`lower`](lower::lower) — AST → [`cpplookup_chg::Chg`],
+//! * [`analyze`] — the whole pipeline: parse, lower, build the lookup
+//!   table, resolve every member access in every function body.
+//!
+//! # Examples
+//!
+//! ```
+//! use cpplookup_frontend::{analyze, QueryResult};
+//!
+//! let source = "struct Top { void hello(); };\n\
+//!               struct Bottom : Top {};\n\
+//!               int main() { Bottom b; b.hello(); }\n";
+//! let analysis = analyze(source);
+//! assert!(analysis.diagnostics.is_empty());
+//! assert!(matches!(analysis.queries[0].result, QueryResult::Resolved { .. }));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod diagnostics;
+mod lexer;
+pub mod lower;
+pub mod parser;
+mod resolve;
+pub mod scopes;
+pub mod span;
+pub mod token;
+
+pub use diagnostics::{render_all, Diagnostic, Severity};
+pub use lexer::lex;
+pub use resolve::{analyze, Analysis, MemberQuery, QueryResult};
+pub use span::{LineCol, LineMap, Span};

@@ -1,0 +1,417 @@
+//! Lowering the AST to a class hierarchy graph.
+//!
+//! C++ requires base classes to be *complete* (defined) at the point of
+//! use, which conveniently guarantees acyclicity: a class can only
+//! inherit from classes defined earlier in the translation unit. The
+//! lowering enforces exactly that and reports everything else (unknown or
+//! incomplete bases, duplicate bases, duplicate definitions, conflicting
+//! members) as source-anchored diagnostics.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use cpplookup_chg::{Access, Chg, ChgBuilder, ChgError, Inheritance, MemberDecl};
+
+use crate::ast::Program;
+use crate::diagnostics::Diagnostic;
+use crate::scopes::resolve_in_scopes;
+
+/// Lowers a parsed program to a [`Chg`].
+///
+/// Always returns a graph built from the well-formed parts of the
+/// program; problems are reported in the diagnostics.
+pub fn lower(program: &Program) -> (Chg, Vec<Diagnostic>) {
+    let mut b = ChgBuilder::new();
+    let mut diags = Vec::new();
+
+    // Register every class name up front so forward references resolve,
+    // and detect duplicate definitions.
+    let mut defined: HashSet<String> = HashSet::new();
+    for class in &program.classes {
+        b.class(&class.name);
+        if !class.forward && !defined.insert(class.name.clone()) {
+            diags.push(Diagnostic::error(
+                class.name_span,
+                format!("redefinition of class `{}`", class.name),
+            ));
+        }
+    }
+
+    // Lower definitions in order, enforcing define-before-inherit.
+    let mut complete: HashSet<String> = HashSet::new();
+    // Name-level views of what has been lowered so far, for resolving
+    // using-declarations without a finished graph.
+    let mut direct_bases_of: HashMap<String, Vec<String>> = HashMap::new();
+    let mut declares: HashMap<(String, String), MemberDecl> = HashMap::new();
+    for class in &program.classes {
+        if class.forward {
+            continue;
+        }
+        let id = b.class(&class.name);
+        for base in &class.bases {
+            // Resolve the written base name through the enclosing
+            // namespaces; prefer a scope level where the class is
+            // complete, falling back to any declaration for diagnostics.
+            let resolved = resolve_in_scopes(&class.scope, &base.name, |cand| {
+                complete.contains(cand)
+            })
+            .or_else(|| {
+                resolve_in_scopes(&class.scope, &base.name, |cand| defined.contains(cand))
+            });
+            let Some(base_name) = resolved else {
+                diags.push(Diagnostic::error(
+                    base.span,
+                    format!("unknown base class `{}`", base.name),
+                ));
+                continue;
+            };
+            if !complete.contains(&base_name) {
+                diags.push(Diagnostic::error(
+                    base.span,
+                    format!("incomplete base class `{}`", base.name),
+                ));
+                continue;
+            }
+            let base_id = b.class(&base_name);
+            let inh = if base.virtual_ {
+                Inheritance::Virtual
+            } else {
+                Inheritance::NonVirtual
+            };
+            // C++ default base access: private for `class`, public for
+            // `struct`.
+            let access = base.access.unwrap_or(if class.is_struct {
+                Access::Public
+            } else {
+                Access::Private
+            });
+            match b.derive_with_access(id, base_id, inh, access) {
+                Ok(()) => direct_bases_of
+                    .entry(class.name.clone())
+                    .or_default()
+                    .push(base_name),
+                Err(e) => diags.push(Diagnostic::error(base.span, e.to_string())),
+            }
+        }
+        for member in &class.members {
+            let decl = MemberDecl::with_access(member.kind, member.access);
+            match b.member_with(id, &member.name, decl) {
+                Ok(_) => {
+                    declares.insert((class.name.clone(), member.name.clone()), decl);
+                }
+                Err(ChgError::ConflictingMember { .. }) => {
+                    diags.push(Diagnostic::error(
+                        member.span,
+                        format!(
+                            "member `{}` redeclared with a conflicting kind in `{}`",
+                            member.name, class.name
+                        ),
+                    ));
+                }
+                Err(e) => diags.push(Diagnostic::error(member.span, e.to_string())),
+            }
+        }
+        // Using-declarations: `using Base::m;` re-declares the inherited
+        // member in this class's own scope (resolving ambiguities).
+        for u in &class.usings {
+            let Some(base_name) =
+                resolve_in_scopes(&class.scope, &u.base, |cand| complete.contains(cand))
+            else {
+                diags.push(Diagnostic::error(
+                    u.span,
+                    format!("unknown class `{}` in using-declaration", u.base),
+                ));
+                continue;
+            };
+            // The named class must be a (transitive) base of this class.
+            let mut reachable = false;
+            let mut queue: VecDeque<&String> = direct_bases_of
+                .get(&class.name)
+                .map(|v| v.iter().collect())
+                .unwrap_or_default();
+            let mut seen: HashSet<&String> = queue.iter().copied().collect();
+            let mut ancestors: Vec<&String> = Vec::new();
+            while let Some(cur) = queue.pop_front() {
+                ancestors.push(cur);
+                if *cur == base_name {
+                    reachable = true;
+                }
+                if let Some(next) = direct_bases_of.get(cur) {
+                    for n in next {
+                        if seen.insert(n) {
+                            queue.push_back(n);
+                        }
+                    }
+                }
+            }
+            if !reachable {
+                diags.push(Diagnostic::error(
+                    u.span,
+                    format!("`{}` is not a base of `{}`", u.base, class.name),
+                ));
+                continue;
+            }
+            // Find the member's declaration starting from the named base,
+            // breadth-first towards its own bases.
+            let mut origin: Option<(String, MemberDecl)> = None;
+            let mut queue: VecDeque<String> = VecDeque::new();
+            queue.push_back(base_name.clone());
+            let mut seen: HashSet<String> = HashSet::new();
+            while let Some(cur) = queue.pop_front() {
+                if !seen.insert(cur.clone()) {
+                    continue;
+                }
+                if let Some(decl) = declares.get(&(cur.clone(), u.member.clone())) {
+                    origin = Some((cur, *decl));
+                    break;
+                }
+                if let Some(next) = direct_bases_of.get(&cur) {
+                    queue.extend(next.iter().cloned());
+                }
+            }
+            let Some((origin_name, found)) = origin else {
+                diags.push(Diagnostic::error(
+                    u.span,
+                    format!("`{}` has no member named `{}`", u.base, u.member),
+                ));
+                continue;
+            };
+            let origin_id = b.class(&origin_name);
+            let decl = MemberDecl::using_from(found.kind, u.access, origin_id);
+            match b.member_with(id, &u.member, decl) {
+                Ok(_) => {
+                    declares.insert((class.name.clone(), u.member.clone()), decl);
+                }
+                Err(e) => diags.push(Diagnostic::error(u.span, e.to_string())),
+            }
+        }
+        complete.insert(class.name.clone());
+    }
+
+    match b.finish() {
+        Ok(chg) => (chg, diags),
+        Err(e) => {
+            // Unreachable given define-before-inherit, but degrade
+            // gracefully rather than panic.
+            diags.push(Diagnostic::error(
+                Default::default(),
+                format!("internal lowering error: {e}"),
+            ));
+            (ChgBuilder::new().finish().expect("empty graph is valid"), diags)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use cpplookup_chg::MemberKind;
+
+    fn lowered(src: &str) -> (Chg, Vec<Diagnostic>) {
+        let (program, pdiags) = parse(src);
+        assert!(pdiags.is_empty(), "parse diagnostics: {pdiags:?}");
+        lower(&program)
+    }
+
+    #[test]
+    fn fig2_from_source_matches_fixture() {
+        let (g, diags) = lowered(
+            "class A { public: void m(); };\n\
+             class B : public A {};\n\
+             class C : virtual public B {};\n\
+             class D : virtual public B { public: void m(); };\n\
+             class E : public C, public D {};\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        let fixture = cpplookup_chg::fixtures::fig2();
+        assert_eq!(g.class_count(), fixture.class_count());
+        assert_eq!(g.edge_count(), fixture.edge_count());
+        let e = g.class_by_name("E").unwrap();
+        let bb = g.class_by_name("B").unwrap();
+        assert!(g.is_virtual_base_of(bb, e));
+    }
+
+    #[test]
+    fn unknown_base_diagnosed() {
+        let (g, diags) = lowered("class D : public Mystery { };");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unknown base class `Mystery`"));
+        assert_eq!(g.class_count(), 1);
+    }
+
+    #[test]
+    fn incomplete_base_diagnosed() {
+        let (_, diags) = lowered("class B; class D : public B {}; class B {};");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("incomplete base class `B`"), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_definition_diagnosed() {
+        let (_, diags) = lowered("class A {}; class A { int x; };");
+        assert!(diags.iter().any(|d| d.message.contains("redefinition")));
+    }
+
+    #[test]
+    fn duplicate_base_diagnosed() {
+        let (_, diags) = lowered("class A {}; class D : public A, private A {};");
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("more than once")), "{diags:?}");
+    }
+
+    #[test]
+    fn default_base_access_differs_for_class_and_struct() {
+        let (g, diags) =
+            lowered("class A {}; class C : A {}; struct S : A {};");
+        assert!(diags.is_empty());
+        let a = g.class_by_name("A").unwrap();
+        let c = g.class_by_name("C").unwrap();
+        let s = g.class_by_name("S").unwrap();
+        assert_eq!(g.edge_spec(a, c).unwrap().access, Access::Private);
+        assert_eq!(g.edge_spec(a, s).unwrap().access, Access::Public);
+    }
+
+    #[test]
+    fn member_kinds_survive_lowering() {
+        let (g, diags) = lowered(
+            "struct S { static int s; enum { RED }; typedef int T; void f(); };",
+        );
+        assert!(diags.is_empty());
+        let s = g.class_by_name("S").unwrap();
+        let kind = |n: &str| {
+            g.member_decl(s, g.member_by_name(n).unwrap()).unwrap().kind
+        };
+        assert_eq!(kind("s"), MemberKind::StaticData);
+        assert_eq!(kind("RED"), MemberKind::Enumerator);
+        assert_eq!(kind("T"), MemberKind::TypeName);
+        assert_eq!(kind("f"), MemberKind::Function);
+    }
+
+    #[test]
+    fn conflicting_member_diagnosed() {
+        let (_, diags) = lowered("struct S { int m; void m(); };");
+        assert!(diags.iter().any(|d| d.message.contains("conflicting")));
+    }
+
+    #[test]
+    fn overloads_are_fine() {
+        let (g, diags) = lowered("struct S { void f(); void f(); };");
+        assert!(diags.is_empty());
+        let s = g.class_by_name("S").unwrap();
+        assert_eq!(g.declared_members(s).len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod using_decl_tests {
+    use super::*;
+    use crate::parser::parse;
+    use cpplookup_chg::MemberKind;
+    use cpplookup_core::{LookupOutcome, LookupTable};
+
+    fn lowered(src: &str) -> (Chg, Vec<Diagnostic>) {
+        let (program, pdiags) = parse(src);
+        assert!(pdiags.is_empty(), "parse diagnostics: {pdiags:?}");
+        lower(&program)
+    }
+
+    #[test]
+    fn using_resolves_a_diamond_ambiguity() {
+        let with_using = "struct A { int m; };\n\
+                          struct B : A {}; struct C : A {};\n\
+                          struct D : B, C { using B::m; };\n";
+        let (g, diags) = lowered(with_using);
+        assert!(diags.is_empty(), "{diags:?}");
+        let d = g.class_by_name("D").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        let t = LookupTable::build(&g);
+        match t.lookup(d, m) {
+            LookupOutcome::Resolved { class, .. } => {
+                // The using-declaration counts as a declaration in D.
+                assert_eq!(class, d);
+            }
+            other => panic!("using should disambiguate, got {other:?}"),
+        }
+        // The declaration remembers its origin.
+        let decl = g.member_decl(d, m).unwrap();
+        assert_eq!(decl.via_using, Some(g.class_by_name("A").unwrap()));
+        // Without the using-declaration the lookup is ambiguous.
+        let (g2, _) = lowered(
+            "struct A { int m; };\n\
+             struct B : A {}; struct C : A {};\n\
+             struct D : B, C {};\n",
+        );
+        let d2 = g2.class_by_name("D").unwrap();
+        let m2 = g2.member_by_name("m").unwrap();
+        assert!(matches!(
+            LookupTable::build(&g2).lookup(d2, m2),
+            LookupOutcome::Ambiguous { .. }
+        ));
+    }
+
+    #[test]
+    fn using_preserves_kind_and_staticness() {
+        let (g, diags) = lowered(
+            "struct A { static int s; };\n\
+             struct B : A { using A::s; };\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        let b = g.class_by_name("B").unwrap();
+        let s = g.member_by_name("s").unwrap();
+        let decl = g.member_decl(b, s).unwrap();
+        assert_eq!(decl.kind, MemberKind::StaticData);
+    }
+
+    #[test]
+    fn using_changes_access() {
+        // The classic re-exposure idiom: privately inherit, re-publish
+        // one member.
+        let src = "struct B { int keep; int hide; };\n\
+                   struct D : private B { public: using B::keep; };\n\
+                   int main() { D d; d.keep; d.hide; }\n";
+        let (program, _) = parse(src);
+        let analysis = crate::resolve::analyze(src);
+        let _ = program;
+        let keep = analysis.queries.iter().find(|q| q.description == "d.keep").unwrap();
+        assert!(
+            matches!(keep.result, crate::resolve::QueryResult::Resolved { .. }),
+            "{:?}",
+            keep.result
+        );
+        let hide = analysis.queries.iter().find(|q| q.description == "d.hide").unwrap();
+        assert!(
+            matches!(hide.result, crate::resolve::QueryResult::AccessDenied { .. }),
+            "{:?}",
+            hide.result
+        );
+    }
+
+    #[test]
+    fn using_unknown_base_or_member_diagnosed() {
+        let (_, diags) = lowered("struct D { using Nope::m; };");
+        assert!(diags.iter().any(|d| d.message.contains("unknown class")));
+        let (_, diags) = lowered("struct A {}; struct D : A { using A::ghost; };");
+        assert!(diags.iter().any(|d| d.message.contains("no member named")), "{diags:?}");
+        // Naming a non-base is also an error.
+        let (_, diags) = lowered("struct A { int m; }; struct D { using A::m; };");
+        assert!(diags.iter().any(|d| d.message.contains("not a base")), "{diags:?}");
+    }
+
+    #[test]
+    fn using_finds_members_of_indirect_bases() {
+        let (g, diags) = lowered(
+            "struct Root { int deep; };\n\
+             struct Mid : Root {};\n\
+             struct B : Mid {}; struct C : Mid {};\n\
+             struct D : B, C { using B::deep; };\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        let d = g.class_by_name("D").unwrap();
+        let deep = g.member_by_name("deep").unwrap();
+        let t = LookupTable::build(&g);
+        assert!(t.lookup(d, deep).is_resolved());
+        let decl = g.member_decl(d, deep).unwrap();
+        assert_eq!(decl.via_using, Some(g.class_by_name("Root").unwrap()));
+    }
+}

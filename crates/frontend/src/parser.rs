@@ -1,0 +1,1032 @@
+//! Recursive-descent parser for the mini-C++ subset.
+//!
+//! The parser is resilient: every syntax error produces a [`Diagnostic`]
+//! and recovery skips to the next safe point, so a [`Program`] always
+//! comes back (possibly partial) together with the diagnostics.
+
+use cpplookup_chg::{Access, MemberKind};
+
+use crate::ast::{
+    AccessExpr, AstBase, AstMember, AstUsing, Block, ClassDecl, FunctionDef, GlobalVar, Program,
+    Stmt,
+};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a translation unit, returning the AST and all diagnostics
+/// (lexer and parser).
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_frontend::parser::parse;
+///
+/// let (program, diags) = parse("struct A { int m; }; struct B : virtual A {};");
+/// assert!(diags.is_empty());
+/// assert_eq!(program.classes.len(), 2);
+/// assert!(program.classes[1].bases[0].virtual_);
+/// ```
+pub fn parse(source: &str) -> (Program, Vec<Diagnostic>) {
+    let (tokens, mut diags) = lex(source);
+    let mut parser = Parser {
+        tokens: &tokens,
+        pos: 0,
+        diags: Vec::new(),
+        ns: Vec::new(),
+    };
+    let program = parser.parse_program();
+    diags.extend(parser.diags);
+    (program, diags)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    diags: Vec<Diagnostic>,
+    /// The enclosing namespace path.
+    ns: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &'a Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_at(&self, n: usize) -> &'a Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> &'a Token {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> bool {
+        if self.eat(kind) {
+            true
+        } else {
+            let t = self.peek().clone();
+            self.error(t.span, format!("expected {what}, found {}", t.kind));
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Option<(String, Span)> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                let span = self.peek().span;
+                self.bump();
+                Some((s, span))
+            }
+            other => {
+                let span = self.peek().span;
+                let msg = format!("expected {what}, found {other}");
+                self.error(span, msg);
+                None
+            }
+        }
+    }
+
+    fn error(&mut self, span: Span, message: String) {
+        self.diags.push(Diagnostic::error(span, message));
+    }
+
+    /// Skips tokens until one of `stops` (or EOF); does not consume the
+    /// stop token. Balanced braces/parens are skipped wholesale.
+    fn skip_until(&mut self, stops: &[TokenKind]) {
+        while !self.at_eof() {
+            if stops.contains(&self.peek().kind) {
+                return;
+            }
+            match self.peek().kind {
+                TokenKind::LBrace => self.skip_balanced(&TokenKind::LBrace, &TokenKind::RBrace),
+                TokenKind::LParen => self.skip_balanced(&TokenKind::LParen, &TokenKind::RParen),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Consumes an `open` token and skips to its matching `close`.
+    fn skip_balanced(&mut self, open: &TokenKind, close: &TokenKind) {
+        debug_assert!(self.at(open));
+        self.bump();
+        let mut depth = 1usize;
+        while !self.at_eof() && depth > 0 {
+            if self.at(open) {
+                depth += 1;
+            } else if self.at(close) {
+                depth -= 1;
+            }
+            self.bump();
+        }
+    }
+
+    /// The current namespace path, joined with `::`.
+    fn scope(&self) -> String {
+        self.ns.join("::")
+    }
+
+    /// Qualifies `name` with the current namespace path.
+    fn qualify(&self, name: &str) -> String {
+        if self.ns.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{}::{name}", self.scope())
+        }
+    }
+
+    /// Parses a possibly qualified identifier (`a::b::c`), returning the
+    /// joined text and its overall span.
+    fn parse_qualified_ident(&mut self, what: &str) -> Option<(String, Span)> {
+        let (mut text, mut span) = self.expect_ident(what)?;
+        while self.at(&TokenKind::ColonColon)
+            && matches!(self.peek_at(1).kind, TokenKind::Ident(_))
+        {
+            self.bump(); // ::
+            let (seg, seg_span) = self.expect_ident(what).expect("lookahead saw an identifier");
+            text.push_str("::");
+            text.push_str(&seg);
+            span = span.merge(seg_span);
+        }
+        Some((text, span))
+    }
+
+    fn parse_program(&mut self) -> Program {
+        let mut program = Program::default();
+        self.parse_items(&mut program, false);
+        program
+    }
+
+    /// Parses declarations until EOF (top level) or the closing `}` of a
+    /// namespace body.
+    fn parse_items(&mut self, program: &mut Program, in_namespace: bool) {
+        while !self.at_eof() {
+            if in_namespace && self.at(&TokenKind::RBrace) {
+                return;
+            }
+            match &self.peek().kind {
+                TokenKind::Class | TokenKind::Struct => {
+                    if let Some(class) = self.parse_class() {
+                        program.classes.push(class);
+                    }
+                }
+                TokenKind::Namespace => {
+                    self.bump();
+                    let Some((name, _)) = self.expect_ident("a namespace name") else {
+                        self.skip_until(&[TokenKind::LBrace, TokenKind::Semi]);
+                        continue;
+                    };
+                    if !self.expect(&TokenKind::LBrace, "`{` to open the namespace") {
+                        continue;
+                    }
+                    self.ns.push(name);
+                    self.parse_items(program, true);
+                    self.ns.pop();
+                    self.expect(&TokenKind::RBrace, "`}` to close the namespace");
+                }
+                TokenKind::Semi => {
+                    self.bump();
+                }
+                TokenKind::Typedef | TokenKind::Using | TokenKind::Enum => {
+                    // Top-level aliases don't affect member lookup.
+                    self.skip_until(&[TokenKind::Semi]);
+                    self.eat(&TokenKind::Semi);
+                }
+                TokenKind::Ident(_) | TokenKind::Static | TokenKind::Const
+                | TokenKind::Virtual => {
+                    self.parse_toplevel_decl(program);
+                }
+                _ => {
+                    let t = self.peek().clone();
+                    self.error(t.span, format!("unexpected {} at top level", t.kind));
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// `TYPE [*|&] NAME ;` (global variable), `TYPE NAME ( ... ) { ... }`
+    /// (function definition), or `TYPE NAME ( ... ) ;` (prototype,
+    /// ignored).
+    fn parse_toplevel_decl(&mut self, program: &mut Program) {
+        while matches!(
+            self.peek().kind,
+            TokenKind::Static | TokenKind::Const | TokenKind::Virtual
+        ) {
+            self.bump();
+        }
+        let Some((type_name, type_span)) = self.parse_qualified_ident("a type name") else {
+            self.skip_until(&[TokenKind::Semi]);
+            self.eat(&TokenKind::Semi);
+            return;
+        };
+        while matches!(self.peek().kind, TokenKind::Star | TokenKind::Amp) {
+            self.bump();
+        }
+        let Some((name, span)) = self.parse_qualified_ident("a declarator name") else {
+            self.skip_until(&[TokenKind::Semi]);
+            self.eat(&TokenKind::Semi);
+            return;
+        };
+        match self.peek().kind {
+            TokenKind::LParen => {
+                self.skip_balanced(&TokenKind::LParen, &TokenKind::RParen);
+                self.eat(&TokenKind::Const);
+                if self.at(&TokenKind::LBrace) {
+                    let body = self.parse_block();
+                    if let Some((class_part, fn_name)) = name.rsplit_once("::") {
+                        // Out-of-line member definition `void C::f() {...}`:
+                        // attach the body to the class so it is analyzed
+                        // with the class as context.
+                        program.out_of_line_methods.push(FunctionDef {
+                            scope: self.qualify(class_part),
+                            name: fn_name.to_owned(),
+                            span,
+                            body,
+                        });
+                    } else {
+                        program.functions.push(FunctionDef {
+                            scope: self.scope(),
+                            name,
+                            span,
+                            body,
+                        });
+                    }
+                } else {
+                    self.eat(&TokenKind::Semi);
+                }
+            }
+            TokenKind::Eq => {
+                self.skip_until(&[TokenKind::Semi]);
+                self.eat(&TokenKind::Semi);
+                program.globals.push(GlobalVar {
+                    scope: self.scope(),
+                    type_name,
+                    type_span,
+                    name: self.qualify(&name),
+                    span,
+                });
+            }
+            _ => {
+                self.expect(&TokenKind::Semi, "`;` after declaration");
+                program.globals.push(GlobalVar {
+                    scope: self.scope(),
+                    type_name,
+                    type_span,
+                    name: self.qualify(&name),
+                    span,
+                });
+            }
+        }
+    }
+
+    fn parse_class(&mut self) -> Option<ClassDecl> {
+        let is_struct = matches!(self.peek().kind, TokenKind::Struct);
+        self.bump(); // class/struct
+        let (name, name_span) = self.expect_ident("a class name")?;
+        let mut class = ClassDecl {
+            name: self.qualify(&name),
+            scope: self.scope(),
+            name_span,
+            is_struct,
+            forward: false,
+            bases: Vec::new(),
+            members: Vec::new(),
+            usings: Vec::new(),
+            methods: Vec::new(),
+        };
+        if self.eat(&TokenKind::Semi) {
+            class.forward = true;
+            return Some(class);
+        }
+        if self.eat(&TokenKind::Colon) {
+            loop {
+                let mut virtual_ = false;
+                let mut access = None;
+                loop {
+                    match self.peek().kind {
+                        TokenKind::Virtual => {
+                            virtual_ = true;
+                            self.bump();
+                        }
+                        TokenKind::Public => {
+                            access = Some(Access::Public);
+                            self.bump();
+                        }
+                        TokenKind::Protected => {
+                            access = Some(Access::Protected);
+                            self.bump();
+                        }
+                        TokenKind::Private => {
+                            access = Some(Access::Private);
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                if let Some((bname, bspan)) = self.parse_qualified_ident("a base class name") {
+                    class.bases.push(AstBase {
+                        name: bname,
+                        span: bspan,
+                        virtual_,
+                        access,
+                    });
+                } else {
+                    self.skip_until(&[TokenKind::Comma, TokenKind::LBrace, TokenKind::Semi]);
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        if !self.expect(&TokenKind::LBrace, "`{` to open the class body") {
+            self.skip_until(&[TokenKind::Semi]);
+            self.eat(&TokenKind::Semi);
+            return Some(class);
+        }
+        let default_access = if is_struct { Access::Public } else { Access::Private };
+        let mut access = default_access;
+        while !self.at(&TokenKind::RBrace) && !self.at_eof() {
+            self.parse_member(&mut class, &mut access);
+        }
+        self.expect(&TokenKind::RBrace, "`}` to close the class body");
+        self.expect(&TokenKind::Semi, "`;` after the class body");
+        Some(class)
+    }
+
+    fn parse_member(&mut self, class: &mut ClassDecl, access: &mut Access) {
+        match self.peek().kind.clone() {
+            TokenKind::Public => {
+                self.bump();
+                self.expect(&TokenKind::Colon, "`:` after access specifier");
+                *access = Access::Public;
+            }
+            TokenKind::Protected => {
+                self.bump();
+                self.expect(&TokenKind::Colon, "`:` after access specifier");
+                *access = Access::Protected;
+            }
+            TokenKind::Private => {
+                self.bump();
+                self.expect(&TokenKind::Colon, "`:` after access specifier");
+                *access = Access::Private;
+            }
+            TokenKind::Semi => {
+                self.bump();
+            }
+            TokenKind::Typedef => {
+                self.bump();
+                // The declarator is the last identifier before `;`.
+                let mut last: Option<(String, Span)> = None;
+                while !self.at(&TokenKind::Semi) && !self.at_eof() {
+                    if let TokenKind::Ident(s) = &self.peek().kind {
+                        last = Some((s.clone(), self.peek().span));
+                    }
+                    self.bump();
+                }
+                self.eat(&TokenKind::Semi);
+                match last {
+                    Some((name, span)) => class.members.push(AstMember {
+                        name,
+                        span,
+                        kind: MemberKind::TypeName,
+                        access: *access,
+                    }),
+                    None => {
+                        let span = self.peek().span;
+                        self.error(span, "typedef without a name".into());
+                    }
+                }
+            }
+            TokenKind::Using => {
+                self.bump();
+                if let Some((name, span)) = self.parse_qualified_ident("a name after `using`") {
+                    if self.at(&TokenKind::Eq) {
+                        // `using alias = ...;` — a nested type name.
+                        self.skip_until(&[TokenKind::Semi]);
+                        class.members.push(AstMember {
+                            name,
+                            span,
+                            kind: MemberKind::TypeName,
+                            access: *access,
+                        });
+                    } else if let Some((base, member)) = name.rsplit_once("::") {
+                        // `using Base::m;` — re-declares the inherited
+                        // member in this class's scope.
+                        class.usings.push(AstUsing {
+                            base: base.to_owned(),
+                            member: member.to_owned(),
+                            span,
+                            access: *access,
+                        });
+                    } else {
+                        self.error(span, "expected `Base::member` after `using`".into());
+                    }
+                }
+                self.expect(&TokenKind::Semi, "`;` after using-declaration");
+            }
+            TokenKind::Enum => {
+                self.bump();
+                // Optional `class`/`struct` of a scoped enum, optional tag.
+                let scoped = self.eat(&TokenKind::Class) || self.eat(&TokenKind::Struct);
+                if let TokenKind::Ident(tag) = self.peek().kind.clone() {
+                    let span = self.peek().span;
+                    self.bump();
+                    class.members.push(AstMember {
+                        name: tag,
+                        span,
+                        kind: MemberKind::TypeName,
+                        access: *access,
+                    });
+                }
+                if self.eat(&TokenKind::Colon) {
+                    // Underlying type; skip.
+                    self.skip_until(&[TokenKind::LBrace, TokenKind::Semi]);
+                }
+                if self.at(&TokenKind::LBrace) {
+                    self.bump();
+                    while !self.at(&TokenKind::RBrace) && !self.at_eof() {
+                        if let Some((name, span)) = self.expect_ident("an enumerator name") {
+                            // Scoped enumerators do not leak into the
+                            // class scope.
+                            if !scoped {
+                                class.members.push(AstMember {
+                                    name,
+                                    span,
+                                    kind: MemberKind::Enumerator,
+                                    access: *access,
+                                });
+                            }
+                        }
+                        if self.at(&TokenKind::Eq) {
+                            self.skip_until(&[TokenKind::Comma, TokenKind::RBrace]);
+                        }
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RBrace, "`}` to close the enum");
+                }
+                self.expect(&TokenKind::Semi, "`;` after the enum");
+            }
+            TokenKind::Class | TokenKind::Struct => {
+                // Nested class: recorded as a type name; its own members
+                // are not lowered (nested hierarchies are out of subset).
+                self.bump();
+                if let Some((name, span)) = self.expect_ident("a nested class name") {
+                    class.members.push(AstMember {
+                        name,
+                        span,
+                        kind: MemberKind::TypeName,
+                        access: *access,
+                    });
+                }
+                self.skip_until(&[TokenKind::Semi]);
+                self.eat(&TokenKind::Semi);
+            }
+            TokenKind::Tilde => {
+                // Destructor: ~X() {...} or ~X();
+                self.bump();
+                let _ = self.expect_ident("the destructor class name");
+                if self.at(&TokenKind::LParen) {
+                    self.skip_balanced(&TokenKind::LParen, &TokenKind::RParen);
+                }
+                if self.at(&TokenKind::LBrace) {
+                    self.skip_balanced(&TokenKind::LBrace, &TokenKind::RBrace);
+                } else {
+                    self.skip_until(&[TokenKind::Semi]);
+                    self.eat(&TokenKind::Semi);
+                }
+            }
+            _ => self.parse_data_or_function_member(class, *access),
+        }
+    }
+
+    /// `[static] [virtual] type... NAME (';' | '= init;' | ', more;' |
+    /// '(params) [const] (';' | '= 0;' | '{ body }')`.
+    fn parse_data_or_function_member(&mut self, class: &mut ClassDecl, access: Access) {
+        let mut is_static = false;
+        loop {
+            match self.peek().kind {
+                TokenKind::Static => {
+                    is_static = true;
+                    self.bump();
+                }
+                TokenKind::Virtual | TokenKind::Const => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        // Scan the declaration, remembering the last identifier before a
+        // structural token: that is the declarator name.
+        let mut last: Option<(String, Span)> = None;
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Ident(s) => {
+                    last = Some((s, self.peek().span));
+                    self.bump();
+                }
+                TokenKind::Star | TokenKind::Amp | TokenKind::Const | TokenKind::ColonColon => {
+                    self.bump();
+                }
+                TokenKind::Lt => {
+                    // Template arguments: skip to the matching `>`.
+                    self.skip_balanced(&TokenKind::Lt, &TokenKind::Gt);
+                }
+                TokenKind::LParen => {
+                    // Function member.
+                    self.skip_balanced(&TokenKind::LParen, &TokenKind::RParen);
+                    self.eat(&TokenKind::Const);
+                    // Constructors (`X(...)` where X is the class's own
+                    // unqualified name) are not members for lookup.
+                    if let Some((ctor, _)) = &last {
+                        let simple = class.name.rsplit("::").next().unwrap_or(&class.name);
+                        if ctor == simple {
+                            if self.at(&TokenKind::LBrace) {
+                                self.skip_balanced(&TokenKind::LBrace, &TokenKind::RBrace);
+                            } else {
+                                self.skip_until(&[TokenKind::Semi]);
+                                self.eat(&TokenKind::Semi);
+                            }
+                            return;
+                        }
+                    }
+                    let Some((name, span)) = last else {
+                        let sp = self.peek().span;
+                        self.error(sp, "member function without a name".into());
+                        self.skip_until(&[TokenKind::Semi]);
+                        self.eat(&TokenKind::Semi);
+                        return;
+                    };
+                    let kind = if is_static {
+                        MemberKind::StaticFunction
+                    } else {
+                        MemberKind::Function
+                    };
+                    class.members.push(AstMember {
+                        name: name.clone(),
+                        span,
+                        kind,
+                        access,
+                    });
+                    if self.at(&TokenKind::LBrace) {
+                        let body = self.parse_block();
+                        class.methods.push(FunctionDef {
+                            scope: self.scope(),
+                            name,
+                            span,
+                            body,
+                        });
+                    } else {
+                        // `;` or `= 0;`
+                        self.skip_until(&[TokenKind::Semi]);
+                        self.eat(&TokenKind::Semi);
+                    }
+                    return;
+                }
+                TokenKind::Semi | TokenKind::Eq | TokenKind::Comma => {
+                    let Some((name, span)) = last.take() else {
+                        let sp = self.peek().span;
+                        self.error(sp, "member declaration without a name".into());
+                        self.skip_until(&[TokenKind::Semi]);
+                        self.eat(&TokenKind::Semi);
+                        return;
+                    };
+                    let kind = if is_static {
+                        MemberKind::StaticData
+                    } else {
+                        MemberKind::Data
+                    };
+                    class.members.push(AstMember { name, span, kind, access });
+                    if self.at(&TokenKind::Eq) {
+                        self.skip_until(&[TokenKind::Comma, TokenKind::Semi]);
+                    }
+                    if self.eat(&TokenKind::Comma) {
+                        // Further declarators share the type and flags.
+                        continue;
+                    }
+                    self.expect(&TokenKind::Semi, "`;` after member declaration");
+                    return;
+                }
+                TokenKind::Eof | TokenKind::RBrace => {
+                    let sp = self.peek().span;
+                    self.error(sp, "unterminated member declaration".into());
+                    return;
+                }
+                other => {
+                    let sp = self.peek().span;
+                    self.error(sp, format!("unexpected {other} in member declaration"));
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_block(&mut self) -> Block {
+        let mut block = Block::default();
+        if !self.expect(&TokenKind::LBrace, "`{`") {
+            return block;
+        }
+        while !self.at(&TokenKind::RBrace) && !self.at_eof() {
+            if let Some(stmt) = self.parse_stmt() {
+                block.stmts.push(stmt);
+            }
+        }
+        self.expect(&TokenKind::RBrace, "`}`");
+        block
+    }
+
+    fn parse_stmt(&mut self) -> Option<Stmt> {
+        match self.peek().kind.clone() {
+            TokenKind::LBrace => Some(Stmt::Block(self.parse_block())),
+            TokenKind::Semi => {
+                self.bump();
+                None
+            }
+            TokenKind::Ident(first) if first == "return" => {
+                self.bump();
+                let mut accesses = Vec::new();
+                if !self.at(&TokenKind::Semi) {
+                    self.parse_expr(&mut accesses);
+                }
+                self.expect(&TokenKind::Semi, "`;` after return");
+                Some(Stmt::Expr(accesses))
+            }
+            TokenKind::Ident(_) => {
+                // Local declaration iff: Ident (*|&)* Ident followed by
+                // `;` or `=`.
+                if let Some(stmt) = self.try_parse_local() {
+                    return Some(stmt);
+                }
+                let mut accesses = Vec::new();
+                self.parse_expr(&mut accesses);
+                self.expect(&TokenKind::Semi, "`;` after expression");
+                Some(Stmt::Expr(accesses))
+            }
+            TokenKind::Int(_) => {
+                let mut accesses = Vec::new();
+                self.parse_expr(&mut accesses);
+                self.expect(&TokenKind::Semi, "`;` after expression");
+                Some(Stmt::Expr(accesses))
+            }
+            other => {
+                let sp = self.peek().span;
+                self.error(sp, format!("unexpected {other} in function body"));
+                self.bump();
+                None
+            }
+        }
+    }
+
+    fn try_parse_local(&mut self) -> Option<Stmt> {
+        // Lookahead: Ident (:: Ident)* (*|&)* Ident (; | =)
+        let mut n = 1;
+        while matches!(self.peek_at(n).kind, TokenKind::ColonColon)
+            && matches!(self.peek_at(n + 1).kind, TokenKind::Ident(_))
+        {
+            n += 2;
+        }
+        while matches!(self.peek_at(n).kind, TokenKind::Star | TokenKind::Amp) {
+            n += 1;
+        }
+        if !matches!(self.peek_at(n).kind, TokenKind::Ident(_)) {
+            return None;
+        }
+        if !matches!(self.peek_at(n + 1).kind, TokenKind::Semi | TokenKind::Eq) {
+            return None;
+        }
+        let (type_name, type_span) = self
+            .parse_qualified_ident("a type name")
+            .expect("lookahead saw an identifier");
+        while matches!(self.peek().kind, TokenKind::Star | TokenKind::Amp) {
+            self.bump();
+        }
+        let (name, span) = self.expect_ident("a variable name")?;
+        if self.at(&TokenKind::Eq) {
+            self.skip_until(&[TokenKind::Semi]);
+        }
+        self.expect(&TokenKind::Semi, "`;` after declaration");
+        Some(Stmt::Local {
+            type_name,
+            type_span,
+            name,
+            span,
+        })
+    }
+
+    /// Parses one expression (chain, optional call, optional `=` RHS),
+    /// collecting the member accesses it performs. Stops before `;`, `,`
+    /// or `)`.
+    fn parse_expr(&mut self, out: &mut Vec<AccessExpr>) {
+        self.parse_chain(out);
+        if self.eat(&TokenKind::Eq) {
+            self.parse_expr(out);
+        }
+    }
+
+    fn parse_chain(&mut self, out: &mut Vec<AccessExpr>) {
+        match self.peek().kind.clone() {
+            TokenKind::Int(_) => {
+                self.bump();
+            }
+            TokenKind::Ident(first) => {
+                let first_span = self.peek().span;
+                self.bump();
+                if self.at(&TokenKind::ColonColon) {
+                    // a::b::...::m — all but the last segment qualify the
+                    // scope, the last is the member.
+                    let mut segments = vec![(first, first_span)];
+                    while self.eat(&TokenKind::ColonColon) {
+                        match self.expect_ident("a member name") {
+                            Some(seg) => segments.push(seg),
+                            None => break,
+                        }
+                    }
+                    if segments.len() >= 2 {
+                        if matches!(self.peek().kind, TokenKind::Arrow | TokenKind::Dot) {
+                            // `ns::entity.m` — the whole path is a
+                            // (namespace-qualified) receiver.
+                            let var_span = segments
+                                .iter()
+                                .fold(segments[0].1, |acc, (_, sp)| acc.merge(*sp));
+                            let var = segments
+                                .iter()
+                                .map(|(s, _)| s.as_str())
+                                .collect::<Vec<_>>()
+                                .join("::");
+                            self.bump(); // . or ->
+                            if let Some((member, member_span)) =
+                                self.expect_ident("a member name")
+                            {
+                                out.push(AccessExpr::Through {
+                                    var,
+                                    var_span,
+                                    member,
+                                    member_span,
+                                });
+                                self.finish_postfix(out);
+                            }
+                            return;
+                        }
+                        let (member, member_span) = segments.pop().expect("len >= 2");
+                        let class_span = segments
+                            .iter()
+                            .fold(segments[0].1, |acc, (_, sp)| acc.merge(*sp));
+                        let class = segments
+                            .iter()
+                            .map(|(s, _)| s.as_str())
+                            .collect::<Vec<_>>()
+                            .join("::");
+                        out.push(AccessExpr::Qualified {
+                            class,
+                            class_span,
+                            member,
+                            member_span,
+                        });
+                        self.finish_postfix(out);
+                    }
+                } else if matches!(self.peek().kind, TokenKind::Arrow | TokenKind::Dot) {
+                    self.bump();
+                    if let Some((member, member_span)) = self.expect_ident("a member name") {
+                        out.push(AccessExpr::Through {
+                            var: first,
+                            var_span: first_span,
+                            member,
+                            member_span,
+                        });
+                        self.finish_postfix(out);
+                    }
+                } else {
+                    out.push(AccessExpr::Unqualified {
+                        name: first,
+                        span: first_span,
+                    });
+                    self.finish_postfix(out);
+                }
+            }
+            other => {
+                let sp = self.peek().span;
+                self.error(sp, format!("unexpected {other} in expression"));
+                self.bump();
+            }
+        }
+    }
+
+    /// After the first recorded access: consume a call's arguments
+    /// (collecting their accesses) and silently swallow any further
+    /// `.`/`->` selections (their receiver types are unknown to the
+    /// subset).
+    fn finish_postfix(&mut self, out: &mut Vec<AccessExpr>) {
+        loop {
+            match self.peek().kind {
+                TokenKind::LParen => {
+                    self.bump();
+                    while !self.at(&TokenKind::RParen) && !self.at_eof() {
+                        self.parse_expr(out);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "`)` to close the call");
+                }
+                TokenKind::Arrow | TokenKind::Dot => {
+                    self.bump();
+                    let _ = self.expect_ident("a member name");
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(src: &str) -> Program {
+        let (p, diags) = parse(src);
+        assert!(diags.is_empty(), "diagnostics: {diags:?}");
+        p
+    }
+
+    #[test]
+    fn parse_fig1_program() {
+        // Figure 1 of the paper, verbatim modulo formatting.
+        let p = ok("class A { public: void m(); };\n\
+                    class B : public A {};\n\
+                    class C : public B {};\n\
+                    class D : public B { public: void m(); };\n\
+                    class E : public C, public D {};\n\
+                    E *p;\n\
+                    int main() { p->m(); return 0; }\n");
+        assert_eq!(p.classes.len(), 5);
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.globals[0].type_name, "E");
+        assert_eq!(p.functions.len(), 1);
+        let main = &p.functions[0];
+        let Stmt::Expr(accesses) = &main.body.stmts[0] else {
+            panic!("expected expression stmt");
+        };
+        assert_eq!(accesses.len(), 1);
+        assert!(matches!(&accesses[0], AccessExpr::Through { var, member, .. }
+            if var == "p" && member == "m"));
+    }
+
+    #[test]
+    fn struct_defaults_public_class_private() {
+        let p = ok("struct S { int a; }; class C { int b; public: int c; };");
+        assert_eq!(p.classes[0].members[0].access, Access::Public);
+        assert_eq!(p.classes[1].members[0].access, Access::Private);
+        assert_eq!(p.classes[1].members[1].access, Access::Public);
+    }
+
+    #[test]
+    fn base_specifiers() {
+        let p = ok("struct D : virtual public A, private B, C {};");
+        let b = &p.classes[0].bases;
+        assert_eq!(b.len(), 3);
+        assert!(b[0].virtual_ && b[0].access == Some(Access::Public));
+        assert!(!b[1].virtual_ && b[1].access == Some(Access::Private));
+        assert!(!b[2].virtual_ && b[2].access.is_none());
+    }
+
+    #[test]
+    fn member_kinds() {
+        let p = ok("struct S {\n\
+                    int data;\n\
+                    static int sdata;\n\
+                    void f();\n\
+                    static void g();\n\
+                    virtual void h() = 0;\n\
+                    typedef int word;\n\
+                    using alias = int;\n\
+                    enum Color { RED, GREEN = 2, BLUE };\n\
+                    enum { ANON };\n\
+                    };");
+        let s = &p.classes[0];
+        let kind = |n: &str| s.members.iter().find(|m| m.name == n).unwrap().kind;
+        assert_eq!(kind("data"), MemberKind::Data);
+        assert_eq!(kind("sdata"), MemberKind::StaticData);
+        assert_eq!(kind("f"), MemberKind::Function);
+        assert_eq!(kind("g"), MemberKind::StaticFunction);
+        assert_eq!(kind("h"), MemberKind::Function);
+        assert_eq!(kind("word"), MemberKind::TypeName);
+        assert_eq!(kind("alias"), MemberKind::TypeName);
+        assert_eq!(kind("Color"), MemberKind::TypeName);
+        assert_eq!(kind("RED"), MemberKind::Enumerator);
+        assert_eq!(kind("GREEN"), MemberKind::Enumerator);
+        assert_eq!(kind("BLUE"), MemberKind::Enumerator);
+        assert_eq!(kind("ANON"), MemberKind::Enumerator);
+    }
+
+    #[test]
+    fn comma_declarators() {
+        let p = ok("struct S { int a, b, c; };");
+        let names: Vec<&str> = p.classes[0].members.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn pointer_members_and_initializers() {
+        let p = ok("struct S { S *next; int x = 3; };");
+        let names: Vec<&str> = p.classes[0].members.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["next", "x"]);
+    }
+
+    #[test]
+    fn inline_method_bodies_collected() {
+        let p = ok("struct S { int x; void f() { x = 1; } };");
+        let s = &p.classes[0];
+        assert_eq!(s.methods.len(), 1);
+        assert_eq!(s.methods[0].name, "f");
+        let Stmt::Expr(acc) = &s.methods[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(&acc[0], AccessExpr::Unqualified { name, .. } if name == "x"));
+    }
+
+    #[test]
+    fn qualified_and_dot_accesses() {
+        let p = ok("int main() { E e; e.m = 10; S::m; }");
+        let body = &p.functions[0].body;
+        assert!(matches!(&body.stmts[0], Stmt::Local { type_name, name, .. }
+            if type_name == "E" && name == "e"));
+        let Stmt::Expr(a1) = &body.stmts[1] else { panic!() };
+        assert!(matches!(&a1[0], AccessExpr::Through { var, member, .. }
+            if var == "e" && member == "m"));
+        let Stmt::Expr(a2) = &body.stmts[2] else { panic!() };
+        assert!(matches!(&a2[0], AccessExpr::Qualified { class, member, .. }
+            if class == "S" && member == "m"));
+    }
+
+    #[test]
+    fn call_arguments_are_scanned() {
+        let p = ok("int main() { f(a.x, B::y); }");
+        let Stmt::Expr(acc) = &p.functions[0].body.stmts[0] else { panic!() };
+        // f (unqualified), a.x (through), B::y (qualified).
+        assert_eq!(acc.len(), 3);
+    }
+
+    #[test]
+    fn forward_declarations() {
+        let p = ok("class A; class A { int m; };");
+        assert_eq!(p.classes.len(), 2);
+        assert!(p.classes[0].forward);
+        assert!(!p.classes[1].forward);
+    }
+
+    #[test]
+    fn destructors_are_skipped() {
+        let p = ok("struct S { ~S(); int x; };");
+        assert_eq!(p.classes[0].members.len(), 1);
+        assert_eq!(p.classes[0].members[0].name, "x");
+    }
+
+    #[test]
+    fn error_recovery_keeps_parsing() {
+        let (p, diags) = parse("class { int x; }; struct T { int y; };");
+        assert!(!diags.is_empty());
+        // T still parses.
+        assert!(p.classes.iter().any(|c| c.name == "T"));
+    }
+
+    #[test]
+    fn scoped_enum_members_stay_scoped() {
+        let p = ok("struct S { enum class E { A, B }; };");
+        let names: Vec<&str> = p.classes[0].members.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["E"], "A and B do not leak into S");
+    }
+
+    #[test]
+    fn nested_class_becomes_type_member() {
+        let p = ok("struct S { struct Inner { int z; }; int w; };");
+        let names: Vec<&str> = p.classes[0].members.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["Inner", "w"]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Namespace-scope name resolution.
+//!
+//! Section 6 of the paper reduces unqualified-name resolution to
+//! "traditional name lookup in the presence of nested scopes" whose
+//! class levels bottom out in member lookup. The namespace levels are
+//! ordinary outward scope walking, implemented here over fully qualified
+//! names joined with `::`.
+
+/// Resolves `written` (possibly itself qualified) against the enclosing
+/// namespace path `scope` (`"a::b"`, `""` for global scope): tries
+/// `a::b::written`, then `a::written`, then `written`, returning the
+/// first qualified candidate accepted by `exists`.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_frontend::scopes::resolve_in_scopes;
+///
+/// let known = ["gui::Widget", "Widget", "gui::detail::Impl"];
+/// let exists = |name: &str| known.contains(&name);
+/// assert_eq!(
+///     resolve_in_scopes("gui::detail", "Widget", exists).as_deref(),
+///     Some("gui::Widget")
+/// );
+/// assert_eq!(
+///     resolve_in_scopes("", "Widget", exists).as_deref(),
+///     Some("Widget")
+/// );
+/// assert_eq!(
+///     resolve_in_scopes("gui", "detail::Impl", exists).as_deref(),
+///     Some("gui::detail::Impl")
+/// );
+/// assert_eq!(resolve_in_scopes("gui", "Nope", exists), None);
+/// ```
+pub fn resolve_in_scopes(
+    scope: &str,
+    written: &str,
+    exists: impl Fn(&str) -> bool,
+) -> Option<String> {
+    let mut segments: Vec<&str> = if scope.is_empty() {
+        Vec::new()
+    } else {
+        scope.split("::").collect()
+    };
+    loop {
+        let candidate = if segments.is_empty() {
+            written.to_owned()
+        } else {
+            format!("{}::{written}", segments.join("::"))
+        };
+        if exists(&candidate) {
+            return Some(candidate);
+        }
+        segments.pop()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_scope_wins() {
+        let known = ["N::X", "X"];
+        let exists = |n: &str| known.contains(&n);
+        assert_eq!(resolve_in_scopes("N", "X", exists).unwrap(), "N::X");
+        assert_eq!(resolve_in_scopes("", "X", exists).unwrap(), "X");
+        assert_eq!(resolve_in_scopes("M", "X", exists).unwrap(), "X");
+    }
+
+    #[test]
+    fn deep_scopes_walk_outward() {
+        let known = ["a::T"];
+        let exists = |n: &str| known.contains(&n);
+        assert_eq!(
+            resolve_in_scopes("a::b::c", "T", exists).unwrap(),
+            "a::T"
+        );
+    }
+
+    #[test]
+    fn qualified_written_names() {
+        let known = ["a::b::T"];
+        let exists = |n: &str| known.contains(&n);
+        assert_eq!(
+            resolve_in_scopes("a", "b::T", exists).unwrap(),
+            "a::b::T"
+        );
+        assert_eq!(
+            resolve_in_scopes("", "a::b::T", exists).unwrap(),
+            "a::b::T"
+        );
+        assert_eq!(resolve_in_scopes("", "b::T", exists), None);
+    }
+
+    #[test]
+    fn empty_everything() {
+        assert_eq!(resolve_in_scopes("", "x", |_| false), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Source positions for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(self) -> bool {
+        self.start >= self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// 1-based line/column position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in bytes).
+    pub column: usize,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Converts byte offsets to line/column positions.
+#[derive(Clone, Debug)]
+pub struct LineMap {
+    /// Byte offsets where each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<usize>,
+}
+
+impl LineMap {
+    /// Builds the map for `source`.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// Line/column of a byte offset.
+    pub fn position(&self, offset: usize) -> LineCol {
+        let line = self
+            .line_starts
+            .partition_point(|&s| s <= offset)
+            .saturating_sub(1);
+        LineCol {
+            line: line + 1,
+            column: offset - self.line_starts[line] + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions() {
+        let map = LineMap::new("ab\ncd\n\nx");
+        assert_eq!(map.position(0), LineCol { line: 1, column: 1 });
+        assert_eq!(map.position(1), LineCol { line: 1, column: 2 });
+        assert_eq!(map.position(3), LineCol { line: 2, column: 1 });
+        assert_eq!(map.position(6), LineCol { line: 3, column: 1 });
+        assert_eq!(map.position(7), LineCol { line: 4, column: 1 });
+    }
+
+    #[test]
+    fn merge_and_display() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(a.to_string(), "2..5");
+        assert!(!a.is_empty());
+        assert!(Span::new(3, 3).is_empty());
+    }
+
+    #[test]
+    fn empty_source() {
+        let map = LineMap::new("");
+        assert_eq!(map.position(0), LineCol { line: 1, column: 1 });
+    }
+}

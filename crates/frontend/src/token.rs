@@ -1,0 +1,154 @@
+//! Tokens of the mini-C++ subset.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// Token kinds. Type-ish keywords (`int`, `void`, ...) lex as
+/// [`TokenKind::Ident`]; only structurally significant keywords get their
+/// own kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or type-ish keyword.
+    Ident(String),
+    /// An integer literal (value kept as text; it is never evaluated).
+    Int(String),
+    /// `class`
+    Class,
+    /// `struct`
+    Struct,
+    /// `public`
+    Public,
+    /// `protected`
+    Protected,
+    /// `private`
+    Private,
+    /// `virtual`
+    Virtual,
+    /// `static`
+    Static,
+    /// `typedef`
+    Typedef,
+    /// `using`
+    Using,
+    /// `enum`
+    Enum,
+    /// `namespace`
+    Namespace,
+    /// `const`
+    Const,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `,`
+    Comma,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `=`
+    Eq,
+    /// `->`
+    Arrow,
+    /// `.`
+    Dot,
+    /// `~` (destructor names)
+    Tilde,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(s) => write!(f, "`{s}`"),
+            TokenKind::Class => write!(f, "`class`"),
+            TokenKind::Struct => write!(f, "`struct`"),
+            TokenKind::Public => write!(f, "`public`"),
+            TokenKind::Protected => write!(f, "`protected`"),
+            TokenKind::Private => write!(f, "`private`"),
+            TokenKind::Virtual => write!(f, "`virtual`"),
+            TokenKind::Static => write!(f, "`static`"),
+            TokenKind::Typedef => write!(f, "`typedef`"),
+            TokenKind::Using => write!(f, "`using`"),
+            TokenKind::Enum => write!(f, "`enum`"),
+            TokenKind::Namespace => write!(f, "`namespace`"),
+            TokenKind::Const => write!(f, "`const`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::ColonColon => write!(f, "`::`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Tilde => write!(f, "`~`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        for k in [
+            TokenKind::Ident("x".into()),
+            TokenKind::Class,
+            TokenKind::ColonColon,
+            TokenKind::Eof,
+        ] {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn ident_accessor() {
+        assert_eq!(TokenKind::Ident("ab".into()).ident(), Some("ab"));
+        assert_eq!(TokenKind::Class.ident(), None);
+    }
+}

@@ -1,0 +1,54 @@
+//! Robustness: the frontend never panics, whatever bytes it is fed.
+
+use cpplookup_frontend::{analyze, lex, parser::parse};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary unicode soup.
+    #[test]
+    fn lexer_and_parser_survive_anything(src in "\\PC{0,200}") {
+        let (tokens, _) = lex(&src);
+        prop_assert!(!tokens.is_empty(), "EOF token always present");
+        let _ = parse(&src);
+        let _ = analyze(&src);
+    }
+
+    /// Token-shaped soup: fragments of real C++ stitched together at
+    /// random — much better at reaching deep parser paths.
+    #[test]
+    fn parser_survives_cpp_fragments(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("class"), Just("struct"), Just("namespace"), Just("virtual"),
+            Just("public"), Just("private"), Just("protected"), Just("static"),
+            Just("typedef"), Just("using"), Just("enum"), Just("const"),
+            Just("A"), Just("B"), Just("m"), Just("int"), Just("void"),
+            Just("{"), Just("}"), Just("("), Just(")"), Just(";"), Just(":"),
+            Just("::"), Just(","), Just("<"), Just(">"), Just("*"), Just("&"),
+            Just("="), Just("->"), Just("."), Just("~"), Just("0"), Just("42"),
+        ],
+        0..60,
+    )) {
+        let src = parts.join(" ");
+        let _ = analyze(&src);
+    }
+
+    /// Well-formed-ish programs mutated by deleting a random slice still
+    /// produce an analysis (possibly with diagnostics) rather than a
+    /// panic.
+    #[test]
+    fn truncated_programs_are_survivable(cut_start in 0usize..300, cut_len in 0usize..80) {
+        let base = "namespace n { struct A { int m; void f() { m = 1; } };\n\
+                    struct B : virtual A { static int s; enum { E1, E2 }; };\n\
+                    struct C : B, A {}; }\n\
+                    n::C obj;\n\
+                    int main() { obj.m; n::A::s; obj.bad; }";
+        let mut s = base.to_owned();
+        let start = cut_start.min(s.len());
+        let end = (start + cut_len).min(s.len());
+        // Only cut at char boundaries (ASCII source, always fine).
+        s.replace_range(start..end, "");
+        let _ = analyze(&s);
+    }
+}

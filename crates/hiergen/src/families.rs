@@ -1,0 +1,378 @@
+//! Structured hierarchy families with known analytic behaviour.
+//!
+//! Each family targets a specific regime of the paper's complexity
+//! analysis: chains exercise depth, stacked non-virtual diamonds blow the
+//! subobject graph up exponentially (experiment E9), their virtual twins
+//! stay linear, grids maximize path counts, and the fan families control
+//! the ambiguity rate.
+
+use cpplookup_chg::{Chg, ChgBuilder, Inheritance};
+
+/// A single-inheritance chain `C0 <- C1 <- ... <- C{n-1}` with member `m`
+/// declared at the root `C0` (and nowhere else), using virtual edges
+/// every `virtual_every`-th step when given.
+///
+/// Lookup of `m` anywhere is unambiguous; per-lookup cost is `Θ(depth)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn chain(n: usize, virtual_every: Option<usize>) -> Chg {
+    assert!(n > 0, "a chain needs at least one class");
+    let mut b = ChgBuilder::new();
+    let root = b.class("C0");
+    b.member(root, "m");
+    let mut prev = root;
+    for i in 1..n {
+        let c = b.class(&format!("C{i}"));
+        let inh = match virtual_every {
+            Some(k) if k > 0 && i % k == 0 => Inheritance::Virtual,
+            _ => Inheritance::NonVirtual,
+        };
+        b.derive(c, prev, inh).expect("fresh edge");
+        prev = c;
+    }
+    b.finish().expect("chains are acyclic")
+}
+
+/// `k` stacked diamonds:
+///
+/// ```text
+/// D0 (declares m)
+/// |    \
+/// L1    R1
+/// |    /
+/// D1  ... repeated k times ... Dk
+/// ```
+///
+/// With `joins = NonVirtual` the bottom class has `Θ(2^k)` subobjects —
+/// the paper's exponential-blowup scenario — and the lookup of `m` at
+/// `Dk` is ambiguous for `k >= 1`. With `joins = Virtual` (the upper
+/// diamond edges virtual) the count is linear and the lookup unambiguous.
+pub fn stacked_diamonds(k: usize, joins: Inheritance) -> Chg {
+    let mut b = ChgBuilder::new();
+    let mut top = b.class("D0");
+    b.member(top, "m");
+    for i in 1..=k {
+        let left = b.class(&format!("L{i}"));
+        let right = b.class(&format!("R{i}"));
+        let next = b.class(&format!("D{i}"));
+        b.derive(left, top, joins).expect("fresh edge");
+        b.derive(right, top, joins).expect("fresh edge");
+        b.derive(next, left, Inheritance::NonVirtual).expect("fresh edge");
+        b.derive(next, right, Inheritance::NonVirtual).expect("fresh edge");
+        top = next;
+    }
+    b.finish().expect("diamond stacks are acyclic")
+}
+
+/// Like [`stacked_diamonds`], but every join class `Di` *overrides* `m`.
+///
+/// Each override kills everything above it, so the paper's killing
+/// optimization (Section 4) collapses the naive propagation from
+/// `Θ(2^k)` live definitions to `Θ(k)` — the ablation workload of
+/// experiment E12. All lookups are unambiguous (the nearest override
+/// dominates).
+pub fn stacked_diamonds_overridden(k: usize, joins: Inheritance) -> Chg {
+    let mut b = ChgBuilder::new();
+    let mut top = b.class("D0");
+    b.member(top, "m");
+    for i in 1..=k {
+        let left = b.class(&format!("L{i}"));
+        let right = b.class(&format!("R{i}"));
+        let next = b.class(&format!("D{i}"));
+        b.member(next, "m");
+        b.derive(left, top, joins).expect("fresh edge");
+        b.derive(right, top, joins).expect("fresh edge");
+        b.derive(next, left, Inheritance::NonVirtual).expect("fresh edge");
+        b.derive(next, right, Inheritance::NonVirtual).expect("fresh edge");
+        top = next;
+    }
+    b.finish().expect("diamond stacks are acyclic")
+}
+
+/// One diamond of the given width: a root declaring `m`, `width`
+/// intermediate classes inheriting it (virtually or not), and one bottom
+/// class inheriting all intermediates.
+///
+/// Non-virtual: the bottom object holds `width` copies of the root, so
+/// the lookup of `m` there is ambiguous. Virtual: one shared root,
+/// unambiguous.
+pub fn wide_diamond(width: usize, root_edges: Inheritance) -> Chg {
+    let mut b = ChgBuilder::new();
+    let root = b.class("Root");
+    b.member(root, "m");
+    let bottom = b.class("Bottom");
+    for i in 0..width {
+        let mid = b.class(&format!("Mid{i}"));
+        b.derive(mid, root, root_edges).expect("fresh edge");
+        b.derive(bottom, mid, Inheritance::NonVirtual).expect("fresh edge");
+    }
+    b.finish().expect("diamonds are acyclic")
+}
+
+/// A `layers`-deep pyramid lattice: layer 0 has one root declaring `m`;
+/// each class in layer `l+1` derives from two adjacent classes of layer
+/// `l`. Path counts grow binomially while the CHG stays quadratic — a
+/// denser cousin of [`grid`].
+pub fn pyramid(layers: usize, joins: Inheritance) -> Chg {
+    assert!(layers > 0, "a pyramid needs at least one layer");
+    let mut b = ChgBuilder::new();
+    let mut previous = vec![b.class("P0_0")];
+    b.member(previous[0], "m");
+    for l in 1..layers {
+        let width = l + 1;
+        let mut current = Vec::with_capacity(width);
+        for i in 0..width {
+            let c = b.class(&format!("P{l}_{i}"));
+            if i > 0 {
+                b.derive(c, previous[i - 1], joins).expect("fresh edge");
+            }
+            if i < previous.len() {
+                b.derive(c, previous[i], joins).expect("fresh edge");
+            }
+            current.push(c);
+        }
+        previous = current;
+    }
+    b.finish().expect("pyramids are acyclic")
+}
+
+/// An interface-heavy hierarchy: `impls` concrete classes in a
+/// single-inheritance chain, each additionally "implementing" `per_class`
+/// fresh interface classes (wide multiple inheritance with **no** shared
+/// ancestors, so every lookup stays unambiguous). Models the
+/// Java-ish style that dominates real C++ frameworks.
+pub fn interface_heavy(impls: usize, per_class: usize) -> Chg {
+    assert!(impls > 0, "need at least one concrete class");
+    let mut b = ChgBuilder::new();
+    let mut prev = b.class("Impl0");
+    b.member(prev, "run");
+    for i in 1..impls {
+        let c = b.class(&format!("Impl{i}"));
+        b.derive(c, prev, Inheritance::NonVirtual).expect("fresh edge");
+        for j in 0..per_class {
+            let iface = b.class(&format!("I{i}_{j}"));
+            b.member_with(
+                iface,
+                &format!("on_{i}_{j}"),
+                cpplookup_chg::MemberDecl::public(cpplookup_chg::MemberKind::Function),
+            )
+            .expect("fresh member");
+            b.derive(c, iface, Inheritance::NonVirtual).expect("fresh edge");
+        }
+        prev = c;
+    }
+    b.finish().expect("interface stacks are acyclic")
+}
+
+/// A `w × h` inheritance grid: class `(i, j)` derives from `(i-1, j)` and
+/// `(i, j-1)` non-virtually. Member `m` lives at the origin `(0, 0)`.
+///
+/// The number of paths from the origin to `(w-1, h-1)` is
+/// `binomial(w+h-2, w-1)` — combinatorially explosive — and so is the
+/// subobject count, while the CHG itself has only `w*h` nodes.
+pub fn grid(w: usize, h: usize) -> Chg {
+    assert!(w > 0 && h > 0, "grid dimensions must be positive");
+    let mut b = ChgBuilder::new();
+    let mut ids = vec![vec![None; h]; w];
+    for i in 0..w {
+        for j in 0..h {
+            let c = b.class(&format!("G{i}_{j}"));
+            ids[i][j] = Some(c);
+            if i > 0 {
+                b.derive(c, ids[i - 1][j].expect("built row-major"), Inheritance::NonVirtual)
+                    .expect("fresh edge");
+            }
+            if j > 0 {
+                b.derive(c, ids[i][j - 1].expect("built row-major"), Inheritance::NonVirtual)
+                    .expect("fresh edge");
+            }
+        }
+    }
+    let origin = ids[0][0].expect("built");
+    b.member(origin, "m");
+    b.finish().expect("grids are acyclic")
+}
+
+/// `k` copies of the Figure 9 pattern stacked on top of each other: the
+/// bottom of each pattern becomes the `S` of the next. Every stage's
+/// lookup is unambiguous but trips the faithful g++ algorithm — a stress
+/// test for baseline incorrectness at scale.
+pub fn gxx_trap(k: usize) -> Chg {
+    let mut b = ChgBuilder::new();
+    let mut s = b.class("S0");
+    b.member(s, "m");
+    for i in 1..=k {
+        let a = b.class(&format!("A{i}"));
+        let bb = b.class(&format!("B{i}"));
+        let c = b.class(&format!("C{i}"));
+        let d = b.class(&format!("D{i}"));
+        let e = b.class(&format!("E{i}"));
+        for cls in [a, bb, c] {
+            b.member(cls, "m");
+        }
+        b.derive(a, s, Inheritance::Virtual).expect("fresh edge");
+        b.derive(bb, s, Inheritance::Virtual).expect("fresh edge");
+        b.derive(c, a, Inheritance::Virtual).expect("fresh edge");
+        b.derive(c, bb, Inheritance::Virtual).expect("fresh edge");
+        b.derive(d, c, Inheritance::NonVirtual).expect("fresh edge");
+        b.derive(e, a, Inheritance::Virtual).expect("fresh edge");
+        b.derive(e, bb, Inheritance::Virtual).expect("fresh edge");
+        b.derive(e, d, Inheritance::NonVirtual).expect("fresh edge");
+        s = e;
+    }
+    b.finish().expect("traps are acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_core::{LookupOutcome, LookupTable};
+    use cpplookup_subobject::stats::measure_blowup;
+
+    #[test]
+    fn chain_shape_and_lookup() {
+        let g = chain(100, Some(10));
+        assert_eq!(g.class_count(), 100);
+        assert_eq!(g.edge_count(), 99);
+        let t = LookupTable::build(&g);
+        let last = g.class_by_name("C99").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        match t.lookup(last, m) {
+            LookupOutcome::Resolved { class, .. } => {
+                assert_eq!(g.class_name(class), "C0")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonvirtual_diamonds_ambiguous_and_exponential() {
+        let g = stacked_diamonds(5, Inheritance::NonVirtual);
+        let t = LookupTable::build(&g);
+        let bottom = g.class_by_name("D5").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        assert!(matches!(t.lookup(bottom, m), LookupOutcome::Ambiguous { .. }));
+        let blowup = measure_blowup(&g, 100_000);
+        assert!(blowup.max_subobjects.unwrap() >= 32);
+    }
+
+    #[test]
+    fn virtual_diamonds_unambiguous_and_linear() {
+        let g = stacked_diamonds(5, Inheritance::Virtual);
+        let t = LookupTable::build(&g);
+        let bottom = g.class_by_name("D5").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        assert!(t.lookup(bottom, m).is_resolved());
+        let blowup = measure_blowup(&g, 100_000);
+        assert!(blowup.max_subobjects.unwrap() <= 3 * 5 + 1);
+    }
+
+    #[test]
+    fn overridden_diamonds_resolve_to_nearest_override() {
+        let g = stacked_diamonds_overridden(4, Inheritance::NonVirtual);
+        let t = LookupTable::build(&g);
+        let m = g.member_by_name("m").unwrap();
+        for i in 0..=4 {
+            let d = g.class_by_name(&format!("D{i}")).unwrap();
+            match t.lookup(d, m) {
+                LookupOutcome::Resolved { class, .. } => assert_eq!(class, d),
+                other => panic!("D{i}: {other:?}"),
+            }
+        }
+        // The side classes see the diamond top below them.
+        let l2 = g.class_by_name("L2").unwrap();
+        let d1 = g.class_by_name("D1").unwrap();
+        match t.lookup(l2, m) {
+            LookupOutcome::Resolved { class, .. } => assert_eq!(class, d1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_diamond_ambiguity_depends_on_virtuality() {
+        let m_of = |g: &Chg| g.member_by_name("m").unwrap();
+        let nv = wide_diamond(8, Inheritance::NonVirtual);
+        let t = LookupTable::build(&nv);
+        let bottom = nv.class_by_name("Bottom").unwrap();
+        assert!(matches!(
+            t.lookup(bottom, m_of(&nv)),
+            LookupOutcome::Ambiguous { .. }
+        ));
+        let v = wide_diamond(8, Inheritance::Virtual);
+        let t = LookupTable::build(&v);
+        let bottom = v.class_by_name("Bottom").unwrap();
+        assert!(t.lookup(bottom, m_of(&v)).is_resolved());
+    }
+
+    #[test]
+    fn grid_paths_explode_but_lookup_resolves() {
+        let g = grid(5, 5);
+        assert_eq!(g.class_count(), 25);
+        let t = LookupTable::build(&g);
+        let corner = g.class_by_name("G4_4").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        // Only one declaration: many paths, one subobject per path... all
+        // definitions share ldc and the fixed parts differ, so ambiguous.
+        assert!(matches!(t.lookup(corner, m), LookupOutcome::Ambiguous { .. }));
+        let blowup = measure_blowup(&g, 1_000_000);
+        assert!(blowup.max_subobjects.unwrap() >= 70, "binomial growth");
+    }
+
+    #[test]
+    fn pyramid_is_ambiguous_at_depth() {
+        let g = pyramid(5, Inheritance::NonVirtual);
+        assert_eq!(g.class_count(), 1 + 2 + 3 + 4 + 5);
+        let t = LookupTable::build(&g);
+        let m = g.member_by_name("m").unwrap();
+        // Interior bottom classes see the root along many paths.
+        let mid = g.class_by_name("P4_2").unwrap();
+        assert!(matches!(t.lookup(mid, m), LookupOutcome::Ambiguous { .. }));
+        // Edge classes have a single path: unambiguous.
+        let corner = g.class_by_name("P4_0").unwrap();
+        assert!(t.lookup(corner, m).is_resolved());
+        // Virtual joins collapse everything into one shared root.
+        let gv = pyramid(5, Inheritance::Virtual);
+        let tv = LookupTable::build(&gv);
+        let mv = gv.member_by_name("m").unwrap();
+        let midv = gv.class_by_name("P4_2").unwrap();
+        assert!(tv.lookup(midv, mv).is_resolved());
+    }
+
+    #[test]
+    fn interface_heavy_is_clean_and_wide() {
+        let g = interface_heavy(10, 3);
+        assert_eq!(g.class_count(), 10 + 9 * 3);
+        let t = LookupTable::build(&g);
+        assert_eq!(t.stats().blue, 0, "no shared ancestors, no ambiguity");
+        let last = g.class_by_name("Impl9").unwrap();
+        let run = g.member_by_name("run").unwrap();
+        assert!(t.lookup(last, run).is_resolved());
+        // Interface members accumulate along the chain.
+        let on = g.member_by_name("on_1_0").unwrap();
+        assert!(t.lookup(last, on).is_resolved());
+    }
+
+    #[test]
+    fn gxx_trap_resolves_at_every_stage() {
+        let g = gxx_trap(3);
+        let t = LookupTable::build(&g);
+        let m = g.member_by_name("m").unwrap();
+        for i in 1..=3 {
+            let e = g.class_by_name(&format!("E{i}")).unwrap();
+            match t.lookup(e, m) {
+                LookupOutcome::Resolved { class, .. } => {
+                    assert_eq!(g.class_name(class), format!("C{i}"));
+                }
+                other => panic!("stage {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_chain_panics() {
+        let _ = chain(0, None);
+    }
+}

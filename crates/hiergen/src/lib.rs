@@ -1,0 +1,30 @@
+//! Class-hierarchy workload generators for benchmarking and
+//! differential-testing C++ member lookup.
+//!
+//! The paper's evaluation claims are about graph *shape* — size, density,
+//! virtual-edge fraction, ambiguity rate — so this crate substitutes for
+//! the authors' proprietary codebases with two kinds of workloads:
+//!
+//! * [`families`] — structured families with known analytic behaviour
+//!   (chains, stacked diamonds, grids, the repeated Figure 9 trap),
+//! * [`random_hierarchy`] — seeded random DAGs with tunable parameters,
+//!   including a [`RandomConfig::stress`] preset for differential testing
+//!   and a [`RandomConfig::realistic`] preset for the mostly-unambiguous
+//!   regime.
+//!
+//! # Examples
+//!
+//! ```
+//! use cpplookup_hiergen::{random_hierarchy, RandomConfig};
+//!
+//! let g = random_hierarchy(&RandomConfig::realistic(100, 42));
+//! assert_eq!(g.class_count(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod families;
+mod random;
+
+pub use random::{random_hierarchy, RandomConfig};

@@ -1,0 +1,224 @@
+//! Seeded random hierarchy generation.
+//!
+//! Substitutes for the proprietary C++ codebases the paper's authors had
+//! access to: class count, edge density, virtual-edge fraction, and the
+//! member-name pool are all tunable, so workloads can be dialed from
+//! "clean mostly-single-inheritance library" to "ambiguity-rich
+//! multiple-inheritance stress test". Generation is deterministic in the
+//! seed.
+
+use cpplookup_chg::{Chg, ChgBuilder, Inheritance, MemberDecl, MemberKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_hierarchy`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RandomConfig {
+    /// Number of classes.
+    pub classes: usize,
+    /// Probability that a non-root class takes each additional base
+    /// beyond its first (up to [`max_bases`](RandomConfig::max_bases)).
+    pub extra_base_prob: f64,
+    /// Maximum number of direct bases per class.
+    pub max_bases: usize,
+    /// Probability that an inheritance edge is virtual.
+    pub virtual_prob: f64,
+    /// Size of the member-name pool (`m0`, `m1`, ...). Small pools create
+    /// name clashes and hence ambiguity.
+    pub member_pool: usize,
+    /// Probability that a class declares each pool member.
+    pub member_prob: f64,
+    /// Probability that a declared member is static (exercises the
+    /// Definition 17 rule).
+    pub static_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            classes: 50,
+            extra_base_prob: 0.4,
+            max_bases: 3,
+            virtual_prob: 0.3,
+            member_pool: 4,
+            member_prob: 0.2,
+            static_prob: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+impl RandomConfig {
+    /// A small, dense, clash-heavy configuration for differential
+    /// testing: lots of multiple inheritance, a tiny member pool, and a
+    /// healthy virtual-edge share.
+    pub fn stress(seed: u64) -> Self {
+        RandomConfig {
+            classes: 12,
+            extra_base_prob: 0.6,
+            max_bases: 3,
+            virtual_prob: 0.4,
+            member_pool: 3,
+            member_prob: 0.45,
+            static_prob: 0.2,
+            seed,
+        }
+    }
+
+    /// A "realistic codebase" configuration: mostly single inheritance,
+    /// occasional MI with virtual bases, a large member pool so
+    /// ambiguities are rare — the regime where the paper expects its
+    /// `O(|N| + |E|)` per-lookup bound.
+    pub fn realistic(classes: usize, seed: u64) -> Self {
+        RandomConfig {
+            classes,
+            extra_base_prob: 0.12,
+            max_bases: 2,
+            virtual_prob: 0.15,
+            member_pool: classes.max(8),
+            member_prob: 3.0 / classes.max(8) as f64,
+            static_prob: 0.1,
+            seed,
+        }
+    }
+}
+
+/// Generates a random DAG hierarchy per `cfg`. Classes are created in
+/// topological order (`K0` is always a root); bases are drawn from the
+/// already-created prefix, biased towards recent classes to create deep
+/// rather than flat hierarchies.
+pub fn random_hierarchy(cfg: &RandomConfig) -> Chg {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut b = ChgBuilder::new();
+    let ids: Vec<_> = (0..cfg.classes).map(|i| b.class(&format!("K{i}"))).collect();
+    for (i, &c) in ids.iter().enumerate().skip(1) {
+        let mut bases = 1;
+        while bases < cfg.max_bases && rng.gen_bool(cfg.extra_base_prob) {
+            bases += 1;
+        }
+        for _ in 0..bases {
+            // Bias towards recent classes: sample two candidates, keep
+            // the larger index.
+            let x = rng.gen_range(0..i);
+            let y = rng.gen_range(0..i);
+            let base = ids[x.max(y)];
+            let inh = if rng.gen_bool(cfg.virtual_prob) {
+                Inheritance::Virtual
+            } else {
+                Inheritance::NonVirtual
+            };
+            // Duplicate direct bases are simply skipped.
+            let _ = b.derive(c, base, inh);
+        }
+    }
+    for &c in &ids {
+        for m in 0..cfg.member_pool {
+            if rng.gen_bool(cfg.member_prob) {
+                let kind = if rng.gen_bool(cfg.static_prob) {
+                    MemberKind::StaticData
+                } else {
+                    MemberKind::Data
+                };
+                let _ = b.member_with(c, &format!("m{m}"), MemberDecl::public(kind));
+            }
+        }
+    }
+    b.finish().expect("generation preserves topological creation order")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_core::LookupTable;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = RandomConfig::default();
+        let a = random_hierarchy(&cfg);
+        let b = random_hierarchy(&cfg);
+        assert_eq!(a.class_count(), b.class_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for c in a.classes() {
+            let cb = b.class_by_name(a.class_name(c)).unwrap();
+            assert_eq!(
+                a.direct_bases(c).len(),
+                b.direct_bases(cb).len(),
+                "same structure for same seed"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_hierarchy(&RandomConfig { seed: 1, ..RandomConfig::default() });
+        let b = random_hierarchy(&RandomConfig { seed: 2, ..RandomConfig::default() });
+        // Extremely unlikely to coincide: compare edge multiset sizes per class.
+        let same = a
+            .classes()
+            .all(|c| a.direct_bases(c).len() == b.direct_bases(c).len());
+        assert!(!same, "different seeds should give different hierarchies");
+    }
+
+    #[test]
+    fn stress_configs_produce_ambiguity() {
+        // At least one of the first few stress seeds must produce an
+        // ambiguous entry — otherwise the differential tests would be
+        // toothless.
+        let mut found_blue = false;
+        for seed in 0..20 {
+            let g = random_hierarchy(&RandomConfig::stress(seed));
+            let t = LookupTable::build(&g);
+            if t.stats().blue > 0 {
+                found_blue = true;
+                break;
+            }
+        }
+        assert!(found_blue, "stress workloads must exercise ambiguity");
+    }
+
+    #[test]
+    fn realistic_is_mostly_unambiguous() {
+        let g = random_hierarchy(&RandomConfig::realistic(200, 7));
+        let t = LookupTable::build(&g);
+        let s = t.stats();
+        assert!(s.entries > 0);
+        assert!(
+            (s.blue as f64) < 0.2 * s.entries as f64,
+            "realistic config should be ambiguity-poor: {s:?}"
+        );
+    }
+
+    #[test]
+    fn respects_class_count_and_validity() {
+        for seed in 0..5 {
+            let cfg = RandomConfig { classes: 30, seed, ..RandomConfig::default() };
+            let g = random_hierarchy(&cfg);
+            assert_eq!(g.class_count(), 30);
+            // Valid topological structure: bases precede derived classes.
+            for c in g.classes() {
+                for spec in g.direct_bases(c) {
+                    assert!(g.topo_position(spec.base) < g.topo_position(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn statics_present_when_configured() {
+        let cfg = RandomConfig {
+            classes: 60,
+            member_prob: 0.5,
+            static_prob: 0.5,
+            ..RandomConfig::default()
+        };
+        let g = random_hierarchy(&cfg);
+        let statics = g
+            .classes()
+            .flat_map(|c| g.declared_members(c).iter())
+            .filter(|(_, d)| d.kind.is_static_for_lookup())
+            .count();
+        assert!(statics > 0);
+    }
+}

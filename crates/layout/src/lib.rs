@@ -1,0 +1,61 @@
+//! Subobject-accurate C++ object layout.
+//!
+//! The paper's formalism tells a compiler *which* subobjects a complete
+//! object contains; laying them out in memory (and knowing which
+//! definition each dispatch slot binds to — `cpplookup-core::dispatch`)
+//! is the downstream work the paper motivates with "constructing
+//! virtual-function tables". This crate computes:
+//!
+//! * per-class **non-virtual layouts** ([`NvLayouts`]): data-member
+//!   slots, vptr placement with primary-base sharing,
+//! * per-class **complete-object layouts** ([`ObjectLayout`]): a byte
+//!   offset for every subobject of the Rossie–Friedman model, shared
+//!   virtual bases appended once, plus the absolute slot of every data
+//!   member copy,
+//! * **virtual tables** ([`Vtables`]): one table per vptr location, each
+//!   slot bound to the final overrider by member lookup, with the
+//!   `this`-adjustments (thunks) that fall out of the subobject offsets.
+//!
+//! The ABI model is deliberately simplified (8-byte slots, no empty-base
+//! optimization, every member function dispatch-relevant); what it
+//! preserves — and what the tests verify against `cpplookup-subobject` —
+//! is the *structure*: exactly the right set of subobjects, replication
+//! of non-virtual bases, sharing of virtual ones, and disjoint member
+//! slots.
+//!
+//! # Examples
+//!
+//! Figure 1 vs Figure 2 of the paper, physically:
+//!
+//! ```
+//! use cpplookup_chg::fixtures;
+//! use cpplookup_layout::{NvLayouts, ObjectLayout};
+//!
+//! // Non-virtual: two A subobjects inside an E.
+//! let g = fixtures::fig1();
+//! let nv = NvLayouts::compute(&g);
+//! let e = g.class_by_name("E").unwrap();
+//! let l = ObjectLayout::compute(&g, &nv, e, 1_000)?;
+//! let a = g.class_by_name("A").unwrap();
+//! assert_eq!(l.graph().subobjects_of_class(a).count(), 2);
+//!
+//! // Virtual: one shared A, at one offset.
+//! let g = fixtures::fig2();
+//! let nv = NvLayouts::compute(&g);
+//! let e = g.class_by_name("E").unwrap();
+//! let l = ObjectLayout::compute(&g, &nv, e, 1_000)?;
+//! let a = g.class_by_name("A").unwrap();
+//! assert_eq!(l.graph().subobjects_of_class(a).count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod model;
+mod object;
+mod vtable;
+
+pub use model::{virtual_base_order, NvLayout, NvLayouts, SLOT};
+pub use object::ObjectLayout;
+pub use vtable::{Vtable, VtableSlot, Vtables};

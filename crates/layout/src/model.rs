@@ -1,0 +1,248 @@
+//! The layout model: sizes, slots, and the per-class non-virtual layout.
+//!
+//! The model is a simplified Itanium-style ABI:
+//!
+//! * every non-static data member occupies one 8-byte slot (we lay out
+//!   *structure*, not scalar packing);
+//! * a class whose objects need dynamic dispatch (it declares a member
+//!   function, inherits one, or has virtual bases) carries a vptr;
+//! * the first direct non-virtual base that already has a vptr becomes
+//!   the *primary base* and is placed at offset 0, sharing its vptr;
+//! * virtual bases are laid out once per complete object, appended after
+//!   the non-virtual part in inheritance-DFS discovery order.
+//!
+//! Deliberate simplifications (documented substitutions): no empty-base
+//! optimization, no bitfields/alignment subtleties (everything is
+//! 8-byte), and every member function is dispatch-relevant.
+
+use std::collections::HashMap;
+
+use cpplookup_chg::{Chg, ClassId, MemberId};
+
+/// Size of one data-member slot and of a vptr, in bytes.
+pub const SLOT: u64 = 8;
+
+/// The layout of a class's *non-virtual part*: what gets embedded into
+/// derived classes (virtual bases excluded).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NvLayout {
+    /// Size of the non-virtual part in bytes (may be 0 for an empty
+    /// class).
+    pub size: u64,
+    /// Offset of the vptr within the part, if this class needs one.
+    pub vptr: Option<u64>,
+    /// Offsets of the non-virtual direct bases' parts, in declaration
+    /// order.
+    pub base_offsets: Vec<(ClassId, u64)>,
+    /// Offsets of the class's own non-static data members.
+    pub field_offsets: Vec<(MemberId, u64)>,
+    /// The primary base (shares our vptr at offset 0), if any.
+    pub primary: Option<ClassId>,
+}
+
+/// Per-class non-virtual layouts for a whole hierarchy.
+#[derive(Clone, Debug)]
+pub struct NvLayouts {
+    layouts: Vec<NvLayout>,
+    needs_vptr: Vec<bool>,
+}
+
+impl NvLayouts {
+    /// Computes the non-virtual layout of every class, bases first.
+    pub fn compute(chg: &Chg) -> Self {
+        let n = chg.class_count();
+        let mut layouts: Vec<Option<NvLayout>> = vec![None; n];
+        let mut needs_vptr = vec![false; n];
+        for &c in chg.topo_order() {
+            // Dispatch need: own member functions, virtual bases, or any
+            // direct base that needs one.
+            let own_virtual = chg
+                .declared_members(c)
+                .iter()
+                .any(|&(_, d)| d.kind.is_function());
+            let has_virtual_base = chg
+                .direct_bases(c)
+                .iter()
+                .any(|b| b.inheritance.is_virtual());
+            let inherited = chg
+                .direct_bases(c)
+                .iter()
+                .any(|b| needs_vptr[b.base.index()]);
+            needs_vptr[c.index()] = own_virtual || has_virtual_base || inherited;
+
+            // Primary base: the first direct non-virtual base with a vptr.
+            let primary = chg
+                .direct_bases(c)
+                .iter()
+                .find(|b| !b.inheritance.is_virtual() && needs_vptr[b.base.index()])
+                .map(|b| b.base);
+
+            let mut offset = 0u64;
+            let mut vptr = None;
+            let mut base_offsets = Vec::new();
+            if let Some(p) = primary {
+                let p_layout = layouts[p.index()].as_ref().expect("bases laid out first");
+                vptr = p_layout.vptr;
+                base_offsets.push((p, 0));
+                offset = p_layout.size;
+            } else if needs_vptr[c.index()] {
+                vptr = Some(0);
+                offset = SLOT;
+            }
+            for spec in chg.direct_bases(c) {
+                if spec.inheritance.is_virtual() || Some(spec.base) == primary {
+                    continue;
+                }
+                let b_layout = layouts[spec.base.index()]
+                    .as_ref()
+                    .expect("bases laid out first");
+                base_offsets.push((spec.base, offset));
+                offset += b_layout.size;
+            }
+            let mut field_offsets = Vec::new();
+            for &(m, decl) in chg.declared_members(c) {
+                if decl.kind == cpplookup_chg::MemberKind::Data {
+                    field_offsets.push((m, offset));
+                    offset += SLOT;
+                }
+            }
+            layouts[c.index()] = Some(NvLayout {
+                size: offset,
+                vptr,
+                base_offsets,
+                field_offsets,
+                primary,
+            });
+        }
+        NvLayouts {
+            layouts: layouts.into_iter().map(|l| l.expect("all computed")).collect(),
+            needs_vptr,
+        }
+    }
+
+    /// The non-virtual layout of `c`.
+    pub fn of(&self, c: ClassId) -> &NvLayout {
+        &self.layouts[c.index()]
+    }
+
+    /// Whether `c`'s objects carry a vptr.
+    pub fn needs_vptr(&self, c: ClassId) -> bool {
+        self.needs_vptr[c.index()]
+    }
+
+    /// Offset of direct non-virtual base `base` within `c`'s part.
+    pub fn base_offset(&self, c: ClassId, base: ClassId) -> Option<u64> {
+        self.of(c)
+            .base_offsets
+            .iter()
+            .find(|&&(b, _)| b == base)
+            .map(|&(_, o)| o)
+    }
+}
+
+/// The virtual bases of `c` in Itanium-style inheritance-DFS discovery
+/// order (left-to-right, depth-first, first visit wins).
+pub fn virtual_base_order(chg: &Chg, c: ClassId) -> Vec<ClassId> {
+    let mut seen: HashMap<ClassId, ()> = HashMap::new();
+    let mut order = Vec::new();
+    fn dfs(
+        chg: &Chg,
+        x: ClassId,
+        seen: &mut HashMap<ClassId, ()>,
+        order: &mut Vec<ClassId>,
+    ) {
+        for spec in chg.direct_bases(x) {
+            if spec.inheritance.is_virtual() && !seen.contains_key(&spec.base) {
+                seen.insert(spec.base, ());
+                order.push(spec.base);
+            }
+            dfs(chg, spec.base, seen, order);
+        }
+    }
+    dfs(chg, c, &mut seen, &mut order);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+
+    #[test]
+    fn fig1_nv_layouts() {
+        let g = fixtures::fig1();
+        let nv = NvLayouts::compute(&g);
+        let id = |n: &str| g.class_by_name(n).unwrap();
+        // A declares a member function m: vptr only (no data).
+        assert_eq!(nv.of(id("A")).size, SLOT);
+        assert_eq!(nv.of(id("A")).vptr, Some(0));
+        assert!(nv.needs_vptr(id("A")));
+        // B : A — A is primary, shared vptr, same size.
+        assert_eq!(nv.of(id("B")).size, SLOT);
+        assert_eq!(nv.of(id("B")).primary, Some(id("A")));
+        // E : C, D — C primary at 0, D at 8.
+        assert_eq!(nv.of(id("E")).size, 2 * SLOT);
+        assert_eq!(nv.base_offset(id("E"), id("C")), Some(0));
+        assert_eq!(nv.base_offset(id("E"), id("D")), Some(SLOT));
+    }
+
+    #[test]
+    fn data_only_class_has_no_vptr() {
+        let g = fixtures::fig9(); // all `m` are data members
+        let nv = NvLayouts::compute(&g);
+        let s = g.class_by_name("S").unwrap();
+        assert!(!nv.needs_vptr(s));
+        assert_eq!(nv.of(s).vptr, None);
+        assert_eq!(nv.of(s).size, SLOT); // one int slot
+        // A : virtual S { int m; } — vptr (virtual base) + its own m;
+        // the virtual S is NOT part of the non-virtual part.
+        let a = g.class_by_name("A").unwrap();
+        assert!(nv.needs_vptr(a));
+        assert_eq!(nv.of(a).size, 2 * SLOT);
+        assert_eq!(nv.of(a).field_offsets[0].1, SLOT);
+    }
+
+    #[test]
+    fn virtual_base_order_is_dfs_first_visit() {
+        let g = fixtures::fig9();
+        let e = g.class_by_name("E").unwrap();
+        let order: Vec<&str> = virtual_base_order(&g, e)
+            .into_iter()
+            .map(|c| g.class_name(c))
+            .collect();
+        // E : virtual A, virtual B, D — A first, then S (under A), then B.
+        assert_eq!(order, vec!["A", "S", "B"]);
+    }
+
+    #[test]
+    fn empty_class_nv_part_is_zero_sized() {
+        let g = fixtures::fig2();
+        let nv = NvLayouts::compute(&g);
+        // C : virtual B {} — vptr only (virtual base forces one... B's A
+        // has a function so everything here is dynamic anyway).
+        let c = g.class_by_name("C").unwrap();
+        assert_eq!(nv.of(c).size, SLOT);
+        assert_eq!(nv.of(c).vptr, Some(0));
+    }
+
+    #[test]
+    fn fields_follow_bases() {
+        let mut b = cpplookup_chg::ChgBuilder::new();
+        let base = b.class("Base");
+        let derived = b.class("Derived");
+        b.member(base, "x");
+        b.member(derived, "y");
+        b.member(derived, "z");
+        b.derive(derived, base, cpplookup_chg::Inheritance::NonVirtual)
+            .unwrap();
+        let g = b.finish().unwrap();
+        let nv = NvLayouts::compute(&g);
+        assert_eq!(nv.of(base).size, SLOT);
+        let d = nv.of(derived);
+        assert_eq!(d.size, 3 * SLOT);
+        assert_eq!(d.base_offsets, vec![(base, 0)]);
+        assert_eq!(d.field_offsets[0].1, SLOT);
+        assert_eq!(d.field_offsets[1].1, 2 * SLOT);
+        assert_eq!(d.vptr, None, "no functions anywhere: no vptr");
+    }
+}

@@ -1,0 +1,268 @@
+//! Complete-object layout: a byte offset for every subobject of the
+//! Rossie–Friedman subobject model, plus data-member slots.
+//!
+//! The subobject crate answers *which* subobjects an object contains;
+//! this module answers *where* each lives: replicated (non-virtual)
+//! subobjects inside their parent's non-virtual part, shared virtual
+//! bases appended once at the end of the complete object.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use cpplookup_chg::{Chg, ClassId, MemberId};
+use cpplookup_subobject::{BlowupError, Subobject, SubobjectGraph, SubobjectId};
+
+use crate::model::{virtual_base_order, NvLayouts};
+
+/// The layout of a complete object of one class.
+#[derive(Debug)]
+pub struct ObjectLayout {
+    complete: ClassId,
+    size: u64,
+    vbase_offsets: Vec<(ClassId, u64)>,
+    graph: SubobjectGraph,
+    offsets: Vec<u64>, // indexed by SubobjectId
+}
+
+impl ObjectLayout {
+    /// Computes the layout of a complete `complete` object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlowupError`] if the object has more than `limit`
+    /// subobjects (replication is exponential in the worst case).
+    pub fn compute(
+        chg: &Chg,
+        nv: &NvLayouts,
+        complete: ClassId,
+        limit: usize,
+    ) -> Result<Self, BlowupError> {
+        let graph = SubobjectGraph::build(chg, complete, limit)?;
+
+        // Anchor offsets: the complete object's non-virtual part at 0,
+        // virtual bases appended in discovery order.
+        let mut offset = nv.of(complete).size;
+        let mut vbase_offsets = Vec::new();
+        let mut anchor_offset: HashMap<ClassId, u64> = HashMap::new();
+        anchor_offset.insert(complete, 0);
+        for v in virtual_base_order(chg, complete) {
+            vbase_offsets.push((v, offset));
+            anchor_offset.insert(v, offset);
+            offset += nv.of(v).size;
+        }
+        let size = offset.max(1); // complete objects are at least 1 byte
+
+        // Every subobject: anchor offset plus the walk down its fixed
+        // (all non-virtual) chain.
+        let mut offsets = vec![0u64; graph.len()];
+        for id in graph.iter() {
+            let so = graph.subobject(id);
+            let anchor = so.anchor();
+            let mut off = *anchor_offset
+                .get(&anchor)
+                .expect("anchor is the complete class or one of its virtual bases");
+            let sigma = so.sigma();
+            // sigma = [ldc, ..., anchor]; descend from the anchor.
+            for w in sigma.windows(2).rev() {
+                off += nv
+                    .base_offset(w[1], w[0])
+                    .expect("sigma edges are non-virtual direct bases");
+            }
+            offsets[id.index()] = off;
+        }
+
+        Ok(ObjectLayout {
+            complete,
+            size,
+            vbase_offsets,
+            graph,
+            offsets,
+        })
+    }
+
+    /// The complete class.
+    pub fn complete(&self) -> ClassId {
+        self.complete
+    }
+
+    /// Total object size in bytes (`sizeof`).
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The subobject graph the layout is based on.
+    pub fn graph(&self) -> &SubobjectGraph {
+        &self.graph
+    }
+
+    /// Offsets of the shared virtual bases, in layout order.
+    pub fn vbase_offsets(&self) -> &[(ClassId, u64)] {
+        &self.vbase_offsets
+    }
+
+    /// Byte offset of a subobject.
+    pub fn offset(&self, id: SubobjectId) -> u64 {
+        self.offsets[id.index()]
+    }
+
+    /// Byte offset of a subobject given by canonical value, if it exists
+    /// in this object.
+    pub fn offset_of(&self, so: &Subobject) -> Option<u64> {
+        self.graph.id_of(so).map(|id| self.offset(id))
+    }
+
+    /// Byte offset of the data member `m` *declared by* the class of
+    /// subobject `id` (each subobject carries its own copy).
+    pub fn field_offset(&self, nv: &NvLayouts, id: SubobjectId, m: MemberId) -> Option<u64> {
+        let class = self.graph.subobject(id).class();
+        nv.of(class)
+            .field_offsets
+            .iter()
+            .find(|&&(fm, _)| fm == m)
+            .map(|&(_, rel)| self.offset(id) + rel)
+    }
+
+    /// Every `(subobject, member, absolute offset)` data slot of the
+    /// object, sorted by offset — the physical field map.
+    pub fn all_field_slots(&self, nv: &NvLayouts) -> Vec<(SubobjectId, MemberId, u64)> {
+        let mut slots = Vec::new();
+        for id in self.graph.iter() {
+            let class = self.graph.subobject(id).class();
+            for &(m, rel) in &nv.of(class).field_offsets {
+                slots.push((id, m, self.offset(id) + rel));
+            }
+        }
+        slots.sort_by_key(|&(_, _, off)| off);
+        slots
+    }
+
+    /// Renders the layout clang-`-fdump-record-layouts` style.
+    pub fn render(&self, chg: &Chg, nv: &NvLayouts) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "layout of {} (size {}):",
+            chg.class_name(self.complete),
+            self.size
+        );
+        let mut rows: Vec<(u64, String)> = Vec::new();
+        for id in self.graph.iter() {
+            let so = self.graph.subobject(id);
+            let virt = if so.is_virtually_anchored() { " (virtual)" } else { "" };
+            rows.push((
+                self.offset(id),
+                format!("{}{}", so.display(chg), virt),
+            ));
+        }
+        for (id, m, off) in self.all_field_slots(nv) {
+            let class = self.graph.subobject(id).class();
+            rows.push((
+                off,
+                format!("  {}::{}", chg.class_name(class), chg.member_name(m)),
+            ));
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for (off, label) in rows {
+            let _ = writeln!(out, "  {off:>4} | {label}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::{fixtures, Path};
+
+    fn layout(g: &Chg, class: &str) -> (NvLayouts, ObjectLayout) {
+        let nv = NvLayouts::compute(g);
+        let c = g.class_by_name(class).unwrap();
+        let l = ObjectLayout::compute(g, &nv, c, 100_000).unwrap();
+        (nv, l)
+    }
+
+    #[test]
+    fn fig1_two_a_subobjects_at_distinct_offsets() {
+        let g = fixtures::fig1();
+        let (_, l) = layout(&g, "E");
+        let off = |p: &str| {
+            l.offset_of(&Subobject::from_path(&g, &Path::parse(&g, p).unwrap()))
+                .unwrap()
+        };
+        assert_eq!(l.size(), 16);
+        assert_eq!(off("ABCE"), 0, "A under the primary C chain");
+        assert_eq!(off("ABDE"), 8, "A under D");
+        assert_ne!(off("ABCE"), off("ABDE"));
+    }
+
+    #[test]
+    fn fig2_single_shared_a() {
+        let g = fixtures::fig2();
+        let (_, l) = layout(&g, "E");
+        // C nv (8) + D nv (8) + shared B nv (8, containing A).
+        assert_eq!(l.size(), 24);
+        let b = g.class_by_name("B").unwrap();
+        assert_eq!(l.vbase_offsets(), &[(b, 16)]);
+        let off = |p: &str| {
+            l.offset_of(&Subobject::from_path(&g, &Path::parse(&g, p).unwrap()))
+                .unwrap()
+        };
+        assert_eq!(off("ABDE"), 16, "the one shared A inside the virtual B");
+        assert_eq!(off("ABCE"), 16, "equivalent path, same subobject");
+    }
+
+    #[test]
+    fn fig9_field_slots_disjoint_and_in_bounds() {
+        let g = fixtures::fig9();
+        let (nv, l) = layout(&g, "E");
+        let slots = l.all_field_slots(&nv);
+        // Four distinct m copies: S, A, B, C subobjects.
+        assert_eq!(slots.len(), 4);
+        let mut offsets: Vec<u64> = slots.iter().map(|&(_, _, o)| o).collect();
+        offsets.dedup();
+        assert_eq!(offsets.len(), 4, "each copy has its own slot");
+        for &(_, _, o) in &slots {
+            assert!(o + 8 <= l.size());
+        }
+    }
+
+    #[test]
+    fn empty_object_is_one_byte() {
+        let mut b = cpplookup_chg::ChgBuilder::new();
+        let c = b.class("Empty");
+        let g = b.finish().unwrap();
+        let nv = NvLayouts::compute(&g);
+        let l = ObjectLayout::compute(&g, &nv, c, 10).unwrap();
+        assert_eq!(l.size(), 1);
+        assert_eq!(l.offset(l.graph().root()), 0);
+    }
+
+    #[test]
+    fn virtual_base_laid_out_once() {
+        let g = fixtures::dominance_diamond();
+        let (_, l) = layout(&g, "Bottom");
+        assert_eq!(l.vbase_offsets().len(), 1);
+        let top = g.class_by_name("Top").unwrap();
+        assert_eq!(l.vbase_offsets()[0].0, top);
+        // Left nv (vptr, 8) + Right nv (vptr, 8) + Top (vptr, 8).
+        assert_eq!(l.size(), 24);
+    }
+
+    #[test]
+    fn render_contains_offsets_and_names() {
+        let g = fixtures::fig2();
+        let (nv, l) = layout(&g, "E");
+        let text = l.render(&g, &nv);
+        assert!(text.contains("layout of E (size 24):"), "{text}");
+        assert!(text.contains("   0 | E"));
+        assert!(text.contains("(virtual)"));
+    }
+
+    #[test]
+    fn blowup_guard() {
+        let g = fixtures::fig1();
+        let e = g.class_by_name("E").unwrap();
+        let nv = NvLayouts::compute(&g);
+        assert!(ObjectLayout::compute(&g, &nv, e, 3).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! Virtual-table construction on top of the object layout — the concrete
+//! artifact behind the paper's "constructing virtual-function tables"
+//! motivation.
+//!
+//! Every distinct vptr location in a complete object owns one vtable.
+//! A vtable has a slot per callable member name visible at that location;
+//! each slot binds to the *final overrider* — which is exactly
+//! `lookup(complete, m)` — and records the `this`-pointer adjustment from
+//! the vptr's subobject to the subobject that declares the overrider
+//! (non-zero adjustments are the thunks of real ABIs).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use cpplookup_chg::{Chg, ClassId, MemberId};
+use cpplookup_core::{LookupOutcome, LookupTable};
+use cpplookup_subobject::{Subobject, SubobjectId};
+
+use crate::model::NvLayouts;
+use crate::object::ObjectLayout;
+
+/// One vtable slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VtableSlot {
+    /// The final overrider and the `this` adjustment (in bytes) from the
+    /// vtable's subobject to the overrider's subobject. Non-zero means a
+    /// thunk in a real ABI.
+    Bound {
+        /// The member name.
+        member: MemberId,
+        /// Class declaring the final overrider.
+        declaring_class: ClassId,
+        /// `offset(overrider subobject) - offset(vtable subobject)`.
+        this_adjustment: i64,
+    },
+    /// Calling this name through this object is ill-formed (ambiguous
+    /// lookup); the slot is poisoned.
+    Ambiguous {
+        /// The member name.
+        member: MemberId,
+    },
+}
+
+/// A vtable: the group of subobjects sharing one vptr, plus the slots.
+#[derive(Clone, Debug)]
+pub struct Vtable {
+    /// Byte offset of the vptr this table is installed at.
+    pub vptr_offset: u64,
+    /// The subobjects sharing this vptr (primary-base chains), outermost
+    /// first.
+    pub covers: Vec<SubobjectId>,
+    /// Slots, sorted by member id.
+    pub slots: Vec<VtableSlot>,
+}
+
+/// All vtables of one complete object.
+#[derive(Clone, Debug)]
+pub struct Vtables {
+    complete: ClassId,
+    tables: Vec<Vtable>,
+}
+
+impl Vtables {
+    /// Builds the vtables of `layout`'s complete object.
+    ///
+    /// Slots bind with the *complete* class's lookup (dynamic dispatch —
+    /// the Rossie–Friedman `dyn`); the adjustment is computed from the
+    /// recovered winning path's subobject.
+    pub fn compute(
+        chg: &Chg,
+        nv: &NvLayouts,
+        layout: &ObjectLayout,
+        table: &LookupTable,
+    ) -> Self {
+        let complete = layout.complete();
+        let graph = layout.graph();
+
+        // Group subobjects by the absolute offset of their vptr (primary
+        // chains share one). Outermost = largest class (latest topo pos).
+        let mut groups: BTreeMap<u64, Vec<SubobjectId>> = BTreeMap::new();
+        for id in graph.iter() {
+            let class = graph.subobject(id).class();
+            if let Some(rel) = nv.of(class).vptr {
+                groups
+                    .entry(layout.offset(id) + rel)
+                    .or_default()
+                    .push(id);
+            }
+        }
+
+        let mut tables = Vec::new();
+        for (vptr_offset, mut covers) in groups {
+            covers.sort_by_key(|&id| {
+                std::cmp::Reverse(chg.topo_position(graph.subobject(id).class()))
+            });
+            let outermost_class = graph.subobject(covers[0]).class();
+
+            // Slots: every callable member name visible in the outermost
+            // class of the group, in member-id order.
+            let mut members: Vec<MemberId> = chg
+                .member_ids()
+                .filter(|&m| {
+                    chg.is_member_visible(outermost_class, m)
+                        && chg
+                            .declaring_classes(m)
+                            .iter()
+                            .any(|&d| chg.member_decl(d, m).is_some_and(|x| x.kind.is_function()))
+                })
+                .collect();
+            members.sort();
+
+            let mut slots = Vec::new();
+            for m in members {
+                let slot = match table.lookup(complete, m) {
+                    LookupOutcome::Resolved { class, .. } => {
+                        let path = table
+                            .resolve_path(chg, complete, m)
+                            .expect("resolved lookups recover a path");
+                        let target = graph
+                            .id_of(&Subobject::from_path(chg, &path))
+                            .expect("the winning path names a subobject of the object");
+                        VtableSlot::Bound {
+                            member: m,
+                            declaring_class: class,
+                            this_adjustment: layout.offset(target) as i64 - vptr_offset as i64,
+                        }
+                    }
+                    _ => VtableSlot::Ambiguous { member: m },
+                };
+                slots.push(slot);
+            }
+            tables.push(Vtable {
+                vptr_offset,
+                covers,
+                slots,
+            });
+        }
+        Vtables { complete, tables }
+    }
+
+    /// The complete class these vtables belong to.
+    pub fn complete(&self) -> ClassId {
+        self.complete
+    }
+
+    /// The vtables, in vptr-offset order.
+    pub fn tables(&self) -> &[Vtable] {
+        &self.tables
+    }
+
+    /// The vtable installed at a given vptr offset.
+    pub fn at_offset(&self, vptr_offset: u64) -> Option<&Vtable> {
+        self.tables.iter().find(|t| t.vptr_offset == vptr_offset)
+    }
+
+    /// Renders the tables, ABI-dump style.
+    pub fn render(&self, chg: &Chg, layout: &ObjectLayout) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "vtables of {}:", chg.class_name(self.complete));
+        for t in &self.tables {
+            let covers: Vec<String> = t
+                .covers
+                .iter()
+                .map(|&id| layout.graph().subobject(id).display(chg).to_string())
+                .collect();
+            let _ = writeln!(out, "  vptr @ {:>3} ({})", t.vptr_offset, covers.join(" = "));
+            for slot in &t.slots {
+                match slot {
+                    VtableSlot::Bound {
+                        member,
+                        declaring_class,
+                        this_adjustment,
+                    } => {
+                        let thunk = if *this_adjustment != 0 {
+                            format!("  [thunk this{this_adjustment:+}]")
+                        } else {
+                            String::new()
+                        };
+                        let _ = writeln!(
+                            out,
+                            "    {:<10} -> {}::{}{thunk}",
+                            chg.member_name(*member),
+                            chg.class_name(*declaring_class),
+                            chg.member_name(*member)
+                        );
+                    }
+                    VtableSlot::Ambiguous { member } => {
+                        let _ = writeln!(
+                            out,
+                            "    {:<10} -> <ambiguous>",
+                            chg.member_name(*member)
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+
+    fn vtables_of(g: &Chg, class: &str) -> (NvLayouts, ObjectLayout, Vtables) {
+        let nv = NvLayouts::compute(g);
+        let c = g.class_by_name(class).unwrap();
+        let layout = ObjectLayout::compute(g, &nv, c, 100_000).unwrap();
+        let table = LookupTable::build(g);
+        let vt = Vtables::compute(g, &nv, &layout, &table);
+        (nv, layout, vt)
+    }
+
+    #[test]
+    fn dominance_diamond_thunks() {
+        // Bottom : Left, Right with virtual Top; Left::f overrides Top::f.
+        // Layout: Left(+Bottom primary) @0, Right @8, Top @16.
+        let g = fixtures::dominance_diamond();
+        let (_, _, vt) = vtables_of(&g, "Bottom");
+        assert_eq!(vt.tables().len(), 3);
+        let f = g.member_by_name("f").unwrap();
+        // Primary table: binds to Left::f with no adjustment.
+        match &vt.at_offset(0).unwrap().slots[0] {
+            VtableSlot::Bound {
+                member,
+                declaring_class,
+                this_adjustment,
+            } => {
+                assert_eq!(*member, f);
+                assert_eq!(g.class_name(*declaring_class), "Left");
+                assert_eq!(*this_adjustment, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Right's table: same final overrider, adjustment -8 (thunk).
+        match &vt.at_offset(8).unwrap().slots[0] {
+            VtableSlot::Bound { this_adjustment, .. } => assert_eq!(*this_adjustment, -8),
+            other => panic!("{other:?}"),
+        }
+        // Shared Top's table: thunk back to offset 0 (-16).
+        match &vt.at_offset(16).unwrap().slots[0] {
+            VtableSlot::Bound { this_adjustment, .. } => assert_eq!(*this_adjustment, -16),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn primary_chains_share_one_table() {
+        // fig1: E : C, D with A's vptr shared up each chain.
+        let g = fixtures::fig1();
+        let (_, layout, vt) = vtables_of(&g, "E");
+        // Two vptrs: the C-chain at 0 (covering E, CE, BCE, ABCE) and the
+        // D-chain at 8.
+        assert_eq!(vt.tables().len(), 2);
+        let t0 = vt.at_offset(0).unwrap();
+        assert_eq!(t0.covers.len(), 4);
+        let outer = layout.graph().subobject(t0.covers[0]).class();
+        assert_eq!(g.class_name(outer), "E", "outermost first");
+        // E's lookup of m is ambiguous: poisoned slot.
+        assert!(matches!(t0.slots[0], VtableSlot::Ambiguous { .. }));
+    }
+
+    #[test]
+    fn unambiguous_object_has_clean_slots() {
+        let g = fixtures::fig2();
+        let (_, _, vt) = vtables_of(&g, "E");
+        for t in vt.tables() {
+            for slot in &t.slots {
+                assert!(matches!(slot, VtableSlot::Bound { .. }), "{slot:?}");
+            }
+        }
+        // Every slot binds to D::m (the dominant definition).
+        let d = g.class_by_name("D").unwrap();
+        for t in vt.tables() {
+            match &t.slots[0] {
+                VtableSlot::Bound { declaring_class, .. } => {
+                    assert_eq!(*declaring_class, d)
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn data_only_hierarchies_have_empty_slot_lists() {
+        // fig9 classes carry vptrs for their virtual bases (our model
+        // merges the vbptr into the vptr), but with no member functions
+        // anywhere, every table is slot-free.
+        let g = fixtures::fig9();
+        let nv = NvLayouts::compute(&g);
+        let e = g.class_by_name("E").unwrap();
+        let layout = ObjectLayout::compute(&g, &nv, e, 1000).unwrap();
+        let table = LookupTable::build(&g);
+        let vt = Vtables::compute(&g, &nv, &layout, &table);
+        assert!(!vt.tables().is_empty(), "vbptrs exist");
+        assert!(vt.tables().iter().all(|t| t.slots.is_empty()));
+        // A truly static hierarchy (no virtual anything) has none at all.
+        let flat = fixtures::static_diamond();
+        let nv = NvLayouts::compute(&flat);
+        let d = flat.class_by_name("D").unwrap();
+        let layout = ObjectLayout::compute(&flat, &nv, d, 1000).unwrap();
+        let table = LookupTable::build(&flat);
+        let vt = Vtables::compute(&flat, &nv, &layout, &table);
+        assert!(vt.tables().is_empty());
+    }
+
+    #[test]
+    fn render_mentions_thunks() {
+        let g = fixtures::dominance_diamond();
+        let (_, layout, vt) = vtables_of(&g, "Bottom");
+        let text = vt.render(&g, &layout);
+        assert!(text.contains("vtables of Bottom:"));
+        assert!(text.contains("[thunk this-16]"), "{text}");
+        assert!(text.contains("Left::f"));
+    }
+}

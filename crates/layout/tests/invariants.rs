@@ -1,0 +1,116 @@
+//! Structural layout invariants on random hierarchies, validated against
+//! the subobject model.
+
+use cpplookup_chg::Inheritance;
+use cpplookup_hiergen::{families, random_hierarchy, RandomConfig};
+use cpplookup_layout::{NvLayouts, ObjectLayout};
+
+fn check_invariants(chg: &cpplookup_chg::Chg) {
+    let nv = NvLayouts::compute(chg);
+    for c in chg.classes() {
+        let Ok(layout) = ObjectLayout::compute(chg, &nv, c, 50_000) else {
+            continue;
+        };
+        let graph = layout.graph();
+
+        // 1. Every subobject's extent lies within the object.
+        for id in graph.iter() {
+            let class = graph.subobject(id).class();
+            let end = layout.offset(id) + nv.of(class).size;
+            assert!(
+                end <= layout.size().max(1),
+                "subobject extent out of bounds in {}",
+                chg.class_name(c)
+            );
+        }
+
+        // 2. Data-member slots are pairwise disjoint.
+        let slots = layout.all_field_slots(&nv);
+        for w in slots.windows(2) {
+            assert!(
+                w[0].2 + 8 <= w[1].2,
+                "overlapping field slots in {}",
+                chg.class_name(c)
+            );
+        }
+
+        // 3. Non-virtual containment: a child reached through a
+        //    non-virtual edge lies inside its parent's non-virtual part.
+        for parent in graph.iter() {
+            let p_class = graph.subobject(parent).class();
+            let p_off = layout.offset(parent);
+            let p_end = p_off + nv.of(p_class).size;
+            for &child in graph.direct_bases(parent) {
+                let edge = chg
+                    .edge(graph.subobject(child).class(), p_class)
+                    .expect("containment edges mirror inheritance");
+                if edge.is_virtual() {
+                    continue;
+                }
+                let c_off = layout.offset(child);
+                assert!(
+                    p_off <= c_off && c_off + nv.of(graph.subobject(child).class()).size <= p_end,
+                    "non-virtual child escapes its parent in {}",
+                    chg.class_name(c)
+                );
+            }
+        }
+
+        // 4. Virtual bases sit exactly at their table offsets, once.
+        for &(v, off) in layout.vbase_offsets() {
+            let mut found = 0;
+            for id in graph.iter() {
+                let so = graph.subobject(id);
+                if so.anchor() == v && so.class() == v {
+                    assert_eq!(layout.offset(id), off);
+                    found += 1;
+                }
+            }
+            assert_eq!(found, 1, "virtual base {} laid out once", chg.class_name(v));
+        }
+    }
+}
+
+#[test]
+fn random_hierarchies_satisfy_layout_invariants() {
+    for seed in 0..80 {
+        check_invariants(&random_hierarchy(&RandomConfig::stress(seed)));
+    }
+    for seed in 0..5 {
+        check_invariants(&random_hierarchy(&RandomConfig::realistic(100, seed)));
+    }
+}
+
+#[test]
+fn structured_families_satisfy_layout_invariants() {
+    check_invariants(&families::chain(64, Some(7)));
+    check_invariants(&families::stacked_diamonds(7, Inheritance::NonVirtual));
+    check_invariants(&families::stacked_diamonds(7, Inheritance::Virtual));
+    check_invariants(&families::grid(4, 4));
+    check_invariants(&families::gxx_trap(4));
+    check_invariants(&families::wide_diamond(6, Inheritance::Virtual));
+    check_invariants(&families::pyramid(6, Inheritance::NonVirtual));
+    check_invariants(&families::pyramid(6, Inheritance::Virtual));
+    check_invariants(&families::interface_heavy(12, 3));
+}
+
+#[test]
+fn replication_count_matches_subobject_model() {
+    // sizeof grows with replication: the non-virtual diamond stack's
+    // object size is exponential, the virtual one linear.
+    let nvd = families::stacked_diamonds(8, Inheritance::NonVirtual);
+    let nv = NvLayouts::compute(&nvd);
+    let bottom = nvd.class_by_name("D8").unwrap();
+    let l = ObjectLayout::compute(&nvd, &nv, bottom, 100_000).unwrap();
+    let d0 = nvd.class_by_name("D0").unwrap();
+    let copies = l.graph().subobjects_of_class(d0).count();
+    assert_eq!(copies, 256, "2^8 replicated tops");
+    assert!(l.size() >= 256 * 8, "each copy occupies its slot");
+
+    let vd = families::stacked_diamonds(8, Inheritance::Virtual);
+    let nv = NvLayouts::compute(&vd);
+    let bottom = vd.class_by_name("D8").unwrap();
+    let l = ObjectLayout::compute(&vd, &nv, bottom, 100_000).unwrap();
+    let d0 = vd.class_by_name("D0").unwrap();
+    assert_eq!(l.graph().subobjects_of_class(d0).count(), 1);
+}

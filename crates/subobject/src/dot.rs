@@ -1,0 +1,110 @@
+//! Graphviz export of subobject graphs — the `(c)` panels of the paper's
+//! Figures 1 and 2.
+//!
+//! Nodes are subobjects (labelled with their canonical fixed path, plus
+//! the members their class declares); edges point from a subobject to its
+//! direct base subobjects, dashed when the underlying inheritance edge is
+//! virtual.
+
+use std::fmt::Write as _;
+
+use cpplookup_chg::Chg;
+
+use crate::graph::SubobjectGraph;
+
+/// Renders `sg` as a Graphviz `digraph`.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::fixtures;
+/// use cpplookup_subobject::{dot, SubobjectGraph};
+///
+/// let g = fixtures::fig2();
+/// let e = g.class_by_name("E").unwrap();
+/// let sg = SubobjectGraph::build(&g, e, 1_000)?;
+/// let text = dot::to_dot(&g, &sg);
+/// assert!(text.contains("digraph subobjects"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_dot(chg: &Chg, sg: &SubobjectGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph subobjects {{");
+    let _ = writeln!(
+        out,
+        "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];"
+    );
+    let _ = writeln!(
+        out,
+        "  label=\"subobjects of {}\";",
+        chg.class_name(sg.complete())
+    );
+    for id in sg.iter() {
+        let so = sg.subobject(id);
+        let members: Vec<&str> = chg
+            .declared_members(so.class())
+            .iter()
+            .map(|&(m, _)| chg.member_name(m))
+            .collect();
+        let label = if members.is_empty() {
+            so.display(chg).to_string()
+        } else {
+            format!("{}\\n({})", so.display(chg), members.join(", "))
+        };
+        let _ = writeln!(out, "  s{} [label=\"{}\"];", id.index(), label);
+    }
+    for id in sg.iter() {
+        let parent_class = sg.subobject(id).class();
+        for &child in sg.direct_bases(id) {
+            let child_class = sg.subobject(child).class();
+            let style = match chg.edge(child_class, parent_class) {
+                Some(inh) if inh.is_virtual() => " [style=dashed]",
+                _ => "",
+            };
+            let _ = writeln!(out, "  s{} -> s{}{};", id.index(), child.index(), style);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+
+    #[test]
+    fn fig1_dot_shows_replication() {
+        let g = fixtures::fig1();
+        let e = g.class_by_name("E").unwrap();
+        let sg = SubobjectGraph::build(&g, e, 100).unwrap();
+        let dot = to_dot(&g, &sg);
+        // Seven subobject nodes, six containment edges, no dashed edges.
+        assert_eq!(dot.matches("[label=").count(), 7);
+        assert_eq!(dot.matches(" -> ").count(), 6);
+        assert_eq!(dot.matches("dashed").count(), 0);
+        // Two A boxes (the replication the figure illustrates).
+        assert_eq!(dot.matches("ABCE").count() + dot.matches("ABDE").count(), 2);
+    }
+
+    #[test]
+    fn fig2_dot_shows_sharing() {
+        let g = fixtures::fig2();
+        let e = g.class_by_name("E").unwrap();
+        let sg = SubobjectGraph::build(&g, e, 100).unwrap();
+        let dot = to_dot(&g, &sg);
+        assert_eq!(dot.matches("[label=").count(), 5);
+        // Two virtual (dashed) containment edges into the shared B.
+        assert_eq!(dot.matches("dashed").count(), 2);
+        assert!(dot.contains("subobjects of E"));
+    }
+
+    #[test]
+    fn members_listed_on_nodes() {
+        let g = fixtures::fig3();
+        let h = g.class_by_name("H").unwrap();
+        let sg = SubobjectGraph::build(&g, h, 100).unwrap();
+        let dot = to_dot(&g, &sg);
+        assert!(dot.contains("GH\\n(foo, bar)"));
+    }
+}

@@ -1,0 +1,443 @@
+//! Construction of the subobject graph of a complete class.
+//!
+//! The subobject graph is the structure Rossie and Friedman base their
+//! semantics on, and the structure the g++ 2.7.2.1 lookup traverses. Its
+//! size can be **exponential** in the size of the class hierarchy graph
+//! (see `crate::stats` and experiment E9), which is exactly why the paper
+//! derives its algorithm from the CHG instead. Construction therefore
+//! takes an explicit node budget and fails with [`BlowupError`] instead of
+//! exhausting memory.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use cpplookup_chg::{BitSet, Chg, ClassId};
+
+use crate::subobject::Subobject;
+
+/// Index of a subobject within a [`SubobjectGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubobjectId(u32);
+
+impl SubobjectId {
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SubobjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SubobjectId({})", self.0)
+    }
+}
+
+/// The subobject-count budget was exceeded while building a subobject
+/// graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlowupError {
+    /// Name of the complete class whose graph was being built.
+    pub complete: String,
+    /// The configured budget.
+    pub limit: usize,
+}
+
+impl fmt::Display for BlowupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "subobject graph of `{}` exceeds {} subobjects",
+            self.complete, self.limit
+        )
+    }
+}
+
+impl Error for BlowupError {}
+
+/// The subobject graph of one complete class: all subobjects of a
+/// `C`-object plus the direct-containment edges between them.
+///
+/// Edges go from a subobject to its *direct base subobjects* (one per
+/// direct base of the subobject's class, in base declaration order). The
+/// reflexive-transitive closure of containment is exactly the paper's
+/// *dominates* relation on equivalence classes, precomputed here as bit
+/// sets so dominance queries are `O(1)`.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::fixtures;
+/// use cpplookup_subobject::SubobjectGraph;
+///
+/// let g = fixtures::fig1();
+/// let e = g.class_by_name("E").unwrap();
+/// let sg = SubobjectGraph::build(&g, e, 1_000)?;
+/// // E, C·E, D·E, B·C·E, B·D·E, A·B·C·E, A·B·D·E — seven subobjects, two As.
+/// assert_eq!(sg.len(), 7);
+/// let a = g.class_by_name("A").unwrap();
+/// assert_eq!(sg.subobjects_of_class(a).count(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SubobjectGraph {
+    complete: ClassId,
+    subobjects: Vec<Subobject>,
+    children: Vec<Vec<SubobjectId>>,
+    by_sigma: HashMap<Vec<ClassId>, SubobjectId>,
+    root: SubobjectId,
+    /// `reach[i]` = ids of subobjects contained in `i` (reflexive).
+    reach: Vec<BitSet>,
+}
+
+impl SubobjectGraph {
+    /// Builds the subobject graph of a complete object of class
+    /// `complete`, spending at most `limit` subobjects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlowupError`] when more than `limit` distinct subobjects
+    /// are discovered (the graph's size can be exponential in the CHG).
+    pub fn build(chg: &Chg, complete: ClassId, limit: usize) -> Result<Self, BlowupError> {
+        let mut subobjects: Vec<Subobject> = Vec::new();
+        let mut by_sigma: HashMap<Vec<ClassId>, SubobjectId> = HashMap::new();
+        let mut children: Vec<Vec<SubobjectId>> = Vec::new();
+        let mut worklist: Vec<SubobjectId> = Vec::new();
+
+        let mut intern = |so: Subobject,
+                          subobjects: &mut Vec<Subobject>,
+                          children: &mut Vec<Vec<SubobjectId>>,
+                          worklist: &mut Vec<SubobjectId>|
+         -> Result<SubobjectId, BlowupError> {
+            if let Some(&id) = by_sigma.get(so.sigma()) {
+                return Ok(id);
+            }
+            if subobjects.len() >= limit {
+                return Err(BlowupError {
+                    complete: chg.class_name(complete).to_owned(),
+                    limit,
+                });
+            }
+            let id = SubobjectId(subobjects.len() as u32);
+            by_sigma.insert(so.sigma().to_vec(), id);
+            subobjects.push(so);
+            children.push(Vec::new());
+            worklist.push(id);
+            Ok(id)
+        };
+
+        let root = intern(
+            Subobject::complete_object(complete),
+            &mut subobjects,
+            &mut children,
+            &mut worklist,
+        )
+        .expect("limit >= 1 admits the root");
+
+        while let Some(id) = worklist.pop() {
+            let class = subobjects[id.index()].class();
+            let parent_sigma = subobjects[id.index()].sigma().to_vec();
+            for spec in chg.direct_bases(class) {
+                let child = if spec.inheritance.is_virtual() {
+                    // Shared: one subobject per (virtual base, complete).
+                    Subobject::new(chg, vec![spec.base], complete)
+                } else {
+                    // Replicated: prepend the base to the fixed chain.
+                    let mut sigma = Vec::with_capacity(parent_sigma.len() + 1);
+                    sigma.push(spec.base);
+                    sigma.extend_from_slice(&parent_sigma);
+                    Subobject::new(chg, sigma, complete)
+                };
+                let child_id = intern(child, &mut subobjects, &mut children, &mut worklist)?;
+                children[id.index()].push(child_id);
+            }
+        }
+
+        // Containment closure, processing contained subobjects before
+        // containers. The subobject graph is a DAG because a child's class
+        // is always a proper base of its parent's class; ordering ids by
+        // the class's topological position gives a valid schedule.
+        let n = subobjects.len();
+        let mut order: Vec<SubobjectId> = (0..n as u32).map(SubobjectId).collect();
+        order.sort_by_key(|id| chg.topo_position(subobjects[id.index()].class()));
+        let mut reach = vec![BitSet::new(n); n];
+        for id in order {
+            let i = id.index();
+            reach[i].insert(i);
+            let kids = children[i].clone();
+            for kid in kids {
+                if kid.index() != i {
+                    let (a, b) = if kid.index() < i {
+                        let (lo, hi) = reach.split_at_mut(i);
+                        (&mut hi[0], &lo[kid.index()])
+                    } else {
+                        let (lo, hi) = reach.split_at_mut(kid.index());
+                        (&mut lo[i], &hi[0])
+                    };
+                    a.union_with(b);
+                }
+            }
+        }
+
+        Ok(SubobjectGraph {
+            complete,
+            subobjects,
+            children,
+            by_sigma,
+            root,
+            reach,
+        })
+    }
+
+    /// The complete class this graph describes.
+    pub fn complete(&self) -> ClassId {
+        self.complete
+    }
+
+    /// The id of the complete object itself.
+    pub fn root(&self) -> SubobjectId {
+        self.root
+    }
+
+    /// Number of distinct subobjects.
+    pub fn len(&self) -> usize {
+        self.subobjects.len()
+    }
+
+    /// Whether the graph is empty (never: it always has the root).
+    pub fn is_empty(&self) -> bool {
+        self.subobjects.is_empty()
+    }
+
+    /// The subobject behind an id.
+    pub fn subobject(&self, id: SubobjectId) -> &Subobject {
+        &self.subobjects[id.index()]
+    }
+
+    /// Looks up a subobject's id by value, if it belongs to this graph.
+    pub fn id_of(&self, so: &Subobject) -> Option<SubobjectId> {
+        if so.complete() != self.complete {
+            return None;
+        }
+        self.by_sigma.get(so.sigma()).copied()
+    }
+
+    /// Iterates over all subobject ids.
+    pub fn iter(&self) -> impl Iterator<Item = SubobjectId> + '_ {
+        (0..self.subobjects.len() as u32).map(SubobjectId)
+    }
+
+    /// The direct base subobjects of `id`, in base declaration order
+    /// (the order g++'s breadth-first traversal visits them).
+    pub fn direct_bases(&self, id: SubobjectId) -> &[SubobjectId] {
+        &self.children[id.index()]
+    }
+
+    /// Whether `container` contains `contained` (reflexively) — i.e.
+    /// `contained` is a base-class subobject of `container`. By the
+    /// correspondence of Section 3, this is exactly "`container`
+    /// *dominates* `contained`".
+    pub fn contains(&self, container: SubobjectId, contained: SubobjectId) -> bool {
+        self.reach[container.index()].contains(contained.index())
+    }
+
+    /// Alias for [`contains`](Self::contains) under its semantic name.
+    pub fn dominates(&self, a: SubobjectId, b: SubobjectId) -> bool {
+        self.contains(a, b)
+    }
+
+    /// All subobjects whose class is `class`.
+    pub fn subobjects_of_class(&self, class: ClassId) -> impl Iterator<Item = SubobjectId> + '_ {
+        self.iter()
+            .filter(move |&id| self.subobject(id).class() == class)
+    }
+}
+
+impl fmt::Debug for SubobjectGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SubobjectGraph {{ complete: {}, subobjects: {} }}",
+            self.complete,
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::{fixtures, Path};
+
+    fn ids_by_display(g: &Chg, sg: &SubobjectGraph) -> Vec<String> {
+        let mut v: Vec<String> = sg
+            .iter()
+            .map(|id| sg.subobject(id).display(g).to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn fig1_has_two_a_subobjects() {
+        let g = fixtures::fig1();
+        let e = g.class_by_name("E").unwrap();
+        let sg = SubobjectGraph::build(&g, e, 100).unwrap();
+        assert_eq!(sg.len(), 7);
+        let names = ids_by_display(&g, &sg);
+        assert_eq!(
+            names,
+            vec!["ABCE", "ABDE", "BCE", "BDE", "CE", "DE", "E"]
+        );
+    }
+
+    #[test]
+    fn fig2_has_one_shared_a_subobject() {
+        let g = fixtures::fig2();
+        let e = g.class_by_name("E").unwrap();
+        let sg = SubobjectGraph::build(&g, e, 100).unwrap();
+        // E, CE, DE, shared B, A under the shared B.
+        assert_eq!(sg.len(), 5);
+        let a = g.class_by_name("A").unwrap();
+        assert_eq!(sg.subobjects_of_class(a).count(), 1);
+    }
+
+    #[test]
+    fn fig2_dominance_d_over_a() {
+        let g = fixtures::fig2();
+        let e = g.class_by_name("E").unwrap();
+        let sg = SubobjectGraph::build(&g, e, 100).unwrap();
+        let de = sg
+            .id_of(&Subobject::from_path(&g, &Path::parse(&g, "DE").unwrap()))
+            .unwrap();
+        let ab = sg
+            .id_of(&Subobject::from_path(&g, &Path::parse(&g, "ABDE").unwrap()))
+            .unwrap();
+        assert!(sg.dominates(de, ab), "D::m dominates A::m in fig2");
+        assert!(!sg.dominates(ab, de));
+        assert!(sg.dominates(de, de), "dominance is reflexive");
+    }
+
+    #[test]
+    fn fig3_subobject_count_and_sharing() {
+        let g = fixtures::fig3();
+        let h = g.class_by_name("H").unwrap();
+        let sg = SubobjectGraph::build(&g, h, 100).unwrap();
+        // H, FH, GH, EFH, shared D, and under D: B, C, and two As.
+        let names = ids_by_display(&g, &sg);
+        assert_eq!(
+            names,
+            vec![
+                "ABD in H",
+                "ACD in H",
+                "BD in H",
+                "CD in H",
+                "D in H",
+                "EFH",
+                "FH",
+                "GH",
+                "H"
+            ]
+        );
+        let d = g.class_by_name("D").unwrap();
+        assert_eq!(sg.subobjects_of_class(d).count(), 1, "D is shared");
+        let a = g.class_by_name("A").unwrap();
+        assert_eq!(sg.subobjects_of_class(a).count(), 2, "two As below D");
+    }
+
+    #[test]
+    fn fig3_gh_dominates_the_shared_d() {
+        let g = fixtures::fig3();
+        let h = g.class_by_name("H").unwrap();
+        let sg = SubobjectGraph::build(&g, h, 100).unwrap();
+        let gh = sg
+            .id_of(&Subobject::from_path(&g, &Path::parse(&g, "GH").unwrap()))
+            .unwrap();
+        let d = sg
+            .id_of(&Subobject::from_path(&g, &Path::parse(&g, "DGH").unwrap()))
+            .unwrap();
+        let abd = sg
+            .id_of(&Subobject::from_path(&g, &Path::parse(&g, "ABDFH").unwrap()))
+            .unwrap();
+        let efh = sg
+            .id_of(&Subobject::from_path(&g, &Path::parse(&g, "EFH").unwrap()))
+            .unwrap();
+        assert!(sg.dominates(gh, d));
+        assert!(sg.dominates(gh, abd), "GH dominates ABDFH (paper example)");
+        assert!(!sg.dominates(gh, efh), "GH does not dominate EFH");
+    }
+
+    #[test]
+    fn blowup_guard_trips() {
+        let g = fixtures::fig1();
+        let e = g.class_by_name("E").unwrap();
+        let err = SubobjectGraph::build(&g, e, 3).unwrap_err();
+        assert_eq!(err.limit, 3);
+        assert_eq!(err.complete, "E");
+        assert!(err.to_string().contains("exceeds 3"));
+    }
+
+    #[test]
+    fn root_is_the_complete_object() {
+        let g = fixtures::fig9();
+        let e = g.class_by_name("E").unwrap();
+        let sg = SubobjectGraph::build(&g, e, 100).unwrap();
+        let root = sg.subobject(sg.root());
+        assert_eq!(root.class(), e);
+        assert_eq!(root.complete(), e);
+        // Every subobject is contained in the root.
+        for id in sg.iter() {
+            assert!(sg.contains(sg.root(), id));
+        }
+    }
+
+    #[test]
+    fn fig9_shape_matches_analysis() {
+        // E, DE, CDE, shared A, B, S — six subobjects.
+        let g = fixtures::fig9();
+        let e = g.class_by_name("E").unwrap();
+        let sg = SubobjectGraph::build(&g, e, 100).unwrap();
+        assert_eq!(sg.len(), 6);
+        let names = ids_by_display(&g, &sg);
+        assert_eq!(
+            names,
+            vec!["A in E", "B in E", "CDE", "DE", "E", "S in E"]
+        );
+        // The C subobject dominates both the A and the B subobjects.
+        let cde = sg
+            .id_of(&Subobject::from_path(&g, &Path::parse(&g, "CDE").unwrap()))
+            .unwrap();
+        let a = sg
+            .id_of(&Subobject::new(&g, vec![g.class_by_name("A").unwrap()], e))
+            .unwrap();
+        let b = sg
+            .id_of(&Subobject::new(&g, vec![g.class_by_name("B").unwrap()], e))
+            .unwrap();
+        assert!(sg.dominates(cde, a));
+        assert!(sg.dominates(cde, b));
+        assert!(!sg.dominates(a, b));
+        assert!(!sg.dominates(b, a));
+    }
+
+    #[test]
+    fn direct_bases_in_declaration_order() {
+        let g = fixtures::fig1();
+        let e = g.class_by_name("E").unwrap();
+        let sg = SubobjectGraph::build(&g, e, 100).unwrap();
+        let kids = sg.direct_bases(sg.root());
+        let names: Vec<String> = kids
+            .iter()
+            .map(|&k| sg.subobject(k).display(&g).to_string())
+            .collect();
+        assert_eq!(names, vec!["CE", "DE"], "E : C, D in that order");
+    }
+
+    #[test]
+    fn id_of_rejects_foreign_subobjects() {
+        let g = fixtures::fig1();
+        let e = g.class_by_name("E").unwrap();
+        let d = g.class_by_name("D").unwrap();
+        let sg = SubobjectGraph::build(&g, e, 100).unwrap();
+        let foreign = Subobject::complete_object(d);
+        assert_eq!(sg.id_of(&foreign), None);
+    }
+}

@@ -1,0 +1,273 @@
+//! Theorem 1 of the paper, executable: the poset of `≈`-equivalence
+//! classes of paths under *dominates* is isomorphic to the Rossie–Friedman
+//! subobject poset.
+//!
+//! This module enumerates actual CHG paths (exponentially many in the
+//! worst case — callers provide a budget), groups them into `≈`-classes,
+//! and checks both directions of the isomorphism against a
+//! [`SubobjectGraph`]: the canonicalization is a bijection, and path-level
+//! dominance (checked straight from Definitions 5–6, by enumerating
+//! equivalence-class members and testing suffixes) coincides with
+//! subobject containment.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use cpplookup_chg::{Chg, ClassId, Path};
+
+use crate::graph::SubobjectGraph;
+use crate::subobject::Subobject;
+
+/// Why a Theorem 1 check failed or could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IsoError {
+    /// The path/subobject enumeration exceeded the supplied budget.
+    Budget {
+        /// The configured budget.
+        limit: usize,
+    },
+    /// A `≈`-class has no corresponding subobject or vice versa.
+    NotBijective {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// Path dominance and subobject containment disagree on a pair.
+    OrderMismatch {
+        /// Human-readable description of the offending pair.
+        detail: String,
+    },
+}
+
+impl fmt::Display for IsoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsoError::Budget { limit } => write!(f, "path enumeration exceeded {limit} paths"),
+            IsoError::NotBijective { detail } => write!(f, "canonicalization not bijective: {detail}"),
+            IsoError::OrderMismatch { detail } => write!(f, "dominance order mismatch: {detail}"),
+        }
+    }
+}
+
+impl Error for IsoError {}
+
+/// Enumerates **all** paths of the CHG ending at `mdc`, including the
+/// trivial path, by walking direct-base edges backwards.
+///
+/// # Errors
+///
+/// Returns [`IsoError::Budget`] when more than `limit` paths exist.
+pub fn enumerate_paths_to(chg: &Chg, mdc: ClassId, limit: usize) -> Result<Vec<Path>, IsoError> {
+    let mut result = Vec::new();
+    // DFS over reversed suffixes: stack holds node sequences ending at mdc.
+    let mut stack: Vec<Vec<ClassId>> = vec![vec![mdc]];
+    while let Some(suffix) = stack.pop() {
+        if result.len() >= limit {
+            return Err(IsoError::Budget { limit });
+        }
+        let first = suffix[0];
+        result.push(Path::new(chg, suffix.clone()).expect("constructed along real edges"));
+        for spec in chg.direct_bases(first) {
+            let mut longer = Vec::with_capacity(suffix.len() + 1);
+            longer.push(spec.base);
+            longer.extend_from_slice(&suffix);
+            stack.push(longer);
+        }
+    }
+    Ok(result)
+}
+
+/// Path-level dominance straight from Definitions 5–6: `alpha` dominates
+/// `beta` iff `alpha` is a suffix of some `beta* ≈ beta`.
+///
+/// `class_members` must contain every path of `beta`'s `≈`-class (e.g. as
+/// produced by [`equivalence_classes`]).
+pub fn path_dominates(alpha: &Path, beta_class_members: &[Path]) -> bool {
+    beta_class_members.iter().any(|beta| alpha.is_suffix_of(beta))
+}
+
+/// Groups paths ending at a common `mdc` into `≈`-equivalence classes,
+/// keyed by their canonical [`Subobject`].
+pub fn equivalence_classes(chg: &Chg, paths: &[Path]) -> HashMap<Subobject, Vec<Path>> {
+    let mut classes: HashMap<Subobject, Vec<Path>> = HashMap::new();
+    for p in paths {
+        classes
+            .entry(Subobject::from_path(chg, p))
+            .or_default()
+            .push(p.clone());
+    }
+    classes
+}
+
+/// Checks Theorem 1 for one complete class: the `≈`-class poset of paths
+/// ending at `complete` is isomorphic (as a poset) to the subobject graph
+/// of `complete` under containment.
+///
+/// # Errors
+///
+/// * [`IsoError::Budget`] if more than `limit` paths (or subobjects)
+///   exist,
+/// * [`IsoError::NotBijective`] / [`IsoError::OrderMismatch`] if the
+///   theorem is violated — which would indicate a bug in one of the two
+///   models, and is asserted never to happen by the test suite.
+pub fn check_theorem1(chg: &Chg, complete: ClassId, limit: usize) -> Result<(), IsoError> {
+    let paths = enumerate_paths_to(chg, complete, limit)?;
+    let classes = equivalence_classes(chg, &paths);
+    let sg = SubobjectGraph::build(chg, complete, limit)
+        .map_err(|e| IsoError::Budget { limit: e.limit })?;
+
+    // Bijection: every ≈-class maps to a subobject of the graph, and every
+    // subobject is hit.
+    if classes.len() != sg.len() {
+        return Err(IsoError::NotBijective {
+            detail: format!(
+                "{} equivalence classes vs {} subobjects for {}",
+                classes.len(),
+                sg.len(),
+                chg.class_name(complete)
+            ),
+        });
+    }
+    let mut ids = Vec::new();
+    for so in classes.keys() {
+        match sg.id_of(so) {
+            Some(id) => ids.push((so.clone(), id)),
+            None => {
+                return Err(IsoError::NotBijective {
+                    detail: format!(
+                        "equivalence class {} has no subobject",
+                        so.display(chg)
+                    ),
+                })
+            }
+        }
+    }
+
+    // Order isomorphism: for every ordered pair, path dominance computed
+    // from the raw definitions equals subobject containment.
+    for (so_a, id_a) in &ids {
+        let alpha = &classes[so_a][0]; // any representative (Lemma 1)
+        for (so_b, id_b) in &ids {
+            let beta_members = &classes[so_b];
+            let by_paths = path_dominates(alpha, beta_members);
+            let by_subobjects = sg.dominates(*id_a, *id_b);
+            if by_paths != by_subobjects {
+                return Err(IsoError::OrderMismatch {
+                    detail: format!(
+                        "[{}] vs [{}]: paths say {}, subobjects say {}",
+                        so_a.display(chg),
+                        so_b.display(chg),
+                        by_paths,
+                        by_subobjects
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Theorem 1 for **every** class of the hierarchy.
+///
+/// # Errors
+///
+/// As [`check_theorem1`].
+pub fn check_theorem1_all(chg: &Chg, limit: usize) -> Result<(), IsoError> {
+    for c in chg.classes() {
+        check_theorem1(chg, c, limit)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+
+    #[test]
+    fn fig3_path_census() {
+        let g = fixtures::fig3();
+        let h = g.class_by_name("H").unwrap();
+        let paths = enumerate_paths_to(&g, h, 1000).unwrap();
+        // Count paths from A to H: exactly the four the paper lists.
+        let a = g.class_by_name("A").unwrap();
+        let from_a: Vec<String> = paths
+            .iter()
+            .filter(|p| p.ldc() == a)
+            .map(|p| p.display(&g).to_string())
+            .collect();
+        let mut sorted = from_a.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec!["ABDFH", "ABDGH", "ACDFH", "ACDGH"]);
+    }
+
+    #[test]
+    fn budget_error_trips() {
+        let g = fixtures::fig3();
+        let h = g.class_by_name("H").unwrap();
+        assert_eq!(
+            enumerate_paths_to(&g, h, 3),
+            Err(IsoError::Budget { limit: 3 })
+        );
+    }
+
+    #[test]
+    fn theorem1_holds_on_all_fixtures() {
+        for g in [
+            fixtures::fig1(),
+            fixtures::fig2(),
+            fixtures::fig3(),
+            fixtures::fig9(),
+            fixtures::static_diamond(),
+            fixtures::dominance_diamond(),
+        ] {
+            check_theorem1_all(&g, 100_000).unwrap();
+        }
+    }
+
+    #[test]
+    fn equivalence_class_sizes_fig3() {
+        let g = fixtures::fig3();
+        let h = g.class_by_name("H").unwrap();
+        let paths = enumerate_paths_to(&g, h, 1000).unwrap();
+        let classes = equivalence_classes(&g, &paths);
+        // 9 subobjects of H.
+        assert_eq!(classes.len(), 9);
+        // The shared-D class contains DFH and DGH.
+        let d_class = classes
+            .iter()
+            .find(|(so, _)| g.class_name(so.class()) == "D")
+            .map(|(_, v)| v.len())
+            .unwrap();
+        assert_eq!(d_class, 2);
+        // The two A subobjects have two paths each.
+        let a_sizes: Vec<usize> = classes
+            .iter()
+            .filter(|(so, _)| g.class_name(so.class()) == "A")
+            .map(|(_, v)| v.len())
+            .collect();
+        assert_eq!(a_sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn lemma1_representative_independence() {
+        // Dominance between classes must not depend on the representative
+        // chosen: check exhaustively on fig3/H.
+        let g = fixtures::fig3();
+        let h = g.class_by_name("H").unwrap();
+        let paths = enumerate_paths_to(&g, h, 1000).unwrap();
+        let classes = equivalence_classes(&g, &paths);
+        for (_, members_a) in classes.iter() {
+            for (_, members_b) in classes.iter() {
+                let verdicts: Vec<bool> = members_a
+                    .iter()
+                    .map(|alpha| path_dominates(alpha, members_b))
+                    .collect();
+                assert!(
+                    verdicts.windows(2).all(|w| w[0] == w[1]),
+                    "dominance must be representative-independent (Lemma 1)"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! The Rossie–Friedman subobject model of C++ multiple inheritance, used
+//! as the executable reference semantics for member lookup.
+//!
+//! The paper's formalism (Sections 3 and 7.1) identifies subobjects with
+//! `≈`-equivalence classes of class-hierarchy-graph paths; Rossie and
+//! Friedman build the subobject graph explicitly. This crate provides both
+//! views and the bridge between them:
+//!
+//! * [`Subobject`] — canonical `(fixed path, complete class)` form of an
+//!   equivalence class,
+//! * [`SubobjectGraph`] — explicit subobject graph with containment
+//!   (dominance) precomputed, guarded against exponential blowup,
+//! * [`lookup`]/[`lookup_cpp`] — Definitions 7–9 and 16–17 evaluated
+//!   directly: the oracle that `cpplookup-core`'s efficient algorithm is
+//!   differentially tested against,
+//! * [`rf`] — the Rossie–Friedman `dyn`/`stat` operations,
+//! * [`isomorphism`] — Theorem 1 (poset isomorphism), executable,
+//! * [`stats`] — subobject blowup measurements (experiment E9).
+//!
+//! # Examples
+//!
+//! The paper's two motivating programs (Figures 1 and 2) differ only in
+//! `virtual`, and only the second lookup is unambiguous:
+//!
+//! ```
+//! use cpplookup_chg::fixtures;
+//! use cpplookup_subobject::{lookup, Resolution, SubobjectGraph};
+//!
+//! for (g, ambiguous) in [(fixtures::fig1(), true), (fixtures::fig2(), false)] {
+//!     let e = g.class_by_name("E").unwrap();
+//!     let m = g.member_by_name("m").unwrap();
+//!     let sg = SubobjectGraph::build(&g, e, 1_000)?;
+//!     assert_eq!(matches!(lookup(&g, &sg, m), Resolution::Ambiguous(_)), ambiguous);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dot;
+mod graph;
+pub mod isomorphism;
+mod lookup;
+pub mod rf;
+pub mod stats;
+mod subobject;
+
+pub use graph::{BlowupError, SubobjectGraph, SubobjectId};
+pub use lookup::{defns, lookup, lookup_cpp, lookup_in_class, maximal, most_dominant, Resolution};
+pub use subobject::{DisplaySubobject, Subobject};

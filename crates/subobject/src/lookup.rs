@@ -1,0 +1,346 @@
+//! The executable reference semantics of member lookup (Definitions 7–9
+//! and 16–17 of the paper), evaluated directly over the subobject graph.
+//!
+//! This is the *specification*: exponential in the worst case, but
+//! unambiguously faithful to the definitions. `cpplookup-core`'s efficient
+//! algorithm is differentially tested against it.
+
+use cpplookup_chg::{Chg, ClassId, MemberId};
+
+use crate::graph::{BlowupError, SubobjectGraph, SubobjectId};
+
+/// The outcome of the reference lookup, static-member-aware
+/// (paper, Definition 17).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// No subobject of the class declares the member.
+    NotFound,
+    /// A unique most-dominant definition exists; lookup resolves to this
+    /// subobject (Definition 9).
+    Subobject(SubobjectId),
+    /// Several maximal definitions exist, but they all name the *same*
+    /// static member `ldc::m` (Definition 17, condition 2). Lookup is
+    /// well-defined; any element is a valid representative.
+    SharedStatic(Vec<SubobjectId>),
+    /// The lookup is ambiguous: the maximal definitions, in discovery
+    /// order.
+    Ambiguous(Vec<SubobjectId>),
+}
+
+impl Resolution {
+    /// Whether the lookup succeeded (resolved to a member).
+    pub fn is_resolved(&self) -> bool {
+        matches!(self, Resolution::Subobject(_) | Resolution::SharedStatic(_))
+    }
+
+    /// The class whose member declaration the lookup resolved to, if it
+    /// resolved.
+    pub fn resolved_class(&self, sg: &SubobjectGraph) -> Option<ClassId> {
+        match self {
+            Resolution::Subobject(id) => Some(sg.subobject(*id).class()),
+            Resolution::SharedStatic(ids) => ids.first().map(|&id| sg.subobject(id).class()),
+            _ => None,
+        }
+    }
+}
+
+/// `Defns(C, m)` (Definition 7): every subobject of the graph's complete
+/// class whose class directly declares `m`, in subobject-id order.
+pub fn defns(chg: &Chg, sg: &SubobjectGraph, m: MemberId) -> Vec<SubobjectId> {
+    sg.iter()
+        .filter(|&id| chg.declares(sg.subobject(id).class(), m))
+        .collect()
+}
+
+/// `maximal(A)` (Definition 16): the elements of `A` dominated by no
+/// *other* element of `A`.
+///
+/// Note the subtlety the paper bakes into Definition 16: domination by a
+/// *distinct but equal* element cannot occur here because subobject ids
+/// are canonical, so "other" simply means a different id.
+pub fn maximal(sg: &SubobjectGraph, defs: &[SubobjectId]) -> Vec<SubobjectId> {
+    defs.iter()
+        .copied()
+        .filter(|&u| {
+            !defs
+                .iter()
+                .any(|&v| v != u && sg.dominates(v, u))
+        })
+        .collect()
+}
+
+/// `most-dominant(A)` (Definition 8): the unique element dominating every
+/// element of `A`, or `None` ("⊥") if there is none.
+pub fn most_dominant(sg: &SubobjectGraph, defs: &[SubobjectId]) -> Option<SubobjectId> {
+    defs.iter()
+        .copied()
+        .find(|&u| defs.iter().all(|&v| sg.dominates(u, v)))
+}
+
+/// `lookup(C, m)` per Definition 9, **ignoring** staticness: the
+/// most-dominant definition or ambiguity.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::fixtures;
+/// use cpplookup_subobject::{lookup, Resolution, SubobjectGraph};
+///
+/// let g = fixtures::fig3();
+/// let h = g.class_by_name("H").unwrap();
+/// let sg = SubobjectGraph::build(&g, h, 1_000)?;
+/// let foo = g.member_by_name("foo").unwrap();
+/// let bar = g.member_by_name("bar").unwrap();
+/// match lookup(&g, &sg, foo) {
+///     Resolution::Subobject(id) => {
+///         assert_eq!(sg.subobject(id).display(&g).to_string(), "GH");
+///     }
+///     other => panic!("expected GH, got {other:?}"),
+/// }
+/// assert!(matches!(lookup(&g, &sg, bar), Resolution::Ambiguous(_)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lookup(chg: &Chg, sg: &SubobjectGraph, m: MemberId) -> Resolution {
+    let defs = defns(chg, sg, m);
+    if defs.is_empty() {
+        return Resolution::NotFound;
+    }
+    match most_dominant(sg, &defs) {
+        Some(u) => Resolution::Subobject(u),
+        None => Resolution::Ambiguous(maximal(sg, &defs)),
+    }
+}
+
+/// `lookup(C, m)` per Definition 17, honouring the static-member rule:
+/// if all maximal definitions name the same static member, the lookup is
+/// well-defined and returns them as [`Resolution::SharedStatic`].
+pub fn lookup_cpp(chg: &Chg, sg: &SubobjectGraph, m: MemberId) -> Resolution {
+    let defs = defns(chg, sg, m);
+    if defs.is_empty() {
+        return Resolution::NotFound;
+    }
+    let max = maximal(sg, &defs);
+    if max.len() == 1 {
+        return Resolution::Subobject(max[0]);
+    }
+    let first_class = sg.subobject(max[0]).class();
+    let shared = max.iter().all(|&u| sg.subobject(u).class() == first_class)
+        && chg
+            .member_decl(first_class, m)
+            .map(|d| d.kind.is_static_for_lookup())
+            .unwrap_or(false);
+    if shared {
+        Resolution::SharedStatic(max)
+    } else {
+        Resolution::Ambiguous(max)
+    }
+}
+
+/// Convenience wrapper: builds the subobject graph of `complete` and runs
+/// [`lookup_cpp`] on it.
+///
+/// # Errors
+///
+/// Returns [`BlowupError`] if the subobject graph exceeds `limit`.
+pub fn lookup_in_class(
+    chg: &Chg,
+    complete: ClassId,
+    m: MemberId,
+    limit: usize,
+) -> Result<Resolution, BlowupError> {
+    let sg = SubobjectGraph::build(chg, complete, limit)?;
+    Ok(lookup_cpp(chg, &sg, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::{fixtures, Path};
+    use crate::subobject::Subobject;
+
+    fn graph_of(g: &Chg, class: &str) -> SubobjectGraph {
+        SubobjectGraph::build(g, g.class_by_name(class).unwrap(), 10_000).unwrap()
+    }
+
+    #[test]
+    fn fig1_lookup_is_ambiguous() {
+        let g = fixtures::fig1();
+        let sg = graph_of(&g, "E");
+        let m = g.member_by_name("m").unwrap();
+        match lookup(&g, &sg, m) {
+            Resolution::Ambiguous(max) => {
+                let mut names: Vec<String> = max
+                    .iter()
+                    .map(|&u| sg.subobject(u).display(&g).to_string())
+                    .collect();
+                names.sort();
+                // D::m dominates the A below it; the A below C survives.
+                assert_eq!(names, vec!["ABCE", "DE"]);
+            }
+            other => panic!("expected ambiguity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig2_lookup_resolves_to_d() {
+        let g = fixtures::fig2();
+        let sg = graph_of(&g, "E");
+        let m = g.member_by_name("m").unwrap();
+        match lookup(&g, &sg, m) {
+            Resolution::Subobject(u) => {
+                assert_eq!(sg.subobject(u).display(&g).to_string(), "DE");
+                assert_eq!(
+                    g.class_name(lookup(&g, &sg, m).resolved_class(&sg).unwrap()),
+                    "D"
+                );
+            }
+            other => panic!("expected D::m, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig3_defns_match_paper() {
+        // Defns(H, foo) = {ABD-in-H, ACD-in-H, GH};
+        // Defns(H, bar) = {EFH, D-in-H, GH}.
+        let g = fixtures::fig3();
+        let sg = graph_of(&g, "H");
+        let foo = g.member_by_name("foo").unwrap();
+        let bar = g.member_by_name("bar").unwrap();
+        let show = |defs: Vec<SubobjectId>| -> Vec<String> {
+            let mut v: Vec<String> = defs
+                .iter()
+                .map(|&u| sg.subobject(u).display(&g).to_string())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            show(defns(&g, &sg, foo)),
+            vec!["ABD in H", "ACD in H", "GH"]
+        );
+        assert_eq!(show(defns(&g, &sg, bar)), vec!["D in H", "EFH", "GH"]);
+    }
+
+    #[test]
+    fn fig3_lookups_match_paper() {
+        let g = fixtures::fig3();
+        let sg = graph_of(&g, "H");
+        let foo = g.member_by_name("foo").unwrap();
+        let bar = g.member_by_name("bar").unwrap();
+        match lookup(&g, &sg, foo) {
+            Resolution::Subobject(u) => {
+                assert_eq!(sg.subobject(u).display(&g).to_string(), "GH")
+            }
+            other => panic!("lookup(H, foo) should be GH, got {other:?}"),
+        }
+        assert!(matches!(lookup(&g, &sg, bar), Resolution::Ambiguous(_)));
+    }
+
+    #[test]
+    fn fig3_lookup_at_f_is_ambiguous_for_both() {
+        let g = fixtures::fig3();
+        let sg = graph_of(&g, "F");
+        let foo = g.member_by_name("foo").unwrap();
+        let bar = g.member_by_name("bar").unwrap();
+        assert!(matches!(lookup(&g, &sg, foo), Resolution::Ambiguous(_)));
+        assert!(matches!(lookup(&g, &sg, bar), Resolution::Ambiguous(_)));
+    }
+
+    #[test]
+    fn fig9_resolves_to_c() {
+        let g = fixtures::fig9();
+        let sg = graph_of(&g, "E");
+        let m = g.member_by_name("m").unwrap();
+        match lookup(&g, &sg, m) {
+            Resolution::Subobject(u) => {
+                assert_eq!(sg.subobject(u).display(&g).to_string(), "CDE");
+                assert_eq!(g.class_name(sg.subobject(u).class()), "C");
+            }
+            other => panic!("fig9 lookup must resolve to C::m, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_found_when_no_declarer() {
+        let mut b = cpplookup_chg::ChgBuilder::new();
+        let lonely = b.class("Lonely");
+        let ghost = b.intern_member_name("ghost");
+        let g = b.finish().unwrap();
+        let sg = SubobjectGraph::build(&g, lonely, 10).unwrap();
+        assert_eq!(lookup(&g, &sg, ghost), Resolution::NotFound);
+        assert_eq!(lookup_cpp(&g, &sg, ghost), Resolution::NotFound);
+    }
+
+    #[test]
+    fn static_diamond_shared_static_resolves() {
+        let g = fixtures::static_diamond();
+        let sg = graph_of(&g, "D");
+        let s = g.member_by_name("s").unwrap();
+        let d = g.member_by_name("d").unwrap();
+        // Non-static data member: ambiguous (two A subobjects).
+        assert!(matches!(lookup_cpp(&g, &sg, d), Resolution::Ambiguous(_)));
+        // Static member: well-defined despite two subobjects.
+        match lookup_cpp(&g, &sg, s) {
+            Resolution::SharedStatic(ids) => {
+                assert_eq!(ids.len(), 2);
+                for id in ids {
+                    assert_eq!(g.class_name(sg.subobject(id).class()), "A");
+                }
+            }
+            other => panic!("expected SharedStatic, got {other:?}"),
+        }
+        // Definition 9 (static-unaware) still calls it ambiguous.
+        assert!(matches!(lookup(&g, &sg, s), Resolution::Ambiguous(_)));
+    }
+
+    #[test]
+    fn maximal_and_most_dominant_consistency() {
+        let g = fixtures::fig3();
+        let sg = graph_of(&g, "H");
+        let foo = g.member_by_name("foo").unwrap();
+        let defs = defns(&g, &sg, foo);
+        let max = maximal(&sg, &defs);
+        let md = most_dominant(&sg, &defs);
+        assert_eq!(max.len(), 1);
+        assert_eq!(md, Some(max[0]));
+    }
+
+    #[test]
+    fn dominance_examples_from_paper_section3() {
+        // "GH dominates ABDFH because GH hides ABDGH and ABDGH ≈ ABDFH.
+        //  Similarly FH dominates ABDGH."
+        let g = fixtures::fig3();
+        let sg = graph_of(&g, "H");
+        let id = |p: &str| {
+            sg.id_of(&Subobject::from_path(&g, &Path::parse(&g, p).unwrap()))
+                .unwrap()
+        };
+        assert!(sg.dominates(id("GH"), id("ABDFH")));
+        assert!(sg.dominates(id("FH"), id("ABDGH")));
+        assert!(!sg.dominates(id("ABDFH"), id("GH")));
+    }
+
+    #[test]
+    fn lookup_in_class_wrapper() {
+        let g = fixtures::fig2();
+        let e = g.class_by_name("E").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        let res = lookup_in_class(&g, e, m, 1000).unwrap();
+        assert!(res.is_resolved());
+        let tiny = lookup_in_class(&g, e, m, 2);
+        assert!(tiny.is_err(), "limit of 2 must trip the blowup guard");
+    }
+
+    #[test]
+    fn dominance_diamond_resolves_to_left() {
+        let g = fixtures::dominance_diamond();
+        let sg = graph_of(&g, "Bottom");
+        let f = g.member_by_name("f").unwrap();
+        match lookup(&g, &sg, f) {
+            Resolution::Subobject(u) => {
+                assert_eq!(g.class_name(sg.subobject(u).class()), "Left");
+            }
+            other => panic!("expected Left::f, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The Rossie–Friedman lookup operations `dyn` and `stat` (Section 7.1 of
+//! the paper), defined in terms of the class-level `lookup`.
+//!
+//! Rossie and Friedman define lookups as partial functions from subobjects
+//! to subobjects, modelling a hypothetical run-time lookup. The paper shows
+//! how they decompose into the compile-time `lookup(C, m)` of Definition 9
+//! plus a subobject composition:
+//!
+//! ```text
+//! dyn(m, u)  = lookup(mdc(u), m)
+//! stat(m, u) = lookup(ldc(u), m) ∘ u
+//! ```
+//!
+//! `dyn` models virtual dispatch (the lookup happens in the complete
+//! object's class); `stat` models non-virtual access through a subobject
+//! of static type `ldc(u)`.
+
+use cpplookup_chg::{Chg, MemberId};
+
+use crate::graph::{BlowupError, SubobjectGraph, SubobjectId};
+use crate::lookup::{lookup, Resolution};
+use crate::subobject::Subobject;
+
+/// Result of a Rossie–Friedman lookup: the subobject the member access
+/// binds to, or why it does not.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RfResolution {
+    /// The lookup resolved to this subobject (of the receiver's complete
+    /// class for both `dyn` and `stat`).
+    Subobject(Subobject),
+    /// No definition was visible.
+    NotFound,
+    /// The lookup was ambiguous.
+    Ambiguous,
+}
+
+/// `dyn(m, u)`: virtual dispatch on a receiver subobject `u` — looks `m`
+/// up in the *complete* class of `u`.
+///
+/// # Errors
+///
+/// Propagates [`BlowupError`] from subobject-graph construction.
+pub fn dyn_lookup(
+    chg: &Chg,
+    sg: &SubobjectGraph,
+    m: MemberId,
+    _receiver: SubobjectId,
+) -> Result<RfResolution, BlowupError> {
+    // The receiver only matters through its mdc, which is the complete
+    // class of the graph.
+    Ok(match lookup(chg, sg, m) {
+        Resolution::Subobject(id) => RfResolution::Subobject(sg.subobject(id).clone()),
+        Resolution::SharedStatic(ids) => {
+            RfResolution::Subobject(sg.subobject(ids[0]).clone())
+        }
+        Resolution::NotFound => RfResolution::NotFound,
+        Resolution::Ambiguous(_) => RfResolution::Ambiguous,
+    })
+}
+
+/// `stat(m, u)`: non-virtual access through a subobject `u` of static type
+/// `ldc(u)` — looks `m` up in `ldc(u)` viewed as a complete class, then
+/// composes the result into `u`'s context via `[α]∘[σ] = [σ·α]`.
+///
+/// # Errors
+///
+/// Propagates [`BlowupError`] from building the subobject graph of
+/// `ldc(u)`.
+pub fn stat_lookup(
+    chg: &Chg,
+    sg: &SubobjectGraph,
+    m: MemberId,
+    receiver: SubobjectId,
+) -> Result<RfResolution, BlowupError> {
+    let recv = sg.subobject(receiver);
+    let inner_graph = SubobjectGraph::build(chg, recv.class(), usize::MAX)?;
+    Ok(match lookup(chg, &inner_graph, m) {
+        Resolution::Subobject(id) => {
+            RfResolution::Subobject(recv.compose(inner_graph.subobject(id)))
+        }
+        Resolution::SharedStatic(ids) => {
+            RfResolution::Subobject(recv.compose(inner_graph.subobject(ids[0])))
+        }
+        Resolution::NotFound => RfResolution::NotFound,
+        Resolution::Ambiguous(_) => RfResolution::Ambiguous,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::{fixtures, Path};
+
+    #[test]
+    fn dyn_ignores_receiver_static_type() {
+        let g = fixtures::fig2();
+        let e = g.class_by_name("E").unwrap();
+        let sg = SubobjectGraph::build(&g, e, 1000).unwrap();
+        let m = g.member_by_name("m").unwrap();
+        // Receiver: the shared A subobject. dyn still resolves in E.
+        let a = sg
+            .id_of(&Subobject::from_path(&g, &Path::parse(&g, "ABDE").unwrap()))
+            .unwrap();
+        match dyn_lookup(&g, &sg, m, a).unwrap() {
+            RfResolution::Subobject(so) => {
+                assert_eq!(so.display(&g).to_string(), "DE");
+            }
+            other => panic!("expected DE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stat_resolves_in_the_receivers_class() {
+        let g = fixtures::fig2();
+        let e = g.class_by_name("E").unwrap();
+        let sg = SubobjectGraph::build(&g, e, 1000).unwrap();
+        let m = g.member_by_name("m").unwrap();
+        // Receiver: the C subobject of E; static type C sees only A::m
+        // (through the virtual B), so stat binds to the shared A in E.
+        let ce = sg
+            .id_of(&Subobject::from_path(&g, &Path::parse(&g, "CE").unwrap()))
+            .unwrap();
+        match stat_lookup(&g, &sg, m, ce).unwrap() {
+            RfResolution::Subobject(so) => {
+                assert_eq!(so.display(&g).to_string(), "AB in E");
+                assert_eq!(so.complete(), e);
+            }
+            other => panic!("expected the shared A, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stat_on_root_equals_dyn() {
+        // For the complete object as receiver, ldc = mdc, so stat and dyn
+        // agree (modulo trivial composition).
+        for g in [fixtures::fig2(), fixtures::fig9()] {
+            let e = g.class_by_name("E").unwrap();
+            let sg = SubobjectGraph::build(&g, e, 1000).unwrap();
+            let m = g.member_by_name("m").unwrap();
+            let d = dyn_lookup(&g, &sg, m, sg.root()).unwrap();
+            let s = stat_lookup(&g, &sg, m, sg.root()).unwrap();
+            assert_eq!(d, s);
+        }
+    }
+
+    #[test]
+    fn stat_reports_ambiguity_of_static_type() {
+        let g = fixtures::fig1();
+        let e = g.class_by_name("E").unwrap();
+        let sg = SubobjectGraph::build(&g, e, 1000).unwrap();
+        let m = g.member_by_name("m").unwrap();
+        assert_eq!(
+            stat_lookup(&g, &sg, m, sg.root()).unwrap(),
+            RfResolution::Ambiguous
+        );
+        // But through the D subobject the lookup is fine: D::m hides A::m.
+        let de = sg
+            .id_of(&Subobject::from_path(&g, &Path::parse(&g, "DE").unwrap()))
+            .unwrap();
+        match stat_lookup(&g, &sg, m, de).unwrap() {
+            RfResolution::Subobject(so) => {
+                assert_eq!(so.display(&g).to_string(), "DE");
+            }
+            other => panic!("expected DE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_found_propagates() {
+        let mut b = cpplookup_chg::ChgBuilder::new();
+        let a = b.class("A");
+        let m = b.intern_member_name("nothing");
+        let g = b.finish().unwrap();
+        let sg = SubobjectGraph::build(&g, a, 10).unwrap();
+        assert_eq!(
+            dyn_lookup(&g, &sg, m, sg.root()).unwrap(),
+            RfResolution::NotFound
+        );
+        assert_eq!(
+            stat_lookup(&g, &sg, m, sg.root()).unwrap(),
+            RfResolution::NotFound
+        );
+    }
+}

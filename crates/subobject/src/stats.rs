@@ -1,0 +1,227 @@
+//! Size statistics for subobject graphs — the data behind experiment E9
+//! (the paper's claim that "the subobject graph's size can be exponential
+//! in the size of the class hierarchy graph").
+
+use std::collections::HashSet;
+
+use cpplookup_chg::{Chg, ClassId};
+
+use crate::graph::{BlowupError, SubobjectGraph};
+use crate::subobject::Subobject;
+
+/// Counts the distinct subobjects of a complete `class` object without
+/// materializing the subobject graph or its dominance closure — usable
+/// far beyond the sizes [`SubobjectGraph::build`] can afford (whose
+/// closure needs `O(count²)` bits).
+///
+/// # Errors
+///
+/// Returns [`BlowupError`] when more than `limit` subobjects exist.
+pub fn count_subobjects(chg: &Chg, class: ClassId, limit: usize) -> Result<usize, BlowupError> {
+    let mut seen: HashSet<Vec<ClassId>> = HashSet::new();
+    let mut worklist = vec![Subobject::complete_object(class)];
+    seen.insert(worklist[0].sigma().to_vec());
+    while let Some(so) = worklist.pop() {
+        for spec in chg.direct_bases(so.class()) {
+            let child = if spec.inheritance.is_virtual() {
+                Subobject::new(chg, vec![spec.base], class)
+            } else {
+                let mut sigma = Vec::with_capacity(so.sigma().len() + 1);
+                sigma.push(spec.base);
+                sigma.extend_from_slice(so.sigma());
+                Subobject::new(chg, sigma, class)
+            };
+            if seen.len() >= limit && !seen.contains(child.sigma()) {
+                return Err(BlowupError {
+                    complete: chg.class_name(class).to_owned(),
+                    limit,
+                });
+            }
+            if seen.insert(child.sigma().to_vec()) {
+                worklist.push(child);
+            }
+        }
+    }
+    Ok(seen.len())
+}
+
+/// Subobject census of one class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassBlowup {
+    /// The complete class measured.
+    pub class: ClassId,
+    /// Number of distinct subobjects, or `None` if it exceeded the budget.
+    pub subobjects: Option<usize>,
+}
+
+/// Whole-hierarchy census.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlowupReport {
+    /// Number of classes (`|N|`).
+    pub classes: usize,
+    /// Number of inheritance edges (`|E|`).
+    pub edges: usize,
+    /// Per-class subobject counts.
+    pub per_class: Vec<ClassBlowup>,
+    /// The largest measured per-class subobject count.
+    pub max_subobjects: Option<usize>,
+    /// Sum over all classes whose graphs fit the budget.
+    pub total_subobjects: usize,
+    /// How many classes exceeded the budget.
+    pub over_budget: usize,
+}
+
+/// Measures the subobject graph size of every class, spending at most
+/// `limit` subobjects per class.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::fixtures;
+/// use cpplookup_subobject::stats::measure_blowup;
+///
+/// let report = measure_blowup(&fixtures::fig1(), 1_000);
+/// assert_eq!(report.classes, 5);
+/// assert_eq!(report.max_subobjects, Some(7)); // the E object
+/// ```
+pub fn measure_blowup(chg: &Chg, limit: usize) -> BlowupReport {
+    let mut per_class = Vec::with_capacity(chg.class_count());
+    let mut max_subobjects: Option<usize> = None;
+    let mut total = 0usize;
+    let mut over = 0usize;
+    for c in chg.classes() {
+        let count = SubobjectGraph::build(chg, c, limit).ok().map(|sg| sg.len());
+        match count {
+            Some(n) => {
+                total += n;
+                max_subobjects = Some(max_subobjects.map_or(n, |m| m.max(n)));
+            }
+            None => over += 1,
+        }
+        per_class.push(ClassBlowup {
+            class: c,
+            subobjects: count,
+        });
+    }
+    BlowupReport {
+        classes: chg.class_count(),
+        edges: chg.edge_count(),
+        per_class,
+        max_subobjects,
+        total_subobjects: total,
+        over_budget: over,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::{fixtures, ChgBuilder, Inheritance};
+
+    /// `k` stacked non-virtual diamonds: subobject count of the bottom
+    /// class is `2^(k+1) - 1` interior nodes plus shared tops — grows as
+    /// `2^k`.
+    fn stacked_diamonds(k: usize, virtual_joins: bool) -> cpplookup_chg::Chg {
+        let mut b = ChgBuilder::new();
+        let inh = if virtual_joins {
+            Inheritance::Virtual
+        } else {
+            Inheritance::NonVirtual
+        };
+        let mut bottom = b.class("D0");
+        for i in 1..=k {
+            let left = b.class(&format!("L{i}"));
+            let right = b.class(&format!("R{i}"));
+            let next = b.class(&format!("D{i}"));
+            b.derive(left, bottom, inh).unwrap();
+            b.derive(right, bottom, inh).unwrap();
+            b.derive(next, left, Inheritance::NonVirtual).unwrap();
+            b.derive(next, right, Inheritance::NonVirtual).unwrap();
+            bottom = next;
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn nonvirtual_diamonds_blow_up() {
+        let g = stacked_diamonds(6, false);
+        let report = measure_blowup(&g, 1_000_000);
+        // CHG is linear in k but subobjects are exponential.
+        assert_eq!(report.classes, 1 + 3 * 6);
+        let max = report.max_subobjects.unwrap();
+        assert!(max >= 1 << 6, "expected >= 64 subobjects, got {max}");
+        assert_eq!(report.over_budget, 0);
+    }
+
+    #[test]
+    fn virtual_diamonds_stay_linear() {
+        let g = stacked_diamonds(6, true);
+        let report = measure_blowup(&g, 1_000_000);
+        let max = report.max_subobjects.unwrap();
+        assert!(
+            max <= 3 * 6 + 1,
+            "virtual sharing keeps subobject count linear, got {max}"
+        );
+    }
+
+    #[test]
+    fn budget_overflow_counted() {
+        let g = stacked_diamonds(10, false);
+        let report = measure_blowup(&g, 64);
+        assert!(report.over_budget > 0);
+        assert!(report
+            .per_class
+            .iter()
+            .any(|c| c.subobjects.is_none()));
+    }
+
+    #[test]
+    fn count_matches_graph_on_fixtures_and_diamonds() {
+        for g in [
+            fixtures::fig1(),
+            fixtures::fig2(),
+            fixtures::fig3(),
+            fixtures::fig9(),
+            stacked_diamonds(7, false),
+            stacked_diamonds(7, true),
+        ] {
+            for c in g.classes() {
+                let graph = SubobjectGraph::build(&g, c, 1_000_000).unwrap();
+                assert_eq!(
+                    count_subobjects(&g, c, 1_000_000).unwrap(),
+                    graph.len(),
+                    "count mismatch for {}",
+                    g.class_name(c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_scales_past_graph_limits() {
+        // k = 16 would need a ~64 Gbit closure as a graph; counting is
+        // cheap (the report binary goes further still).
+        let g = stacked_diamonds(16, false);
+        let bottom = g.class_by_name("D16").unwrap();
+        let n = count_subobjects(&g, bottom, 100_000_000).unwrap();
+        assert_eq!(n, (1 << 18) - 3); // 2^(k+2) - 3 for this family
+    }
+
+    #[test]
+    fn count_respects_limit() {
+        let g = stacked_diamonds(10, false);
+        let bottom = g.class_by_name("D10").unwrap();
+        assert!(count_subobjects(&g, bottom, 100).is_err());
+    }
+
+    #[test]
+    fn fixture_counts() {
+        let r = measure_blowup(&fixtures::fig3(), 1000);
+        let g = fixtures::fig3();
+        let h = g.class_by_name("H").unwrap();
+        let h_entry = r.per_class.iter().find(|c| c.class == h).unwrap();
+        assert_eq!(h_entry.subobjects, Some(9));
+        assert_eq!(r.over_budget, 0);
+        assert!(r.total_subobjects >= 9);
+    }
+}

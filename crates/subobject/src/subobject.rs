@@ -1,0 +1,408 @@
+//! Canonical subobject representation.
+//!
+//! Section 3 of the paper identifies subobjects with `≈`-equivalence
+//! classes of paths: `α ≈ β` iff `fixed(α) = fixed(β)` and
+//! `mdc(α) = mdc(β)`. An equivalence class is therefore fully described by
+//! the pair *(fixed part, most-derived class)* — a purely non-virtual path
+//! `σ` plus the complete-object class `C`. That pair is this module's
+//! [`Subobject`].
+//!
+//! The anchor `mdc(σ)` is either `C` itself (the subobject sits on an
+//! unbroken chain of non-virtual edges below the complete object) or a
+//! *virtual base* of `C` (the chain hangs off a shared virtual base).
+
+use std::fmt;
+
+use cpplookup_chg::{Chg, ClassId, Path};
+
+/// A subobject of a complete object, in canonical Rossie–Friedman form.
+///
+/// Corresponds one-to-one with a `≈`-equivalence class of CHG paths ending
+/// at [`complete`](Subobject::complete) (Theorem 1 of the paper, verified
+/// by [`crate::isomorphism`]).
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::{fixtures, Path};
+/// use cpplookup_subobject::Subobject;
+///
+/// let g = fixtures::fig3();
+/// let abdfh = Path::parse(&g, "ABDFH")?;
+/// let abdgh = Path::parse(&g, "ABDGH")?;
+/// // Equivalent paths canonicalize to the same subobject.
+/// assert_eq!(Subobject::from_path(&g, &abdfh), Subobject::from_path(&g, &abdgh));
+/// let so = Subobject::from_path(&g, &abdfh);
+/// assert_eq!(g.class_name(so.class()), "A");
+/// assert_eq!(g.class_name(so.anchor()), "D");
+/// assert_eq!(g.class_name(so.complete()), "H");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Subobject {
+    /// The fixed (all-non-virtual) path, least-derived class first.
+    /// Always nonempty.
+    sigma: Vec<ClassId>,
+    /// The complete-object class this subobject lives in.
+    complete: ClassId,
+}
+
+impl Subobject {
+    /// The subobject that *is* the complete object of class `c` (trivial
+    /// path, anchor = complete).
+    pub fn complete_object(c: ClassId) -> Self {
+        Subobject {
+            sigma: vec![c],
+            complete: c,
+        }
+    }
+
+    /// Builds a subobject directly from its canonical parts.
+    ///
+    /// `sigma` must be a nonempty, purely non-virtual path of `chg`, and
+    /// its target must be `complete` or a virtual base of `complete`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in all builds) if the invariants above are violated.
+    pub fn new(chg: &Chg, sigma: Vec<ClassId>, complete: ClassId) -> Self {
+        assert!(!sigma.is_empty(), "sigma must be nonempty");
+        for w in sigma.windows(2) {
+            let inh = chg
+                .edge(w[0], w[1])
+                .expect("sigma must follow inheritance edges");
+            assert!(!inh.is_virtual(), "sigma must be purely non-virtual");
+        }
+        let anchor = *sigma.last().expect("nonempty");
+        assert!(
+            anchor == complete || chg.is_virtual_base_of(anchor, complete),
+            "anchor must be the complete class or one of its virtual bases"
+        );
+        Subobject { sigma, complete }
+    }
+
+    /// Canonicalizes a CHG path into the subobject it identifies:
+    /// `(fixed(path), mdc(path))`.
+    pub fn from_path(chg: &Chg, path: &Path) -> Self {
+        let fixed = path.fixed(chg);
+        Subobject {
+            sigma: fixed.nodes().to_vec(),
+            complete: path.mdc(),
+        }
+    }
+
+    /// The class of this subobject — the paper's `ldc`. Its members are
+    /// `M[class]`.
+    pub fn class(&self) -> ClassId {
+        self.sigma[0]
+    }
+
+    /// The target of the fixed path: either the complete class or a
+    /// virtual base of it.
+    pub fn anchor(&self) -> ClassId {
+        *self.sigma.last().expect("sigma is nonempty")
+    }
+
+    /// The complete-object class — the paper's `mdc`.
+    pub fn complete(&self) -> ClassId {
+        self.complete
+    }
+
+    /// The canonical fixed path, least-derived class first.
+    pub fn sigma(&self) -> &[ClassId] {
+        &self.sigma
+    }
+
+    /// Whether the subobject hangs off a virtual base (anchor differs from
+    /// the complete class).
+    pub fn is_virtually_anchored(&self) -> bool {
+        self.anchor() != self.complete
+    }
+
+    /// Composition `[α] ∘ [σ] = [σ·α]` from Section 7.1 of the paper:
+    /// `inner` is a subobject of a complete object of *this* subobject's
+    /// class; the result is `inner` seen as a subobject of `self`'s
+    /// complete object. Used by the Rossie–Friedman `stat` operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner.complete() != self.class()`.
+    pub fn compose(&self, inner: &Subobject) -> Subobject {
+        assert_eq!(
+            inner.complete(),
+            self.class(),
+            "inner subobject must live in a complete object of self's class"
+        );
+        if inner.anchor() == inner.complete() {
+            // inner's fixed chain reaches our class directly; splice the
+            // chains: fixed(β·α) = fixed(β)·fixed(α).
+            let mut sigma = inner.sigma.clone();
+            sigma.extend_from_slice(&self.sigma[1..]);
+            Subobject {
+                sigma,
+                complete: self.complete,
+            }
+        } else {
+            // inner hangs off a virtual base of our class, which is also a
+            // virtual base of our complete object; its identity carries
+            // over unchanged.
+            Subobject {
+                sigma: inner.sigma.clone(),
+                complete: self.complete,
+            }
+        }
+    }
+
+    /// Renders the subobject using class names: `σ in C` (or just `σ` when
+    /// the anchor is the complete class).
+    pub fn display<'a>(&'a self, chg: &'a Chg) -> DisplaySubobject<'a> {
+        DisplaySubobject { so: self, chg }
+    }
+}
+
+impl fmt::Debug for Subobject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Subobject(")?;
+        for (i, c) in self.sigma.iter().enumerate() {
+            if i > 0 {
+                write!(f, "→")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, " in {})", self.complete)
+    }
+}
+
+/// Helper returned by [`Subobject::display`].
+pub struct DisplaySubobject<'a> {
+    so: &'a Subobject,
+    chg: &'a Chg,
+}
+
+impl fmt::Display for DisplaySubobject<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let all_short = self
+            .so
+            .sigma
+            .iter()
+            .all(|&n| self.chg.class_name(n).chars().count() == 1);
+        for (i, &n) in self.so.sigma.iter().enumerate() {
+            if i > 0 && !all_short {
+                write!(f, "·")?;
+            }
+            write!(f, "{}", self.chg.class_name(n))?;
+        }
+        if self.so.is_virtually_anchored() {
+            write!(f, " in {}", self.chg.class_name(self.so.complete))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+
+    #[test]
+    fn canonicalization_collapses_equivalent_paths() {
+        let g = fixtures::fig3();
+        let pairs = [("ABDFH", "ABDGH"), ("ACDFH", "ACDGH"), ("DFH", "DGH")];
+        for (p, q) in pairs {
+            let sp = Subobject::from_path(&g, &Path::parse(&g, p).unwrap());
+            let sq = Subobject::from_path(&g, &Path::parse(&g, q).unwrap());
+            assert_eq!(sp, sq, "{p} and {q} identify the same subobject");
+        }
+        let s1 = Subobject::from_path(&g, &Path::parse(&g, "ABDFH").unwrap());
+        let s2 = Subobject::from_path(&g, &Path::parse(&g, "ACDFH").unwrap());
+        assert_ne!(s1, s2, "two distinct A subobjects in an H object");
+    }
+
+    #[test]
+    fn anchor_and_virtual_anchoring() {
+        let g = fixtures::fig3();
+        let dfh = Subobject::from_path(&g, &Path::parse(&g, "DFH").unwrap());
+        assert!(dfh.is_virtually_anchored());
+        assert_eq!(g.class_name(dfh.anchor()), "D");
+        let efh = Subobject::from_path(&g, &Path::parse(&g, "EFH").unwrap());
+        assert!(!efh.is_virtually_anchored());
+        assert_eq!(g.class_name(efh.anchor()), "H");
+        assert_eq!(efh.sigma().len(), 3);
+    }
+
+    #[test]
+    fn complete_object_is_trivial() {
+        let g = fixtures::fig1();
+        let e = g.class_by_name("E").unwrap();
+        let so = Subobject::complete_object(e);
+        assert_eq!(so.class(), e);
+        assert_eq!(so.anchor(), e);
+        assert!(!so.is_virtually_anchored());
+    }
+
+    #[test]
+    #[should_panic(expected = "purely non-virtual")]
+    fn new_rejects_virtual_sigma() {
+        let g = fixtures::fig3();
+        let d = g.class_by_name("D").unwrap();
+        let f = g.class_by_name("F").unwrap();
+        let h = g.class_by_name("H").unwrap();
+        let _ = Subobject::new(&g, vec![d, f, h], h); // D->F is virtual
+    }
+
+    #[test]
+    #[should_panic(expected = "anchor must be")]
+    fn new_rejects_unanchored_sigma() {
+        let g = fixtures::fig1();
+        let a = g.class_by_name("A").unwrap();
+        let b = g.class_by_name("B").unwrap();
+        let e = g.class_by_name("E").unwrap();
+        // A->B is nonvirtual but B is not E nor a virtual base of E.
+        let _ = Subobject::new(&g, vec![a, b], e);
+    }
+
+    #[test]
+    fn compose_nonvirtual_inner_splices_chains() {
+        let g = fixtures::fig1();
+        // outer: the D subobject of E ([D,E]); inner: the A subobject of a
+        // complete D ([A,B,D]). Composition = [A,B,D,E].
+        let e = g.class_by_name("E").unwrap();
+        let outer = Subobject::from_path(&g, &Path::parse(&g, "DE").unwrap());
+        let inner = Subobject::from_path(&g, &Path::parse(&g, "ABD").unwrap());
+        let composed = outer.compose(&inner);
+        assert_eq!(composed, Subobject::from_path(&g, &Path::parse(&g, "ABDE").unwrap()));
+        assert_eq!(composed.complete(), e);
+    }
+
+    #[test]
+    fn compose_virtual_inner_keeps_identity() {
+        let g = fixtures::fig3();
+        // outer: the F subobject of H; inner: the D subobject of a complete
+        // F (virtually anchored). D stays the shared D in H.
+        let outer = Subobject::from_path(&g, &Path::parse(&g, "FH").unwrap());
+        let inner = Subobject::from_path(&g, &Path::parse(&g, "DF").unwrap());
+        let composed = outer.compose(&inner);
+        assert_eq!(composed, Subobject::from_path(&g, &Path::parse(&g, "DFH").unwrap()));
+        assert!(composed.is_virtually_anchored());
+    }
+
+    #[test]
+    #[should_panic(expected = "must live in")]
+    fn compose_mismatched_panics() {
+        let g = fixtures::fig1();
+        let outer = Subobject::from_path(&g, &Path::parse(&g, "DE").unwrap());
+        let inner = Subobject::from_path(&g, &Path::parse(&g, "AB").unwrap());
+        let _ = outer.compose(&inner);
+    }
+
+    #[test]
+    fn display_forms() {
+        let g = fixtures::fig3();
+        let dfh = Subobject::from_path(&g, &Path::parse(&g, "DFH").unwrap());
+        assert_eq!(dfh.display(&g).to_string(), "D in H");
+        let efh = Subobject::from_path(&g, &Path::parse(&g, "EFH").unwrap());
+        assert_eq!(efh.display(&g).to_string(), "EFH");
+    }
+}
+
+impl Subobject {
+    /// Enumerates **all** CHG paths in this subobject's `≈`-equivalence
+    /// class: the fixed part `σ` followed by every path from the anchor
+    /// to the complete class whose first edge is virtual (just `σ` when
+    /// the anchor *is* the complete class).
+    ///
+    /// The count can be exponential; at most `limit` paths are returned
+    /// (`Err` carries the truncated list).
+    ///
+    /// # Errors
+    ///
+    /// `Err(paths)` when more than `limit` paths exist; the vector holds
+    /// the first `limit` found.
+    pub fn paths(&self, chg: &Chg, limit: usize) -> Result<Vec<Path>, Vec<Path>> {
+        let mut result = Vec::new();
+        if self.anchor() == self.complete {
+            result.push(
+                Path::new(chg, self.sigma.clone()).expect("sigma follows real edges"),
+            );
+            return Ok(result);
+        }
+        // DFS over suffixes from the anchor to the complete class; the
+        // first edge out of the anchor must be virtual.
+        let mut stack: Vec<Vec<ClassId>> = vec![vec![self.anchor()]];
+        while let Some(suffix) = stack.pop() {
+            let last = *suffix.last().expect("nonempty");
+            if last == self.complete && suffix.len() > 1 {
+                let mut nodes = self.sigma.clone();
+                nodes.extend_from_slice(&suffix[1..]);
+                if result.len() >= limit {
+                    return Err(result);
+                }
+                result.push(Path::new(chg, nodes).expect("edges verified below"));
+                continue;
+            }
+            for &next in chg.direct_derived(last) {
+                let inh = chg.edge(last, next).expect("derived adjacency");
+                if suffix.len() == 1 && !inh.is_virtual() {
+                    continue; // first edge must be virtual
+                }
+                // Only continue towards the complete class.
+                if next != self.complete && !chg.is_base_of(next, self.complete) {
+                    continue;
+                }
+                let mut longer = suffix.clone();
+                longer.push(next);
+                stack.push(longer);
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod path_enum_tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+
+    #[test]
+    fn equivalence_class_paths_match_paper() {
+        let g = fixtures::fig3();
+        // The shared D subobject of H has exactly DFH and DGH.
+        let d = Subobject::from_path(&g, &Path::parse(&g, "DFH").unwrap());
+        let mut paths: Vec<String> = d
+            .paths(&g, 100)
+            .unwrap()
+            .iter()
+            .map(|p| p.display(&g).to_string())
+            .collect();
+        paths.sort();
+        assert_eq!(paths, vec!["DFH", "DGH"]);
+        // A non-virtually anchored subobject has exactly one path.
+        let efh = Subobject::from_path(&g, &Path::parse(&g, "EFH").unwrap());
+        assert_eq!(efh.paths(&g, 100).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn every_enumerated_path_canonicalizes_back() {
+        for g in [fixtures::fig2(), fixtures::fig3(), fixtures::fig9()] {
+            for c in g.classes() {
+                let sg = crate::graph::SubobjectGraph::build(&g, c, 10_000).unwrap();
+                for id in sg.iter() {
+                    let so = sg.subobject(id);
+                    let paths = so.paths(&g, 10_000).unwrap();
+                    assert!(!paths.is_empty(), "every subobject is reachable");
+                    for p in paths {
+                        assert_eq!(&Subobject::from_path(&g, &p), so);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let g = fixtures::fig3();
+        let d = Subobject::from_path(&g, &Path::parse(&g, "DFH").unwrap());
+        let err = d.paths(&g, 1).unwrap_err();
+        assert_eq!(err.len(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Algebraic laws of the Rossie–Friedman subobject composition
+//! (`[α]∘[σ] = [σ·α]`, Section 7.1).
+
+use cpplookup_chg::fixtures;
+use cpplookup_subobject::{Subobject, SubobjectGraph};
+
+/// Enumerates, for every fixture and every complete class, all
+/// (outer, inner) composition pairs and checks the laws.
+#[test]
+fn identity_and_closure_laws() {
+    for g in [
+        fixtures::fig1(),
+        fixtures::fig2(),
+        fixtures::fig3(),
+        fixtures::fig9(),
+        fixtures::static_override_mix(),
+    ] {
+        for c in g.classes() {
+            let sg = SubobjectGraph::build(&g, c, 100_000).unwrap();
+            let root = Subobject::complete_object(c);
+            for id in sg.iter() {
+                let s = sg.subobject(id);
+                // Left identity: the complete object composed with any of
+                // its subobjects is that subobject.
+                assert_eq!(&root.compose(s), s);
+                // Right identity: composing s with the complete object of
+                // s's class gives s back.
+                let inner_root = Subobject::complete_object(s.class());
+                assert_eq!(&s.compose(&inner_root), s);
+
+                // Closure: composing s with any subobject of a complete
+                // object of s's class yields a subobject of c.
+                let inner_graph =
+                    SubobjectGraph::build(&g, s.class(), 100_000).unwrap();
+                for iid in inner_graph.iter() {
+                    let composed = s.compose(inner_graph.subobject(iid));
+                    assert_eq!(composed.complete(), c);
+                    assert!(
+                        sg.id_of(&composed).is_some(),
+                        "composition escaped the subobject set: {} ∘ {} in {}",
+                        s.display(&g),
+                        inner_graph.subobject(iid).display(&g),
+                        g.class_name(c)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Associativity: (s ∘ t) ∘ u == s ∘ (t ∘ u) wherever both sides are
+/// defined.
+#[test]
+fn composition_is_associative() {
+    for g in [fixtures::fig3(), fixtures::fig9()] {
+        for c in g.classes() {
+            let sg = SubobjectGraph::build(&g, c, 100_000).unwrap();
+            for sid in sg.iter() {
+                let s = sg.subobject(sid);
+                let tg = SubobjectGraph::build(&g, s.class(), 100_000).unwrap();
+                for tid in tg.iter() {
+                    let t = tg.subobject(tid);
+                    let ug = SubobjectGraph::build(&g, t.class(), 100_000).unwrap();
+                    for uid in ug.iter() {
+                        let u = ug.subobject(uid);
+                        let left = s.compose(t).compose(u);
+                        let right = s.compose(&t.compose(u));
+                        assert_eq!(left, right);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Containment is compatible with composition: if the complete object of
+/// X contains subobject t, then any X-classed subobject s of a larger
+/// object contains s ∘ t there.
+#[test]
+fn composition_preserves_containment() {
+    let g = fixtures::fig3();
+    let h = g.class_by_name("H").unwrap();
+    let sg = SubobjectGraph::build(&g, h, 100_000).unwrap();
+    for sid in sg.iter() {
+        let s = sg.subobject(sid);
+        let inner = SubobjectGraph::build(&g, s.class(), 100_000).unwrap();
+        for tid in inner.iter() {
+            let composed = s.compose(inner.subobject(tid));
+            let cid = sg.id_of(&composed).unwrap();
+            assert!(
+                sg.dominates(sid, cid),
+                "{} should contain {}",
+                s.display(&g),
+                composed.display(&g)
+            );
+        }
+    }
+}

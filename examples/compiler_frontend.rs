@@ -1,0 +1,105 @@
+//! A miniature C++ "front end" session: parse real C++ source, build the
+//! class hierarchy, resolve every member access, and print gcc-style
+//! diagnostics — the deployment context the paper's algorithm was built
+//! for.
+//!
+//! Run with: `cargo run --example compiler_frontend [file.cpp]`
+//! Without an argument it analyzes a built-in program combining the
+//! paper's Figure 1, Figure 2, and Figure 9 examples.
+
+use std::fmt::Write as _;
+
+use cpplookup::frontend::{analyze, render_all, QueryResult};
+
+const DEMO: &str = r#"
+// --- Figure 1 of the paper: non-virtual inheritance, ambiguous ---
+class A1 { public: void m(); };
+class B1 : public A1 {};
+class C1 : public B1 {};
+class D1 : public B1 { public: void m(); };
+class E1 : public C1, public D1 {};
+
+// --- Figure 2: virtual inheritance, unambiguous ---
+class A2 { public: void m(); };
+class B2 : public A2 {};
+class C2 : virtual public B2 {};
+class D2 : virtual public B2 { public: void m(); };
+class E2 : public C2, public D2 {};
+
+// --- Figure 9: the lookup several 1997 compilers got wrong ---
+struct S  { int m; };
+struct A9 : virtual S { int m; };
+struct B9 : virtual S { int m; };
+struct C9 : virtual A9, virtual B9 { int m; };
+struct D9 : C9 {};
+struct E9 : virtual A9, virtual B9, D9 {};
+
+int main() {
+    E1 *p;
+    p->m();       // error: ambiguous (two A1 subobjects)
+    E2 q;
+    q.m();        // fine: D2::m dominates
+    E9 e;
+    e.m = 10;     // fine: C9::m dominates A9::m and B9::m
+}
+"#;
+
+fn main() {
+    let (name, source) = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            (path, text)
+        }
+        None => ("<demo>".to_owned(), DEMO.to_owned()),
+    };
+
+    let analysis = analyze(&source);
+
+    println!(
+        "parsed {} classes, {} inheritance edges, {} member names",
+        analysis.chg.class_count(),
+        analysis.chg.edge_count(),
+        analysis.chg.member_name_count()
+    );
+    println!();
+
+    let mut report = String::new();
+    for query in &analysis.queries {
+        let verdict = match &query.result {
+            QueryResult::Resolved { declaring_class, access } => format!(
+                "resolved to {}::{} ({access})",
+                analysis.chg.class_name(*declaring_class),
+                query.member
+            ),
+            QueryResult::AccessDenied { declaring_class } => format!(
+                "resolved to {}::{} but INACCESSIBLE here",
+                analysis.chg.class_name(*declaring_class),
+                query.member
+            ),
+            QueryResult::AmbiguousMember => "AMBIGUOUS member lookup".to_owned(),
+            QueryResult::NoSuchMember => "no such member".to_owned(),
+            QueryResult::LocalVariable => "a local variable".to_owned(),
+            QueryResult::GlobalVariable => "a global variable".to_owned(),
+            other => format!("{other:?}"),
+        };
+        let _ = writeln!(report, "  {:12} -> {verdict}", query.description);
+    }
+    println!("member accesses:");
+    print!("{report}");
+    println!();
+
+    if analysis.diagnostics.is_empty() {
+        println!("no diagnostics: the program is well-formed.");
+    } else {
+        println!("diagnostics:");
+        println!("{}", render_all(&analysis.diagnostics, &name, &source));
+    }
+
+    // The demo program must produce exactly one error: Figure 1's lookup.
+    if name == "<demo>" {
+        let failed: Vec<_> = analysis.failed_queries().collect();
+        assert_eq!(failed.len(), 1, "only p->m() should fail");
+        assert_eq!(failed[0].result, QueryResult::AmbiguousMember);
+    }
+}

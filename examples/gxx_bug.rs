@@ -1,0 +1,64 @@
+//! The g++ 2.7.2.1 false-ambiguity bug at scale: stacks of the Figure 9
+//! pattern where every stage's lookup is unambiguous, yet the faithful
+//! breadth-first strategy reports ambiguity at every one of them.
+//!
+//! Run with: `cargo run --example gxx_bug [stages]`
+
+use cpplookup::baselines::gxx::{gxx_lookup, gxx_lookup_corrected, GxxResult};
+use cpplookup::hiergen::families::gxx_trap;
+use cpplookup::{LookupOutcome, LookupTable, SubobjectGraph};
+
+fn main() {
+    let stages: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    let chg = gxx_trap(stages);
+    let table = LookupTable::build(&chg);
+    let m = chg.member_by_name("m").unwrap();
+
+    println!(
+        "gxx_trap({stages}): {} classes, {} edges",
+        chg.class_count(),
+        chg.edge_count()
+    );
+    println!();
+    println!("{:<8} {:<18} {:<22} {:<18}", "class", "paper algorithm", "faithful g++ 2.7.2.1", "corrected BFS");
+
+    let mut wrong = 0usize;
+    for i in 1..=stages {
+        let e = chg.class_by_name(&format!("E{i}")).unwrap();
+        let ours = match table.lookup(e, m) {
+            LookupOutcome::Resolved { class, .. } => {
+                format!("{}::m", chg.class_name(class))
+            }
+            other => format!("{other:?}"),
+        };
+        let sg = SubobjectGraph::build(&chg, e, 1_000_000).expect("linear-size graph");
+        let faithful = match gxx_lookup(&chg, &sg, m) {
+            GxxResult::Ambiguous => {
+                wrong += 1;
+                "ambiguous  ✗".to_owned()
+            }
+            GxxResult::Resolved(id) => {
+                format!("{}::m", chg.class_name(sg.subobject(id).class()))
+            }
+            GxxResult::NotFound => "not found".to_owned(),
+        };
+        let corrected = match gxx_lookup_corrected(&chg, &sg, m) {
+            GxxResult::Resolved(id) => {
+                format!("{}::m  ✓", chg.class_name(sg.subobject(id).class()))
+            }
+            other => format!("{other:?}"),
+        };
+        println!("{:<8} {:<18} {:<22} {:<18}", format!("E{i}"), ours, faithful, corrected);
+    }
+
+    println!();
+    println!(
+        "the faithful g++ strategy reported a spurious ambiguity on {wrong}/{stages} stages;"
+    );
+    println!("the paper notes 3 of the 7 compilers tried in 1997 shared this bug.");
+    assert_eq!(wrong, stages, "every stage must trip the faithful algorithm");
+}

@@ -1,0 +1,87 @@
+//! Hierarchy audit: lint a class hierarchy for ambiguous member lookups
+//! and subobject blowup — the kind of tooling the paper's whole-table
+//! algorithm makes cheap (`O((|M|+|N|)·(|N|+|E|))` for a clean
+//! hierarchy).
+//!
+//! Run with: `cargo run --example hierarchy_audit [seed]`
+
+use cpplookup::hiergen::{random_hierarchy, RandomConfig};
+use cpplookup::subobject::stats::measure_blowup;
+use cpplookup::{LookupOutcome, LookupTable};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    // A mid-sized "codebase" with occasional multiple inheritance.
+    let chg = random_hierarchy(&RandomConfig {
+        classes: 120,
+        extra_base_prob: 0.3,
+        max_bases: 3,
+        virtual_prob: 0.25,
+        member_pool: 6,
+        member_prob: 0.25,
+        static_prob: 0.1,
+        seed,
+    });
+
+    println!(
+        "auditing hierarchy: {} classes, {} edges, {} member names (seed {seed})",
+        chg.class_count(),
+        chg.edge_count(),
+        chg.member_name_count()
+    );
+
+    let table = LookupTable::build(&chg);
+    let stats = table.stats();
+    println!(
+        "lookup table: {} entries, {} unambiguous, {} ambiguous",
+        stats.entries, stats.red, stats.blue
+    );
+    println!();
+
+    // Report every ambiguous (class, member) pair — each would be a
+    // compile error the moment someone writes `obj.m`.
+    let mut ambiguous = Vec::new();
+    for class in chg.classes() {
+        for member in table.members_of(class).collect::<Vec<_>>() {
+            if let LookupOutcome::Ambiguous { witnesses } = table.lookup(class, member) {
+                ambiguous.push((class, member, witnesses.len()));
+            }
+        }
+    }
+    ambiguous.sort_by_key(|&(c, m, _)| (chg.topo_position(c), m));
+    println!("ambiguous lookups ({}):", ambiguous.len());
+    for (class, member, nwitnesses) in ambiguous.iter().take(15) {
+        println!(
+            "  {}::{}  ({} conflicting inheritance routes)",
+            chg.class_name(*class),
+            chg.member_name(*member),
+            nwitnesses.max(&2)
+        );
+    }
+    if ambiguous.len() > 15 {
+        println!("  ... and {} more", ambiguous.len() - 15);
+    }
+    println!();
+
+    // Subobject blowup: classes whose objects replicate many base
+    // subobjects (a code-size / object-size smell).
+    let blowup = measure_blowup(&chg, 1_000_000);
+    let mut worst: Vec<_> = blowup
+        .per_class
+        .iter()
+        .filter_map(|c| c.subobjects.map(|n| (c.class, n)))
+        .collect();
+    worst.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("largest objects (by subobject count):");
+    for (class, n) in worst.iter().take(5) {
+        println!("  {:8} {} subobjects", chg.class_name(*class), n);
+    }
+    println!(
+        "total subobjects across all complete types: {}",
+        blowup.total_subobjects
+    );
+}

@@ -1,0 +1,56 @@
+//! Object layouts and dispatch tables — the physical consequences of the
+//! subobject model: replication under non-virtual inheritance, sharing
+//! under virtual inheritance, and what each dispatch slot binds to.
+//!
+//! Run with: `cargo run --example object_layout`
+
+use cpplookup::chg::fixtures;
+use cpplookup::layout::{NvLayouts, ObjectLayout, Vtables};
+use cpplookup::lookup::dispatch::build_dispatch_map;
+use cpplookup::LookupTable;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== the paper's Figure 1 vs Figure 2, in memory ==\n");
+    for (name, g) in [
+        ("Figure 1 (non-virtual)", fixtures::fig1()),
+        ("Figure 2 (virtual)", fixtures::fig2()),
+    ] {
+        let nv = NvLayouts::compute(&g);
+        let e = g.class_by_name("E").unwrap();
+        let layout = ObjectLayout::compute(&g, &nv, e, 10_000)?;
+        println!("--- {name} ---");
+        print!("{}", layout.render(&g, &nv));
+        let a = g.class_by_name("A").unwrap();
+        println!(
+            "  => {} A subobject(s); that is exactly why `p->m()` is {}\n",
+            layout.graph().subobjects_of_class(a).count(),
+            if layout.graph().subobjects_of_class(a).count() > 1 {
+                "ambiguous"
+            } else {
+                "fine"
+            }
+        );
+    }
+
+    println!("== dispatch tables for the dominance diamond ==\n");
+    let g = fixtures::dominance_diamond();
+    let table = LookupTable::build(&g);
+    let dispatch = build_dispatch_map(&g, &table);
+    print!("{}", dispatch.render(&g));
+
+    let nv = NvLayouts::compute(&g);
+    let bottom = g.class_by_name("Bottom").unwrap();
+    let layout = ObjectLayout::compute(&g, &nv, bottom, 10_000)?;
+    println!();
+    print!("{}", layout.render(&g, &nv));
+    println!(
+        "\nsizeof(Bottom) = {} bytes; the shared virtual Top sits at offset {}\n",
+        layout.size(),
+        layout.vbase_offsets()[0].1
+    );
+
+    let vtables = Vtables::compute(&g, &nv, &layout, &table);
+    print!("{}", vtables.render(&g, &layout));
+    println!("\n(non-zero `this` adjustments are the thunks a real ABI would emit)");
+    Ok(())
+}

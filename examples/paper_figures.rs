@@ -1,0 +1,117 @@
+//! Reproduces every worked figure of the paper on stdout:
+//!
+//! * Figures 1–2 — the motivating programs and their verdicts,
+//! * Figure 3 — the running example's `Defns` sets and dominance facts,
+//! * Figures 4–5 — full-path propagation with killed definitions,
+//! * Figures 6–7 — red/blue abstraction propagation,
+//! * Figure 9 — the g++ counterexample.
+//!
+//! Run with: `cargo run --example paper_figures`
+
+use cpplookup::baselines::gxx::{gxx_lookup, gxx_lookup_corrected, GxxResult};
+use cpplookup::baselines::naive::{propagate, PropagationConfig};
+use cpplookup::chg::fixtures;
+use cpplookup::lookup::trace::{render_trace, trace_member};
+use cpplookup::subobject::{defns, lookup};
+use cpplookup::{LookupOptions, LookupOutcome, LookupTable, Resolution, SubobjectGraph};
+
+fn main() {
+    // --- Figures 1 & 2 ---------------------------------------------------
+    println!("== Figures 1 & 2: non-virtual vs virtual inheritance ==");
+    for (name, g) in [("fig1 (non-virtual)", fixtures::fig1()), ("fig2 (virtual)", fixtures::fig2())] {
+        let e = g.class_by_name("E").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        let t = LookupTable::build(&g);
+        let verdict = match t.lookup(e, m) {
+            LookupOutcome::Resolved { class, .. } => {
+                format!("resolves to {}::m", g.class_name(class))
+            }
+            LookupOutcome::Ambiguous { .. } => "ambiguous".to_owned(),
+            LookupOutcome::NotFound => "not found".to_owned(),
+        };
+        let sg = SubobjectGraph::build(&g, e, 1000).expect("tiny graph");
+        println!("  {name}: p->m {verdict}   (E has {} subobjects)", sg.len());
+    }
+    println!();
+
+    // --- Figure 3: Defns sets --------------------------------------------
+    let g = fixtures::fig3();
+    let h = g.class_by_name("H").unwrap();
+    let sg = SubobjectGraph::build(&g, h, 1000).expect("tiny graph");
+    println!("== Figure 3: the running example ==");
+    for member in ["foo", "bar"] {
+        let m = g.member_by_name(member).unwrap();
+        let defs: Vec<String> = defns(&g, &sg, m)
+            .into_iter()
+            .map(|id| sg.subobject(id).display(&g).to_string())
+            .collect();
+        let verdict = match lookup(&g, &sg, m) {
+            Resolution::Subobject(id) => {
+                format!("lookup(H, {member}) = {}", sg.subobject(id).display(&g))
+            }
+            Resolution::Ambiguous(_) => format!("lookup(H, {member}) = ⊥ (ambiguous)"),
+            other => format!("{other:?}"),
+        };
+        println!("  Defns(H, {member}) = {{ {} }}", defs.join(", "));
+        println!("  {verdict}");
+    }
+    println!();
+
+    // --- Figures 4 & 5: path propagation with killing ----------------------
+    println!("== Figures 4 & 5: definition propagation (crossed-out = killed) ==");
+    for member in ["foo", "bar"] {
+        let m = g.member_by_name(member).unwrap();
+        let prop = propagate(&g, m, PropagationConfig::default()).expect("small graph");
+        println!("  member {member}:");
+        for node in &prop.nodes {
+            let mut parts: Vec<String> = Vec::new();
+            for p in &node.reaching {
+                let text = format!("{}", p.display(&g));
+                if node.killed.contains(p) {
+                    parts.push(format!("~~{text}~~"));
+                } else if node.most_dominant.as_ref() == Some(p) {
+                    parts.push(format!("**{text}**"));
+                } else {
+                    parts.push(text);
+                }
+            }
+            println!("    {}: {}", g.class_name(node.class), parts.join(", "));
+        }
+    }
+    println!();
+
+    // --- Figures 6 & 7: abstraction propagation ----------------------------
+    println!("== Figures 6 & 7: red/blue abstraction propagation ==");
+    for member in ["foo", "bar"] {
+        let m = g.member_by_name(member).unwrap();
+        println!("  member {member}:");
+        let text = render_trace(&g, &trace_member(&g, m, LookupOptions::default()));
+        for line in text.lines() {
+            println!("    {line}");
+        }
+    }
+    println!();
+
+    // --- Figure 9 ----------------------------------------------------------
+    println!("== Figure 9: the counterexample for the g++ algorithm ==");
+    let g9 = fixtures::fig9();
+    let e9 = g9.class_by_name("E").unwrap();
+    let m9 = g9.member_by_name("m").unwrap();
+    let sg9 = SubobjectGraph::build(&g9, e9, 1000).expect("tiny graph");
+    let t9 = LookupTable::build(&g9);
+    let ours = match t9.lookup(e9, m9) {
+        LookupOutcome::Resolved { class, .. } => format!("{}::m", g9.class_name(class)),
+        other => format!("{other:?}"),
+    };
+    let faithful = match gxx_lookup(&g9, &sg9, m9) {
+        GxxResult::Ambiguous => "ambiguous (WRONG)".to_owned(),
+        other => format!("{other:?}"),
+    };
+    let corrected = match gxx_lookup_corrected(&g9, &sg9, m9) {
+        GxxResult::Resolved(id) => format!("{}::m", g9.class_name(sg9.subobject(id).class())),
+        other => format!("{other:?}"),
+    };
+    println!("  paper's algorithm : e.m resolves to {ours}");
+    println!("  faithful g++ 2.7.2: {faithful}");
+    println!("  corrected BFS     : e.m resolves to {corrected}");
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a class hierarchy, run the lookup algorithm, and
+//! inspect the results.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cpplookup::{ChgBuilder, Inheritance, LookupOutcome, LookupTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The "dreaded diamond" with an override:
+    //
+    //   struct Top    { void draw(); void area(); };
+    //   struct Left   : virtual Top { void draw(); };
+    //   struct Right  : virtual Top { void area(); };
+    //   struct Bottom : Left, Right {};
+    let mut b = ChgBuilder::new();
+    let top = b.class("Top");
+    let left = b.class("Left");
+    let right = b.class("Right");
+    let bottom = b.class("Bottom");
+    b.member(top, "draw");
+    b.member(top, "area");
+    b.member(left, "draw");
+    b.member(right, "area");
+    b.derive(left, top, Inheritance::Virtual)?;
+    b.derive(right, top, Inheritance::Virtual)?;
+    b.derive(bottom, left, Inheritance::NonVirtual)?;
+    b.derive(bottom, right, Inheritance::NonVirtual)?;
+    let chg = b.finish()?;
+
+    // One pass over the hierarchy tabulates every lookup.
+    let table = LookupTable::build(&chg);
+
+    println!("hierarchy: {} classes, {} edges", chg.class_count(), chg.edge_count());
+    println!();
+
+    for class in chg.classes() {
+        for member in table.members_of(class).collect::<Vec<_>>() {
+            let outcome = table.lookup(class, member);
+            let verdict = match &outcome {
+                LookupOutcome::Resolved { class: decl, .. } => {
+                    format!("resolves to {}::{}", chg.class_name(*decl), chg.member_name(member))
+                }
+                LookupOutcome::Ambiguous { .. } => "AMBIGUOUS".to_owned(),
+                LookupOutcome::NotFound => unreachable!("members_of only lists visible members"),
+            };
+            let path = table
+                .resolve_path(&chg, class, member)
+                .map(|p| format!(" via path {}", p.display(&chg)))
+                .unwrap_or_default();
+            println!(
+                "lookup({}, {:5}) {verdict}{path}",
+                chg.class_name(class),
+                chg.member_name(member),
+            );
+        }
+    }
+
+    // Both lookups in Bottom are unambiguous thanks to dominance: the
+    // overrides in Left and Right hide Top's members through the shared
+    // virtual base.
+    let draw = chg.member_by_name("draw").expect("declared above");
+    match table.lookup(bottom, draw) {
+        LookupOutcome::Resolved { class, .. } => {
+            assert_eq!(chg.class_name(class), "Left");
+        }
+        other => panic!("expected Left::draw, got {other:?}"),
+    }
+    println!();
+    println!("Bottom::draw binds to Left::draw by the C++ dominance rule.");
+    Ok(())
+}

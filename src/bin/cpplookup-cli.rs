@@ -1,0 +1,213 @@
+//! `cpplookup-cli` — drive the member lookup pipeline from the command
+//! line, compiler style.
+//!
+//! ```text
+//! cpplookup-cli check  <file.cpp>            resolve every member access, print diagnostics
+//! cpplookup-cli table  <file.cpp>            dump the whole lookup table
+//! cpplookup-cli trace  <file.cpp> <member> [--dot]
+//!                                            red/blue propagation trace (paper Figures 6-7)
+//! cpplookup-cli layout <file.cpp> [class]    object layouts and dispatch tables
+//! cpplookup-cli audit  <file.cpp>            ambiguity lint + subobject blowup report
+//! cpplookup-cli dot    <file.cpp>            Graphviz export of the class hierarchy
+//! cpplookup-cli export <file.cpp>            JSON export of the class hierarchy
+//! ```
+//!
+//! Exit status: 0 on success, 1 on resolution errors (`check`), 2 on
+//! usage/IO errors.
+
+use std::process::ExitCode;
+
+use cpplookup::chg::dot::to_dot;
+use cpplookup::chg::spec::ChgSpec;
+use cpplookup::frontend::{analyze, render_all, Analysis};
+use cpplookup::layout::{NvLayouts, ObjectLayout, Vtables};
+use cpplookup::lookup::dispatch::build_dispatch_map;
+use cpplookup::lookup::trace::{render_trace, trace_member, trace_to_dot};
+use cpplookup::subobject::stats::count_subobjects;
+use cpplookup::{LookupOptions, LookupOutcome};
+
+const USAGE: &str =
+    "usage: cpplookup-cli <check|table|trace|layout|audit|dot|export> <file.cpp> [args]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, file, rest) = match args.as_slice() {
+        [command, file, rest @ ..] => (command.as_str(), file.as_str(), rest),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cpplookup-cli: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = analyze(&source);
+    match command {
+        "check" => check(&analysis, file, &source),
+        "table" => {
+            table(&analysis);
+            ExitCode::SUCCESS
+        }
+        "trace" => trace(&analysis, rest),
+        "layout" => layout(&analysis, rest),
+        "audit" => {
+            audit(&analysis);
+            ExitCode::SUCCESS
+        }
+        "dot" => {
+            print!("{}", to_dot(&analysis.chg));
+            ExitCode::SUCCESS
+        }
+        "export" => {
+            println!("{}", ChgSpec::from_chg(&analysis.chg).to_json());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("cpplookup-cli: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(analysis: &Analysis, file: &str, source: &str) -> ExitCode {
+    for query in &analysis.queries {
+        let verdict = match &query.result {
+            cpplookup::frontend::QueryResult::Resolved { declaring_class, access } => {
+                format!(
+                    "ok: {}::{} ({access})",
+                    analysis.chg.class_name(*declaring_class),
+                    query.member
+                )
+            }
+            other => format!("{other:?}"),
+        };
+        println!("{:<20} {verdict}", query.description);
+    }
+    if analysis.diagnostics.is_empty() {
+        println!("\nno diagnostics.");
+        ExitCode::SUCCESS
+    } else {
+        println!("\n{}", render_all(&analysis.diagnostics, file, source));
+        ExitCode::from(1)
+    }
+}
+
+fn table(analysis: &Analysis) {
+    let chg = &analysis.chg;
+    for c in chg.classes() {
+        let mut members: Vec<_> = analysis.table.members_of(c).collect();
+        members.sort();
+        if members.is_empty() {
+            continue;
+        }
+        println!("{}:", chg.class_name(c));
+        for m in members {
+            let line = match analysis.table.lookup(c, m) {
+                LookupOutcome::Resolved { class, .. } => {
+                    let path = analysis
+                        .table
+                        .resolve_path(chg, c, m)
+                        .map(|p| format!("  via {}", p.display(chg)))
+                        .unwrap_or_default();
+                    format!("{}::{}{}", chg.class_name(class), chg.member_name(m), path)
+                }
+                LookupOutcome::Ambiguous { .. } => "<ambiguous>".to_owned(),
+                LookupOutcome::NotFound => unreachable!("members_of lists visible members"),
+            };
+            println!("  {:<12} -> {line}", chg.member_name(m));
+        }
+    }
+}
+
+fn trace(analysis: &Analysis, rest: &[String]) -> ExitCode {
+    let Some(member) = rest.first() else {
+        eprintln!("usage: cpplookup-cli trace <file.cpp> <member>");
+        return ExitCode::from(2);
+    };
+    let Some(m) = analysis.chg.member_by_name(member) else {
+        eprintln!("cpplookup-cli: no member named `{member}`");
+        return ExitCode::from(2);
+    };
+    let trace = trace_member(&analysis.chg, m, LookupOptions::default());
+    if rest.iter().any(|a| a == "--dot") {
+        print!("{}", trace_to_dot(&analysis.chg, m, &trace));
+    } else {
+        print!("{}", render_trace(&analysis.chg, &trace));
+    }
+    ExitCode::SUCCESS
+}
+
+fn layout(analysis: &Analysis, rest: &[String]) -> ExitCode {
+    let chg = &analysis.chg;
+    let nv = NvLayouts::compute(chg);
+    let classes: Vec<_> = match rest.first() {
+        Some(name) => match chg.class_by_name(name) {
+            Some(c) => vec![c],
+            None => {
+                eprintln!("cpplookup-cli: no class named `{name}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => chg.classes().collect(),
+    };
+    for c in classes {
+        match ObjectLayout::compute(chg, &nv, c, 1_000_000) {
+            Ok(l) => {
+                print!("{}", l.render(chg, &nv));
+                let vt = Vtables::compute(chg, &nv, &l, &analysis.table);
+                if !vt.tables().is_empty() {
+                    print!("{}", vt.render(chg, &l));
+                }
+                println!();
+            }
+            Err(e) => println!("layout of {}: {e}\n", chg.class_name(c)),
+        }
+    }
+    let dispatch = build_dispatch_map(chg, &analysis.table);
+    print!("{}", dispatch.render(chg));
+    ExitCode::SUCCESS
+}
+
+fn audit(analysis: &Analysis) {
+    let chg = &analysis.chg;
+    let stats = analysis.table.stats();
+    println!(
+        "{} classes, {} edges, {} member names; {} lookup entries ({} ambiguous)",
+        chg.class_count(),
+        chg.edge_count(),
+        chg.member_name_count(),
+        stats.entries,
+        stats.blue
+    );
+    for c in chg.classes() {
+        for m in analysis.table.members_of(c).collect::<Vec<_>>() {
+            if matches!(
+                analysis.table.lookup(c, m),
+                LookupOutcome::Ambiguous { .. }
+            ) {
+                println!(
+                    "  ambiguous: {}::{}",
+                    chg.class_name(c),
+                    chg.member_name(m)
+                );
+            }
+        }
+    }
+    let mut worst: Vec<(usize, &str)> = chg
+        .classes()
+        .filter_map(|c| {
+            count_subobjects(chg, c, 1_000_000)
+                .ok()
+                .map(|n| (n, chg.class_name(c)))
+        })
+        .collect();
+    worst.sort_by_key(|&(n, _)| std::cmp::Reverse(n));
+    println!("largest objects by subobject count:");
+    for (n, name) in worst.iter().take(5) {
+        println!("  {name:<16} {n}");
+    }
+}

@@ -1,0 +1,90 @@
+//! `cpplookup` — member lookup for C++ class hierarchies.
+//!
+//! A faithful, production-grade implementation of *“A Member Lookup
+//! Algorithm for C++”* (G. Ramalingam & Harini Srinivasan, PLDI 1997),
+//! together with everything needed to reproduce the paper: the
+//! Rossie–Friedman subobject model as an executable specification, the
+//! baselines the paper discusses (including the historically buggy g++
+//! strategy), a mini-C++ front end, and workload generators.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`chg`] | `cpplookup-chg` | class hierarchy graphs, paths, closures, fixtures |
+//! | [`subobject`] | `cpplookup-subobject` | subobject graphs, reference lookup semantics, Theorem 1 |
+//! | [`lookup`] | `cpplookup-core` | **the paper's algorithm**: eager/lazy/parallel tables, traces, access rights |
+//! | [`baselines`] | `cpplookup-baselines` | g++ BFS (faithful + corrected), naive propagation, topo shortcut |
+//! | [`frontend`] | `cpplookup-frontend` | mini-C++ parser, lowering, and name resolution |
+//! | [`hiergen`] | `cpplookup-hiergen` | structured and random hierarchy generators |
+//! | [`layout`] | `cpplookup-layout` | subobject-accurate object layouts (offsets, vptrs, virtual bases) |
+//!
+//! The most common types are re-exported at the top level.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cpplookup::{ChgBuilder, Inheritance, LookupOutcome, LookupTable};
+//!
+//! // struct Top { int x; };
+//! // struct Left : virtual Top { int x; };
+//! // struct Right : virtual Top {};
+//! // struct Bottom : Left, Right {};
+//! let mut b = ChgBuilder::new();
+//! let top = b.class("Top");
+//! let left = b.class("Left");
+//! let right = b.class("Right");
+//! let bottom = b.class("Bottom");
+//! b.member(top, "x");
+//! b.member(left, "x");
+//! b.derive(left, top, Inheritance::Virtual)?;
+//! b.derive(right, top, Inheritance::Virtual)?;
+//! b.derive(bottom, left, Inheritance::NonVirtual)?;
+//! b.derive(bottom, right, Inheritance::NonVirtual)?;
+//! let chg = b.finish()?;
+//!
+//! let table = LookupTable::build(&chg);
+//! let x = chg.member_by_name("x").unwrap();
+//! match table.lookup(bottom, x) {
+//!     LookupOutcome::Resolved { class, .. } => {
+//!         assert_eq!(chg.class_name(class), "Left"); // dominance!
+//!     }
+//!     other => panic!("unexpected: {other:?}"),
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Or straight from C++ source:
+//!
+//! ```
+//! use cpplookup::frontend::{analyze, QueryResult};
+//!
+//! let analysis = analyze(
+//!     "struct A { int m; };\n\
+//!      struct B : A {}; struct C : A {};\n\
+//!      struct D : B, C {};\n\
+//!      int main() { D d; d.m; }",
+//! );
+//! assert_eq!(analysis.queries[0].result, QueryResult::AmbiguousMember);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use cpplookup_baselines as baselines;
+pub use cpplookup_chg as chg;
+pub use cpplookup_core as lookup;
+pub use cpplookup_frontend as frontend;
+pub use cpplookup_hiergen as hiergen;
+pub use cpplookup_layout as layout;
+pub use cpplookup_subobject as subobject;
+
+pub use cpplookup_chg::{
+    Access, Chg, ChgBuilder, ChgError, ClassId, Inheritance, MemberDecl, MemberId, MemberKind,
+    Path,
+};
+pub use cpplookup_core::{
+    build_table_parallel, LazyLookup, LeastVirtual, LookupOptions, LookupOutcome, LookupTable,
+    RedAbs, StaticRule,
+};
+pub use cpplookup_subobject::{Resolution, Subobject, SubobjectGraph};

@@ -1,0 +1,114 @@
+//! End-to-end tests of the `cpplookup-cli` binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+const FIG9: &str = "struct S { int m; };\n\
+                    struct A : virtual S { int m; };\n\
+                    struct B : virtual S { int m; };\n\
+                    struct C : virtual A, virtual B { int m; };\n\
+                    struct D : C {};\n\
+                    struct E : virtual A, virtual B, D {};\n\
+                    int main() { E e; e.m = 10; }\n";
+
+fn write_temp(contents: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "cpplookup-cli-test-{}-{}.cpp",
+        std::process::id(),
+        contents.len()
+    ));
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    path
+}
+
+fn run(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cpplookup-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn check_reports_clean_fig9() {
+    let path = write_temp(FIG9);
+    let (stdout, _, code) = run(&["check", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("ok: C::m"), "{stdout}");
+    assert!(stdout.contains("no diagnostics"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_flags_ambiguity_with_exit_code_1() {
+    let src = "struct A { int m; };\n\
+               struct B : A {}; struct C : A {};\n\
+               struct D : B, C {};\n\
+               int main() { D d; d.m; }\n";
+    let path = write_temp(src);
+    let (stdout, _, code) = run(&["check", path.to_str().unwrap()]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("ambiguous"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn table_trace_layout_audit_dot_all_work() {
+    let path = write_temp(FIG9);
+    let p = path.to_str().unwrap();
+
+    let (stdout, _, code) = run(&["table", p]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("E:"), "{stdout}");
+    assert!(stdout.contains("C::m"));
+
+    let (stdout, _, code) = run(&["trace", p, "m"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("=> red (C, Ω)"), "{stdout}");
+
+    let (stdout, _, code) = run(&["trace", p, "m", "--dot"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("digraph trace"));
+
+    let (stdout, _, code) = run(&["layout", p, "E"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("layout of E"), "{stdout}");
+    assert!(stdout.contains("S in E"));
+
+    let (stdout, _, code) = run(&["audit", p]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("largest objects"), "{stdout}");
+
+    let (stdout, _, code) = run(&["dot", p]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("digraph chg"));
+
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let (_, stderr, code) = run(&[]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage"));
+
+    let path = write_temp(FIG9);
+    let (_, stderr, code) = run(&["frobnicate", path.to_str().unwrap()]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown command"));
+
+    let (_, stderr, code) = run(&["check", "/nonexistent/nope.cpp"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("cannot read"));
+
+    let (_, stderr, code) = run(&["trace", path.to_str().unwrap()]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage"));
+    let _ = std::fs::remove_file(path);
+}

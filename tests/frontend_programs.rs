@@ -1,0 +1,202 @@
+//! End-to-end frontend tests: realistic mini-C++ translation units
+//! through parse → lower → table → resolve, checked against known
+//! verdicts.
+
+use cpplookup::frontend::{analyze, render_all, QueryResult, Severity};
+
+/// A shape library exercising most of the subset at once.
+const SHAPES: &str = r#"
+// A small widget library.
+struct Object {
+    static int instances;
+    typedef int id_type;
+    enum Kind { WIDGET, GADGET };
+    void describe();
+protected:
+    int refcount;
+private:
+    int secret;
+};
+
+struct Drawable : virtual Object {
+    void draw();
+};
+
+struct Clickable : virtual Object {
+    void click();
+    void describe();   // overrides Object::describe by dominance
+};
+
+struct Button : Drawable, Clickable {
+    void press() {
+        click();        // unqualified -> Clickable::click
+        describe();     // unqualified -> Clickable::describe (dominance)
+        refcount = 1;   // protected, but we are inside a member
+    }
+};
+
+Button button;
+
+int main() {
+    button.press();
+    button.describe();       // Clickable::describe via dominance
+    button.draw();
+    Button *b;
+    b->click();
+    Object::instances = 0;   // qualified static access
+    button.refcount;         // error: protected
+    button.secret;           // error: private
+    button.frobnicate();     // error: no such member
+}
+"#;
+
+#[test]
+fn shape_library_resolves_as_expected() {
+    let analysis = analyze(SHAPES);
+    let by_desc = |d: &str| {
+        analysis
+            .queries
+            .iter()
+            .find(|q| q.description == d)
+            .unwrap_or_else(|| panic!("no query {d}"))
+    };
+
+    // Inside Button::press.
+    for good in ["click", "describe", "refcount"] {
+        assert!(
+            matches!(by_desc(good).result, QueryResult::Resolved { .. }),
+            "{good}: {:?}",
+            by_desc(good).result
+        );
+    }
+    // describe() resolves to Clickable by dominance, not Object.
+    let describe = by_desc("describe");
+    if let QueryResult::Resolved { declaring_class, .. } = describe.result {
+        assert_eq!(analysis.chg.class_name(declaring_class), "Clickable");
+    }
+
+    // In main.
+    assert!(matches!(
+        by_desc("button.describe").result,
+        QueryResult::Resolved { .. }
+    ));
+    assert!(matches!(
+        by_desc("Object::instances").result,
+        QueryResult::Resolved { .. }
+    ));
+    assert!(matches!(
+        by_desc("button.refcount").result,
+        QueryResult::AccessDenied { .. }
+    ));
+    assert!(matches!(
+        by_desc("button.secret").result,
+        QueryResult::AccessDenied { .. }
+    ));
+    assert_eq!(by_desc("button.frobnicate").result, QueryResult::NoSuchMember);
+
+    // Exactly the three bad accesses produce error diagnostics.
+    let errors = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    assert_eq!(errors, 3, "{:?}", analysis.diagnostics);
+}
+
+#[test]
+fn ambiguity_diagnostics_render_with_locations() {
+    let src = "struct A { int m; };\n\
+               struct B : A {};\n\
+               struct C : A {};\n\
+               struct D : B, C {};\n\
+               D d;\n\
+               int main() { d.m; }\n";
+    let analysis = analyze(src);
+    assert_eq!(analysis.queries[0].result, QueryResult::AmbiguousMember);
+    let rendered = render_all(&analysis.diagnostics, "test.cpp", src);
+    assert!(rendered.contains("test.cpp:6:16"), "{rendered}");
+    assert!(rendered.contains("ambiguous"));
+}
+
+#[test]
+fn enumerators_static_like_through_replication() {
+    // Replicated bases, but the conflicting members are the *same*
+    // enumerators and typedefs of one class: Definition 17 makes these
+    // unambiguous; the plain data member stays ambiguous.
+    let src = "struct Base { enum { LIMIT }; typedef int size_type; int payload; };\n\
+               struct L : Base {};\n\
+               struct R : Base {};\n\
+               struct Join : L, R {};\n\
+               int main() {\n\
+                 Join j;\n\
+                 j.LIMIT;\n\
+                 j.size_type;\n\
+                 j.payload;\n\
+               }\n";
+    let analysis = analyze(src);
+    let result = |d: &str| {
+        &analysis
+            .queries
+            .iter()
+            .find(|q| q.description == d)
+            .unwrap()
+            .result
+    };
+    assert!(matches!(result("j.LIMIT"), QueryResult::Resolved { .. }));
+    assert!(matches!(result("j.size_type"), QueryResult::Resolved { .. }));
+    assert_eq!(*result("j.payload"), QueryResult::AmbiguousMember);
+}
+
+#[test]
+fn virtualness_flips_the_verdict() {
+    let make = |virt: &str| {
+        format!(
+            "struct Base {{ int v; }};\n\
+             struct L : {virt} Base {{}};\n\
+             struct R : {virt} Base {{}};\n\
+             struct Join : L, R {{}};\n\
+             int main() {{ Join j; j.v; }}\n"
+        )
+    };
+    let nonvirtual = analyze(&make("public"));
+    assert_eq!(nonvirtual.queries[0].result, QueryResult::AmbiguousMember);
+    let virtual_ = analyze(&make("virtual public"));
+    assert!(matches!(
+        virtual_.queries[0].result,
+        QueryResult::Resolved { .. }
+    ));
+}
+
+#[test]
+fn parse_errors_do_not_prevent_analysis() {
+    let src = "struct Good { int ok; };\n\
+               struct ??? Bad;\n\
+               int main() { Good g; g.ok; }\n";
+    let analysis = analyze(src);
+    assert!(!analysis.diagnostics.is_empty());
+    // The well-formed part still resolves.
+    let ok = analysis.queries.iter().find(|q| q.description == "g.ok");
+    assert!(matches!(
+        ok.map(|q| &q.result),
+        Some(QueryResult::Resolved { .. })
+    ));
+}
+
+#[test]
+fn deep_program_roundtrip() {
+    // Generate a deep single-inheritance tower in source form and check
+    // the access at the bottom resolves to the root.
+    let mut src = String::from("struct C0 { int m; };\n");
+    for i in 1..200 {
+        src.push_str(&format!("struct C{i} : C{} {{}};\n", i - 1));
+    }
+    src.push_str("int main() { C199 obj; obj.m; }\n");
+    let analysis = analyze(&src);
+    assert!(analysis.diagnostics.is_empty());
+    match &analysis.queries[0].result {
+        QueryResult::Resolved { declaring_class, .. } => {
+            assert_eq!(analysis.chg.class_name(*declaring_class), "C0");
+        }
+        other => panic!("{other:?}"),
+    }
+}

@@ -1,0 +1,221 @@
+//! Every concrete claim the paper makes about its running examples,
+//! checked end to end. Each test cites the paper section it reproduces.
+
+use cpplookup::baselines::gxx::{gxx_lookup, gxx_lookup_corrected, GxxResult};
+use cpplookup::chg::fixtures;
+use cpplookup::subobject::isomorphism::{check_theorem1_all, enumerate_paths_to};
+use cpplookup::subobject::rf::{dyn_lookup, stat_lookup, RfResolution};
+use cpplookup::subobject::{defns, lookup, Resolution};
+use cpplookup::{LookupOutcome, LookupTable, Path, Subobject, SubobjectGraph};
+
+/// Section 1: "the lookup p->m is ambiguous in Figure 1(a) but not in
+/// Figure 2(a) ... an E object has two subobjects of class A in the first
+/// case, but only one subobject of class A in the second case."
+#[test]
+fn section1_figures_1_and_2() {
+    let g1 = fixtures::fig1();
+    let e1 = g1.class_by_name("E").unwrap();
+    let a1 = g1.class_by_name("A").unwrap();
+    let m1 = g1.member_by_name("m").unwrap();
+    let sg1 = SubobjectGraph::build(&g1, e1, 1000).unwrap();
+    assert_eq!(sg1.subobjects_of_class(a1).count(), 2);
+    assert!(matches!(
+        LookupTable::build(&g1).lookup(e1, m1),
+        LookupOutcome::Ambiguous { .. }
+    ));
+
+    let g2 = fixtures::fig2();
+    let e2 = g2.class_by_name("E").unwrap();
+    let a2 = g2.class_by_name("A").unwrap();
+    let m2 = g2.member_by_name("m").unwrap();
+    let sg2 = SubobjectGraph::build(&g2, e2, 1000).unwrap();
+    assert_eq!(sg2.subobjects_of_class(a2).count(), 1);
+    assert!(LookupTable::build(&g2).lookup(e2, m2).is_resolved());
+}
+
+/// Section 3, "Example": the fixed parts and equivalences of the four
+/// A-to-H paths in Figure 3.
+#[test]
+fn section3_fixed_parts_and_equivalence() {
+    let g = fixtures::fig3();
+    let fixed = |p: &str| {
+        Path::parse(&g, p)
+            .unwrap()
+            .fixed(&g)
+            .display(&g)
+            .to_string()
+    };
+    assert_eq!(fixed("ABDFH"), "ABD");
+    assert_eq!(fixed("ABDGH"), "ABD");
+    assert_eq!(fixed("ACDFH"), "ACD");
+    assert_eq!(fixed("ACDGH"), "ACD");
+    let eq = |p: &str, q: &str| {
+        Path::parse(&g, p)
+            .unwrap()
+            .equivalent(&Path::parse(&g, q).unwrap(), &g)
+    };
+    assert!(eq("ABDFH", "ABDGH"));
+    assert!(eq("ACDFH", "ACDGH"));
+    assert!(!eq("ABDFH", "ACDFH"));
+}
+
+/// Section 3, "The Dominance Rule" example: GH hides ABDGH but not
+/// ABDFH; GH dominates ABDFH; FH dominates ABDGH.
+#[test]
+fn section3_dominance_examples() {
+    let g = fixtures::fig3();
+    let h = g.class_by_name("H").unwrap();
+    let sg = SubobjectGraph::build(&g, h, 1000).unwrap();
+    let path = |p: &str| Path::parse(&g, p).unwrap();
+    assert!(path("GH").hides(&path("ABDGH")));
+    assert!(!path("GH").hides(&path("ABDFH")));
+    let id = |p: &str| sg.id_of(&Subobject::from_path(&g, &path(p))).unwrap();
+    assert!(sg.dominates(id("GH"), id("ABDFH")));
+    assert!(sg.dominates(id("FH"), id("ABDGH")));
+}
+
+/// Section 3, "Formalizing Member Lookup" example: the Defns sets of H
+/// and the lookup results.
+#[test]
+fn section3_defns_and_lookup() {
+    let g = fixtures::fig3();
+    let h = g.class_by_name("H").unwrap();
+    let sg = SubobjectGraph::build(&g, h, 1000).unwrap();
+    let foo = g.member_by_name("foo").unwrap();
+    let bar = g.member_by_name("bar").unwrap();
+    // Defns(H, foo) = {{ABDFH, ABDGH}, {ACDFH, ACDGH}, {GH}} — three
+    // equivalence classes.
+    assert_eq!(defns(&g, &sg, foo).len(), 3);
+    // Defns(H, bar) = {{EFH}, {DFH, DGH}, {GH}}.
+    assert_eq!(defns(&g, &sg, bar).len(), 3);
+    match lookup(&g, &sg, foo) {
+        Resolution::Subobject(u) => {
+            assert_eq!(sg.subobject(u).display(&g).to_string(), "GH")
+        }
+        other => panic!("lookup(H, foo) = {other:?}"),
+    }
+    assert!(matches!(lookup(&g, &sg, bar), Resolution::Ambiguous(_)));
+}
+
+/// Section 4's justification for propagating blue definitions: the
+/// lookup at F is ambiguous for both members, and at H the blue EF
+/// definition is what keeps bar ambiguous while foo resolves.
+#[test]
+fn section4_blue_propagation_motivation() {
+    let g = fixtures::fig3();
+    let t = LookupTable::build(&g);
+    let f = g.class_by_name("F").unwrap();
+    let h = g.class_by_name("H").unwrap();
+    let foo = g.member_by_name("foo").unwrap();
+    let bar = g.member_by_name("bar").unwrap();
+    assert!(matches!(t.lookup(f, foo), LookupOutcome::Ambiguous { .. }));
+    assert!(matches!(t.lookup(f, bar), LookupOutcome::Ambiguous { .. }));
+    assert!(t.lookup(h, foo).is_resolved(), "foo recovers at H");
+    assert!(matches!(t.lookup(h, bar), LookupOutcome::Ambiguous { .. }));
+}
+
+/// Theorem 1 (Section 7.1): the ≈-class poset is isomorphic to the
+/// Rossie–Friedman subobject poset, on every fixture.
+#[test]
+fn theorem1_on_fixtures() {
+    for g in [
+        fixtures::fig1(),
+        fixtures::fig2(),
+        fixtures::fig3(),
+        fixtures::fig9(),
+        fixtures::static_diamond(),
+        fixtures::dominance_diamond(),
+    ] {
+        check_theorem1_all(&g, 1_000_000).unwrap();
+    }
+}
+
+/// Section 7.1: the Rossie–Friedman dyn/stat lookups decompose into our
+/// lookup plus composition.
+#[test]
+fn section7_rf_decomposition() {
+    let g = fixtures::fig3();
+    let h = g.class_by_name("H").unwrap();
+    let sg = SubobjectGraph::build(&g, h, 1000).unwrap();
+    let foo = g.member_by_name("foo").unwrap();
+    // dyn on any receiver = lookup(H, foo) = GH.
+    let fh = sg
+        .id_of(&Subobject::from_path(&g, &Path::parse(&g, "FH").unwrap()))
+        .unwrap();
+    match dyn_lookup(&g, &sg, foo, fh).unwrap() {
+        RfResolution::Subobject(so) => assert_eq!(so.display(&g).to_string(), "GH"),
+        other => panic!("{other:?}"),
+    }
+    // stat through the F subobject: F's static lookup of foo is
+    // ambiguous.
+    assert_eq!(
+        stat_lookup(&g, &sg, foo, fh).unwrap(),
+        RfResolution::Ambiguous
+    );
+    // stat through the G subobject: G::foo, composed into H.
+    let gh = sg
+        .id_of(&Subobject::from_path(&g, &Path::parse(&g, "GH").unwrap()))
+        .unwrap();
+    match stat_lookup(&g, &sg, foo, gh).unwrap() {
+        RfResolution::Subobject(so) => assert_eq!(so.display(&g).to_string(), "GH"),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Section 7.1 + Figure 9: the g++ counterexample, end to end.
+#[test]
+fn figure9_counterexample() {
+    let g = fixtures::fig9();
+    let e = g.class_by_name("E").unwrap();
+    let m = g.member_by_name("m").unwrap();
+    let sg = SubobjectGraph::build(&g, e, 1000).unwrap();
+
+    // Truth (three ways): C::m.
+    match LookupTable::build(&g).lookup(e, m) {
+        LookupOutcome::Resolved { class, .. } => assert_eq!(g.class_name(class), "C"),
+        other => panic!("{other:?}"),
+    }
+    match lookup(&g, &sg, m) {
+        Resolution::Subobject(u) => assert_eq!(g.class_name(sg.subobject(u).class()), "C"),
+        other => panic!("{other:?}"),
+    }
+    match gxx_lookup_corrected(&g, &sg, m) {
+        GxxResult::Resolved(u) => assert_eq!(g.class_name(sg.subobject(u).class()), "C"),
+        other => panic!("{other:?}"),
+    }
+    // The faithful g++ 2.7.2.1 strategy gets it wrong.
+    assert_eq!(gxx_lookup(&g, &sg, m), GxxResult::Ambiguous);
+}
+
+/// Section 2's path notation: concatenation example "(ABC)∘(CED) =
+/// ABCED" (on fig3's edges) and the path census of the H object.
+#[test]
+fn section2_paths() {
+    let g = fixtures::fig3();
+    let h = g.class_by_name("H").unwrap();
+    let paths = enumerate_paths_to(&g, h, 10_000).unwrap();
+    // Count paths with ldc A: exactly four (the paper's example).
+    let a = g.class_by_name("A").unwrap();
+    assert_eq!(paths.iter().filter(|p| p.ldc() == a).count(), 4);
+    let abd = Path::parse(&g, "ABD").unwrap();
+    let dgh = Path::parse(&g, "DGH").unwrap();
+    assert_eq!(
+        abd.concat(&dgh).display(&g).to_string(),
+        "ABDGH",
+        "concatenation per Section 2"
+    );
+}
+
+/// The ARM quotation (Section 1): "the dominant name is used when there
+/// is a choice" — the textbook dominance diamond resolves to the
+/// override.
+#[test]
+fn arm_dominance_rule() {
+    let g = fixtures::dominance_diamond();
+    let bottom = g.class_by_name("Bottom").unwrap();
+    let f = g.member_by_name("f").unwrap();
+    match LookupTable::build(&g).lookup(bottom, f) {
+        LookupOutcome::Resolved { class, .. } => assert_eq!(g.class_name(class), "Left"),
+        other => panic!("{other:?}"),
+    }
+}

@@ -1,0 +1,77 @@
+//! Cross-crate vtable invariants on random hierarchies: every bound slot
+//! points at a real subobject of the object, adjustments are consistent
+//! with the layout, and slot bindings agree with the lookup table.
+
+use cpplookup::hiergen::{random_hierarchy, RandomConfig};
+use cpplookup::layout::{NvLayouts, ObjectLayout, Vtables, VtableSlot};
+use cpplookup::{LookupOutcome, LookupTable};
+
+#[test]
+fn vtable_slots_are_consistent_with_table_and_layout() {
+    // Function-rich stress configs so vtables actually have slots.
+    for seed in 0..40 {
+        let chg = random_hierarchy(&RandomConfig {
+            classes: 14,
+            extra_base_prob: 0.5,
+            max_bases: 3,
+            virtual_prob: 0.35,
+            member_pool: 3,
+            member_prob: 0.5,
+            static_prob: 0.0,
+            seed,
+        });
+        // Re-tag all members as functions by rebuilding through the spec.
+        let mut spec = cpplookup::chg::spec::ChgSpec::from_chg(&chg);
+        for class in &mut spec.classes {
+            for m in &mut class.members {
+                m.kind = cpplookup::MemberKind::Function;
+            }
+        }
+        let chg = spec.build().expect("respec preserves validity");
+
+        let table = LookupTable::build(&chg);
+        let nv = NvLayouts::compute(&chg);
+        for c in chg.classes() {
+            let Ok(layout) = ObjectLayout::compute(&chg, &nv, c, 50_000) else {
+                continue;
+            };
+            let vt = Vtables::compute(&chg, &nv, &layout, &table);
+            for t in vt.tables() {
+                assert!(!t.covers.is_empty(), "every vptr covers a subobject");
+                for slot in &t.slots {
+                    match slot {
+                        VtableSlot::Bound {
+                            member,
+                            declaring_class,
+                            this_adjustment,
+                        } => {
+                            // Agreement with the table.
+                            match table.lookup(c, *member) {
+                                LookupOutcome::Resolved { class, .. } => {
+                                    assert_eq!(class, *declaring_class)
+                                }
+                                other => panic!("bound slot but table says {other:?}"),
+                            }
+                            // The adjusted target is a real subobject
+                            // offset of the declaring class.
+                            let target =
+                                (t.vptr_offset as i64 + this_adjustment) as u64;
+                            let hit = layout.graph().iter().any(|id| {
+                                layout.offset(id) == target
+                                    && layout.graph().subobject(id).class()
+                                        == *declaring_class
+                            });
+                            assert!(hit, "adjustment lands on the overrider (seed {seed})");
+                        }
+                        VtableSlot::Ambiguous { member } => {
+                            assert!(matches!(
+                                table.lookup(c, *member),
+                                LookupOutcome::Ambiguous { .. }
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
