@@ -1,0 +1,354 @@
+//! [`MemberLookup`] adapters for the baseline algorithms.
+//!
+//! The baselines answer queries in their own vocabularies — subobject
+//! ids, definition paths, bare class ids. These adapters wrap each one
+//! behind the crate-spanning [`MemberLookup`] trait so the differential
+//! suite (and any client) can drive the paper's algorithm and its
+//! competitors through one interface.
+//!
+//! Fidelity varies by baseline, and the adapters preserve that — they
+//! are measurement subjects, not improved algorithms:
+//!
+//! * [`NaiveLookup`] computes real definition paths, so its entries
+//!   carry accurate `leastVirtual` abstractions and `via` parents.
+//! * [`GxxAdapter`] knows the winning subobject but not the red/blue
+//!   abstractions; its entries use `Ω` placeholders and empty witness
+//!   sets.
+//! * [`TopoShortcut`] is the Section 7.2 shortcut: it cannot even
+//!   detect ambiguity, and its unsoundness on ambiguous lookups shows
+//!   through the trait exactly as the paper warns.
+//!
+//! # Examples
+//!
+//! ```
+//! use cpplookup_baselines::adapters::{NaiveLookup, TopoShortcut};
+//! use cpplookup_chg::fixtures;
+//! use cpplookup_core::MemberLookup;
+//!
+//! let g = fixtures::fig9();
+//! let e = g.class_by_name("E").unwrap();
+//! let m = g.member_by_name("m").unwrap();
+//! let mut naive = NaiveLookup::new(&g);
+//! assert_eq!(
+//!     naive.lookup(e, m).resolved_class().map(|c| g.class_name(c)),
+//!     Some("C")
+//! );
+//! // The shortcut agrees here because the lookup is unambiguous.
+//! let mut short = TopoShortcut::new(&g);
+//! assert_eq!(short.lookup(e, m).resolved_class(), naive.lookup(e, m).resolved_class());
+//! ```
+
+use std::collections::HashMap;
+
+use cpplookup_chg::{Chg, ClassId, MemberId};
+use cpplookup_core::{Entry, LeastVirtual, LookupOutcome, MemberLookup, RedAbs};
+use cpplookup_subobject::SubobjectGraph;
+
+use crate::gxx::{gxx_lookup, gxx_lookup_corrected, GxxResult};
+use crate::naive::{propagate, Propagation, PropagationConfig};
+use crate::toposort::toposort_lookup;
+
+/// The Section 7.2 topological-number shortcut behind [`MemberLookup`].
+///
+/// Stateless (the shortcut needs no precomputation beyond what the CHG
+/// already caches). **Unsound on ambiguous lookups**: it reports the
+/// most derived declaring ancestor instead of the ambiguity. Entries
+/// use `Ω` as a `leastVirtual` placeholder — the shortcut does not
+/// track virtual bases.
+pub struct TopoShortcut<'a> {
+    chg: &'a Chg,
+}
+
+impl<'a> TopoShortcut<'a> {
+    /// Wraps `chg`.
+    pub fn new(chg: &'a Chg) -> Self {
+        TopoShortcut { chg }
+    }
+}
+
+impl MemberLookup for TopoShortcut<'_> {
+    fn lookup(&mut self, c: ClassId, m: MemberId) -> LookupOutcome {
+        LookupOutcome::from_entry(self.entry(c, m).as_ref())
+    }
+
+    fn entry(&mut self, c: ClassId, m: MemberId) -> Option<Entry> {
+        toposort_lookup(self.chg, c, m).map(|winner| Entry::Red {
+            // `generated` is (winner, Ω) — Ω here is a placeholder, not
+            // a computed abstraction.
+            abs: RedAbs::generated(winner),
+            via: None,
+            shared: Vec::new(),
+        })
+    }
+}
+
+/// The g++ 2.7.2.1 breadth-first lookup behind [`MemberLookup`],
+/// faithful or corrected.
+///
+/// Builds (and memoises) one [`SubobjectGraph`] per queried class —
+/// inheriting the worst-case exponential size that motivates the
+/// paper's algorithm. Entries carry the winning declaring class only;
+/// `leastVirtual` is an `Ω` placeholder and ambiguity witness sets are
+/// empty, because the g++ strategy computes neither.
+pub struct GxxAdapter<'a> {
+    chg: &'a Chg,
+    corrected: bool,
+    limit: usize,
+    graphs: HashMap<ClassId, SubobjectGraph>,
+}
+
+impl<'a> GxxAdapter<'a> {
+    /// The faithful variant, including the Figure 9 false-ambiguity bug.
+    pub fn faithful(chg: &'a Chg) -> Self {
+        Self::with_limit(chg, false, 1_000_000)
+    }
+
+    /// The corrected variant (verdict deferred until all definitions
+    /// are collected).
+    pub fn corrected(chg: &'a Chg) -> Self {
+        Self::with_limit(chg, true, 1_000_000)
+    }
+
+    /// Explicit subobject-graph size limit.
+    ///
+    /// # Panics
+    ///
+    /// Queries panic if a class's subobject graph exceeds `limit` —
+    /// the baseline has no graceful answer without its graph.
+    pub fn with_limit(chg: &'a Chg, corrected: bool, limit: usize) -> Self {
+        GxxAdapter {
+            chg,
+            corrected,
+            limit,
+            graphs: HashMap::new(),
+        }
+    }
+
+    fn graph(&mut self, c: ClassId) -> &SubobjectGraph {
+        let (chg, limit) = (self.chg, self.limit);
+        self.graphs.entry(c).or_insert_with(|| {
+            SubobjectGraph::build(chg, c, limit).expect("subobject graph exceeded the limit")
+        })
+    }
+}
+
+impl MemberLookup for GxxAdapter<'_> {
+    fn lookup(&mut self, c: ClassId, m: MemberId) -> LookupOutcome {
+        LookupOutcome::from_entry(self.entry(c, m).as_ref())
+    }
+
+    fn entry(&mut self, c: ClassId, m: MemberId) -> Option<Entry> {
+        let corrected = self.corrected;
+        let chg = self.chg;
+        let sg = self.graph(c);
+        let result = if corrected {
+            gxx_lookup_corrected(chg, sg, m)
+        } else {
+            gxx_lookup(chg, sg, m)
+        };
+        match result {
+            GxxResult::NotFound => None,
+            GxxResult::Resolved(id) => Some(Entry::Red {
+                abs: RedAbs::generated(sg.subobject(id).class()),
+                via: None,
+                shared: Vec::new(),
+            }),
+            GxxResult::Ambiguous => Some(Entry::Blue(Vec::new())),
+        }
+    }
+}
+
+/// The Section 4 naive path-propagation algorithm behind
+/// [`MemberLookup`].
+///
+/// Memoises one full [`Propagation`] per member name. Entries are
+/// high-fidelity: `leastVirtual` is computed from the real winning
+/// path, `via` is the path's parent pointer, and ambiguity witnesses
+/// are the `leastVirtual` abstractions of the surviving definitions.
+pub struct NaiveLookup<'a> {
+    chg: &'a Chg,
+    config: PropagationConfig,
+    cache: HashMap<MemberId, Propagation>,
+}
+
+impl<'a> NaiveLookup<'a> {
+    /// Default configuration (killing on, the default budget).
+    pub fn new(chg: &'a Chg) -> Self {
+        Self::with_config(chg, PropagationConfig::default())
+    }
+
+    /// Explicit propagation configuration.
+    ///
+    /// # Panics
+    ///
+    /// Queries panic if a propagation exceeds the configured budget —
+    /// this adapter exists for differential testing, where a blowup is
+    /// a test-setup bug.
+    pub fn with_config(chg: &'a Chg, config: PropagationConfig) -> Self {
+        NaiveLookup {
+            chg,
+            config,
+            cache: HashMap::new(),
+        }
+    }
+}
+
+impl MemberLookup for NaiveLookup<'_> {
+    fn lookup(&mut self, c: ClassId, m: MemberId) -> LookupOutcome {
+        LookupOutcome::from_entry(self.entry(c, m).as_ref())
+    }
+
+    fn entry(&mut self, c: ClassId, m: MemberId) -> Option<Entry> {
+        let (chg, config) = (self.chg, self.config);
+        let prop = self
+            .cache
+            .entry(m)
+            .or_insert_with(|| propagate(chg, m, config).expect("propagation exceeded its budget"));
+        let node = prop.node(c)?;
+        match &node.most_dominant {
+            Some(path) => {
+                let nodes = path.nodes();
+                Some(Entry::Red {
+                    abs: RedAbs {
+                        ldc: path.ldc(),
+                        lv: LeastVirtual::of_path(chg, path),
+                    },
+                    via: (nodes.len() >= 2).then(|| nodes[nodes.len() - 2]),
+                    shared: Vec::new(),
+                })
+            }
+            None => {
+                let mut witnesses: Vec<LeastVirtual> = node
+                    .propagated
+                    .iter()
+                    .map(|p| LeastVirtual::of_path(chg, p))
+                    .collect();
+                witnesses.sort();
+                witnesses.dedup();
+                Some(Entry::Blue(witnesses))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+    use cpplookup_core::LookupTable;
+
+    fn adapters<'a>(g: &'a Chg) -> Vec<(&'static str, Box<dyn MemberLookup + 'a>)> {
+        vec![
+            ("toposort", Box::new(TopoShortcut::new(g))),
+            ("gxx-corrected", Box::new(GxxAdapter::corrected(g))),
+            ("naive", Box::new(NaiveLookup::new(g))),
+        ]
+    }
+
+    #[test]
+    fn adapters_agree_with_core_on_resolved_class() {
+        for g in [
+            fixtures::fig1(),
+            fixtures::fig2(),
+            fixtures::fig3(),
+            fixtures::fig9(),
+        ] {
+            let table = LookupTable::build(&g);
+            for (name, mut adapter) in adapters(&g) {
+                for c in g.classes() {
+                    for m in g.member_ids() {
+                        let expected = table.lookup(c, m);
+                        let got = adapter.lookup(c, m);
+                        if let Some(class) = expected.resolved_class() {
+                            assert_eq!(
+                                got.resolved_class(),
+                                Some(class),
+                                "{name} on ({}, {})",
+                                g.class_name(c),
+                                g.member_name(m)
+                            );
+                        } else if name != "toposort" {
+                            // The shortcut is documented-unsound on
+                            // ambiguous lookups; everyone else must
+                            // match the verdict kind.
+                            assert_eq!(
+                                got.is_resolved(),
+                                expected.is_resolved(),
+                                "{name} on ({}, {})",
+                                g.class_name(c),
+                                g.member_name(m)
+                            );
+                            assert_eq!(
+                                matches!(got, LookupOutcome::NotFound),
+                                matches!(expected, LookupOutcome::NotFound),
+                                "{name} on ({}, {})",
+                                g.class_name(c),
+                                g.member_name(m)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faithful_gxx_reproduces_fig9_bug_through_the_trait() {
+        let g = fixtures::fig9();
+        let e = g.class_by_name("E").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        let mut faithful = GxxAdapter::faithful(&g);
+        assert!(matches!(
+            faithful.lookup(e, m),
+            LookupOutcome::Ambiguous { .. }
+        ));
+        let mut corrected = GxxAdapter::corrected(&g);
+        assert_eq!(
+            corrected
+                .lookup(e, m)
+                .resolved_class()
+                .map(|c| g.class_name(c)),
+            Some("C")
+        );
+    }
+
+    #[test]
+    fn naive_entries_carry_accurate_abstractions() {
+        let g = fixtures::fig3();
+        let table = LookupTable::build(&g);
+        let mut naive = NaiveLookup::new(&g);
+        let h = g.class_by_name("H").unwrap();
+        let foo = g.member_by_name("foo").unwrap();
+        // Full red-abstraction agreement, not just the class.
+        assert_eq!(
+            naive.entry(h, foo).unwrap().red_abs(),
+            table.entry(h, foo).unwrap().red_abs()
+        );
+        // And path recovery works through the default trait method.
+        assert_eq!(
+            naive
+                .resolve_path(&g, h, foo)
+                .unwrap()
+                .display(&g)
+                .to_string(),
+            "GH"
+        );
+    }
+
+    #[test]
+    fn toposort_unsoundness_is_visible() {
+        let g = fixtures::fig1();
+        let e = g.class_by_name("E").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        let table = LookupTable::build(&g);
+        assert!(matches!(
+            table.lookup(e, m),
+            LookupOutcome::Ambiguous { .. }
+        ));
+        let mut short = TopoShortcut::new(&g);
+        assert_eq!(
+            short.lookup(e, m).resolved_class().map(|c| g.class_name(c)),
+            Some("D")
+        );
+    }
+}

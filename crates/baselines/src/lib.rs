@@ -11,11 +11,15 @@
 //!   sound only for unambiguous lookups.
 //!
 //! All of these exist to be measured against `cpplookup-core`'s
-//! CHG-based algorithm; see `cpplookup-bench` for the experiments.
+//! CHG-based algorithm; see `cpplookup-bench` for the experiments. The
+//! [`adapters`] module puts each baseline behind the
+//! [`cpplookup_core::MemberLookup`] trait so the differential suite can
+//! drive them all through one interface.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adapters;
 pub mod gxx;
 pub mod naive;
 pub mod toposort;

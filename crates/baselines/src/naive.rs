@@ -47,7 +47,11 @@ pub struct BudgetError {
 
 impl fmt::Display for BudgetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "naive propagation exceeded budget of {} definitions", self.budget)
+        write!(
+            f,
+            "naive propagation exceeded budget of {} definitions",
+            self.budget
+        )
     }
 }
 
@@ -100,7 +104,11 @@ impl Propagation {
 ///
 /// Returns [`BudgetError`] when the number of live definitions or the
 /// subobject graphs needed for dominance tests exceed `config.budget`.
-pub fn propagate(chg: &Chg, m: MemberId, config: PropagationConfig) -> Result<Propagation, BudgetError> {
+pub fn propagate(
+    chg: &Chg,
+    m: MemberId,
+    config: PropagationConfig,
+) -> Result<Propagation, BudgetError> {
     let mut out_defs: HashMap<ClassId, Vec<Path>> = HashMap::new();
     let mut nodes = Vec::new();
     let mut propagated_defs = 0usize;
@@ -125,12 +133,15 @@ pub fn propagate(chg: &Chg, m: MemberId, config: PropagationConfig) -> Result<Pr
         }
         reaching_defs += reaching.len();
         if reaching_defs > config.budget {
-            return Err(BudgetError { budget: config.budget });
+            return Err(BudgetError {
+                budget: config.budget,
+            });
         }
 
         // Dominance among the reaching paths, via the subobject poset of c.
-        let sg = SubobjectGraph::build(chg, c, config.budget)
-            .map_err(|_| BudgetError { budget: config.budget })?;
+        let sg = SubobjectGraph::build(chg, c, config.budget).map_err(|_| BudgetError {
+            budget: config.budget,
+        })?;
         let ids: Vec<_> = reaching
             .iter()
             .map(|p| {
@@ -142,9 +153,9 @@ pub fn propagate(chg: &Chg, m: MemberId, config: PropagationConfig) -> Result<Pr
             .iter()
             .enumerate()
             .map(|(i, &u)| {
-                ids.iter().enumerate().any(|(j, &v)| {
-                    i != j && sg.dominates(v, u) && !(sg.dominates(u, v) && j > i)
-                })
+                ids.iter()
+                    .enumerate()
+                    .any(|(j, &v)| i != j && sg.dominates(v, u) && !(sg.dominates(u, v) && j > i))
             })
             .collect();
         let most_dominant = ids
@@ -287,11 +298,24 @@ mod tests {
             fixtures::static_diamond(),
         ] {
             for m in g.member_ids() {
-                let with = propagate(&g, m, PropagationConfig { kill: true, budget: 100_000 })
-                    .unwrap();
-                let without =
-                    propagate(&g, m, PropagationConfig { kill: false, budget: 100_000 })
-                        .unwrap();
+                let with = propagate(
+                    &g,
+                    m,
+                    PropagationConfig {
+                        kill: true,
+                        budget: 100_000,
+                    },
+                )
+                .unwrap();
+                let without = propagate(
+                    &g,
+                    m,
+                    PropagationConfig {
+                        kill: false,
+                        budget: 100_000,
+                    },
+                )
+                .unwrap();
                 for node in &with.nodes {
                     let other = without.node(node.class).unwrap();
                     // Ambiguity verdicts agree; winners are ≈-equivalent.
@@ -311,9 +335,24 @@ mod tests {
     fn killing_reduces_propagated_counts() {
         let g = fixtures::fig3();
         let foo = g.member_by_name("foo").unwrap();
-        let with = propagate(&g, foo, PropagationConfig { kill: true, budget: 100_000 }).unwrap();
-        let without =
-            propagate(&g, foo, PropagationConfig { kill: false, budget: 100_000 }).unwrap();
+        let with = propagate(
+            &g,
+            foo,
+            PropagationConfig {
+                kill: true,
+                budget: 100_000,
+            },
+        )
+        .unwrap();
+        let without = propagate(
+            &g,
+            foo,
+            PropagationConfig {
+                kill: false,
+                budget: 100_000,
+            },
+        )
+        .unwrap();
         assert!(with.propagated_defs < without.propagated_defs);
     }
 
@@ -343,6 +382,14 @@ mod tests {
     fn budget_trips() {
         let g = fixtures::fig3();
         let foo = g.member_by_name("foo").unwrap();
-        assert!(propagate(&g, foo, PropagationConfig { kill: false, budget: 3 }).is_err());
+        assert!(propagate(
+            &g,
+            foo,
+            PropagationConfig {
+                kill: false,
+                budget: 3
+            }
+        )
+        .is_err());
     }
 }

@@ -81,7 +81,10 @@ mod tests {
         let m = g.member_by_name("m").unwrap();
         let t = LookupTable::build(&g);
         assert!(matches!(t.lookup(e, m), LookupOutcome::Ambiguous { .. }));
-        assert_eq!(toposort_lookup(&g, e, m).map(|c| g.class_name(c)), Some("D"));
+        assert_eq!(
+            toposort_lookup(&g, e, m).map(|c| g.class_name(c)),
+            Some("D")
+        );
     }
 
     #[test]

@@ -11,7 +11,10 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_kill");
     group.sample_size(10);
     let cases = [
-        ("nvdiamond-8", families::stacked_diamonds(8, Inheritance::NonVirtual)),
+        (
+            "nvdiamond-8",
+            families::stacked_diamonds(8, Inheritance::NonVirtual),
+        ),
         (
             "ovdiamond-11",
             families::stacked_diamonds_overridden(11, Inheritance::NonVirtual),
@@ -22,17 +25,20 @@ fn benches(c: &mut Criterion) {
     for (name, chg) in &cases {
         let m = chg.member_by_name("m").unwrap();
         for (label, kill) in [("kill", true), ("nokill", false)] {
-            group.bench_with_input(
-                BenchmarkId::new(*name, label),
-                &kill,
-                |b, &kill| {
-                    b.iter(|| {
-                        propagate(chg, m, PropagationConfig { kill, budget: 50_000_000 })
-                            .expect("within budget")
-                            .propagated_defs
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*name, label), &kill, |b, &kill| {
+                b.iter(|| {
+                    propagate(
+                        chg,
+                        m,
+                        PropagationConfig {
+                            kill,
+                            budget: 50_000_000,
+                        },
+                    )
+                    .expect("within budget")
+                    .propagated_defs
+                })
+            });
         }
     }
     group.finish();

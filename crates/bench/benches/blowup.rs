@@ -26,7 +26,11 @@ fn benches(c: &mut Criterion) {
                 BenchmarkId::new("subobject_graph_nonvirtual", k),
                 &(),
                 |b, ()| {
-                    b.iter(|| SubobjectGraph::build(&nv, bottom_nv, 10_000_000).unwrap().len())
+                    b.iter(|| {
+                        SubobjectGraph::build(&nv, bottom_nv, 10_000_000)
+                            .unwrap()
+                            .len()
+                    })
                 },
             );
         } else {
@@ -39,11 +43,19 @@ fn benches(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("subobject_graph_virtual", k),
             &(),
-            |b, ()| b.iter(|| SubobjectGraph::build(&v, bottom_v, 10_000_000).unwrap().len()),
+            |b, ()| {
+                b.iter(|| {
+                    SubobjectGraph::build(&v, bottom_v, 10_000_000)
+                        .unwrap()
+                        .len()
+                })
+            },
         );
-        group.bench_with_input(BenchmarkId::new("lookup_table_nonvirtual", k), &(), |b, ()| {
-            b.iter(|| LookupTable::build(&nv))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lookup_table_nonvirtual", k),
+            &(),
+            |b, ()| b.iter(|| LookupTable::build(&nv)),
+        );
     }
     group.finish();
 }

@@ -16,9 +16,11 @@ fn benches(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parse_only", &label), &(), |b, ()| {
             b.iter(|| parser::parse(&src))
         });
-        group.bench_with_input(BenchmarkId::new("parse_and_resolve", &label), &(), |b, ()| {
-            b.iter(|| analyze(&src))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parse_and_resolve", &label),
+            &(),
+            |b, ()| b.iter(|| analyze(&src)),
+        );
     }
     group.finish();
 }

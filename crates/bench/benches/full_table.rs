@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cpplookup_chg::{Chg, Inheritance};
-use cpplookup_core::{build_table_parallel, LazyLookup, LookupOptions, LookupTable};
+use cpplookup_core::{LazyLookup, LookupOptions, LookupTable};
 use cpplookup_hiergen::{families, random_hierarchy, RandomConfig};
 
 fn bench_chg(c: &mut Criterion, name: &str, chg: &Chg) {
@@ -31,7 +31,7 @@ fn bench_chg(c: &mut Criterion, name: &str, chg: &Chg) {
         group.bench_with_input(
             BenchmarkId::new(format!("parallel{threads}"), name),
             &(),
-            |b, ()| b.iter(|| build_table_parallel(chg, LookupOptions::default(), threads)),
+            |b, ()| b.iter(|| LookupTable::build_parallel(chg, LookupOptions::default(), threads)),
         );
     }
     group.finish();

@@ -32,8 +32,7 @@ fn bench_workload(c: &mut Criterion, workload: &Workload, gxx_feasible: bool) {
     if gxx_feasible {
         group.bench_with_input(BenchmarkId::new("gxx_bfs", name), &(), |b, ()| {
             b.iter(|| {
-                let sg = SubobjectGraph::build(chg, *class, 10_000_000)
-                    .expect("within budget");
+                let sg = SubobjectGraph::build(chg, *class, 10_000_000).expect("within budget");
                 gxx_lookup_corrected(chg, &sg, *member)
             })
         });

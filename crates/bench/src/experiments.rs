@@ -10,28 +10,30 @@ use std::io::{self, Write};
 use cpplookup_baselines::gxx::{gxx_lookup, gxx_lookup_corrected, GxxResult};
 use cpplookup_baselines::naive::{propagate, PropagationConfig};
 use cpplookup_baselines::toposort::toposort_lookup;
-use cpplookup_chg::{fixtures, Chg, Inheritance};
+use cpplookup_chg::{apply_edits, fixtures, Chg, Edit, Inheritance};
 use cpplookup_core::access::{check_access, AccessContext};
 use cpplookup_core::trace::{render_trace, trace_member};
 use cpplookup_core::{
-    build_table_parallel, LazyLookup, LookupOptions, LookupOutcome, LookupTable, StaticRule,
+    LazyLookup, LookupEngine, LookupOptions, LookupOutcome, LookupTable, StaticRule,
 };
 use cpplookup_frontend::{analyze, parser};
 use cpplookup_hiergen::families;
-use cpplookup_hiergen::{random_hierarchy, RandomConfig};
+use cpplookup_hiergen::{edit_script, random_hierarchy, EditScriptConfig, RandomConfig};
 use cpplookup_subobject::stats::count_subobjects;
-use cpplookup_subobject::{defns, isomorphism, lookup as oracle_lookup, Resolution, SubobjectGraph};
+use cpplookup_subobject::{
+    defns, isomorphism, lookup as oracle_lookup, Resolution, SubobjectGraph,
+};
 
 use crate::timing::{fmt_duration, median_time};
 use crate::workloads::{self, Workload};
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "e18",
 ];
 
-/// Runs one experiment by id (`"e1"`..`"e17"`), writing its report.
+/// Runs one experiment by id (`"e1"`..`"e18"`), writing its report.
 ///
 /// # Errors
 ///
@@ -56,6 +58,7 @@ pub fn run(id: &str, w: &mut dyn Write) -> io::Result<()> {
         "e15" => e15(w),
         "e16" => e16(w),
         "e17" => e17(w),
+        "e18" => e18(w),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}` (known: {})", ALL.join(", ")),
@@ -92,7 +95,11 @@ fn e1(w: &mut dyn Write) -> io::Result<()> {
         sg.subobjects_of_class(a).count()
     )?;
     let t = LookupTable::build(&g);
-    writeln!(w, "  lookup(E, m): {}   [paper: ambiguous]", verdict(&g, &t.lookup(e, m)))?;
+    writeln!(
+        w,
+        "  lookup(E, m): {}   [paper: ambiguous]",
+        verdict(&g, &t.lookup(e, m))
+    )?;
     Ok(())
 }
 
@@ -111,7 +118,11 @@ fn e2(w: &mut dyn Write) -> io::Result<()> {
         sg.subobjects_of_class(a).count()
     )?;
     let t = LookupTable::build(&g);
-    writeln!(w, "  lookup(E, m): {}   [paper: D::m]", verdict(&g, &t.lookup(e, m)))?;
+    writeln!(
+        w,
+        "  lookup(E, m): {}   [paper: D::m]",
+        verdict(&g, &t.lookup(e, m))
+    )?;
     Ok(())
 }
 
@@ -141,7 +152,10 @@ fn e3(w: &mut dyn Write) -> io::Result<()> {
 
 /// E4 — Figures 4–5: full-path propagation with killed definitions.
 fn e4(w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "E4 (Figures 4-5): definition propagation, ~~killed~~ / **winner**")?;
+    writeln!(
+        w,
+        "E4 (Figures 4-5): definition propagation, ~~killed~~ / **winner**"
+    )?;
     let g = fixtures::fig3();
     for name in ["foo", "bar"] {
         let m = g.member_by_name(name).unwrap();
@@ -186,7 +200,10 @@ fn e5(w: &mut dyn Write) -> io::Result<()> {
 /// the Rossie–Friedman oracle (the test suite runs the exhaustive
 /// version).
 fn e6(w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "E6 (Figure 8): differential check vs the subobject oracle")?;
+    writeln!(
+        w,
+        "E6 (Figure 8): differential check vs the subobject oracle"
+    )?;
     let mut checked = 0usize;
     for seed in 0..40 {
         let chg = random_hierarchy(&RandomConfig::stress(seed));
@@ -213,7 +230,10 @@ fn e6(w: &mut dyn Write) -> io::Result<()> {
             }
         }
     }
-    writeln!(w, "  {checked} lookups across 40 random hierarchies: all agree")?;
+    writeln!(
+        w,
+        "  {checked} lookups across 40 random hierarchies: all agree"
+    )?;
     Ok(())
 }
 
@@ -261,7 +281,10 @@ fn e8(w: &mut dyn Write) -> io::Result<()> {
         isomorphism::check_theorem1_all(&g, 1_000_000).expect("theorem 1 on random graph");
         classes += g.class_count();
     }
-    writeln!(w, "  + verified on {classes} classes across 25 random hierarchies")?;
+    writeln!(
+        w,
+        "  + verified on {classes} classes across 25 random hierarchies"
+    )?;
     Ok(())
 }
 
@@ -294,7 +317,10 @@ fn e9(w: &mut dyn Write) -> io::Result<()> {
             count(&v)
         )?;
     }
-    writeln!(w, "  shape: non-virtual grows as 2^k; virtual stays linear in k")?;
+    writeln!(
+        w,
+        "  shape: non-virtual grows as 2^k; virtual stays linear in k"
+    )?;
     Ok(())
 }
 
@@ -374,8 +400,14 @@ fn e11(w: &mut dyn Write) -> io::Result<()> {
         "workload", "entries", "eager", "lazy-all", "par(4)", "ambiguous%"
     )?;
     let mut cases: Vec<(String, Chg)> = vec![
-        ("realistic-500".into(), random_hierarchy(&RandomConfig::realistic(500, 1))),
-        ("realistic-2000".into(), random_hierarchy(&RandomConfig::realistic(2000, 2))),
+        (
+            "realistic-500".into(),
+            random_hierarchy(&RandomConfig::realistic(500, 1)),
+        ),
+        (
+            "realistic-2000".into(),
+            random_hierarchy(&RandomConfig::realistic(2000, 2)),
+        ),
         (
             "clash-500".into(),
             random_hierarchy(&RandomConfig {
@@ -390,7 +422,10 @@ fn e11(w: &mut dyn Write) -> io::Result<()> {
             }),
         ),
     ];
-    cases.push(("vdiamond-300".into(), families::stacked_diamonds(300, Inheritance::Virtual)));
+    cases.push((
+        "vdiamond-300".into(),
+        families::stacked_diamonds(300, Inheritance::Virtual),
+    ));
     for (name, chg) in &cases {
         let (eager, table) = median_time(3, || LookupTable::build(chg));
         let (lazy_all, _) = median_time(3, || {
@@ -405,7 +440,9 @@ fn e11(w: &mut dyn Write) -> io::Result<()> {
             }
             touched
         });
-        let (par, _) = median_time(3, || build_table_parallel(chg, LookupOptions::default(), 4));
+        let (par, _) = median_time(3, || {
+            LookupTable::build_parallel(chg, LookupOptions::default(), 4)
+        });
         let stats = table.stats();
         writeln!(
             w,
@@ -418,7 +455,10 @@ fn e11(w: &mut dyn Write) -> io::Result<()> {
             100.0 * stats.blue as f64 / stats.entries.max(1) as f64
         )?;
     }
-    writeln!(w, "  shape: all polynomial; parallel wins on wide member pools")?;
+    writeln!(
+        w,
+        "  shape: all polynomial; parallel wins on wide member pools"
+    )?;
     Ok(())
 }
 
@@ -432,22 +472,36 @@ fn e12(w: &mut dyn Write) -> io::Result<()> {
     )?;
     let cases = [
         ("fig3", fixtures::fig3()),
-        ("nvdiamond-12", families::stacked_diamonds(12, Inheritance::NonVirtual)),
+        (
+            "nvdiamond-12",
+            families::stacked_diamonds(12, Inheritance::NonVirtual),
+        ),
         (
             "ovdiamond-12",
             families::stacked_diamonds_overridden(12, Inheritance::NonVirtual),
         ),
-
         ("grid-5x5", families::grid(5, 5)),
         ("gxxtrap-6", families::gxx_trap(6)),
     ];
     for (name, chg) in cases {
-        let m = chg.member_by_name("m").or_else(|| chg.member_by_name("foo")).unwrap();
+        let m = chg
+            .member_by_name("m")
+            .or_else(|| chg.member_by_name("foo"))
+            .unwrap();
         let budget = 10_000_000;
-        let (t_nokill, no_kill) =
-            median_time(3, || propagate(&chg, m, PropagationConfig { kill: false, budget }));
-        let (t_kill, kill) =
-            median_time(3, || propagate(&chg, m, PropagationConfig { kill: true, budget }));
+        let (t_nokill, no_kill) = median_time(3, || {
+            propagate(
+                &chg,
+                m,
+                PropagationConfig {
+                    kill: false,
+                    budget,
+                },
+            )
+        });
+        let (t_kill, kill) = median_time(3, || {
+            propagate(&chg, m, PropagationConfig { kill: true, budget })
+        });
         let fmt_defs = |r: &Result<_, _>| match r {
             Ok(p) => {
                 let p: &cpplookup_baselines::naive::Propagation = p;
@@ -465,7 +519,10 @@ fn e12(w: &mut dyn Write) -> io::Result<()> {
             fmt_duration(t_kill)
         )?;
     }
-    writeln!(w, "  shape: killing collapses definition counts wherever overrides exist")?;
+    writeln!(
+        w,
+        "  shape: killing collapses definition counts wherever overrides exist"
+    )?;
     Ok(())
 }
 
@@ -501,7 +558,10 @@ fn e13(w: &mut dyn Write) -> io::Result<()> {
         w,
         "  propagate the whole co-maximal set; a single representative (a literal"
     )?;
-    writeln!(w, "  reading of the paper's Section 6 sketch) resolves it incorrectly")?;
+    writeln!(
+        w,
+        "  reading of the paper's Section 6 sketch) resolves it incorrectly"
+    )?;
     Ok(())
 }
 
@@ -551,7 +611,10 @@ fn e15(w: &mut dyn Write) -> io::Result<()> {
     for q in &analysis.queries {
         writeln!(w, "  `{}` -> {:?}", q.description, q.result)?;
     }
-    writeln!(w, "  order: block locals, then member lookup (bases included), then globals")?;
+    writeln!(
+        w,
+        "  order: block locals, then member lookup (bases included), then globals"
+    )?;
     Ok(())
 }
 
@@ -638,6 +701,94 @@ fn e17(w: &mut dyn Write) -> io::Result<()> {
     Ok(())
 }
 
+/// E18 — edit-heavy workload: the incremental engine's dirty-set
+/// recomputation vs rebuilding the whole table after every edit.
+fn e18(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "E18: incremental invalidation vs full rebuild")?;
+    writeln!(
+        w,
+        "  {:<18} {:>6} {:>12} {:>12} {:>8} {:>14} {:>12} {:>12}",
+        "workload",
+        "edits",
+        "full/edit",
+        "incr/edit",
+        "ratio",
+        "edge-med-ratio",
+        "rebuild",
+        "incremental"
+    )?;
+    for (classes, seed) in [(500usize, 1u64), (2000, 2)] {
+        let (base, script) = edit_script(&EditScriptConfig::realistic(classes, 40, seed));
+        let mut engine = LookupEngine::new(base.clone());
+        let mut g = base;
+        let mut full_entries = 0u64;
+        let mut incr_entries = 0u64;
+        let mut edge_ratios: Vec<f64> = Vec::new();
+        let mut rebuild_time = std::time::Duration::ZERO;
+        let mut incr_time = std::time::Duration::ZERO;
+        let mut prev_recomputed = 0u64;
+        for edit in &script {
+            let step = std::slice::from_ref(edit);
+            g = apply_edits(&g, step).expect("generated edits always apply");
+            let (dt, table) = crate::timing::time_once(|| LookupTable::build(&g));
+            rebuild_time += dt;
+            let (dt, result) = crate::timing::time_once(|| engine.apply(step));
+            result.expect("generated edits always apply");
+            incr_time += dt;
+            let full = table.stats().entries as u64;
+            let recomputed = engine.stats().entries_recomputed;
+            let delta = recomputed - prev_recomputed;
+            prev_recomputed = recomputed;
+            full_entries += full;
+            incr_entries += delta;
+            if matches!(edit, Edit::AddEdge { .. }) {
+                edge_ratios.push(full as f64 / delta.max(1) as f64);
+            }
+        }
+        // Spot-check the incremental result against the last rebuild.
+        let table = LookupTable::build(&g);
+        for c in g.classes().step_by(7) {
+            for m in g.member_ids().take(40) {
+                assert_eq!(
+                    engine.entry(c, m).as_ref(),
+                    table.entry(c, m),
+                    "incremental result diverged at ({}, {})",
+                    g.class_name(c),
+                    g.member_name(m)
+                );
+            }
+        }
+        edge_ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+        let median = edge_ratios
+            .get(edge_ratios.len() / 2)
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        let edits = script.len() as u64;
+        writeln!(
+            w,
+            "  {:<18} {:>6} {:>12} {:>12} {:>7.0}x {:>13.0}x {:>12} {:>12}",
+            format!("realistic-{classes}"),
+            edits,
+            full_entries / edits,
+            incr_entries / edits,
+            full_entries as f64 / incr_entries.max(1) as f64,
+            median,
+            fmt_duration(rebuild_time),
+            fmt_duration(incr_time)
+        )?;
+        assert!(
+            median >= 5.0,
+            "single-edge edits must recompute at least 5x fewer entries than a rebuild \
+             (median ratio {median:.1} on realistic-{classes})"
+        );
+    }
+    writeln!(
+        w,
+        "  [the dirty set of a single edit is its derived-class closure, not the table]"
+    )?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -667,7 +818,7 @@ mod tests {
         // Don't run the heavy ones here; just verify dispatch exists by
         // name for every id in ALL (compile-time exhaustiveness is
         // enforced by the match).
-        assert_eq!(ALL.len(), 17);
+        assert_eq!(ALL.len(), 18);
         assert!(ALL.iter().all(|id| id.starts_with('e')));
     }
 }

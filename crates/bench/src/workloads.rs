@@ -111,7 +111,11 @@ pub fn frontend_source(classes: usize, accesses: usize) -> String {
                 i - 1
             );
         } else {
-            let _ = writeln!(src, "struct K{i} : K{} {{ int m{i}; void f{i}(); }};", i - 1);
+            let _ = writeln!(
+                src,
+                "struct K{i} : K{} {{ int m{i}; void f{i}(); }};",
+                i - 1
+            );
         }
     }
     src.push_str("int main() {\n");

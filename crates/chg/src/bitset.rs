@@ -111,7 +111,10 @@ impl BitSet {
 
     /// Whether every element of `self` is in `other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the elements in increasing order.

@@ -47,7 +47,13 @@ pub fn to_dot(chg: &Chg) -> String {
             } else {
                 ""
             };
-            let _ = writeln!(out, "  c{} -> c{}{};", spec.base.index(), derived.index(), style);
+            let _ = writeln!(
+                out,
+                "  c{} -> c{}{};",
+                spec.base.index(),
+                derived.index(),
+                style
+            );
         }
     }
     out.push_str("}\n");

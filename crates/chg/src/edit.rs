@@ -1,0 +1,209 @@
+//! Append-only hierarchy edits.
+//!
+//! C++ translation units only ever *grow* a class hierarchy: new classes,
+//! new member declarations, new base-class lists. [`Edit`] captures that
+//! append-only mutation vocabulary as data, so an evolving hierarchy can be
+//! described as an initial [`Chg`] plus a script of edits. [`apply_edits`]
+//! replays a script through [`ChgBuilder::from_chg`], producing a fresh
+//! immutable graph with all closures recomputed and the generation counter
+//! advanced — the substrate `cpplookup-core`'s incremental lookup engine
+//! builds on.
+
+use crate::graph::{Chg, ChgBuilder, Inheritance};
+use crate::ids::ClassId;
+use crate::members::{Access, MemberDecl};
+use crate::ChgError;
+
+/// One append-only mutation of a class hierarchy.
+///
+/// Edits reference existing classes by [`ClassId`], which stays stable
+/// across [`apply_edits`]: classes are only ever appended, never reordered
+/// or removed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Edit {
+    /// Introduce a new class with no bases and no members.
+    ///
+    /// Applying this to a hierarchy that already has a class of this name
+    /// is a no-op (mirroring [`ChgBuilder::class`]).
+    AddClass {
+        /// Name of the class to create.
+        name: String,
+    },
+    /// Declare a member in an existing class.
+    AddMember {
+        /// The declaring class.
+        class: ClassId,
+        /// The member name (interned on apply).
+        name: String,
+        /// Kind, access, and staticness of the declaration.
+        decl: MemberDecl,
+    },
+    /// Add a direct inheritance edge `base → derived`.
+    AddEdge {
+        /// The derived class gaining a base.
+        derived: ClassId,
+        /// The base class.
+        base: ClassId,
+        /// Virtual or non-virtual inheritance.
+        inheritance: Inheritance,
+        /// Access of the inheritance edge.
+        access: Access,
+    },
+}
+
+impl Edit {
+    /// Applies this edit to a builder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`ChgBuilder`] errors:
+    /// [`ChgError::UnknownClass`] for stray ids,
+    /// [`ChgError::ConflictingMember`] for incompatible redeclarations, and
+    /// [`ChgError::SelfInheritance`] / [`ChgError::DuplicateDirectBase`]
+    /// for ill-formed edges. Cycles through longer chains are reported by
+    /// [`ChgBuilder::finish`].
+    pub fn apply(&self, b: &mut ChgBuilder) -> Result<(), ChgError> {
+        match self {
+            Edit::AddClass { name } => {
+                b.class(name);
+                Ok(())
+            }
+            Edit::AddMember { class, name, decl } => b.member_with(*class, name, *decl).map(|_| ()),
+            Edit::AddEdge {
+                derived,
+                base,
+                inheritance,
+                access,
+            } => b.derive_with_access(*derived, *base, *inheritance, *access),
+        }
+    }
+}
+
+/// Replays `edits` on top of `chg`, returning a new graph.
+///
+/// The input graph is untouched; on success the result carries
+/// `chg.generation() + 1` (one rebuild, however many edits). Existing
+/// [`ClassId`]s and interned member names remain valid in the result.
+///
+/// # Errors
+///
+/// Returns the first [`ChgError`] hit while applying an edit, or a
+/// [`ChgError::Cycle`] from validation if the edited hierarchy is cyclic.
+/// On error no partial graph escapes — callers keep using `chg`.
+pub fn apply_edits(chg: &Chg, edits: &[Edit]) -> Result<Chg, ChgError> {
+    let mut b = ChgBuilder::from_chg(chg);
+    for e in edits {
+        e.apply(&mut b)?;
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::members::MemberKind;
+
+    #[test]
+    fn add_class_extends_and_is_idempotent() {
+        let chg = fixtures::fig1();
+        let n = chg.class_count();
+        let out = apply_edits(
+            &chg,
+            &[
+                Edit::AddClass { name: "F".into() },
+                Edit::AddClass { name: "A".into() }, // already exists: no-op
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.class_count(), n + 1);
+        assert_eq!(out.generation(), chg.generation() + 1);
+        // Existing ids still resolve to the same classes.
+        for c in chg.classes() {
+            assert_eq!(out.class_name(c), chg.class_name(c));
+        }
+    }
+
+    #[test]
+    fn add_member_and_edge() {
+        let chg = fixtures::fig1();
+        let e = chg.class_by_name("E").unwrap();
+        let a = chg.class_by_name("A").unwrap();
+        let out = apply_edits(
+            &chg,
+            &[
+                Edit::AddClass { name: "F".into() },
+                Edit::AddMember {
+                    class: e,
+                    name: "fresh".into(),
+                    decl: MemberDecl::public(MemberKind::Data),
+                },
+            ],
+        )
+        .unwrap();
+        let f = out.class_by_name("F").unwrap();
+        let out = apply_edits(
+            &out,
+            &[Edit::AddEdge {
+                derived: f,
+                base: e,
+                inheritance: Inheritance::NonVirtual,
+                access: Access::Public,
+            }],
+        )
+        .unwrap();
+        assert!(out.is_base_of(e, f));
+        assert!(out.is_base_of(a, f), "closures recomputed transitively");
+        let fresh = out.member_by_name("fresh").unwrap();
+        assert!(out.declares(e, fresh));
+        assert_eq!(out.generation(), 2);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let chg = fixtures::fig1();
+        let a = chg.class_by_name("A").unwrap();
+        let e = chg.class_by_name("E").unwrap();
+        // A is (transitively) a base of E; E → A closes a cycle.
+        let err = apply_edits(
+            &chg,
+            &[Edit::AddEdge {
+                derived: a,
+                base: e,
+                inheritance: Inheritance::NonVirtual,
+                access: Access::Public,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChgError::Cycle { .. }));
+    }
+
+    #[test]
+    fn duplicate_edge_is_rejected() {
+        let chg = fixtures::fig1();
+        let a = chg.class_by_name("A").unwrap();
+        let b = chg.class_by_name("B").unwrap();
+        let err = apply_edits(
+            &chg,
+            &[Edit::AddEdge {
+                derived: b,
+                base: a,
+                inheritance: Inheritance::NonVirtual,
+                access: Access::Public,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChgError::DuplicateDirectBase { .. }));
+    }
+
+    #[test]
+    fn derived_of_matches_closure() {
+        let chg = fixtures::fig1();
+        let b = chg.class_by_name("B").unwrap();
+        let derived: Vec<String> = chg
+            .derived_of(b)
+            .map(|d| chg.class_name(d).to_owned())
+            .collect();
+        assert_eq!(derived, ["C", "D", "E"]);
+    }
+}

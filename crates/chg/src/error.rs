@@ -53,13 +53,19 @@ impl fmt::Display for ChgError {
                 write!(f, "inheritance cycle through class `{class}`")
             }
             ChgError::DuplicateDirectBase { derived, base } => {
-                write!(f, "class `{derived}` lists `{base}` as a direct base more than once")
+                write!(
+                    f,
+                    "class `{derived}` lists `{base}` as a direct base more than once"
+                )
             }
             ChgError::SelfInheritance { class } => {
                 write!(f, "class `{class}` cannot be its own direct base")
             }
             ChgError::ConflictingMember { class, member } => {
-                write!(f, "member `{member}` redeclared with a conflicting kind in class `{class}`")
+                write!(
+                    f,
+                    "member `{member}` redeclared with a conflicting kind in class `{class}`"
+                )
             }
             ChgError::UnknownClass { id } => {
                 write!(f, "class id {id} does not belong to this graph")

@@ -231,7 +231,8 @@ pub fn static_override_mix() -> Chg {
     b.derive(w, j, Inheritance::NonVirtual).unwrap();
     b.derive(t, w, Inheritance::Virtual).unwrap();
     b.derive(t, j, Inheritance::NonVirtual).unwrap();
-    b.finish().expect("static_override_mix is a valid hierarchy")
+    b.finish()
+        .expect("static_override_mix is a valid hierarchy")
 }
 
 /// The classic "dreaded diamond" with a virtual base and an override:
@@ -301,8 +302,11 @@ mod tests {
         let foo = g.member_by_name("foo").unwrap();
         let bar = g.member_by_name("bar").unwrap();
         let names = |m| -> Vec<&str> {
-            let mut v: Vec<&str> =
-                g.declaring_classes(m).iter().map(|&c| g.class_name(c)).collect();
+            let mut v: Vec<&str> = g
+                .declaring_classes(m)
+                .iter()
+                .map(|&c| g.class_name(c))
+                .collect();
             v.sort_unstable();
             v
         };

@@ -109,12 +109,44 @@ pub struct ChgBuilder {
     class_by_name: HashMap<String, ClassId>,
     member_names: Interner,
     edge_count: usize,
+    generation: u64,
 }
 
 impl ChgBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Reconstructs a builder from an existing graph, so that classes,
+    /// members, and inheritance edges can be *appended* and a new [`Chg`]
+    /// produced by [`finish`](Self::finish).
+    ///
+    /// All `ClassId`s and `MemberId`s of the source graph remain valid in
+    /// the result (ids are append-only), which is what lets incremental
+    /// consumers such as `cpplookup-core`'s `LookupEngine` reuse cached
+    /// per-id state across an edit. The rebuilt graph's
+    /// [`generation`](Chg::generation) is the source's plus one.
+    pub fn from_chg(chg: &Chg) -> Self {
+        let classes = chg
+            .classes
+            .iter()
+            .map(|c| ClassData {
+                name: c.name.clone(),
+                bases: c.bases.clone(),
+                members: c.members.clone(),
+                member_index: c.member_index.clone(),
+                // `finish` recomputes the reverse adjacency from scratch.
+                derived: Vec::new(),
+            })
+            .collect();
+        ChgBuilder {
+            classes,
+            class_by_name: chg.class_by_name.clone(),
+            member_names: chg.member_names.clone(),
+            edge_count: chg.edge_count,
+            generation: chg.generation + 1,
+        }
     }
 
     /// Returns the id for the class named `name`, creating it if needed.
@@ -321,8 +353,11 @@ impl ChgBuilder {
         // ({b} ∪ bases[b]), computed in topological order.
         let mut bases = BitMatrix::new(n, n);
         for &c in &topo {
-            let direct: Vec<ClassId> =
-                self.classes[c.index()].bases.iter().map(|b| b.base).collect();
+            let direct: Vec<ClassId> = self.classes[c.index()]
+                .bases
+                .iter()
+                .map(|b| b.base)
+                .collect();
             for b in direct {
                 bases.set(c.index(), b.index());
                 if b.index() != c.index() {
@@ -371,6 +406,7 @@ impl ChgBuilder {
             class_by_name: self.class_by_name,
             member_names: self.member_names,
             edge_count: self.edge_count,
+            generation: self.generation,
             topo,
             topo_pos,
             bases,
@@ -394,6 +430,7 @@ pub struct Chg {
     class_by_name: HashMap<String, ClassId>,
     member_names: Interner,
     edge_count: usize,
+    generation: u64,
     topo: Vec<ClassId>,
     topo_pos: Vec<usize>,
     bases: BitMatrix,
@@ -415,6 +452,14 @@ impl Chg {
     /// Number of distinct member names, `|M|`.
     pub fn member_name_count(&self) -> usize {
         self.member_names.len()
+    }
+
+    /// How many edit/rebuild rounds produced this graph: `0` for a graph
+    /// built from scratch, and the predecessor's generation plus one for a
+    /// graph rebuilt via [`ChgBuilder::from_chg`]. Incremental consumers
+    /// use this to tell cache snapshots apart.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The name of a class.
@@ -533,6 +578,15 @@ impl Chg {
         self.bases.row(d.index()).iter().map(ClassId::from_index)
     }
 
+    /// Iterates over the classes *properly* derived from `b` (the
+    /// transitive closure of [`direct_derived`](Chg::direct_derived)), in
+    /// id order. This is the propagation frontier of an incremental edit
+    /// at `b`: no lookup entry outside `{b} ∪ derived_of(b)` can change
+    /// when a member or base edge is appended to `b`.
+    pub fn derived_of(&self, b: ClassId) -> impl Iterator<Item = ClassId> + '_ {
+        self.classes().filter(move |&d| self.is_base_of(b, d))
+    }
+
     /// Iterates over the virtual bases of `d`.
     pub fn virtual_bases_of(&self, d: ClassId) -> impl Iterator<Item = ClassId> + '_ {
         self.virtual_bases
@@ -566,7 +620,11 @@ impl fmt::Debug for Chg {
                 .map(|b| {
                     format!(
                         "{}{}",
-                        if b.inheritance.is_virtual() { "virtual " } else { "" },
+                        if b.inheritance.is_virtual() {
+                            "virtual "
+                        } else {
+                            ""
+                        },
                         self.class_name(b.base)
                     )
                 })

@@ -49,6 +49,7 @@
 
 mod bitset;
 pub mod dot;
+mod edit;
 mod error;
 pub mod fixtures;
 mod graph;
@@ -58,6 +59,7 @@ mod path;
 pub mod spec;
 
 pub use bitset::{BitMatrix, BitSet};
+pub use edit::{apply_edits, Edit};
 pub use error::{ChgError, PathError};
 pub use graph::{BaseSpec, Chg, ChgBuilder, Inheritance};
 pub use ids::{ClassId, Interner, MemberId};

@@ -214,6 +214,9 @@ mod tests {
     fn display_strings() {
         assert_eq!(MemberKind::Enumerator.to_string(), "enumerator");
         assert_eq!(Access::Protected.to_string(), "protected");
-        assert_eq!(MemberKind::StaticFunction.to_string(), "static member function");
+        assert_eq!(
+            MemberKind::StaticFunction.to_string(),
+            "static member function"
+        );
     }
 }

@@ -150,9 +150,11 @@ impl Path {
     /// Whether the path contains at least one virtual edge (a *v-path*,
     /// paper Def. 13).
     pub fn is_v_path(&self, chg: &Chg) -> bool {
-        self.nodes
-            .windows(2)
-            .any(|w| chg.edge(w[0], w[1]).map(|i| i.is_virtual()).unwrap_or(false))
+        self.nodes.windows(2).any(|w| {
+            chg.edge(w[0], w[1])
+                .map(|i| i.is_virtual())
+                .unwrap_or(false)
+        })
     }
 
     /// Concatenation `self ∘ other`, defined when `self.mdc() ==
@@ -284,11 +286,7 @@ mod tests {
             ("ACDGH", "ACD"),
         ] {
             let p = Path::parse(&g, path).unwrap();
-            assert_eq!(
-                p.fixed(&g).display(&g).to_string(),
-                fixed,
-                "fixed({path})"
-            );
+            assert_eq!(p.fixed(&g).display(&g).to_string(), fixed, "fixed({path})");
         }
     }
 

@@ -169,7 +169,10 @@ mod tests {
                 members: vec![],
             }],
         };
-        assert!(matches!(spec.build(), Err(ChgError::SelfInheritance { .. })));
+        assert!(matches!(
+            spec.build(),
+            Err(ChgError::SelfInheritance { .. })
+        ));
     }
 
     #[test]
@@ -216,9 +219,7 @@ impl ChgSpec {
                     '\n' => out.push_str("\\n"),
                     '\r' => out.push_str("\\r"),
                     '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => {
-                        out.push_str(&format!("\\u{:04x}", c as u32))
-                    }
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
                     c => out.push(c),
                 }
             }

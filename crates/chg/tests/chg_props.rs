@@ -1,8 +1,8 @@
 //! Property tests for the CHG substrate: bit sets, builder validation,
 //! closures, and the spec round-trip.
 
-use cpplookup_chg::{BitSet, ChgBuilder, Inheritance};
 use cpplookup_chg::spec::ChgSpec;
+use cpplookup_chg::{BitSet, ChgBuilder, Inheritance};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 

@@ -154,13 +154,7 @@ impl RedAbs {
 ///
 /// The left argument **must** abstract a red definition — the lemma's
 /// hypothesis. Every comparison the algorithm performs satisfies it.
-pub fn red_dominates(
-    chg: &Chg,
-    m: MemberId,
-    a: RedAbs,
-    b: RedAbs,
-    statics: StaticRule,
-) -> bool {
+pub fn red_dominates(chg: &Chg, m: MemberId, a: RedAbs, b: RedAbs, statics: StaticRule) -> bool {
     if let LeastVirtual::Class(v2) = b.lv {
         if chg.is_virtual_base_of(v2, a.ldc) {
             return true;
@@ -219,7 +213,11 @@ mod tests {
             ("ABD", LeastVirtual::Omega),
         ] {
             let p = Path::parse(&g, text).unwrap();
-            assert_eq!(LeastVirtual::of_path(&g, &p), expect, "leastVirtual({text})");
+            assert_eq!(
+                LeastVirtual::of_path(&g, &p),
+                expect,
+                "leastVirtual({text})"
+            );
         }
     }
 
@@ -295,13 +293,25 @@ mod tests {
         let a = g.class_by_name("A").unwrap();
         let e = g.class_by_name("E").unwrap();
         let foo = g.member_by_name("foo").unwrap();
-        let x = RedAbs { ldc: a, lv: LeastVirtual::Class(d) };
-        let y = RedAbs { ldc: e, lv: LeastVirtual::Class(d) };
+        let x = RedAbs {
+            ldc: a,
+            lv: LeastVirtual::Class(d),
+        };
+        let y = RedAbs {
+            ldc: e,
+            lv: LeastVirtual::Class(d),
+        };
         assert!(red_dominates(&g, foo, x, y, StaticRule::Cpp));
         assert!(red_dominates(&g, foo, y, x, StaticRule::Cpp));
         // But Ω == Ω never triggers rule 2.
-        let xo = RedAbs { ldc: a, lv: LeastVirtual::Omega };
-        let yo = RedAbs { ldc: e, lv: LeastVirtual::Omega };
+        let xo = RedAbs {
+            ldc: a,
+            lv: LeastVirtual::Omega,
+        };
+        let yo = RedAbs {
+            ldc: e,
+            lv: LeastVirtual::Omega,
+        };
         assert!(!red_dominates(&g, foo, xo, yo, StaticRule::Cpp));
     }
 
@@ -311,7 +321,10 @@ mod tests {
         let a = g.class_by_name("A").unwrap();
         let s = g.member_by_name("s").unwrap();
         let d = g.member_by_name("d").unwrap();
-        let x = RedAbs { ldc: a, lv: LeastVirtual::Omega };
+        let x = RedAbs {
+            ldc: a,
+            lv: LeastVirtual::Omega,
+        };
         // Static member: same-ldc definitions dominate each other.
         assert!(red_dominates(&g, s, x, x, StaticRule::Cpp));
         // But not when the rule is disabled or the member is non-static.
@@ -327,7 +340,10 @@ mod tests {
         assert!(red_dominates_blue(&g, gh, LeastVirtual::Class(d)));
         assert!(!red_dominates_blue(&g, gh, LeastVirtual::Omega));
         // Equality with the candidate's own non-Ω lv also counts.
-        let red_d = RedAbs { ldc: g.class_by_name("E").unwrap(), lv: LeastVirtual::Class(d) };
+        let red_d = RedAbs {
+            ldc: g.class_by_name("E").unwrap(),
+            lv: LeastVirtual::Class(d),
+        };
         assert!(red_dominates_blue(&g, red_d, LeastVirtual::Class(d)));
     }
 

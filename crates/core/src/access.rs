@@ -85,9 +85,7 @@ pub fn effective_access(chg: &Chg, path: &Path, m: MemberId) -> Option<Access> {
             // the derived class.
             return None;
         }
-        let edge = chg
-            .edge_spec(w[0], w[1])
-            .expect("paths follow real edges");
+        let edge = chg.edge_spec(w[0], w[1]).expect("paths follow real edges");
         access = access.min(edge.access);
     }
     Some(access)
@@ -287,8 +285,12 @@ mod tests {
         let mut b = ChgBuilder::new();
         let base = b.class("B");
         let derived = b.class("D");
-        b.member_with(base, "pub_m", MemberDecl::with_access(MemberKind::Data, Access::Public))
-            .unwrap();
+        b.member_with(
+            base,
+            "pub_m",
+            MemberDecl::with_access(MemberKind::Data, Access::Public),
+        )
+        .unwrap();
         b.member_with(
             base,
             "prot_m",
@@ -318,7 +320,9 @@ mod tests {
         );
         assert!(matches!(
             check_access(&g, &t, derived, m("prot_m"), AccessContext::External),
-            Err(AccessError::Inaccessible { effective: Some(Access::Protected) })
+            Err(AccessError::Inaccessible {
+                effective: Some(Access::Protected)
+            })
         ));
         assert!(matches!(
             check_access(&g, &t, derived, m("priv_m"), AccessContext::External),
@@ -333,7 +337,9 @@ mod tests {
         let m = g.member_by_name("pub_m").unwrap();
         assert!(matches!(
             check_access(&g, &t, derived, m, AccessContext::External),
-            Err(AccessError::Inaccessible { effective: Some(Access::Private) })
+            Err(AccessError::Inaccessible {
+                effective: Some(Access::Private)
+            })
         ));
         // But inside D itself the (privately inherited) member is usable.
         assert_eq!(
@@ -487,8 +493,12 @@ mod access_table_tests {
         let base = b.class("Base");
         let mid = b.class("Mid");
         let der = b.class("Der");
-        b.member_with(base, "pub_m", MemberDecl::with_access(MemberKind::Data, Access::Public))
-            .unwrap();
+        b.member_with(
+            base,
+            "pub_m",
+            MemberDecl::with_access(MemberKind::Data, Access::Public),
+        )
+        .unwrap();
         b.member_with(
             base,
             "prot_m",
@@ -513,7 +523,11 @@ mod access_table_tests {
         // public member, protected then private inheritance: private at Der.
         assert_eq!(at.effective(der, pub_m), Some(Some(Access::Private)));
         let priv_m = g.member_by_name("priv_m").unwrap();
-        assert_eq!(at.effective(mid, priv_m), Some(None), "cut at the first edge");
+        assert_eq!(
+            at.effective(mid, priv_m),
+            Some(None),
+            "cut at the first edge"
+        );
     }
 }
 

@@ -38,7 +38,8 @@ impl CallTargets {
 /// All classes whose objects can appear behind a `C*`: `C` itself plus
 /// every class derived from it.
 pub fn possible_dynamic_types(chg: &Chg, c: ClassId) -> impl Iterator<Item = ClassId> + '_ {
-    chg.classes().filter(move |&d| d == c || chg.is_base_of(c, d))
+    chg.classes()
+        .filter(move |&d| d == c || chg.is_base_of(c, d))
 }
 
 /// Computes the CHA target set of a call `p->m()` with `p: C*`.

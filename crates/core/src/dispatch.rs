@@ -108,7 +108,11 @@ impl DispatchMap {
                             out,
                             "  {name:<12} -> {}::{name}{}",
                             chg.class_name(*declaring_class),
-                            if *through_virtual_base { "  [virtual base]" } else { "" }
+                            if *through_virtual_base {
+                                "  [virtual base]"
+                            } else {
+                                ""
+                            }
                         );
                     }
                     DispatchTarget::Ambiguous => {
@@ -124,9 +128,10 @@ impl DispatchMap {
 /// Whether a member name is callable somewhere in the hierarchy: some
 /// class declares it as a (possibly static) member function.
 fn is_callable(chg: &Chg, m: MemberId) -> bool {
-    chg.declaring_classes(m)
-        .iter()
-        .any(|&d| chg.member_decl(d, m).is_some_and(|decl| decl.kind.is_function()))
+    chg.declaring_classes(m).iter().any(|&d| {
+        chg.member_decl(d, m)
+            .is_some_and(|decl| decl.kind.is_function())
+    })
 }
 
 /// Builds the dispatch tables of every class from a prebuilt lookup
@@ -142,7 +147,10 @@ pub fn build_dispatch_map(chg: &Chg, table: &LookupTable) -> DispatchMap {
             let target = match table.lookup(c, m) {
                 LookupOutcome::NotFound => continue,
                 LookupOutcome::Ambiguous { .. } => DispatchTarget::Ambiguous,
-                LookupOutcome::Resolved { class, least_virtual } => {
+                LookupOutcome::Resolved {
+                    class,
+                    least_virtual,
+                } => {
                     // Only produce an entry when the winner actually is a
                     // function (the name may also be shadowed by data
                     // members in other classes).
@@ -175,11 +183,7 @@ pub fn build_dispatch_map(chg: &Chg, table: &LookupTable) -> DispatchMap {
 /// The final binding of a *virtual call* when the receiver's dynamic
 /// type is `dynamic_type` — the Rossie–Friedman `dyn` operation realized
 /// through the table (constant time once the table exists).
-pub fn dynamic_target(
-    table: &LookupTable,
-    dynamic_type: ClassId,
-    m: MemberId,
-) -> Option<ClassId> {
+pub fn dynamic_target(table: &LookupTable, dynamic_type: ClassId, m: MemberId) -> Option<ClassId> {
     match table.lookup(dynamic_type, m) {
         LookupOutcome::Resolved { class, .. } => Some(class),
         _ => None,

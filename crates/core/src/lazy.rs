@@ -16,9 +16,9 @@ use std::collections::HashMap;
 
 use cpplookup_chg::{Chg, ClassId, MemberId, Path};
 
-use crate::abstraction::RedAbs;
+use crate::api::MemberLookup;
 use crate::result::{Entry, LookupOutcome};
-use crate::table::{LookupOptions, Merge};
+use crate::table::{compute_entry_with, LookupOptions};
 
 /// Cached value for one `(class, member)` pair: either a real entry or
 /// the knowledge that the member is not visible there.
@@ -100,7 +100,12 @@ impl<'a> LazyLookup<'a> {
 
     /// Recovers the winning definition path like
     /// [`crate::LookupTable::resolve_path`].
-    pub fn resolve_path(&mut self, c: ClassId, m: MemberId) -> Option<Path> {
+    ///
+    /// `chg` must be the hierarchy this cache was created over; the
+    /// parameter exists so the signature matches the eager table's (and
+    /// the [`MemberLookup`] trait's) shape.
+    pub fn resolve_path(&mut self, chg: &Chg, c: ClassId, m: MemberId) -> Option<Path> {
+        debug_assert!(std::ptr::eq(self.chg, chg) || chg.class_count() == self.chg.class_count());
         self.ensure(c, m);
         let mut rev = vec![c];
         let mut cur = c;
@@ -116,7 +121,7 @@ impl<'a> LazyLookup<'a> {
             }
         }
         rev.reverse();
-        Some(Path::new(self.chg, rev).expect("parent pointers follow real edges"))
+        Some(Path::new(chg, rev).expect("parent pointers follow real edges"))
     }
 
     fn ensure(&mut self, c: ClassId, m: MemberId) {
@@ -129,64 +134,32 @@ impl<'a> LazyLookup<'a> {
                 stack.pop();
                 continue;
             }
-            // Line 12: a directly declared member needs no base entries.
-            if self.chg.declares(top, m) {
-                self.insert(
-                    top,
-                    m,
-                    Slot::Present(Entry::Red {
-                        abs: RedAbs::generated(top),
-                        via: None,
-                        shared: Vec::new(),
-                    }),
-                );
-                stack.pop();
-                continue;
-            }
-            let missing: Vec<ClassId> = self
-                .chg
-                .direct_bases(top)
-                .iter()
-                .map(|s| s.base)
-                .filter(|b| !self.cache[b.index()].contains_key(&m))
-                .collect();
-            if !missing.is_empty() {
-                stack.extend(missing);
-                continue;
-            }
-            // All bases cached: merge exactly like the eager algorithm.
-            let mut merge = Merge::new();
-            let mut visible = false;
-            for spec in self.chg.direct_bases(top) {
-                match &self.cache[spec.base.index()][&m] {
-                    Slot::Absent => {}
-                    Slot::Present(Entry::Red { abs, shared, .. }) => {
-                        visible = true;
-                        let ext_shared: Vec<_> = shared
-                            .iter()
-                            .map(|lv| lv.extend(spec.base, spec.inheritance))
-                            .collect();
-                        merge.add_red(
-                            self.chg,
-                            m,
-                            abs.extend(spec.base, spec.inheritance),
-                            &ext_shared,
-                            spec.base,
-                            self.options.statics,
-                        );
-                    }
-                    Slot::Present(Entry::Blue(set)) => {
-                        visible = true;
-                        for &lv in set {
-                            merge.add_blue(lv.extend(spec.base, spec.inheritance));
-                        }
-                    }
+            // A declared member needs no base entries (line 12, handled
+            // inside `compute_entry_with`); otherwise all bases must be
+            // cached first.
+            if !self.chg.declares(top, m) {
+                let missing: Vec<ClassId> = self
+                    .chg
+                    .direct_bases(top)
+                    .iter()
+                    .map(|s| s.base)
+                    .filter(|b| !self.cache[b.index()].contains_key(&m))
+                    .collect();
+                if !missing.is_empty() {
+                    stack.extend(missing);
+                    continue;
                 }
             }
-            let slot = if visible {
-                Slot::Present(merge.finish(self.chg))
-            } else {
-                Slot::Absent
+            // Merge exactly like the eager algorithm.
+            let entry = compute_entry_with(self.chg, self.options, top, m, |b| {
+                match &self.cache[b.index()][&m] {
+                    Slot::Present(e) => Some(e),
+                    Slot::Absent => None,
+                }
+            });
+            let slot = match entry {
+                Some(e) => Slot::Present(e),
+                None => Slot::Absent,
             };
             self.insert(top, m, slot);
             stack.pop();
@@ -198,6 +171,20 @@ impl<'a> LazyLookup<'a> {
             self.computed_entries += 1;
         }
         self.cache[c.index()].insert(m, slot);
+    }
+}
+
+impl MemberLookup for LazyLookup<'_> {
+    fn lookup(&mut self, c: ClassId, m: MemberId) -> LookupOutcome {
+        LazyLookup::lookup(self, c, m)
+    }
+
+    fn entry(&mut self, c: ClassId, m: MemberId) -> Option<Entry> {
+        LazyLookup::entry(self, c, m).cloned()
+    }
+
+    fn resolve_path(&mut self, chg: &Chg, c: ClassId, m: MemberId) -> Option<Path> {
+        LazyLookup::resolve_path(self, chg, c, m)
     }
 }
 
@@ -258,11 +245,14 @@ mod tests {
         let h = g.class_by_name("H").unwrap();
         let foo = g.member_by_name("foo").unwrap();
         assert_eq!(
-            lazy.resolve_path(h, foo).unwrap().display(&g).to_string(),
+            lazy.resolve_path(&g, h, foo)
+                .unwrap()
+                .display(&g)
+                .to_string(),
             "GH"
         );
         let bar = g.member_by_name("bar").unwrap();
-        assert_eq!(lazy.resolve_path(h, bar), None);
+        assert_eq!(lazy.resolve_path(&g, h, bar), None);
     }
 
     #[test]

@@ -12,10 +12,15 @@
 //! * [`red_dominates`] — the constant-time dominance test (Lemma 4), with
 //!   the static-member extension of Section 6,
 //! * [`LookupTable`] — the eager, whole-table algorithm of Figure 8
-//!   (`O((|M|+|N|)·(|N|+|E|))` when all lookups are unambiguous),
+//!   (`O((|M|+|N|)·(|N|+|E|))` when all lookups are unambiguous), with
+//!   member-name-sharded parallel construction
+//!   ([`LookupTable::build_parallel`]),
 //! * [`LazyLookup`] — the memoising on-demand variant,
-//! * [`build_table_parallel`] — member-name-sharded parallel
-//!   construction,
+//! * [`LookupEngine`] — a thread-safe, stat-counting query engine over a
+//!   sharded memo cache that survives hierarchy edits by incremental
+//!   invalidation,
+//! * [`MemberLookup`] — the trait unifying all of the above (and the
+//!   baselines) behind one query interface,
 //! * [`trace`] — instrumented propagation reproducing Figures 6–7,
 //! * [`access`] — post-lookup access-rights checking (Section 6),
 //! * the applications the paper names in Section 1: [`dispatch`]
@@ -52,8 +57,10 @@
 
 mod abstraction;
 pub mod access;
+mod api;
 pub mod cha;
 pub mod dispatch;
+mod engine;
 mod lazy;
 mod parallel;
 mod result;
@@ -64,7 +71,10 @@ pub mod trace;
 pub use abstraction::{
     red_dominates, red_dominates_blue, DisplayLv, LeastVirtual, RedAbs, StaticRule,
 };
+pub use api::MemberLookup;
+pub use engine::{EngineBacking, EngineOptions, EngineStats, LookupEngine};
 pub use lazy::LazyLookup;
+#[allow(deprecated)]
 pub use parallel::build_table_parallel;
 pub use result::{DisplayEntry, Entry, LookupOutcome};
 pub use table::{LookupOptions, LookupTable, TableStats};

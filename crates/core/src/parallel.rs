@@ -12,9 +12,8 @@ use std::collections::HashMap;
 
 use cpplookup_chg::{Chg, ClassId, MemberId};
 
-use crate::abstraction::RedAbs;
 use crate::result::Entry;
-use crate::table::{LookupOptions, LookupTable, Merge};
+use crate::table::{compute_entry_with, LookupOptions, LookupTable};
 
 /// Computes the table column of a single member name: for every class
 /// where `m` is visible, its entry, in topological order of class.
@@ -26,43 +25,7 @@ pub(crate) fn member_column(
     let mut slots: Vec<Option<Entry>> = vec![None; chg.class_count()];
     let mut out = Vec::new();
     for &c in chg.topo_order() {
-        let entry = if chg.declares(c, m) {
-            Some(Entry::Red {
-                abs: RedAbs::generated(c),
-                via: None,
-                shared: Vec::new(),
-            })
-        } else {
-            let mut merge = Merge::new();
-            let mut visible = false;
-            for spec in chg.direct_bases(c) {
-                match &slots[spec.base.index()] {
-                    None => {}
-                    Some(Entry::Red { abs, shared, .. }) => {
-                        visible = true;
-                        let ext_shared: Vec<_> = shared
-                            .iter()
-                            .map(|lv| lv.extend(spec.base, spec.inheritance))
-                            .collect();
-                        merge.add_red(
-                            chg,
-                            m,
-                            abs.extend(spec.base, spec.inheritance),
-                            &ext_shared,
-                            spec.base,
-                            options.statics,
-                        );
-                    }
-                    Some(Entry::Blue(set)) => {
-                        visible = true;
-                        for &lv in set {
-                            merge.add_blue(lv.extend(spec.base, spec.inheritance));
-                        }
-                    }
-                }
-            }
-            visible.then(|| merge.finish(chg))
-        };
+        let entry = compute_entry_with(chg, options, c, m, |b| slots[b.index()].as_ref());
         if let Some(e) = entry {
             out.push((c, e.clone()));
             slots[c.index()] = Some(e);
@@ -71,70 +34,81 @@ pub(crate) fn member_column(
     out
 }
 
-/// Builds the complete lookup table using `threads` worker threads
-/// (clamped to at least 1), sharding member names round-robin.
-///
-/// Produces exactly the same entries as [`LookupTable::build_with`].
-///
-/// # Examples
-///
-/// ```
-/// use cpplookup_chg::fixtures;
-/// use cpplookup_core::{build_table_parallel, LookupOptions, LookupTable};
-///
-/// let g = fixtures::fig3();
-/// let par = build_table_parallel(&g, LookupOptions::default(), 4);
-/// let seq = LookupTable::build(&g);
-/// let h = g.class_by_name("H").unwrap();
-/// let foo = g.member_by_name("foo").unwrap();
-/// assert_eq!(par.entry(h, foo), seq.entry(h, foo));
-/// ```
-pub fn build_table_parallel(chg: &Chg, options: LookupOptions, threads: usize) -> LookupTable {
-    let threads = threads.max(1);
-    let members: Vec<MemberId> = chg.member_ids().collect();
-    let mut columns: Vec<(MemberId, Vec<(ClassId, Entry)>)> = Vec::with_capacity(members.len());
+impl LookupTable {
+    /// Builds the complete lookup table using `threads` worker threads
+    /// (clamped to at least 1), sharding member names round-robin.
+    ///
+    /// Produces exactly the same entries as [`LookupTable::build_with`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cpplookup_chg::fixtures;
+    /// use cpplookup_core::{LookupOptions, LookupTable};
+    ///
+    /// let g = fixtures::fig3();
+    /// let par = LookupTable::build_parallel(&g, LookupOptions::default(), 4);
+    /// let seq = LookupTable::build(&g);
+    /// let h = g.class_by_name("H").unwrap();
+    /// let foo = g.member_by_name("foo").unwrap();
+    /// assert_eq!(par.entry(h, foo), seq.entry(h, foo));
+    /// ```
+    pub fn build_parallel(chg: &Chg, options: LookupOptions, threads: usize) -> LookupTable {
+        let threads = threads.max(1);
+        let members: Vec<MemberId> = chg.member_ids().collect();
+        let mut columns: Vec<(MemberId, Vec<(ClassId, Entry)>)> = Vec::with_capacity(members.len());
 
-    if threads == 1 || members.len() <= 1 {
-        for &m in &members {
-            columns.push((m, member_column(chg, m, options)));
-        }
-    } else {
-        let shards: Vec<Vec<MemberId>> = {
-            let mut s = vec![Vec::new(); threads];
-            for (i, &m) in members.iter().enumerate() {
-                s[i % threads].push(m);
+        if threads == 1 || members.len() <= 1 {
+            for &m in &members {
+                columns.push((m, member_column(chg, m, options)));
             }
-            s
-        };
-        let results = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|shard| {
-                    scope.spawn(move || {
-                        shard
-                            .into_iter()
-                            .map(|m| (m, member_column(chg, m, options)))
-                            .collect::<Vec<_>>()
+        } else {
+            let shards: Vec<Vec<MemberId>> = {
+                let mut s = vec![Vec::new(); threads];
+                for (i, &m) in members.iter().enumerate() {
+                    s[i % threads].push(m);
+                }
+                s
+            };
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            shard
+                                .into_iter()
+                                .map(|m| (m, member_column(chg, m, options)))
+                                .collect::<Vec<_>>()
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("column worker panicked"))
-                .collect::<Vec<_>>()
-        });
-        for shard in results {
-            columns.extend(shard);
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("column worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for shard in results {
+                columns.extend(shard);
+            }
         }
-    }
 
-    let mut entries: Vec<HashMap<MemberId, Entry>> = vec![HashMap::new(); chg.class_count()];
-    for (m, column) in columns {
-        for (c, e) in column {
-            entries[c.index()].insert(m, e);
+        let mut entries: Vec<HashMap<MemberId, Entry>> = vec![HashMap::new(); chg.class_count()];
+        for (m, column) in columns {
+            for (c, e) in column {
+                entries[c.index()].insert(m, e);
+            }
         }
+        LookupTable::from_parts(options, entries)
     }
-    LookupTable::from_parts(options, entries)
+}
+
+/// Builds the complete lookup table in parallel.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the associated constructor `LookupTable::build_parallel` instead"
+)]
+pub fn build_table_parallel(chg: &Chg, options: LookupOptions, threads: usize) -> LookupTable {
+    LookupTable::build_parallel(chg, options, threads)
 }
 
 #[cfg(test)]
@@ -153,7 +127,7 @@ mod tests {
         ] {
             let seq = LookupTable::build(&g);
             for threads in [1, 2, 7] {
-                let par = build_table_parallel(&g, LookupOptions::default(), threads);
+                let par = LookupTable::build_parallel(&g, LookupOptions::default(), threads);
                 for c in g.classes() {
                     for m in g.member_ids() {
                         assert_eq!(
@@ -188,14 +162,22 @@ mod tests {
     #[test]
     fn zero_threads_clamps() {
         let g = fixtures::fig1();
-        let par = build_table_parallel(&g, LookupOptions::default(), 0);
+        let par = LookupTable::build_parallel(&g, LookupOptions::default(), 0);
         assert_eq!(par.stats(), LookupTable::build(&g).stats());
     }
 
     #[test]
     fn empty_graph() {
         let g = cpplookup_chg::ChgBuilder::new().finish().unwrap();
-        let par = build_table_parallel(&g, LookupOptions::default(), 4);
+        let par = LookupTable::build_parallel(&g, LookupOptions::default(), 4);
         assert_eq!(par.stats().entries, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_function_still_works() {
+        let g = fixtures::fig1();
+        let via_free = build_table_parallel(&g, LookupOptions::default(), 2);
+        assert_eq!(via_free.stats(), LookupTable::build(&g).stats());
     }
 }

@@ -108,7 +108,9 @@ pub fn slice_hierarchy(
     let mut member_map: HashMap<MemberId, MemberId> = HashMap::new();
     let mut dropped_declarations = 0usize;
     for c in chg.classes() {
-        let Some(&new_c) = class_map.get(&c) else { continue };
+        let Some(&new_c) = class_map.get(&c) else {
+            continue;
+        };
         for spec in chg.direct_bases(c) {
             let new_base = class_map[&spec.base]; // bases of retained classes are retained
             b.derive_with_access(new_c, new_base, spec.inheritance, spec.access)?;
@@ -233,7 +235,10 @@ mod tests {
         let t = LookupTable::build(&slice.chg);
         let h2 = slice.class(h).unwrap();
         let bar2 = slice.member(bar).unwrap();
-        assert!(matches!(t.lookup(h2, bar2), LookupOutcome::Ambiguous { .. }));
+        assert!(matches!(
+            t.lookup(h2, bar2),
+            LookupOutcome::Ambiguous { .. }
+        ));
     }
 
     #[test]

@@ -25,7 +25,67 @@ use std::fmt;
 use cpplookup_chg::{Chg, ClassId, MemberId, Path};
 
 use crate::abstraction::{LeastVirtual, RedAbs, StaticRule};
+use crate::api::MemberLookup;
 use crate::result::{Entry, LookupOutcome};
+
+/// Computes `lookup[c, m]` from the entries of `c`'s direct bases,
+/// supplied by `base_entry` — the single propagation step of Figure 8
+/// shared by the eager builder, the lazy cache, the parallel column
+/// workers, and the engine's incremental recomputation.
+///
+/// `base_entry` is consulted once per direct base and must return that
+/// base's entry for `m` (or `None` when `m` is not visible there); the
+/// caller guarantees base entries are already up to date. Returns `None`
+/// when `m ∉ Members[c]`.
+pub(crate) fn compute_entry_with<'e, F>(
+    chg: &Chg,
+    options: LookupOptions,
+    c: ClassId,
+    m: MemberId,
+    mut base_entry: F,
+) -> Option<Entry>
+where
+    F: FnMut(ClassId) -> Option<&'e Entry>,
+{
+    // Line 12: a generated definition kills everything arriving from
+    // bases.
+    if chg.declares(c, m) {
+        return Some(Entry::Red {
+            abs: RedAbs::generated(c),
+            via: None,
+            shared: Vec::new(),
+        });
+    }
+    let mut merge = Merge::new();
+    let mut visible = false;
+    for spec in chg.direct_bases(c) {
+        match base_entry(spec.base) {
+            None => {}
+            Some(Entry::Red { abs, shared, .. }) => {
+                visible = true;
+                let ext_shared: Vec<_> = shared
+                    .iter()
+                    .map(|lv| lv.extend(spec.base, spec.inheritance))
+                    .collect();
+                merge.add_red(
+                    chg,
+                    m,
+                    abs.extend(spec.base, spec.inheritance),
+                    &ext_shared,
+                    spec.base,
+                    options.statics,
+                );
+            }
+            Some(Entry::Blue(set)) => {
+                visible = true;
+                for &lv in set {
+                    merge.add_blue(lv.extend(spec.base, spec.inheritance));
+                }
+            }
+        }
+    }
+    visible.then(|| merge.finish(chg))
+}
 
 /// Options controlling table construction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -114,8 +174,7 @@ impl Merge {
         if mergeable {
             // Definition 17, condition 2: co-maximal definitions of the
             // same static member stay live as one set.
-            let extra: Vec<LeastVirtual> =
-                incoming.lvs().filter(|&lv| lv != cand.abs.lv).collect();
+            let extra: Vec<LeastVirtual> = incoming.lvs().filter(|&lv| lv != cand.abs.lv).collect();
             cand.shared.extend(extra);
             self.candidate = Some(cand);
         } else if incoming.dominates_all(chg, cand.lvs().collect::<Vec<_>>()) {
@@ -265,6 +324,12 @@ impl LookupTable {
         LookupTable { options, entries }
     }
 
+    /// Dismantles the table into its per-class entry maps (used by the
+    /// engine to seed its cache without re-deriving every entry).
+    pub(crate) fn into_entries(self) -> Vec<HashMap<MemberId, Entry>> {
+        self.entries
+    }
+
     /// The options the table was built with.
     pub fn options(&self) -> LookupOptions {
         self.options
@@ -328,6 +393,20 @@ impl LookupTable {
     }
 }
 
+impl MemberLookup for LookupTable {
+    fn lookup(&mut self, c: ClassId, m: MemberId) -> LookupOutcome {
+        LookupTable::lookup(self, c, m)
+    }
+
+    fn entry(&mut self, c: ClassId, m: MemberId) -> Option<Entry> {
+        LookupTable::entry(self, c, m).cloned()
+    }
+
+    fn resolve_path(&mut self, chg: &Chg, c: ClassId, m: MemberId) -> Option<Path> {
+        LookupTable::resolve_path(self, chg, c, m)
+    }
+}
+
 impl fmt::Debug for LookupTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = self.stats();
@@ -388,7 +467,10 @@ mod tests {
     fn fig3_foo_and_bar() {
         let g = fixtures::fig3();
         match outcome(&g, "H", "foo") {
-            LookupOutcome::Resolved { class, least_virtual } => {
+            LookupOutcome::Resolved {
+                class,
+                least_virtual,
+            } => {
                 assert_eq!(g.class_name(class), "G");
                 assert!(least_virtual.is_omega());
             }
@@ -402,9 +484,18 @@ mod tests {
             other => panic!("expected ambiguity, got {other:?}"),
         }
         // Figure 6: lookup at D and F ambiguous for foo.
-        assert!(matches!(outcome(&g, "D", "foo"), LookupOutcome::Ambiguous { .. }));
-        assert!(matches!(outcome(&g, "F", "foo"), LookupOutcome::Ambiguous { .. }));
-        assert!(matches!(outcome(&g, "F", "bar"), LookupOutcome::Ambiguous { .. }));
+        assert!(matches!(
+            outcome(&g, "D", "foo"),
+            LookupOutcome::Ambiguous { .. }
+        ));
+        assert!(matches!(
+            outcome(&g, "F", "foo"),
+            LookupOutcome::Ambiguous { .. }
+        ));
+        assert!(matches!(
+            outcome(&g, "F", "bar"),
+            LookupOutcome::Ambiguous { .. }
+        ));
         match outcome(&g, "G", "foo") {
             LookupOutcome::Resolved { class, .. } => assert_eq!(g.class_name(class), "G"),
             other => panic!("expected G, got {other:?}"),
@@ -434,7 +525,10 @@ mod tests {
     fn fig9_unambiguous_c() {
         let g = fixtures::fig9();
         match outcome(&g, "E", "m") {
-            LookupOutcome::Resolved { class, least_virtual } => {
+            LookupOutcome::Resolved {
+                class,
+                least_virtual,
+            } => {
                 assert_eq!(g.class_name(class), "C");
                 assert!(least_virtual.is_omega());
             }
@@ -525,7 +619,10 @@ mod tests {
         let e2 = g2.class_by_name("E").unwrap();
         let m2 = g2.member_by_name("m").unwrap();
         assert_eq!(
-            t2.resolve_path(&g2, e2, m2).unwrap().display(&g2).to_string(),
+            t2.resolve_path(&g2, e2, m2)
+                .unwrap()
+                .display(&g2)
+                .to_string(),
             "DE"
         );
     }
@@ -557,7 +654,10 @@ mod tests {
     fn dominance_diamond_resolves_left() {
         let g = fixtures::dominance_diamond();
         match outcome(&g, "Bottom", "f") {
-            LookupOutcome::Resolved { class, least_virtual } => {
+            LookupOutcome::Resolved {
+                class,
+                least_virtual,
+            } => {
                 assert_eq!(g.class_name(class), "Left");
                 assert!(least_virtual.is_omega());
             }
@@ -643,7 +743,10 @@ mod merge_micro_tests {
         merge.add_red(
             &g,
             m,
-            RedAbs { ldc: a, lv: LeastVirtual::Class(a) },
+            RedAbs {
+                ldc: a,
+                lv: LeastVirtual::Class(a),
+            },
             &[],
             a,
             StaticRule::Cpp,
@@ -651,7 +754,10 @@ mod merge_micro_tests {
         merge.add_red(
             &g,
             m,
-            RedAbs { ldc: b, lv: LeastVirtual::Class(b) },
+            RedAbs {
+                ldc: b,
+                lv: LeastVirtual::Class(b),
+            },
             &[],
             b,
             StaticRule::Cpp,
@@ -677,7 +783,10 @@ mod merge_micro_tests {
         merge.add_red(
             &g,
             foo,
-            RedAbs { ldc: a, lv: LeastVirtual::Class(d) },
+            RedAbs {
+                ldc: a,
+                lv: LeastVirtual::Class(d),
+            },
             &[],
             f,
             StaticRule::Cpp,

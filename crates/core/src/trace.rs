@@ -190,7 +190,10 @@ mod tests {
             "G: generated, blue {D} via D => red (G, Ω)",
             "H: blue {D} via F, red (G, Ω) via G => red (G, Ω)",
         ] {
-            assert!(text.contains(expected), "missing line {expected:?} in:\n{text}");
+            assert!(
+                text.contains(expected),
+                "missing line {expected:?} in:\n{text}"
+            );
         }
     }
 
@@ -210,7 +213,10 @@ mod tests {
             // G dominates D (virtual base) but not Ω: blue {Ω}.
             "H: blue {Ω, D} via F, red (G, Ω) via G => blue {Ω}",
         ] {
-            assert!(text.contains(expected), "missing line {expected:?} in:\n{text}");
+            assert!(
+                text.contains(expected),
+                "missing line {expected:?} in:\n{text}"
+            );
         }
     }
 

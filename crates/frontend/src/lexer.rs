@@ -52,9 +52,7 @@ pub fn lex(source: &str) -> (Vec<Token>, Vec<Diagnostic>) {
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = &source[start..i];
@@ -90,7 +88,11 @@ pub fn lex(source: &str) -> (Vec<Token>, Vec<Diagnostic>) {
             }
             _ => {
                 let start = i;
-                let two = if i + 1 < bytes.len() { &bytes[i..i + 2] } else { &bytes[i..i + 1] };
+                let two = if i + 1 < bytes.len() {
+                    &bytes[i..i + 2]
+                } else {
+                    &bytes[i..i + 1]
+                };
                 let (kind, len) = match two {
                     b"::" => (Some(TokenKind::ColonColon), 2),
                     b"->" => (Some(TokenKind::Arrow), 2),

@@ -51,12 +51,11 @@ pub fn lower(program: &Program) -> (Chg, Vec<Diagnostic>) {
             // Resolve the written base name through the enclosing
             // namespaces; prefer a scope level where the class is
             // complete, falling back to any declaration for diagnostics.
-            let resolved = resolve_in_scopes(&class.scope, &base.name, |cand| {
-                complete.contains(cand)
-            })
-            .or_else(|| {
-                resolve_in_scopes(&class.scope, &base.name, |cand| defined.contains(cand))
-            });
+            let resolved =
+                resolve_in_scopes(&class.scope, &base.name, |cand| complete.contains(cand))
+                    .or_else(|| {
+                        resolve_in_scopes(&class.scope, &base.name, |cand| defined.contains(cand))
+                    });
             let Some(base_name) = resolved else {
                 diags.push(Diagnostic::error(
                     base.span,
@@ -196,7 +195,10 @@ pub fn lower(program: &Program) -> (Chg, Vec<Diagnostic>) {
                 Default::default(),
                 format!("internal lowering error: {e}"),
             ));
-            (ChgBuilder::new().finish().expect("empty graph is valid"), diags)
+            (
+                ChgBuilder::new().finish().expect("empty graph is valid"),
+                diags,
+            )
         }
     }
 }
@@ -243,7 +245,10 @@ mod tests {
     fn incomplete_base_diagnosed() {
         let (_, diags) = lowered("class B; class D : public B {}; class B {};");
         assert_eq!(diags.len(), 1);
-        assert!(diags[0].message.contains("incomplete base class `B`"), "{diags:?}");
+        assert!(
+            diags[0].message.contains("incomplete base class `B`"),
+            "{diags:?}"
+        );
     }
 
     #[test]
@@ -255,15 +260,15 @@ mod tests {
     #[test]
     fn duplicate_base_diagnosed() {
         let (_, diags) = lowered("class A {}; class D : public A, private A {};");
-        assert!(diags
-            .iter()
-            .any(|d| d.message.contains("more than once")), "{diags:?}");
+        assert!(
+            diags.iter().any(|d| d.message.contains("more than once")),
+            "{diags:?}"
+        );
     }
 
     #[test]
     fn default_base_access_differs_for_class_and_struct() {
-        let (g, diags) =
-            lowered("class A {}; class C : A {}; struct S : A {};");
+        let (g, diags) = lowered("class A {}; class C : A {}; struct S : A {};");
         assert!(diags.is_empty());
         let a = g.class_by_name("A").unwrap();
         let c = g.class_by_name("C").unwrap();
@@ -274,14 +279,11 @@ mod tests {
 
     #[test]
     fn member_kinds_survive_lowering() {
-        let (g, diags) = lowered(
-            "struct S { static int s; enum { RED }; typedef int T; void f(); };",
-        );
+        let (g, diags) =
+            lowered("struct S { static int s; enum { RED }; typedef int T; void f(); };");
         assert!(diags.is_empty());
         let s = g.class_by_name("S").unwrap();
-        let kind = |n: &str| {
-            g.member_decl(s, g.member_by_name(n).unwrap()).unwrap().kind
-        };
+        let kind = |n: &str| g.member_decl(s, g.member_by_name(n).unwrap()).unwrap().kind;
         assert_eq!(kind("s"), MemberKind::StaticData);
         assert_eq!(kind("RED"), MemberKind::Enumerator);
         assert_eq!(kind("T"), MemberKind::TypeName);
@@ -373,15 +375,26 @@ mod using_decl_tests {
         let (program, _) = parse(src);
         let analysis = crate::resolve::analyze(src);
         let _ = program;
-        let keep = analysis.queries.iter().find(|q| q.description == "d.keep").unwrap();
+        let keep = analysis
+            .queries
+            .iter()
+            .find(|q| q.description == "d.keep")
+            .unwrap();
         assert!(
             matches!(keep.result, crate::resolve::QueryResult::Resolved { .. }),
             "{:?}",
             keep.result
         );
-        let hide = analysis.queries.iter().find(|q| q.description == "d.hide").unwrap();
+        let hide = analysis
+            .queries
+            .iter()
+            .find(|q| q.description == "d.hide")
+            .unwrap();
         assert!(
-            matches!(hide.result, crate::resolve::QueryResult::AccessDenied { .. }),
+            matches!(
+                hide.result,
+                crate::resolve::QueryResult::AccessDenied { .. }
+            ),
             "{:?}",
             hide.result
         );
@@ -392,10 +405,16 @@ mod using_decl_tests {
         let (_, diags) = lowered("struct D { using Nope::m; };");
         assert!(diags.iter().any(|d| d.message.contains("unknown class")));
         let (_, diags) = lowered("struct A {}; struct D : A { using A::ghost; };");
-        assert!(diags.iter().any(|d| d.message.contains("no member named")), "{diags:?}");
+        assert!(
+            diags.iter().any(|d| d.message.contains("no member named")),
+            "{diags:?}"
+        );
         // Naming a non-base is also an error.
         let (_, diags) = lowered("struct A { int m; }; struct D { using A::m; };");
-        assert!(diags.iter().any(|d| d.message.contains("not a base")), "{diags:?}");
+        assert!(
+            diags.iter().any(|d| d.message.contains("not a base")),
+            "{diags:?}"
+        );
     }
 
     #[test]

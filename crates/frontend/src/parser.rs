@@ -164,11 +164,12 @@ impl<'a> Parser<'a> {
     /// joined text and its overall span.
     fn parse_qualified_ident(&mut self, what: &str) -> Option<(String, Span)> {
         let (mut text, mut span) = self.expect_ident(what)?;
-        while self.at(&TokenKind::ColonColon)
-            && matches!(self.peek_at(1).kind, TokenKind::Ident(_))
+        while self.at(&TokenKind::ColonColon) && matches!(self.peek_at(1).kind, TokenKind::Ident(_))
         {
             self.bump(); // ::
-            let (seg, seg_span) = self.expect_ident(what).expect("lookahead saw an identifier");
+            let (seg, seg_span) = self
+                .expect_ident(what)
+                .expect("lookahead saw an identifier");
             text.push_str("::");
             text.push_str(&seg);
             span = span.merge(seg_span);
@@ -217,8 +218,7 @@ impl<'a> Parser<'a> {
                     self.skip_until(&[TokenKind::Semi]);
                     self.eat(&TokenKind::Semi);
                 }
-                TokenKind::Ident(_) | TokenKind::Static | TokenKind::Const
-                | TokenKind::Virtual => {
+                TokenKind::Ident(_) | TokenKind::Static | TokenKind::Const | TokenKind::Virtual => {
                     self.parse_toplevel_decl(program);
                 }
                 _ => {
@@ -369,7 +369,11 @@ impl<'a> Parser<'a> {
             self.eat(&TokenKind::Semi);
             return Some(class);
         }
-        let default_access = if is_struct { Access::Public } else { Access::Private };
+        let default_access = if is_struct {
+            Access::Public
+        } else {
+            Access::Private
+        };
         let mut access = default_access;
         while !self.at(&TokenKind::RBrace) && !self.at_eof() {
             self.parse_member(&mut class, &mut access);
@@ -623,7 +627,12 @@ impl<'a> Parser<'a> {
                     } else {
                         MemberKind::Data
                     };
-                    class.members.push(AstMember { name, span, kind, access });
+                    class.members.push(AstMember {
+                        name,
+                        span,
+                        kind,
+                        access,
+                    });
                     if self.at(&TokenKind::Eq) {
                         self.skip_until(&[TokenKind::Comma, TokenKind::Semi]);
                     }
@@ -781,8 +790,7 @@ impl<'a> Parser<'a> {
                                 .collect::<Vec<_>>()
                                 .join("::");
                             self.bump(); // . or ->
-                            if let Some((member, member_span)) =
-                                self.expect_ident("a member name")
+                            if let Some((member, member_span)) = self.expect_ident("a member name")
                             {
                                 out.push(AccessExpr::Through {
                                     var,
@@ -894,8 +902,10 @@ mod tests {
             panic!("expected expression stmt");
         };
         assert_eq!(accesses.len(), 1);
-        assert!(matches!(&accesses[0], AccessExpr::Through { var, member, .. }
-            if var == "p" && member == "m"));
+        assert!(
+            matches!(&accesses[0], AccessExpr::Through { var, member, .. }
+            if var == "p" && member == "m")
+        );
     }
 
     #[test]
@@ -948,14 +958,22 @@ mod tests {
     #[test]
     fn comma_declarators() {
         let p = ok("struct S { int a, b, c; };");
-        let names: Vec<&str> = p.classes[0].members.iter().map(|m| m.name.as_str()).collect();
+        let names: Vec<&str> = p.classes[0]
+            .members
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
         assert_eq!(names, vec!["a", "b", "c"]);
     }
 
     #[test]
     fn pointer_members_and_initializers() {
         let p = ok("struct S { S *next; int x = 3; };");
-        let names: Vec<&str> = p.classes[0].members.iter().map(|m| m.name.as_str()).collect();
+        let names: Vec<&str> = p.classes[0]
+            .members
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
         assert_eq!(names, vec!["next", "x"]);
     }
 
@@ -977,10 +995,14 @@ mod tests {
         let body = &p.functions[0].body;
         assert!(matches!(&body.stmts[0], Stmt::Local { type_name, name, .. }
             if type_name == "E" && name == "e"));
-        let Stmt::Expr(a1) = &body.stmts[1] else { panic!() };
+        let Stmt::Expr(a1) = &body.stmts[1] else {
+            panic!()
+        };
         assert!(matches!(&a1[0], AccessExpr::Through { var, member, .. }
             if var == "e" && member == "m"));
-        let Stmt::Expr(a2) = &body.stmts[2] else { panic!() };
+        let Stmt::Expr(a2) = &body.stmts[2] else {
+            panic!()
+        };
         assert!(matches!(&a2[0], AccessExpr::Qualified { class, member, .. }
             if class == "S" && member == "m"));
     }
@@ -988,7 +1010,9 @@ mod tests {
     #[test]
     fn call_arguments_are_scanned() {
         let p = ok("int main() { f(a.x, B::y); }");
-        let Stmt::Expr(acc) = &p.functions[0].body.stmts[0] else { panic!() };
+        let Stmt::Expr(acc) = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
         // f (unqualified), a.x (through), B::y (qualified).
         assert_eq!(acc.len(), 3);
     }
@@ -1019,14 +1043,22 @@ mod tests {
     #[test]
     fn scoped_enum_members_stay_scoped() {
         let p = ok("struct S { enum class E { A, B }; };");
-        let names: Vec<&str> = p.classes[0].members.iter().map(|m| m.name.as_str()).collect();
+        let names: Vec<&str> = p.classes[0]
+            .members
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
         assert_eq!(names, vec!["E"], "A and B do not leak into S");
     }
 
     #[test]
     fn nested_class_becomes_type_member() {
         let p = ok("struct S { struct Inner { int z; }; int w; };");
-        let names: Vec<&str> = p.classes[0].members.iter().map(|m| m.name.as_str()).collect();
+        let names: Vec<&str> = p.classes[0]
+            .members
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
         assert_eq!(names, vec!["Inner", "w"]);
     }
 }

@@ -15,10 +15,10 @@ use cpplookup_core::access::{check_access_fast, AccessContext, AccessError, Acce
 use cpplookup_core::{LookupOutcome, LookupTable};
 
 use crate::ast::{AccessExpr, Block, Stmt};
-use crate::scopes::resolve_in_scopes;
 use crate::diagnostics::Diagnostic;
 use crate::lower::lower;
 use crate::parser::parse;
+use crate::scopes::resolve_in_scopes;
 use crate::span::Span;
 
 /// The verdict on one member access.
@@ -60,9 +60,7 @@ impl QueryResult {
     pub fn is_ok(&self) -> bool {
         matches!(
             self,
-            QueryResult::Resolved { .. }
-                | QueryResult::LocalVariable
-                | QueryResult::GlobalVariable
+            QueryResult::Resolved { .. } | QueryResult::LocalVariable | QueryResult::GlobalVariable
         )
     }
 }
@@ -278,7 +276,10 @@ impl Resolver<'_> {
         match self.table.lookup(class, mid) {
             LookupOutcome::NotFound => QueryResult::NoSuchMember,
             LookupOutcome::Ambiguous { .. } => QueryResult::AmbiguousMember,
-            LookupOutcome::Resolved { class: declaring_class, .. } => {
+            LookupOutcome::Resolved {
+                class: declaring_class,
+                ..
+            } => {
                 match check_access_fast(
                     self.chg,
                     self.table,
@@ -444,7 +445,9 @@ mod tests {
             .replace("class D : public B", "class D : virtual public B");
         let analysis = analyze(&fig2);
         match &analysis.queries[0].result {
-            QueryResult::Resolved { declaring_class, .. } => {
+            QueryResult::Resolved {
+                declaring_class, ..
+            } => {
                 assert_eq!(analysis.chg.class_name(*declaring_class), "D");
             }
             other => panic!("expected D::m, got {other:?}"),
@@ -462,9 +465,15 @@ mod tests {
                    struct E : virtual A, virtual B, D {};\n\
                    int main() { E e; e.m = 10; }\n";
         let analysis = analyze(src);
-        assert!(analysis.diagnostics.is_empty(), "{:?}", analysis.diagnostics);
+        assert!(
+            analysis.diagnostics.is_empty(),
+            "{:?}",
+            analysis.diagnostics
+        );
         match &analysis.queries[0].result {
-            QueryResult::Resolved { declaring_class, .. } => {
+            QueryResult::Resolved {
+                declaring_class, ..
+            } => {
                 assert_eq!(analysis.chg.class_name(*declaring_class), "C");
             }
             other => panic!("expected C::m, got {other:?}"),
@@ -494,8 +503,7 @@ mod tests {
                      void h() { m = 2; g = 3; nothing = 4; }\n\
                    };\n";
         let analysis = analyze(src);
-        let results: Vec<&QueryResult> =
-            analysis.queries.iter().map(|q| &q.result).collect();
+        let results: Vec<&QueryResult> = analysis.queries.iter().map(|q| &q.result).collect();
         assert_eq!(results[0], &QueryResult::LocalVariable);
         assert!(matches!(results[1], QueryResult::Resolved { .. }));
         assert_eq!(results[2], &QueryResult::GlobalVariable);
@@ -570,8 +578,14 @@ mod tests {
                    int main() { D d; d.RED; d.s; }";
         let analysis = analyze(src);
         // Two S subobjects, but RED and s are static-like: unambiguous.
-        assert!(matches!(analysis.queries[0].result, QueryResult::Resolved { .. }));
-        assert!(matches!(analysis.queries[1].result, QueryResult::Resolved { .. }));
+        assert!(matches!(
+            analysis.queries[0].result,
+            QueryResult::Resolved { .. }
+        ));
+        assert!(matches!(
+            analysis.queries[1].result,
+            QueryResult::Resolved { .. }
+        ));
     }
 }
 
@@ -625,7 +639,9 @@ mod namespace_tests {
         // Inside Window::show the unqualified `width` is the inherited
         // member from gui::Widget, found through the class scope.
         match &by_desc("width").result {
-            QueryResult::Resolved { declaring_class, .. } => {
+            QueryResult::Resolved {
+                declaring_class, ..
+            } => {
                 assert_eq!(analysis.chg.class_name(*declaring_class), "gui::Widget");
             }
             other => panic!("{other:?}"),
@@ -686,7 +702,11 @@ mod namespace_tests {
                    namespace app { struct Leaf : base::Root {}; }\n\
                    int main() { app::Leaf l; l.r; }\n";
         let analysis = analyze(src);
-        assert!(analysis.diagnostics.is_empty(), "{:?}", analysis.diagnostics);
+        assert!(
+            analysis.diagnostics.is_empty(),
+            "{:?}",
+            analysis.diagnostics
+        );
         assert!(matches!(
             analysis.queries[0].result,
             QueryResult::Resolved { .. }
@@ -705,8 +725,11 @@ mod out_of_line_tests {
                    void W::tick() { counter = 1; own = 2; stray = 3; }\n";
         let analysis = analyze(src);
         let results: Vec<&QueryResult> = analysis.queries.iter().map(|q| &q.result).collect();
-        assert!(matches!(results[0], QueryResult::Resolved { .. }),
-            "protected member OK from inside the class: {:?}", results[0]);
+        assert!(
+            matches!(results[0], QueryResult::Resolved { .. }),
+            "protected member OK from inside the class: {:?}",
+            results[0]
+        );
         assert!(matches!(results[1], QueryResult::Resolved { .. }));
         assert_eq!(results[2], &QueryResult::Undeclared);
     }
@@ -740,7 +763,10 @@ mod out_of_line_tests {
         let src = "struct P { P(); P(int); int real; };\n\
                    int main() { P p; p.real; p.P; }\n";
         let analysis = analyze(src);
-        assert!(matches!(analysis.queries[0].result, QueryResult::Resolved { .. }));
+        assert!(matches!(
+            analysis.queries[0].result,
+            QueryResult::Resolved { .. }
+        ));
         assert_eq!(
             analysis.queries[1].result,
             QueryResult::NoSuchMember,

@@ -72,24 +72,15 @@ mod tests {
     fn deep_scopes_walk_outward() {
         let known = ["a::T"];
         let exists = |n: &str| known.contains(&n);
-        assert_eq!(
-            resolve_in_scopes("a::b::c", "T", exists).unwrap(),
-            "a::T"
-        );
+        assert_eq!(resolve_in_scopes("a::b::c", "T", exists).unwrap(), "a::T");
     }
 
     #[test]
     fn qualified_written_names() {
         let known = ["a::b::T"];
         let exists = |n: &str| known.contains(&n);
-        assert_eq!(
-            resolve_in_scopes("a", "b::T", exists).unwrap(),
-            "a::b::T"
-        );
-        assert_eq!(
-            resolve_in_scopes("", "a::b::T", exists).unwrap(),
-            "a::b::T"
-        );
+        assert_eq!(resolve_in_scopes("a", "b::T", exists).unwrap(), "a::b::T");
+        assert_eq!(resolve_in_scopes("", "a::b::T", exists).unwrap(), "a::b::T");
         assert_eq!(resolve_in_scopes("", "b::T", exists), None);
     }
 

@@ -1,0 +1,254 @@
+//! Seeded edit-sequence workloads for the incremental lookup engine.
+//!
+//! C++ hierarchies grow as a program is parsed: a new class here, a new
+//! member there, an inheritance edge when a definition completes. This
+//! module generates such growth histories — a base hierarchy plus a
+//! sequence of [`Edit`]s that is guaranteed to apply cleanly when
+//! replayed in order — for experiment E18 (incremental invalidation vs
+//! full rebuild) and for the edit-sequence differential tests.
+//!
+//! The generator mirrors the evolving graph's state (declared member
+//! names, direct-base pairs, class creation order), so no generated
+//! edit is ever rejected: added edges always point from a
+//! later-created class to an earlier one (creation order is
+//! topological, hence acyclic), duplicate bases and conflicting member
+//! declarations are resampled away.
+
+use cpplookup_chg::{Access, Chg, ClassId, Edit, Inheritance, MemberDecl, MemberKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::random::{random_hierarchy, RandomConfig};
+
+/// Parameters for [`edit_script`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct EditScriptConfig {
+    /// The base hierarchy the edits grow from.
+    pub base: RandomConfig,
+    /// Number of edits to generate.
+    pub edits: usize,
+    /// Probability that an edit adds a new class.
+    pub add_class_prob: f64,
+    /// Probability that an edit declares a member (the remainder adds
+    /// inheritance edges).
+    pub add_member_prob: f64,
+    /// Probability that an added edge is virtual.
+    pub virtual_prob: f64,
+    /// Probability that an added member is drawn from the base
+    /// config's clash-prone `m0..` pool rather than being fresh —
+    /// clashes are what make an edit's dirty set interesting.
+    pub pool_member_prob: f64,
+    /// RNG seed for the edit sequence (independent of the base seed).
+    pub seed: u64,
+}
+
+impl Default for EditScriptConfig {
+    fn default() -> Self {
+        EditScriptConfig {
+            base: RandomConfig::default(),
+            edits: 32,
+            add_class_prob: 0.25,
+            add_member_prob: 0.4,
+            virtual_prob: 0.2,
+            pool_member_prob: 0.7,
+            seed: 0,
+        }
+    }
+}
+
+impl EditScriptConfig {
+    /// An edit history over a realistic (mostly-unambiguous) codebase:
+    /// the E18 workload shape.
+    pub fn realistic(classes: usize, edits: usize, seed: u64) -> Self {
+        EditScriptConfig {
+            base: RandomConfig::realistic(classes, seed),
+            edits,
+            seed: seed.wrapping_add(0x9E37_79B9),
+            ..Self::default()
+        }
+    }
+
+    /// An edit history over a small clash-heavy hierarchy, for
+    /// differential testing of the incremental engine.
+    pub fn stress(edits: usize, seed: u64) -> Self {
+        EditScriptConfig {
+            base: RandomConfig::stress(seed),
+            edits,
+            add_class_prob: 0.2,
+            add_member_prob: 0.45,
+            virtual_prob: 0.35,
+            pool_member_prob: 0.85,
+            seed: seed.wrapping_add(0x1234_5678),
+        }
+    }
+}
+
+/// Generates a base hierarchy and an edit sequence valid against it.
+///
+/// Replaying the returned edits in order (individually or as one
+/// batch) against the returned [`Chg`] never fails: the generator
+/// tracks the evolving graph's classes, members, and edges. Class ids
+/// referenced by later edits rely on the builder's deterministic
+/// id assignment — the `j`-th class created after the base gets index
+/// `base_classes + j`.
+pub fn edit_script(cfg: &EditScriptConfig) -> (Chg, Vec<Edit>) {
+    let base = random_hierarchy(&cfg.base);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Mirrored state of the evolving graph.
+    let mut class_count = base.class_count();
+    let mut declared: HashSet<(usize, String)> = HashSet::new();
+    let mut edges: HashSet<(usize, usize)> = HashSet::new();
+    for c in base.classes() {
+        for &(m, _) in base.declared_members(c) {
+            declared.insert((c.index(), base.member_name(m).to_string()));
+        }
+        for spec in base.direct_bases(c) {
+            edges.insert((c.index(), spec.base.index()));
+        }
+    }
+
+    let mut edits = Vec::with_capacity(cfg.edits);
+    let mut fresh_classes = 0usize;
+    let mut fresh_members = 0usize;
+    while edits.len() < cfg.edits {
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        if roll < cfg.add_class_prob || class_count < 2 {
+            edits.push(Edit::AddClass {
+                name: format!("X{fresh_classes}"),
+            });
+            fresh_classes += 1;
+            class_count += 1;
+        } else if roll < cfg.add_class_prob + cfg.add_member_prob {
+            // Recent-biased target class; resample name clashes away.
+            let mut placed = false;
+            for _ in 0..8 {
+                let a = rng.gen_range(0..class_count);
+                let b = rng.gen_range(0..class_count);
+                let target = a.max(b);
+                let name = if rng.gen_bool(cfg.pool_member_prob) {
+                    format!("m{}", rng.gen_range(0..cfg.base.member_pool.max(1)))
+                } else {
+                    fresh_members += 1;
+                    format!("x{}", fresh_members - 1)
+                };
+                if declared.insert((target, name.clone())) {
+                    edits.push(Edit::AddMember {
+                        class: ClassId::from_index(target),
+                        name,
+                        decl: MemberDecl::public(MemberKind::Data),
+                    });
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                // Pool saturated around the sampled classes; grow
+                // instead so the script keeps its length.
+                edits.push(Edit::AddClass {
+                    name: format!("X{fresh_classes}"),
+                });
+                fresh_classes += 1;
+                class_count += 1;
+            }
+        } else {
+            // New edge: derived strictly after base in creation order,
+            // which keeps the graph acyclic by construction.
+            let mut placed = false;
+            for _ in 0..8 {
+                let a = rng.gen_range(1..class_count);
+                let b = rng.gen_range(1..class_count);
+                let derived = a.max(b);
+                let base_idx = rng.gen_range(0..derived);
+                if edges.insert((derived, base_idx)) {
+                    let inheritance = if rng.gen_bool(cfg.virtual_prob) {
+                        Inheritance::Virtual
+                    } else {
+                        Inheritance::NonVirtual
+                    };
+                    edits.push(Edit::AddEdge {
+                        derived: ClassId::from_index(derived),
+                        base: ClassId::from_index(base_idx),
+                        inheritance,
+                        access: Access::Public,
+                    });
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                edits.push(Edit::AddClass {
+                    name: format!("X{fresh_classes}"),
+                });
+                fresh_classes += 1;
+                class_count += 1;
+            }
+        }
+    }
+    (base, edits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::apply_edits;
+
+    #[test]
+    fn scripts_replay_cleanly_one_edit_at_a_time() {
+        for seed in 0..6 {
+            let (base, edits) = edit_script(&EditScriptConfig::stress(40, seed));
+            let mut g = base;
+            for (i, edit) in edits.iter().enumerate() {
+                g = apply_edits(&g, std::slice::from_ref(edit))
+                    .unwrap_or_else(|e| panic!("seed {seed}, edit {i} ({edit:?}): {e}"));
+            }
+            assert_eq!(g.generation(), edits.len() as u64);
+        }
+    }
+
+    #[test]
+    fn scripts_replay_cleanly_as_one_batch() {
+        let (base, edits) = edit_script(&EditScriptConfig::realistic(80, 50, 3));
+        assert_eq!(edits.len(), 50);
+        let g = apply_edits(&base, &edits).unwrap();
+        assert!(g.class_count() >= base.class_count());
+        assert_eq!(g.generation(), 1);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = EditScriptConfig::realistic(40, 30, 9);
+        let (_, a) = edit_script(&cfg);
+        let (_, b) = edit_script(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn produces_all_three_edit_kinds() {
+        let (_, edits) = edit_script(&EditScriptConfig {
+            edits: 120,
+            ..EditScriptConfig::default()
+        });
+        assert!(edits.iter().any(|e| matches!(e, Edit::AddClass { .. })));
+        assert!(edits.iter().any(|e| matches!(e, Edit::AddMember { .. })));
+        assert!(edits.iter().any(|e| matches!(e, Edit::AddEdge { .. })));
+    }
+
+    #[test]
+    fn new_edges_respect_creation_order() {
+        let (base, edits) = edit_script(&EditScriptConfig::realistic(60, 80, 11));
+        let base_classes = base.class_count();
+        let mut count = base_classes;
+        for edit in &edits {
+            match edit {
+                Edit::AddClass { .. } => count += 1,
+                Edit::AddEdge { derived, base, .. } => {
+                    assert!(base.index() < derived.index());
+                    assert!(derived.index() < count);
+                }
+                Edit::AddMember { class, .. } => assert!(class.index() < count),
+            }
+        }
+    }
+}

@@ -59,8 +59,10 @@ pub fn stacked_diamonds(k: usize, joins: Inheritance) -> Chg {
         let next = b.class(&format!("D{i}"));
         b.derive(left, top, joins).expect("fresh edge");
         b.derive(right, top, joins).expect("fresh edge");
-        b.derive(next, left, Inheritance::NonVirtual).expect("fresh edge");
-        b.derive(next, right, Inheritance::NonVirtual).expect("fresh edge");
+        b.derive(next, left, Inheritance::NonVirtual)
+            .expect("fresh edge");
+        b.derive(next, right, Inheritance::NonVirtual)
+            .expect("fresh edge");
         top = next;
     }
     b.finish().expect("diamond stacks are acyclic")
@@ -84,8 +86,10 @@ pub fn stacked_diamonds_overridden(k: usize, joins: Inheritance) -> Chg {
         b.member(next, "m");
         b.derive(left, top, joins).expect("fresh edge");
         b.derive(right, top, joins).expect("fresh edge");
-        b.derive(next, left, Inheritance::NonVirtual).expect("fresh edge");
-        b.derive(next, right, Inheritance::NonVirtual).expect("fresh edge");
+        b.derive(next, left, Inheritance::NonVirtual)
+            .expect("fresh edge");
+        b.derive(next, right, Inheritance::NonVirtual)
+            .expect("fresh edge");
         top = next;
     }
     b.finish().expect("diamond stacks are acyclic")
@@ -106,7 +110,8 @@ pub fn wide_diamond(width: usize, root_edges: Inheritance) -> Chg {
     for i in 0..width {
         let mid = b.class(&format!("Mid{i}"));
         b.derive(mid, root, root_edges).expect("fresh edge");
-        b.derive(bottom, mid, Inheritance::NonVirtual).expect("fresh edge");
+        b.derive(bottom, mid, Inheritance::NonVirtual)
+            .expect("fresh edge");
     }
     b.finish().expect("diamonds are acyclic")
 }
@@ -150,7 +155,8 @@ pub fn interface_heavy(impls: usize, per_class: usize) -> Chg {
     b.member(prev, "run");
     for i in 1..impls {
         let c = b.class(&format!("Impl{i}"));
-        b.derive(c, prev, Inheritance::NonVirtual).expect("fresh edge");
+        b.derive(c, prev, Inheritance::NonVirtual)
+            .expect("fresh edge");
         for j in 0..per_class {
             let iface = b.class(&format!("I{i}_{j}"));
             b.member_with(
@@ -159,7 +165,8 @@ pub fn interface_heavy(impls: usize, per_class: usize) -> Chg {
                 cpplookup_chg::MemberDecl::public(cpplookup_chg::MemberKind::Function),
             )
             .expect("fresh member");
-            b.derive(c, iface, Inheritance::NonVirtual).expect("fresh edge");
+            b.derive(c, iface, Inheritance::NonVirtual)
+                .expect("fresh edge");
         }
         prev = c;
     }
@@ -181,12 +188,20 @@ pub fn grid(w: usize, h: usize) -> Chg {
             let c = b.class(&format!("G{i}_{j}"));
             ids[i][j] = Some(c);
             if i > 0 {
-                b.derive(c, ids[i - 1][j].expect("built row-major"), Inheritance::NonVirtual)
-                    .expect("fresh edge");
+                b.derive(
+                    c,
+                    ids[i - 1][j].expect("built row-major"),
+                    Inheritance::NonVirtual,
+                )
+                .expect("fresh edge");
             }
             if j > 0 {
-                b.derive(c, ids[i][j - 1].expect("built row-major"), Inheritance::NonVirtual)
-                    .expect("fresh edge");
+                b.derive(
+                    c,
+                    ids[i][j - 1].expect("built row-major"),
+                    Inheritance::NonVirtual,
+                )
+                .expect("fresh edge");
             }
         }
     }
@@ -253,7 +268,10 @@ mod tests {
         let t = LookupTable::build(&g);
         let bottom = g.class_by_name("D5").unwrap();
         let m = g.member_by_name("m").unwrap();
-        assert!(matches!(t.lookup(bottom, m), LookupOutcome::Ambiguous { .. }));
+        assert!(matches!(
+            t.lookup(bottom, m),
+            LookupOutcome::Ambiguous { .. }
+        ));
         let blowup = measure_blowup(&g, 100_000);
         assert!(blowup.max_subobjects.unwrap() >= 32);
     }
@@ -315,7 +333,10 @@ mod tests {
         let m = g.member_by_name("m").unwrap();
         // Only one declaration: many paths, one subobject per path... all
         // definitions share ldc and the fixed parts differ, so ambiguous.
-        assert!(matches!(t.lookup(corner, m), LookupOutcome::Ambiguous { .. }));
+        assert!(matches!(
+            t.lookup(corner, m),
+            LookupOutcome::Ambiguous { .. }
+        ));
         let blowup = measure_blowup(&g, 1_000_000);
         assert!(blowup.max_subobjects.unwrap() >= 70, "binomial growth");
     }

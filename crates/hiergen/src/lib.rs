@@ -10,7 +10,10 @@
 //! * [`random_hierarchy`] — seeded random DAGs with tunable parameters,
 //!   including a [`RandomConfig::stress`] preset for differential testing
 //!   and a [`RandomConfig::realistic`] preset for the mostly-unambiguous
-//!   regime.
+//!   regime,
+//! * [`edit_script`] — growth histories (base hierarchy + always-valid
+//!   edit sequence) for the incremental engine's experiments and
+//!   differential tests.
 //!
 //! # Examples
 //!
@@ -24,7 +27,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod edits;
 pub mod families;
 mod random;
 
+pub use edits::{edit_script, EditScriptConfig};
 pub use random::{random_hierarchy, RandomConfig};

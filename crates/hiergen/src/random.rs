@@ -92,7 +92,9 @@ impl RandomConfig {
 pub fn random_hierarchy(cfg: &RandomConfig) -> Chg {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut b = ChgBuilder::new();
-    let ids: Vec<_> = (0..cfg.classes).map(|i| b.class(&format!("K{i}"))).collect();
+    let ids: Vec<_> = (0..cfg.classes)
+        .map(|i| b.class(&format!("K{i}")))
+        .collect();
     for (i, &c) in ids.iter().enumerate().skip(1) {
         let mut bases = 1;
         while bases < cfg.max_bases && rng.gen_bool(cfg.extra_base_prob) {
@@ -125,7 +127,8 @@ pub fn random_hierarchy(cfg: &RandomConfig) -> Chg {
             }
         }
     }
-    b.finish().expect("generation preserves topological creation order")
+    b.finish()
+        .expect("generation preserves topological creation order")
 }
 
 #[cfg(test)]
@@ -152,8 +155,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = random_hierarchy(&RandomConfig { seed: 1, ..RandomConfig::default() });
-        let b = random_hierarchy(&RandomConfig { seed: 2, ..RandomConfig::default() });
+        let a = random_hierarchy(&RandomConfig {
+            seed: 1,
+            ..RandomConfig::default()
+        });
+        let b = random_hierarchy(&RandomConfig {
+            seed: 2,
+            ..RandomConfig::default()
+        });
         // Extremely unlikely to coincide: compare edge multiset sizes per class.
         let same = a
             .classes()
@@ -193,7 +202,11 @@ mod tests {
     #[test]
     fn respects_class_count_and_validity() {
         for seed in 0..5 {
-            let cfg = RandomConfig { classes: 30, seed, ..RandomConfig::default() };
+            let cfg = RandomConfig {
+                classes: 30,
+                seed,
+                ..RandomConfig::default()
+            };
             let g = random_hierarchy(&cfg);
             assert_eq!(g.class_count(), 30);
             // Valid topological structure: bases precede derived classes.

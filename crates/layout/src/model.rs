@@ -115,7 +115,10 @@ impl NvLayouts {
             });
         }
         NvLayouts {
-            layouts: layouts.into_iter().map(|l| l.expect("all computed")).collect(),
+            layouts: layouts
+                .into_iter()
+                .map(|l| l.expect("all computed"))
+                .collect(),
             needs_vptr,
         }
     }
@@ -145,12 +148,7 @@ impl NvLayouts {
 pub fn virtual_base_order(chg: &Chg, c: ClassId) -> Vec<ClassId> {
     let mut seen: HashMap<ClassId, ()> = HashMap::new();
     let mut order = Vec::new();
-    fn dfs(
-        chg: &Chg,
-        x: ClassId,
-        seen: &mut HashMap<ClassId, ()>,
-        order: &mut Vec<ClassId>,
-    ) {
+    fn dfs(chg: &Chg, x: ClassId, seen: &mut HashMap<ClassId, ()>, order: &mut Vec<ClassId>) {
         for spec in chg.direct_bases(x) {
             if spec.inheritance.is_virtual() && !seen.contains_key(&spec.base) {
                 seen.insert(spec.base, ());
@@ -194,8 +192,8 @@ mod tests {
         assert!(!nv.needs_vptr(s));
         assert_eq!(nv.of(s).vptr, None);
         assert_eq!(nv.of(s).size, SLOT); // one int slot
-        // A : virtual S { int m; } — vptr (virtual base) + its own m;
-        // the virtual S is NOT part of the non-virtual part.
+                                         // A : virtual S { int m; } — vptr (virtual base) + its own m;
+                                         // the virtual S is NOT part of the non-virtual part.
         let a = g.class_by_name("A").unwrap();
         assert!(nv.needs_vptr(a));
         assert_eq!(nv.of(a).size, 2 * SLOT);

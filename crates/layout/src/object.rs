@@ -148,11 +148,12 @@ impl ObjectLayout {
         let mut rows: Vec<(u64, String)> = Vec::new();
         for id in self.graph.iter() {
             let so = self.graph.subobject(id);
-            let virt = if so.is_virtually_anchored() { " (virtual)" } else { "" };
-            rows.push((
-                self.offset(id),
-                format!("{}{}", so.display(chg), virt),
-            ));
+            let virt = if so.is_virtually_anchored() {
+                " (virtual)"
+            } else {
+                ""
+            };
+            rows.push((self.offset(id), format!("{}{}", so.display(chg), virt)));
         }
         for (id, m, off) in self.all_field_slots(nv) {
             let class = self.graph.subobject(id).class();

@@ -66,12 +66,7 @@ impl Vtables {
     /// Slots bind with the *complete* class's lookup (dynamic dispatch —
     /// the Rossie–Friedman `dyn`); the adjustment is computed from the
     /// recovered winning path's subobject.
-    pub fn compute(
-        chg: &Chg,
-        nv: &NvLayouts,
-        layout: &ObjectLayout,
-        table: &LookupTable,
-    ) -> Self {
+    pub fn compute(chg: &Chg, nv: &NvLayouts, layout: &ObjectLayout, table: &LookupTable) -> Self {
         let complete = layout.complete();
         let graph = layout.graph();
 
@@ -81,10 +76,7 @@ impl Vtables {
         for id in graph.iter() {
             let class = graph.subobject(id).class();
             if let Some(rel) = nv.of(class).vptr {
-                groups
-                    .entry(layout.offset(id) + rel)
-                    .or_default()
-                    .push(id);
+                groups.entry(layout.offset(id) + rel).or_default().push(id);
             }
         }
 
@@ -97,16 +89,15 @@ impl Vtables {
 
             // Slots: every callable member name visible in the outermost
             // class of the group, in member-id order.
-            let mut members: Vec<MemberId> = chg
-                .member_ids()
-                .filter(|&m| {
-                    chg.is_member_visible(outermost_class, m)
-                        && chg
-                            .declaring_classes(m)
-                            .iter()
-                            .any(|&d| chg.member_decl(d, m).is_some_and(|x| x.kind.is_function()))
-                })
-                .collect();
+            let mut members: Vec<MemberId> =
+                chg.member_ids()
+                    .filter(|&m| {
+                        chg.is_member_visible(outermost_class, m)
+                            && chg.declaring_classes(m).iter().any(|&d| {
+                                chg.member_decl(d, m).is_some_and(|x| x.kind.is_function())
+                            })
+                    })
+                    .collect();
             members.sort();
 
             let mut slots = Vec::new();
@@ -163,7 +154,12 @@ impl Vtables {
                 .iter()
                 .map(|&id| layout.graph().subobject(id).display(chg).to_string())
                 .collect();
-            let _ = writeln!(out, "  vptr @ {:>3} ({})", t.vptr_offset, covers.join(" = "));
+            let _ = writeln!(
+                out,
+                "  vptr @ {:>3} ({})",
+                t.vptr_offset,
+                covers.join(" = ")
+            );
             for slot in &t.slots {
                 match slot {
                     VtableSlot::Bound {
@@ -185,11 +181,8 @@ impl Vtables {
                         );
                     }
                     VtableSlot::Ambiguous { member } => {
-                        let _ = writeln!(
-                            out,
-                            "    {:<10} -> <ambiguous>",
-                            chg.member_name(*member)
-                        );
+                        let _ =
+                            writeln!(out, "    {:<10} -> <ambiguous>", chg.member_name(*member));
                     }
                 }
             }
@@ -235,12 +228,16 @@ mod tests {
         }
         // Right's table: same final overrider, adjustment -8 (thunk).
         match &vt.at_offset(8).unwrap().slots[0] {
-            VtableSlot::Bound { this_adjustment, .. } => assert_eq!(*this_adjustment, -8),
+            VtableSlot::Bound {
+                this_adjustment, ..
+            } => assert_eq!(*this_adjustment, -8),
             other => panic!("{other:?}"),
         }
         // Shared Top's table: thunk back to offset 0 (-16).
         match &vt.at_offset(16).unwrap().slots[0] {
-            VtableSlot::Bound { this_adjustment, .. } => assert_eq!(*this_adjustment, -16),
+            VtableSlot::Bound {
+                this_adjustment, ..
+            } => assert_eq!(*this_adjustment, -16),
             other => panic!("{other:?}"),
         }
     }
@@ -274,7 +271,9 @@ mod tests {
         let d = g.class_by_name("D").unwrap();
         for t in vt.tables() {
             match &t.slots[0] {
-                VtableSlot::Bound { declaring_class, .. } => {
+                VtableSlot::Bound {
+                    declaring_class, ..
+                } => {
                     assert_eq!(*declaring_class, d)
                 }
                 other => panic!("{other:?}"),

@@ -284,10 +284,7 @@ mod tests {
         let sg = SubobjectGraph::build(&g, e, 100).unwrap();
         assert_eq!(sg.len(), 7);
         let names = ids_by_display(&g, &sg);
-        assert_eq!(
-            names,
-            vec!["ABCE", "ABDE", "BCE", "BDE", "CE", "DE", "E"]
-        );
+        assert_eq!(names, vec!["ABCE", "ABDE", "BCE", "BDE", "CE", "DE", "E"]);
     }
 
     #[test]
@@ -326,17 +323,7 @@ mod tests {
         let names = ids_by_display(&g, &sg);
         assert_eq!(
             names,
-            vec![
-                "ABD in H",
-                "ACD in H",
-                "BD in H",
-                "CD in H",
-                "D in H",
-                "EFH",
-                "FH",
-                "GH",
-                "H"
-            ]
+            vec!["ABD in H", "ACD in H", "BD in H", "CD in H", "D in H", "EFH", "FH", "GH", "H"]
         );
         let d = g.class_by_name("D").unwrap();
         assert_eq!(sg.subobjects_of_class(d).count(), 1, "D is shared");
@@ -356,7 +343,10 @@ mod tests {
             .id_of(&Subobject::from_path(&g, &Path::parse(&g, "DGH").unwrap()))
             .unwrap();
         let abd = sg
-            .id_of(&Subobject::from_path(&g, &Path::parse(&g, "ABDFH").unwrap()))
+            .id_of(&Subobject::from_path(
+                &g,
+                &Path::parse(&g, "ABDFH").unwrap(),
+            ))
             .unwrap();
         let efh = sg
             .id_of(&Subobject::from_path(&g, &Path::parse(&g, "EFH").unwrap()))
@@ -398,10 +388,7 @@ mod tests {
         let sg = SubobjectGraph::build(&g, e, 100).unwrap();
         assert_eq!(sg.len(), 6);
         let names = ids_by_display(&g, &sg);
-        assert_eq!(
-            names,
-            vec!["A in E", "B in E", "CDE", "DE", "E", "S in E"]
-        );
+        assert_eq!(names, vec!["A in E", "B in E", "CDE", "DE", "E", "S in E"]);
         // The C subobject dominates both the A and the B subobjects.
         let cde = sg
             .id_of(&Subobject::from_path(&g, &Path::parse(&g, "CDE").unwrap()))

@@ -43,7 +43,9 @@ impl fmt::Display for IsoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IsoError::Budget { limit } => write!(f, "path enumeration exceeded {limit} paths"),
-            IsoError::NotBijective { detail } => write!(f, "canonicalization not bijective: {detail}"),
+            IsoError::NotBijective { detail } => {
+                write!(f, "canonicalization not bijective: {detail}")
+            }
             IsoError::OrderMismatch { detail } => write!(f, "dominance order mismatch: {detail}"),
         }
     }
@@ -83,7 +85,9 @@ pub fn enumerate_paths_to(chg: &Chg, mdc: ClassId, limit: usize) -> Result<Vec<P
 /// `class_members` must contain every path of `beta`'s `≈`-class (e.g. as
 /// produced by [`equivalence_classes`]).
 pub fn path_dominates(alpha: &Path, beta_class_members: &[Path]) -> bool {
-    beta_class_members.iter().any(|beta| alpha.is_suffix_of(beta))
+    beta_class_members
+        .iter()
+        .any(|beta| alpha.is_suffix_of(beta))
 }
 
 /// Groups paths ending at a common `mdc` into `≈`-equivalence classes,
@@ -134,10 +138,7 @@ pub fn check_theorem1(chg: &Chg, complete: ClassId, limit: usize) -> Result<(), 
             Some(id) => ids.push((so.clone(), id)),
             None => {
                 return Err(IsoError::NotBijective {
-                    detail: format!(
-                        "equivalence class {} has no subobject",
-                        so.display(chg)
-                    ),
+                    detail: format!("equivalence class {} has no subobject", so.display(chg)),
                 })
             }
         }

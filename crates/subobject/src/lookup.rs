@@ -61,11 +61,7 @@ pub fn defns(chg: &Chg, sg: &SubobjectGraph, m: MemberId) -> Vec<SubobjectId> {
 pub fn maximal(sg: &SubobjectGraph, defs: &[SubobjectId]) -> Vec<SubobjectId> {
     defs.iter()
         .copied()
-        .filter(|&u| {
-            !defs
-                .iter()
-                .any(|&v| v != u && sg.dominates(v, u))
-        })
+        .filter(|&u| !defs.iter().any(|&v| v != u && sg.dominates(v, u)))
         .collect()
 }
 
@@ -155,8 +151,8 @@ pub fn lookup_in_class(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cpplookup_chg::{fixtures, Path};
     use crate::subobject::Subobject;
+    use cpplookup_chg::{fixtures, Path};
 
     fn graph_of(g: &Chg, class: &str) -> SubobjectGraph {
         SubobjectGraph::build(g, g.class_by_name(class).unwrap(), 10_000).unwrap()

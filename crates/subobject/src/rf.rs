@@ -50,9 +50,7 @@ pub fn dyn_lookup(
     // class of the graph.
     Ok(match lookup(chg, sg, m) {
         Resolution::Subobject(id) => RfResolution::Subobject(sg.subobject(id).clone()),
-        Resolution::SharedStatic(ids) => {
-            RfResolution::Subobject(sg.subobject(ids[0]).clone())
-        }
+        Resolution::SharedStatic(ids) => RfResolution::Subobject(sg.subobject(ids[0]).clone()),
         Resolution::NotFound => RfResolution::NotFound,
         Resolution::Ambiguous(_) => RfResolution::Ambiguous,
     })

@@ -169,10 +169,7 @@ mod tests {
         let g = stacked_diamonds(10, false);
         let report = measure_blowup(&g, 64);
         assert!(report.over_budget > 0);
-        assert!(report
-            .per_class
-            .iter()
-            .any(|c| c.subobjects.is_none()));
+        assert!(report.per_class.iter().any(|c| c.subobjects.is_none()));
     }
 
     #[test]

@@ -270,7 +270,10 @@ mod tests {
         let outer = Subobject::from_path(&g, &Path::parse(&g, "DE").unwrap());
         let inner = Subobject::from_path(&g, &Path::parse(&g, "ABD").unwrap());
         let composed = outer.compose(&inner);
-        assert_eq!(composed, Subobject::from_path(&g, &Path::parse(&g, "ABDE").unwrap()));
+        assert_eq!(
+            composed,
+            Subobject::from_path(&g, &Path::parse(&g, "ABDE").unwrap())
+        );
         assert_eq!(composed.complete(), e);
     }
 
@@ -282,7 +285,10 @@ mod tests {
         let outer = Subobject::from_path(&g, &Path::parse(&g, "FH").unwrap());
         let inner = Subobject::from_path(&g, &Path::parse(&g, "DF").unwrap());
         let composed = outer.compose(&inner);
-        assert_eq!(composed, Subobject::from_path(&g, &Path::parse(&g, "DFH").unwrap()));
+        assert_eq!(
+            composed,
+            Subobject::from_path(&g, &Path::parse(&g, "DFH").unwrap())
+        );
         assert!(composed.is_virtually_anchored());
     }
 
@@ -321,9 +327,7 @@ impl Subobject {
     pub fn paths(&self, chg: &Chg, limit: usize) -> Result<Vec<Path>, Vec<Path>> {
         let mut result = Vec::new();
         if self.anchor() == self.complete {
-            result.push(
-                Path::new(chg, self.sigma.clone()).expect("sigma follows real edges"),
-            );
+            result.push(Path::new(chg, self.sigma.clone()).expect("sigma follows real edges"));
             return Ok(result);
         }
         // DFS over suffixes from the anchor to the complete class; the

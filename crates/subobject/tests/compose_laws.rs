@@ -30,8 +30,7 @@ fn identity_and_closure_laws() {
 
                 // Closure: composing s with any subobject of a complete
                 // object of s's class yields a subobject of c.
-                let inner_graph =
-                    SubobjectGraph::build(&g, s.class(), 100_000).unwrap();
+                let inner_graph = SubobjectGraph::build(&g, s.class(), 100_000).unwrap();
                 for iid in inner_graph.iter() {
                     let composed = s.compose(inner_graph.subobject(iid));
                     assert_eq!(composed.complete(), c);

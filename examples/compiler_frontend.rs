@@ -67,7 +67,10 @@ fn main() {
     let mut report = String::new();
     for query in &analysis.queries {
         let verdict = match &query.result {
-            QueryResult::Resolved { declaring_class, access } => format!(
+            QueryResult::Resolved {
+                declaring_class,
+                access,
+            } => format!(
                 "resolved to {}::{} ({access})",
                 analysis.chg.class_name(*declaring_class),
                 query.member

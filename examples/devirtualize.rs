@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             let targets = call_targets(&chg, &table, c, m);
             if targets.targets.len() > 1 {
-                let names: Vec<&str> =
-                    targets.targets.iter().map(|&t| chg.class_name(t)).collect();
+                let names: Vec<&str> = targets.targets.iter().map(|&t| chg.class_name(t)).collect();
                 println!(
                     "  ({} *)->{}()  may bind to {}",
                     chg.class_name(c),

@@ -24,7 +24,10 @@ fn main() {
         chg.edge_count()
     );
     println!();
-    println!("{:<8} {:<18} {:<22} {:<18}", "class", "paper algorithm", "faithful g++ 2.7.2.1", "corrected BFS");
+    println!(
+        "{:<8} {:<18} {:<22} {:<18}",
+        "class", "paper algorithm", "faithful g++ 2.7.2.1", "corrected BFS"
+    );
 
     let mut wrong = 0usize;
     for i in 1..=stages {
@@ -52,13 +55,20 @@ fn main() {
             }
             other => format!("{other:?}"),
         };
-        println!("{:<8} {:<18} {:<22} {:<18}", format!("E{i}"), ours, faithful, corrected);
+        println!(
+            "{:<8} {:<18} {:<22} {:<18}",
+            format!("E{i}"),
+            ours,
+            faithful,
+            corrected
+        );
     }
 
     println!();
-    println!(
-        "the faithful g++ strategy reported a spurious ambiguity on {wrong}/{stages} stages;"
-    );
+    println!("the faithful g++ strategy reported a spurious ambiguity on {wrong}/{stages} stages;");
     println!("the paper notes 3 of the 7 compilers tried in 1997 shared this bug.");
-    assert_eq!(wrong, stages, "every stage must trip the faithful algorithm");
+    assert_eq!(
+        wrong, stages,
+        "every stage must trip the faithful algorithm"
+    );
 }

@@ -18,7 +18,10 @@ use cpplookup::{LookupOptions, LookupOutcome, LookupTable, Resolution, Subobject
 fn main() {
     // --- Figures 1 & 2 ---------------------------------------------------
     println!("== Figures 1 & 2: non-virtual vs virtual inheritance ==");
-    for (name, g) in [("fig1 (non-virtual)", fixtures::fig1()), ("fig2 (virtual)", fixtures::fig2())] {
+    for (name, g) in [
+        ("fig1 (non-virtual)", fixtures::fig1()),
+        ("fig2 (virtual)", fixtures::fig2()),
+    ] {
         let e = g.class_by_name("E").unwrap();
         let m = g.member_by_name("m").unwrap();
         let t = LookupTable::build(&g);

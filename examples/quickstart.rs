@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One pass over the hierarchy tabulates every lookup.
     let table = LookupTable::build(&chg);
 
-    println!("hierarchy: {} classes, {} edges", chg.class_count(), chg.edge_count());
+    println!(
+        "hierarchy: {} classes, {} edges",
+        chg.class_count(),
+        chg.edge_count()
+    );
     println!();
 
     for class in chg.classes() {
@@ -38,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let outcome = table.lookup(class, member);
             let verdict = match &outcome {
                 LookupOutcome::Resolved { class: decl, .. } => {
-                    format!("resolves to {}::{}", chg.class_name(*decl), chg.member_name(member))
+                    format!(
+                        "resolves to {}::{}",
+                        chg.class_name(*decl),
+                        chg.member_name(member)
+                    )
                 }
                 LookupOutcome::Ambiguous { .. } => "AMBIGUOUS".to_owned(),
                 LookupOutcome::NotFound => unreachable!("members_of only lists visible members"),

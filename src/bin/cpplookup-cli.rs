@@ -10,10 +10,13 @@
 //! cpplookup-cli audit  <file.cpp>            ambiguity lint + subobject blowup report
 //! cpplookup-cli dot    <file.cpp>            Graphviz export of the class hierarchy
 //! cpplookup-cli export <file.cpp>            JSON export of the class hierarchy
+//! cpplookup-cli batch  <file.cpp>            answer `class member` query pairs from stdin
+//!                                            via the concurrent lookup engine; engine
+//!                                            statistics go to stderr on exit
 //! ```
 //!
-//! Exit status: 0 on success, 1 on resolution errors (`check`), 2 on
-//! usage/IO errors.
+//! Exit status: 0 on success, 1 on resolution errors (`check`) or
+//! unknown query names (`batch`), 2 on usage/IO errors.
 
 use std::process::ExitCode;
 
@@ -24,10 +27,10 @@ use cpplookup::layout::{NvLayouts, ObjectLayout, Vtables};
 use cpplookup::lookup::dispatch::build_dispatch_map;
 use cpplookup::lookup::trace::{render_trace, trace_member, trace_to_dot};
 use cpplookup::subobject::stats::count_subobjects;
-use cpplookup::{LookupOptions, LookupOutcome};
+use cpplookup::{EngineOptions, LookupEngine, LookupOptions, LookupOutcome};
 
 const USAGE: &str =
-    "usage: cpplookup-cli <check|table|trace|layout|audit|dot|export> <file.cpp> [args]";
+    "usage: cpplookup-cli <check|table|trace|layout|audit|dot|export|batch> <file.cpp> [args]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +69,7 @@ fn main() -> ExitCode {
             println!("{}", ChgSpec::from_chg(&analysis.chg).to_json());
             ExitCode::SUCCESS
         }
+        "batch" => batch(&analysis),
         other => {
             eprintln!("cpplookup-cli: unknown command `{other}`\n{USAGE}");
             ExitCode::from(2)
@@ -76,7 +80,10 @@ fn main() -> ExitCode {
 fn check(analysis: &Analysis, file: &str, source: &str) -> ExitCode {
     for query in &analysis.queries {
         let verdict = match &query.result {
-            cpplookup::frontend::QueryResult::Resolved { declaring_class, access } => {
+            cpplookup::frontend::QueryResult::Resolved {
+                declaring_class,
+                access,
+            } => {
                 format!(
                     "ok: {}::{} ({access})",
                     analysis.chg.class_name(*declaring_class),
@@ -120,6 +127,75 @@ fn table(analysis: &Analysis) {
             };
             println!("  {:<12} -> {line}", chg.member_name(m));
         }
+    }
+}
+
+/// Reads whitespace-separated `class member` pairs from stdin (blank
+/// lines and `#` comments skipped), answers them all through a
+/// [`LookupEngine`] batch, and reports the engine's statistics to
+/// stderr at the end.
+fn batch(analysis: &Analysis) -> ExitCode {
+    use std::io::BufRead;
+
+    let engine = LookupEngine::with_options(analysis.chg.clone(), EngineOptions::parallel(4));
+    let chg = engine.chg();
+    let mut labels: Vec<String> = Vec::new();
+    let mut resolved: Vec<Result<(cpplookup::ClassId, cpplookup::MemberId), String>> = Vec::new();
+    for line in std::io::stdin().lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cpplookup-cli: cannot read stdin: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let (Some(class), Some(member), None) = (words.next(), words.next(), words.next()) else {
+            labels.push(line.to_owned());
+            resolved.push(Err("expected `class member`".to_owned()));
+            continue;
+        };
+        labels.push(format!("{class}::{member}"));
+        resolved.push(
+            match (chg.class_by_name(class), chg.member_by_name(member)) {
+                (Some(c), Some(m)) => Ok((c, m)),
+                (None, _) => Err(format!("no class named `{class}`")),
+                (_, None) => Err(format!("no member named `{member}`")),
+            },
+        );
+    }
+
+    let queries: Vec<_> = resolved
+        .iter()
+        .filter_map(|r| r.as_ref().ok().copied())
+        .collect();
+    let mut outcomes = engine.lookup_batch(&queries).into_iter();
+    let mut failed = false;
+    for (label, slot) in labels.iter().zip(&resolved) {
+        let verdict = match slot {
+            Err(e) => {
+                failed = true;
+                format!("error: {e}")
+            }
+            Ok((_, m)) => match outcomes.next().expect("one outcome per valid query") {
+                LookupOutcome::Resolved { class, .. } => {
+                    format!("{}::{}", chg.class_name(class), chg.member_name(*m))
+                }
+                LookupOutcome::Ambiguous { .. } => "ambiguous".to_owned(),
+                LookupOutcome::NotFound => "not found".to_owned(),
+            },
+        };
+        println!("{label:<24} {verdict}");
+    }
+    eprintln!("{}", engine.stats());
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -185,15 +261,8 @@ fn audit(analysis: &Analysis) {
     );
     for c in chg.classes() {
         for m in analysis.table.members_of(c).collect::<Vec<_>>() {
-            if matches!(
-                analysis.table.lookup(c, m),
-                LookupOutcome::Ambiguous { .. }
-            ) {
-                println!(
-                    "  ambiguous: {}::{}",
-                    chg.class_name(c),
-                    chg.member_name(m)
-                );
+            if matches!(analysis.table.lookup(c, m), LookupOutcome::Ambiguous { .. }) {
+                println!("  ambiguous: {}::{}", chg.class_name(c), chg.member_name(m));
             }
         }
     }

@@ -67,6 +67,31 @@
 //! );
 //! assert_eq!(analysis.queries[0].result, QueryResult::AmbiguousMember);
 //! ```
+//!
+//! For long-lived tooling (language servers, incremental compilers),
+//! [`LookupEngine`] owns the hierarchy, serves concurrent queries from a
+//! sharded cache, and survives edits by incremental invalidation:
+//!
+//! ```
+//! use cpplookup::{chg::fixtures, LookupEngine, MemberLookup};
+//!
+//! let mut engine = LookupEngine::new(fixtures::fig2());
+//! let e = engine.chg().class_by_name("E").unwrap();
+//! let m = engine.chg().member_by_name("m").unwrap();
+//! assert!(engine.lookup(e, m).is_resolved());
+//!
+//! // Hierarchies grow during parsing; only the dirty entries recompute.
+//! engine.add_member(e, "fresh").unwrap();
+//! let fresh = engine.chg().member_by_name("fresh").unwrap();
+//! assert!(engine.lookup(e, fresh).is_resolved());
+//! println!("{}", engine.stats());
+//!
+//! // `MemberLookup` unifies the engine, the tables, and the baselines.
+//! fn answer(l: &mut dyn MemberLookup, c: cpplookup::ClassId, m: cpplookup::MemberId) -> bool {
+//!     l.lookup(c, m).is_resolved()
+//! }
+//! assert!(answer(&mut engine, e, m));
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -80,11 +105,13 @@ pub use cpplookup_layout as layout;
 pub use cpplookup_subobject as subobject;
 
 pub use cpplookup_chg::{
-    Access, Chg, ChgBuilder, ChgError, ClassId, Inheritance, MemberDecl, MemberId, MemberKind,
-    Path,
+    apply_edits, Access, Chg, ChgBuilder, ChgError, ClassId, Edit, Inheritance, MemberDecl,
+    MemberId, MemberKind, Path,
 };
+#[allow(deprecated)]
+pub use cpplookup_core::build_table_parallel;
 pub use cpplookup_core::{
-    build_table_parallel, LazyLookup, LeastVirtual, LookupOptions, LookupOutcome, LookupTable,
-    RedAbs, StaticRule,
+    EngineBacking, EngineOptions, EngineStats, LazyLookup, LeastVirtual, LookupEngine,
+    LookupOptions, LookupOutcome, LookupTable, MemberLookup, RedAbs, StaticRule,
 };
 pub use cpplookup_subobject::{Resolution, Subobject, SubobjectGraph};

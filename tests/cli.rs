@@ -92,6 +92,64 @@ fn table_trace_layout_audit_dot_all_work() {
     let _ = std::fs::remove_file(path);
 }
 
+fn run_with_stdin(args: &[&str], input: &str) -> (String, String, Option<i32>) {
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cpplookup-cli"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn batch_answers_queries_and_prints_engine_stats() {
+    let path = write_temp(FIG9);
+    let queries = "# fig9 queries\n\
+                   E m\n\
+                   C m\n\
+                   S m\n\n";
+    let (stdout, stderr, code) = run_with_stdin(&["batch", path.to_str().unwrap()], queries);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(
+        stdout.contains("E::m") && stdout.contains("C::m"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("S::m"), "{stdout}");
+    // Engine statistics land on stderr.
+    assert!(stderr.contains("lookups: 3"), "{stderr}");
+    assert!(stderr.contains("edits: 0"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn batch_flags_unknown_names_with_exit_code_1() {
+    let path = write_temp(FIG9);
+    let queries = "E m\nNoSuchClass m\nE nosuchmember\nmalformed\n";
+    let (stdout, stderr, code) = run_with_stdin(&["batch", path.to_str().unwrap()], queries);
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(stdout.contains("no class named `NoSuchClass`"), "{stdout}");
+    assert!(
+        stdout.contains("no member named `nosuchmember`"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("expected `class member`"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
 #[test]
 fn usage_errors_exit_2() {
     let (_, stderr, code) = run(&[]);

@@ -6,15 +6,16 @@
 //! algorithm: hundreds of ambiguity-rich hierarchies, every class, every
 //! member name, five implementations.
 
+use cpplookup::baselines::adapters::{GxxAdapter, NaiveLookup, TopoShortcut};
 use cpplookup::baselines::gxx::{gxx_lookup_corrected, GxxResult};
 use cpplookup::baselines::naive::{propagate, PropagationConfig};
 use cpplookup::baselines::toposort::toposort_lookup;
-use cpplookup::hiergen::{random_hierarchy, RandomConfig};
+use cpplookup::hiergen::{edit_script, random_hierarchy, EditScriptConfig, RandomConfig};
 use cpplookup::lookup::LazyLookup;
 use cpplookup::subobject::{lookup, lookup_cpp, Resolution, Subobject};
 use cpplookup::{
-    build_table_parallel, Chg, LeastVirtual, LookupOptions, LookupOutcome, LookupTable,
-    StaticRule, SubobjectGraph,
+    apply_edits, Chg, EngineOptions, LeastVirtual, LookupEngine, LookupOptions, LookupOutcome,
+    LookupTable, MemberLookup, StaticRule, SubobjectGraph,
 };
 
 const LIMIT: usize = 200_000;
@@ -61,8 +62,7 @@ fn algorithm_matches_oracle_on_stress_hierarchies() {
             },
         );
         for c in chg.classes() {
-            let sg = SubobjectGraph::build(&chg, c, LIMIT)
-                .expect("stress graphs are small");
+            let sg = SubobjectGraph::build(&chg, c, LIMIT).expect("stress graphs are small");
             for m in chg.member_ids() {
                 // Full C++ semantics (Definition 17).
                 let ours = verdict_of_outcome(&chg, &table_cpp.lookup(c, m));
@@ -113,7 +113,7 @@ fn lazy_and_parallel_match_eager() {
     for seed in 0..100 {
         let chg = random_hierarchy(&RandomConfig::stress(seed));
         let eager = LookupTable::build(&chg);
-        let parallel = build_table_parallel(&chg, LookupOptions::default(), 4);
+        let parallel = LookupTable::build_parallel(&chg, LookupOptions::default(), 4);
         let mut lazy = LazyLookup::new(&chg);
         for c in chg.classes() {
             for m in chg.member_ids() {
@@ -184,13 +184,17 @@ fn naive_propagation_matches_def9_table() {
                 for c in chg.classes() {
                     let ours = table.lookup(c, m);
                     match prop.node(c) {
-                        None => assert_eq!(
-                            ours,
-                            LookupOutcome::NotFound,
-                            "seed={seed} kill={kill}"
-                        ),
+                        None => {
+                            assert_eq!(ours, LookupOutcome::NotFound, "seed={seed} kill={kill}")
+                        }
                         Some(node) => match (&node.most_dominant, &ours) {
-                            (Some(p), LookupOutcome::Resolved { class, least_virtual }) => {
+                            (
+                                Some(p),
+                                LookupOutcome::Resolved {
+                                    class,
+                                    least_virtual,
+                                },
+                            ) => {
                                 assert_eq!(p.ldc(), *class, "seed={seed} kill={kill}");
                                 assert_eq!(
                                     LeastVirtual::of_path(&chg, p),
@@ -244,7 +248,11 @@ fn path_recovery_returns_winning_equivalence_class() {
         for c in chg.classes() {
             let sg = SubobjectGraph::build(&chg, c, LIMIT).expect("small");
             for m in chg.member_ids() {
-                if let LookupOutcome::Resolved { class, least_virtual } = table.lookup(c, m) {
+                if let LookupOutcome::Resolved {
+                    class,
+                    least_virtual,
+                } = table.lookup(c, m)
+                {
                     let path = table
                         .resolve_path(&chg, c, m)
                         .expect("resolved lookups recover a path");
@@ -307,8 +315,9 @@ fn shared_static_sets_match_oracle_maximal_sets() {
                         }
                     })
                     .collect();
-                let our_lvs: BTreeSet<LeastVirtual> =
-                    std::iter::once(abs.lv).chain(shared.iter().copied()).collect();
+                let our_lvs: BTreeSet<LeastVirtual> = std::iter::once(abs.lv)
+                    .chain(shared.iter().copied())
+                    .collect();
                 assert_eq!(
                     our_lvs,
                     oracle_lvs,
@@ -323,7 +332,10 @@ fn shared_static_sets_match_oracle_maximal_sets() {
             }
         }
     }
-    assert!(exercised > 20, "need real shared-static coverage, got {exercised}");
+    assert!(
+        exercised > 20,
+        "need real shared-static coverage, got {exercised}"
+    );
 }
 
 /// Dispatch maps, CHA, and slicing agree with the table they are built
@@ -342,13 +354,11 @@ fn applications_consistent_with_table() {
             for m in chg.member_ids() {
                 // Dispatch rows match the table verdicts for callable
                 // winners.
-                if let Some(DispatchTarget::Bound { declaring_class, .. }) =
-                    dispatch.target(c, m)
+                if let Some(DispatchTarget::Bound {
+                    declaring_class, ..
+                }) = dispatch.target(c, m)
                 {
-                    assert_eq!(
-                        table.lookup(c, m).resolved_class(),
-                        Some(*declaring_class)
-                    );
+                    assert_eq!(table.lookup(c, m).resolved_class(), Some(*declaring_class));
                 }
                 // CHA target sets contain the static type's own winner.
                 if let LookupOutcome::Resolved { class, .. } = table.lookup(c, m) {
@@ -377,6 +387,155 @@ fn applications_consistent_with_table() {
                     other => panic!("slice verdict changed: {other:?} (seed={seed})"),
                 }
             }
+        }
+    }
+}
+
+/// Every `MemberLookup` implementation in the workspace — tables, lazy
+/// cache, all three engine backings, and the baseline adapters — driven
+/// through the one trait, against the eager table. The toposort
+/// shortcut is checked only where it is sound (resolved lookups).
+#[test]
+fn member_lookup_trait_unifies_all_strategies() {
+    for seed in 0..40 {
+        let chg = random_hierarchy(&RandomConfig::stress(seed));
+        let reference = LookupTable::build_with(
+            &chg,
+            LookupOptions {
+                statics: StaticRule::Ignore,
+            },
+        );
+        let options = LookupOptions {
+            statics: StaticRule::Ignore,
+        };
+        let engine_opts = |backing| EngineOptions {
+            lookup: options,
+            ..backing
+        };
+        let mut full_fidelity: Vec<(&str, Box<dyn MemberLookup>)> = vec![
+            ("table", Box::new(LookupTable::build_with(&chg, options))),
+            (
+                "parallel-table",
+                Box::new(LookupTable::build_parallel(&chg, options, 4)),
+            ),
+            (
+                "engine-eager",
+                Box::new(LookupEngine::with_options(
+                    chg.clone(),
+                    engine_opts(EngineOptions::default()),
+                )),
+            ),
+            (
+                "engine-lazy",
+                Box::new(LookupEngine::with_options(
+                    chg.clone(),
+                    engine_opts(EngineOptions::lazy()),
+                )),
+            ),
+            (
+                "engine-parallel",
+                Box::new(LookupEngine::with_options(
+                    chg.clone(),
+                    engine_opts(EngineOptions::parallel(4)),
+                )),
+            ),
+        ];
+        let mut lazy = LazyLookup::with_options(&chg, options);
+        let mut naive = NaiveLookup::new(&chg);
+        let mut gxx = GxxAdapter::corrected(&chg);
+        let mut shortcut = TopoShortcut::new(&chg);
+        for c in chg.classes() {
+            for m in chg.member_ids() {
+                let expected = reference.lookup(c, m);
+                let want = verdict_of_outcome(&chg, &expected);
+                for (name, strategy) in full_fidelity.iter_mut() {
+                    assert_eq!(
+                        verdict_of_outcome(&chg, &strategy.lookup(c, m)),
+                        want,
+                        "{name} seed={seed} ({}, {})",
+                        chg.class_name(c),
+                        chg.member_name(m)
+                    );
+                }
+                assert_eq!(
+                    verdict_of_outcome(&chg, &MemberLookup::lookup(&mut lazy, c, m)),
+                    want,
+                    "lazy seed={seed}"
+                );
+                // Baselines: verdict kind must match (they do not model
+                // shared statics, which StaticRule::Ignore turns off).
+                assert_eq!(
+                    verdict_of_outcome(&chg, &naive.lookup(c, m)),
+                    want,
+                    "naive adapter seed={seed}"
+                );
+                assert_eq!(
+                    verdict_of_outcome(&chg, &gxx.lookup(c, m)),
+                    want,
+                    "gxx adapter seed={seed}"
+                );
+                if let LookupOutcome::Resolved { class, .. } = &expected {
+                    assert_eq!(
+                        shortcut.lookup(c, m).resolved_class(),
+                        Some(*class),
+                        "toposort adapter seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Replaying a random edit script, the incremental engine must stay
+/// equivalent to a from-scratch table AND to the subobject oracle at
+/// every step — the three-way equivalence of the engine's contract.
+#[test]
+fn engine_edit_sequences_match_rebuild_and_oracle() {
+    for seed in 0..12 {
+        let (base, edits) = edit_script(&EditScriptConfig::stress(25, seed));
+        for options in [
+            EngineOptions::default(),
+            EngineOptions::lazy(),
+            EngineOptions::parallel(3),
+        ] {
+            let mut engine = LookupEngine::with_options(base.clone(), options);
+            let mut current = base.clone();
+            for (step, edit) in edits.iter().enumerate() {
+                current = apply_edits(&current, std::slice::from_ref(edit))
+                    .expect("generated edits apply");
+                engine
+                    .apply(std::slice::from_ref(edit))
+                    .expect("generated edits apply");
+                let rebuilt = LookupTable::build(&current);
+                for c in current.classes() {
+                    let sg = SubobjectGraph::build(&current, c, LIMIT).expect("small");
+                    for m in current.member_ids() {
+                        let incremental = engine.entry(c, m);
+                        assert_eq!(
+                            incremental.as_ref(),
+                            rebuilt.entry(c, m),
+                            "engine≠rebuild seed={seed} step={step} {:?} ({}, {})",
+                            options.backing,
+                            current.class_name(c),
+                            current.member_name(m)
+                        );
+                        let ours = verdict_of_outcome(
+                            &current,
+                            &LookupOutcome::from_entry(incremental.as_ref()),
+                        );
+                        let oracle =
+                            verdict_of_resolution(&current, &sg, &lookup_cpp(&current, &sg, m));
+                        assert_eq!(
+                            ours,
+                            oracle,
+                            "engine≠oracle seed={seed} step={step} ({}, {})",
+                            current.class_name(c),
+                            current.member_name(m)
+                        );
+                    }
+                }
+            }
+            assert_eq!(engine.generation(), edits.len() as u64);
         }
     }
 }

@@ -71,7 +71,10 @@ fn shape_library_resolves_as_expected() {
     }
     // describe() resolves to Clickable by dominance, not Object.
     let describe = by_desc("describe");
-    if let QueryResult::Resolved { declaring_class, .. } = describe.result {
+    if let QueryResult::Resolved {
+        declaring_class, ..
+    } = describe.result
+    {
         assert_eq!(analysis.chg.class_name(declaring_class), "Clickable");
     }
 
@@ -92,7 +95,10 @@ fn shape_library_resolves_as_expected() {
         by_desc("button.secret").result,
         QueryResult::AccessDenied { .. }
     ));
-    assert_eq!(by_desc("button.frobnicate").result, QueryResult::NoSuchMember);
+    assert_eq!(
+        by_desc("button.frobnicate").result,
+        QueryResult::NoSuchMember
+    );
 
     // Exactly the three bad accesses produce error diagnostics.
     let errors = analysis
@@ -143,7 +149,10 @@ fn enumerators_static_like_through_replication() {
             .result
     };
     assert!(matches!(result("j.LIMIT"), QueryResult::Resolved { .. }));
-    assert!(matches!(result("j.size_type"), QueryResult::Resolved { .. }));
+    assert!(matches!(
+        result("j.size_type"),
+        QueryResult::Resolved { .. }
+    ));
     assert_eq!(*result("j.payload"), QueryResult::AmbiguousMember);
 }
 
@@ -194,7 +203,9 @@ fn deep_program_roundtrip() {
     let analysis = analyze(&src);
     assert!(analysis.diagnostics.is_empty());
     match &analysis.queries[0].result {
-        QueryResult::Resolved { declaring_class, .. } => {
+        QueryResult::Resolved {
+            declaring_class, ..
+        } => {
             assert_eq!(analysis.chg.class_name(*declaring_class), "C0");
         }
         other => panic!("{other:?}"),

@@ -2,14 +2,14 @@
 //! hierarchies: the lemmas and the theorem of the paper, plus structural
 //! invariants of our data structures.
 
-use cpplookup::hiergen::{random_hierarchy, RandomConfig};
+use cpplookup::hiergen::{edit_script, random_hierarchy, EditScriptConfig, RandomConfig};
 use cpplookup::subobject::isomorphism::{
     check_theorem1_all, enumerate_paths_to, equivalence_classes, path_dominates,
 };
-use cpplookup::subobject::{lookup, Resolution};
+use cpplookup::subobject::{lookup, lookup_cpp, Resolution};
 use cpplookup::{
-    Chg, LeastVirtual, LookupOptions, LookupOutcome, LookupTable, StaticRule, Subobject,
-    SubobjectGraph,
+    Chg, Edit, EngineOptions, LeastVirtual, LookupEngine, LookupOptions, LookupOutcome,
+    LookupTable, StaticRule, Subobject, SubobjectGraph,
 };
 use proptest::prelude::*;
 
@@ -25,7 +25,15 @@ fn small_chg() -> impl Strategy<Value = Chg> {
         any::<u64>(), // seed
     )
         .prop_map(
-            |(classes, extra_base_prob, virtual_prob, member_pool, member_prob, static_prob, seed)| {
+            |(
+                classes,
+                extra_base_prob,
+                virtual_prob,
+                member_pool,
+                member_prob,
+                static_prob,
+                seed,
+            )| {
                 random_hierarchy(&RandomConfig {
                     classes,
                     extra_base_prob,
@@ -38,6 +46,13 @@ fn small_chg() -> impl Strategy<Value = Chg> {
                 })
             },
         )
+}
+
+/// A strategy producing a small clash-heavy base hierarchy plus an edit
+/// script guaranteed to replay cleanly against it.
+fn edit_scripts() -> impl Strategy<Value = (Chg, Vec<Edit>)> {
+    (4usize..24, any::<u64>())
+        .prop_map(|(edits, seed)| edit_script(&EditScriptConfig::stress(edits, seed)))
 }
 
 proptest! {
@@ -193,6 +208,64 @@ proptest! {
                                 chg.class_name(mid)
                             )))
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    /// After any random edit sequence, the incremental engine (each
+    /// backing), a from-scratch `LookupTable::build`, and the subobject
+    /// oracle all agree on every `(class, member)` pair — the engine's
+    /// three-way equivalence contract.
+    #[test]
+    fn engine_after_edit_script_matches_rebuild_and_oracle(
+        (base, edits) in edit_scripts(),
+        backing in 0usize..3,
+    ) {
+        let options = match backing {
+            0 => EngineOptions::default(),
+            1 => EngineOptions::lazy(),
+            _ => EngineOptions::parallel(3),
+        };
+        let mut engine = LookupEngine::with_options(base.clone(), options);
+        let mut current = base;
+        for edit in &edits {
+            current = cpplookup::apply_edits(&current, std::slice::from_ref(edit)).unwrap();
+            engine.apply(std::slice::from_ref(edit)).unwrap();
+        }
+        prop_assert_eq!(engine.generation(), edits.len() as u64);
+        let rebuilt = LookupTable::build(&current);
+        for c in current.classes() {
+            let sg = SubobjectGraph::build(&current, c, 100_000).unwrap();
+            for m in current.member_ids() {
+                let entry = engine.entry(c, m);
+                prop_assert_eq!(
+                    entry.as_ref(),
+                    rebuilt.entry(c, m),
+                    "engine diverged from rebuild at ({}, {})",
+                    current.class_name(c),
+                    current.member_name(m)
+                );
+                let oracle = lookup_cpp(&current, &sg, m);
+                match (LookupOutcome::from_entry(entry.as_ref()), &oracle) {
+                    (LookupOutcome::NotFound, Resolution::NotFound) => {}
+                    (LookupOutcome::Ambiguous { .. }, Resolution::Ambiguous(_)) => {}
+                    (LookupOutcome::Resolved { class, .. }, oracle) => {
+                        prop_assert_eq!(
+                            Some(class),
+                            oracle.resolved_class(&sg),
+                            "winner mismatch at ({}, {})",
+                            current.class_name(c),
+                            current.member_name(m)
+                        );
+                    }
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "engine/oracle mismatch at ({}, {}): {other:?}",
+                            current.class_name(c),
+                            current.member_name(m)
+                        )))
                     }
                 }
             }

@@ -3,7 +3,7 @@
 //! with the layout, and slot bindings agree with the lookup table.
 
 use cpplookup::hiergen::{random_hierarchy, RandomConfig};
-use cpplookup::layout::{NvLayouts, ObjectLayout, Vtables, VtableSlot};
+use cpplookup::layout::{NvLayouts, ObjectLayout, VtableSlot, Vtables};
 use cpplookup::{LookupOutcome, LookupTable};
 
 #[test]
@@ -54,12 +54,10 @@ fn vtable_slots_are_consistent_with_table_and_layout() {
                             }
                             // The adjusted target is a real subobject
                             // offset of the declaring class.
-                            let target =
-                                (t.vptr_offset as i64 + this_adjustment) as u64;
+                            let target = (t.vptr_offset as i64 + this_adjustment) as u64;
                             let hit = layout.graph().iter().any(|id| {
                                 layout.offset(id) == target
-                                    && layout.graph().subobject(id).class()
-                                        == *declaring_class
+                                    && layout.graph().subobject(id).class() == *declaring_class
                             });
                             assert!(hit, "adjustment lands on the overrider (seed {seed})");
                         }

@@ -1,0 +1,228 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the API subset the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — backed by
+//! a simple median-of-samples wall-clock timer instead of criterion's
+//! statistical machinery.
+//!
+//! Like real criterion, running a `harness = false` bench under
+//! `cargo test` (i.e. without `--bench` in the args) executes each
+//! benchmark once as a smoke test rather than timing it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from deleting
+/// a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark manager. One instance is threaded through every
+/// benchmark function of a [`criterion_group!`].
+pub struct Criterion {
+    smoke_test: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test`, bench executables are invoked without
+        // `--bench`; criterion proper treats that as "run each benchmark
+        // once to check it works" and so do we.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            smoke_test: !bench_mode,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Registers and immediately runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = id.to_string();
+        run_one(&label, self.smoke_test, self.sample_size, |b| f(b));
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a benchmark identified by `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.criterion.smoke_test, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Runs `f` as a benchmark identified by `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.smoke_test, self.sample_size, |b| {
+            f(b)
+        });
+        self
+    }
+
+    /// Ends the group. (Reporting happens eagerly; this exists for API
+    /// compatibility.)
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to every benchmark closure; [`iter`](Bencher::iter) does the
+/// timing.
+pub struct Bencher {
+    smoke_test: bool,
+    samples: usize,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median over the configured sample count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke_test {
+            black_box(f());
+            return;
+        }
+        let mut times: Vec<Duration> = (0..self.samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort();
+        self.median = Some(times[times.len() / 2]);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, smoke_test: bool, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        smoke_test,
+        samples,
+        median: None,
+    };
+    f(&mut b);
+    if smoke_test {
+        println!("bench {label}: ok (smoke test)");
+    } else {
+        match b.median {
+            Some(t) => println!("bench {label}: median {t:?} over {samples} samples"),
+            None => println!("bench {label}: no measurement recorded"),
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("adds");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("direct", |b| b.iter(|| black_box(2) + 2));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

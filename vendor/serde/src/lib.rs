@@ -1,0 +1,21 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! crate.
+//!
+//! The build environment has no access to crates.io. The workspace only
+//! references serde behind `cpplookup-chg`'s **off-by-default** `serde`
+//! feature (`#[cfg_attr(feature = "serde", derive(...))]`), so all that
+//! is needed for dependency resolution is a crate with this name and a
+//! `derive` feature. The `Serialize`/`Deserialize` *derive macros* are
+//! deliberately not provided — enabling the `serde` feature downstream
+//! will fail to compile until the real crate is vendored. That is a
+//! conscious trade: the default build (and tier-1 verification) never
+//! enables it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
