@@ -72,6 +72,7 @@ impl MemberLookup for TopoShortcut<'_> {
     }
 
     fn entry(&mut self, c: ClassId, m: MemberId) -> Option<Entry> {
+        cpplookup_core::obs::baseline_query("toposort");
         toposort_lookup(self.chg, c, m).map(|winner| Entry::Red {
             // `generated` is (winner, Ω) — Ω here is a placeholder, not
             // a computed abstraction.
@@ -138,6 +139,11 @@ impl MemberLookup for GxxAdapter<'_> {
     }
 
     fn entry(&mut self, c: ClassId, m: MemberId) -> Option<Entry> {
+        cpplookup_core::obs::baseline_query(if self.corrected {
+            "gxx-corrected"
+        } else {
+            "gxx-faithful"
+        });
         let corrected = self.corrected;
         let chg = self.chg;
         let sg = self.graph(c);
@@ -199,6 +205,7 @@ impl MemberLookup for NaiveLookup<'_> {
     }
 
     fn entry(&mut self, c: ClassId, m: MemberId) -> Option<Entry> {
+        cpplookup_core::obs::baseline_query("naive");
         let (chg, config) = (self.chg, self.config);
         let prop = self
             .cache

@@ -30,10 +30,10 @@ use crate::workloads::{self, Workload};
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
-/// Runs one experiment by id (`"e1"`..`"e18"`), writing its report.
+/// Runs one experiment by id (`"e1"`..`"e19"`), writing its report.
 ///
 /// # Errors
 ///
@@ -59,6 +59,7 @@ pub fn run(id: &str, w: &mut dyn Write) -> io::Result<()> {
         "e16" => e16(w),
         "e17" => e17(w),
         "e18" => e18(w),
+        "e19" => e19(w),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}` (known: {})", ALL.join(", ")),
@@ -789,6 +790,84 @@ fn e18(w: &mut dyn Write) -> io::Result<()> {
     Ok(())
 }
 
+/// E19 — observability overhead: cache-hit query cost on the
+/// instrumented engine with no event sink, a counting sink, and a
+/// buffering sink installed.
+///
+/// The cross-feature comparison (building the whole harness with
+/// `--no-default-features` and rerunning the `single_lookup` bench) is
+/// recorded in `EXPERIMENTS.md`; this experiment measures what a single
+/// binary can: how much the *optional* machinery costs once the `obs`
+/// feature is compiled in.
+fn e19(w: &mut dyn Write) -> io::Result<()> {
+    use cpplookup_core::obs;
+    use std::sync::Arc;
+
+    writeln!(w, "E19: observability overhead on the query hot path")?;
+    writeln!(
+        w,
+        "  obs feature: {}",
+        if cfg!(feature = "obs") {
+            "enabled"
+        } else {
+            "disabled (counters still served; shard/latency/event extras compiled out)"
+        }
+    )?;
+    let wl = workloads::realistic(2000, 7);
+    let engine = LookupEngine::new(wl.chg.clone());
+    let queries: Vec<_> = wl
+        .chg
+        .classes()
+        .flat_map(|c| {
+            let chg = &wl.chg;
+            chg.member_ids().map(move |m| (c, m))
+        })
+        .take(50_000)
+        .collect();
+    engine.lookup_batch(&queries); // warm every shard
+
+    let sinks: [(&str, Option<Arc<dyn obs::EventSink>>); 3] = [
+        ("no sink", None),
+        ("counting sink", Some(Arc::new(obs::CountingSink::new()))),
+        ("memory sink", Some(Arc::new(obs::MemorySink::new()))),
+    ];
+    let mut baseline_ns = 0.0f64;
+    writeln!(
+        w,
+        "  {:<16} {:>12} {:>10} {:>8}",
+        "sink", "batch", "ns/query", "ratio"
+    )?;
+    for (name, sink) in sinks {
+        engine.set_event_sink(sink);
+        let (median, _) = median_time(5, || engine.lookup_batch(&queries));
+        let per_query = median.as_nanos() as f64 / queries.len() as f64;
+        if baseline_ns == 0.0 {
+            baseline_ns = per_query.max(f64::MIN_POSITIVE);
+        }
+        writeln!(
+            w,
+            "  {:<16} {:>12} {:>9.1} {:>7.2}x",
+            name,
+            fmt_duration(median),
+            per_query,
+            per_query / baseline_ns
+        )?;
+    }
+    engine.set_event_sink(None);
+    let snapshot = engine.metrics_snapshot();
+    writeln!(
+        w,
+        "  registry: {} metric series exported for {} queries",
+        snapshot.metrics.len(),
+        engine.stats().lookups
+    )?;
+    writeln!(
+        w,
+        "  [no-sink queries never construct events: one relaxed atomic load gates the path]"
+    )?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -818,7 +897,7 @@ mod tests {
         // Don't run the heavy ones here; just verify dispatch exists by
         // name for every id in ALL (compile-time exhaustiveness is
         // enforced by the match).
-        assert_eq!(ALL.len(), 18);
+        assert_eq!(ALL.len(), 19);
         assert!(ALL.iter().all(|id| id.starts_with('e')));
     }
 }

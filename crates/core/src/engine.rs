@@ -60,8 +60,7 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use cpplookup_chg::{
@@ -70,6 +69,7 @@ use cpplookup_chg::{
 };
 
 use crate::api::MemberLookup;
+use crate::obs::{self, EngineMetrics};
 use crate::result::{Entry, LookupOutcome};
 use crate::table::{compute_entry_with, LookupOptions, LookupTable};
 
@@ -148,22 +148,13 @@ impl EngineOptions {
     }
 }
 
-/// Monotonic event counters. All relaxed: they are statistics, not
-/// synchronization.
-#[derive(Debug, Default)]
-struct Counters {
-    lookups: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    lookup_nanos: AtomicU64,
-    computed: AtomicU64,
-    invalidated: AtomicU64,
-    recomputed: AtomicU64,
-    edits: AtomicU64,
-}
-
 /// A point-in-time snapshot of engine counters, from
 /// [`LookupEngine::stats`].
+///
+/// This is the *compatibility* view: the counters themselves live in
+/// the engine's metrics [`Registry`](crate::obs::Registry) (see
+/// [`LookupEngine::metrics_registry`]), which additionally exposes
+/// per-shard families, histograms, and the Prometheus/JSON exporters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Total queries served (`lookup` + `entry` + batch elements).
@@ -236,7 +227,7 @@ pub struct LookupEngine {
     chg: Chg,
     options: EngineOptions,
     shards: Vec<Shard>,
-    counters: Counters,
+    metrics: EngineMetrics,
 }
 
 impl LookupEngine {
@@ -249,14 +240,15 @@ impl LookupEngine {
     /// Creates an engine with explicit options. Complete backings pay
     /// the full table build here.
     pub fn with_options(chg: Chg, options: EngineOptions) -> Self {
-        let shards = (0..options.shards.max(1))
+        let shard_count = options.shards.max(1);
+        let shards = (0..shard_count)
             .map(|_| RwLock::new(HashMap::new()))
             .collect();
         let mut engine = LookupEngine {
             chg,
             options,
             shards,
-            counters: Counters::default(),
+            metrics: EngineMetrics::new(shard_count),
         };
         match options.backing {
             EngineBacking::Lazy => {}
@@ -314,9 +306,12 @@ impl LookupEngine {
     /// Reads `(c, m)` from the cache. Outer `None`: key not cached;
     /// inner `None`: cached knowledge that `m ∉ Members[c]`.
     fn cached(&self, c: ClassId, m: MemberId) -> Option<Option<Entry>> {
-        let shard = self.shards[self.shard_index(c, m)]
-            .read()
-            .expect("engine shard lock poisoned");
+        self.cached_in(self.shard_index(c, m), c, m)
+    }
+
+    /// [`cached`](Self::cached) with a precomputed shard index.
+    fn cached_in(&self, idx: usize, c: ClassId, m: MemberId) -> Option<Option<Entry>> {
+        let shard = self.shards[idx].read().expect("engine shard lock poisoned");
         shard.get(&(c, m)).map(|slot| match slot {
             Slot::Present(e) => Some(e.clone()),
             Slot::Absent => None,
@@ -327,27 +322,49 @@ impl LookupEngine {
     /// backing. `None` means `m ∉ Members[c]`.
     pub fn entry(&self, c: ClassId, m: MemberId) -> Option<Entry> {
         let start = self.options.timing.then(Instant::now);
-        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
-        let result = match self.cached(c, m) {
+        self.metrics.lookups.inc();
+        self.metrics.emit(|| obs::Event::QueryStart {
+            class: c.index() as u32,
+            member: m.index() as u32,
+        });
+        let idx = self.shard_index(c, m);
+        let result = match self.cached_in(idx, c, m) {
             Some(cached) => {
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.record_hit(idx);
                 cached
             }
             None if self.options.backing.complete() => {
                 // A complete cache encodes "not visible" by omission.
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.record_hit(idx);
                 None
             }
             None => {
-                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.record_miss(idx);
                 self.compute_missing(c, m)
             }
         };
-        if let Some(start) = start {
-            self.counters
-                .lookup_nanos
-                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if matches!(result, Some(Entry::Blue(_))) {
+            self.metrics
+                .record_ambiguity(c.index() as u32, m.index() as u32);
         }
+        let nanos = match start {
+            Some(start) => {
+                let nanos = start.elapsed().as_nanos() as u64;
+                self.metrics.record_latency(nanos);
+                nanos
+            }
+            None => 0,
+        };
+        self.metrics.emit(|| obs::Event::QueryEnd {
+            class: c.index() as u32,
+            member: m.index() as u32,
+            outcome: match &result {
+                Some(Entry::Red { .. }) => "resolved",
+                Some(Entry::Blue(_)) => "ambiguous",
+                None => "not_found",
+            },
+            nanos,
+        });
         result
     }
 
@@ -442,7 +459,9 @@ impl LookupEngine {
             // tracks actual insertions.
             if let std::collections::hash_map::Entry::Vacant(v) = shard.entry((a, m)) {
                 v.insert(slot);
-                self.counters.computed.fetch_add(1, Ordering::Relaxed);
+                drop(shard);
+                self.metrics
+                    .record_computed(a.index() as u32, m.index() as u32);
             }
         }
         local
@@ -463,9 +482,6 @@ impl LookupEngine {
         let new_chg = apply_edits(&self.chg, edits)?;
         let dirty = dirty_set(&new_chg, edits);
         self.chg = new_chg;
-        self.counters
-            .edits
-            .fetch_add(edits.len() as u64, Ordering::Relaxed);
         let mut invalidated = 0;
         for &(c, m) in &dirty {
             let idx = self.shard_index(c, m);
@@ -475,20 +491,26 @@ impl LookupEngine {
                 .remove(&(c, m));
             invalidated += u64::from(removed.is_some());
         }
-        self.counters
-            .invalidated
-            .fetch_add(invalidated, Ordering::Relaxed);
-        if self.options.backing.complete() {
-            self.recompute(&dirty);
-        }
+        let recomputed = if self.options.backing.complete() {
+            self.recompute(&dirty)
+        } else {
+            0
+        };
+        self.metrics.record_edit(
+            edits.len(),
+            dirty.len(),
+            invalidated,
+            recomputed,
+            self.chg.generation(),
+        );
         Ok(())
     }
 
     /// Recomputes the (invalidated) dirty entries against the updated
-    /// hierarchy, reusing every untouched cached entry. `dirty` must be
-    /// sorted by member and topological position — [`dirty_set`]'s
-    /// order.
-    fn recompute(&mut self, dirty: &[(ClassId, MemberId)]) {
+    /// hierarchy, reusing every untouched cached entry, and returns how
+    /// many were recomputed. `dirty` must be sorted by member and
+    /// topological position — [`dirty_set`]'s order.
+    fn recompute(&mut self, dirty: &[(ClassId, MemberId)]) -> u64 {
         let mut recomputed = 0;
         let mut i = 0;
         while i < dirty.len() {
@@ -519,9 +541,7 @@ impl LookupEngine {
                 i += 1;
             }
         }
-        self.counters
-            .recomputed
-            .fetch_add(recomputed, Ordering::Relaxed);
+        recomputed
     }
 
     /// Adds a new class (no bases, no members). Returns its id.
@@ -587,25 +607,55 @@ impl LookupEngine {
         }])
     }
 
-    /// A snapshot of the engine's counters.
+    /// A snapshot of the engine's counters (compatibility view of the
+    /// metrics registry).
     pub fn stats(&self) -> EngineStats {
-        let cached_entries = self
-            .shards
+        EngineStats {
+            lookups: self.metrics.lookups.get(),
+            cache_hits: self.metrics.hits.get(),
+            cache_misses: self.metrics.misses.get(),
+            entries_computed: self.metrics.computed.get(),
+            entries_invalidated: self.metrics.invalidated.get(),
+            entries_recomputed: self.metrics.recomputed.get(),
+            edits: self.metrics.edits.get(),
+            generation: self.chg.generation(),
+            cached_entries: self.cached_entries(),
+            lookup_nanos: self.metrics.lookup_nanos.get(),
+        }
+    }
+
+    fn cached_entries(&self) -> u64 {
+        self.shards
             .iter()
             .map(|s| s.read().expect("engine shard lock poisoned").len() as u64)
-            .sum();
-        EngineStats {
-            lookups: self.counters.lookups.load(Ordering::Relaxed),
-            cache_hits: self.counters.hits.load(Ordering::Relaxed),
-            cache_misses: self.counters.misses.load(Ordering::Relaxed),
-            entries_computed: self.counters.computed.load(Ordering::Relaxed),
-            entries_invalidated: self.counters.invalidated.load(Ordering::Relaxed),
-            entries_recomputed: self.counters.recomputed.load(Ordering::Relaxed),
-            edits: self.counters.edits.load(Ordering::Relaxed),
-            generation: self.chg.generation(),
-            cached_entries,
-            lookup_nanos: self.counters.lookup_nanos.load(Ordering::Relaxed),
-        }
+            .sum()
+    }
+
+    /// The engine's metrics registry. Summary counters
+    /// (`engine_lookups_total`, `engine_cache_hits_total`, …) are always
+    /// registered; with the `obs` feature the registry also carries
+    /// per-shard hit/miss families, the lookup-latency histogram, and
+    /// the per-edit dirty/invalidation size histograms.
+    pub fn metrics_registry(&self) -> &Arc<obs::Registry> {
+        self.metrics.registry()
+    }
+
+    /// A point-in-time export of every engine metric, with the
+    /// cache-residency gauge refreshed. Render it with
+    /// [`render_text`](obs::Snapshot::render_text),
+    /// [`render_prometheus`](obs::Snapshot::render_prometheus), or
+    /// [`render_json`](obs::Snapshot::render_json).
+    pub fn metrics_snapshot(&self) -> obs::Snapshot {
+        self.metrics.snapshot(self.cached_entries())
+    }
+
+    /// Installs an [`EventSink`](obs::EventSink) that receives
+    /// structured trace events (query start/end, per-shard cache
+    /// hits/misses, node visits, ambiguity encounters, edit
+    /// applications); `None` removes it. Without the `obs` feature this
+    /// is a no-op.
+    pub fn set_event_sink(&self, sink: Option<Arc<dyn obs::EventSink>>) {
+        self.metrics.set_sink(sink);
     }
 }
 

@@ -21,6 +21,9 @@
 //!   invalidation,
 //! * [`MemberLookup`] — the trait unifying all of the above (and the
 //!   baselines) behind one query interface,
+//! * [`obs`] — the observability facade: per-engine metric registries,
+//!   propagation work counters, and structured event sinks (feature
+//!   `obs`, on by default; disabling it compiles the hooks away),
 //! * [`trace`] — instrumented propagation reproducing Figures 6–7,
 //! * [`access`] — post-lookup access-rights checking (Section 6),
 //! * the applications the paper names in Section 1: [`dispatch`]
@@ -62,6 +65,7 @@ pub mod cha;
 pub mod dispatch;
 mod engine;
 mod lazy;
+pub mod obs;
 mod parallel;
 mod result;
 pub mod slice;

@@ -103,6 +103,12 @@ impl LookupTable {
 }
 
 /// Builds the complete lookup table in parallel.
+///
+/// Deprecated alias of [`LookupTable::build_parallel`] — use the
+/// associated constructor instead. This free function predates the
+/// constructor and is kept only so early external callers keep
+/// compiling; the crate itself has no remaining call sites (the one
+/// test exercising it opts in with `#[allow(deprecated)]`).
 #[deprecated(
     since = "0.1.0",
     note = "use the associated constructor `LookupTable::build_parallel` instead"

@@ -47,6 +47,7 @@ pub(crate) fn compute_entry_with<'e, F>(
 where
     F: FnMut(ClassId) -> Option<&'e Entry>,
 {
+    crate::obs::propagation().node_visited();
     // Line 12: a generated definition kills everything arriving from
     // bases.
     if chg.declares(c, m) {
@@ -138,6 +139,20 @@ pub(crate) struct Merge {
     saw_red: bool,
     /// The `toBeDominated` set.
     demoted: BTreeSet<LeastVirtual>,
+    /// Work counts accumulated locally and flushed to the global
+    /// propagation counters in one batch by [`finish`](Merge::finish),
+    /// keeping the per-abstraction cost at a plain integer increment.
+    #[cfg(feature = "obs")]
+    work: MergeWork,
+}
+
+/// Local merge work tallies (reds/blues fed, demotion events).
+#[cfg(feature = "obs")]
+#[derive(Clone, Copy, Debug, Default)]
+struct MergeWork {
+    reds: u32,
+    blues: u32,
+    demotions: u32,
 }
 
 impl Merge {
@@ -157,6 +172,10 @@ impl Merge {
         statics: StaticRule,
     ) {
         self.saw_red = true;
+        #[cfg(feature = "obs")]
+        {
+            self.work.reds += 1;
+        }
         let incoming = RedCand {
             abs,
             via,
@@ -181,6 +200,10 @@ impl Merge {
             self.candidate = Some(incoming);
         } else if !cand.dominates_all(chg, incoming.lvs().collect::<Vec<_>>()) {
             // Neither dominates: everything becomes blue.
+            #[cfg(feature = "obs")]
+            {
+                self.work.demotions += 1;
+            }
             let all: Vec<LeastVirtual> = cand.lvs().chain(incoming.lvs()).collect();
             self.demoted.extend(all);
             // candidate stays None (the paper's `nocandidate := true`).
@@ -193,12 +216,18 @@ impl Merge {
     /// Lines 29–32: one element of a blue set arrives, already extended
     /// through the edge.
     pub(crate) fn add_blue(&mut self, lv: LeastVirtual) {
+        #[cfg(feature = "obs")]
+        {
+            self.work.blues += 1;
+        }
         self.demoted.insert(lv);
     }
 
     /// Lines 34–44: resolve the merge into a table entry.
     pub(crate) fn finish(self, chg: &Chg) -> Entry {
-        match self.candidate {
+        #[cfg(feature = "obs")]
+        let work = self.work;
+        let entry = match self.candidate {
             None => Entry::Blue(self.demoted.into_iter().collect()),
             Some(cand) => {
                 let surviving: BTreeSet<LeastVirtual> = self
@@ -218,7 +247,15 @@ impl Merge {
                     Entry::Blue(blue.into_iter().collect())
                 }
             }
-        }
+        };
+        #[cfg(feature = "obs")]
+        crate::obs::propagation().flush_merge(
+            work.reds,
+            work.blues,
+            work.demotions,
+            matches!(entry, Entry::Blue(_)),
+        );
+        entry
     }
 
     /// Whether anything has been merged.
@@ -310,6 +347,9 @@ impl LookupTable {
                 debug_assert!(!merge.is_empty());
                 tbl.insert(m, merge.finish(chg));
             }
+            // The eager builder bypasses `compute_entry_with`, so count
+            // its per-(class, member) steps here in one batch.
+            crate::obs::propagation().nodes_visited_add(tbl.len() as u64);
             entries[c.index()] = tbl;
         }
         LookupTable { options, entries }

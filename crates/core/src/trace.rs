@@ -302,6 +302,137 @@ pub fn trace_to_dot(chg: &Chg, m: MemberId, trace: &[TraceNode]) -> String {
     out
 }
 
+/// Renders a trace as a JSON document — the machine-readable companion
+/// to [`render_trace`]'s figure notation, consumed by tooling that
+/// post-processes propagation traces (`cpplookup-cli trace --json`).
+///
+/// Shape:
+///
+/// ```json
+/// {"member": "foo", "nodes": [
+///   {"class": "H", "generated": false,
+///    "incoming": [
+///      {"via": "F", "kind": "blue", "witnesses": ["D"]},
+///      {"via": "G", "kind": "red", "ldc": "G", "least_virtual": "Ω", "shared": []}],
+///    "result": {"kind": "red", "ldc": "G", "least_virtual": "Ω", "shared": []}}]}
+/// ```
+///
+/// `leastVirtual` abstractions use their display form: a class name, or
+/// `"Ω"` for the omega abstraction.
+pub fn trace_to_json(chg: &Chg, m: MemberId, trace: &[TraceNode]) -> String {
+    use cpplookup_obs::json::escape_into;
+
+    fn push_lv(chg: &Chg, lv: &LeastVirtual, out: &mut String) {
+        escape_into(&lv.display(chg).to_string(), out);
+    }
+
+    fn push_lv_set(chg: &Chg, set: &[LeastVirtual], out: &mut String) {
+        out.push('[');
+        for (i, lv) in set.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_lv(chg, lv, out);
+        }
+        out.push(']');
+    }
+
+    fn push_red(chg: &Chg, abs: &RedAbs, shared: &[LeastVirtual], out: &mut String) {
+        out.push_str("\"kind\":\"red\",\"ldc\":");
+        escape_into(chg.class_name(abs.ldc), out);
+        out.push_str(",\"least_virtual\":");
+        push_lv(chg, &abs.lv, out);
+        out.push_str(",\"shared\":");
+        push_lv_set(chg, shared, out);
+    }
+
+    fn push_entry(chg: &Chg, entry: &Entry, out: &mut String) {
+        out.push('{');
+        match entry {
+            Entry::Red { abs, shared, .. } => push_red(chg, abs, shared, out),
+            Entry::Blue(set) => {
+                out.push_str("\"kind\":\"blue\",\"witnesses\":");
+                push_lv_set(chg, set, out);
+            }
+        }
+        out.push('}');
+    }
+
+    let mut out = String::from("{\"member\":");
+    escape_into(chg.member_name(m), &mut out);
+    out.push_str(",\"nodes\":[");
+    for (i, node) in trace.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"class\":");
+        escape_into(chg.class_name(node.class), &mut out);
+        out.push_str(&format!(",\"generated\":{}", node.generated));
+        out.push_str(",\"incoming\":[");
+        for (j, (via, inc)) in node.incoming.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"via\":");
+            escape_into(chg.class_name(*via), &mut out);
+            out.push(',');
+            match inc {
+                Incoming::Red(abs, shared) => push_red(chg, abs, shared, &mut out),
+                Incoming::Blue(set) => {
+                    out.push_str("\"kind\":\"blue\",\"witnesses\":");
+                    push_lv_set(chg, set, &mut out);
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("],\"result\":");
+        push_entry(chg, &node.result, &mut out);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+
+    #[test]
+    fn trace_json_mirrors_figure6() {
+        let g = fixtures::fig3();
+        let foo = g.member_by_name("foo").unwrap();
+        let trace = trace_member(&g, foo, LookupOptions::default());
+        let json = trace_to_json(&g, foo, &trace);
+        assert!(json.starts_with("{\"member\":\"foo\""), "{json}");
+        assert!(
+            json.contains("{\"class\":\"A\",\"generated\":true,\"incoming\":[],\"result\":{\"kind\":\"red\",\"ldc\":\"A\",\"least_virtual\":\"Ω\",\"shared\":[]}}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"class\":\"D\",\"generated\":false,\"incoming\":[{\"via\":\"B\",\"kind\":\"red\",\"ldc\":\"A\",\"least_virtual\":\"Ω\",\"shared\":[]},{\"via\":\"C\",\"kind\":\"red\",\"ldc\":\"A\",\"least_virtual\":\"Ω\",\"shared\":[]}],\"result\":{\"kind\":\"blue\",\"witnesses\":[\"Ω\"]}}"),
+            "{json}"
+        );
+        // Structurally balanced.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn trace_json_covers_every_trace_node() {
+        let g = fixtures::fig3();
+        let bar = g.member_by_name("bar").unwrap();
+        let trace = trace_member(&g, bar, LookupOptions::default());
+        let json = trace_to_json(&g, bar, &trace);
+        assert_eq!(json.matches("\"class\":").count(), trace.len());
+        // Figure 7's blue verdict at H survives the encoding.
+        assert!(
+            json.contains("{\"class\":\"H\"") && json.contains("\"witnesses\":[\"Ω\",\"D\"]"),
+            "{json}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod dot_tests {
     use super::*;

@@ -1,0 +1,67 @@
+//! Minimal JSON string escaping, shared by the exporters.
+//!
+//! The repo deliberately carries no serde dependency; every JSON
+//! producer (`ChgSpec::to_json`, the exporters here) hand-rolls its
+//! output and routes strings through these helpers.
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a quoted, escaped JSON string.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(s, &mut out);
+    out
+}
+
+/// Escapes a fragment for embedding inside a Prometheus label value:
+/// backslash, double quote, and newline get backslash escapes. No
+/// surrounding quotes are added.
+pub fn escape_fragment(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(escape("tab\there"), "\"tab\\there\"");
+        assert_eq!(escape("nl\n"), "\"nl\\n\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn fragment_keeps_quotes_off() {
+        assert_eq!(escape_fragment("sh\"ard"), "sh\\\"ard");
+        assert_eq!(escape_fragment("plain"), "plain");
+    }
+}

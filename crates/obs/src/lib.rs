@@ -1,0 +1,36 @@
+//! Lock-light observability for the member lookup engine.
+//!
+//! The lookup engine's performance claims are statements about *work
+//! done per query* — the paper's `O(|N|+|E|)` unambiguous bound versus
+//! the `O(|N|·(|N|+|E|))` ambiguous one is only meaningful if node
+//! visits, merges, and red→blue demotions can be counted. This crate
+//! provides the counting machinery, deliberately free of dependencies
+//! and of any knowledge of the lookup domain:
+//!
+//! * [`Counter`], [`Gauge`], [`Histogram`] — relaxed-atomic primitives
+//!   whose record path is one or two uncontended read-modify-writes;
+//! * [`Family`] — a labelled set of counters
+//!   (`…{shard="3"}`);
+//! * [`Registry`] — named get-or-create registration returning `Arc`
+//!   handles, so hot paths never touch the registry lock;
+//! * [`Snapshot`] — point-in-time export as human-readable text,
+//!   Prometheus text exposition, or JSON;
+//! * [`Event`] / [`EventSink`] — structured per-query trace events
+//!   ([`MemorySink`], [`CountingSink`], [`NullSink`] provided).
+//!
+//! `cpplookup-core` wires these into the engine behind its `obs`
+//! feature; this crate itself is always-on and feature-free so the
+//! engine's compatibility statistics keep working when tracing is
+//! compiled out.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+
+pub use event::{CountingSink, Event, EventSink, MemorySink, NullSink};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{global, Family, MetricSnapshot, MetricValue, Registry, Snapshot};

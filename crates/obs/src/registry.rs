@@ -1,0 +1,553 @@
+//! The metrics registry: named metric families and their exporters.
+//!
+//! A [`Registry`] maps names to metrics. Registration is get-or-create
+//! and returns an `Arc` handle; the hot path records through the handle
+//! without touching the registry again, so the registry lock is only
+//! taken at setup and export time ("lock-light").
+//!
+//! Exporters render a point-in-time [`Snapshot`] three ways:
+//!
+//! * [`render_text`](Snapshot::render_text) — a human-readable dump for
+//!   terminals (`cpplookup-cli stats`),
+//! * [`render_prometheus`](Snapshot::render_prometheus) — the
+//!   Prometheus text exposition format,
+//! * [`render_json`](Snapshot::render_json) — a JSON object for
+//!   machine consumers (`cpplookup-cli batch --metrics`, the bench
+//!   report).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::json;
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A labelled family of counters: one [`Counter`] per label value,
+/// created on first use (`lookup_shard_hits_total{shard="3"}`).
+///
+/// The family holds one `RwLock` taken for writing only when a new
+/// label value appears; steady-state lookups are shared reads. Hot
+/// paths should cache the returned `Arc` and skip the map entirely.
+#[derive(Debug)]
+pub struct Family {
+    label: String,
+    series: RwLock<BTreeMap<String, Arc<Counter>>>,
+}
+
+impl Family {
+    fn new(label: &str) -> Self {
+        Family {
+            label: label.to_owned(),
+            series: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The label name shared by every series in the family.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The counter for `value`, creating it on first use.
+    pub fn with_label(&self, value: &str) -> Arc<Counter> {
+        if let Some(c) = self.series.read().expect("family lock poisoned").get(value) {
+            return Arc::clone(c);
+        }
+        let mut series = self.series.write().expect("family lock poisoned");
+        Arc::clone(
+            series
+                .entry(value.to_owned())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// `(label value, count)` pairs, sorted by label value.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.series
+            .read()
+            .expect("family lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    Family(Arc<Family>),
+}
+
+#[derive(Debug)]
+struct Registered {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of metrics with get-or-create registration.
+///
+/// Each [`LookupEngine`](../cpplookup_core/struct.LookupEngine.html)
+/// owns one; process-wide metrics (propagation counters, baseline
+/// comparisons) live in [`global()`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<Vec<Registered>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        help: &str,
+        find: impl Fn(&Metric) -> Option<Arc<T>>,
+        make: impl FnOnce() -> (Arc<T>, Metric),
+    ) -> Arc<T> {
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        if let Some(existing) = inner.iter().find(|r| r.name == name) {
+            return find(&existing.metric).unwrap_or_else(|| {
+                panic!("metric `{name}` already registered with a different type")
+            });
+        }
+        let (handle, metric) = make();
+        inner.push(Registered {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            metric,
+        });
+        handle
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// type.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            help,
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::new());
+                (Arc::clone(&c), Metric::Counter(c))
+            },
+        )
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// type.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            help,
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::new());
+                (Arc::clone(&g), Metric::Gauge(g))
+            },
+        )
+    }
+
+    /// The histogram named `name`, registering `hist` on first use (the
+    /// builder is ignored when the name already exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// type.
+    pub fn histogram(&self, name: &str, help: &str, hist: Histogram) -> Arc<Histogram> {
+        let mut hist = Some(hist);
+        self.get_or_insert(
+            name,
+            help,
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(hist.take().expect("make runs at most once"));
+                (Arc::clone(&h), Metric::Histogram(h))
+            },
+        )
+    }
+
+    /// The counter family named `name` with label key `label`,
+    /// registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// type.
+    pub fn counter_family(&self, name: &str, help: &str, label: &str) -> Arc<Family> {
+        self.get_or_insert(
+            name,
+            help,
+            |m| match m {
+                Metric::Family(f) => Some(Arc::clone(f)),
+                _ => None,
+            },
+            || {
+                let f = Arc::new(Family::new(label));
+                (Arc::clone(&f), Metric::Family(f))
+            },
+        )
+    }
+
+    /// A point-in-time snapshot of every registered metric, in
+    /// registration order.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        Snapshot {
+            metrics: inner
+                .iter()
+                .map(|r| MetricSnapshot {
+                    name: r.name.clone(),
+                    help: r.help.clone(),
+                    value: match &r.metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                        Metric::Family(f) => MetricValue::Family {
+                            label: f.label().to_owned(),
+                            series: f.snapshot(),
+                        },
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry for metrics that belong to no particular
+/// engine: propagation work counters, baseline comparison counters.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// One metric's state inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// The registered name (Prometheus-style, e.g.
+    /// `engine_cache_hits_total`).
+    pub name: String,
+    /// The registered help text.
+    pub help: String,
+    /// The value, by metric kind.
+    pub value: MetricValue,
+}
+
+/// The value part of a [`MetricSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current value.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's buckets.
+    Histogram(HistogramSnapshot),
+    /// A labelled family's series.
+    Family {
+        /// The label key.
+        label: String,
+        /// `(label value, count)` pairs.
+        series: Vec<(String, u64)>,
+    },
+}
+
+/// A point-in-time copy of a [`Registry`], ready for rendering.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// The metrics, in registration order.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// Looks up a plain counter by name (convenience for tests and
+    /// assertions).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .and_then(|m| match &m.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .and_then(|m| match &m.value {
+                MetricValue::Gauge(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .and_then(|m| match &m.value {
+                MetricValue::Histogram(h) => Some(h),
+                _ => None,
+            })
+    }
+
+    /// Appends `other`'s metrics (used to combine an engine's registry
+    /// with the global one for a single export).
+    pub fn extend(&mut self, other: Snapshot) {
+        self.metrics.extend(other.metrics);
+    }
+
+    /// A human-readable dump, one metric per line; histograms show
+    /// count/mean/p50/p99 instead of raw buckets.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{:<40} {v}\n", m.name));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{:<40} {v}\n", m.name));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{:<40} count={} mean={:.0} p50≤{} p99≤{}\n",
+                        m.name,
+                        h.count,
+                        h.mean(),
+                        h.quantile(0.5),
+                        h.quantile(0.99),
+                    ));
+                }
+                MetricValue::Family { label, series } => {
+                    for (value, count) in series {
+                        out.push_str(&format!(
+                            "{:<40} {count}\n",
+                            format!("{}{{{label}=\"{value}\"}}", m.name)
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The Prometheus text exposition format (`# HELP`/`# TYPE`
+    /// comments, cumulative `_bucket{le=…}` histogram series).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {} counter\n{} {v}\n", m.name, m.name));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {} gauge\n{} {v}\n", m.name, m.name));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {} histogram\n", m.name));
+                    let mut cumulative = 0u64;
+                    for (i, c) in h.counts.iter().enumerate() {
+                        cumulative = cumulative.saturating_add(*c);
+                        let le = h
+                            .bounds
+                            .get(i)
+                            .map(|b| b.to_string())
+                            .unwrap_or_else(|| "+Inf".to_owned());
+                        out.push_str(&format!("{}_bucket{{le=\"{le}\"}} {cumulative}\n", m.name));
+                    }
+                    out.push_str(&format!("{}_sum {}\n", m.name, h.sum));
+                    out.push_str(&format!("{}_count {}\n", m.name, h.count));
+                }
+                MetricValue::Family { label, series } => {
+                    out.push_str(&format!("# TYPE {} counter\n", m.name));
+                    for (value, count) in series {
+                        out.push_str(&format!(
+                            "{}{{{label}=\"{}\"}} {count}\n",
+                            m.name,
+                            json::escape_fragment(value)
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A JSON object: `{"metrics":[{"name":…,"type":…,…}, …]}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::escape_into(&m.name, &mut out);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!(",\"type\":\"counter\",\"value\":{v}}}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(",\"type\":\"gauge\",\"value\":{v}}}"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        ",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count, h.sum
+                    ));
+                    for (j, c) in h.counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        match h.bounds.get(j) {
+                            Some(b) => out.push_str(&format!("{{\"le\":{b},\"count\":{c}}}")),
+                            None => out.push_str(&format!("{{\"le\":\"inf\",\"count\":{c}}}")),
+                        }
+                    }
+                    out.push_str("]}");
+                }
+                MetricValue::Family { label, series } => {
+                    out.push_str(",\"type\":\"counter\",\"label\":");
+                    json::escape_into(label, &mut out);
+                    out.push_str(",\"series\":[");
+                    for (j, (value, count)) in series.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str("{\"value\":");
+                        json::escape_into(value, &mut out);
+                        out.push_str(&format!(",\"count\":{count}}}"));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("hits_total", "hits");
+        let b = r.counter("hits_total", "hits");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same underlying counter");
+        assert_eq!(r.snapshot().counter("hits_total"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x", "");
+        r.gauge("x", "");
+    }
+
+    #[test]
+    fn family_series_are_independent() {
+        let r = Registry::new();
+        let f = r.counter_family("shard_hits_total", "per-shard hits", "shard");
+        f.with_label("0").add(3);
+        f.with_label("1").inc();
+        f.with_label("0").inc();
+        assert_eq!(f.snapshot(), vec![("0".to_owned(), 4), ("1".to_owned(), 1)]);
+    }
+
+    #[test]
+    fn renderers_cover_every_metric_kind() {
+        let r = Registry::new();
+        r.counter("c_total", "a counter").add(5);
+        r.gauge("g", "a gauge").set(-2);
+        r.histogram("h_ns", "a histogram", Histogram::new(&[10, 100]))
+            .observe(7);
+        r.counter_family("f_total", "a family", "shard")
+            .with_label("3")
+            .inc();
+        let snap = r.snapshot();
+
+        let text = snap.render_text();
+        assert!(text.contains("c_total"), "{text}");
+        assert!(text.contains("-2"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        assert!(text.contains("f_total{shard=\"3\"}"), "{text}");
+
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("# TYPE c_total counter"), "{prom}");
+        assert!(prom.contains("c_total 5"), "{prom}");
+        assert!(prom.contains("h_ns_bucket{le=\"10\"} 1"), "{prom}");
+        assert!(prom.contains("h_ns_bucket{le=\"+Inf\"} 1"), "{prom}");
+        assert!(prom.contains("h_ns_sum 7"), "{prom}");
+        assert!(prom.contains("f_total{shard=\"3\"} 1"), "{prom}");
+
+        let jsonr = snap.render_json();
+        assert!(jsonr.starts_with("{\"metrics\":["), "{jsonr}");
+        assert!(jsonr.contains("\"name\":\"h_ns\""), "{jsonr}");
+        assert!(jsonr.contains("\"le\":\"inf\""), "{jsonr}");
+        assert!(jsonr.contains("\"value\":-2"), "{jsonr}");
+        assert_eq!(jsonr.matches('{').count(), jsonr.matches('}').count());
+        assert_eq!(jsonr.matches('[').count(), jsonr.matches(']').count());
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let r = Registry::new();
+        r.counter("c", "").add(1);
+        r.gauge("g", "").set(9);
+        r.histogram("h", "", Histogram::new(&[1])).observe(1);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), Some(1));
+        assert_eq!(s.gauge("g"), Some(9));
+        assert_eq!(s.histogram("h").unwrap().count, 1);
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.counter("g"), None, "kind-checked lookup");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("obs_selftest_total", "test counter");
+        c.inc();
+        assert!(global().snapshot().counter("obs_selftest_total").unwrap() >= 1);
+    }
+
+    #[test]
+    fn snapshot_extend_concatenates() {
+        let a = Registry::new();
+        a.counter("a", "").inc();
+        let b = Registry::new();
+        b.counter("b", "").inc();
+        let mut s = a.snapshot();
+        s.extend(b.snapshot());
+        assert_eq!(s.metrics.len(), 2);
+    }
+}

@@ -4,33 +4,44 @@
 //! ```text
 //! cpplookup-cli check  <file.cpp>            resolve every member access, print diagnostics
 //! cpplookup-cli table  <file.cpp>            dump the whole lookup table
-//! cpplookup-cli trace  <file.cpp> <member> [--dot]
+//! cpplookup-cli trace  <file.cpp> <member> [--dot|--json]
 //!                                            red/blue propagation trace (paper Figures 6-7)
 //! cpplookup-cli layout <file.cpp> [class]    object layouts and dispatch tables
 //! cpplookup-cli audit  <file.cpp>            ambiguity lint + subobject blowup report
 //! cpplookup-cli dot    <file.cpp>            Graphviz export of the class hierarchy
 //! cpplookup-cli export <file.cpp>            JSON export of the class hierarchy
-//! cpplookup-cli batch  <file.cpp>            answer `class member` query pairs from stdin
+//! cpplookup-cli stats  <file.cpp> [--json|--prometheus]
+//!                                            sweep every (class, member) pair through the
+//!                                            lookup engine, then dump the metrics registry
+//! cpplookup-cli batch  <file.cpp> [--metrics]
+//!                                            answer `class member` query pairs from stdin
 //!                                            via the concurrent lookup engine; engine
-//!                                            statistics go to stderr on exit
+//!                                            statistics go to stderr on exit. With
+//!                                            --metrics, runs a lazy timed engine, accepts
+//!                                            `!class N` / `!member C N` /
+//!                                            `!edge D B [virtual]` edit directives, and
+//!                                            finishes with a JSON metrics snapshot on
+//!                                            stdout (per-edit invalidation sizes included)
 //! ```
 //!
 //! Exit status: 0 on success, 1 on resolution errors (`check`) or
 //! unknown query names (`batch`), 2 on usage/IO errors.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use cpplookup::chg::dot::to_dot;
 use cpplookup::chg::spec::ChgSpec;
 use cpplookup::frontend::{analyze, render_all, Analysis};
 use cpplookup::layout::{NvLayouts, ObjectLayout, Vtables};
 use cpplookup::lookup::dispatch::build_dispatch_map;
-use cpplookup::lookup::trace::{render_trace, trace_member, trace_to_dot};
+use cpplookup::lookup::trace::{render_trace, trace_member, trace_to_dot, trace_to_json};
+use cpplookup::obs;
 use cpplookup::subobject::stats::count_subobjects;
-use cpplookup::{EngineOptions, LookupEngine, LookupOptions, LookupOutcome};
+use cpplookup::{EngineOptions, Inheritance, LookupEngine, LookupOptions, LookupOutcome};
 
 const USAGE: &str =
-    "usage: cpplookup-cli <check|table|trace|layout|audit|dot|export|batch> <file.cpp> [args]";
+    "usage: cpplookup-cli <check|table|trace|layout|audit|dot|export|stats|batch> <file.cpp> [args]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,7 +80,8 @@ fn main() -> ExitCode {
             println!("{}", ChgSpec::from_chg(&analysis.chg).to_json());
             ExitCode::SUCCESS
         }
-        "batch" => batch(&analysis),
+        "stats" => stats(&analysis, rest),
+        "batch" => batch(&analysis, rest),
         other => {
             eprintln!("cpplookup-cli: unknown command `{other}`\n{USAGE}");
             ExitCode::from(2)
@@ -130,52 +142,33 @@ fn table(analysis: &Analysis) {
     }
 }
 
-/// Reads whitespace-separated `class member` pairs from stdin (blank
-/// lines and `#` comments skipped), answers them all through a
-/// [`LookupEngine`] batch, and reports the engine's statistics to
-/// stderr at the end.
-fn batch(analysis: &Analysis) -> ExitCode {
-    use std::io::BufRead;
+/// One buffered `batch` input line: either a `class member` query kept
+/// as raw names (resolution happens at flush time, *after* any
+/// preceding edit directives), or a line that already failed to parse.
+type PendingLine = (String, Result<(String, String), String>);
 
-    let engine = LookupEngine::with_options(analysis.chg.clone(), EngineOptions::parallel(4));
+/// Answers the pending queries through one [`LookupEngine`] batch and
+/// prints a verdict per line. Returns whether any line failed.
+fn flush_batch(engine: &LookupEngine, pending: &mut Vec<PendingLine>) -> bool {
     let chg = engine.chg();
-    let mut labels: Vec<String> = Vec::new();
-    let mut resolved: Vec<Result<(cpplookup::ClassId, cpplookup::MemberId), String>> = Vec::new();
-    for line in std::io::stdin().lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => {
-                eprintln!("cpplookup-cli: cannot read stdin: {e}");
-                return ExitCode::from(2);
-            }
-        };
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut words = line.split_whitespace();
-        let (Some(class), Some(member), None) = (words.next(), words.next(), words.next()) else {
-            labels.push(line.to_owned());
-            resolved.push(Err("expected `class member`".to_owned()));
-            continue;
-        };
-        labels.push(format!("{class}::{member}"));
-        resolved.push(
-            match (chg.class_by_name(class), chg.member_by_name(member)) {
+    let resolved: Vec<Result<(cpplookup::ClassId, cpplookup::MemberId), String>> = pending
+        .iter()
+        .map(|(_, slot)| match slot {
+            Err(e) => Err(e.clone()),
+            Ok((class, member)) => match (chg.class_by_name(class), chg.member_by_name(member)) {
                 (Some(c), Some(m)) => Ok((c, m)),
                 (None, _) => Err(format!("no class named `{class}`")),
                 (_, None) => Err(format!("no member named `{member}`")),
             },
-        );
-    }
-
+        })
+        .collect();
     let queries: Vec<_> = resolved
         .iter()
         .filter_map(|r| r.as_ref().ok().copied())
         .collect();
     let mut outcomes = engine.lookup_batch(&queries).into_iter();
     let mut failed = false;
-    for (label, slot) in labels.iter().zip(&resolved) {
+    for ((label, _), slot) in pending.iter().zip(&resolved) {
         let verdict = match slot {
             Err(e) => {
                 failed = true;
@@ -190,6 +183,151 @@ fn batch(analysis: &Analysis) -> ExitCode {
             },
         };
         println!("{label:<24} {verdict}");
+    }
+    pending.clear();
+    failed
+}
+
+/// Applies one `!class` / `!member` / `!edge` edit directive to the
+/// engine, acknowledging it on stderr.
+fn apply_directive(engine: &mut LookupEngine, line: &str) -> Result<(), String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let class_id = |engine: &LookupEngine, name: &str| {
+        engine
+            .chg()
+            .class_by_name(name)
+            .ok_or_else(|| format!("no class named `{name}`"))
+    };
+    match words.as_slice() {
+        ["!class", name] => {
+            engine.add_class(name).map_err(|e| e.to_string())?;
+        }
+        ["!member", class, name] => {
+            let c = class_id(engine, class)?;
+            engine.add_member(c, name).map_err(|e| e.to_string())?;
+        }
+        ["!edge", derived, base, rest @ ..] => {
+            let inheritance = match rest {
+                [] => Inheritance::NonVirtual,
+                ["virtual"] => Inheritance::Virtual,
+                _ => return Err("expected `!edge DERIVED BASE [virtual]`".to_owned()),
+            };
+            let d = class_id(engine, derived)?;
+            let b = class_id(engine, base)?;
+            engine
+                .add_edge(d, b, inheritance)
+                .map_err(|e| e.to_string())?;
+        }
+        _ => {
+            return Err(
+                "expected `!class NAME`, `!member CLASS NAME`, or `!edge DERIVED BASE [virtual]`"
+                    .to_owned(),
+            )
+        }
+    }
+    eprintln!("applied: {line}");
+    Ok(())
+}
+
+/// Renders the engine's metrics snapshot as JSON with a per-edit array
+/// (sizes taken from the [`obs::Event::EditApplied`] events captured by
+/// the in-memory sink) spliced in.
+fn metrics_json(engine: &LookupEngine, sink: &obs::MemorySink) -> String {
+    let mut out = engine.metrics_snapshot().render_json();
+    debug_assert!(out.ends_with('}'));
+    out.pop();
+    out.push_str(",\"edits\":[");
+    let mut first = true;
+    for event in sink.events() {
+        if let obs::Event::EditApplied {
+            edits,
+            dirty,
+            invalidated,
+            recomputed,
+            generation,
+        } = event
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"edits\":{edits},\"dirty\":{dirty},\"invalidated\":{invalidated},\
+                 \"recomputed\":{recomputed},\"generation\":{generation}}}"
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Reads whitespace-separated `class member` pairs from stdin (blank
+/// lines and `#` comments skipped), answers them all through a
+/// [`LookupEngine`] batch, and reports the engine's statistics to
+/// stderr at the end.
+///
+/// With `--metrics` the engine runs lazy and timed, lines starting with
+/// `!` are edit directives (each one flushes the buffered queries
+/// first, so lookups observe the hierarchy as of their position in the
+/// stream), and a JSON metrics snapshot — including per-edit dirty-set
+/// and invalidation sizes — is printed to stdout at the end.
+fn batch(analysis: &Analysis, rest: &[String]) -> ExitCode {
+    use std::io::BufRead;
+
+    let metrics = rest.iter().any(|a| a == "--metrics");
+    let options = if metrics {
+        let mut o = EngineOptions::lazy();
+        o.timing = true;
+        o
+    } else {
+        EngineOptions::parallel(4)
+    };
+    let mut engine = LookupEngine::with_options(analysis.chg.clone(), options);
+    let sink = Arc::new(obs::MemorySink::new());
+    if metrics {
+        engine.set_event_sink(Some(sink.clone()));
+    }
+
+    let mut pending: Vec<PendingLine> = Vec::new();
+    let mut failed = false;
+    for line in std::io::stdin().lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cpplookup-cli: cannot read stdin: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('!') {
+            failed |= flush_batch(&engine, &mut pending);
+            if !metrics {
+                println!("{line:<24} error: edit directives require --metrics");
+                failed = true;
+            } else if let Err(e) = apply_directive(&mut engine, line) {
+                println!("{line:<24} error: {e}");
+                failed = true;
+            }
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let slot = match (words.next(), words.next(), words.next()) {
+            (Some(class), Some(member), None) => Ok((class.to_owned(), member.to_owned())),
+            _ => Err("expected `class member`".to_owned()),
+        };
+        let label = match &slot {
+            Ok((class, member)) => format!("{class}::{member}"),
+            Err(_) => line.to_owned(),
+        };
+        pending.push((label, slot));
+    }
+    failed |= flush_batch(&engine, &mut pending);
+
+    if metrics {
+        println!("{}", metrics_json(&engine, &sink));
     }
     eprintln!("{}", engine.stats());
     if failed {
@@ -211,8 +349,38 @@ fn trace(analysis: &Analysis, rest: &[String]) -> ExitCode {
     let trace = trace_member(&analysis.chg, m, LookupOptions::default());
     if rest.iter().any(|a| a == "--dot") {
         print!("{}", trace_to_dot(&analysis.chg, m, &trace));
+    } else if rest.iter().any(|a| a == "--json") {
+        println!("{}", trace_to_json(&analysis.chg, m, &trace));
     } else {
         print!("{}", render_trace(&analysis.chg, &trace));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Sweeps every `(class, member)` pair through a lazy, timed
+/// [`LookupEngine`] so the metrics registry has something to say, then
+/// dumps the engine's registry merged with the process-global one
+/// (propagation counters, baseline query counts) in the requested
+/// format.
+fn stats(analysis: &Analysis, rest: &[String]) -> ExitCode {
+    let mut options = EngineOptions::lazy();
+    options.timing = true;
+    let engine = LookupEngine::with_options(analysis.chg.clone(), options);
+    let chg = engine.chg();
+    let queries: Vec<_> = chg
+        .classes()
+        .flat_map(|c| chg.member_ids().map(move |m| (c, m)))
+        .collect();
+    engine.lookup_batch(&queries);
+
+    let mut snapshot = engine.metrics_snapshot();
+    snapshot.extend(obs::global().snapshot());
+    if rest.iter().any(|a| a == "--json") {
+        println!("{}", snapshot.render_json());
+    } else if rest.iter().any(|a| a == "--prometheus") {
+        print!("{}", snapshot.render_prometheus());
+    } else {
+        print!("{}", snapshot.render_text());
     }
     ExitCode::SUCCESS
 }

@@ -14,6 +14,7 @@
 //! | [`chg`] | `cpplookup-chg` | class hierarchy graphs, paths, closures, fixtures |
 //! | [`subobject`] | `cpplookup-subobject` | subobject graphs, reference lookup semantics, Theorem 1 |
 //! | [`lookup`] | `cpplookup-core` | **the paper's algorithm**: eager/lazy/parallel tables, traces, access rights |
+//! | [`obs`] | `cpplookup-obs` (via `cpplookup-core`) | metrics registries, histograms, event sinks, exporters |
 //! | [`baselines`] | `cpplookup-baselines` | g++ BFS (faithful + corrected), naive propagation, topo shortcut |
 //! | [`frontend`] | `cpplookup-frontend` | mini-C++ parser, lowering, and name resolution |
 //! | [`hiergen`] | `cpplookup-hiergen` | structured and random hierarchy generators |
@@ -99,6 +100,7 @@
 pub use cpplookup_baselines as baselines;
 pub use cpplookup_chg as chg;
 pub use cpplookup_core as lookup;
+pub use cpplookup_core::obs;
 pub use cpplookup_frontend as frontend;
 pub use cpplookup_hiergen as hiergen;
 pub use cpplookup_layout as layout;

@@ -170,3 +170,107 @@ fn usage_errors_exit_2() {
     assert!(stderr.contains("usage"));
     let _ = std::fs::remove_file(path);
 }
+
+#[test]
+fn trace_json_is_machine_readable() {
+    let path = write_temp(FIG9);
+    let (stdout, _, code) = run(&["trace", path.to_str().unwrap(), "m", "--json"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.starts_with("{\"member\":\"m\""), "{stdout}");
+    assert!(stdout.contains("\"class\":\"E\""), "{stdout}");
+    assert!(
+        stdout.contains("\"kind\":\"red\",\"ldc\":\"C\""),
+        "{stdout}"
+    );
+    assert_eq!(
+        stdout.matches('{').count(),
+        stdout.matches('}').count(),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn stats_dumps_the_metrics_registry_in_every_format() {
+    let path = write_temp(FIG9);
+    let p = path.to_str().unwrap();
+
+    let (stdout, _, code) = run(&["stats", p]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("engine_lookups_total"), "{stdout}");
+    assert!(stdout.contains("engine_cache_misses_total"), "{stdout}");
+
+    let (stdout, _, code) = run(&["stats", p, "--json"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.trim_end().starts_with("{\"metrics\":["), "{stdout}");
+    assert!(
+        stdout.contains("\"name\":\"engine_cached_entries\""),
+        "{stdout}"
+    );
+
+    let (stdout, _, code) = run(&["stats", p, "--prometheus"]);
+    assert_eq!(code, Some(0));
+    assert!(
+        stdout.contains("# TYPE engine_lookups_total counter"),
+        "{stdout}"
+    );
+
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn batch_metrics_emits_json_snapshot_and_applies_edit_directives() {
+    let path = write_temp(FIG9);
+    let script = "E m\n\
+                  E m\n\
+                  !member E fresh\n\
+                  E fresh\n\
+                  # comment survives\n\
+                  C m\n";
+    let (stdout, stderr, code) =
+        run_with_stdin(&["batch", path.to_str().unwrap(), "--metrics"], script);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    // Queries before the edit see the old hierarchy, after it the new one.
+    assert!(stdout.contains("E::fresh"), "{stdout}");
+    assert!(stderr.contains("applied: !member E fresh"), "{stderr}");
+    // The final stdout line is the JSON snapshot: lazy + timed engine,
+    // so hit/miss counters and (with the obs feature) the latency
+    // histogram are nonzero.
+    let json = stdout.lines().last().expect("snapshot line");
+    assert!(json.starts_with("{\"metrics\":["), "{json}");
+    // 4 queries: `E m` misses cold (computing cached entries for its
+    // ancestors on the way), the repeat hits, `E fresh` misses, and
+    // `C m` hits the entry cached while computing `E m`.
+    assert!(
+        json.contains("{\"name\":\"engine_cache_hits_total\",\"type\":\"counter\",\"value\":2"),
+        "{json}"
+    );
+    assert!(
+        json.contains("{\"name\":\"engine_cache_misses_total\",\"type\":\"counter\",\"value\":2"),
+        "{json}"
+    );
+    assert!(json.contains("\"edits\":["), "{json}");
+    if cfg!(feature = "obs") {
+        assert!(
+            json.contains("\"name\":\"engine_lookup_latency_ns\",\"type\":\"histogram\""),
+            "{json}"
+        );
+        // Per-edit sizes from the EditApplied trace events: the fresh
+        // member dirties E's derived closure but invalidates nothing.
+        assert!(json.contains("\"dirty\":1,\"invalidated\":0"), "{json}");
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn batch_rejects_directives_without_metrics_flag() {
+    let path = write_temp(FIG9);
+    let (stdout, _, code) = run_with_stdin(&["batch", path.to_str().unwrap()], "!class X\nE m\n");
+    assert_eq!(code, Some(1));
+    assert!(
+        stdout.contains("edit directives require --metrics"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("E::m"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
