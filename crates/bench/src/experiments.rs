@@ -30,10 +30,10 @@ use crate::workloads::{self, Workload};
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
-/// Runs one experiment by id (`"e1"`..`"e19"`), writing its report.
+/// Runs one experiment by id (`"e1"`..`"e20"`), writing its report.
 ///
 /// # Errors
 ///
@@ -60,6 +60,7 @@ pub fn run(id: &str, w: &mut dyn Write) -> io::Result<()> {
         "e17" => e17(w),
         "e18" => e18(w),
         "e19" => e19(w),
+        "e20" => e20(w),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}` (known: {})", ALL.join(", ")),
@@ -868,6 +869,150 @@ fn e19(w: &mut dyn Write) -> io::Result<()> {
     Ok(())
 }
 
+/// E20: snapshot cold load vs building the table from the hierarchy.
+///
+/// The "compile once, serve many" pitch of `cpplookup-snapshot` is that
+/// a server process should reach its first answered query by validating
+/// pre-compiled bytes, not by re-running the closure computation. This
+/// experiment measures time-to-first-query three ways across ascending
+/// hierarchy families — eager build, parallel build (4 threads), and
+/// snapshot load (checksum + structural validation of the byte image,
+/// including the `memcpy` of the input buffer) — plus resident-set
+/// growth while each result is held live.
+///
+/// The acceptance target is a >=10x load-vs-build advantage on the
+/// largest family.
+fn e20(w: &mut dyn Write) -> io::Result<()> {
+    use cpplookup_snapshot::{Snapshot, SnapshotTable};
+
+    fn vm_rss_kb() -> Option<i64> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        status
+            .lines()
+            .find(|l| l.starts_with("VmRSS:"))?
+            .split_whitespace()
+            .nth(1)?
+            .parse()
+            .ok()
+    }
+    fn fmt_kb(bytes: usize) -> String {
+        if bytes < 1024 {
+            format!("{bytes} B")
+        } else {
+            format!("{:.1} KB", bytes as f64 / 1024.0)
+        }
+    }
+    fn fmt_rss(delta: Option<i64>) -> String {
+        match delta {
+            Some(kb) => format!("{kb:+} KB"),
+            None => "n/a".to_owned(),
+        }
+    }
+
+    writeln!(
+        w,
+        "E20: snapshot cold load vs table build (compile once, serve many)"
+    )?;
+    writeln!(
+        w,
+        "  every timing includes the first answered query; load includes full \
+         checksum + structural validation"
+    )?;
+    let families: Vec<(&str, Chg)> = vec![
+        ("chain_512", families::chain(512, Some(8))),
+        ("interface_256x4", families::interface_heavy(256, 4)),
+        ("grid_16x16", families::grid(16, 16)),
+        (
+            "realistic_1000",
+            random_hierarchy(&RandomConfig::realistic(1000, 7)),
+        ),
+        (
+            "realistic_4000",
+            random_hierarchy(&RandomConfig::realistic(4000, 7)),
+        ),
+        (
+            "realistic_8000",
+            random_hierarchy(&RandomConfig::realistic(8000, 7)),
+        ),
+    ];
+
+    writeln!(
+        w,
+        "  {:<16} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>10} {:>10}",
+        "family",
+        "classes",
+        "entries",
+        "snapshot",
+        "build",
+        "par(4)",
+        "load",
+        "speedup",
+        "rss build",
+        "rss load"
+    )?;
+
+    let mut largest_speedup = 0.0f64;
+    for (name, chg) in &families {
+        let c0 = chg.classes().next().expect("non-empty hierarchy");
+        let m0 = chg.member_ids().next().expect("hierarchy declares members");
+
+        let rss_before_build = vm_rss_kb();
+        let (t_build, table) = median_time(5, || {
+            let t = LookupTable::build(chg);
+            let _ = t.lookup(c0, m0);
+            t
+        });
+        let rss_build = vm_rss_kb().zip(rss_before_build).map(|(a, b)| a - b);
+        drop(table);
+        let (t_par, par_table) = median_time(5, || {
+            LookupTable::build_parallel(chg, LookupOptions::default(), 4)
+        });
+        drop(par_table);
+
+        let bytes = Snapshot::compile(chg).into_bytes();
+        let snap_len = bytes.len();
+        let rss_before_load = vm_rss_kb();
+        let (t_load, loaded) = median_time(5, || {
+            let t = SnapshotTable::from_bytes(bytes.clone()).expect("writer output validates");
+            let _ = t.lookup(c0, m0);
+            t
+        });
+        let rss_load = vm_rss_kb().zip(rss_before_load).map(|(a, b)| a - b);
+
+        let speedup = t_build.as_secs_f64() / t_load.as_secs_f64().max(f64::MIN_POSITIVE);
+        largest_speedup = speedup; // families are ascending; last row is largest
+        writeln!(
+            w,
+            "  {:<16} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8.1}x {:>10} {:>10}",
+            name,
+            loaded.class_count(),
+            loaded.entry_count(),
+            fmt_kb(snap_len),
+            fmt_duration(t_build),
+            fmt_duration(t_par),
+            fmt_duration(t_load),
+            speedup,
+            fmt_rss(rss_build),
+            fmt_rss(rss_load),
+        )?;
+    }
+    writeln!(
+        w,
+        "  target >=10x faster time-to-first-query on the largest family: {} ({:.1}x)",
+        if largest_speedup >= 10.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        largest_speedup
+    )?;
+    writeln!(
+        w,
+        "  [rss deltas are indicative only: the allocator reuses freed build pages for the load]"
+    )?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -897,7 +1042,7 @@ mod tests {
         // Don't run the heavy ones here; just verify dispatch exists by
         // name for every id in ALL (compile-time exhaustiveness is
         // enforced by the match).
-        assert_eq!(ALL.len(), 19);
+        assert_eq!(ALL.len(), 20);
         assert!(ALL.iter().all(|id| id.starts_with('e')));
     }
 }

@@ -277,6 +277,24 @@ impl LookupEngine {
         }
     }
 
+    /// Seeds the memo cache with precomputed entries — the warm-start
+    /// path for deserialized tables (e.g. a loaded snapshot). Seeded
+    /// pairs are served as cache hits without recomputation; an edit
+    /// invalidates them exactly like computed entries.
+    ///
+    /// The entries must be correct for the engine's current hierarchy
+    /// and lookup options; the engine trusts them as it trusts its own
+    /// memo.
+    pub fn seed_entries(&mut self, entries: impl IntoIterator<Item = (ClassId, MemberId, Entry)>) {
+        for (c, m, e) in entries {
+            let idx = self.shard_index(c, m);
+            self.shards[idx]
+                .get_mut()
+                .expect("engine shard lock poisoned")
+                .insert((c, m), Slot::Present(e));
+        }
+    }
+
     fn shard_index(&self, c: ClassId, m: MemberId) -> usize {
         // Cheap deterministic mix; shard counts are small so low bits
         // suffice.

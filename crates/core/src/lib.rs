@@ -78,7 +78,5 @@ pub use abstraction::{
 pub use api::MemberLookup;
 pub use engine::{EngineBacking, EngineOptions, EngineStats, LookupEngine};
 pub use lazy::LazyLookup;
-#[allow(deprecated)]
-pub use parallel::build_table_parallel;
 pub use result::{DisplayEntry, Entry, LookupOutcome};
 pub use table::{LookupOptions, LookupTable, TableStats};

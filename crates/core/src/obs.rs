@@ -151,6 +151,37 @@ pub fn baseline_query(_strategy: &str) {
         .inc();
 }
 
+/// Records one snapshot load in the [`global()`] registry:
+/// `snapshot_loads_total` counts loads, `snapshot_bytes` gauges the size
+/// of the most recently loaded snapshot, and `snapshot_load_seconds`
+/// histograms the wall-clock load+validate time (observed in
+/// **nanoseconds** — the registry's histograms are integer-valued and
+/// loads are sub-second; the help text states the unit). No-op with the
+/// `obs` feature disabled.
+#[inline]
+pub fn snapshot_loaded(_bytes: u64, _elapsed_ns: u64) {
+    #[cfg(feature = "obs")]
+    {
+        let r = global();
+        r.counter(
+            "snapshot_loads_total",
+            "snapshot files loaded and validated",
+        )
+        .inc();
+        r.gauge(
+            "snapshot_bytes",
+            "size in bytes of the last loaded snapshot",
+        )
+        .set(i64::try_from(_bytes).unwrap_or(i64::MAX));
+        r.histogram(
+            "snapshot_load_seconds",
+            "snapshot load+validate wall time (recorded in nanoseconds)",
+            Histogram::latency_ns(),
+        )
+        .observe(_elapsed_ns);
+    }
+}
+
 /// Per-shard families, histograms, and the event sink — the parts of
 /// the engine's instrumentation that only exist with the `obs` feature.
 #[cfg(feature = "obs")]

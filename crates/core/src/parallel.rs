@@ -102,21 +102,6 @@ impl LookupTable {
     }
 }
 
-/// Builds the complete lookup table in parallel.
-///
-/// Deprecated alias of [`LookupTable::build_parallel`] — use the
-/// associated constructor instead. This free function predates the
-/// constructor and is kept only so early external callers keep
-/// compiling; the crate itself has no remaining call sites (the one
-/// test exercising it opts in with `#[allow(deprecated)]`).
-#[deprecated(
-    since = "0.1.0",
-    note = "use the associated constructor `LookupTable::build_parallel` instead"
-)]
-pub fn build_table_parallel(chg: &Chg, options: LookupOptions, threads: usize) -> LookupTable {
-    LookupTable::build_parallel(chg, options, threads)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,13 +162,5 @@ mod tests {
         let g = cpplookup_chg::ChgBuilder::new().finish().unwrap();
         let par = LookupTable::build_parallel(&g, LookupOptions::default(), 4);
         assert_eq!(par.stats().entries, 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_free_function_still_works() {
-        let g = fixtures::fig1();
-        let via_free = build_table_parallel(&g, LookupOptions::default(), 2);
-        assert_eq!(via_free.stats(), LookupTable::build(&g).stats());
     }
 }

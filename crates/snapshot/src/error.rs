@@ -1,0 +1,184 @@
+//! Structured errors for snapshot encoding and decoding.
+//!
+//! The loader's contract is that a truncated, corrupted, or
+//! version-skewed input **always** surfaces as a [`SnapshotError`] —
+//! never a panic and never a silently wrong lookup answer. Every decode
+//! in the crate is bounds-checked and funnels its failure through one of
+//! these variants.
+
+use std::fmt;
+
+/// Why a snapshot could not be written, read, or validated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The input is shorter than the fixed header + trailer, or a
+    /// length field points past the end of the buffer.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+        /// Bytes needed to continue.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The first eight bytes are not the snapshot magic.
+    BadMagic,
+    /// The format version is one this build does not understand.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u16,
+        /// The version this build reads and writes.
+        supported: u16,
+    },
+    /// The endianness tag does not match the little-endian on-disk
+    /// convention (the file was produced by a byte-swapping writer or is
+    /// corrupt).
+    BadEndianness {
+        /// The tag found in the header.
+        found: u16,
+    },
+    /// A checksum mismatch: the bytes were damaged after writing.
+    ChecksumMismatch {
+        /// Which region failed (`"file"` or a section name).
+        region: &'static str,
+        /// The checksum recorded in the snapshot.
+        expected: u64,
+        /// The checksum recomputed over the bytes.
+        actual: u64,
+    },
+    /// A section's recorded offset is not aligned as the format
+    /// requires, so fixed-width tables could not be mapped in place.
+    Misaligned {
+        /// Which section is misaligned.
+        section: &'static str,
+        /// The offending byte offset.
+        offset: usize,
+        /// The required alignment in bytes.
+        align: usize,
+    },
+    /// The byte stream decoded, but its contents violate a structural
+    /// invariant (an out-of-range id, an unsorted index, an overlong
+    /// varint, a count that contradicts a section length, …).
+    Malformed {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// Reading or writing the snapshot file failed at the OS level.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The rendered `std::io::Error`.
+        message: String,
+    },
+}
+
+impl SnapshotError {
+    /// Shorthand for a [`SnapshotError::Malformed`] with a formatted
+    /// reason.
+    pub(crate) fn malformed(reason: impl Into<String>) -> Self {
+        SnapshotError::Malformed {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "snapshot truncated while reading {context}: need {needed} bytes, have {available}"
+            ),
+            SnapshotError::BadMagic => write!(f, "not a cpplookup snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads version {supported})"
+            ),
+            SnapshotError::BadEndianness { found } => write!(
+                f,
+                "snapshot endianness tag {found:#06x} does not match the little-endian format"
+            ),
+            SnapshotError::ChecksumMismatch {
+                region,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "snapshot {region} checksum mismatch: recorded {expected:#018x}, computed {actual:#018x}"
+            ),
+            SnapshotError::Misaligned {
+                section,
+                offset,
+                align,
+            } => write!(
+                f,
+                "snapshot section {section} at offset {offset} violates {align}-byte alignment"
+            ),
+            SnapshotError::Malformed { reason } => write!(f, "malformed snapshot: {reason}"),
+            SnapshotError::Io { path, message } => write!(f, "snapshot io error on {path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_are_informative() {
+        let cases: Vec<(SnapshotError, &str)> = vec![
+            (
+                SnapshotError::Truncated {
+                    context: "header",
+                    needed: 40,
+                    available: 3,
+                },
+                "header",
+            ),
+            (SnapshotError::BadMagic, "magic"),
+            (
+                SnapshotError::UnsupportedVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9",
+            ),
+            (SnapshotError::BadEndianness { found: 0xBEEF }, "0xbeef"),
+            (
+                SnapshotError::ChecksumMismatch {
+                    region: "names",
+                    expected: 1,
+                    actual: 2,
+                },
+                "names",
+            ),
+            (
+                SnapshotError::Misaligned {
+                    section: "table",
+                    offset: 3,
+                    align: 8,
+                },
+                "alignment",
+            ),
+            (SnapshotError::malformed("id 7 out of range"), "id 7"),
+            (
+                SnapshotError::Io {
+                    path: "/nope".into(),
+                    message: "denied".into(),
+                },
+                "/nope",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} should mention {needle:?}");
+        }
+    }
+}

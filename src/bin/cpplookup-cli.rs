@@ -22,10 +22,22 @@
 //!                                            `!edge D B [virtual]` edit directives, and
 //!                                            finishes with a JSON metrics snapshot on
 //!                                            stdout (per-edit invalidation sizes included)
+//! cpplookup-cli compile <file.cpp> -o <out.snap>
+//!                                            compile the hierarchy and lookup table into a
+//!                                            binary snapshot ("compile once, serve many")
+//! cpplookup-cli query  <file.cpp> <class> <member>
+//!                                            answer one lookup query
+//! cpplookup-cli query  --snapshot <file.snap> <class> <member>
+//!                                            the same, served straight from a snapshot
+//!                                            without rebuilding the table
+//! cpplookup-cli batch  --snapshot <file.snap> [--metrics]
+//!                                            batch mode over an engine warm-started from
+//!                                            the snapshot's serialized entries
 //! ```
 //!
 //! Exit status: 0 on success, 1 on resolution errors (`check`) or
-//! unknown query names (`batch`), 2 on usage/IO errors.
+//! unknown query names (`batch`, `query`), 2 on usage/IO errors
+//! (including snapshot integrity failures).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -38,13 +50,28 @@ use cpplookup::lookup::dispatch::build_dispatch_map;
 use cpplookup::lookup::trace::{render_trace, trace_member, trace_to_dot, trace_to_json};
 use cpplookup::obs;
 use cpplookup::subobject::stats::count_subobjects;
-use cpplookup::{EngineOptions, Inheritance, LookupEngine, LookupOptions, LookupOutcome};
+use cpplookup::{
+    EngineOptions, Inheritance, LookupEngine, LookupOptions, LookupOutcome, Snapshot, SnapshotTable,
+};
 
-const USAGE: &str =
-    "usage: cpplookup-cli <check|table|trace|layout|audit|dot|export|stats|batch> <file.cpp> [args]";
+const USAGE: &str = "usage: cpplookup-cli <check|table|trace|layout|audit|dot|export|stats|batch|compile|query> <file.cpp> [args]\n       cpplookup-cli <query|batch> --snapshot <file.snap> [args]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Snapshot-serving modes take a binary snapshot, not C++ source, so
+    // they dispatch before the UTF-8 source read below.
+    if let [command, flag, file, rest @ ..] = args.as_slice() {
+        if flag == "--snapshot" {
+            match command.as_str() {
+                "query" => return snapshot_query(file, rest),
+                "batch" => return snapshot_batch(file, rest),
+                other => {
+                    eprintln!("cpplookup-cli: `{other}` does not take --snapshot\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
     let (command, file, rest) = match args.as_slice() {
         [command, file, rest @ ..] => (command.as_str(), file.as_str(), rest),
         _ => {
@@ -82,6 +109,8 @@ fn main() -> ExitCode {
         }
         "stats" => stats(&analysis, rest),
         "batch" => batch(&analysis, rest),
+        "compile" => compile(&analysis, rest),
+        "query" => query(&analysis, rest),
         other => {
             eprintln!("cpplookup-cli: unknown command `{other}`\n{USAGE}");
             ExitCode::from(2)
@@ -272,8 +301,6 @@ fn metrics_json(engine: &LookupEngine, sink: &obs::MemorySink) -> String {
 /// stream), and a JSON metrics snapshot — including per-edit dirty-set
 /// and invalidation sizes — is printed to stdout at the end.
 fn batch(analysis: &Analysis, rest: &[String]) -> ExitCode {
-    use std::io::BufRead;
-
     let metrics = rest.iter().any(|a| a == "--metrics");
     let options = if metrics {
         let mut o = EngineOptions::lazy();
@@ -282,7 +309,15 @@ fn batch(analysis: &Analysis, rest: &[String]) -> ExitCode {
     } else {
         EngineOptions::parallel(4)
     };
-    let mut engine = LookupEngine::with_options(analysis.chg.clone(), options);
+    let engine = LookupEngine::with_options(analysis.chg.clone(), options);
+    batch_loop(engine, metrics)
+}
+
+/// The stdin query loop shared by source-backed and snapshot-backed
+/// batch modes.
+fn batch_loop(mut engine: LookupEngine, metrics: bool) -> ExitCode {
+    use std::io::BufRead;
+
     let sink = Arc::new(obs::MemorySink::new());
     if metrics {
         engine.set_event_sink(Some(sink.clone()));
@@ -335,6 +370,127 @@ fn batch(analysis: &Analysis, rest: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// `compile <file.cpp> -o <out.snap>`: serializes the already-built
+/// lookup table and hierarchy into a binary snapshot.
+fn compile(analysis: &Analysis, rest: &[String]) -> ExitCode {
+    let out = match rest {
+        [flag, out] if flag == "-o" => out,
+        _ => {
+            eprintln!("usage: cpplookup-cli compile <file.cpp> -o <out.snap>");
+            return ExitCode::from(2);
+        }
+    };
+    let snap = Snapshot::from_table(&analysis.chg, &analysis.table);
+    match snap.write_to(out) {
+        Ok(()) => {
+            eprintln!(
+                "wrote {out}: {} bytes ({} classes, {} entries)",
+                snap.len(),
+                analysis.chg.class_count(),
+                analysis.table.stats().entries
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cpplookup-cli: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Renders one lookup verdict in the `batch` style.
+fn render_verdict(
+    outcome: LookupOutcome,
+    member: &str,
+    class_name_of: impl Fn(cpplookup::ClassId) -> String,
+) -> String {
+    match outcome {
+        LookupOutcome::Resolved { class, .. } => {
+            format!("{}::{member}", class_name_of(class))
+        }
+        LookupOutcome::Ambiguous { .. } => "ambiguous".to_owned(),
+        LookupOutcome::NotFound => "not found".to_owned(),
+    }
+}
+
+/// `query <file.cpp> <class> <member>`: one lookup against the freshly
+/// built table.
+fn query(analysis: &Analysis, rest: &[String]) -> ExitCode {
+    let [class, member] = rest else {
+        eprintln!("usage: cpplookup-cli query <file.cpp> <class> <member>");
+        return ExitCode::from(2);
+    };
+    let chg = &analysis.chg;
+    let (Some(c), Some(m)) = (chg.class_by_name(class), chg.member_by_name(member)) else {
+        eprintln!("cpplookup-cli: unknown class or member `{class}::{member}`");
+        return ExitCode::from(1);
+    };
+    let verdict = render_verdict(analysis.table.lookup(c, m), member, |c| {
+        chg.class_name(c).to_owned()
+    });
+    println!("{:<24} {verdict}", format!("{class}::{member}"));
+    ExitCode::SUCCESS
+}
+
+/// `query --snapshot <file.snap> <class> <member>`: the same verdict,
+/// served straight from the validated snapshot bytes — no table build.
+fn snapshot_query(file: &str, rest: &[String]) -> ExitCode {
+    let [class, member] = rest else {
+        eprintln!("usage: cpplookup-cli query --snapshot <file.snap> <class> <member>");
+        return ExitCode::from(2);
+    };
+    let snap = match SnapshotTable::load(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cpplookup-cli: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (Some(c), Some(m)) = (snap.class_by_name(class), snap.member_by_name(member)) else {
+        eprintln!("cpplookup-cli: unknown class or member `{class}::{member}`");
+        return ExitCode::from(1);
+    };
+    let verdict = render_verdict(SnapshotTable::lookup(&snap, c, m), member, |c| {
+        snap.class_name(c).unwrap_or("?").to_owned()
+    });
+    println!("{:<24} {verdict}", format!("{class}::{member}"));
+    ExitCode::SUCCESS
+}
+
+/// `batch --snapshot <file.snap>`: the batch loop over an engine whose
+/// memo cache is warm-started from the snapshot's serialized entries,
+/// so no lookup triggers a cold propagation unless an edit directive
+/// invalidates it first.
+fn snapshot_batch(file: &str, rest: &[String]) -> ExitCode {
+    let metrics = rest.iter().any(|a| a == "--metrics");
+    let snap = match SnapshotTable::load(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cpplookup-cli: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let chg = match snap.to_chg() {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cpplookup-cli: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut options = EngineOptions::lazy();
+    options.lookup = snap.options();
+    options.timing = metrics;
+    let mut engine = LookupEngine::with_options(chg, options);
+    engine.seed_entries(snap.entries());
+    eprintln!(
+        "warm start: {} entries seeded from {} ({} bytes)",
+        snap.entry_count(),
+        file,
+        snap.size_bytes()
+    );
+    batch_loop(engine, metrics)
 }
 
 fn trace(analysis: &Analysis, rest: &[String]) -> ExitCode {

@@ -1,0 +1,378 @@
+//! The cross-backend conformance corpus: every hierarchy the paper uses
+//! as a running example, with the expected verdict for every
+//! `(class, member)` query, shared by all lookup implementations.
+//!
+//! The corpus covers the paper's figures end to end: Figure 1 (the
+//! replicated-base ambiguity), Figure 2 (its virtual-inheritance
+//! resolution), Figure 3 — the hierarchy Figures 4–7 trace the red/blue
+//! propagation over — and the Figure 9 hierarchy on which g++ 2.7.2.1's
+//! breadth-first lookup wrongly reported an ambiguity. Three more
+//! hierarchies pin the Section 6 static-member semantics and the
+//! textbook dominance diamond.
+//!
+//! Backends differ in which semantics they implement, so each query
+//! records **two** verdicts:
+//!
+//! * [`Query::cpp`] — the Definition 17 answer (C++ semantics: a lookup
+//!   whose maximal definitions all name one static member is
+//!   well-defined). This is what [`LookupTable`](crate::LookupTable)
+//!   and everything built on it must answer.
+//! * [`Query::def9`] — the Definition 9 answer, where those
+//!   shared-static lookups stay ambiguous. The baselines (naive
+//!   propagation, both g++ variants) implement this older semantics;
+//!   `None` means the two agree.
+//!
+//! Queries where the *faithful* g++ baseline historically disagreed are
+//! flagged [`Query::gxx_divergent`]; [`Conformance::GxxFaithful`] turns
+//! the check around and **requires** the divergence, so the corpus
+//! also pins the bug the paper diagnoses.
+//!
+//! # Examples
+//!
+//! ```
+//! use cpplookup::conformance::{check_backend, Conformance};
+//! use cpplookup::{LookupTable, MemberLookup};
+//!
+//! check_backend(Conformance::Full, |g| Box::new(LookupTable::build(g))).unwrap();
+//! ```
+
+use cpplookup_chg::{fixtures, Chg};
+use cpplookup_core::{LookupOutcome, MemberLookup};
+
+/// The expected answer for one query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Resolves to the member declared by the named class.
+    Resolved(&'static str),
+    /// The lookup is ambiguous.
+    Ambiguous,
+    /// The member is not visible in the class at all.
+    NotFound,
+}
+
+impl Verdict {
+    /// Whether `outcome` matches this verdict in `g`.
+    pub fn matches(self, g: &Chg, outcome: &LookupOutcome) -> bool {
+        match (self, outcome) {
+            (Verdict::Resolved(name), LookupOutcome::Resolved { class, .. }) => {
+                g.class_name(*class) == name
+            }
+            (Verdict::Ambiguous, LookupOutcome::Ambiguous { .. }) => true,
+            (Verdict::NotFound, LookupOutcome::NotFound) => true,
+            _ => false,
+        }
+    }
+
+    /// Renders `outcome` the way corpus verdicts are written, for
+    /// failure messages.
+    pub fn describe(g: &Chg, outcome: &LookupOutcome) -> String {
+        match outcome {
+            LookupOutcome::Resolved { class, .. } => {
+                format!("Resolved({})", g.class_name(*class))
+            }
+            LookupOutcome::Ambiguous { .. } => "Ambiguous".to_owned(),
+            LookupOutcome::NotFound => "NotFound".to_owned(),
+        }
+    }
+}
+
+/// One `(class, member)` query with its expected verdicts.
+#[derive(Clone, Copy, Debug)]
+pub struct Query {
+    /// The class the lookup starts from.
+    pub class: &'static str,
+    /// The member name looked up.
+    pub member: &'static str,
+    /// The Definition 17 (C++ statics rule) verdict.
+    pub cpp: Verdict,
+    /// The Definition 9 verdict, when it differs from [`Query::cpp`]
+    /// (shared-static lookups stay ambiguous under Definition 9).
+    pub def9: Option<Verdict>,
+    /// Whether the faithful g++ breadth-first baseline historically
+    /// answers this query *incorrectly* (the Figure 9 bug).
+    pub gxx_divergent: bool,
+}
+
+impl Query {
+    /// The verdict a Definition 9 backend must produce.
+    pub fn def9_verdict(&self) -> Verdict {
+        self.def9.unwrap_or(self.cpp)
+    }
+}
+
+/// One corpus hierarchy with its query set.
+pub struct Case {
+    /// Stable case name (used in failure messages and goldens).
+    pub name: &'static str,
+    /// Builds the hierarchy.
+    pub build: fn() -> Chg,
+    /// Every query with a pinned verdict.
+    pub queries: &'static [Query],
+}
+
+const fn q(class: &'static str, member: &'static str, cpp: Verdict) -> Query {
+    Query {
+        class,
+        member,
+        cpp,
+        def9: None,
+        gxx_divergent: false,
+    }
+}
+
+use Verdict::{Ambiguous, NotFound, Resolved};
+
+/// Every conformance case: the paper's figures plus the Section 6
+/// static-member hierarchies and the textbook dominance diamond.
+pub const CASES: &[Case] = &[
+    Case {
+        name: "fig1",
+        build: fixtures::fig1,
+        queries: &[
+            q("A", "m", Resolved("A")),
+            q("B", "m", Resolved("A")),
+            q("C", "m", Resolved("A")),
+            q("D", "m", Resolved("D")),
+            // Two A subobjects: D::m dominates only one of them.
+            q("E", "m", Ambiguous),
+        ],
+    },
+    Case {
+        name: "fig2",
+        build: fixtures::fig2,
+        queries: &[
+            q("A", "m", Resolved("A")),
+            q("B", "m", Resolved("A")),
+            q("C", "m", Resolved("A")),
+            q("D", "m", Resolved("D")),
+            // The virtual B makes the A subobject shared; D::m dominates.
+            q("E", "m", Resolved("D")),
+        ],
+    },
+    Case {
+        name: "fig3",
+        build: fixtures::fig3,
+        queries: &[
+            q("A", "foo", Resolved("A")),
+            q("A", "bar", NotFound),
+            q("B", "foo", Resolved("A")),
+            q("B", "bar", NotFound),
+            q("C", "foo", Resolved("A")),
+            q("C", "bar", NotFound),
+            q("D", "foo", Ambiguous),
+            q("D", "bar", Resolved("D")),
+            q("E", "foo", NotFound),
+            q("E", "bar", Resolved("E")),
+            q("F", "foo", Ambiguous),
+            q("F", "bar", Ambiguous),
+            q("G", "foo", Resolved("G")),
+            q("G", "bar", Resolved("G")),
+            // The paper's headline results: lookup(H, foo) = {GH},
+            // lookup(H, bar) = ⊥ (Figures 4-7 trace these).
+            q("H", "foo", Resolved("G")),
+            q("H", "bar", Ambiguous),
+        ],
+    },
+    Case {
+        name: "fig9",
+        build: fixtures::fig9,
+        queries: &[
+            q("S", "m", Resolved("S")),
+            q("A", "m", Resolved("A")),
+            q("B", "m", Resolved("B")),
+            q("C", "m", Resolved("C")),
+            q("D", "m", Resolved("C")),
+            // The counterexample: C::m dominates both A::m and B::m,
+            // but a BFS meets A::m and B::m first and gives up.
+            Query {
+                class: "E",
+                member: "m",
+                cpp: Resolved("C"),
+                def9: None,
+                gxx_divergent: true,
+            },
+        ],
+    },
+    Case {
+        name: "static_diamond",
+        build: fixtures::static_diamond,
+        queries: &[
+            q("A", "s", Resolved("A")),
+            q("A", "d", Resolved("A")),
+            q("B", "s", Resolved("A")),
+            q("B", "d", Resolved("A")),
+            q("C", "s", Resolved("A")),
+            q("C", "d", Resolved("A")),
+            // Definition 17: both maximal definitions are the same
+            // static A::s, so C++ accepts what Definition 9 rejects.
+            Query {
+                class: "D",
+                member: "s",
+                cpp: Resolved("A"),
+                def9: Some(Ambiguous),
+                gxx_divergent: false,
+            },
+            q("D", "d", Ambiguous),
+        ],
+    },
+    Case {
+        name: "static_override_mix",
+        build: fixtures::static_override_mix,
+        queries: &[
+            q("S0", "id", Resolved("S0")),
+            q("M", "id", Resolved("S0")),
+            Query {
+                class: "J",
+                member: "id",
+                cpp: Resolved("S0"),
+                def9: Some(Ambiguous),
+                gxx_divergent: false,
+            },
+            q("W", "id", Resolved("W")),
+            // W::id dominates only the virtual S0; the replicated S0
+            // under the direct J base survives — ambiguous under both
+            // semantics.
+            q("T", "id", Ambiguous),
+        ],
+    },
+    Case {
+        name: "dominance_diamond",
+        build: fixtures::dominance_diamond,
+        queries: &[
+            q("Top", "f", Resolved("Top")),
+            q("Left", "f", Resolved("Left")),
+            q("Right", "f", Resolved("Top")),
+            q("Bottom", "f", Resolved("Left")),
+        ],
+    },
+];
+
+/// What a backend promises, which decides how each query is checked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Conformance {
+    /// Definition 17 / C++ semantics: must match [`Query::cpp`]
+    /// everywhere. The paper's algorithm in all its forms.
+    Full,
+    /// Definition 9 semantics: must match [`Query::def9_verdict`]
+    /// everywhere. The statics-unaware baselines.
+    Definition9,
+    /// The faithful g++ BFS: Definition 9 **except** on queries flagged
+    /// [`Query::gxx_divergent`], where it must *disagree* — matching
+    /// there means the reproduced bug is gone.
+    GxxFaithful,
+    /// Sound only when the lookup is unambiguous: checked against
+    /// [`Query::cpp`] on non-ambiguous queries, unchecked on ambiguous
+    /// ones (the Section 7.2 topological shortcut).
+    NonAmbiguousOnly,
+}
+
+/// Runs every corpus query against a backend and collects mismatches.
+///
+/// `make` receives each case's hierarchy and returns the backend under
+/// test; a fresh backend is built per case.
+///
+/// # Errors
+///
+/// One human-readable line per failed query.
+pub fn check_backend<F>(level: Conformance, mut make: F) -> Result<(), Vec<String>>
+where
+    F: for<'a> FnMut(&'a Chg) -> Box<dyn MemberLookup + 'a>,
+{
+    let mut failures = Vec::new();
+    for case in CASES {
+        let g = (case.build)();
+        let mut backend = make(&g);
+        for query in case.queries {
+            let c = g
+                .class_by_name(query.class)
+                .unwrap_or_else(|| panic!("{}: no class {}", case.name, query.class));
+            let m = g
+                .member_by_name(query.member)
+                .unwrap_or_else(|| panic!("{}: no member {}", case.name, query.member));
+            let outcome = backend.lookup(c, m);
+            let failure = match level {
+                Conformance::Full => {
+                    (!query.cpp.matches(&g, &outcome)).then(|| format!("expected {:?}", query.cpp))
+                }
+                Conformance::Definition9 => (!query.def9_verdict().matches(&g, &outcome))
+                    .then(|| format!("expected {:?}", query.def9_verdict())),
+                Conformance::GxxFaithful => {
+                    let expected = query.def9_verdict();
+                    if query.gxx_divergent {
+                        expected.matches(&g, &outcome).then(|| {
+                            format!(
+                                "expected divergence from {expected:?}, but it agrees — \
+                                 the reproduced g++ bug is gone"
+                            )
+                        })
+                    } else {
+                        (!expected.matches(&g, &outcome)).then(|| format!("expected {expected:?}"))
+                    }
+                }
+                Conformance::NonAmbiguousOnly => match query.cpp {
+                    Ambiguous => None,
+                    expected => {
+                        (!expected.matches(&g, &outcome)).then(|| format!("expected {expected:?}"))
+                    }
+                },
+            };
+            if let Some(why) = failure {
+                failures.push(format!(
+                    "{} lookup({}, {}): got {}, {why}",
+                    case.name,
+                    query.class,
+                    query.member,
+                    Verdict::describe(&g, &outcome)
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+/// Total number of corpus queries (used by tests to pin coverage).
+pub fn query_count() -> usize {
+    CASES.iter().map(|c| c.queries.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_well_formed() {
+        assert_eq!(CASES.len(), 7);
+        assert!(query_count() >= 45);
+        // Every named class/member exists in its hierarchy.
+        for case in CASES {
+            let g = (case.build)();
+            for q in case.queries {
+                assert!(
+                    g.class_by_name(q.class).is_some(),
+                    "{}: {}",
+                    case.name,
+                    q.class
+                );
+                assert!(
+                    g.member_by_name(q.member).is_some(),
+                    "{}: {}",
+                    case.name,
+                    q.member
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_counterexample_is_flagged() {
+        let fig9 = CASES.iter().find(|c| c.name == "fig9").unwrap();
+        let flagged: Vec<_> = fig9.queries.iter().filter(|q| q.gxx_divergent).collect();
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].class, "E");
+        assert_eq!(flagged[0].cpp, Verdict::Resolved("C"));
+    }
+}

@@ -19,8 +19,25 @@
 //! | [`frontend`] | `cpplookup-frontend` | mini-C++ parser, lowering, and name resolution |
 //! | [`hiergen`] | `cpplookup-hiergen` | structured and random hierarchy generators |
 //! | [`layout`] | `cpplookup-layout` | subobject-accurate object layouts (offsets, vptrs, virtual bases) |
+//! | [`snapshot`] | `cpplookup-snapshot` | compile-once/serve-many binary snapshots of compiled tables |
 //!
 //! The most common types are re-exported at the top level.
+//!
+//! For deployments that build the table once and serve it from many
+//! processes, [`Snapshot`] serializes a compiled hierarchy into a
+//! checksummed binary artifact and [`SnapshotTable`] answers lookups
+//! straight from the loaded bytes:
+//!
+//! ```
+//! use cpplookup::{chg::fixtures, Snapshot, SnapshotTable};
+//!
+//! let snap = Snapshot::compile(&fixtures::fig2());
+//! let table = SnapshotTable::from_bytes(snap.into_bytes())?;
+//! let e = table.class_by_name("E").unwrap();
+//! let m = table.member_by_name("m").unwrap();
+//! assert_eq!(table.lookup(e, m).resolved_class(), table.class_by_name("D"));
+//! # Ok::<(), cpplookup::SnapshotError>(())
+//! ```
 //!
 //! # Quickstart
 //!
@@ -97,6 +114,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod conformance;
+
 pub use cpplookup_baselines as baselines;
 pub use cpplookup_chg as chg;
 pub use cpplookup_core as lookup;
@@ -104,16 +123,16 @@ pub use cpplookup_core::obs;
 pub use cpplookup_frontend as frontend;
 pub use cpplookup_hiergen as hiergen;
 pub use cpplookup_layout as layout;
+pub use cpplookup_snapshot as snapshot;
 pub use cpplookup_subobject as subobject;
 
 pub use cpplookup_chg::{
     apply_edits, Access, Chg, ChgBuilder, ChgError, ClassId, Edit, Inheritance, MemberDecl,
     MemberId, MemberKind, Path,
 };
-#[allow(deprecated)]
-pub use cpplookup_core::build_table_parallel;
 pub use cpplookup_core::{
     EngineBacking, EngineOptions, EngineStats, LazyLookup, LeastVirtual, LookupEngine,
     LookupOptions, LookupOutcome, LookupTable, MemberLookup, RedAbs, StaticRule,
 };
+pub use cpplookup_snapshot::{Snapshot, SnapshotError, SnapshotTable};
 pub use cpplookup_subobject::{Resolution, Subobject, SubobjectGraph};

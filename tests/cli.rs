@@ -262,6 +262,142 @@ fn batch_metrics_emits_json_snapshot_and_applies_edit_directives() {
     let _ = std::fs::remove_file(path);
 }
 
+fn temp_snap_path(tag: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "cpplookup-cli-test-{}-{tag}.snap",
+        std::process::id()
+    ));
+    path
+}
+
+#[test]
+fn compile_then_query_snapshot_answers_without_source() {
+    let src = write_temp(FIG9);
+    let snap = temp_snap_path("roundtrip");
+    let (_, stderr, code) = run(&[
+        "compile",
+        src.to_str().unwrap(),
+        "-o",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(
+        stderr.contains("wrote") && stderr.contains("classes"),
+        "{stderr}"
+    );
+
+    // The serve-many side needs only the snapshot: Fig. 9's famous
+    // verdict (E::m resolves to C) comes straight off the bytes.
+    let (stdout, stderr, code) = run(&["query", "--snapshot", snap.to_str().unwrap(), "E", "m"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(
+        stdout.contains("E::m") && stdout.contains("C::m"),
+        "{stdout}"
+    );
+
+    // And it agrees verbatim with compiling the source on the spot.
+    let (from_source, _, code) = run(&["query", src.to_str().unwrap(), "E", "m"]);
+    assert_eq!(code, Some(0));
+    assert_eq!(stdout, from_source);
+
+    let (_, stderr, code) = run(&["query", "--snapshot", snap.to_str().unwrap(), "E", "nope"]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("unknown class or member"), "{stderr}");
+
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(snap);
+}
+
+#[test]
+fn batch_from_snapshot_warm_starts_the_engine() {
+    let src = write_temp(FIG9);
+    let snap = temp_snap_path("warm");
+    let (_, _, code) = run(&[
+        "compile",
+        src.to_str().unwrap(),
+        "-o",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+
+    let (stdout, stderr, code) = run_with_stdin(
+        &["batch", "--snapshot", snap.to_str().unwrap(), "--metrics"],
+        "E m\nC m\n",
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(
+        stdout.contains("E::m") && stdout.contains("C::m"),
+        "{stdout}"
+    );
+    assert!(stderr.contains("warm start:"), "{stderr}");
+    assert!(stderr.contains("entries seeded"), "{stderr}");
+    // Every answer comes from the seeded cache: hits, no misses.
+    let json = stdout.lines().last().expect("metrics snapshot line");
+    assert!(
+        json.contains("{\"name\":\"engine_cache_hits_total\",\"type\":\"counter\",\"value\":2"),
+        "{json}"
+    );
+    assert!(
+        json.contains("{\"name\":\"engine_cache_misses_total\",\"type\":\"counter\",\"value\":0"),
+        "{json}"
+    );
+
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(snap);
+}
+
+#[test]
+fn corrupt_snapshots_are_refused_with_exit_code_2() {
+    let src = write_temp(FIG9);
+    let snap = temp_snap_path("corrupt");
+    let (_, _, code) = run(&[
+        "compile",
+        src.to_str().unwrap(),
+        "-o",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+
+    // Flip one byte in the middle of the file.
+    let mut bytes = std::fs::read(&snap).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x41;
+    std::fs::write(&snap, &bytes).expect("write damaged snapshot");
+
+    let (stdout, stderr, code) = run(&["query", "--snapshot", snap.to_str().unwrap(), "E", "m"]);
+    assert_eq!(code, Some(2), "stdout: {stdout} stderr: {stderr}");
+    assert!(stderr.contains("checksum"), "{stderr}");
+
+    let (_, stderr, code) =
+        run_with_stdin(&["batch", "--snapshot", snap.to_str().unwrap()], "E m\n");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("checksum"), "{stderr}");
+
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(snap);
+}
+
+#[test]
+fn snapshot_flag_usage_errors_exit_2() {
+    let src = write_temp(FIG9);
+    // --snapshot only applies to query and batch.
+    let (_, stderr, code) = run(&["check", "--snapshot", "whatever.snap"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("does not take --snapshot"), "{stderr}");
+
+    // compile requires an output path.
+    let (_, stderr, code) = run(&["compile", src.to_str().unwrap()]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    // A snapshot that is not there is an I/O error, not a crash.
+    let (_, stderr, code) = run(&["query", "--snapshot", "/nonexistent/nope.snap", "E", "m"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("nope.snap"), "{stderr}");
+    let _ = std::fs::remove_file(src);
+}
+
 #[test]
 fn batch_rejects_directives_without_metrics_flag() {
     let path = write_temp(FIG9);

@@ -1,0 +1,235 @@
+//! The seed-fixed golden snapshot corpus.
+//!
+//! `tests/corpus/` holds ~a dozen generator-produced hierarchies
+//! serialized as snapshots (`*.snap`) next to a textual rendering of
+//! every query verdict (`*.golden`). The regression test re-verifies
+//! three independent properties on every run:
+//!
+//! 1. **Byte determinism / format stability** — recompiling today's
+//!    generator output is byte-identical to the checked-in snapshot, so
+//!    any change to the binary format, the entry encodings, or the
+//!    generators shows up as a diff here *before* it can silently
+//!    invalidate deployed snapshots.
+//! 2. **Golden verdicts** — the loaded snapshot answers every
+//!    `(class, member)` query exactly as recorded.
+//! 3. **Oracle agreement** — every verdict is re-derived from the
+//!    Rossie–Friedman subobject oracle (`lookup_in_class`, Definition
+//!    17), so the goldens cannot drift away from the semantics either.
+//!
+//! Intentional format or generator changes are blessed with:
+//!
+//! ```text
+//! cargo test --test corpus bless_corpus -- --ignored
+//! ```
+//!
+//! then reviewing the resulting `tests/corpus/` diff like any other
+//! code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use cpplookup::hiergen::families;
+use cpplookup::hiergen::{random_hierarchy, RandomConfig};
+use cpplookup::snapshot::{Snapshot, SnapshotTable};
+use cpplookup::subobject::{lookup_in_class, Resolution};
+use cpplookup::{Chg, Inheritance, LookupOutcome};
+
+/// Subobject-graph budget for the oracle pass; corpus hierarchies are
+/// chosen to stay well under it.
+const LIMIT: usize = 200_000;
+
+struct Case {
+    name: &'static str,
+    build: fn() -> Chg,
+}
+
+/// The corpus: one representative of each generator family, all fully
+/// deterministic (fixed sizes, fixed seeds).
+const CASES: &[Case] = &[
+    Case {
+        name: "chain_12",
+        build: || families::chain(12, None),
+    },
+    Case {
+        name: "chain_12_virtual_3",
+        build: || families::chain(12, Some(3)),
+    },
+    Case {
+        name: "stacked_diamonds_3_nonvirtual",
+        build: || families::stacked_diamonds(3, Inheritance::NonVirtual),
+    },
+    Case {
+        name: "stacked_diamonds_3_virtual",
+        build: || families::stacked_diamonds(3, Inheritance::Virtual),
+    },
+    Case {
+        name: "stacked_diamonds_overridden_3",
+        build: || families::stacked_diamonds_overridden(3, Inheritance::Virtual),
+    },
+    Case {
+        name: "wide_diamond_6",
+        build: || families::wide_diamond(6, Inheritance::Virtual),
+    },
+    Case {
+        name: "pyramid_4",
+        build: || families::pyramid(4, Inheritance::NonVirtual),
+    },
+    Case {
+        name: "interface_heavy_6x3",
+        build: || families::interface_heavy(6, 3),
+    },
+    Case {
+        name: "grid_3x3",
+        build: || families::grid(3, 3),
+    },
+    Case {
+        name: "gxx_trap_3",
+        build: || families::gxx_trap(3),
+    },
+    Case {
+        name: "random_stress_42",
+        build: || random_hierarchy(&RandomConfig::stress(42)),
+    },
+    Case {
+        name: "random_realistic_20_7",
+        build: || random_hierarchy(&RandomConfig::realistic(20, 7)),
+    },
+];
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+/// Renders every `(class, member)` verdict of a loaded snapshot as
+/// stable text: one `class<TAB>member<TAB>verdict` line per pair, in
+/// id order.
+fn render_goldens(snap: &SnapshotTable) -> String {
+    let mut out = String::new();
+    for c in 0..snap.class_count() {
+        let c = cpplookup::ClassId::from_index(c);
+        for m in 0..snap.member_name_count() {
+            let m = cpplookup::MemberId::from_index(m);
+            let verdict = match snap.lookup(c, m) {
+                LookupOutcome::NotFound => continue, // keep goldens dense
+                LookupOutcome::Resolved { class, .. } => {
+                    snap.class_name(class).expect("valid id").to_owned()
+                }
+                LookupOutcome::Ambiguous { .. } => "!ambiguous".to_owned(),
+            };
+            writeln!(
+                out,
+                "{}\t{}\t{}",
+                snap.class_name(c).expect("valid id"),
+                snap.member_name(m).expect("valid id"),
+                verdict
+            )
+            .expect("writing to String");
+        }
+    }
+    out
+}
+
+const BLESS_HINT: &str =
+    "regenerate with: cargo test --test corpus bless_corpus -- --ignored (then review the diff)";
+
+/// Regenerates every `.snap` and `.golden` in `tests/corpus/`. Run
+/// explicitly (see module docs); never runs in a normal test pass.
+#[test]
+#[ignore = "regenerates the checked-in corpus; run with -- --ignored"]
+fn bless_corpus() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/corpus");
+    for case in CASES {
+        let g = (case.build)();
+        let snap = Snapshot::compile(&g);
+        snap.write_to(dir.join(format!("{}.snap", case.name)))
+            .expect("write snapshot");
+        let loaded = SnapshotTable::from_bytes(snap.into_bytes()).expect("fresh snapshot loads");
+        std::fs::write(
+            dir.join(format!("{}.golden", case.name)),
+            render_goldens(&loaded),
+        )
+        .expect("write golden");
+        println!("blessed {}", case.name);
+    }
+}
+
+#[test]
+fn snapshots_are_byte_stable() {
+    let dir = corpus_dir();
+    for case in CASES {
+        let path = dir.join(format!("{}.snap", case.name));
+        let checked_in = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}; {BLESS_HINT}", path.display()));
+        let recompiled = Snapshot::compile(&(case.build)());
+        assert!(
+            recompiled.as_bytes() == checked_in.as_slice(),
+            "{}: recompiling produced different bytes ({} vs {}) — the snapshot format or \
+             the generator changed; {BLESS_HINT}",
+            case.name,
+            recompiled.len(),
+            checked_in.len()
+        );
+    }
+}
+
+#[test]
+fn snapshots_match_goldens() {
+    let dir = corpus_dir();
+    for case in CASES {
+        let snap = SnapshotTable::load(dir.join(format!("{}.snap", case.name)))
+            .unwrap_or_else(|e| panic!("{}: {e}; {BLESS_HINT}", case.name));
+        let golden_path = dir.join(format!("{}.golden", case.name));
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("{}: {e}; {BLESS_HINT}", golden_path.display()));
+        let rendered = render_goldens(&snap);
+        assert!(
+            rendered == golden,
+            "{}: verdicts drifted from the golden file; {BLESS_HINT}\n--- golden\n{golden}\
+             --- now\n{rendered}",
+            case.name
+        );
+    }
+}
+
+/// Every corpus verdict re-derived from the Definition 17 subobject
+/// oracle: the checked-in snapshots cannot drift from the semantics.
+#[test]
+fn snapshots_agree_with_subobject_oracle() {
+    let dir = corpus_dir();
+    for case in CASES {
+        let snap = SnapshotTable::load(dir.join(format!("{}.snap", case.name)))
+            .unwrap_or_else(|e| panic!("{}: {e}; {BLESS_HINT}", case.name));
+        let g = snap.to_chg().expect("corpus snapshots rebuild");
+        for c in g.classes() {
+            for m in g.member_ids() {
+                let oracle = lookup_in_class(&g, c, m, LIMIT)
+                    .expect("corpus hierarchies stay under the subobject budget");
+                let got = snap.lookup(c, m);
+                let agree = match (&oracle, &got) {
+                    (Resolution::NotFound, LookupOutcome::NotFound) => true,
+                    (Resolution::Ambiguous(_), LookupOutcome::Ambiguous { .. }) => true,
+                    (
+                        Resolution::Subobject(_) | Resolution::SharedStatic(_),
+                        LookupOutcome::Resolved { class, .. },
+                    ) => {
+                        let sg = cpplookup::SubobjectGraph::build(&g, c, LIMIT).expect("in budget");
+                        oracle.resolved_class(&sg) == Some(*class)
+                    }
+                    _ => false,
+                };
+                assert!(
+                    agree,
+                    "{} lookup({}, {}): snapshot says {:?}, oracle says {:?}",
+                    case.name,
+                    g.class_name(c),
+                    g.member_name(m),
+                    got,
+                    oracle
+                );
+            }
+        }
+    }
+}
