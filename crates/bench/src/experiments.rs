@@ -30,15 +30,19 @@ use crate::workloads::{self, Workload};
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
-/// Runs one experiment by id (`"e1"`..`"e20"`), writing its report.
+/// Runs one experiment by id (`"e1"`..`"e21"`), writing its report.
+/// The extra id `"e21-smoke"` is the CI guard variant of E21: a fast
+/// differential + perf check that *fails* (returns an error) when the
+/// batched compiler regresses.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer; unknown ids return
-/// `InvalidInput`.
+/// `InvalidInput`; `"e21-smoke"` returns an error when the regression
+/// guard trips.
 pub fn run(id: &str, w: &mut dyn Write) -> io::Result<()> {
     match id {
         "e1" => e1(w),
@@ -61,6 +65,8 @@ pub fn run(id: &str, w: &mut dyn Write) -> io::Result<()> {
         "e18" => e18(w),
         "e19" => e19(w),
         "e20" => e20(w),
+        "e21" => e21(w),
+        "e21-smoke" => e21_smoke(w),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}` (known: {})", ALL.join(", ")),
@@ -1013,6 +1019,132 @@ fn e20(w: &mut dyn Write) -> io::Result<()> {
     Ok(())
 }
 
+/// E21 — the batched single-sweep compiler (CSR + member-frontier
+/// pruning + arena-interned abstractions) against the per-member
+/// reference build it replaced, plus the work-stealing parallel sweep
+/// on top. Every family here is ≥2000 classes; the headline number is
+/// the geometric-mean single-thread speedup (target ≥3×). The builders
+/// are asserted entry-identical before any timing is reported.
+fn e21(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        w,
+        "E21: batched single-sweep compiler vs the old per-member build"
+    )?;
+    let jobs = std::thread::available_parallelism().map_or(4, usize::from);
+    writeln!(
+        w,
+        "  old = one full topological sweep over all classes per member \
+         (Theta(|N|*|M|) steps); batched = one sweep per member *frontier*, \
+         shared CSR, interned abstractions; parallel = work-stealing over \
+         member columns ({jobs} jobs)"
+    )?;
+    let families: Vec<(&str, Chg)> = vec![
+        ("chain_2500", families::chain(2500, Some(16))),
+        ("grid_50x50", families::grid(50, 50)),
+        ("interface_500x4", families::interface_heavy(500, 4)),
+        (
+            "realistic_2000",
+            random_hierarchy(&RandomConfig::realistic(2000, 7)),
+        ),
+        (
+            "realistic_4000",
+            random_hierarchy(&RandomConfig::realistic(4000, 7)),
+        ),
+    ];
+    writeln!(
+        w,
+        "  {:<16} {:>7} {:>8} {:>11} {:>11} {:>8} {:>11} {:>8}",
+        "family", "classes", "entries", "old", "batched", "speedup", "parallel", "speedup"
+    )?;
+    let mut ratios: Vec<f64> = Vec::new();
+    for (name, chg) in &families {
+        let options = LookupOptions::default();
+        let (t_old, old) = median_time(3, || LookupTable::build_per_member(chg, options));
+        let (t_bat, batched) = median_time(3, || LookupTable::build(chg));
+        assert_eq!(
+            old.stats(),
+            batched.stats(),
+            "{name}: builders diverged — timing a wrong table is meaningless"
+        );
+        drop(old);
+        let (t_par, parallel) = median_time(3, || LookupTable::build_parallel(chg, options, jobs));
+        assert_eq!(
+            batched.stats(),
+            parallel.stats(),
+            "{name}: parallel diverged"
+        );
+        let entries = batched.stats().entries;
+        drop((batched, parallel));
+        let speedup = t_old.as_secs_f64() / t_bat.as_secs_f64().max(f64::MIN_POSITIVE);
+        let par_speedup = t_old.as_secs_f64() / t_par.as_secs_f64().max(f64::MIN_POSITIVE);
+        ratios.push(speedup);
+        writeln!(
+            w,
+            "  {:<16} {:>7} {:>8} {:>11} {:>11} {:>7.2}x {:>11} {:>7.2}x",
+            name,
+            chg.class_count(),
+            entries,
+            fmt_duration(t_old),
+            fmt_duration(t_bat),
+            speedup,
+            fmt_duration(t_par),
+            par_speedup,
+        )?;
+    }
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    writeln!(
+        w,
+        "  target >=3x single-thread geomean speedup on families >=2000 classes: {} ({geomean:.2}x)",
+        if geomean >= 3.0 { "PASS" } else { "FAIL" }
+    )?;
+    Ok(())
+}
+
+/// E21's CI guard: a fast batched-vs-old differential on one small
+/// interface-heavy family, erroring out when the tables diverge or the
+/// batched build is more than 1.25× slower than the old per-member
+/// build it replaced.
+fn e21_smoke(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "E21-smoke: batched-vs-old differential + perf guard")?;
+    let chg = families::interface_heavy(200, 4);
+    let options = LookupOptions::default();
+    let old = LookupTable::build_per_member(&chg, options);
+    let batched = LookupTable::build(&chg);
+    for c in chg.classes() {
+        for m in chg.member_ids() {
+            if old.entry(c, m) != batched.entry(c, m) {
+                return Err(io::Error::other(format!(
+                    "builders diverge at ({}, {})",
+                    chg.class_name(c),
+                    chg.member_name(m)
+                )));
+            }
+        }
+    }
+    writeln!(
+        w,
+        "  differential: {} classes, {} entries, batched == old per-member build",
+        chg.class_count(),
+        batched.stats().entries
+    )?;
+    let (t_old, _) = median_time(5, || LookupTable::build_per_member(&chg, options));
+    let (t_bat, _) = median_time(5, || LookupTable::build(&chg));
+    let ratio = t_bat.as_secs_f64() / t_old.as_secs_f64().max(f64::MIN_POSITIVE);
+    writeln!(
+        w,
+        "  perf: old {} batched {} (batched/old = {ratio:.2})",
+        fmt_duration(t_old),
+        fmt_duration(t_bat)
+    )?;
+    if ratio > 1.25 {
+        return Err(io::Error::other(format!(
+            "batched build is {ratio:.2}x the old per-member build time (limit 1.25x)"
+        )));
+    }
+    writeln!(w, "  guard: PASS (limit 1.25x)")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1042,7 +1174,7 @@ mod tests {
         // Don't run the heavy ones here; just verify dispatch exists by
         // name for every id in ALL (compile-time exhaustiveness is
         // enforced by the match).
-        assert_eq!(ALL.len(), 20);
+        assert_eq!(ALL.len(), 21);
         assert!(ALL.iter().all(|id| id.starts_with('e')));
     }
 }

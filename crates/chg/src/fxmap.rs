@@ -1,0 +1,183 @@
+//! Deterministic, seeded FxHash-style hashing for the hot maps.
+//!
+//! The default `std::collections` hasher (SipHash-1-3) is keyed per
+//! process and pays for DoS resistance we do not need on interned
+//! `u32`-backed ids and short member names. This module provides a
+//! fixed-seed multiplicative hasher in the style of rustc's `FxHasher`:
+//! each 8-byte word is folded in with a rotate-xor-multiply step, which
+//! is a handful of cycles per key and — because the seed is a compile
+//! time constant — produces the same hash for the same key in every
+//! process and on every run.
+//!
+//! Determinism caveat: map *iteration order* still depends on insertion
+//! order and capacity, so callers must not let iteration order leak
+//! into output (the lookup crates sort before serializing). What the
+//! fixed seed buys is reproducible behaviour — identical probe
+//! sequences, identical resize points — across runs, which keeps
+//! profiles and benchmarks stable.
+//!
+//! # Examples
+//!
+//! ```
+//! use cpplookup_chg::fxmap::FxHashMap;
+//!
+//! let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+//! m.insert("lookup", 1997);
+//! assert_eq!(m.get("lookup"), Some(&1997));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// The multiplicative constant from FxHash (a.k.a. the Firefox hash):
+/// a prime close to the golden ratio times 2^64.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fixed seed folded into every hasher so hashes are stable across
+/// processes (unlike `RandomState`). The value is arbitrary but must
+/// never change silently: [`tests::hash_values_are_pinned`] pins it.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A fast, non-cryptographic, fixed-seed hasher.
+///
+/// Suitable for interned ids and short strings in trusted input; not
+/// resistant to collision attacks, so never use it on attacker
+/// controlled keys exposed to untrusted parties.
+#[derive(Clone, Debug)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Default for FxHasher {
+    fn default() -> Self {
+        FxHasher { hash: SEED }
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+        // Fold the length in so prefixes padded with zero bytes
+        // ("a" vs "a\0") do not collide trivially.
+        self.add(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// [`BuildHasher`] producing [`FxHasher`]s with the fixed seed.
+///
+/// A zero-sized type, so `FxHashMap` is layout-identical to a plain
+/// `HashMap` minus the two random `u64`s of `RandomState`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` using the fixed-seed [`FxHasher`]. Construct with
+/// `FxHashMap::default()` or `FxHashMap::with_capacity_and_hasher`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the fixed-seed [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with the fixed-seed hasher; handy for handle
+/// dedup tables that key on a hash and resolve collisions themselves.
+#[inline]
+pub fn fxhash<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The seed and constant are load-bearing: snapshots, benchmarks
+    /// and the dedup arenas assume hashes never vary between runs. If
+    /// this test fails you changed the hash function — make sure
+    /// nothing persisted depends on it.
+    #[test]
+    fn hash_values_are_pinned() {
+        assert_eq!(fxhash(&0u64), 0x6d5e_786d_8728_102f);
+        assert_eq!(fxhash(&1u64), 0x1be1_b6b6_6006_059a);
+        assert_eq!(fxhash(&"m"), 0x1157_0559_5596_fd9e);
+    }
+
+    #[test]
+    fn identical_across_hasher_instances() {
+        for key in ["", "m", "foo", "a_rather_longer_member_name"] {
+            assert_eq!(fxhash(&key), fxhash(&key));
+        }
+        assert_ne!(fxhash(&"a"), fxhash(&"b"));
+        // Zero-padding must not make "a" collide with "a\0".
+        assert_ne!(fxhash(&b"a".as_slice()), fxhash(&b"a\0".as_slice()));
+    }
+
+    #[test]
+    fn map_behaves_like_hashmap() {
+        let mut m: FxHashMap<String, usize> = FxHashMap::default();
+        for (i, name) in ["x", "y", "z", "x"].iter().enumerate() {
+            m.insert((*name).to_owned(), i);
+        }
+        assert_eq!(m.len(), 3);
+        assert_eq!(m["x"], 3);
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

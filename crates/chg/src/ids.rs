@@ -5,8 +5,9 @@
 //! both are interned to `u32`-backed ids that are `Copy`, hashable, and
 //! usable as dense vector indices.
 
-use std::collections::HashMap;
 use std::fmt;
+
+use crate::fxmap::FxHashMap;
 
 /// Identifier of a class in a [`crate::Chg`].
 ///
@@ -93,11 +94,13 @@ impl fmt::Display for MemberId {
 /// A simple string interner mapping names to dense `u32` indices.
 ///
 /// Used for both class names and member names. Interning the same string
-/// twice returns the same index.
+/// twice returns the same index. The reverse map uses the fixed-seed
+/// [`crate::fxmap`] hasher: interner probes sit on the hot path of
+/// parsing and engine edits, and the keys are trusted identifiers.
 #[derive(Clone, Debug, Default)]
 pub struct Interner {
     names: Vec<String>,
-    by_name: HashMap<String, u32>,
+    by_name: FxHashMap<String, u32>,
 }
 
 impl Interner {

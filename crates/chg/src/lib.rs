@@ -48,10 +48,12 @@
 #![forbid(unsafe_code)]
 
 mod bitset;
+mod csr;
 pub mod dot;
 mod edit;
 mod error;
 pub mod fixtures;
+pub mod fxmap;
 mod graph;
 mod ids;
 mod members;
@@ -59,6 +61,7 @@ mod path;
 pub mod spec;
 
 pub use bitset::{BitMatrix, BitSet};
+pub use csr::{Csr, CsrEdge};
 pub use edit::{apply_edits, Edit};
 pub use error::{ChgError, PathError};
 pub use graph::{BaseSpec, Chg, ChgBuilder, Inheritance};

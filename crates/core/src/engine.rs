@@ -59,7 +59,6 @@
 //! assert_eq!(engine.generation(), 1);
 //! ```
 
-use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
@@ -69,6 +68,7 @@ use cpplookup_chg::{
 };
 
 use crate::api::MemberLookup;
+use crate::fxmap::FxHashMap;
 use crate::obs::{self, EngineMetrics};
 use crate::result::{Entry, LookupOutcome};
 use crate::table::{compute_entry_with, LookupOptions, LookupTable};
@@ -218,7 +218,7 @@ enum Slot {
     Absent,
 }
 
-type Shard = RwLock<HashMap<(ClassId, MemberId), Slot>>;
+type Shard = RwLock<FxHashMap<(ClassId, MemberId), Slot>>;
 
 /// A thread-safe member-lookup service over an owned, editable class
 /// hierarchy. See the [module docs](self) for the design.
@@ -242,7 +242,7 @@ impl LookupEngine {
     pub fn with_options(chg: Chg, options: EngineOptions) -> Self {
         let shard_count = options.shards.max(1);
         let shards = (0..shard_count)
-            .map(|_| RwLock::new(HashMap::new()))
+            .map(|_| RwLock::new(FxHashMap::default()))
             .collect();
         let mut engine = LookupEngine {
             chg,
@@ -250,17 +250,23 @@ impl LookupEngine {
             shards,
             metrics: EngineMetrics::new(shard_count),
         };
-        match options.backing {
-            EngineBacking::Lazy => {}
+        let start = Instant::now();
+        let strategy = match options.backing {
+            EngineBacking::Lazy => "lazy",
             EngineBacking::Eager => {
                 let table = LookupTable::build_with(&engine.chg, options.lookup);
                 engine.seed_from_table(table);
+                "eager"
             }
             EngineBacking::Parallel { threads } => {
                 let table = LookupTable::build_parallel(&engine.chg, options.lookup, threads);
                 engine.seed_from_table(table);
+                "parallel"
             }
-        }
+        };
+        engine
+            .metrics
+            .record_build(strategy, start.elapsed().as_nanos() as u64);
         engine
     }
 
@@ -449,7 +455,7 @@ impl LookupEngine {
         let mut ancestors: Vec<ClassId> = self.chg.bases_of(c).collect();
         ancestors.push(c);
         ancestors.sort_by_key(|&a| self.chg.topo_position(a));
-        let mut local: HashMap<ClassId, Option<Entry>> = HashMap::with_capacity(ancestors.len());
+        let mut local: FxHashMap<ClassId, Option<Entry>> = FxHashMap::default();
         let mut fresh: Vec<(ClassId, Option<Entry>)> = Vec::new();
         for &a in &ancestors {
             if let Some(cached) = self.cached(a, m) {
@@ -536,7 +542,7 @@ impl LookupEngine {
             // One member's run of dirty classes, already topologically
             // sorted: stage base entries locally so each recomputation
             // sees its member's fresh values.
-            let mut local: HashMap<ClassId, Option<Entry>> = HashMap::new();
+            let mut local: FxHashMap<ClassId, Option<Entry>> = FxHashMap::default();
             while i < dirty.len() && dirty[i].1 == m {
                 let c = dirty[i].0;
                 for spec in self.chg.direct_bases(c) {

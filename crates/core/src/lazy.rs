@@ -12,11 +12,10 @@
 //! hierarchies (the chain workloads of the benchmarks) cannot overflow the
 //! call stack.
 
-use std::collections::HashMap;
-
 use cpplookup_chg::{Chg, ClassId, MemberId, Path};
 
 use crate::api::MemberLookup;
+use crate::fxmap::FxHashMap;
 use crate::result::{Entry, LookupOutcome};
 use crate::table::{compute_entry_with, LookupOptions};
 
@@ -53,7 +52,7 @@ enum Slot {
 pub struct LazyLookup<'a> {
     chg: &'a Chg,
     options: LookupOptions,
-    cache: Vec<HashMap<MemberId, Slot>>,
+    cache: Vec<FxHashMap<MemberId, Slot>>,
     computed_entries: usize,
 }
 
@@ -68,7 +67,7 @@ impl<'a> LazyLookup<'a> {
         LazyLookup {
             chg,
             options,
-            cache: vec![HashMap::new(); chg.class_count()],
+            cache: vec![FxHashMap::default(); chg.class_count()],
             computed_entries: 0,
         }
     }

@@ -61,9 +61,11 @@
 mod abstraction;
 pub mod access;
 mod api;
+mod batched;
 pub mod cha;
 pub mod dispatch;
 mod engine;
+pub mod fxmap;
 mod lazy;
 pub mod obs;
 mod parallel;

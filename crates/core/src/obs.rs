@@ -182,6 +182,47 @@ pub fn snapshot_loaded(_bytes: u64, _elapsed_ns: u64) {
     }
 }
 
+/// Records one whole-table build in the [`global()`] registry:
+/// `build_nodes_visited_total{strategy="..."}` counts the live
+/// `(class, member)` pairs the build touched, labelled by builder
+/// strategy (`batched`, `batched-parallel`, `reference`);
+/// `build_members_pruned_total` counts the `(class, member)` pairs the
+/// member-frontier pruning skipped (`|N|·|M| −` live; zero for the
+/// unpruned reference builder); and `build_seconds` histograms the
+/// build wall time (observed in **nanoseconds**, like the other latency
+/// histograms — the help text states the unit). No-op with the `obs`
+/// feature disabled.
+#[inline]
+pub fn table_built(
+    _strategy: &'static str,
+    _nodes_visited: u64,
+    _members_pruned: u64,
+    _elapsed_ns: u64,
+) {
+    #[cfg(feature = "obs")]
+    {
+        let r = global();
+        r.counter_family(
+            "build_nodes_visited_total",
+            "live (class, member) pairs touched by whole-table builds",
+            "strategy",
+        )
+        .with_label(_strategy)
+        .add(_nodes_visited);
+        r.counter(
+            "build_members_pruned_total",
+            "(class, member) pairs skipped by member-frontier pruning",
+        )
+        .add(_members_pruned);
+        r.histogram(
+            "build_seconds",
+            "whole-table build wall time (recorded in nanoseconds)",
+            Histogram::latency_ns(),
+        )
+        .observe(_elapsed_ns);
+    }
+}
+
 /// Per-shard families, histograms, and the event sink — the parts of
 /// the engine's instrumentation that only exist with the `obs` feature.
 #[cfg(feature = "obs")]
@@ -353,6 +394,28 @@ impl EngineMetrics {
             self.ext.shard_misses[_shard].inc();
             self.emit(|| Event::CacheMiss { shard: _shard });
         }
+    }
+
+    /// Records the engine's initial cache build: which strategy ran
+    /// (`build_strategy` label on `engine_build_info`) and how long it
+    /// took (`engine_build_seconds`, observed in nanoseconds). Always
+    /// on — `stats` surfaces both without the `obs` feature.
+    pub(crate) fn record_build(&self, strategy: &str, nanos: u64) {
+        self.registry
+            .counter_family(
+                "engine_build_info",
+                "initial cache builds by strategy",
+                "build_strategy",
+            )
+            .with_label(strategy)
+            .inc();
+        self.registry
+            .histogram(
+                "engine_build_seconds",
+                "initial cache build wall time (recorded in nanoseconds)",
+                Histogram::latency_ns(),
+            )
+            .observe(nanos);
     }
 
     /// Records one timed query's duration.

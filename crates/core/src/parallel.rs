@@ -3,36 +3,15 @@
 //! The paper observes that once the preprocessing (topological order and
 //! virtual-base closure) is done, the table columns for distinct member
 //! names are **independent**: `lookup[·, m]` depends only on entries for
-//! the same `m`. This module exploits that by sharding member names across
-//! threads, each thread running the per-member propagation over the
-//! topological order. Results are bit-identical to the sequential
-//! [`LookupTable`] (asserted by tests).
+//! the same `m`. [`LookupTable::build_parallel`] exploits that with the
+//! work-stealing batched sweep of [`crate::batched`]: workers drain
+//! member columns (largest frontier first) from a shared cursor over
+//! one CSR view of the hierarchy. Results are bit-identical to the
+//! sequential [`LookupTable`] (asserted by tests).
 
-use std::collections::HashMap;
+use cpplookup_chg::Chg;
 
-use cpplookup_chg::{Chg, ClassId, MemberId};
-
-use crate::result::Entry;
-use crate::table::{compute_entry_with, LookupOptions, LookupTable};
-
-/// Computes the table column of a single member name: for every class
-/// where `m` is visible, its entry, in topological order of class.
-pub(crate) fn member_column(
-    chg: &Chg,
-    m: MemberId,
-    options: LookupOptions,
-) -> Vec<(ClassId, Entry)> {
-    let mut slots: Vec<Option<Entry>> = vec![None; chg.class_count()];
-    let mut out = Vec::new();
-    for &c in chg.topo_order() {
-        let entry = compute_entry_with(chg, options, c, m, |b| slots[b.index()].as_ref());
-        if let Some(e) = entry {
-            out.push((c, e.clone()));
-            slots[c.index()] = Some(e);
-        }
-    }
-    out
-}
+use crate::table::{LookupOptions, LookupTable};
 
 impl LookupTable {
     /// Builds the complete lookup table using `threads` worker threads
@@ -54,50 +33,7 @@ impl LookupTable {
     /// assert_eq!(par.entry(h, foo), seq.entry(h, foo));
     /// ```
     pub fn build_parallel(chg: &Chg, options: LookupOptions, threads: usize) -> LookupTable {
-        let threads = threads.max(1);
-        let members: Vec<MemberId> = chg.member_ids().collect();
-        let mut columns: Vec<(MemberId, Vec<(ClassId, Entry)>)> = Vec::with_capacity(members.len());
-
-        if threads == 1 || members.len() <= 1 {
-            for &m in &members {
-                columns.push((m, member_column(chg, m, options)));
-            }
-        } else {
-            let shards: Vec<Vec<MemberId>> = {
-                let mut s = vec![Vec::new(); threads];
-                for (i, &m) in members.iter().enumerate() {
-                    s[i % threads].push(m);
-                }
-                s
-            };
-            let results = std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .into_iter()
-                    .map(|shard| {
-                        scope.spawn(move || {
-                            shard
-                                .into_iter()
-                                .map(|m| (m, member_column(chg, m, options)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("column worker panicked"))
-                    .collect::<Vec<_>>()
-            });
-            for shard in results {
-                columns.extend(shard);
-            }
-        }
-
-        let mut entries: Vec<HashMap<MemberId, Entry>> = vec![HashMap::new(); chg.class_count()];
-        for (m, column) in columns {
-            for (c, e) in column {
-                entries[c.index()].insert(m, e);
-            }
-        }
+        let entries = crate::batched::build_entries_parallel(chg, options, threads.max(1));
         LookupTable::from_parts(options, entries)
     }
 }
@@ -105,7 +41,24 @@ impl LookupTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cpplookup_chg::fixtures;
+    use crate::result::Entry;
+    use crate::table::compute_entry_with;
+    use cpplookup_chg::{fixtures, ClassId, MemberId};
+
+    /// The old per-member reference column: for every class where `m` is
+    /// visible, its entry, in topological order of class.
+    fn member_column(chg: &Chg, m: MemberId, options: LookupOptions) -> Vec<(ClassId, Entry)> {
+        let mut slots: Vec<Option<Entry>> = vec![None; chg.class_count()];
+        let mut out = Vec::new();
+        for &c in chg.topo_order() {
+            let entry = compute_entry_with(chg, options, c, m, |b| slots[b.index()].as_ref());
+            if let Some(e) = entry {
+                out.push((c, e.clone()));
+                slots[c.index()] = Some(e);
+            }
+        }
+        out
+    }
 
     #[test]
     fn parallel_equals_sequential_on_fixtures() {

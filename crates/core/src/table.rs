@@ -19,9 +19,10 @@
 //! lookups are unambiguous, `O(|M| * |N| * (|N| + |E|))` in the worst
 //! case — versus the exponential subobject-graph approaches.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::fmt;
 
+use cpplookup_chg::fxmap::{FxBuildHasher, FxHashMap};
 use cpplookup_chg::{Chg, ClassId, MemberId, Path};
 
 use crate::abstraction::{LeastVirtual, RedAbs, StaticRule};
@@ -285,7 +286,7 @@ impl Merge {
 #[derive(Clone)]
 pub struct LookupTable {
     options: LookupOptions,
-    entries: Vec<HashMap<MemberId, Entry>>,
+    entries: Vec<FxHashMap<MemberId, Entry>>,
 }
 
 impl LookupTable {
@@ -295,11 +296,66 @@ impl LookupTable {
     }
 
     /// Builds the whole table with explicit options.
+    ///
+    /// Uses the single-sweep batched compiler: one CSR flattening of
+    /// the hierarchy, member-frontier pruning so only live
+    /// `(class, member)` pairs are touched, and arena-interned
+    /// abstractions in the merge loop. Produces entries identical to
+    /// [`LookupTable::build_reference`] (asserted by the differential
+    /// suite), several-fold faster on large hierarchies.
     pub fn build_with(chg: &Chg, options: LookupOptions) -> Self {
+        LookupTable {
+            options,
+            entries: crate::batched::build_entries(chg, options),
+        }
+    }
+
+    /// Builds the whole table with the retired per-member strategy:
+    /// for each member name, one full topological sweep over *all*
+    /// classes through [`compute_entry_with`] — `Θ(|N|·|M|)`
+    /// propagation steps regardless of where the member is actually
+    /// visible. This is the column build the pre-batched parallel
+    /// fan-out ran per member, and the "old" baseline of the E21
+    /// experiment and the `e21-smoke` regression gate; not used on any
+    /// production path.
+    pub fn build_per_member(chg: &Chg, options: LookupOptions) -> Self {
+        let start = std::time::Instant::now();
         let n = chg.class_count();
-        let mut entries: Vec<HashMap<MemberId, Entry>> = vec![HashMap::new(); n];
+        let mut entries: Vec<FxHashMap<MemberId, Entry>> = vec![FxHashMap::default(); n];
+        let mut slots: Vec<Option<Entry>> = vec![None; n];
+        for m in chg.member_ids() {
+            slots.iter_mut().for_each(|s| *s = None);
+            for &c in chg.topo_order() {
+                let entry = compute_entry_with(chg, options, c, m, |b| slots[b.index()].as_ref());
+                if let Some(e) = entry {
+                    entries[c.index()].insert(m, e.clone());
+                    slots[c.index()] = Some(e);
+                }
+            }
+        }
+        crate::obs::table_built(
+            "per-member",
+            (n as u64) * (chg.member_name_count() as u64),
+            0,
+            crate::batched::elapsed_ns(start),
+        );
+        LookupTable { options, entries }
+    }
+
+    /// Builds the whole table with the original per-class/per-member
+    /// propagation — a literal transcription of Figure 8's doubly
+    /// nested loop.
+    ///
+    /// Kept as the differential oracle for the batched compiler (see
+    /// `tests/build_equiv.rs` and the `e21-smoke` CI gate); not used on
+    /// any production path.
+    pub fn build_reference(chg: &Chg, options: LookupOptions) -> Self {
+        let start = std::time::Instant::now();
+        let n = chg.class_count();
+        let mut total_entries = 0u64;
+        let mut entries: Vec<FxHashMap<MemberId, Entry>> = vec![FxHashMap::default(); n];
         for &c in chg.topo_order() {
-            let mut acc: HashMap<MemberId, Merge> = HashMap::new();
+            let mut acc: FxHashMap<MemberId, Merge> = FxHashMap::default();
             for spec in chg.direct_bases(c) {
                 for (&m, entry) in &entries[spec.base.index()] {
                     // Line 12: a generated definition kills everything
@@ -331,8 +387,10 @@ impl LookupTable {
                     }
                 }
             }
-            let mut tbl: HashMap<MemberId, Entry> =
-                HashMap::with_capacity(acc.len() + chg.declared_members(c).len());
+            let mut tbl: FxHashMap<MemberId, Entry> = FxHashMap::with_capacity_and_hasher(
+                acc.len() + chg.declared_members(c).len(),
+                FxBuildHasher,
+            );
             for &(m, _) in chg.declared_members(c) {
                 tbl.insert(
                     m,
@@ -350,8 +408,15 @@ impl LookupTable {
             // The eager builder bypasses `compute_entry_with`, so count
             // its per-(class, member) steps here in one batch.
             crate::obs::propagation().nodes_visited_add(tbl.len() as u64);
+            total_entries += tbl.len() as u64;
             entries[c.index()] = tbl;
         }
+        crate::obs::table_built(
+            "reference",
+            total_entries,
+            0,
+            crate::batched::elapsed_ns(start),
+        );
         LookupTable { options, entries }
     }
 
@@ -359,14 +424,14 @@ impl LookupTable {
     /// parallel builder).
     pub(crate) fn from_parts(
         options: LookupOptions,
-        entries: Vec<HashMap<MemberId, Entry>>,
+        entries: Vec<FxHashMap<MemberId, Entry>>,
     ) -> Self {
         LookupTable { options, entries }
     }
 
     /// Dismantles the table into its per-class entry maps (used by the
     /// engine to seed its cache without re-deriving every entry).
-    pub(crate) fn into_entries(self) -> Vec<HashMap<MemberId, Entry>> {
+    pub(crate) fn into_entries(self) -> Vec<FxHashMap<MemberId, Entry>> {
         self.entries
     }
 

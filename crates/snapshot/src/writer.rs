@@ -47,6 +47,16 @@ impl Snapshot {
         Self::from_table(chg, &table)
     }
 
+    /// Like [`compile_with`](Snapshot::compile_with), but builds the
+    /// table with the work-stealing parallel sweep on `jobs` worker
+    /// threads (clamped to at least 1). The resulting bytes are
+    /// identical to the sequential compile: the parallel build produces
+    /// the same entries and the encoder sorts everything it writes.
+    pub fn compile_parallel(chg: &Chg, options: LookupOptions, jobs: usize) -> Snapshot {
+        let table = LookupTable::build_parallel(chg, options, jobs);
+        Self::from_table(chg, &table)
+    }
+
     /// Serializes an already-built table (the table must have been built
     /// from `chg`).
     pub fn from_table(chg: &Chg, table: &LookupTable) -> Snapshot {
@@ -315,6 +325,17 @@ mod tests {
         assert!(!a.is_empty());
         assert!(a.len() > HEADER_LEN + 3 * DIR_ENTRY_LEN + 8);
         assert!(format!("{a:?}").contains("bytes"));
+    }
+
+    #[test]
+    fn parallel_compile_is_byte_identical() {
+        for g in [fixtures::fig1(), fixtures::fig3(), fixtures::fig9()] {
+            let seq = Snapshot::compile(&g);
+            for jobs in [1, 3, 8] {
+                let par = Snapshot::compile_parallel(&g, LookupOptions::default(), jobs);
+                assert_eq!(seq.as_bytes(), par.as_bytes(), "jobs={jobs}");
+            }
+        }
     }
 
     #[test]

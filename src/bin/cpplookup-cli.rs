@@ -13,7 +13,7 @@
 //! cpplookup-cli stats  <file.cpp> [--json|--prometheus]
 //!                                            sweep every (class, member) pair through the
 //!                                            lookup engine, then dump the metrics registry
-//! cpplookup-cli batch  <file.cpp> [--metrics]
+//! cpplookup-cli batch  <file.cpp> [--metrics] [--jobs N]
 //!                                            answer `class member` query pairs from stdin
 //!                                            via the concurrent lookup engine; engine
 //!                                            statistics go to stderr on exit. With
@@ -21,10 +21,14 @@
 //!                                            `!class N` / `!member C N` /
 //!                                            `!edge D B [virtual]` edit directives, and
 //!                                            finishes with a JSON metrics snapshot on
-//!                                            stdout (per-edit invalidation sizes included)
-//! cpplookup-cli compile <file.cpp> -o <out.snap>
+//!                                            stdout (per-edit invalidation sizes included).
+//!                                            --jobs N sets the worker thread count
+//!                                            (default: available parallelism)
+//! cpplookup-cli compile <file.cpp> -o <out.snap> [--jobs N]
 //!                                            compile the hierarchy and lookup table into a
-//!                                            binary snapshot ("compile once, serve many")
+//!                                            binary snapshot ("compile once, serve many");
+//!                                            --jobs N compiles the table on N worker
+//!                                            threads (byte-identical output)
 //! cpplookup-cli query  <file.cpp> <class> <member>
 //!                                            answer one lookup query
 //! cpplookup-cli query  --snapshot <file.snap> <class> <member>
@@ -302,15 +306,34 @@ fn metrics_json(engine: &LookupEngine, sink: &obs::MemorySink) -> String {
 /// and invalidation sizes — is printed to stdout at the end.
 fn batch(analysis: &Analysis, rest: &[String]) -> ExitCode {
     let metrics = rest.iter().any(|a| a == "--metrics");
+    let jobs = match parse_jobs(rest) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("cpplookup-cli: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let options = if metrics {
         let mut o = EngineOptions::lazy();
         o.timing = true;
         o
     } else {
-        EngineOptions::parallel(4)
+        EngineOptions::parallel(jobs)
     };
     let engine = LookupEngine::with_options(analysis.chg.clone(), options);
     batch_loop(engine, metrics)
+}
+
+/// Parses an optional `--jobs N` flag (N ≥ 1); absent means one worker
+/// per available hardware thread.
+fn parse_jobs(rest: &[String]) -> Result<usize, String> {
+    match rest.iter().position(|a| a == "--jobs") {
+        None => Ok(std::thread::available_parallelism().map_or(1, usize::from)),
+        Some(i) => match rest.get(i + 1).map(|n| n.parse::<usize>()) {
+            Some(Ok(n)) if n >= 1 => Ok(n),
+            _ => Err("--jobs expects a thread count of at least 1".to_owned()),
+        },
+    }
 }
 
 /// The stdin query loop shared by source-backed and snapshot-backed
@@ -372,21 +395,41 @@ fn batch_loop(mut engine: LookupEngine, metrics: bool) -> ExitCode {
     }
 }
 
-/// `compile <file.cpp> -o <out.snap>`: serializes the already-built
-/// lookup table and hierarchy into a binary snapshot.
+/// `compile <file.cpp> -o <out.snap> [--jobs N]`: compiles the lookup
+/// table with the work-stealing parallel sweep (default: one worker per
+/// hardware thread — the output is byte-identical at any thread count)
+/// and serializes table + hierarchy into a binary snapshot.
 fn compile(analysis: &Analysis, rest: &[String]) -> ExitCode {
-    let out = match rest {
-        [flag, out] if flag == "-o" => out,
-        _ => {
-            eprintln!("usage: cpplookup-cli compile <file.cpp> -o <out.snap>");
+    let usage = "usage: cpplookup-cli compile <file.cpp> -o <out.snap> [--jobs N]";
+    let out = match rest.iter().position(|a| a == "-o") {
+        Some(i) => match rest.get(i + 1) {
+            Some(out) => out,
+            None => {
+                eprintln!("{usage}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            eprintln!("{usage}");
             return ExitCode::from(2);
         }
     };
-    let snap = Snapshot::from_table(&analysis.chg, &analysis.table);
+    let jobs = match parse_jobs(rest) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("cpplookup-cli: {e}\n{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    let snap = if jobs == 1 {
+        Snapshot::from_table(&analysis.chg, &analysis.table)
+    } else {
+        Snapshot::compile_parallel(&analysis.chg, analysis.table.options(), jobs)
+    };
     match snap.write_to(out) {
         Ok(()) => {
             eprintln!(
-                "wrote {out}: {} bytes ({} classes, {} entries)",
+                "wrote {out}: {} bytes ({} classes, {} entries, {jobs} jobs)",
                 snap.len(),
                 analysis.chg.class_count(),
                 analysis.table.stats().entries

@@ -310,6 +310,84 @@ fn compile_then_query_snapshot_answers_without_source() {
 }
 
 #[test]
+fn compile_jobs_is_byte_identical_and_validated() {
+    let src = write_temp(FIG9);
+    let seq = temp_snap_path("jobs-seq");
+    let par = temp_snap_path("jobs-par");
+    let (_, stderr, code) = run(&[
+        "compile",
+        src.to_str().unwrap(),
+        "-o",
+        seq.to_str().unwrap(),
+        "--jobs",
+        "1",
+    ]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("1 jobs"), "{stderr}");
+
+    // The parallel sweep must produce the exact same snapshot bytes.
+    let (_, stderr, code) = run(&[
+        "compile",
+        src.to_str().unwrap(),
+        "--jobs",
+        "3",
+        "-o",
+        par.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("3 jobs"), "{stderr}");
+    let a = std::fs::read(&seq).expect("read sequential snapshot");
+    let b = std::fs::read(&par).expect("read parallel snapshot");
+    assert_eq!(a, b, "parallel compile changed the snapshot bytes");
+
+    // And the parallel-compiled snapshot serves queries.
+    let (stdout, _, code) = run(&["query", "--snapshot", par.to_str().unwrap(), "E", "m"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("C::m"), "{stdout}");
+
+    // A bogus thread count is a usage error.
+    for bad in [&["--jobs", "0"][..], &["--jobs"][..]] {
+        let mut args = vec!["compile", src.to_str().unwrap(), "-o", "ignored.snap"];
+        args.extend_from_slice(bad);
+        let (_, stderr, code) = run(&args);
+        assert_eq!(code, Some(2), "stderr: {stderr}");
+        assert!(stderr.contains("--jobs"), "{stderr}");
+    }
+
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(seq);
+    let _ = std::fs::remove_file(par);
+}
+
+#[test]
+fn stats_reports_build_strategy_and_build_time() {
+    let path = write_temp(FIG9);
+    let p = path.to_str().unwrap();
+
+    let (stdout, _, code) = run(&["stats", p]);
+    assert_eq!(code, Some(0));
+    // The stats engine is lazy; its build strategy and build wall time
+    // are part of the registry dump.
+    assert!(
+        stdout.contains("engine_build_info{build_strategy=\"lazy\"}"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("engine_build_seconds"), "{stdout}");
+
+    let (stdout, _, code) = run(&["stats", p, "--json"]);
+    assert_eq!(code, Some(0));
+    assert!(
+        stdout.contains("\"name\":\"engine_build_info\",\"type\":\"counter\",\"label\":\"build_strategy\",\"series\":[{\"value\":\"lazy\",\"count\":1}]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"name\":\"engine_build_seconds\",\"type\":\"histogram\""),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
 fn batch_from_snapshot_warm_starts_the_engine() {
     let src = write_temp(FIG9);
     let snap = temp_snap_path("warm");

@@ -146,8 +146,63 @@ fn cache_metrics_match_dirty_closure_across_edits() {
     }
 }
 
+/// The batched compiler's build metrics: on an interface-heavy family
+/// (many members, each visible in a small slice of the hierarchy) the
+/// member-frontier pruning must skip a nonzero — in fact dominant —
+/// share of the `|N|·|M|` pair grid, and each build must land in the
+/// `build_nodes_visited_total{strategy}` family and the `build_seconds`
+/// histogram. Counters are process-global, so the test works in deltas.
+/// Serializes the tests that build whole tables: the build counters are
+/// process-global, and delta-based assertions must not see each other's
+/// builds.
+static BUILD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn build_metrics_report_frontier_pruning() {
+    if !cfg!(feature = "obs") {
+        return; // the global build counters compile away without obs
+    }
+    let _serial = BUILD_LOCK.lock().unwrap();
+    let registry = obs::global();
+    let visited = |label: &str| {
+        registry
+            .counter_family("build_nodes_visited_total", "", "strategy")
+            .with_label(label)
+            .get()
+    };
+    let pruned = || registry.counter("build_members_pruned_total", "").get();
+    let builds = || {
+        registry
+            .histogram("build_seconds", "", cpplookup::obs::Histogram::latency_ns())
+            .snapshot()
+            .count
+    };
+
+    let g = cpplookup::hiergen::families::interface_heavy(40, 3);
+    let pairs = (g.class_count() * g.member_name_count()) as u64;
+    let (visited0, pruned0, builds0) = (visited("batched"), pruned(), builds());
+    let table = cpplookup::LookupTable::build(&g);
+    let (dv, dp) = (visited("batched") - visited0, pruned() - pruned0);
+    assert!(dp > 0, "interface-heavy families must prune");
+    assert_eq!(
+        dv + dp,
+        pairs,
+        "live pairs + pruned pairs must tile the |N|·|M| grid"
+    );
+    assert_eq!(dv, table.stats().entries as u64, "live pairs == entries");
+    assert!(dp > dv, "interfaces are invisible to most classes");
+    assert_eq!(builds() - builds0, 1, "one build_seconds observation");
+
+    // The parallel strategy reports under its own label, same totals.
+    let (par0, pruned1) = (visited("batched-parallel"), pruned());
+    cpplookup::LookupTable::build_parallel(&g, Default::default(), 4);
+    assert_eq!(visited("batched-parallel") - par0, dv);
+    assert_eq!(pruned() - pruned1, dp);
+}
+
 #[test]
 fn eager_engines_never_miss_after_edits() {
+    let _serial = BUILD_LOCK.lock().unwrap();
     let chg = random_hierarchy(&RandomConfig::realistic(60, 7));
     let mut engine = LookupEngine::with_options(chg, EngineOptions::default());
     let (_, misses) = sweep(&engine);
