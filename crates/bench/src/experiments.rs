@@ -30,19 +30,20 @@ use crate::workloads::{self, Workload};
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
 ];
 
-/// Runs one experiment by id (`"e1"`..`"e21"`), writing its report.
-/// The extra id `"e21-smoke"` is the CI guard variant of E21: a fast
-/// differential + perf check that *fails* (returns an error) when the
-/// batched compiler regresses.
+/// Runs one experiment by id (`"e1"`..`"e22"`), writing its report.
+/// The extra ids `"e21-smoke"` and `"e22-smoke"` are the CI guard
+/// variants of E21/E22: fast differential + perf checks that *fail*
+/// (return an error) when the batched compiler or the dispatch index
+/// regresses.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer; unknown ids return
-/// `InvalidInput`; `"e21-smoke"` returns an error when the regression
-/// guard trips.
+/// `InvalidInput`; the `"-smoke"` ids return an error when their
+/// regression guard trips.
 pub fn run(id: &str, w: &mut dyn Write) -> io::Result<()> {
     match id {
         "e1" => e1(w),
@@ -67,6 +68,8 @@ pub fn run(id: &str, w: &mut dyn Write) -> io::Result<()> {
         "e20" => e20(w),
         "e21" => e21(w),
         "e21-smoke" => e21_smoke(w),
+        "e22" => e22(w),
+        "e22-smoke" => e22_smoke(w),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}` (known: {})", ALL.join(", ")),
@@ -1145,6 +1148,361 @@ fn e21_smoke(w: &mut dyn Write) -> io::Result<()> {
     Ok(())
 }
 
+/// A serving probe: one `(class, member)` query.
+type Probe = (cpplookup_chg::ClassId, cpplookup_chg::MemberId);
+
+/// Deterministic Fisher–Yates driven by an inline LCG (the bench crate
+/// has no rand dependency). A fixed seed keeps probe order reproducible
+/// across backends and runs, so every backend serves the same stream.
+fn shuffle_probes<T>(v: &mut [T], mut seed: u64) {
+    for i in (1..v.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = ((seed >> 33) as usize) % (i + 1);
+        v.swap(i, j);
+    }
+}
+
+/// Folds an owned outcome into a checksum word. Keeps the optimizer
+/// from discarding the lookups and doubles as a cross-backend agreement
+/// check: every backend must produce the same per-family checksum.
+fn outcome_word(outcome: &LookupOutcome) -> u64 {
+    match outcome {
+        LookupOutcome::NotFound => 1,
+        LookupOutcome::Resolved { class, .. } => 2 + class.index() as u64,
+        LookupOutcome::Ambiguous { witnesses } => 0x1000 + witnesses.len() as u64,
+    }
+}
+
+/// The same checksum for the borrowed fast path, so table, snapshot,
+/// and index sweeps are comparable word for word.
+fn outcome_ref_word(outcome: &cpplookup_core::OutcomeRef<'_>) -> u64 {
+    use cpplookup_core::OutcomeRef;
+    match outcome {
+        OutcomeRef::NotFound => 1,
+        OutcomeRef::Resolved { class, .. } => 2 + class.index() as u64,
+        OutcomeRef::Ambiguous { witnesses } => 0x1000 + witnesses.len() as u64,
+    }
+}
+
+/// Times `reps` single-threaded passes over `probes` through `f`,
+/// returning (ns per lookup, checksum).
+fn serve_single(probes: &[Probe], reps: usize, f: impl Fn(Probe) -> u64) -> (f64, u64) {
+    let (t, sum) = median_time(3, || {
+        let mut sum = 0u64;
+        for _ in 0..reps {
+            for &p in probes {
+                sum = sum.wrapping_add(f(p));
+            }
+        }
+        sum
+    });
+    let lookups = (reps * probes.len()) as f64;
+    (t.as_secs_f64() * 1e9 / lookups, sum)
+}
+
+/// Runs `threads` workers, each making `reps` rotated passes over
+/// `probes` through `f` (each worker starts at a different offset so
+/// the backends see spread-out access, not lockstep). Returns
+/// (aggregate lookups per second, checksum).
+fn serve_mt(
+    threads: usize,
+    probes: &[Probe],
+    reps: usize,
+    f: impl Fn(Probe) -> u64 + Sync,
+) -> (f64, u64) {
+    let (t, sum) = median_time(3, || {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|tid| {
+                    let f = &f;
+                    let offset = tid * probes.len() / threads;
+                    scope.spawn(move || {
+                        let mut sum = 0u64;
+                        for _ in 0..reps {
+                            for &p in probes.iter().skip(offset).chain(probes.iter().take(offset)) {
+                                sum = sum.wrapping_add(f(p));
+                            }
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|h| h.join().expect("serve worker"))
+                .fold(0u64, u64::wrapping_add)
+        })
+    });
+    let lookups = (threads * reps * probes.len()) as f64;
+    (lookups / t.as_secs_f64().max(f64::MIN_POSITIVE), sum)
+}
+
+/// The live (class, member) pairs of a hierarchy — every pair the table
+/// actually stores an entry for — LCG-shuffled and capped, so the probe
+/// stream has no locality the backends could ride for free.
+fn serve_probes(chg: &Chg, table: &LookupTable, seed: u64) -> Vec<Probe> {
+    let mut probes: Vec<Probe> = chg
+        .classes()
+        .flat_map(|c| table.members_of(c).map(move |m| (c, m)))
+        .collect();
+    shuffle_probes(&mut probes, seed);
+    probes.truncate(100_000);
+    probes
+}
+
+/// E22 — the flat dispatch index against the two existing read paths:
+/// the hashmap-of-hashmaps `LookupTable` and the binary-search +
+/// varint-decode `SnapshotTable`. Single-thread ns/lookup and 8-thread
+/// aggregate QPS on ≥2000-class families, shuffled live-pair probe
+/// streams, checksum-verified across backends before any number is
+/// reported. Also emits `BENCH_e22.json` for the CI no-regression
+/// guard (`e22-smoke`).
+fn e22(w: &mut dyn Write) -> io::Result<()> {
+    use cpplookup_core::DispatchIndex;
+    use cpplookup_snapshot::{Snapshot, SnapshotTable};
+
+    const THREADS: usize = 8;
+    writeln!(
+        w,
+        "E22: flat dispatch index vs hashmap table vs snapshot binary-search"
+    )?;
+    writeln!(
+        w,
+        "  table = FxHashMap-of-FxHashMap entry clone; snapshot = binary-search \
+         + varint decode per hit; index = pre-decoded CSR rows served via \
+         allocation-free lookup_ref"
+    )?;
+    let families: Vec<(&str, Chg)> = vec![
+        ("chain_2500", families::chain(2500, Some(16))),
+        ("grid_50x50", families::grid(50, 50)),
+        ("interface_500x4", families::interface_heavy(500, 4)),
+        (
+            "realistic_2000",
+            random_hierarchy(&RandomConfig::realistic(2000, 7)),
+        ),
+        (
+            "realistic_4000",
+            random_hierarchy(&RandomConfig::realistic(4000, 7)),
+        ),
+    ];
+    writeln!(w, "  single thread, ns/lookup:")?;
+    writeln!(
+        w,
+        "  {:<16} {:>7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "family", "classes", "entries", "b/entry", "table", "snapshot", "index", "vs table"
+    )?;
+    let mut rows: Vec<String> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut single_ratios: Vec<f64> = Vec::new();
+    let mut qps_ratios: Vec<f64> = Vec::new();
+    for (name, chg) in &families {
+        let table = LookupTable::build(chg);
+        let snap = SnapshotTable::from_bytes(Snapshot::compile(chg).into_bytes())
+            .expect("snapshot roundtrip");
+        let index = DispatchIndex::from_table(LookupTable::build(chg));
+        let probes = serve_probes(chg, &table, 0x9E37 ^ name.len() as u64);
+        let reps = (2_000_000 / probes.len()).max(1);
+        let mt_reps = (1_000_000 / probes.len()).max(1);
+
+        let (ns_table, s_table) =
+            serve_single(&probes, reps, |(c, m)| outcome_word(&table.lookup(c, m)));
+        let (ns_snap, s_snap) =
+            serve_single(&probes, reps, |(c, m)| outcome_word(&snap.lookup(c, m)));
+        let (ns_index, s_index) = serve_single(&probes, reps, |(c, m)| {
+            outcome_ref_word(&index.lookup_ref(c, m))
+        });
+        assert_eq!(s_table, s_snap, "{name}: snapshot serve checksum diverged");
+        assert_eq!(s_table, s_index, "{name}: index serve checksum diverged");
+
+        let (qps_table, m_table) = serve_mt(THREADS, &probes, mt_reps, |(c, m)| {
+            outcome_word(&table.lookup(c, m))
+        });
+        let (qps_snap, m_snap) = serve_mt(THREADS, &probes, mt_reps, |(c, m)| {
+            outcome_word(&snap.lookup(c, m))
+        });
+        let (qps_index, m_index) = serve_mt(THREADS, &probes, mt_reps, |(c, m)| {
+            outcome_ref_word(&index.lookup_ref(c, m))
+        });
+        assert_eq!(
+            m_table, m_snap,
+            "{name}: threaded snapshot checksum diverged"
+        );
+        assert_eq!(m_table, m_index, "{name}: threaded index checksum diverged");
+
+        let single_ratio = ns_table / ns_index.max(f64::MIN_POSITIVE);
+        let qps_ratio = qps_index / qps_snap.max(f64::MIN_POSITIVE);
+        single_ratios.push(single_ratio);
+        qps_ratios.push(qps_ratio);
+        writeln!(
+            w,
+            "  {:<16} {:>7} {:>8} {:>8.1} {:>9.1} {:>9.1} {:>9.1} {:>8.2}x",
+            name,
+            chg.class_count(),
+            index.entry_count(),
+            index.bytes_per_entry(),
+            ns_table,
+            ns_snap,
+            ns_index,
+            single_ratio,
+        )?;
+        rows.push(format!(
+            "  {:<16} {:>9.2} {:>9.2} {:>9.2} {:>11.2}x",
+            name,
+            qps_table / 1e6,
+            qps_snap / 1e6,
+            qps_index / 1e6,
+            qps_ratio,
+        ));
+        json_rows.push(format!(
+            "    {{\"name\": \"{name}\", \"classes\": {}, \"entries\": {}, \
+             \"index_bytes\": {}, \"bytes_per_entry\": {bpe:.2}, \
+             \"single_ns\": {{\"table\": {ns_table:.2}, \"snapshot\": {ns_snap:.2}, \
+             \"index\": {ns_index:.2}}}, \
+             \"qps\": {{\"table\": {qps_table:.0}, \"snapshot\": {qps_snap:.0}, \
+             \"index\": {qps_index:.0}}}, \
+             \"index_vs_table_single\": {single_ratio:.3}, \
+             \"index_vs_snapshot_qps\": {qps_ratio:.3}}}",
+            chg.class_count(),
+            index.entry_count(),
+            index.size_bytes(),
+            bpe = index.bytes_per_entry(),
+        ));
+    }
+    writeln!(w, "  {THREADS} threads, aggregate Mlookups/s:")?;
+    writeln!(
+        w,
+        "  {:<16} {:>9} {:>9} {:>9} {:>12}",
+        "family", "table", "snapshot", "index", "vs snapshot"
+    )?;
+    for row in &rows {
+        writeln!(w, "{row}")?;
+    }
+    let geo = |rs: &[f64]| (rs.iter().map(|r| r.ln()).sum::<f64>() / rs.len() as f64).exp();
+    let g_single = geo(&single_ratios);
+    let g_qps = geo(&qps_ratios);
+    writeln!(
+        w,
+        "  target >=2x single-thread index vs hashmap table (geomean): {} ({g_single:.2}x)",
+        if g_single >= 2.0 { "PASS" } else { "FAIL" }
+    )?;
+    writeln!(
+        w,
+        "  target >=4x {THREADS}-thread QPS index vs snapshot binary-search (geomean): {} ({g_qps:.2}x)",
+        if g_qps >= 4.0 { "PASS" } else { "FAIL" }
+    )?;
+    let json = format!(
+        "{{\n  \"experiment\": \"e22\",\n  \"threads\": {THREADS},\n  \"families\": [\n{}\n  ],\n  \
+         \"geomean_index_vs_table_single\": {g_single:.3},\n  \
+         \"geomean_index_vs_snapshot_qps\": {g_qps:.3}\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_e22.json", json)?;
+    writeln!(w, "  wrote BENCH_e22.json")?;
+    Ok(())
+}
+
+/// Pulls a bare numeric field out of the hand-rolled `BENCH_e22.json`
+/// (the bench crate has no serde); `None` when the key is absent.
+fn json_f64(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{key}\":"))?;
+    let tail = json[at..].split_once(':')?.1.trim_start();
+    let end = tail
+        .find(|ch: char| ch == ',' || ch == '}' || ch.is_whitespace())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// E22's CI guard, in three stages: a full index-vs-table differential
+/// on an interface-heavy family (every construction detail wrong shows
+/// up here), a serve-sweep perf floor on `grid_50x50` — the family
+/// where the index's one-line probe has the widest, most noise-proof
+/// margin over the hashmap table (≥2×) — and, when a committed
+/// `BENCH_e22.json` baseline exists, a no-regression check against
+/// 0.4× that family's recorded ratio.
+fn e22_smoke(w: &mut dyn Write) -> io::Result<()> {
+    use cpplookup_core::DispatchIndex;
+
+    writeln!(
+        w,
+        "E22-smoke: dispatch-index differential + serve perf guard"
+    )?;
+    let diff = families::interface_heavy(200, 4);
+    let diff_table = LookupTable::build(&diff);
+    let diff_index = DispatchIndex::from_table(LookupTable::build(&diff));
+    for c in diff.classes() {
+        for m in diff.member_ids() {
+            if diff_index.lookup_ref(c, m).to_outcome() != diff_table.lookup(c, m) {
+                return Err(io::Error::other(format!(
+                    "index diverges from table at ({}, {})",
+                    diff.class_name(c),
+                    diff.member_name(m)
+                )));
+            }
+        }
+    }
+    writeln!(
+        w,
+        "  differential: {} classes, {} entries, index == table",
+        diff.class_count(),
+        diff_index.entry_count()
+    )?;
+    let chg = families::grid(50, 50);
+    let table = LookupTable::build(&chg);
+    let index = DispatchIndex::from_table(LookupTable::build(&chg));
+    let probes = serve_probes(&chg, &table, 0xE22);
+    let reps = (1_000_000 / probes.len()).max(1);
+    let (ns_table, s_table) =
+        serve_single(&probes, reps, |(c, m)| outcome_word(&table.lookup(c, m)));
+    let (ns_index, s_index) = serve_single(&probes, reps, |(c, m)| {
+        outcome_ref_word(&index.lookup_ref(c, m))
+    });
+    if s_table != s_index {
+        return Err(io::Error::other(
+            "probe checksums diverged between table and index",
+        ));
+    }
+    let ratio = ns_table / ns_index.max(f64::MIN_POSITIVE);
+    writeln!(
+        w,
+        "  perf (grid_50x50): table {ns_table:.1} ns/lookup, index {ns_index:.1} ns/lookup \
+         (index speedup {ratio:.2}x)"
+    )?;
+    if ratio < 2.0 {
+        return Err(io::Error::other(format!(
+            "dispatch index is only {ratio:.2}x the hashmap table on the serve sweep (floor 2.0x)"
+        )));
+    }
+    writeln!(w, "  guard: PASS (floor 2.0x)")?;
+    if let Ok(baseline) = std::fs::read_to_string("BENCH_e22.json") {
+        // Index into the grid_50x50 object so the per-family key wins
+        // over the identical keys of the other families.
+        let recorded = baseline
+            .find("\"name\": \"grid_50x50\"")
+            .and_then(|at| json_f64(&baseline[at..], "index_vs_table_single"));
+        if let Some(recorded) = recorded {
+            let floor = (recorded * 0.4).max(2.0);
+            if ratio < floor {
+                return Err(io::Error::other(format!(
+                    "serve speedup {ratio:.2}x regressed below {floor:.2}x \
+                     (0.4x the recorded grid_50x50 ratio {recorded:.2}x)"
+                )));
+            }
+            writeln!(
+                w,
+                "  baseline: recorded grid_50x50 ratio {recorded:.2}x, floor {floor:.2}x — PASS"
+            )?;
+        }
+    } else {
+        writeln!(
+            w,
+            "  baseline: BENCH_e22.json not present, skipping no-regression guard"
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1174,7 +1532,7 @@ mod tests {
         // Don't run the heavy ones here; just verify dispatch exists by
         // name for every id in ALL (compile-time exhaustiveness is
         // enforced by the match).
-        assert_eq!(ALL.len(), 21);
+        assert_eq!(ALL.len(), 22);
         assert!(ALL.iter().all(|id| id.starts_with('e')));
     }
 }

@@ -397,20 +397,64 @@ impl LookupEngine {
         LookupOutcome::from_entry(self.entry(c, m).as_ref())
     }
 
-    /// Answers a batch of queries, in order. Under the parallel backing
-    /// the batch is chunked across worker threads; other backings
-    /// answer sequentially.
+    /// Answers a batch of queries, in order. Each distinct
+    /// `(class, member)` pair probes the shard map once: the batch is
+    /// sorted and deduplicated up front (which also gives repeated
+    /// probes of one class shard/cache locality) and the outcome is
+    /// fanned back out to every occurrence. Duplicates still count as
+    /// one lookup and one cache hit each, so the metrics match the
+    /// equivalent sequence of single queries. Under the parallel
+    /// backing the distinct probes are chunked across worker threads.
     pub fn lookup_batch(&self, queries: &[(ClassId, MemberId)]) -> Vec<LookupOutcome> {
+        let mut order: Vec<u32> = (0..queries.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let (c, m) = queries[i as usize];
+            (c.index(), m.index())
+        });
+        let mut unique: Vec<(ClassId, MemberId)> = Vec::new();
+        let mut slot_of = vec![0u32; queries.len()];
+        for &i in &order {
+            let q = queries[i as usize];
+            if unique.last() != Some(&q) {
+                unique.push(q);
+            }
+            slot_of[i as usize] = (unique.len() - 1) as u32;
+        }
+        let answers = self.lookup_unique(&unique);
+        let mut answered = vec![false; unique.len()];
+        let mut out = Vec::with_capacity(queries.len());
+        for (i, &slot) in slot_of.iter().enumerate() {
+            let slot = slot as usize;
+            if std::mem::replace(&mut answered[slot], true) {
+                // A duplicate is served from its twin's probe: account
+                // for it as a lookup answered from cache.
+                let (c, m) = queries[i];
+                self.metrics.lookups.inc();
+                self.metrics.record_hit(self.shard_index(c, m));
+                if matches!(answers[slot], LookupOutcome::Ambiguous { .. }) {
+                    self.metrics
+                        .record_ambiguity(c.index() as u32, m.index() as u32);
+                }
+            }
+            out.push(answers[slot].clone());
+        }
+        out
+    }
+
+    /// The probe stage of [`lookup_batch`](Self::lookup_batch):
+    /// answers each (already deduplicated) query, chunked across worker
+    /// threads under the parallel backing.
+    fn lookup_unique(&self, unique: &[(ClassId, MemberId)]) -> Vec<LookupOutcome> {
         let threads = match self.options.backing {
             EngineBacking::Parallel { threads } => threads.max(1),
             _ => 1,
         };
-        if threads == 1 || queries.len() < 2 * threads {
-            return queries.iter().map(|&(c, m)| self.lookup(c, m)).collect();
+        if threads == 1 || unique.len() < 2 * threads {
+            return unique.iter().map(|&(c, m)| self.lookup(c, m)).collect();
         }
-        let chunk = queries.len().div_ceil(threads);
+        let chunk = unique.len().div_ceil(threads);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
+            let handles: Vec<_> = unique
                 .chunks(chunk)
                 .map(|chunk| {
                     scope.spawn(move || {
@@ -905,6 +949,22 @@ mod tests {
             }
             assert_eq!(engine.stats().lookups, big.len() as u64);
         }
+    }
+
+    #[test]
+    fn batch_dedupes_duplicate_probes() {
+        let g = fixtures::fig3();
+        let h = g.class_by_name("H").unwrap();
+        let foo = g.member_by_name("foo").unwrap();
+        let engine = LookupEngine::with_options(g, EngineOptions::lazy());
+        let out = engine.lookup_batch(&[(h, foo); 8]);
+        assert!(out.iter().all(|o| o == &out[0]));
+        let stats = engine.stats();
+        // One real probe (a lazy-mode miss); the other seven are served
+        // from it but still count as lookups answered from cache.
+        assert_eq!(stats.lookups, 8);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 7);
     }
 
     #[test]

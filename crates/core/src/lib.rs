@@ -21,6 +21,10 @@
 //!   invalidation,
 //! * [`MemberLookup`] — the trait unifying all of the above (and the
 //!   baselines) behind one query interface,
+//! * [`serve`] — the flat [`DispatchIndex`]: a pre-decoded, cache-dense
+//!   serving read path with an allocation-free
+//!   [`lookup_ref`](DispatchIndex::lookup_ref) fast path and wait-free
+//!   epoch-published versions ([`ServeHandle`] / [`IndexedEngine`]),
 //! * [`obs`] — the observability facade: per-engine metric registries,
 //!   propagation work counters, and structured event sinks (feature
 //!   `obs`, on by default; disabling it compiles the hooks away),
@@ -70,6 +74,7 @@ mod lazy;
 pub mod obs;
 mod parallel;
 mod result;
+pub mod serve;
 pub mod slice;
 mod table;
 pub mod trace;
@@ -81,4 +86,5 @@ pub use api::MemberLookup;
 pub use engine::{EngineBacking, EngineOptions, EngineStats, LookupEngine};
 pub use lazy::LazyLookup;
 pub use result::{DisplayEntry, Entry, LookupOutcome};
+pub use serve::{DispatchIndex, IndexedEngine, OutcomeRef, PublishedIndex, ServeHandle};
 pub use table::{LookupOptions, LookupTable, TableStats};

@@ -223,6 +223,93 @@ pub fn table_built(
     }
 }
 
+/// Counts `_queries` queries answered by a serving read path, labelled
+/// by backend, in the [`global()`] registry
+/// (`serve_queries_total{backend="index" | "table" | "snapshot"}`).
+/// Batch paths record once per batch with the element count; the
+/// allocation-free [`lookup_ref`](crate::serve::DispatchIndex::lookup_ref)
+/// hot path records nothing by design. No-op with the `obs` feature
+/// disabled.
+#[inline]
+pub fn serve_query(_backend: &str, _queries: u64) {
+    #[cfg(feature = "obs")]
+    global()
+        .counter_family(
+            "serve_queries_total",
+            "queries answered by serving read paths",
+            "backend",
+        )
+        .with_label(_backend)
+        .add(_queries);
+}
+
+/// Records one [`DispatchIndex`](crate::serve::DispatchIndex) build in
+/// the [`global()`] registry: `serve_index_builds_total{source}` counts
+/// builds by construction path (`table`, `snapshot`, `engine`,
+/// `refresh`), `serve_index_entries` / `serve_index_bytes` gauge the
+/// most recently built index's footprint, and
+/// `serve_index_build_seconds` histograms the build wall time (observed
+/// in **nanoseconds**, like the other latency histograms — the help
+/// text states the unit). No-op with the `obs` feature disabled.
+#[inline]
+pub fn index_built(_source: &str, _entries: u64, _bytes: u64, _elapsed_ns: u64) {
+    #[cfg(feature = "obs")]
+    {
+        let r = global();
+        r.counter_family(
+            "serve_index_builds_total",
+            "dispatch index builds by construction path",
+            "source",
+        )
+        .with_label(_source)
+        .inc();
+        r.gauge(
+            "serve_index_entries",
+            "(class, member) entries in the last built dispatch index",
+        )
+        .set(i64::try_from(_entries).unwrap_or(i64::MAX));
+        r.gauge(
+            "serve_index_bytes",
+            "flat storage bytes of the last built dispatch index",
+        )
+        .set(i64::try_from(_bytes).unwrap_or(i64::MAX));
+        r.histogram(
+            "serve_index_build_seconds",
+            "dispatch index build wall time (recorded in nanoseconds)",
+            Histogram::latency_ns(),
+        )
+        .observe(_elapsed_ns);
+    }
+}
+
+/// Records one [`ServeHandle`](crate::serve::ServeHandle) publish in
+/// the [`global()`] registry: `serve_index_publishes_total` counts
+/// publishes, `serve_index_epoch` gauges the newest epoch, and
+/// `serve_index_publish_seconds` histograms the pointer-swap wall time
+/// (observed in **nanoseconds** — it should sit in the lowest buckets;
+/// anything else means a publisher blocked on readers). No-op with the
+/// `obs` feature disabled.
+#[inline]
+pub fn index_published(_epoch: u64, _elapsed_ns: u64) {
+    #[cfg(feature = "obs")]
+    {
+        let r = global();
+        r.counter(
+            "serve_index_publishes_total",
+            "dispatch index versions published",
+        )
+        .inc();
+        r.gauge("serve_index_epoch", "most recently published index epoch")
+            .set(i64::try_from(_epoch).unwrap_or(i64::MAX));
+        r.histogram(
+            "serve_index_publish_seconds",
+            "index publish pointer-swap wall time (recorded in nanoseconds)",
+            Histogram::latency_ns(),
+        )
+        .observe(_elapsed_ns);
+    }
+}
+
 /// Per-shard families, histograms, and the event sink — the parts of
 /// the engine's instrumentation that only exist with the `obs` feature.
 #[cfg(feature = "obs")]
@@ -583,6 +670,21 @@ mod tests {
         let snap = global().snapshot();
         assert!(snap.counter("propagation_red_merges_total").unwrap() >= 2);
         assert!(snap.counter("propagation_entries_ambiguous_total").unwrap() >= 1);
+    }
+
+    #[test]
+    fn serve_hooks_are_callable_in_both_modes() {
+        serve_query("index", 3);
+        index_built("table", 10, 640, 1_000);
+        index_published(1, 50);
+        #[cfg(feature = "obs")]
+        {
+            let snap = global().snapshot();
+            assert!(snap.counter("serve_index_publishes_total").unwrap() >= 1);
+            assert!(snap.gauge("serve_index_bytes").is_some());
+            assert!(snap.gauge("serve_index_epoch").is_some());
+            assert!(snap.histogram("serve_index_build_seconds").unwrap().count >= 1);
+        }
     }
 
     #[test]

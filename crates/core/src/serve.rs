@@ -1,0 +1,1172 @@
+//! The flat dispatch index: a pre-decoded, cache-dense read path for
+//! query serving.
+//!
+//! Every other backend pays per-query interpretation: the eager
+//! [`LookupTable`] probes an `FxHashMap` per class and
+//! [`LookupOutcome::from_entry`] clones the blue witness set on every
+//! ambiguous hit; a `SnapshotTable` binary-searches its row and then
+//! re-decodes a varint payload on every hit. [`DispatchIndex`] is the
+//! serving half of the paper's "constant time once the table is built"
+//! promise (Definition 9 / Figure 8): the constant is a couple of cache
+//! lines and zero allocation.
+//!
+//! # Layout
+//!
+//! A CSR-style structure over five flat arrays:
+//!
+//! ```text
+//! row_starts  : class → first pair            (|N|+1 × u32)
+//! pairs       : (member: u32, slot: u32)      one contiguous run per
+//!               sorted by member id per class  class — rank iteration
+//!                                              and batch locality
+//! cells       : 16-byte {key, a, b}           one global open-addressing
+//!               key = class | member << 32     directory, power-of-two
+//!               u64::MAX = vacant, α ≤ 0.6     capacity — the O(1)
+//!               red  → a = ldc, b = lv         probe path, verdict
+//!               blue → a = pool off,           decoded inline
+//!                      b = len | BLUE_BIT
+//! entries     : fixed-width pre-decoded slots (24 bytes each)
+//!               red  → {ldc, lv, via, shared off+len}
+//!               blue → {witness off+len}
+//! pool        : shared u32 leastVirtual sets  (0 = Ω, else class+1),
+//!               interned — equal sets share one range
+//! ```
+//!
+//! The rank-sorted `pairs` rows serve ordered iteration
+//! ([`members_of`](DispatchIndex::members_of)) and give
+//! [`lookup_batch`](DispatchIndex::lookup_batch) its locality; the
+//! `cells` directory answers a point probe in one hashed 16-byte load
+//! plus a short linear scan. Because a cell carries the decoded verdict
+//! inline, a red hit costs exactly one data-dependent cache line — not
+//! the `log₂(row)` lines a binary search pays on member-heavy classes,
+//! and not the two-level bucket walk of the hashmap table — and the
+//! single flat directory keeps the probe footprint several times
+//! smaller than per-class hash maps, so far more of it stays resident.
+//! Blue hits add one pool read for the witnesses; the `entries` arena
+//! is only touched by the cold reconstruction paths
+//! ([`entry`](DispatchIndex::entry), refresh copying, which binary-
+//! search the rank-sorted rows instead).
+//!
+//! Three construction paths feed it:
+//!
+//! * [`DispatchIndex::from_table`] — one pass over
+//!   `LookupTable::into_entries`, no entry clones;
+//! * [`DispatchIndex::from_entries`] — any `(class, member, entry)`
+//!   stream; `SnapshotTable::dispatch_index` uses it to decode each
+//!   varint payload exactly once at load, then never again;
+//! * [`DispatchIndex::from_engine`] / [`DispatchIndex::refreshed`] —
+//!   (re)packs the engine's memo; after
+//!   [`LookupEngine::apply`](crate::LookupEngine::apply) only the dirty
+//!   classes are re-probed, clean rows and their pool ranges are copied
+//!   verbatim.
+//!
+//! # Epoch publish
+//!
+//! [`ServeHandle`] is the `arc-swap`-style publication point: readers
+//! [`load`](ServeHandle::load) an `Arc` of the current
+//! [`PublishedIndex`] (the lock is held only to clone the pointer —
+//! never while an index is built) and then serve from that `Arc`
+//! without any synchronization at all. A publisher builds the
+//! replacement off to the side and [`publish`](ServeHandle::publish)es
+//! it as one pointer swap, so a reader observes either the old epoch or
+//! the new one in full — never a torn index, never a state older than
+//! the snapshot it loaded. [`IndexedEngine`] packages the protocol:
+//! `apply` edits the engine, incrementally refreshes the index, and
+//! republishes.
+
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use cpplookup_chg::fxmap::FxHashMap;
+use cpplookup_chg::{ChgError, ClassId, Edit, MemberId};
+
+use crate::abstraction::{LeastVirtual, RedAbs};
+use crate::api::MemberLookup;
+use crate::batched::elapsed_ns;
+use crate::engine::LookupEngine;
+use crate::result::{Entry, LookupOutcome};
+use crate::table::LookupTable;
+
+pub use crate::dispatch::{
+    build_dispatch_map, dynamic_target, DispatchEntry, DispatchMap, DispatchTarget,
+};
+
+/// Entry flag bit: the slot is blue (ambiguous).
+const FLAG_BLUE: u32 = 1;
+/// Entry flag bit: the red slot has a via edge.
+const FLAG_VIA: u32 = 2;
+
+/// Marks a blue cell in [`Cell::b`]'s top bit (encoded `leastVirtual`
+/// values and witness counts both stay far below 2³¹).
+const BLUE_BIT: u32 = 1 << 31;
+
+/// One directory cell: the packed `(class, member)` probe key plus the
+/// fully pre-decoded verdict, so `lookup_ref` resolves a red hit from
+/// this single 16-byte load (a blue hit adds one pool read for the
+/// witnesses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Cell {
+    /// `class | member << 32`; [`Cell::VACANT`] marks an empty cell.
+    key: u64,
+    /// Red: declaring class. Blue: pool offset.
+    a: u32,
+    /// Red: encoded `leastVirtual`. Blue: witness count | [`BLUE_BIT`].
+    b: u32,
+}
+
+impl Cell {
+    /// The vacant key (no real probe packs to it: it would need both a
+    /// class and a member id of `u32::MAX`).
+    const VACANT: u64 = u64::MAX;
+    /// An unoccupied cell.
+    const EMPTY: Cell = Cell {
+        key: Cell::VACANT,
+        a: 0,
+        b: 0,
+    };
+}
+
+/// Directory capacity for `n` occupied cells: the next power of two at
+/// or above `n / 0.6`, so the load factor never exceeds 0.6 and linear
+/// probing terminates on a vacant cell.
+#[inline]
+fn directory_cap(n: usize) -> usize {
+    (n.max(1) * 5 / 3 + 1).next_power_of_two()
+}
+
+/// Mixes a packed probe key for the directory (fxhash's 64-bit
+/// multiplier; the high product bits are the well-mixed ones, so fold
+/// them down before masking).
+#[inline]
+fn hash_key(key: u64) -> usize {
+    (key.wrapping_mul(0x517c_c1b7_2722_0a95) >> 32) as usize
+}
+
+/// Encodes a `leastVirtual` into the pool's `u32` form (`0` = Ω,
+/// otherwise class index + 1 — the snapshot format's encoding).
+#[inline]
+fn enc_lv(lv: LeastVirtual) -> u32 {
+    match lv {
+        LeastVirtual::Omega => 0,
+        LeastVirtual::Class(c) => c.index() as u32 + 1,
+    }
+}
+
+/// Decodes the pool's `u32` `leastVirtual` form.
+#[inline]
+fn dec_lv(raw: u32) -> LeastVirtual {
+    match raw {
+        0 => LeastVirtual::Omega,
+        c => LeastVirtual::Class(ClassId::from_index(c as usize - 1)),
+    }
+}
+
+/// One `(member, slot)` record of a class's rank-sorted index row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct IndexPair {
+    member: u32,
+    slot: u32,
+}
+
+/// A fixed-width, fully pre-decoded table slot: everything a query
+/// needs without interpretation. 24 bytes, so a 64-byte line holds the
+/// better part of three entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PackedEntry {
+    /// [`FLAG_BLUE`] | [`FLAG_VIA`].
+    flags: u32,
+    /// Red: declaring class of the winning definition. Blue: 0.
+    ldc: u32,
+    /// Red: encoded `leastVirtual` of the winner. Blue: 0.
+    lv: u32,
+    /// Red with [`FLAG_VIA`]: the via-edge class index. Otherwise 0.
+    via: u32,
+    /// Pool offset of the shared set (red) / witness set (blue).
+    set_off: u32,
+    /// Pool length of that set.
+    set_len: u32,
+}
+
+/// A borrowed, pool-backed `leastVirtual` set — the allocation-free
+/// form of a blue entry's witnesses or a red entry's shared set.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct LvSlice<'a>(&'a [u32]);
+
+impl<'a> LvSlice<'a> {
+    /// Number of abstractions in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The `i`-th abstraction (sets are sorted ascending).
+    pub fn get(&self, i: usize) -> Option<LeastVirtual> {
+        self.0.get(i).map(|&raw| dec_lv(raw))
+    }
+
+    /// Iterates the abstractions in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = LeastVirtual> + 'a {
+        self.0.iter().map(|&raw| dec_lv(raw))
+    }
+
+    /// Materializes the set (one allocation — the thing the ref path
+    /// avoids until the caller asks for it).
+    pub fn to_vec(&self) -> Vec<LeastVirtual> {
+        self.iter().collect()
+    }
+}
+
+impl std::fmt::Debug for LvSlice<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// The outcome of `lookup(c, m)` as a borrow into the index — the
+/// allocation-free twin of [`LookupOutcome`]. `Copy`: ambiguity
+/// witnesses stay in the shared pool instead of being cloned per hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutcomeRef<'a> {
+    /// `m ∉ Members[c]`.
+    NotFound,
+    /// The lookup resolved to the member declared in `class`.
+    Resolved {
+        /// The declaring class of the winning definition.
+        class: ClassId,
+        /// `leastVirtual` of the winning definition.
+        least_virtual: LeastVirtual,
+    },
+    /// The lookup is ambiguous; the witnesses borrow the index's pool.
+    Ambiguous {
+        /// The `leastVirtual` witnesses, sorted ascending.
+        witnesses: LvSlice<'a>,
+    },
+}
+
+impl OutcomeRef<'_> {
+    /// Whether the lookup resolved.
+    pub fn is_resolved(&self) -> bool {
+        matches!(self, OutcomeRef::Resolved { .. })
+    }
+
+    /// The resolved declaring class, if any.
+    pub fn resolved_class(&self) -> Option<ClassId> {
+        match self {
+            OutcomeRef::Resolved { class, .. } => Some(*class),
+            _ => None,
+        }
+    }
+
+    /// Materializes the owned [`LookupOutcome`] (allocates only for
+    /// ambiguous outcomes, like every owned path does).
+    pub fn to_outcome(&self) -> LookupOutcome {
+        match self {
+            OutcomeRef::NotFound => LookupOutcome::NotFound,
+            OutcomeRef::Resolved {
+                class,
+                least_virtual,
+            } => LookupOutcome::Resolved {
+                class: *class,
+                least_virtual: *least_virtual,
+            },
+            OutcomeRef::Ambiguous { witnesses } => LookupOutcome::Ambiguous {
+                witnesses: witnesses.to_vec(),
+            },
+        }
+    }
+}
+
+/// Interns encoded `leastVirtual` sets into the shared pool during
+/// construction, so equal sets (ambiguity witnesses repeat heavily
+/// across sibling classes) share one range.
+struct PoolBuilder {
+    pool: Vec<u32>,
+    interned: FxHashMap<Vec<u32>, (u32, u32)>,
+}
+
+impl PoolBuilder {
+    fn new() -> Self {
+        PoolBuilder {
+            pool: Vec::new(),
+            interned: FxHashMap::default(),
+        }
+    }
+
+    /// Resumes interning on top of an existing pool (incremental
+    /// refresh keeps old ranges valid by only appending). Previously
+    /// interned sets are not re-deduplicated — refresh batches are
+    /// small, so rebuilding the whole intern map would cost more than
+    /// the duplicates it saves.
+    fn resume(pool: Vec<u32>) -> Self {
+        PoolBuilder {
+            pool,
+            interned: FxHashMap::default(),
+        }
+    }
+
+    fn intern(&mut self, lvs: &[LeastVirtual]) -> (u32, u32) {
+        if lvs.is_empty() {
+            return (0, 0);
+        }
+        let encoded: Vec<u32> = lvs.iter().map(|&lv| enc_lv(lv)).collect();
+        if let Some(&range) = self.interned.get(&encoded) {
+            return range;
+        }
+        let off = u32::try_from(self.pool.len()).expect("leastVirtual pool overflow");
+        let len = encoded.len() as u32;
+        self.pool.extend_from_slice(&encoded);
+        self.interned.insert(encoded, (off, len));
+        (off, len)
+    }
+
+    fn pack(&mut self, entry: &Entry) -> PackedEntry {
+        match entry {
+            Entry::Red { abs, via, shared } => {
+                let (set_off, set_len) = self.intern(shared);
+                PackedEntry {
+                    flags: if via.is_some() { FLAG_VIA } else { 0 },
+                    ldc: abs.ldc.index() as u32,
+                    lv: enc_lv(abs.lv),
+                    via: via.map_or(0, |v| v.index() as u32),
+                    set_off,
+                    set_len,
+                }
+            }
+            Entry::Blue(set) => {
+                let (set_off, set_len) = self.intern(set);
+                PackedEntry {
+                    flags: FLAG_BLUE,
+                    ldc: 0,
+                    lv: 0,
+                    via: 0,
+                    set_off,
+                    set_len,
+                }
+            }
+        }
+    }
+}
+
+/// The flat serving structure. See the [module docs](self) for the
+/// layout; construction is one pass from any entry source, queries are
+/// a row binary search plus one fixed-width load.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::fixtures;
+/// use cpplookup_core::serve::{DispatchIndex, OutcomeRef};
+/// use cpplookup_core::LookupTable;
+///
+/// let g = fixtures::fig9();
+/// let index = DispatchIndex::from_table(LookupTable::build(&g));
+/// let e = g.class_by_name("E").unwrap();
+/// let m = g.member_by_name("m").unwrap();
+/// match index.lookup_ref(e, m) {
+///     OutcomeRef::Resolved { class, .. } => assert_eq!(g.class_name(class), "C"),
+///     other => panic!("expected C::m, got {other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DispatchIndex {
+    class_count: usize,
+    member_count: usize,
+    /// `class → first pair index`, length `class_count + 1`.
+    row_starts: Vec<u32>,
+    /// Per-class runs sorted by member id.
+    pairs: Vec<IndexPair>,
+    /// The global open-addressing directory of pre-decoded verdicts;
+    /// power-of-two length (see [`directory_cap`]).
+    cells: Vec<Cell>,
+    /// The pre-decoded entry arena; `pairs[i].slot` indexes it.
+    entries: Vec<PackedEntry>,
+    /// Shared encoded `leastVirtual` pool.
+    pool: Vec<u32>,
+}
+
+impl DispatchIndex {
+    /// Builds the index in one pass from any `(class, member, entry)`
+    /// stream. `class_count` must cover every class id in the stream;
+    /// the stream may arrive in any order.
+    pub fn from_entries(
+        class_count: usize,
+        entries: impl IntoIterator<Item = (ClassId, MemberId, Entry)>,
+    ) -> Self {
+        let mut rows: Vec<Vec<(u32, Entry)>> = vec![Vec::new(); class_count];
+        let mut member_count = 0usize;
+        for (c, m, e) in entries {
+            member_count = member_count.max(m.index() + 1);
+            rows[c.index()].push((m.index() as u32, e));
+        }
+        Self::from_rows(member_count, rows)
+    }
+
+    /// Builds the index from a consumed [`LookupTable`] — one pass over
+    /// its per-class entry maps, moving every entry instead of cloning.
+    pub fn from_table(table: LookupTable) -> Self {
+        let start = Instant::now();
+        let mut member_count = 0usize;
+        let rows: Vec<Vec<(u32, Entry)>> = table
+            .into_entries()
+            .into_iter()
+            .map(|class_tbl| {
+                class_tbl
+                    .into_iter()
+                    .map(|(m, e)| {
+                        member_count = member_count.max(m.index() + 1);
+                        (m.index() as u32, e)
+                    })
+                    .collect()
+            })
+            .collect();
+        let index = Self::from_rows(member_count, rows);
+        crate::obs::index_built(
+            "table",
+            index.entry_count() as u64,
+            index.size_bytes() as u64,
+            elapsed_ns(start),
+        );
+        index
+    }
+
+    /// Packs the engine's memo into an index: every `(class, member)`
+    /// pair is probed once through [`LookupEngine::entry`] (memo hits
+    /// under complete backings; the lazy backing computes missing
+    /// columns on demand, so the result always covers the full table).
+    pub fn from_engine(engine: &LookupEngine) -> Self {
+        let start = Instant::now();
+        let chg = engine.chg();
+        let mut rows: Vec<Vec<(u32, Entry)>> = vec![Vec::new(); chg.class_count()];
+        for c in chg.classes() {
+            for m in chg.member_ids() {
+                if let Some(e) = engine.entry(c, m) {
+                    rows[c.index()].push((m.index() as u32, e));
+                }
+            }
+        }
+        let index = Self::from_rows(chg.member_name_count(), rows);
+        crate::obs::index_built(
+            "engine",
+            index.entry_count() as u64,
+            index.size_bytes() as u64,
+            elapsed_ns(start),
+        );
+        index
+    }
+
+    /// Incrementally refreshes this index against an engine whose
+    /// hierarchy just changed: rows of classes in `dirty` (plus any
+    /// classes beyond the old `class_count`) are re-probed from the
+    /// engine's memo; every clean row — pairs, packed entries, and
+    /// their pool ranges — is copied verbatim. The pool only grows, so
+    /// copied `set_off` ranges stay valid.
+    pub fn refreshed(&self, engine: &LookupEngine, dirty: &[(ClassId, MemberId)]) -> Self {
+        let start = Instant::now();
+        let chg = engine.chg();
+        let class_count = chg.class_count();
+        let mut is_dirty = vec![false; class_count];
+        for &(c, _) in dirty {
+            is_dirty[c.index()] = true;
+        }
+        let mut pool = PoolBuilder::resume(self.pool.clone());
+        let mut row_starts = Vec::with_capacity(class_count + 1);
+        let mut pairs = Vec::with_capacity(self.pairs.len());
+        let mut entries = Vec::with_capacity(self.entries.len());
+        row_starts.push(0u32);
+        for (ci, &row_dirty) in is_dirty.iter().enumerate() {
+            if ci < self.class_count && !row_dirty {
+                let (lo, hi) = (
+                    self.row_starts[ci] as usize,
+                    self.row_starts[ci + 1] as usize,
+                );
+                for pair in &self.pairs[lo..hi] {
+                    let slot = entries.len() as u32;
+                    entries.push(self.entries[pair.slot as usize]);
+                    pairs.push(IndexPair {
+                        member: pair.member,
+                        slot,
+                    });
+                }
+            } else {
+                let c = ClassId::from_index(ci);
+                for m in chg.member_ids() {
+                    if let Some(e) = engine.entry(c, m) {
+                        let slot = entries.len() as u32;
+                        entries.push(pool.pack(&e));
+                        pairs.push(IndexPair {
+                            member: m.index() as u32,
+                            slot,
+                        });
+                    }
+                }
+            }
+            row_starts.push(u32::try_from(pairs.len()).expect("dispatch index overflow"));
+        }
+        let cells = Self::build_cells(&row_starts, &pairs, &entries);
+        let index = DispatchIndex {
+            class_count,
+            member_count: chg.member_name_count(),
+            row_starts,
+            pairs,
+            cells,
+            entries,
+            pool: pool.pool,
+        };
+        crate::obs::index_built(
+            "refresh",
+            index.entry_count() as u64,
+            index.size_bytes() as u64,
+            elapsed_ns(start),
+        );
+        index
+    }
+
+    /// The shared layout pass: sorts each row by member id and packs
+    /// entries into the arena + pool.
+    fn from_rows(member_count: usize, rows: Vec<Vec<(u32, Entry)>>) -> Self {
+        let class_count = rows.len();
+        let mut pool = PoolBuilder::new();
+        let mut row_starts = Vec::with_capacity(class_count + 1);
+        let mut pairs = Vec::new();
+        let mut entries = Vec::new();
+        row_starts.push(0u32);
+        for mut row in rows {
+            row.sort_unstable_by_key(|&(m, _)| m);
+            for (m, e) in &row {
+                let slot = entries.len() as u32;
+                entries.push(pool.pack(e));
+                pairs.push(IndexPair { member: *m, slot });
+            }
+            row_starts.push(u32::try_from(pairs.len()).expect("dispatch index overflow"));
+        }
+        let cells = Self::build_cells(&row_starts, &pairs, &entries);
+        DispatchIndex {
+            class_count,
+            member_count,
+            row_starts,
+            pairs,
+            cells,
+            entries,
+            pool: pool.pool,
+        }
+    }
+
+    /// Builds the global probe directory from the finished CSR rows:
+    /// one power-of-two cell table at load factor ≤ 0.6, filled by
+    /// linear probing, every cell carrying its entry's decoded verdict
+    /// inline.
+    fn build_cells(row_starts: &[u32], pairs: &[IndexPair], entries: &[PackedEntry]) -> Vec<Cell> {
+        let class_count = row_starts.len() - 1;
+        let mut cells = vec![Cell::EMPTY; directory_cap(pairs.len())];
+        let mask = cells.len() - 1;
+        for ci in 0..class_count {
+            let (lo, hi) = (row_starts[ci] as usize, row_starts[ci + 1] as usize);
+            for pair in &pairs[lo..hi] {
+                let key = ci as u64 | u64::from(pair.member) << 32;
+                debug_assert_ne!(key, Cell::VACANT, "probe key collides with sentinel");
+                let e = &entries[pair.slot as usize];
+                let cell = if e.flags & FLAG_BLUE != 0 {
+                    debug_assert_eq!(e.set_len & BLUE_BIT, 0, "witness count overflow");
+                    Cell {
+                        key,
+                        a: e.set_off,
+                        b: e.set_len | BLUE_BIT,
+                    }
+                } else {
+                    debug_assert_eq!(e.lv & BLUE_BIT, 0, "leastVirtual encoding overflow");
+                    Cell {
+                        key,
+                        a: e.ldc,
+                        b: e.lv,
+                    }
+                };
+                let mut at = hash_key(key) & mask;
+                while cells[at].key != Cell::VACANT {
+                    at = (at + 1) & mask;
+                }
+                cells[at] = cell;
+            }
+        }
+        cells
+    }
+
+    /// The directory cell behind `(c, m)`, if any — the hot probe
+    /// behind every point query: one hashed 16-byte load, stepping
+    /// linearly past collisions (bounded because the directory is at
+    /// most 0.6 full).
+    #[inline]
+    fn cell(&self, c: ClassId, m: MemberId) -> Option<&Cell> {
+        if c.index() >= self.class_count || m.index() > u32::MAX as usize {
+            return None;
+        }
+        let key = c.index() as u64 | (m.index() as u64) << 32;
+        let mask = self.cells.len() - 1;
+        let mut at = hash_key(key) & mask;
+        loop {
+            let cell = &self.cells[at];
+            if cell.key == key {
+                return Some(cell);
+            }
+            if cell.key == Cell::VACANT {
+                return None;
+            }
+            at = (at + 1) & mask;
+        }
+    }
+
+    /// The packed entry behind `(c, m)`, if any — the cold, fully
+    /// detailed form behind [`entry`](Self::entry), found by binary
+    /// search of the class's rank-sorted row; point queries go through
+    /// [`cell`](Self::cell) instead.
+    fn packed(&self, c: ClassId, m: MemberId) -> Option<&PackedEntry> {
+        let ci = c.index();
+        if ci >= self.class_count {
+            return None;
+        }
+        let row = &self.pairs[self.row_starts[ci] as usize..self.row_starts[ci + 1] as usize];
+        let target = u32::try_from(m.index()).ok()?;
+        row.binary_search_by(|p| p.member.cmp(&target))
+            .ok()
+            .map(|i| &self.entries[row[i].slot as usize])
+    }
+
+    /// `lookup(c, m)` without a single allocation: ambiguity witnesses
+    /// are returned as a borrow of the shared pool. This is the serving
+    /// hot path; pair it with [`lookup`](Self::lookup) when an owned
+    /// [`LookupOutcome`] is required.
+    #[inline]
+    pub fn lookup_ref(&self, c: ClassId, m: MemberId) -> OutcomeRef<'_> {
+        match self.cell(c, m) {
+            None => OutcomeRef::NotFound,
+            Some(cell) if cell.b & BLUE_BIT != 0 => OutcomeRef::Ambiguous {
+                witnesses: LvSlice(
+                    &self.pool[cell.a as usize..(cell.a + (cell.b & !BLUE_BIT)) as usize],
+                ),
+            },
+            Some(cell) => OutcomeRef::Resolved {
+                class: ClassId::from_index(cell.a as usize),
+                least_virtual: dec_lv(cell.b),
+            },
+        }
+    }
+
+    /// `lookup(c, m)` as an owned outcome (counts one
+    /// `serve_queries_total{backend="index"}` query; allocates only for
+    /// ambiguous hits, when the witness set is materialized).
+    pub fn lookup(&self, c: ClassId, m: MemberId) -> LookupOutcome {
+        crate::obs::serve_query("index", 1);
+        self.lookup_ref(c, m).to_outcome()
+    }
+
+    /// Answers a batch of probes in input order, probing each distinct
+    /// `(class, member)` pair once: probes are sorted per class run for
+    /// locality (consecutive hits share row and cache lines), duplicates
+    /// are answered by fan-out from the first hit.
+    pub fn lookup_batch(&self, probes: &[(ClassId, MemberId)]) -> Vec<LookupOutcome> {
+        crate::obs::serve_query("index", probes.len() as u64);
+        let mut order: Vec<u32> = (0..probes.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let (c, m) = probes[i as usize];
+            (c.index(), m.index())
+        });
+        let mut out = vec![LookupOutcome::NotFound; probes.len()];
+        let mut prev: Option<(ClassId, MemberId)> = None;
+        let mut prev_outcome = LookupOutcome::NotFound;
+        for &i in &order {
+            let probe = probes[i as usize];
+            if prev != Some(probe) {
+                prev_outcome = self.lookup_ref(probe.0, probe.1).to_outcome();
+                prev = Some(probe);
+            }
+            out[i as usize] = prev_outcome.clone();
+        }
+        out
+    }
+
+    /// Reconstructs the full [`Entry`] for `(c, m)` — the slow,
+    /// allocating form used by differential tests and
+    /// [`MemberLookup::entry`].
+    pub fn entry(&self, c: ClassId, m: MemberId) -> Option<Entry> {
+        self.packed(c, m).map(|e| {
+            let set = &self.pool[e.set_off as usize..(e.set_off + e.set_len) as usize];
+            if e.flags & FLAG_BLUE != 0 {
+                Entry::Blue(set.iter().map(|&raw| dec_lv(raw)).collect())
+            } else {
+                Entry::Red {
+                    abs: RedAbs {
+                        ldc: ClassId::from_index(e.ldc as usize),
+                        lv: dec_lv(e.lv),
+                    },
+                    via: (e.flags & FLAG_VIA != 0).then(|| ClassId::from_index(e.via as usize)),
+                    shared: set.iter().map(|&raw| dec_lv(raw)).collect(),
+                }
+            }
+        })
+    }
+
+    /// The final binding of a virtual call when the receiver's dynamic
+    /// type is `dynamic_type` — [`dynamic_target`] served from the
+    /// index instead of the hash table, without touching the pool.
+    pub fn dynamic_target(&self, dynamic_type: ClassId, m: MemberId) -> Option<ClassId> {
+        self.lookup_ref(dynamic_type, m).resolved_class()
+    }
+
+    /// The member ids visible in `c`, ascending — `Members[c]` straight
+    /// from the row, no hash map walk.
+    pub fn members_of(&self, c: ClassId) -> impl Iterator<Item = MemberId> + '_ {
+        let (lo, hi) = if c.index() < self.class_count {
+            (
+                self.row_starts[c.index()] as usize,
+                self.row_starts[c.index() + 1] as usize,
+            )
+        } else {
+            (0, 0)
+        };
+        self.pairs[lo..hi]
+            .iter()
+            .map(|p| MemberId::from_index(p.member as usize))
+    }
+
+    /// Number of classes the index covers.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// Number of member names the index covers.
+    pub fn member_name_count(&self) -> usize {
+        self.member_count
+    }
+
+    /// Total `(class, member)` entries.
+    pub fn entry_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Bytes of flat storage: row starts + pairs + probe directory +
+    /// entry arena + pool.
+    pub fn size_bytes(&self) -> usize {
+        self.row_starts.len() * 4
+            + self.pairs.len() * 8
+            + self.cells.len() * 8
+            + self.entries.len() * 24
+            + self.pool.len() * 4
+    }
+
+    /// Flat bytes per entry — the density figure `stats` reports.
+    pub fn bytes_per_entry(&self) -> f64 {
+        if self.pairs.is_empty() {
+            0.0
+        } else {
+            self.size_bytes() as f64 / self.pairs.len() as f64
+        }
+    }
+}
+
+impl MemberLookup for DispatchIndex {
+    fn lookup(&mut self, c: ClassId, m: MemberId) -> LookupOutcome {
+        DispatchIndex::lookup(self, c, m)
+    }
+
+    fn entry(&mut self, c: ClassId, m: MemberId) -> Option<Entry> {
+        DispatchIndex::entry(self, c, m)
+    }
+}
+
+/// One published index version: the epoch stamps which hierarchy
+/// generation a reader is serving from.
+#[derive(Debug)]
+pub struct PublishedIndex {
+    epoch: u64,
+    index: DispatchIndex,
+}
+
+impl PublishedIndex {
+    /// The publish epoch: 0 for the initial index, +1 per
+    /// [`ServeHandle::publish`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The index itself.
+    pub fn index(&self) -> &DispatchIndex {
+        &self.index
+    }
+}
+
+/// The atomic publication point for index versions — the `arc-swap`
+/// protocol built from safe primitives (this crate forbids `unsafe`):
+/// the lock guards only the `Arc` pointer, held for a clone on the read
+/// side and a swap on the write side, both O(1). Readers then serve
+/// from their `Arc` with no synchronization; a republish can never tear
+/// an index a reader holds, and a reader is at most "one epoch behind"
+/// in the instant between its load and a concurrent publish.
+///
+/// Handles are cheap to clone and share one published state.
+#[derive(Clone, Debug)]
+pub struct ServeHandle {
+    current: Arc<RwLock<Arc<PublishedIndex>>>,
+}
+
+impl ServeHandle {
+    /// Publishes `index` as epoch 0.
+    pub fn new(index: DispatchIndex) -> Self {
+        ServeHandle {
+            current: Arc::new(RwLock::new(Arc::new(PublishedIndex { epoch: 0, index }))),
+        }
+    }
+
+    /// The current index version. The returned `Arc` stays valid (and
+    /// unchanged) for as long as the reader holds it, across any number
+    /// of republishes.
+    pub fn load(&self) -> Arc<PublishedIndex> {
+        self.current
+            .read()
+            .expect("serve handle lock poisoned")
+            .clone()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.load().epoch
+    }
+
+    /// Atomically replaces the published index, returning the new
+    /// epoch. Build the replacement *before* calling: the write lock is
+    /// held only for the pointer swap.
+    pub fn publish(&self, index: DispatchIndex) -> u64 {
+        let start = Instant::now();
+        let mut slot = self.current.write().expect("serve handle lock poisoned");
+        let epoch = slot.epoch + 1;
+        *slot = Arc::new(PublishedIndex { epoch, index });
+        drop(slot);
+        crate::obs::index_published(epoch, elapsed_ns(start));
+        epoch
+    }
+}
+
+/// A [`LookupEngine`] paired with a published [`DispatchIndex`]: edits
+/// go through [`apply`](IndexedEngine::apply), which recomputes only
+/// the dirty entries (the engine's incremental invalidation), refreshes
+/// only the dirty index rows, and republishes — while clones of
+/// [`handle`](IndexedEngine::handle) keep serving wait-free from
+/// whatever epoch they loaded.
+///
+/// # Examples
+///
+/// ```
+/// use cpplookup_chg::{fixtures, Edit};
+/// use cpplookup_core::serve::IndexedEngine;
+/// use cpplookup_core::LookupEngine;
+///
+/// let mut serving = IndexedEngine::new(LookupEngine::new(fixtures::fig2()));
+/// let handle = serving.handle();
+/// let v0 = handle.load();
+/// serving.apply(&[Edit::AddClass { name: "Z".into() }])?;
+/// assert_eq!(handle.load().epoch(), v0.epoch() + 1);
+/// # Ok::<(), cpplookup_chg::ChgError>(())
+/// ```
+pub struct IndexedEngine {
+    engine: LookupEngine,
+    handle: ServeHandle,
+}
+
+impl IndexedEngine {
+    /// Builds the initial index from the engine's memo and publishes it
+    /// as epoch 0.
+    pub fn new(engine: LookupEngine) -> Self {
+        let index = DispatchIndex::from_engine(&engine);
+        IndexedEngine {
+            engine,
+            handle: ServeHandle::new(index),
+        }
+    }
+
+    /// A serving handle; clone freely across reader threads.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// The engine behind the index.
+    pub fn engine(&self) -> &LookupEngine {
+        &self.engine
+    }
+
+    /// Applies edits to the engine (incremental invalidation +
+    /// recompute), refreshes the dirty index rows, and publishes the new
+    /// version. On error the engine, the index, and the epoch are
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ChgError`] of [`LookupEngine::apply`].
+    pub fn apply(&mut self, edits: &[Edit]) -> Result<u64, ChgError> {
+        self.engine.apply(edits)?;
+        let dirty = crate::engine::dirty_set(self.engine.chg(), edits);
+        let refreshed = self.handle.load().index.refreshed(&self.engine, &dirty);
+        Ok(self.handle.publish(refreshed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::LookupOptions;
+    use crate::StaticRule;
+    use cpplookup_chg::{fixtures, Access, Chg, Inheritance, MemberDecl, MemberKind};
+
+    fn graphs() -> Vec<Chg> {
+        vec![
+            fixtures::fig1(),
+            fixtures::fig2(),
+            fixtures::fig3(),
+            fixtures::fig9(),
+            fixtures::static_diamond(),
+            fixtures::static_override_mix(),
+            fixtures::dominance_diamond(),
+            cpplookup_chg::ChgBuilder::new().finish().unwrap(),
+        ]
+    }
+
+    #[test]
+    fn index_matches_table_on_fixtures_and_both_rules() {
+        for g in graphs() {
+            for statics in [StaticRule::Cpp, StaticRule::Ignore] {
+                let options = LookupOptions { statics };
+                let table = LookupTable::build_with(&g, options);
+                let index = DispatchIndex::from_table(LookupTable::build_with(&g, options));
+                for c in g.classes() {
+                    for m in g.member_ids() {
+                        assert_eq!(
+                            index.entry(c, m),
+                            table.entry(c, m).cloned(),
+                            "entry ({}, {})",
+                            g.class_name(c),
+                            g.member_name(m)
+                        );
+                        assert_eq!(
+                            index.lookup_ref(c, m).to_outcome(),
+                            table.lookup(c, m),
+                            "outcome ({}, {})",
+                            g.class_name(c),
+                            g.member_name(m)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_engine_matches_from_table() {
+        for g in graphs() {
+            let by_table = DispatchIndex::from_table(LookupTable::build(&g));
+            let engine = LookupEngine::new(g.clone());
+            let by_engine = DispatchIndex::from_engine(&engine);
+            for c in g.classes() {
+                for m in g.member_ids() {
+                    assert_eq!(by_table.entry(c, m), by_engine.entry(c, m));
+                }
+            }
+            assert_eq!(by_table.entry_count(), by_engine.entry_count());
+        }
+    }
+
+    #[test]
+    fn members_of_is_sorted_and_complete() {
+        let g = fixtures::fig3();
+        let table = LookupTable::build(&g);
+        let index = DispatchIndex::from_table(LookupTable::build(&g));
+        for c in g.classes() {
+            let ids: Vec<MemberId> = index.members_of(c).collect();
+            let mut sorted = ids.clone();
+            sorted.sort();
+            assert_eq!(ids, sorted, "row of {} unsorted", g.class_name(c));
+            let mut expected: Vec<MemberId> = table.members_of(c).collect();
+            expected.sort();
+            assert_eq!(ids, expected);
+        }
+    }
+
+    #[test]
+    fn batch_preserves_order_and_dedupes() {
+        let g = fixtures::fig3();
+        let index = DispatchIndex::from_table(LookupTable::build(&g));
+        let h = g.class_by_name("H").unwrap();
+        let d = g.class_by_name("D").unwrap();
+        let foo = g.member_by_name("foo").unwrap();
+        let bar = g.member_by_name("bar").unwrap();
+        let probes = vec![(h, bar), (d, foo), (h, bar), (h, foo), (d, foo), (h, bar)];
+        let batched = index.lookup_batch(&probes);
+        let singles: Vec<LookupOutcome> = probes
+            .iter()
+            .map(|&(c, m)| index.lookup_ref(c, m).to_outcome())
+            .collect();
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn pool_shares_equal_witness_sets() {
+        // Sibling classes inherit the same ambiguity: their witness
+        // sets must intern to one pool range.
+        let g = fixtures::fig1();
+        let index = DispatchIndex::from_table(LookupTable::build(&g));
+        let blues: Vec<&PackedEntry> = index
+            .entries
+            .iter()
+            .filter(|e| e.flags & FLAG_BLUE != 0)
+            .collect();
+        assert!(!blues.is_empty());
+        assert!(
+            index.pool.len() * 4 <= index.entries.len() * 24,
+            "pool should stay small relative to the arena"
+        );
+    }
+
+    #[test]
+    fn outcome_ref_conversions() {
+        let g = fixtures::fig1();
+        let index = DispatchIndex::from_table(LookupTable::build(&g));
+        let e = g.class_by_name("E").unwrap();
+        let d = g.class_by_name("D").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        let amb = index.lookup_ref(e, m);
+        assert!(!amb.is_resolved());
+        assert_eq!(amb.resolved_class(), None);
+        match amb {
+            OutcomeRef::Ambiguous { witnesses } => {
+                assert!(!witnesses.is_empty());
+                assert_eq!(witnesses.get(0), Some(witnesses.iter().next().unwrap()));
+                assert_eq!(witnesses.len(), witnesses.to_vec().len());
+            }
+            other => panic!("expected ambiguity, got {other:?}"),
+        }
+        let res = index.lookup_ref(d, m);
+        assert_eq!(res.resolved_class(), Some(d));
+        assert_eq!(res.to_outcome(), index.lookup(d, m));
+        let missing = MemberId::from_index(index.member_name_count() + 7);
+        assert_eq!(index.lookup_ref(d, missing), OutcomeRef::NotFound);
+        assert_eq!(
+            index.lookup_ref(ClassId::from_index(999), m),
+            OutcomeRef::NotFound
+        );
+    }
+
+    #[test]
+    fn dynamic_target_served_from_index() {
+        let g = fixtures::dominance_diamond();
+        let table = LookupTable::build(&g);
+        let index = DispatchIndex::from_table(LookupTable::build(&g));
+        let f = g.member_by_name("f").unwrap();
+        for c in g.classes() {
+            assert_eq!(
+                index.dynamic_target(c, f),
+                dynamic_target(&table, c, f),
+                "{}",
+                g.class_name(c)
+            );
+        }
+    }
+
+    #[test]
+    fn member_lookup_trait_resolves_paths() {
+        let g = fixtures::fig3();
+        let mut index = DispatchIndex::from_table(LookupTable::build(&g));
+        let h = g.class_by_name("H").unwrap();
+        let foo = g.member_by_name("foo").unwrap();
+        assert_eq!(
+            MemberLookup::resolve_path(&mut index, &g, h, foo)
+                .unwrap()
+                .display(&g)
+                .to_string(),
+            "GH"
+        );
+    }
+
+    #[test]
+    fn publish_bumps_epochs_and_readers_keep_their_version() {
+        let g = fixtures::fig2();
+        let handle = ServeHandle::new(DispatchIndex::from_table(LookupTable::build(&g)));
+        let v0 = handle.load();
+        assert_eq!(v0.epoch(), 0);
+        assert_eq!(
+            handle.publish(DispatchIndex::from_table(LookupTable::build(&g))),
+            1
+        );
+        assert_eq!(handle.epoch(), 1);
+        // The reader's Arc still serves the old version, untorn.
+        assert_eq!(v0.epoch(), 0);
+        let e = g.class_by_name("E").unwrap();
+        let m = g.member_by_name("m").unwrap();
+        assert!(v0.index().lookup_ref(e, m).is_resolved());
+    }
+
+    #[test]
+    fn indexed_engine_refresh_matches_rebuild() {
+        let g = fixtures::fig2();
+        let mut serving = IndexedEngine::new(LookupEngine::new(g));
+        let handle = serving.handle();
+        let edits = [
+            Edit::AddClass { name: "Z".into() },
+            Edit::AddMember {
+                class: serving.engine().chg().class_by_name("E").unwrap(),
+                name: "fresh".into(),
+                decl: MemberDecl::public(MemberKind::Function),
+            },
+        ];
+        let epoch = serving.apply(&edits).unwrap();
+        assert_eq!(epoch, 1);
+        let refreshed = handle.load();
+        let rebuilt = DispatchIndex::from_engine(serving.engine());
+        let chg = serving.engine().chg();
+        for c in chg.classes() {
+            for m in chg.member_ids() {
+                assert_eq!(
+                    refreshed.index().entry(c, m),
+                    rebuilt.entry(c, m),
+                    "({}, {})",
+                    chg.class_name(c),
+                    chg.member_name(m)
+                );
+            }
+        }
+        assert_eq!(refreshed.index().entry_count(), rebuilt.entry_count());
+        // A rejected edit changes nothing, including the epoch.
+        let bad = serving.apply(&[Edit::AddEdge {
+            derived: ClassId::from_index(0),
+            base: ClassId::from_index(0),
+            inheritance: Inheritance::NonVirtual,
+            access: Access::Public,
+        }]);
+        assert!(bad.is_err());
+        assert_eq!(handle.epoch(), 1);
+    }
+
+    #[test]
+    fn refresh_after_edge_edit_updates_dirty_rows_only() {
+        let g = fixtures::fig9();
+        let mut serving = IndexedEngine::new(LookupEngine::new(g));
+        let chg = serving.engine().chg();
+        let d = chg.class_by_name("D").unwrap();
+        let s = chg.class_by_name("S").unwrap();
+        serving
+            .apply(&[Edit::AddEdge {
+                derived: d,
+                base: s,
+                inheritance: Inheritance::Virtual,
+                access: Access::Public,
+            }])
+            .unwrap();
+        let index = serving.handle().load();
+        let rebuilt = DispatchIndex::from_engine(serving.engine());
+        let chg = serving.engine().chg();
+        for c in chg.classes() {
+            for m in chg.member_ids() {
+                assert_eq!(index.index().entry(c, m), rebuilt.entry(c, m));
+            }
+        }
+    }
+}

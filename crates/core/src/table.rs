@@ -452,9 +452,13 @@ impl LookupTable {
     }
 
     /// The member names visible in `c` (`Members[c]` of Figure 8), in
-    /// unspecified order.
+    /// ascending member-id (rank) order — deterministic regardless of
+    /// hash-map iteration order, so reports and golden files built from
+    /// it are stable.
     pub fn members_of(&self, c: ClassId) -> impl Iterator<Item = MemberId> + '_ {
-        self.entries[c.index()].keys().copied()
+        let mut members: Vec<MemberId> = self.entries[c.index()].keys().copied().collect();
+        members.sort_unstable();
+        members.into_iter()
     }
 
     /// Recovers a concrete definition path for an unambiguous lookup —
@@ -482,13 +486,16 @@ impl LookupTable {
         Some(Path::new(chg, rev).expect("parent pointers follow real edges"))
     }
 
-    /// Table-wide statistics, used by the experiment reports.
+    /// Table-wide statistics, used by the experiment reports. Classes
+    /// are walked in id order and each class's members in rank order
+    /// (via [`members_of`](Self::members_of)), so any future
+    /// order-sensitive accumulation stays deterministic.
     pub fn stats(&self) -> TableStats {
         let mut stats = TableStats::default();
-        for class_tbl in &self.entries {
-            for entry in class_tbl.values() {
+        for (ci, class_tbl) in self.entries.iter().enumerate() {
+            for m in self.members_of(ClassId::from_index(ci)) {
                 stats.entries += 1;
-                match entry {
+                match &class_tbl[&m] {
                     Entry::Red { .. } => stats.red += 1,
                     Entry::Blue(_) => stats.blue += 1,
                 }
@@ -548,6 +555,25 @@ mod tests {
             g.class_by_name(class).unwrap(),
             g.member_by_name(member).unwrap(),
         )
+    }
+
+    #[test]
+    fn members_of_is_rank_ordered() {
+        let g = fixtures::fig3();
+        let table = LookupTable::build(&g);
+        for c in g.classes() {
+            let ids: Vec<MemberId> = table.members_of(c).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(
+                ids,
+                sorted,
+                "members_of({}) not rank-ordered",
+                g.class_name(c)
+            );
+        }
+        let h = g.class_by_name("H").unwrap();
+        assert_eq!(table.members_of(h).count(), 2);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! memory-mapped region byte-for-byte.
 
 use std::path::Path;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use cpplookup_chg::{
@@ -88,6 +89,12 @@ pub struct SnapshotTable {
     /// Absolute offset of the entry payload blob.
     payload_at: usize,
     payload_len: usize,
+    /// Decoded-entry memo: the last `(payload offset, entry)` pair a
+    /// query decoded, so repeated hits on the same record skip the
+    /// `Reader` construction and varint walk entirely. Accessed with
+    /// `try_lock` only — a contended memo falls back to a plain decode
+    /// rather than ever blocking a reader.
+    decoded: Mutex<Option<(u32, Entry)>>,
 }
 
 impl SnapshotTable {
@@ -273,6 +280,7 @@ impl SnapshotTable {
             entry_count: 0,
             payload_at: 0,
             payload_len: 0,
+            decoded: Mutex::new(None),
         };
         loaded.validate_names()?;
         loaded.validate_chg()?;
@@ -929,9 +937,21 @@ impl SnapshotTable {
             .find(|&m| self.member_name(m) == Some(name))
     }
 
+    /// Decodes the payload record at `offset`, bypassing the memo.
+    fn decode_at(&self, offset: u32) -> Option<Entry> {
+        let payload =
+            &self.data[self.payload_at + offset as usize..self.payload_at + self.payload_len];
+        let mut r = Reader::new(payload, "table entry");
+        // Validation decoded this exact record at load time, so failure
+        // is unreachable; fail closed regardless.
+        self.decode_entry_from(&mut r).ok()
+    }
+
     /// The decoded table entry for `(c, m)`, or `None` when
     /// `m ∉ Members[c]`. Binary-searches the class row's fixed-width
-    /// index, then decodes one payload record.
+    /// index; a repeated hit on the record the previous query decoded is
+    /// answered from the decoded-entry memo without re-walking the
+    /// varint payload.
     pub fn entry(&self, c: ClassId, m: MemberId) -> Option<Entry> {
         if c.index() >= self.class_count {
             return None;
@@ -946,12 +966,19 @@ impl SnapshotTable {
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
                 std::cmp::Ordering::Equal => {
-                    let payload = &self.data
-                        [self.payload_at + offset as usize..self.payload_at + self.payload_len];
-                    let mut r = Reader::new(payload, "table entry");
-                    // Validation decoded this exact record at load time,
-                    // so failure is unreachable; fail closed regardless.
-                    return self.decode_entry_from(&mut r).ok();
+                    // `try_lock`: a contended memo (another thread is
+                    // mid-update) must never block the read path.
+                    if let Ok(mut memo) = self.decoded.try_lock() {
+                        if let Some((at, e)) = memo.as_ref() {
+                            if *at == offset {
+                                return Some(e.clone());
+                            }
+                        }
+                        let e = self.decode_at(offset)?;
+                        *memo = Some((offset, e.clone()));
+                        return Some(e);
+                    }
+                    return self.decode_at(offset);
                 }
             }
         }
@@ -1073,6 +1100,24 @@ impl SnapshotTable {
         Ok(engine)
     }
 
+    /// Pre-decodes the whole table into a flat
+    /// [`DispatchIndex`](cpplookup_core::DispatchIndex): every varint
+    /// payload is decoded exactly once here, and queries afterwards
+    /// touch only the index's fixed-width arrays — the serving
+    /// configuration for snapshot-backed deployments
+    /// (`batch --snapshot --serve` in the CLI).
+    pub fn dispatch_index(&self) -> cpplookup_core::DispatchIndex {
+        let start = Instant::now();
+        let index = cpplookup_core::DispatchIndex::from_entries(self.class_count, self.entries());
+        obs::index_built(
+            "snapshot",
+            index.entry_count() as u64,
+            index.size_bytes() as u64,
+            start.elapsed().as_nanos() as u64,
+        );
+        index
+    }
+
     /// Recovers the winning definition path like
     /// [`LookupTable::resolve_path`](cpplookup_core::LookupTable::resolve_path),
     /// walking red `via` parent pointers decoded from the buffer.
@@ -1136,12 +1181,15 @@ impl Iterator for SnapshotEntries<'_> {
         let t = self.table;
         while self.class < t.class_count {
             if self.record < t.row_start(self.class + 1) {
-                let (m, _) = t.index_record(self.record);
+                let (m, offset) = t.index_record(self.record);
                 self.record += 1;
                 let c = ClassId::from_index(self.class);
                 let m = MemberId::from_index(m as usize);
-                // Validated at load time; entry() cannot miss here.
-                if let Some(entry) = t.entry(c, m) {
+                // Validated at load time; the decode cannot miss here.
+                // The record's payload offset is already in hand, so the
+                // bulk walk skips both the row binary search and the
+                // single-record memo.
+                if let Some(entry) = t.decode_at(offset) {
                     return Some((c, m, entry));
                 }
             } else {
@@ -1215,6 +1263,41 @@ mod tests {
                     );
                     assert_eq!(snap.lookup(c, m), table.lookup(c, m));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_memo_survives_repeats_and_alternation() {
+        let g = fixtures::fig3();
+        let table = LookupTable::build(&g);
+        let snap = roundtrip(&g);
+        let h = g.class_by_name("H").unwrap();
+        let foo = g.member_by_name("foo").unwrap();
+        let bar = g.member_by_name("bar").unwrap();
+        // Repeats hit the memo; alternation evicts and refills it; a
+        // miss must not disturb it. All must keep matching the table.
+        for _ in 0..3 {
+            assert_eq!(snap.entry(h, foo), table.entry(h, foo).cloned());
+            assert_eq!(snap.entry(h, foo), table.entry(h, foo).cloned());
+            assert_eq!(snap.entry(h, bar), table.entry(h, bar).cloned());
+            assert_eq!(
+                snap.entry(ClassId::from_index(g.class_count() + 3), foo),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_index_matches_snapshot_outcomes() {
+        let g = fixtures::fig9();
+        let snap = roundtrip(&g);
+        let index = snap.dispatch_index();
+        assert_eq!(index.entry_count(), snap.entry_count());
+        for c in g.classes() {
+            for m in g.member_ids() {
+                assert_eq!(index.entry(c, m), snap.entry(c, m));
+                assert_eq!(index.lookup_ref(c, m).to_outcome(), snap.lookup(c, m));
             }
         }
     }

@@ -13,7 +13,7 @@
 //! cpplookup-cli stats  <file.cpp> [--json|--prometheus]
 //!                                            sweep every (class, member) pair through the
 //!                                            lookup engine, then dump the metrics registry
-//! cpplookup-cli batch  <file.cpp> [--metrics] [--jobs N]
+//! cpplookup-cli batch  <file.cpp> [--metrics] [--jobs N] [--serve]
 //!                                            answer `class member` query pairs from stdin
 //!                                            via the concurrent lookup engine; engine
 //!                                            statistics go to stderr on exit. With
@@ -23,7 +23,12 @@
 //!                                            finishes with a JSON metrics snapshot on
 //!                                            stdout (per-edit invalidation sizes included).
 //!                                            --jobs N sets the worker thread count
-//!                                            (default: available parallelism)
+//!                                            (default: available parallelism). With
+//!                                            --serve, queries are answered from the flat
+//!                                            dispatch index published by an IndexedEngine
+//!                                            (edit directives refresh the dirty rows and
+//!                                            publish a new epoch); index size and epochs
+//!                                            are reported to stderr
 //! cpplookup-cli compile <file.cpp> -o <out.snap> [--jobs N]
 //!                                            compile the hierarchy and lookup table into a
 //!                                            binary snapshot ("compile once, serve many");
@@ -34,9 +39,10 @@
 //! cpplookup-cli query  --snapshot <file.snap> <class> <member>
 //!                                            the same, served straight from a snapshot
 //!                                            without rebuilding the table
-//! cpplookup-cli batch  --snapshot <file.snap> [--metrics]
+//! cpplookup-cli batch  --snapshot <file.snap> [--metrics] [--serve]
 //!                                            batch mode over an engine warm-started from
-//!                                            the snapshot's serialized entries
+//!                                            the snapshot's serialized entries; --serve
+//!                                            serves from the flat dispatch index instead
 //! ```
 //!
 //! Exit status: 0 on success, 1 on resolution errors (`check`) or
@@ -55,7 +61,9 @@ use cpplookup::lookup::trace::{render_trace, trace_member, trace_to_dot, trace_t
 use cpplookup::obs;
 use cpplookup::subobject::stats::count_subobjects;
 use cpplookup::{
-    EngineOptions, Inheritance, LookupEngine, LookupOptions, LookupOutcome, Snapshot, SnapshotTable,
+    Access, Chg, ClassId, DispatchIndex, Edit, EngineOptions, IndexedEngine, Inheritance,
+    LookupEngine, LookupOptions, LookupOutcome, MemberDecl, MemberId, MemberKind, Snapshot,
+    SnapshotTable,
 };
 
 const USAGE: &str = "usage: cpplookup-cli <check|table|trace|layout|audit|dot|export|stats|batch|compile|query> <file.cpp> [args]\n       cpplookup-cli <query|batch> --snapshot <file.snap> [args]";
@@ -180,11 +188,15 @@ fn table(analysis: &Analysis) {
 /// preceding edit directives), or a line that already failed to parse.
 type PendingLine = (String, Result<(String, String), String>);
 
-/// Answers the pending queries through one [`LookupEngine`] batch and
-/// prints a verdict per line. Returns whether any line failed.
-fn flush_batch(engine: &LookupEngine, pending: &mut Vec<PendingLine>) -> bool {
-    let chg = engine.chg();
-    let resolved: Vec<Result<(cpplookup::ClassId, cpplookup::MemberId), String>> = pending
+/// Resolves the pending lines' names against `chg`, answers the valid
+/// queries through one `lookup` batch, and prints a verdict per line.
+/// Returns whether any line failed.
+fn flush_pending(
+    chg: &Chg,
+    pending: &mut Vec<PendingLine>,
+    lookup: impl FnOnce(&[(ClassId, MemberId)]) -> Vec<LookupOutcome>,
+) -> bool {
+    let resolved: Vec<Result<(ClassId, MemberId), String>> = pending
         .iter()
         .map(|(_, slot)| match slot {
             Err(e) => Err(e.clone()),
@@ -199,7 +211,7 @@ fn flush_batch(engine: &LookupEngine, pending: &mut Vec<PendingLine>) -> bool {
         .iter()
         .filter_map(|r| r.as_ref().ok().copied())
         .collect();
-    let mut outcomes = engine.lookup_batch(&queries).into_iter();
+    let mut outcomes = lookup(&queries).into_iter();
     let mut failed = false;
     for ((label, _), slot) in pending.iter().zip(&resolved) {
         let verdict = match slot {
@@ -219,6 +231,37 @@ fn flush_batch(engine: &LookupEngine, pending: &mut Vec<PendingLine>) -> bool {
     }
     pending.clear();
     failed
+}
+
+/// [`flush_pending`] through a [`LookupEngine`] batch.
+fn flush_batch(engine: &LookupEngine, pending: &mut Vec<PendingLine>) -> bool {
+    flush_pending(engine.chg(), pending, |queries| {
+        engine.lookup_batch(queries)
+    })
+}
+
+/// [`flush_pending`] through the currently published [`DispatchIndex`]:
+/// the handle is loaded once per flush, exactly as a reader thread
+/// would pin an epoch for a batch.
+fn flush_serve(serving: &IndexedEngine, pending: &mut Vec<PendingLine>) -> bool {
+    let published = serving.handle().load();
+    flush_pending(serving.engine().chg(), pending, |queries| {
+        published.index().lookup_batch(queries)
+    })
+}
+
+/// Parses a `class member` query line into a buffered [`PendingLine`].
+fn parse_query_line(line: &str) -> PendingLine {
+    let mut words = line.split_whitespace();
+    let slot = match (words.next(), words.next(), words.next()) {
+        (Some(class), Some(member), None) => Ok((class.to_owned(), member.to_owned())),
+        _ => Err("expected `class member`".to_owned()),
+    };
+    let label = match &slot {
+        Ok((class, member)) => format!("{class}::{member}"),
+        Err(_) => line.to_owned(),
+    };
+    (label, slot)
 }
 
 /// Applies one `!class` / `!member` / `!edge` edit directive to the
@@ -306,6 +349,7 @@ fn metrics_json(engine: &LookupEngine, sink: &obs::MemorySink) -> String {
 /// and invalidation sizes — is printed to stdout at the end.
 fn batch(analysis: &Analysis, rest: &[String]) -> ExitCode {
     let metrics = rest.iter().any(|a| a == "--metrics");
+    let serve = rest.iter().any(|a| a == "--serve");
     let jobs = match parse_jobs(rest) {
         Ok(jobs) => jobs,
         Err(e) => {
@@ -313,6 +357,18 @@ fn batch(analysis: &Analysis, rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if serve {
+        if metrics {
+            eprintln!(
+                "cpplookup-cli: --serve and --metrics are mutually exclusive \
+                 (the serve loop reports index size and epochs to stderr)"
+            );
+            return ExitCode::from(2);
+        }
+        let engine =
+            LookupEngine::with_options(analysis.chg.clone(), EngineOptions::parallel(jobs));
+        return serve_loop(IndexedEngine::new(engine));
+    }
     let options = if metrics {
         let mut o = EngineOptions::lazy();
         o.timing = true;
@@ -371,16 +427,7 @@ fn batch_loop(mut engine: LookupEngine, metrics: bool) -> ExitCode {
             }
             continue;
         }
-        let mut words = line.split_whitespace();
-        let slot = match (words.next(), words.next(), words.next()) {
-            (Some(class), Some(member), None) => Ok((class.to_owned(), member.to_owned())),
-            _ => Err("expected `class member`".to_owned()),
-        };
-        let label = match &slot {
-            Ok((class, member)) => format!("{class}::{member}"),
-            Err(_) => line.to_owned(),
-        };
-        pending.push((label, slot));
+        pending.push(parse_query_line(line));
     }
     failed |= flush_batch(&engine, &mut pending);
 
@@ -388,6 +435,113 @@ fn batch_loop(mut engine: LookupEngine, metrics: bool) -> ExitCode {
         println!("{}", metrics_json(&engine, &sink));
     }
     eprintln!("{}", engine.stats());
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Parses one `!class` / `!member` / `!edge` directive into an [`Edit`]
+/// (names resolve against the current hierarchy; new members are plain
+/// public functions, new edges public inheritance).
+fn parse_edit(chg: &Chg, line: &str) -> Result<Edit, String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let class_id = |name: &str| {
+        chg.class_by_name(name)
+            .ok_or_else(|| format!("no class named `{name}`"))
+    };
+    match words.as_slice() {
+        ["!class", name] => Ok(Edit::AddClass {
+            name: (*name).to_owned(),
+        }),
+        ["!member", class, name] => Ok(Edit::AddMember {
+            class: class_id(class)?,
+            name: (*name).to_owned(),
+            decl: MemberDecl::public(MemberKind::Function),
+        }),
+        ["!edge", derived, base, rest @ ..] => {
+            let inheritance = match rest {
+                [] => Inheritance::NonVirtual,
+                ["virtual"] => Inheritance::Virtual,
+                _ => return Err("expected `!edge DERIVED BASE [virtual]`".to_owned()),
+            };
+            Ok(Edit::AddEdge {
+                derived: class_id(derived)?,
+                base: class_id(base)?,
+                inheritance,
+                access: Access::Public,
+            })
+        }
+        _ => Err(
+            "expected `!class NAME`, `!member CLASS NAME`, or `!edge DERIVED BASE [virtual]`"
+                .to_owned(),
+        ),
+    }
+}
+
+/// The stdin loop for `--serve`: queries are answered from the flat
+/// [`DispatchIndex`] pinned off the [`IndexedEngine`]'s serve handle —
+/// exactly what a reader thread would serve from — and `!` edit
+/// directives go through [`IndexedEngine::apply`] (incremental
+/// invalidation, dirty-row refresh, atomic republish), so queries after
+/// a directive observe the new epoch.
+fn serve_loop(mut serving: IndexedEngine) -> ExitCode {
+    use std::io::BufRead;
+
+    let handle = serving.handle();
+    {
+        let published = handle.load();
+        let index = published.index();
+        eprintln!(
+            "serve index: {} entries, {} bytes ({:.1} bytes/entry), epoch {}",
+            index.entry_count(),
+            index.size_bytes(),
+            index.bytes_per_entry(),
+            published.epoch()
+        );
+    }
+    let mut pending: Vec<PendingLine> = Vec::new();
+    let mut failed = false;
+    for line in std::io::stdin().lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cpplookup-cli: cannot read stdin: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('!') {
+            // Flush first so buffered lookups observe the hierarchy as
+            // of their position in the stream, like `--metrics` mode.
+            failed |= flush_serve(&serving, &mut pending);
+            match parse_edit(serving.engine().chg(), line)
+                .and_then(|edit| serving.apply(&[edit]).map_err(|e| e.to_string()))
+            {
+                Ok(epoch) => eprintln!("applied: {line} (epoch {epoch})"),
+                Err(e) => {
+                    println!("{line:<24} error: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
+        pending.push(parse_query_line(line));
+    }
+    failed |= flush_serve(&serving, &mut pending);
+
+    let published = handle.load();
+    eprintln!(
+        "served epoch {}: {} entries, {} bytes",
+        published.epoch(),
+        published.index().entry_count(),
+        published.index().size_bytes()
+    );
+    eprintln!("{}", serving.engine().stats());
     if failed {
         ExitCode::from(1)
     } else {
@@ -508,6 +662,14 @@ fn snapshot_query(file: &str, rest: &[String]) -> ExitCode {
 /// invalidates it first.
 fn snapshot_batch(file: &str, rest: &[String]) -> ExitCode {
     let metrics = rest.iter().any(|a| a == "--metrics");
+    let serve = rest.iter().any(|a| a == "--serve");
+    if serve && metrics {
+        eprintln!(
+            "cpplookup-cli: --serve and --metrics are mutually exclusive \
+             (the serve loop reports index size and epochs to stderr)"
+        );
+        return ExitCode::from(2);
+    }
     let snap = match SnapshotTable::load(file) {
         Ok(s) => s,
         Err(e) => {
@@ -533,6 +695,11 @@ fn snapshot_batch(file: &str, rest: &[String]) -> ExitCode {
         file,
         snap.size_bytes()
     );
+    if serve {
+        // The seeded memo is complete, so the initial index packs
+        // straight from it — no cold propagation.
+        return serve_loop(IndexedEngine::new(engine));
+    }
     batch_loop(engine, metrics)
 }
 
@@ -571,6 +738,16 @@ fn stats(analysis: &Analysis, rest: &[String]) -> ExitCode {
         .flat_map(|c| chg.member_ids().map(move |m| (c, m)))
         .collect();
     engine.lookup_batch(&queries);
+
+    // Pack the swept memo into a dispatch index so the serve-side build
+    // metrics (index size, entry count, build time) appear in the dump.
+    let index = DispatchIndex::from_engine(&engine);
+    eprintln!(
+        "dispatch index: {} entries, {} bytes ({:.1} bytes/entry)",
+        index.entry_count(),
+        index.size_bytes(),
+        index.bytes_per_entry()
+    );
 
     let mut snapshot = engine.metrics_snapshot();
     snapshot.extend(obs::global().snapshot());

@@ -39,6 +39,22 @@
 //! # Ok::<(), cpplookup::SnapshotError>(())
 //! ```
 //!
+//! For serving heavy query traffic, [`DispatchIndex`] pre-decodes any
+//! backend into a flat, cache-dense index whose
+//! [`lookup_ref`](DispatchIndex::lookup_ref) fast path never allocates,
+//! and [`ServeHandle`] / [`IndexedEngine`] republish fresh index
+//! versions atomically while readers keep serving:
+//!
+//! ```
+//! use cpplookup::{chg::fixtures, DispatchIndex, LookupTable};
+//!
+//! let g = fixtures::fig2();
+//! let index = DispatchIndex::from_table(LookupTable::build(&g));
+//! let e = g.class_by_name("E").unwrap();
+//! let m = g.member_by_name("m").unwrap();
+//! assert!(index.lookup_ref(e, m).is_resolved());
+//! ```
+//!
 //! # Quickstart
 //!
 //! ```
@@ -131,8 +147,9 @@ pub use cpplookup_chg::{
     MemberId, MemberKind, Path,
 };
 pub use cpplookup_core::{
-    EngineBacking, EngineOptions, EngineStats, LazyLookup, LeastVirtual, LookupEngine,
-    LookupOptions, LookupOutcome, LookupTable, MemberLookup, RedAbs, StaticRule,
+    DispatchIndex, EngineBacking, EngineOptions, EngineStats, IndexedEngine, LazyLookup,
+    LeastVirtual, LookupEngine, LookupOptions, LookupOutcome, LookupTable, MemberLookup,
+    OutcomeRef, RedAbs, ServeHandle, StaticRule,
 };
 pub use cpplookup_snapshot::{Snapshot, SnapshotError, SnapshotTable};
 pub use cpplookup_subobject::{Resolution, Subobject, SubobjectGraph};
