@@ -86,5 +86,28 @@ pub use api::MemberLookup;
 pub use engine::{EngineBacking, EngineOptions, EngineStats, LookupEngine};
 pub use lazy::LazyLookup;
 pub use result::{DisplayEntry, Entry, LookupOutcome};
-pub use serve::{DispatchIndex, IndexedEngine, OutcomeRef, PublishedIndex, ServeHandle};
+pub use serve::{
+    DispatchIndex, IndexedEngine, IntoDispatchIndex, OutcomeRef, PublishedIndex, ServeHandle,
+};
 pub use table::{LookupOptions, LookupTable, TableStats};
+
+pub mod prelude {
+    //! The stable one-line import for lookup consumers:
+    //! `use cpplookup_core::prelude::*;`.
+    //!
+    //! Re-exports the types almost every caller touches — the
+    //! [`MemberLookup`] query trait and its [`LookupOutcome`], the
+    //! buildable backends ([`LookupTable`], [`LookupEngine`]), and the
+    //! serving layer ([`DispatchIndex`], [`ServeHandle`],
+    //! [`IndexedEngine`]) behind the unified [`IntoDispatchIndex`]
+    //! construction surface. Downstream facades (the root `cpplookup`
+    //! crate) extend this with the snapshot types.
+    pub use crate::abstraction::{LeastVirtual, StaticRule};
+    pub use crate::api::MemberLookup;
+    pub use crate::engine::{EngineOptions, LookupEngine};
+    pub use crate::result::{Entry, LookupOutcome};
+    pub use crate::serve::{
+        DispatchIndex, IndexedEngine, IntoDispatchIndex, OutcomeRef, PublishedIndex, ServeHandle,
+    };
+    pub use crate::table::{LookupOptions, LookupTable};
+}

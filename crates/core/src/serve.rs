@@ -91,6 +91,67 @@ pub use crate::dispatch::{
     build_dispatch_map, dynamic_target, DispatchEntry, DispatchMap, DispatchTarget,
 };
 
+/// A backend that can be packed into a [`DispatchIndex`] — the unified
+/// construction surface behind [`DispatchIndex::from_backend`] and
+/// [`ServeHandle::publish_backend`].
+///
+/// Before this trait existed every backend grew its own ad-hoc entry
+/// point (`DispatchIndex::from_table`, `DispatchIndex::from_engine`,
+/// `SnapshotTable::dispatch_index`), and every caller — the CLI, the
+/// server, the benches — had to know which one to reach for. Now any
+/// code that serves lookups takes `impl IntoDispatchIndex` and lets the
+/// backend describe itself; the old constructors remain as thin
+/// documented delegates.
+///
+/// Implementors in this workspace:
+///
+/// * [`LookupTable`] (by value — the entries are moved, not cloned),
+/// * [`&LookupEngine`](LookupEngine) (the memo is probed, the engine
+///   keeps serving),
+/// * [`DispatchIndex`] itself (identity — lets already-packed indexes
+///   flow through backend-generic call sites),
+/// * `&SnapshotTable` in `cpplookup-snapshot` (each varint payload is
+///   decoded exactly once).
+pub trait IntoDispatchIndex {
+    /// Short stable label for metrics and diagnostics: `"table"`,
+    /// `"engine"`, `"snapshot"`, or `"index"` — the same values the
+    /// CLI's `--backend` flag accepts.
+    fn backend_label(&self) -> &'static str;
+
+    /// Packs this backend into a flat [`DispatchIndex`].
+    fn into_dispatch_index(self) -> DispatchIndex;
+}
+
+impl IntoDispatchIndex for LookupTable {
+    fn backend_label(&self) -> &'static str {
+        "table"
+    }
+
+    fn into_dispatch_index(self) -> DispatchIndex {
+        DispatchIndex::from_table(self)
+    }
+}
+
+impl IntoDispatchIndex for &LookupEngine {
+    fn backend_label(&self) -> &'static str {
+        "engine"
+    }
+
+    fn into_dispatch_index(self) -> DispatchIndex {
+        DispatchIndex::from_engine(self)
+    }
+}
+
+impl IntoDispatchIndex for DispatchIndex {
+    fn backend_label(&self) -> &'static str {
+        "index"
+    }
+
+    fn into_dispatch_index(self) -> DispatchIndex {
+        self
+    }
+}
+
 /// Entry flag bit: the slot is blue (ambiguous).
 const FLAG_BLUE: u32 = 1;
 /// Entry flag bit: the red slot has a via edge.
@@ -389,6 +450,28 @@ pub struct DispatchIndex {
 }
 
 impl DispatchIndex {
+    /// Builds the index from any backend — the canonical construction
+    /// entry point. [`LookupTable`]s are consumed, engines are probed
+    /// through a shared reference, snapshots decode each payload once;
+    /// the backend itself decides via its [`IntoDispatchIndex`] impl.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cpplookup_chg::fixtures;
+    /// use cpplookup_core::serve::DispatchIndex;
+    /// use cpplookup_core::{LookupEngine, LookupTable};
+    ///
+    /// let g = fixtures::fig2();
+    /// let from_table = DispatchIndex::from_backend(LookupTable::build(&g));
+    /// let engine = LookupEngine::new(g);
+    /// let from_engine = DispatchIndex::from_backend(&engine);
+    /// assert_eq!(from_table.entry_count(), from_engine.entry_count());
+    /// ```
+    pub fn from_backend(backend: impl IntoDispatchIndex) -> Self {
+        backend.into_dispatch_index()
+    }
+
     /// Builds the index in one pass from any `(class, member, entry)`
     /// stream. `class_count` must cover every class id in the stream;
     /// the stream may arrive in any order.
@@ -407,6 +490,10 @@ impl DispatchIndex {
 
     /// Builds the index from a consumed [`LookupTable`] — one pass over
     /// its per-class entry maps, moving every entry instead of cloning.
+    ///
+    /// Prefer the backend-generic [`DispatchIndex::from_backend`] in new
+    /// code; this remains as the table-specific delegate behind
+    /// `LookupTable`'s [`IntoDispatchIndex`] impl.
     pub fn from_table(table: LookupTable) -> Self {
         let start = Instant::now();
         let mut member_count = 0usize;
@@ -437,6 +524,10 @@ impl DispatchIndex {
     /// pair is probed once through [`LookupEngine::entry`] (memo hits
     /// under complete backings; the lazy backing computes missing
     /// columns on demand, so the result always covers the full table).
+    ///
+    /// Prefer the backend-generic [`DispatchIndex::from_backend`] in new
+    /// code; this remains as the engine-specific delegate behind
+    /// `&LookupEngine`'s [`IntoDispatchIndex`] impl.
     pub fn from_engine(engine: &LookupEngine) -> Self {
         let start = Instant::now();
         let chg = engine.chg();
@@ -819,6 +910,23 @@ impl ServeHandle {
         }
     }
 
+    /// Packs any backend and publishes it as epoch 0 — the
+    /// backend-generic twin of [`ServeHandle::new`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cpplookup_chg::fixtures;
+    /// use cpplookup_core::serve::ServeHandle;
+    /// use cpplookup_core::LookupTable;
+    ///
+    /// let handle = ServeHandle::serving(LookupTable::build(&fixtures::fig2()));
+    /// assert_eq!(handle.epoch(), 0);
+    /// ```
+    pub fn serving(backend: impl IntoDispatchIndex) -> Self {
+        Self::new(backend.into_dispatch_index())
+    }
+
     /// The current index version. The returned `Arc` stays valid (and
     /// unchanged) for as long as the reader holds it, across any number
     /// of republishes.
@@ -845,6 +953,16 @@ impl ServeHandle {
         drop(slot);
         crate::obs::index_published(epoch, elapsed_ns(start));
         epoch
+    }
+
+    /// Packs any backend and atomically publishes it, returning the new
+    /// epoch — [`publish`](Self::publish) behind the unified
+    /// [`IntoDispatchIndex`] surface. The pack happens *before* the
+    /// write lock is taken, so readers are never blocked on an index
+    /// build.
+    pub fn publish_backend(&self, backend: impl IntoDispatchIndex) -> u64 {
+        let index = backend.into_dispatch_index();
+        self.publish(index)
     }
 }
 
@@ -883,6 +1001,20 @@ impl IndexedEngine {
             engine,
             handle: ServeHandle::new(index),
         }
+    }
+
+    /// Pairs `engine` with an *existing* publication point: the index
+    /// is rebuilt from the engine's memo and published on `handle` as a
+    /// fresh epoch, so readers already serving from clones of `handle`
+    /// (for example, a tenant that has been answering queries straight
+    /// from a snapshot-packed index) migrate to the engine-backed
+    /// versions without ever re-resolving a handle.
+    ///
+    /// This is the promotion step a write path takes when a previously
+    /// read-only backend receives its first edit.
+    pub fn attach(engine: LookupEngine, handle: ServeHandle) -> Self {
+        handle.publish_backend(&engine);
+        IndexedEngine { engine, handle }
     }
 
     /// A serving handle; clone freely across reader threads.
@@ -1084,6 +1216,62 @@ mod tests {
                 .to_string(),
             "GH"
         );
+    }
+
+    #[test]
+    fn from_backend_matches_every_specific_constructor() {
+        for g in graphs() {
+            let by_table = DispatchIndex::from_table(LookupTable::build(&g));
+            let via_table = DispatchIndex::from_backend(LookupTable::build(&g));
+            let engine = LookupEngine::new(g.clone());
+            let via_engine = DispatchIndex::from_backend(&engine);
+            let via_identity = DispatchIndex::from_backend(by_table.clone());
+            for c in g.classes() {
+                for m in g.member_ids() {
+                    assert_eq!(by_table.entry(c, m), via_table.entry(c, m));
+                    assert_eq!(by_table.entry(c, m), via_engine.entry(c, m));
+                    assert_eq!(by_table.entry(c, m), via_identity.entry(c, m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_labels_are_stable() {
+        let g = fixtures::fig2();
+        let table = LookupTable::build(&g);
+        assert_eq!(table.backend_label(), "table");
+        let engine = LookupEngine::new(g.clone());
+        assert_eq!((&engine).backend_label(), "engine");
+        let index = DispatchIndex::from_backend(table);
+        assert_eq!(index.backend_label(), "index");
+    }
+
+    #[test]
+    fn publish_backend_and_serving_bump_and_seed_epochs() {
+        let g = fixtures::fig2();
+        let handle = ServeHandle::serving(LookupTable::build(&g));
+        assert_eq!(handle.epoch(), 0);
+        let engine = LookupEngine::new(g.clone());
+        assert_eq!(handle.publish_backend(&engine), 1);
+        assert_eq!(handle.epoch(), 1);
+    }
+
+    #[test]
+    fn attach_publishes_engine_index_on_existing_handle() {
+        let g = fixtures::fig2();
+        // A tenant starts serving from a table-packed index…
+        let handle = ServeHandle::serving(LookupTable::build(&g));
+        let reader = handle.clone();
+        // …then its first edit promotes it to an engine-backed writer
+        // on the *same* handle.
+        let mut serving = IndexedEngine::attach(LookupEngine::new(g.clone()), handle);
+        assert_eq!(reader.epoch(), 1, "attach republishes as a fresh epoch");
+        let epoch = serving
+            .apply(&[Edit::AddClass { name: "Z".into() }])
+            .unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(reader.epoch(), 2, "readers of the old handle see edits");
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! `cpplookup-loadgen` — drive load at a running server.
+//!
+//! ```text
+//! cpplookup-loadgen --addr HOST:PORT --snapshot PATH
+//!                   [--tenants N] [--load] [--connections N]
+//!                   [--duration-secs N] [--rate QPS] [--batch N]
+//!                   [--tenant-skew S] [--probe-skew S] [--seed N]
+//! ```
+//!
+//! The snapshot is opened *locally* to enumerate real class/member
+//! names for the probe vocabulary; `--tenants N` fans the same snapshot
+//! out as `t0..tN-1`, and `--load` issues the `LOAD` requests first
+//! (the server must be able to read `PATH` too — same host). Without
+//! `--rate` the run is closed-loop; with it, open-loop at that
+//! aggregate rate. Prints the human summary line to stdout.
+//!
+//! Flag parsing and the run body live in [`cpplookup_server::cli`],
+//! shared with the main CLI's `loadgen` subcommand.
+
+use std::process::ExitCode;
+
+use cpplookup_server::cli::{parse_loadgen_args, run_loadgen, LOADGEN_USAGE};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cpplookup-loadgen {LOADGEN_USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    let parsed = match parse_loadgen_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match run_loadgen(&parsed) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! `cpplookup-serverd` — the standalone server daemon.
+//!
+//! ```text
+//! cpplookup-serverd [--addr HOST:PORT] [--max-connections N]
+//!                   [--read-timeout-secs N] [--tenant NAME=PATH]...
+//! ```
+//!
+//! Prints `listening on ADDR` to stderr once the socket is bound (the
+//! CLI's `serve` subcommand and the tests read the real port from that
+//! line when port 0 was requested), then serves until killed.
+//!
+//! Flag parsing and the serve loop live in [`cpplookup_server::cli`],
+//! shared with the main CLI's `serve` subcommand.
+
+use std::process::ExitCode;
+
+use cpplookup_server::cli::{parse_server_args, serve_forever, SERVE_USAGE};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cpplookup-serverd {SERVE_USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    let config = match parse_server_args(&args) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let e = serve_forever(config);
+    eprintln!("error: {e}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,295 @@
+//! Shared command-line plumbing for the server and load-generator
+//! front ends.
+//!
+//! Both standalone bins (`cpplookup-serverd`, `cpplookup-loadgen`) and
+//! the main CLI's `serve` / `loadgen` subcommands parse the same flags
+//! and run the same bodies; keeping the logic here means the two entry
+//! points cannot drift apart.
+
+use std::time::Duration;
+
+use crate::client::Client;
+use crate::loadgen::{self, LoadConfig, Pacing, TenantTarget};
+use crate::server::{Server, ServerConfig};
+
+/// Usage text for the server front end.
+pub const SERVE_USAGE: &str = "[--addr HOST:PORT] [--max-connections N] \
+     [--read-timeout-secs N] [--tenant NAME=PATH]...";
+
+/// Usage text for the load-generator front end.
+pub const LOADGEN_USAGE: &str = "--addr HOST:PORT --snapshot PATH [--tenants N] [--load] \
+     [--connections N] [--duration-secs N] [--rate QPS] [--batch N] \
+     [--tenant-skew S] [--probe-skew S] [--seed N]";
+
+/// Parses server flags into a [`ServerConfig`].
+///
+/// # Errors
+///
+/// A one-line description of the offending flag.
+pub fn parse_server_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = it.next().ok_or("--addr wants HOST:PORT")?.clone();
+            }
+            "--max-connections" => {
+                config.max_connections = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-connections wants a number")?;
+            }
+            "--read-timeout-secs" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--read-timeout-secs wants a number (0 = no timeout)")?;
+                config.read_timeout = (n > 0).then(|| Duration::from_secs(n));
+            }
+            "--tenant" => {
+                let spec = it.next().ok_or("--tenant wants NAME=PATH")?;
+                match spec.split_once('=') {
+                    Some((name, path)) if !name.is_empty() && !path.is_empty() => {
+                        config.preload.push((name.to_owned(), path.into()));
+                    }
+                    _ => return Err(format!("--tenant wants NAME=PATH, got `{spec}`")),
+                }
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+/// Starts the server, announces `listening on ADDR` on stderr (tests
+/// and wrapper scripts read the real port from that line when port 0
+/// was requested), and serves until the process is killed.
+///
+/// # Errors
+///
+/// Bind or preload failure; on success this never returns.
+pub fn serve_forever(config: ServerConfig) -> std::io::Error {
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => return e,
+    };
+    eprintln!("listening on {}", server.addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Parsed load-generator invocation.
+pub struct LoadgenArgs {
+    /// The run shape (addr filled in from `--addr`).
+    pub config: LoadConfig,
+    /// Snapshot path opened locally for the probe vocabulary (and sent
+    /// in `LOAD` requests with `--load`).
+    pub snapshot: String,
+    /// Number of tenants to fan the snapshot out as (`t0..tN-1`).
+    pub tenants: usize,
+    /// Whether to issue `LOAD` for each tenant before the run.
+    pub load_first: bool,
+}
+
+/// Parses load-generator flags.
+///
+/// # Errors
+///
+/// A one-line description of the offending flag.
+pub fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
+    let mut out = LoadgenArgs {
+        config: LoadConfig {
+            connections: 4,
+            duration: Duration::from_secs(2),
+            ..LoadConfig::default()
+        },
+        snapshot: String::new(),
+        tenants: 1,
+        load_first: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => out.config.addr = it.next().ok_or("--addr wants HOST:PORT")?.clone(),
+            "--snapshot" => out.snapshot = it.next().ok_or("--snapshot wants PATH")?.clone(),
+            "--load" => out.load_first = true,
+            "--tenants" => {
+                out.tenants = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--tenants wants a positive number")?;
+            }
+            "--connections" => {
+                out.config.connections = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--connections wants a positive number")?;
+            }
+            "--duration-secs" => {
+                let s: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0.0)
+                    .ok_or("--duration-secs wants a positive number")?;
+                out.config.duration = Duration::from_secs_f64(s);
+            }
+            "--rate" => {
+                let rate: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r > 0.0)
+                    .ok_or("--rate wants a positive request rate")?;
+                out.config.pacing = Pacing::Open { rate };
+            }
+            "--batch" => {
+                out.config.batch = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--batch wants a positive probe count")?;
+            }
+            "--tenant-skew" => {
+                out.config.tenant_skew = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--tenant-skew wants a number")?;
+            }
+            "--probe-skew" => {
+                out.config.probe_skew = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--probe-skew wants a number")?;
+            }
+            "--seed" => {
+                out.config.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed wants a number")?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if out.config.addr.is_empty() {
+        return Err("--addr is required".to_owned());
+    }
+    if out.snapshot.is_empty() {
+        return Err("--snapshot is required".to_owned());
+    }
+    Ok(out)
+}
+
+/// Enumerates every `(class, member)` pair with a lookup entry in the
+/// snapshot — the live probe vocabulary a load run draws from.
+pub fn live_probes(table: &cpplookup_snapshot::SnapshotTable) -> Vec<(String, String)> {
+    let mut probes = Vec::new();
+    for (c, m, _) in table.entries() {
+        if let (Some(class), Some(member)) = (table.class_name(c), table.member_name(m)) {
+            probes.push((class.to_owned(), member.to_owned()));
+        }
+    }
+    probes
+}
+
+/// Runs a parsed load-generator invocation end to end: opens the
+/// snapshot locally for probe names, optionally `LOAD`s the tenants,
+/// drives the load, and returns the human summary line.
+///
+/// # Errors
+///
+/// A one-line description of what failed.
+pub fn run_loadgen(args: &LoadgenArgs) -> Result<String, String> {
+    let table = cpplookup_snapshot::SnapshotTable::load(&args.snapshot)
+        .map_err(|e| format!("cannot open snapshot `{}`: {e}", args.snapshot))?;
+    let probes = live_probes(&table);
+    if probes.is_empty() {
+        return Err(format!(
+            "snapshot `{}` has no lookup entries to probe",
+            args.snapshot
+        ));
+    }
+    let targets: Vec<TenantTarget> = (0..args.tenants)
+        .map(|i| TenantTarget {
+            name: format!("t{i}"),
+            probes: probes.clone(),
+        })
+        .collect();
+    if args.load_first {
+        let mut client = Client::connect(args.config.addr.as_str(), Some(Duration::from_secs(10)))
+            .map_err(|e| format!("cannot connect to {}: {e}", args.config.addr))?;
+        for t in &targets {
+            client
+                .load(&t.name, &args.snapshot)
+                .map_err(|e| format!("LOAD {}: {e}", t.name))?;
+        }
+    }
+    let report = loadgen::run(&args.config, &targets).map_err(|e| e.to_string())?;
+    Ok(report.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn server_args_parse() {
+        let cfg = parse_server_args(&strs(&[
+            "--addr",
+            "127.0.0.1:7777",
+            "--max-connections",
+            "9",
+            "--read-timeout-secs",
+            "0",
+            "--tenant",
+            "a=/tmp/a.snap",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:7777");
+        assert_eq!(cfg.max_connections, 9);
+        assert_eq!(cfg.read_timeout, None);
+        assert_eq!(cfg.preload.len(), 1);
+        assert!(parse_server_args(&strs(&["--tenant", "nope"])).is_err());
+        assert!(parse_server_args(&strs(&["--wat"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_args_parse_and_validate() {
+        let args = parse_loadgen_args(&strs(&[
+            "--addr",
+            "h:1",
+            "--snapshot",
+            "x.snap",
+            "--tenants",
+            "3",
+            "--load",
+            "--rate",
+            "500",
+            "--batch",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(args.tenants, 3);
+        assert!(args.load_first);
+        assert_eq!(args.config.batch, 16);
+        assert!(matches!(args.config.pacing, Pacing::Open { rate } if rate == 500.0));
+        assert!(
+            parse_loadgen_args(&strs(&["--addr", "h:1"])).is_err(),
+            "snapshot required"
+        );
+        assert!(
+            parse_loadgen_args(&strs(&["--snapshot", "x"])).is_err(),
+            "addr required"
+        );
+        assert!(
+            parse_loadgen_args(&strs(&["--addr", "h:1", "--snapshot", "x", "--rate", "-1"]))
+                .is_err()
+        );
+    }
+}

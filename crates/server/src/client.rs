@@ -1,0 +1,246 @@
+//! A small blocking client: one socket, one request/response per call.
+//!
+//! This is the client the CLI, the load generator, the benches, and the
+//! integration tests all share, so "what the server answered" means the
+//! same thing everywhere. Methods that carry a domain result return
+//! `Result<T, ClientError>`: transport and framing problems are
+//! [`ClientError::Transport`] / [`ClientError::Protocol`], a server-side
+//! [`Response::Error`] is [`ClientError::Server`] with its structured
+//! code.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, WireOutcome,
+    PROTOCOL_VERSION,
+};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, truncation).
+    Transport(io::Error),
+    /// The server's bytes did not parse as a frame or response.
+    Protocol(String),
+    /// The server answered with a structured error.
+    Server {
+        /// The error class.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server answered, but with a response type that does not
+    /// match the request.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {}: {message}", code.label())
+            }
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Transport(e),
+            FrameError::Eof => ClientError::Transport(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects (with `timeout` applied to reads and writes too).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Option<Duration>) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other("no address resolved"))?;
+        let stream = match timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Transport and framing failures; a server [`Response::Error`] is
+    /// returned as `Ok` here (callers that want the typed result use
+    /// the specific methods below).
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode()).map_err(ClientError::Transport)?;
+        let body = read_frame(&mut self.stream)?;
+        Response::decode(&body).map_err(ClientError::Protocol)
+    }
+
+    fn expect<T>(
+        &mut self,
+        req: &Request,
+        pick: impl FnOnce(Response) -> Result<T, Response>,
+    ) -> Result<T, ClientError> {
+        match self.roundtrip(req)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => pick(other).map_err(|r| ClientError::Unexpected(format!("{r:?}"))),
+        }
+    }
+
+    /// Version handshake; returns the server's tenant count.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::BadVersion`] among the usual failures.
+    pub fn hello(&mut self) -> Result<u32, ClientError> {
+        self.expect(
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            |r| match r {
+                Response::Hello { tenants, .. } => Ok(tenants),
+                other => Err(other),
+            },
+        )
+    }
+
+    /// Loads a tenant from a server-side snapshot path; returns
+    /// `(entries, snapshot bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::LoadFailed`] among the usual failures.
+    pub fn load(&mut self, tenant: &str, path: &str) -> Result<(u64, u64), ClientError> {
+        self.expect(
+            &Request::Load {
+                tenant: tenant.to_owned(),
+                path: path.to_owned(),
+            },
+            |r| match r {
+                Response::Loaded { entries, bytes } => Ok((entries, bytes)),
+                other => Err(other),
+            },
+        )
+    }
+
+    /// One point lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoSuchTenant`] / [`ErrorCode::UnknownName`] among
+    /// the usual failures.
+    pub fn query(
+        &mut self,
+        tenant: &str,
+        class: &str,
+        member: &str,
+    ) -> Result<WireOutcome, ClientError> {
+        self.expect(
+            &Request::Query {
+                tenant: tenant.to_owned(),
+                class: class.to_owned(),
+                member: member.to_owned(),
+            },
+            |r| match r {
+                Response::Outcome(o) => Ok(o),
+                other => Err(other),
+            },
+        )
+    }
+
+    /// A batch of lookups, answered in probe order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`query`](Client::query).
+    pub fn batch(
+        &mut self,
+        tenant: &str,
+        probes: &[(String, String)],
+    ) -> Result<Vec<WireOutcome>, ClientError> {
+        self.expect(
+            &Request::Batch {
+                tenant: tenant.to_owned(),
+                probes: probes.to_vec(),
+            },
+            |r| match r {
+                Response::Outcomes(o) => Ok(o),
+                other => Err(other),
+            },
+        )
+    }
+
+    /// Applies one edit directive; returns the new index epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::EditRejected`] among the usual failures.
+    pub fn edit(&mut self, tenant: &str, directive: &str) -> Result<u64, ClientError> {
+        self.expect(
+            &Request::Edit {
+                tenant: tenant.to_owned(),
+                directive: directive.to_owned(),
+            },
+            |r| match r {
+                Response::Edited { epoch } => Ok(epoch),
+                other => Err(other),
+            },
+        )
+    }
+
+    /// Tenant (or farm-wide, with `""`) statistics as JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoSuchTenant`] among the usual failures.
+    pub fn stats(&mut self, tenant: &str) -> Result<String, ClientError> {
+        self.expect(
+            &Request::Stats {
+                tenant: tenant.to_owned(),
+            },
+            |r| match r {
+                Response::Stats { json } => Ok(json),
+                other => Err(other),
+            },
+        )
+    }
+
+    /// The Prometheus metrics text over the binary protocol.
+    ///
+    /// # Errors
+    ///
+    /// The usual transport/framing failures.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.expect(&Request::Metrics, |r| match r {
+            Response::Metrics { text } => Ok(text),
+            other => Err(other),
+        })
+    }
+}

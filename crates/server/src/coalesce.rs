@@ -1,0 +1,128 @@
+//! Single-flight coalescing: N concurrent requests for the same key,
+//! one computation.
+//!
+//! The farm uses this on the tenant *cold path*: the first probe
+//! against a freshly loaded tenant pays a full `DispatchIndex` build,
+//! and under fan-out traffic hundreds of connections can hit the same
+//! cold tenant in the same millisecond. Without coalescing each one
+//! would either build its own index (wasted work) or serialize on a
+//! lock for the whole build (convoy). Here the first caller becomes the
+//! *leader* and computes; followers park on a condvar and wake with a
+//! clone of the leader's value.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Flight<V> {
+    slot: Mutex<Option<V>>,
+    ready: Condvar,
+}
+
+/// A keyed single-flight gate. `V` must be `Clone` — followers receive
+/// copies of the leader's result.
+pub struct Coalescer<K, V> {
+    flights: Mutex<HashMap<K, Arc<Flight<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Coalescer<K, V> {
+    /// An empty gate.
+    pub fn new() -> Self {
+        Coalescer {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Runs `compute` for `key`, unless an identical flight is already
+    /// in the air — then blocks until that flight lands and returns its
+    /// value. The boolean is `true` for the leader (the caller that
+    /// actually computed), so callers can count coalesced requests.
+    pub fn run(&self, key: K, compute: impl FnOnce() -> V) -> (V, bool) {
+        let (flight, leader) = {
+            let mut flights = self.flights.lock().unwrap();
+            match flights.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        slot: Mutex::new(None),
+                        ready: Condvar::new(),
+                    });
+                    flights.insert(key.clone(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            let value = compute();
+            *flight.slot.lock().unwrap() = Some(value.clone());
+            flight.ready.notify_all();
+            // Late arrivals after this point start a fresh flight,
+            // which is correct: the interesting window is concurrent
+            // cold probes, and the farm's fast path stops consulting
+            // the coalescer once the tenant is warm.
+            self.flights.lock().unwrap().remove(&key);
+            (value, true)
+        } else {
+            let mut slot = flight.slot.lock().unwrap();
+            while slot.is_none() {
+                slot = flight.ready.wait(slot).unwrap();
+            }
+            (slot.clone().unwrap(), false)
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for Coalescer<K, V> {
+    fn default() -> Self {
+        Coalescer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sequential_runs_each_compute() {
+        let c = Coalescer::new();
+        let (v, leader) = c.run("k", || 1);
+        assert_eq!((v, leader), (1, true));
+        let (v, leader) = c.run("k", || 2);
+        assert_eq!((v, leader), (2, true), "flight is cleared after landing");
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let c = Arc::new(Coalescer::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (c, computes, gate) =
+                    (Arc::clone(&c), Arc::clone(&computes), Arc::clone(&gate));
+                std::thread::spawn(move || {
+                    gate.wait();
+                    c.run("tenant", || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Widen the window so followers really pile up.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        42
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<(i32, bool)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results.iter().all(|(v, _)| *v == 42));
+        let leaders = results.iter().filter(|(_, l)| *l).count();
+        assert_eq!(leaders, computes.load(Ordering::SeqCst));
+        assert!(leaders >= 1, "someone must have computed");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let c = Coalescer::new();
+        assert_eq!(c.run(1, || 10).0, 10);
+        assert_eq!(c.run(2, || 20).0, 20);
+    }
+}

@@ -1,0 +1,584 @@
+//! The tenant farm: many hierarchies, one server.
+//!
+//! Each tenant is born as a loaded
+//! [`SnapshotTable`](cpplookup_snapshot::SnapshotTable) — cheap,
+//! validated, zero-copy — and climbs a lifecycle ladder strictly on
+//! demand:
+//!
+//! ```text
+//!           LOAD                    first QUERY              first EDIT
+//! (nothing) ────► SnapshotTable ───────────────► promoted ──────────────► live
+//!                 cold, no index    DispatchIndex packed     engine warmed,
+//!                                   once (coalesced), pub-   attached to the
+//!                                   lished on a ServeHandle  SAME ServeHandle
+//! ```
+//!
+//! The promotion step packs the snapshot through the backend-generic
+//! [`IntoDispatchIndex`](cpplookup_core::IntoDispatchIndex) surface and
+//! publishes epoch 0 on the tenant's
+//! [`ServeHandle`](cpplookup_core::ServeHandle); the edit step warms a
+//! [`LookupEngine`](cpplookup_core::LookupEngine) from the snapshot and
+//! [`IndexedEngine::attach`](cpplookup_core::IndexedEngine::attach)es it
+//! to that same handle, so readers migrate to engine-backed epochs
+//! without re-resolving anything. A 1000-tenant farm where only a dozen
+//! tenants see traffic pays for exactly a dozen index builds.
+//!
+//! Identical concurrent *cold* probes — the stampede when a popular
+//! tenant is first touched — are coalesced: one connection packs the
+//! index and answers, the rest block briefly and reuse its verdict. The
+//! warm fast path never touches the coalescer.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use cpplookup_chg::fxmap::FxHashMap;
+use cpplookup_chg::{Chg, ClassId, Edit, Inheritance, MemberDecl, MemberId, MemberKind};
+use cpplookup_core::{IndexedEngine, LeastVirtual, LookupOutcome, ServeHandle};
+use cpplookup_snapshot::SnapshotTable;
+
+use crate::coalesce::Coalescer;
+use crate::protocol::{ErrorCode, WireLv, WireOutcome};
+
+/// A request-level failure: the structured code plus a human message.
+pub type FarmError = (ErrorCode, String);
+
+/// Name ↔ id mapping for one tenant, rebuilt wholesale on edit (edits
+/// are rare and append-only; queries only take the read lock).
+struct Names {
+    classes: FxHashMap<String, ClassId>,
+    members: FxHashMap<String, MemberId>,
+    class_names: Vec<String>,
+}
+
+impl Names {
+    fn from_snapshot(table: &SnapshotTable) -> Names {
+        let mut n = Names {
+            classes: FxHashMap::default(),
+            members: FxHashMap::default(),
+            class_names: Vec::with_capacity(table.class_count()),
+        };
+        for i in 0..table.class_count() {
+            let c = ClassId::from_index(i);
+            let name = table.class_name(c).unwrap_or_default().to_owned();
+            n.classes.insert(name.clone(), c);
+            n.class_names.push(name);
+        }
+        for i in 0..table.member_name_count() {
+            let m = MemberId::from_index(i);
+            if let Some(name) = table.member_name(m) {
+                n.members.insert(name.to_owned(), m);
+            }
+        }
+        n
+    }
+
+    fn from_chg(chg: &Chg) -> Names {
+        let mut n = Names {
+            classes: FxHashMap::default(),
+            members: FxHashMap::default(),
+            class_names: Vec::with_capacity(chg.class_count()),
+        };
+        for i in 0..chg.class_count() {
+            let c = ClassId::from_index(i);
+            let name = chg.class_name(c).to_owned();
+            n.classes.insert(name.clone(), c);
+            n.class_names.push(name);
+        }
+        for i in 0..chg.member_name_count() {
+            let m = MemberId::from_index(i);
+            n.members.insert(chg.member_name(m).to_owned(), m);
+        }
+        n
+    }
+
+    fn class(&self, name: &str) -> Result<ClassId, FarmError> {
+        self.classes
+            .get(name)
+            .copied()
+            .ok_or_else(|| (ErrorCode::UnknownName, format!("unknown class `{name}`")))
+    }
+
+    fn member(&self, name: &str) -> Result<MemberId, FarmError> {
+        self.members
+            .get(name)
+            .copied()
+            .ok_or_else(|| (ErrorCode::UnknownName, format!("unknown member `{name}`")))
+    }
+
+    fn lv(&self, lv: &LeastVirtual) -> WireLv {
+        match lv {
+            LeastVirtual::Omega => WireLv::Omega,
+            LeastVirtual::Class(c) => WireLv::Class(self.class_name(*c)),
+        }
+    }
+
+    fn class_name(&self, c: ClassId) -> String {
+        self.class_names
+            .get(c.index())
+            .cloned()
+            .unwrap_or_else(|| format!("{c}"))
+    }
+
+    fn wire(&self, outcome: &LookupOutcome) -> WireOutcome {
+        match outcome {
+            LookupOutcome::NotFound => WireOutcome::NotFound,
+            LookupOutcome::Resolved {
+                class,
+                least_virtual,
+            } => WireOutcome::Resolved {
+                class: self.class_name(*class),
+                least_virtual: self.lv(least_virtual),
+            },
+            LookupOutcome::Ambiguous { witnesses } => WireOutcome::Ambiguous {
+                witnesses: witnesses.iter().map(|w| self.lv(w)).collect(),
+            },
+        }
+    }
+}
+
+/// One tenant: a snapshot plus its lazily built serving state.
+pub struct Tenant {
+    name: String,
+    snapshot: Arc<SnapshotTable>,
+    /// Set exactly once, at promotion; `get_or_init` makes concurrent
+    /// promoters single-flight.
+    serve: OnceLock<ServeHandle>,
+    /// The engine-backed write path; `Some` after the first edit. The
+    /// mutex serializes edits per tenant (queries never take it).
+    live: Mutex<Option<IndexedEngine>>,
+    names: RwLock<Arc<Names>>,
+    queries: AtomicU64,
+    edits: AtomicU64,
+}
+
+impl Tenant {
+    fn new(name: String, table: SnapshotTable) -> Tenant {
+        let names = Names::from_snapshot(&table);
+        Tenant {
+            name,
+            snapshot: Arc::new(table),
+            serve: OnceLock::new(),
+            live: Mutex::new(None),
+            names: RwLock::new(Arc::new(names)),
+            queries: AtomicU64::new(0),
+            edits: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the dispatch index has been built.
+    pub fn is_promoted(&self) -> bool {
+        self.serve.get().is_some()
+    }
+
+    /// Packs the snapshot into a `DispatchIndex` (once, single-flight)
+    /// and returns the tenant's publication handle.
+    fn promote(&self) -> &ServeHandle {
+        self.serve.get_or_init(|| {
+            cpplookup_obs::global()
+                .counter(
+                    "server_promotions_total",
+                    "tenants promoted from snapshot to dispatch index",
+                )
+                .inc();
+            ServeHandle::serving(&*self.snapshot)
+        })
+    }
+
+    fn names(&self) -> Arc<Names> {
+        self.names.read().expect("names lock poisoned").clone()
+    }
+
+    fn query_now(&self, class: &str, member: &str) -> Result<WireOutcome, FarmError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let names = self.names();
+        let (c, m) = (names.class(class)?, names.member(member)?);
+        let published = self.promote().load();
+        Ok(names.wire(&published.index().lookup(c, m)))
+    }
+
+    fn batch_now(&self, probes: &[(String, String)]) -> Result<Vec<WireOutcome>, FarmError> {
+        self.queries
+            .fetch_add(probes.len() as u64, Ordering::Relaxed);
+        let names = self.names();
+        let ids = probes
+            .iter()
+            .map(|(class, member)| Ok((names.class(class)?, names.member(member)?)))
+            .collect::<Result<Vec<_>, FarmError>>()?;
+        let published = self.promote().load();
+        Ok(published
+            .index()
+            .lookup_batch(&ids)
+            .iter()
+            .map(|o| names.wire(o))
+            .collect())
+    }
+
+    fn edit_now(&self, directive: &str) -> Result<u64, FarmError> {
+        let mut live = self.live.lock().expect("live lock poisoned");
+        if live.is_none() {
+            let engine = self.snapshot.warm_engine().map_err(|e| {
+                (
+                    ErrorCode::EditRejected,
+                    format!("cannot warm engine for `{}`: {e}", self.name),
+                )
+            })?;
+            // Attach to the SAME handle queries already hold, so
+            // readers see engine-backed epochs from here on.
+            *live = Some(IndexedEngine::attach(engine, self.promote().clone()));
+        }
+        let serving = live.as_mut().unwrap();
+        let edit = parse_directive(directive, &self.names())?;
+        let epoch = serving
+            .apply(std::slice::from_ref(&edit))
+            .map_err(|e| (ErrorCode::EditRejected, format!("edit rejected: {e}")))?;
+        *self.names.write().expect("names lock poisoned") =
+            Arc::new(Names::from_chg(serving.engine().chg()));
+        self.edits.fetch_add(1, Ordering::Relaxed);
+        Ok(epoch)
+    }
+
+    fn stats_json(&self) -> String {
+        let live = self.live.lock().expect("live lock poisoned").is_some();
+        format!(
+            "{{\"tenant\":{},\"classes\":{},\"entries\":{},\"snapshot_bytes\":{},\
+             \"promoted\":{},\"live\":{},\"epoch\":{},\"queries\":{},\"edits\":{}}}",
+            json_str(&self.name),
+            self.snapshot.class_count(),
+            self.snapshot.entry_count(),
+            self.snapshot.size_bytes(),
+            self.is_promoted(),
+            live,
+            self.serve.get().map(|h| h.epoch()).unwrap_or(0),
+            self.queries.load(Ordering::Relaxed),
+            self.edits.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Parses an edit directive against the tenant's current names:
+/// `class NAME`, `member CLASS NAME`, or `edge DERIVED BASE [virtual]`
+/// — the same grammar the CLI's `!`-directives use in batch mode.
+fn parse_directive(directive: &str, names: &Names) -> Result<Edit, FarmError> {
+    let bad = |m: String| (ErrorCode::BadPayload, m);
+    let words: Vec<&str> = directive.split_whitespace().collect();
+    match words.as_slice() {
+        ["class", name] => Ok(Edit::AddClass {
+            name: (*name).to_owned(),
+        }),
+        ["member", class, name] => Ok(Edit::AddMember {
+            class: names.class(class)?,
+            name: (*name).to_owned(),
+            decl: MemberDecl::public(MemberKind::Function),
+        }),
+        ["edge", derived, base] => Ok(Edit::AddEdge {
+            derived: names.class(derived)?,
+            base: names.class(base)?,
+            inheritance: Inheritance::NonVirtual,
+            access: cpplookup_chg::Access::Public,
+        }),
+        ["edge", derived, base, "virtual"] => Ok(Edit::AddEdge {
+            derived: names.class(derived)?,
+            base: names.class(base)?,
+            inheritance: Inheritance::Virtual,
+            access: cpplookup_chg::Access::Public,
+        }),
+        [] => Err(bad("empty edit directive".to_owned())),
+        _ => Err(bad(format!(
+            "bad edit directive `{directive}` (expected `class NAME`, \
+             `member CLASS NAME`, or `edge DERIVED BASE [virtual]`)"
+        ))),
+    }
+}
+
+/// Minimal JSON string encoding (names are operator-controlled, but a
+/// quote in a tenant name must not corrupt the stats document).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The farm: the tenant map plus the cold-probe coalescer.
+pub struct Farm {
+    tenants: RwLock<FxHashMap<String, Arc<Tenant>>>,
+    cold_probes: Coalescer<(String, String, String), Result<WireOutcome, FarmError>>,
+}
+
+impl Farm {
+    /// An empty farm.
+    pub fn new() -> Farm {
+        Farm {
+            tenants: RwLock::new(FxHashMap::default()),
+            cold_probes: Coalescer::new(),
+        }
+    }
+
+    /// Loads (or replaces) a tenant from a snapshot file, returning
+    /// `(entries, snapshot bytes)`. A replaced tenant restarts its
+    /// lifecycle from cold; readers of the old tenant finish on the old
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::LoadFailed`] with the loader's message.
+    pub fn load(&self, tenant: &str, path: &Path) -> Result<(u64, u64), FarmError> {
+        let table = SnapshotTable::load(path).map_err(|e| {
+            (
+                ErrorCode::LoadFailed,
+                format!("loading `{}`: {e}", path.display()),
+            )
+        })?;
+        let stats = (table.entry_count() as u64, table.size_bytes() as u64);
+        let t = Arc::new(Tenant::new(tenant.to_owned(), table));
+        let count = {
+            let mut tenants = self.tenants.write().expect("tenants lock poisoned");
+            tenants.insert(tenant.to_owned(), t);
+            tenants.len()
+        };
+        cpplookup_obs::global()
+            .gauge("server_tenants", "tenants currently loaded")
+            .set(count as i64);
+        Ok(stats)
+    }
+
+    /// Number of loaded tenants.
+    pub fn tenant_count(&self) -> u32 {
+        self.tenants.read().expect("tenants lock poisoned").len() as u32
+    }
+
+    fn get(&self, tenant: &str) -> Result<Arc<Tenant>, FarmError> {
+        self.tenants
+            .read()
+            .expect("tenants lock poisoned")
+            .get(tenant)
+            .cloned()
+            .ok_or_else(|| (ErrorCode::NoSuchTenant, format!("no tenant `{tenant}`")))
+    }
+
+    /// One point lookup. Warm tenants answer straight from their
+    /// published index; cold tenants coalesce identical concurrent
+    /// probes around the one index build.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoSuchTenant`] or [`ErrorCode::UnknownName`].
+    pub fn query(&self, tenant: &str, class: &str, member: &str) -> Result<WireOutcome, FarmError> {
+        let t = self.get(tenant)?;
+        if t.is_promoted() {
+            return t.query_now(class, member);
+        }
+        let key = (tenant.to_owned(), class.to_owned(), member.to_owned());
+        let (outcome, leader) = self.cold_probes.run(key, || t.query_now(class, member));
+        if !leader {
+            cpplookup_obs::global()
+                .counter(
+                    "server_coalesced_probes_total",
+                    "cold probes answered by another connection's in-flight computation",
+                )
+                .inc();
+        }
+        outcome
+    }
+
+    /// A batch of lookups against one tenant, answered in probe order.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoSuchTenant`] or [`ErrorCode::UnknownName`] (the
+    /// whole batch fails on the first unresolvable name).
+    pub fn batch(
+        &self,
+        tenant: &str,
+        probes: &[(String, String)],
+    ) -> Result<Vec<WireOutcome>, FarmError> {
+        self.get(tenant)?.batch_now(probes)
+    }
+
+    /// Applies one edit directive through the tenant's engine, warming
+    /// it on first use, and returns the newly published epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoSuchTenant`], [`ErrorCode::UnknownName`],
+    /// [`ErrorCode::BadPayload`] for an unparseable directive, or
+    /// [`ErrorCode::EditRejected`] from the engine.
+    pub fn edit(&self, tenant: &str, directive: &str) -> Result<u64, FarmError> {
+        self.get(tenant)?.edit_now(directive)
+    }
+
+    /// Farm statistics as JSON: one tenant's document, or
+    /// `{"tenants":[...]}` for the whole farm when `tenant` is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoSuchTenant`].
+    pub fn stats_json(&self, tenant: &str) -> Result<String, FarmError> {
+        if !tenant.is_empty() {
+            return Ok(self.get(tenant)?.stats_json());
+        }
+        let tenants = self.tenants.read().expect("tenants lock poisoned");
+        let mut names: Vec<&String> = tenants.keys().collect();
+        names.sort();
+        let docs: Vec<String> = names
+            .iter()
+            .map(|n| tenants[n.as_str()].stats_json())
+            .collect();
+        Ok(format!("{{\"tenants\":[{}]}}", docs.join(",")))
+    }
+}
+
+impl Default for Farm {
+    fn default() -> Self {
+        Farm::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpplookup_chg::fixtures;
+    use cpplookup_snapshot::Snapshot;
+
+    fn farm_with(name: &str, chg: &Chg) -> Farm {
+        let farm = Farm::new();
+        let dir = std::env::temp_dir().join(format!("cpplookup-farm-test-{name}-{:x}", {
+            use std::time::{SystemTime, UNIX_EPOCH};
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        }));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.snap");
+        Snapshot::compile(chg).write_to(&path).unwrap();
+        farm.load(name, &path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        farm
+    }
+
+    #[test]
+    fn query_promotes_lazily_and_matches_snapshot_semantics() {
+        let farm = farm_with("t", &fixtures::fig2());
+        {
+            let tenants = farm.tenants.read().unwrap();
+            assert!(!tenants["t"].is_promoted(), "LOAD must not build the index");
+        }
+        let out = farm.query("t", "E", "m").unwrap();
+        match out {
+            WireOutcome::Resolved { class, .. } => assert_eq!(class, "D"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let tenants = farm.tenants.read().unwrap();
+        assert!(tenants["t"].is_promoted());
+    }
+
+    #[test]
+    fn unknown_names_and_tenants_are_structured() {
+        let farm = farm_with("t", &fixtures::fig2());
+        assert_eq!(
+            farm.query("x", "E", "m").unwrap_err().0,
+            ErrorCode::NoSuchTenant
+        );
+        assert_eq!(
+            farm.query("t", "Nope", "m").unwrap_err().0,
+            ErrorCode::UnknownName
+        );
+        assert_eq!(
+            farm.query("t", "E", "nope").unwrap_err().0,
+            ErrorCode::UnknownName
+        );
+    }
+
+    #[test]
+    fn edit_attaches_engine_and_queries_see_new_members() {
+        let farm = farm_with("t", &fixtures::fig2());
+        // Epoch 0 is the snapshot promotion; attach publishes 1; the
+        // edit publishes 2.
+        let epoch = farm.edit("t", "member E fresh").unwrap();
+        assert_eq!(epoch, 2);
+        let out = farm.query("t", "E", "fresh").unwrap();
+        match out {
+            WireOutcome::Resolved { class, .. } => assert_eq!(class, "E"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // New classes become addressable by name too.
+        farm.edit("t", "class Z").unwrap();
+        let epoch = farm.edit("t", "edge Z E").unwrap();
+        assert_eq!(epoch, 4);
+        assert!(farm
+            .query("t", "Z", "fresh")
+            .unwrap()
+            .ne(&WireOutcome::NotFound));
+    }
+
+    #[test]
+    fn edit_before_any_query_promotes_first() {
+        let farm = farm_with("t", &fixtures::fig1());
+        let epoch = farm.edit("t", "class Q").unwrap();
+        assert_eq!(epoch, 2, "promotion epoch 0, attach 1, edit 2");
+    }
+
+    #[test]
+    fn bad_directives_are_rejected() {
+        let farm = farm_with("t", &fixtures::fig1());
+        assert_eq!(farm.edit("t", "").unwrap_err().0, ErrorCode::BadPayload);
+        assert_eq!(
+            farm.edit("t", "drop table").unwrap_err().0,
+            ErrorCode::BadPayload
+        );
+        assert_eq!(
+            farm.edit("t", "member Nope x").unwrap_err().0,
+            ErrorCode::UnknownName
+        );
+        // A cycle is caught by the engine and leaves the tenant serving.
+        farm.edit("t", "class R").unwrap();
+        farm.edit("t", "class S").unwrap();
+        farm.edit("t", "edge R S").unwrap();
+        assert_eq!(
+            farm.edit("t", "edge S R").unwrap_err().0,
+            ErrorCode::EditRejected
+        );
+        assert!(farm.query("t", "A", "m").is_ok());
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let farm = farm_with("alpha", &fixtures::fig2());
+        let one = farm.stats_json("alpha").unwrap();
+        assert!(one.starts_with("{\"tenant\":\"alpha\""), "{one}");
+        assert!(one.contains("\"promoted\":false"));
+        let all = farm.stats_json("").unwrap();
+        assert!(all.starts_with("{\"tenants\":["), "{all}");
+        assert_eq!(
+            farm.stats_json("nope").unwrap_err().0,
+            ErrorCode::NoSuchTenant
+        );
+    }
+
+    #[test]
+    fn batch_matches_point_queries() {
+        let farm = farm_with("t", &fixtures::fig2());
+        let probes = vec![
+            ("E".to_owned(), "m".to_owned()),
+            ("D".to_owned(), "m".to_owned()),
+            ("E".to_owned(), "m".to_owned()),
+        ];
+        let batch = farm.batch("t", &probes).unwrap();
+        for ((class, member), got) in probes.iter().zip(&batch) {
+            assert_eq!(got, &farm.query("t", class, member).unwrap());
+        }
+    }
+}

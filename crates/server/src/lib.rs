@@ -1,0 +1,50 @@
+//! `cpplookup-server` — a multi-tenant member-lookup service over a
+//! farm of snapshot-backed dispatch indexes.
+//!
+//! The workspace already has every piece of a serving stack except the
+//! wire: [`SnapshotTable`](cpplookup_snapshot::SnapshotTable) gives a
+//! compile-once/load-many artifact, `DispatchIndex` gives an
+//! allocation-free read path, and `ServeHandle`/`IndexedEngine` give
+//! epoch-published edits. This crate puts a socket in front of all of
+//! it:
+//!
+//! * [`protocol`] — the length-prefixed, checksummed binary frame
+//!   format and its request/response types. Dependency-free, strict,
+//!   and fuzz-tested: malformed bytes produce structured errors, never
+//!   panics or unbounded reads.
+//! * [`farm`] — the tenant farm. Each tenant is a loaded snapshot
+//!   lazily *promoted* to a [`DispatchIndex`](cpplookup_core::DispatchIndex)
+//!   on first traffic (identical cold probes are coalesced into one
+//!   build), and lazily *warmed* to an engine on first edit so
+//!   subsequent queries read the epoch-published index.
+//! * [`server`] — the threaded TCP listener: bounded-accept admission
+//!   control, one thread per connection, plus a minimal HTTP admin
+//!   endpoint (`GET /metrics`) sharing the same port by first-bytes
+//!   sniffing.
+//! * [`client`] — a small blocking client used by the CLI, the load
+//!   generator, and the tests.
+//! * [`loadgen`] — open- and closed-loop load generation with zipfian
+//!   tenant and probe skew, reporting QPS and latency quantiles from
+//!   the obs histogram machinery.
+//!
+//! The server binary is `cpplookup-serverd`; the load generator is
+//! `cpplookup-loadgen`. Both are also reachable through the main CLI
+//! (`cpplookup-cli serve` / `cpplookup-cli loadgen`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod coalesce;
+
+pub mod cli;
+pub mod client;
+pub mod farm;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use farm::Farm;
+pub use loadgen::{LoadConfig, LoadReport, Pacing};
+pub use protocol::{ErrorCode, Request, Response, WireLv, WireOutcome, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig};

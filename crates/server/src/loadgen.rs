@@ -1,0 +1,344 @@
+//! Load generation: open- and closed-loop clients with zipfian skew.
+//!
+//! Two pacing disciplines, because they answer different questions:
+//!
+//! * **Closed loop** — each connection fires its next request the
+//!   moment the previous response lands. Measures *capacity*: the
+//!   sustained QPS the server can absorb at a given concurrency, with
+//!   latency under saturation.
+//! * **Open loop** — requests depart on a fixed schedule whether or not
+//!   earlier ones have returned, and latency is measured from the
+//!   *scheduled* departure, so a server that stalls accrues the stall
+//!   in every queued request's latency rather than silently slowing the
+//!   clock (the coordinated-omission trap).
+//!
+//! Tenant and probe choice are zipf-distributed: real multi-tenant
+//! traffic concentrates on a few hot tenants and hot lookup keys, and
+//! uniform traffic would understate both the win from promotion (hot
+//! tenants stay hot) and the cache-residency behaviour of the dispatch
+//! directory.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cpplookup_obs::{Histogram, HistogramSnapshot};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::client::{Client, ClientError};
+
+/// One tenant a load run targets, with the probe vocabulary to draw
+/// from (rank 0 is the hottest under zipf skew).
+#[derive(Clone, Debug)]
+pub struct TenantTarget {
+    /// Tenant name as loaded on the server.
+    pub name: String,
+    /// `(class, member)` name pairs known to exist in the tenant.
+    pub probes: Vec<(String, String)>,
+}
+
+/// Request pacing discipline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pacing {
+    /// Fire the next request when the previous response lands.
+    Closed,
+    /// Fire on a fixed schedule of `rate` requests/second aggregate
+    /// across all connections; latency is measured from the scheduled
+    /// departure time.
+    Open {
+        /// Aggregate request rate, requests per second.
+        rate: f64,
+    },
+}
+
+/// A load run's shape.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Closed or open loop.
+    pub pacing: Pacing,
+    /// Zipf exponent over tenant ranks (0.0 = uniform).
+    pub tenant_skew: f64,
+    /// Zipf exponent over probe ranks within a tenant (0.0 = uniform).
+    pub probe_skew: f64,
+    /// Probes per request: 1 sends `QUERY`, larger sends `BATCH`.
+    pub batch: usize,
+    /// RNG seed; worker `i` derives its stream from `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: String::new(),
+            connections: 1,
+            duration: Duration::from_secs(1),
+            pacing: Pacing::Closed,
+            tenant_skew: 1.0,
+            probe_skew: 1.0,
+            batch: 1,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// What a run measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Requests sent (a batch counts once).
+    pub requests: u64,
+    /// Probes answered (a batch counts its length).
+    pub probes: u64,
+    /// Error responses received (transport failures end a worker and
+    /// also count here).
+    pub errors: u64,
+    /// Wall-clock elapsed.
+    pub elapsed: Duration,
+    /// Per-request latency, nanoseconds.
+    pub latency: HistogramSnapshot,
+}
+
+impl LoadReport {
+    /// Requests per second over the run.
+    pub fn qps(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Probes per second over the run.
+    pub fn pps(&self) -> f64 {
+        self.probes as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Median request latency in microseconds (bucket upper bound).
+    pub fn p50_us(&self) -> f64 {
+        self.latency.quantile(0.50) as f64 / 1e3
+    }
+
+    /// Tail request latency in microseconds (bucket upper bound).
+    pub fn p99_us(&self) -> f64 {
+        self.latency.quantile(0.99) as f64 / 1e3
+    }
+
+    /// One human-readable summary line.
+    pub fn render(&self) -> String {
+        format!(
+            "{} requests ({} probes) in {:.2}s: {:.0} req/s, {:.0} probes/s, \
+             p50 {:.1}us p99 {:.1}us, {} errors",
+            self.requests,
+            self.probes,
+            self.elapsed.as_secs_f64(),
+            self.qps(),
+            self.pps(),
+            self.p50_us(),
+            self.p99_us(),
+            self.errors,
+        )
+    }
+}
+
+/// A zipf sampler over ranks `0..n`: rank `i` is drawn with probability
+/// proportional to `(i+1)^-s`. `s = 0` degenerates to uniform.
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        let mut cumulative = Vec::with_capacity(n.max(1));
+        let mut total = 0.0;
+        for i in 0..n.max(1) {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+}
+
+/// Runs the configured load against `targets`, blocking until the
+/// duration elapses and every worker has drained.
+///
+/// # Errors
+///
+/// Configuration errors (no targets, a target with no probes) and
+/// total connection failure — a run where *no* worker could connect.
+pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadReport> {
+    if targets.is_empty() || targets.iter().any(|t| t.probes.is_empty()) {
+        return Err(io::Error::other("loadgen needs targets with probes"));
+    }
+    let targets: Arc<Vec<TenantTarget>> = Arc::new(targets.to_vec());
+    let tenant_zipf = Arc::new(Zipf::new(targets.len(), config.tenant_skew));
+    let probe_zipfs: Arc<Vec<Zipf>> = Arc::new(
+        targets
+            .iter()
+            .map(|t| Zipf::new(t.probes.len(), config.probe_skew))
+            .collect(),
+    );
+    let errors = Arc::new(AtomicU64::new(0));
+    let connected = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let deadline = start + config.duration;
+    let workers: Vec<_> = (0..config.connections.max(1))
+        .map(|worker| {
+            let (config, targets) = (config.clone(), Arc::clone(&targets));
+            let (tenant_zipf, probe_zipfs) = (Arc::clone(&tenant_zipf), Arc::clone(&probe_zipfs));
+            let (errors, connected) = (Arc::clone(&errors), Arc::clone(&connected));
+            thread::spawn(move || {
+                let hist = Histogram::latency_ns();
+                let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(worker as u64));
+                let Ok(mut client) =
+                    Client::connect(config.addr.as_str(), Some(Duration::from_secs(10)))
+                else {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    return (0u64, 0u64, hist.snapshot());
+                };
+                connected.fetch_add(1, Ordering::Relaxed);
+                // Open loop: this worker owns every `connections`-th
+                // slot of the aggregate schedule.
+                let interval = match config.pacing {
+                    Pacing::Open { rate } => Some(Duration::from_secs_f64(
+                        config.connections.max(1) as f64 / rate.max(1e-9),
+                    )),
+                    Pacing::Closed => None,
+                };
+                let mut next_departure = Instant::now();
+                let (mut requests, mut probes) = (0u64, 0u64);
+                while Instant::now() < deadline {
+                    let measure_from = if let Some(interval) = interval {
+                        let now = Instant::now();
+                        if next_departure > now {
+                            thread::sleep(next_departure - now);
+                        }
+                        let scheduled = next_departure;
+                        next_departure += interval;
+                        scheduled
+                    } else {
+                        Instant::now()
+                    };
+                    let rank = tenant_zipf.sample(&mut rng);
+                    let target = &targets[rank];
+                    let zipf = &probe_zipfs[rank];
+                    let outcome = if config.batch > 1 {
+                        let picked: Vec<(String, String)> = (0..config.batch)
+                            .map(|_| target.probes[zipf.sample(&mut rng)].clone())
+                            .collect();
+                        client.batch(&target.name, &picked).map(|o| o.len() as u64)
+                    } else {
+                        let (class, member) = &target.probes[zipf.sample(&mut rng)];
+                        client.query(&target.name, class, member).map(|_| 1)
+                    };
+                    match outcome {
+                        Ok(n) => {
+                            requests += 1;
+                            probes += n;
+                            hist.observe(measure_from.elapsed().as_nanos() as u64);
+                        }
+                        Err(ClientError::Server { .. }) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // Transport is gone; this worker is done.
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                (requests, probes, hist.snapshot())
+            })
+        })
+        .collect();
+    let mut requests = 0;
+    let mut probes = 0;
+    let mut latency = Histogram::latency_ns().snapshot();
+    for w in workers {
+        let (r, p, h) = w.join().expect("loadgen worker panicked");
+        requests += r;
+        probes += p;
+        latency.merge(&h);
+    }
+    if connected.load(Ordering::Relaxed) == 0 {
+        return Err(io::Error::other(format!(
+            "no loadgen worker could connect to {}",
+            config.addr
+        )));
+    }
+    Ok(LoadReport {
+        requests,
+        probes,
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let zipf = Zipf::new(100, 1.2);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0usize; 100];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10], "{} <= {}", counts[0], counts[10]);
+        assert!(counts[0] > 10_000 / 20, "rank 0 should dominate");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (1600..2400).contains(&c),
+                "uniform-ish expected: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(zipf.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn run_rejects_empty_targets() {
+        let cfg = LoadConfig {
+            addr: "127.0.0.1:1".into(),
+            ..LoadConfig::default()
+        };
+        assert!(run(&cfg, &[]).is_err());
+        assert!(run(
+            &cfg,
+            &[TenantTarget {
+                name: "t".into(),
+                probes: vec![],
+            }]
+        )
+        .is_err());
+    }
+}

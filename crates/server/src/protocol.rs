@@ -1,0 +1,896 @@
+//! The wire protocol: length-prefixed, checksummed binary frames.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     len       u32 LE, length of body (1 ..= MAX_BODY)
+//! 4       len   body      opcode byte + payload
+//! 4+len   8     checksum  u64 LE, checksum64(body) — the snapshot
+//!                         format's 4-lane word-FNV
+//! ```
+//!
+//! Integers are little-endian; strings are a `u16` length followed by
+//! that many UTF-8 bytes; lists are a `u32` count followed by the
+//! items. The framing is self-delimiting, so a reader always knows
+//! exactly how many bytes to consume, and the trailing checksum means a
+//! flipped bit anywhere in the body is detected before the payload is
+//! interpreted.
+//!
+//! The error contract mirrors the snapshot loader's: malformed input of
+//! any shape — truncation, bit flips, oversized lengths, unknown
+//! opcodes, garbage payloads — yields a structured [`FrameError`] /
+//! [`ErrorCode`], never a panic and never an unbounded read
+//! ([`MAX_BODY`] caps every allocation). Frame-level damage (a bad
+//! length or checksum) poisons the stream position, so the peer
+//! responds once and closes; payload-level damage leaves the framing
+//! intact, so the peer responds with an error frame and keeps the
+//! connection.
+
+use std::io::{self, Read, Write};
+
+pub use cpplookup_snapshot::format::checksum64;
+
+/// Protocol version spoken by this build; [`Request::Hello`] carries
+/// the client's, and mismatches are rejected with
+/// [`ErrorCode::BadVersion`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on a frame body. Anything larger is rejected *before*
+/// allocation — an oversized length prefix must not become an OOM.
+pub const MAX_BODY: u32 = 16 << 20;
+
+/// Request opcodes (high bit clear).
+pub mod op {
+    /// [`Request::Hello`](super::Request::Hello).
+    pub const HELLO: u8 = 0x01;
+    /// [`Request::Load`](super::Request::Load).
+    pub const LOAD: u8 = 0x02;
+    /// [`Request::Query`](super::Request::Query).
+    pub const QUERY: u8 = 0x03;
+    /// [`Request::Batch`](super::Request::Batch).
+    pub const BATCH: u8 = 0x04;
+    /// [`Request::Edit`](super::Request::Edit).
+    pub const EDIT: u8 = 0x05;
+    /// [`Request::Stats`](super::Request::Stats).
+    pub const STATS: u8 = 0x06;
+    /// [`Request::Metrics`](super::Request::Metrics).
+    pub const METRICS: u8 = 0x07;
+
+    /// [`Response::Hello`](super::Response::Hello).
+    pub const R_HELLO: u8 = 0x81;
+    /// [`Response::Loaded`](super::Response::Loaded).
+    pub const R_LOADED: u8 = 0x82;
+    /// [`Response::Outcome`](super::Response::Outcome).
+    pub const R_OUTCOME: u8 = 0x83;
+    /// [`Response::Outcomes`](super::Response::Outcomes).
+    pub const R_OUTCOMES: u8 = 0x84;
+    /// [`Response::Edited`](super::Response::Edited).
+    pub const R_EDITED: u8 = 0x85;
+    /// [`Response::Stats`](super::Response::Stats).
+    pub const R_STATS: u8 = 0x86;
+    /// [`Response::Metrics`](super::Response::Metrics).
+    pub const R_METRICS: u8 = 0x87;
+    /// [`Response::Error`](super::Response::Error).
+    pub const R_ERROR: u8 = 0xEE;
+}
+
+/// Structured protocol error codes carried by [`Response::Error`](super::Response::Error).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Frame checksum mismatch — the stream position can no longer be
+    /// trusted, so the server closes after responding.
+    BadFrame = 1,
+    /// Length prefix of 0 or beyond [`MAX_BODY`].
+    BadLength = 2,
+    /// Opcode byte outside the request set.
+    UnknownOpcode = 3,
+    /// Body did not decode as the opcode's payload.
+    BadPayload = 4,
+    /// No tenant of that name is loaded.
+    NoSuchTenant = 5,
+    /// A class or member name did not resolve in the tenant.
+    UnknownName = 6,
+    /// The tenant's snapshot failed to load or validate.
+    LoadFailed = 7,
+    /// The edit directive was rejected by the engine.
+    EditRejected = 8,
+    /// The server is at its connection limit.
+    Busy = 9,
+    /// Client and server protocol versions differ.
+    BadVersion = 10,
+}
+
+impl ErrorCode {
+    /// Decodes a wire `u16`; unknown values collapse to
+    /// [`ErrorCode::BadPayload`] (forward compatibility: an old client
+    /// still sees *an* error).
+    pub fn from_u16(raw: u16) -> ErrorCode {
+        match raw {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::BadLength,
+            3 => ErrorCode::UnknownOpcode,
+            5 => ErrorCode::NoSuchTenant,
+            6 => ErrorCode::UnknownName,
+            7 => ErrorCode::LoadFailed,
+            8 => ErrorCode::EditRejected,
+            9 => ErrorCode::Busy,
+            10 => ErrorCode::BadVersion,
+            _ => ErrorCode::BadPayload,
+        }
+    }
+
+    /// Short stable label (used as the obs error-counter label).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::BadLength => "bad_length",
+            ErrorCode::UnknownOpcode => "unknown_opcode",
+            ErrorCode::BadPayload => "bad_payload",
+            ErrorCode::NoSuchTenant => "no_such_tenant",
+            ErrorCode::UnknownName => "unknown_name",
+            ErrorCode::LoadFailed => "load_failed",
+            ErrorCode::EditRejected => "edit_rejected",
+            ErrorCode::Busy => "busy",
+            ErrorCode::BadVersion => "bad_version",
+        }
+    }
+}
+
+/// A `leastVirtual` value on the wire: the root Ω or a class by name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireLv {
+    /// The synthetic root Ω (a non-virtual path).
+    Omega,
+    /// `leastVirtual` is the named class.
+    Class(String),
+}
+
+/// One lookup verdict on the wire — the name-level image of
+/// [`LookupOutcome`](cpplookup_core::LookupOutcome), so a client needs
+/// no id table to interpret it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// The member is not visible in the class.
+    NotFound,
+    /// The lookup resolved.
+    Resolved {
+        /// Declaring class of the winning definition.
+        class: String,
+        /// `leastVirtual` of the winning definition.
+        least_virtual: WireLv,
+    },
+    /// The lookup is ambiguous.
+    Ambiguous {
+        /// The `leastVirtual` witnesses, in index order.
+        witnesses: Vec<WireLv>,
+    },
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Version handshake; optional but recommended as the first frame.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Load (or replace) a tenant from a snapshot file on the server's
+    /// filesystem.
+    Load {
+        /// Tenant name.
+        tenant: String,
+        /// Server-side path to the `.snap` file.
+        path: String,
+    },
+    /// One point lookup.
+    Query {
+        /// Tenant name.
+        tenant: String,
+        /// Class name.
+        class: String,
+        /// Member name.
+        member: String,
+    },
+    /// Many lookups against one tenant, answered in order.
+    Batch {
+        /// Tenant name.
+        tenant: String,
+        /// `(class, member)` name pairs.
+        probes: Vec<(String, String)>,
+    },
+    /// Apply one edit directive (`class NAME`, `member CLASS NAME`, or
+    /// `edge DERIVED BASE [virtual]`) through the tenant's engine.
+    Edit {
+        /// Tenant name.
+        tenant: String,
+        /// The directive text.
+        directive: String,
+    },
+    /// Tenant statistics as JSON; an empty tenant name means all.
+    Stats {
+        /// Tenant name, or `""` for the whole farm.
+        tenant: String,
+    },
+    /// The Prometheus metrics text (also served over the HTTP admin
+    /// endpoint).
+    Metrics,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Handshake acknowledgement.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Number of tenants currently loaded.
+        tenants: u32,
+    },
+    /// [`Request::Load`] succeeded.
+    Loaded {
+        /// Entries in the tenant's table.
+        entries: u64,
+        /// Snapshot size in bytes.
+        bytes: u64,
+    },
+    /// Answer to [`Request::Query`](super::Request::Query).
+    Outcome(WireOutcome),
+    /// Answers to [`Request::Batch`], in probe order.
+    Outcomes(Vec<WireOutcome>),
+    /// [`Request::Edit`] succeeded.
+    Edited {
+        /// The newly published index epoch.
+        epoch: u64,
+    },
+    /// [`Request::Stats`] payload.
+    Stats {
+        /// JSON text.
+        json: String,
+    },
+    /// [`Request::Metrics`] payload.
+    Metrics {
+        /// Prometheus exposition text.
+        text: String,
+    },
+    /// Any failure, with a structured code.
+    Error {
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Frame-level failures on the read side.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed cleanly at a frame boundary.
+    Eof,
+    /// I/O failure mid-frame (includes truncation: `UnexpectedEof`).
+    Io(io::Error),
+    /// Length prefix of 0 or beyond [`MAX_BODY`].
+    BadLength {
+        /// The rejected length.
+        len: u32,
+    },
+    /// Body checksum mismatch.
+    Checksum,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::BadLength { len } => {
+                write!(f, "frame length {len} outside 1..={MAX_BODY}")
+            }
+            FrameError::Checksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame: length prefix, body, trailing checksum.
+///
+/// # Errors
+///
+/// Propagates writer I/O errors.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    debug_assert!(!body.is_empty() && body.len() <= MAX_BODY as usize);
+    let mut frame = Vec::with_capacity(body.len() + 12);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    frame.extend_from_slice(&checksum64(body).to_le_bytes());
+    w.write_all(&frame)
+}
+
+/// Reads one frame body after its 4-byte length prefix has already been
+/// consumed (the server peeks the prefix to sniff HTTP admin traffic).
+///
+/// # Errors
+///
+/// [`FrameError::BadLength`] before any allocation for a hostile
+/// length, [`FrameError::Io`] on truncation, [`FrameError::Checksum`]
+/// on body damage.
+pub fn read_frame_body(r: &mut impl Read, len: u32) -> Result<Vec<u8>, FrameError> {
+    if len == 0 || len > MAX_BODY {
+        return Err(FrameError::BadLength { len });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(FrameError::Io)?;
+    let mut sum = [0u8; 8];
+    r.read_exact(&mut sum).map_err(FrameError::Io)?;
+    if u64::from_le_bytes(sum) != checksum64(&body) {
+        return Err(FrameError::Checksum);
+    }
+    Ok(body)
+}
+
+/// Reads one whole frame (length prefix + body + checksum).
+///
+/// # Errors
+///
+/// [`FrameError::Eof`] on a clean close at a frame boundary, otherwise
+/// any error of [`read_frame_body`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Eof),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated length prefix",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    read_frame_body(r, u32::from_le_bytes(prefix))
+}
+
+/// Body encoder: the write-side cursor.
+#[derive(Default)]
+pub struct Enc(Vec<u8>);
+
+impl Enc {
+    /// Starts a body with its opcode byte.
+    pub fn new(opcode: u8) -> Enc {
+        Enc(vec![opcode])
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.0.push(v);
+        self
+    }
+
+    /// Appends a `u16` LE.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u32` LE.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64` LE.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed string (length saturates at `u16::MAX`
+    /// bytes; names in this system are tiny).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        let bytes = s.as_bytes();
+        let len = bytes.len().min(u16::MAX as usize);
+        self.u16(len as u16);
+        self.0.extend_from_slice(&bytes[..len]);
+        self
+    }
+
+    /// The finished body.
+    pub fn finish(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+/// Body decoder: a strict bounds-checked cursor. Every `take_*` fails
+/// with a description instead of panicking, and [`Dec::done`] rejects
+/// trailing garbage.
+pub struct Dec<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Wraps a body (after the opcode byte has been consumed).
+    pub fn new(body: &'a [u8]) -> Dec<'a> {
+        Dec { body, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        match self.body.get(self.at..self.at + n) {
+            Some(slice) => {
+                self.at += n;
+                Ok(slice)
+            }
+            None => Err(format!(
+                "truncated {what} at offset {} (want {n} bytes, have {})",
+                self.at,
+                self.body.len().saturating_sub(self.at)
+            )),
+        }
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a `u16` LE.
+    pub fn u16(&mut self, what: &str) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32` LE.
+    pub fn u32(&mut self, what: &str) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` LE.
+    pub fn u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> Result<String, String> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what} is not UTF-8"))
+    }
+
+    /// Asserts the body is fully consumed.
+    pub fn done(self) -> Result<(), String> {
+        if self.at == self.body.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after payload",
+                self.body.len() - self.at
+            ))
+        }
+    }
+}
+
+fn enc_lv(e: &mut Enc, lv: &WireLv) {
+    match lv {
+        WireLv::Omega => {
+            e.u8(0);
+        }
+        WireLv::Class(name) => {
+            e.u8(1).str(name);
+        }
+    }
+}
+
+fn dec_lv(d: &mut Dec<'_>) -> Result<WireLv, String> {
+    match d.u8("leastVirtual tag")? {
+        0 => Ok(WireLv::Omega),
+        1 => Ok(WireLv::Class(d.str("leastVirtual class")?)),
+        t => Err(format!("unknown leastVirtual tag {t}")),
+    }
+}
+
+fn enc_outcome(e: &mut Enc, o: &WireOutcome) {
+    match o {
+        WireOutcome::NotFound => {
+            e.u8(0);
+        }
+        WireOutcome::Resolved {
+            class,
+            least_virtual,
+        } => {
+            e.u8(1).str(class);
+            enc_lv(e, least_virtual);
+        }
+        WireOutcome::Ambiguous { witnesses } => {
+            e.u8(2).u32(witnesses.len() as u32);
+            for w in witnesses {
+                enc_lv(e, w);
+            }
+        }
+    }
+}
+
+fn dec_outcome(d: &mut Dec<'_>) -> Result<WireOutcome, String> {
+    match d.u8("outcome tag")? {
+        0 => Ok(WireOutcome::NotFound),
+        1 => Ok(WireOutcome::Resolved {
+            class: d.str("resolved class")?,
+            least_virtual: dec_lv(d)?,
+        }),
+        2 => {
+            let n = d.u32("witness count")?;
+            if n > MAX_BODY {
+                return Err(format!("witness count {n} exceeds frame capacity"));
+            }
+            let mut witnesses = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                witnesses.push(dec_lv(d)?);
+            }
+            Ok(WireOutcome::Ambiguous { witnesses })
+        }
+        t => Err(format!("unknown outcome tag {t}")),
+    }
+}
+
+impl Request {
+    /// Encodes this request as a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Hello { version } => {
+                let mut e = Enc::new(op::HELLO);
+                e.u32(*version);
+                e.finish()
+            }
+            Request::Load { tenant, path } => {
+                let mut e = Enc::new(op::LOAD);
+                e.str(tenant).str(path);
+                e.finish()
+            }
+            Request::Query {
+                tenant,
+                class,
+                member,
+            } => {
+                let mut e = Enc::new(op::QUERY);
+                e.str(tenant).str(class).str(member);
+                e.finish()
+            }
+            Request::Batch { tenant, probes } => {
+                let mut e = Enc::new(op::BATCH);
+                e.str(tenant).u32(probes.len() as u32);
+                for (class, member) in probes {
+                    e.str(class).str(member);
+                }
+                e.finish()
+            }
+            Request::Edit { tenant, directive } => {
+                let mut e = Enc::new(op::EDIT);
+                e.str(tenant).str(directive);
+                e.finish()
+            }
+            Request::Stats { tenant } => {
+                let mut e = Enc::new(op::STATS);
+                e.str(tenant);
+                e.finish()
+            }
+            Request::Metrics => Enc::new(op::METRICS).finish(),
+        }
+    }
+
+    /// Decodes a frame body as a request.
+    ///
+    /// # Errors
+    ///
+    /// `Err((code, message))` — [`ErrorCode::UnknownOpcode`] for a
+    /// foreign opcode byte, [`ErrorCode::BadPayload`] for a body that
+    /// does not parse as that opcode's payload.
+    pub fn decode(body: &[u8]) -> Result<Request, (ErrorCode, String)> {
+        let bad = |m: String| (ErrorCode::BadPayload, m);
+        let (&opcode, payload) = body
+            .split_first()
+            .ok_or((ErrorCode::BadPayload, "empty body".to_owned()))?;
+        let mut d = Dec::new(payload);
+        let req = match opcode {
+            op::HELLO => Request::Hello {
+                version: d.u32("version").map_err(bad)?,
+            },
+            op::LOAD => Request::Load {
+                tenant: d.str("tenant").map_err(bad)?,
+                path: d.str("path").map_err(bad)?,
+            },
+            op::QUERY => Request::Query {
+                tenant: d.str("tenant").map_err(bad)?,
+                class: d.str("class").map_err(bad)?,
+                member: d.str("member").map_err(bad)?,
+            },
+            op::BATCH => {
+                let tenant = d.str("tenant").map_err(bad)?;
+                let n = d.u32("probe count").map_err(bad)?;
+                if n > MAX_BODY / 4 {
+                    return Err(bad(format!("probe count {n} exceeds frame capacity")));
+                }
+                let mut probes = Vec::with_capacity(n.min(4096) as usize);
+                for _ in 0..n {
+                    probes.push((
+                        d.str("probe class").map_err(bad)?,
+                        d.str("probe member").map_err(bad)?,
+                    ));
+                }
+                Request::Batch { tenant, probes }
+            }
+            op::EDIT => Request::Edit {
+                tenant: d.str("tenant").map_err(bad)?,
+                directive: d.str("directive").map_err(bad)?,
+            },
+            op::STATS => Request::Stats {
+                tenant: d.str("tenant").map_err(bad)?,
+            },
+            op::METRICS => Request::Metrics,
+            other => {
+                return Err((
+                    ErrorCode::UnknownOpcode,
+                    format!("unknown request opcode 0x{other:02x}"),
+                ))
+            }
+        };
+        d.done().map_err(bad)?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes this response as a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Hello { version, tenants } => {
+                let mut e = Enc::new(op::R_HELLO);
+                e.u32(*version).u32(*tenants);
+                e.finish()
+            }
+            Response::Loaded { entries, bytes } => {
+                let mut e = Enc::new(op::R_LOADED);
+                e.u64(*entries).u64(*bytes);
+                e.finish()
+            }
+            Response::Outcome(o) => {
+                let mut e = Enc::new(op::R_OUTCOME);
+                enc_outcome(&mut e, o);
+                e.finish()
+            }
+            Response::Outcomes(outcomes) => {
+                let mut e = Enc::new(op::R_OUTCOMES);
+                e.u32(outcomes.len() as u32);
+                for o in outcomes {
+                    enc_outcome(&mut e, o);
+                }
+                e.finish()
+            }
+            Response::Edited { epoch } => {
+                let mut e = Enc::new(op::R_EDITED);
+                e.u64(*epoch);
+                e.finish()
+            }
+            Response::Stats { json } => {
+                let mut e = Enc::new(op::R_STATS);
+                e.str(json);
+                e.finish()
+            }
+            Response::Metrics { text } => {
+                let mut e = Enc::new(op::R_METRICS);
+                e.str(text);
+                e.finish()
+            }
+            Response::Error { code, message } => {
+                let mut e = Enc::new(op::R_ERROR);
+                e.u16(*code as u16).str(message);
+                e.finish()
+            }
+        }
+    }
+
+    /// Decodes a frame body as a response.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformation.
+    pub fn decode(body: &[u8]) -> Result<Response, String> {
+        let (&opcode, payload) = body.split_first().ok_or("empty body")?;
+        let mut d = Dec::new(payload);
+        let resp = match opcode {
+            op::R_HELLO => Response::Hello {
+                version: d.u32("version")?,
+                tenants: d.u32("tenant count")?,
+            },
+            op::R_LOADED => Response::Loaded {
+                entries: d.u64("entries")?,
+                bytes: d.u64("bytes")?,
+            },
+            op::R_OUTCOME => Response::Outcome(dec_outcome(&mut d)?),
+            op::R_OUTCOMES => {
+                let n = d.u32("outcome count")?;
+                if n > MAX_BODY / 2 {
+                    return Err(format!("outcome count {n} exceeds frame capacity"));
+                }
+                let mut outcomes = Vec::with_capacity(n.min(4096) as usize);
+                for _ in 0..n {
+                    outcomes.push(dec_outcome(&mut d)?);
+                }
+                Response::Outcomes(outcomes)
+            }
+            op::R_EDITED => Response::Edited {
+                epoch: d.u64("epoch")?,
+            },
+            op::R_STATS => Response::Stats {
+                json: d.str("stats json")?,
+            },
+            op::R_METRICS => Response::Metrics {
+                text: d.str("metrics text")?,
+            },
+            op::R_ERROR => Response::Error {
+                code: ErrorCode::from_u16(d.u16("error code")?),
+                message: d.str("error message")?,
+            },
+            other => return Err(format!("unknown response opcode 0x{other:02x}")),
+        };
+        d.done()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let body = req.encode();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+        // And through full framing.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        let back = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(back, body);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let body = resp.encode();
+        assert_eq!(Response::decode(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        roundtrip_request(Request::Load {
+            tenant: "t0".into(),
+            path: "/tmp/x.snap".into(),
+        });
+        roundtrip_request(Request::Query {
+            tenant: "t0".into(),
+            class: "E".into(),
+            member: "m".into(),
+        });
+        roundtrip_request(Request::Batch {
+            tenant: "t0".into(),
+            probes: vec![("E".into(), "m".into()), ("D".into(), "m".into())],
+        });
+        roundtrip_request(Request::Edit {
+            tenant: "t0".into(),
+            directive: "member E fresh".into(),
+        });
+        roundtrip_request(Request::Stats { tenant: "".into() });
+        roundtrip_request(Request::Metrics);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Hello {
+            version: 1,
+            tenants: 3,
+        });
+        roundtrip_response(Response::Loaded {
+            entries: 42,
+            bytes: 1024,
+        });
+        roundtrip_response(Response::Outcome(WireOutcome::NotFound));
+        roundtrip_response(Response::Outcome(WireOutcome::Resolved {
+            class: "C".into(),
+            least_virtual: WireLv::Class("A".into()),
+        }));
+        roundtrip_response(Response::Outcomes(vec![
+            WireOutcome::Ambiguous {
+                witnesses: vec![WireLv::Omega, WireLv::Class("S".into())],
+            },
+            WireOutcome::NotFound,
+        ]));
+        roundtrip_response(Response::Edited { epoch: 7 });
+        roundtrip_response(Response::Stats {
+            json: "{\"tenants\":[]}".into(),
+        });
+        roundtrip_response(Response::Metrics {
+            text: "# HELP x\n".into(),
+        });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::NoSuchTenant,
+            message: "no tenant `x`".into(),
+        });
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected_or_changes_meaning_safely() {
+        let req = Request::Query {
+            tenant: "tenant".into(),
+            class: "Class".into(),
+            member: "member".into(),
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        for at in 0..wire.len() {
+            for bit in 0..8 {
+                let mut damaged = wire.clone();
+                damaged[at] ^= 1 << bit;
+                match read_frame(&mut damaged.as_slice()) {
+                    // Damage to the length prefix shows up as a bad
+                    // length, a truncation, or a checksum that no
+                    // longer lines up; damage to body or checksum must
+                    // be a checksum mismatch.
+                    Err(
+                        FrameError::BadLength { .. } | FrameError::Io(_) | FrameError::Checksum,
+                    ) => {}
+                    Err(FrameError::Eof) => panic!("flip at {at}.{bit} read as clean EOF"),
+                    Ok(body) => panic!(
+                        "flip at byte {at} bit {bit} went undetected: {:?}",
+                        Request::decode(&body)
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_structured() {
+        let req = Request::Batch {
+            tenant: "t".into(),
+            probes: vec![("A".into(), "m".into())],
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        for cut in 0..wire.len() {
+            match read_frame(&mut wire[..cut].as_ref()) {
+                Err(FrameError::Eof) => assert_eq!(cut, 0, "EOF only at the frame boundary"),
+                Err(FrameError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}")
+                }
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_are_rejected_before_allocation() {
+        for len in [0u32, MAX_BODY + 1, u32::MAX] {
+            let mut wire = len.to_le_bytes().to_vec();
+            wire.extend_from_slice(&[0u8; 16]);
+            match read_frame(&mut wire.as_slice()) {
+                Err(FrameError::BadLength { len: got }) => assert_eq!(got, len),
+                other => panic!("length {len}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_and_trailing_garbage_are_bad_payloads() {
+        assert_eq!(
+            Request::decode(&[0x7f]).unwrap_err().0,
+            ErrorCode::UnknownOpcode
+        );
+        let mut body = Request::Metrics.encode();
+        body.push(0xAB);
+        assert_eq!(Request::decode(&body).unwrap_err().0, ErrorCode::BadPayload);
+        assert!(Response::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! The threaded TCP server: framing loop, admission control, and the
+//! HTTP admin endpoint.
+//!
+//! One OS thread per connection over blocking I/O — the right trade for
+//! this workload: a connection's requests are strictly sequential (the
+//! protocol is request/response), the farm's read path is wait-free, so
+//! threads spend their lives parked in `read()` costing a stack apiece.
+//! Admission control bounds that cost: past
+//! [`ServerConfig::max_connections`] a new connection receives one
+//! [`ErrorCode::Busy`] frame and is closed, deterministically, instead
+//! of queueing invisibly in the accept backlog.
+//!
+//! The same port doubles as the admin endpoint: a connection whose
+//! first four bytes are `GET ` is served as one HTTP request
+//! (`/metrics` → the Prometheus exposition text from the global obs
+//! registry) and closed. Binary framing can never collide with this —
+//! `GET ` as a length prefix would be a 0x20544547-byte frame, far
+//! beyond [`MAX_BODY`](crate::protocol::MAX_BODY).
+//!
+//! # Error policy
+//!
+//! * Frame-level damage (bad length, checksum mismatch) → one error
+//!   frame, then close: the stream position can no longer be trusted.
+//! * Payload-level damage (unknown opcode, malformed payload) → one
+//!   error frame, connection keeps going: framing is still sound.
+//! * Truncation / peer close → close quietly.
+//! * Never a panic, never an unbounded read.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::farm::Farm;
+use crate::protocol::{
+    read_frame_body, write_frame, ErrorCode, FrameError, Request, Response, PROTOCOL_VERSION,
+};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the default —
+    /// `127.0.0.1:0`).
+    pub addr: String,
+    /// Admission-control bound on concurrent connections; the
+    /// `max_connections + 1`-th connection is refused with
+    /// [`ErrorCode::Busy`].
+    pub max_connections: usize,
+    /// Tenants to load before accepting traffic, as
+    /// `(tenant, snapshot path)` pairs.
+    pub preload: Vec<(String, PathBuf)>,
+    /// Per-connection read timeout; an idle connection is dropped after
+    /// this long (`None` = never).
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_connections: 64,
+            preload: Vec::new(),
+            read_timeout: Some(Duration::from_secs(120)),
+        }
+    }
+}
+
+/// A running server; dropping it (or calling
+/// [`shutdown`](Server::shutdown)) stops the acceptor.
+pub struct Server {
+    addr: SocketAddr,
+    farm: Arc<Farm>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, preloads the configured tenants, and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, and preload failures (a missing or corrupt
+    /// snapshot on the command line is a startup error, not a latent
+    /// per-request one).
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let farm = Arc::new(Farm::new());
+        for (tenant, path) in &config.preload {
+            farm.load(tenant, path)
+                .map_err(|(_, msg)| io::Error::other(format!("preload `{tenant}`: {msg}")))?;
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let farm = Arc::clone(&farm);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || accept_loop(listener, farm, stop, config))
+        };
+        Ok(Server {
+            addr,
+            farm,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (with the real port when `addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The farm, for in-process inspection (tests, benches).
+    pub fn farm(&self) -> &Arc<Farm> {
+        &self.farm
+    }
+
+    /// Stops the acceptor and waits for it. Already-open connections
+    /// drain on their own threads.
+    pub fn shutdown(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the blocking accept with one throwaway connect.
+            let _ = TcpStream::connect(self.addr);
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, farm: Arc<Farm>, stop: Arc<AtomicBool>, cfg: ServerConfig) {
+    let obs = cpplookup_obs::global();
+    let active = Arc::new(AtomicUsize::new(0));
+    let active_gauge = obs.gauge("server_connections", "connections currently open");
+    let accepted = obs.counter("server_connections_total", "connections accepted");
+    let rejected = obs.counter(
+        "server_rejected_total",
+        "connections refused by admission control",
+    );
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if active.load(Ordering::SeqCst) >= cfg.max_connections {
+            rejected.inc();
+            refuse(stream);
+            continue;
+        }
+        accepted.inc();
+        active.fetch_add(1, Ordering::SeqCst);
+        active_gauge.add(1);
+        let farm = Arc::clone(&farm);
+        let active = Arc::clone(&active);
+        let active_gauge = Arc::clone(&active_gauge);
+        let timeout = cfg.read_timeout;
+        thread::spawn(move || {
+            let _ = stream.set_read_timeout(timeout);
+            let _ = stream.set_nodelay(true);
+            serve_connection(stream, &farm);
+            active.fetch_sub(1, Ordering::SeqCst);
+            active_gauge.add(-1);
+        });
+    }
+}
+
+/// Tells an over-limit connection why it is being dropped.
+fn refuse(mut stream: TcpStream) {
+    let body = Response::Error {
+        code: ErrorCode::Busy,
+        message: "server at connection limit".to_owned(),
+    }
+    .encode();
+    let _ = write_frame(&mut stream, &body);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn serve_connection(mut stream: TcpStream, farm: &Farm) {
+    let requests = cpplookup_obs::global().counter_family(
+        "server_requests_total",
+        "requests served, by operation",
+        "op",
+    );
+    let errors = cpplookup_obs::global().counter_family(
+        "server_errors_total",
+        "error responses sent, by code",
+        "code",
+    );
+    loop {
+        // Read the 4-byte prefix ourselves so the first bytes can be
+        // sniffed for HTTP admin traffic.
+        let mut prefix = [0u8; 4];
+        if read_exact_or_close(&mut stream, &mut prefix).is_err() {
+            return;
+        }
+        if &prefix == b"GET " {
+            serve_admin(stream);
+            return;
+        }
+        let body = match read_frame_body(&mut stream, u32::from_le_bytes(prefix)) {
+            Ok(body) => body,
+            Err(FrameError::BadLength { len }) => {
+                // The stream position is garbage from here; answer and
+                // close.
+                errors.with_label(ErrorCode::BadLength.label()).inc();
+                respond(
+                    &mut stream,
+                    Response::Error {
+                        code: ErrorCode::BadLength,
+                        message: format!("frame length {len} outside bounds"),
+                    },
+                );
+                return;
+            }
+            Err(FrameError::Checksum) => {
+                errors.with_label(ErrorCode::BadFrame.label()).inc();
+                respond(
+                    &mut stream,
+                    Response::Error {
+                        code: ErrorCode::BadFrame,
+                        message: "frame checksum mismatch".to_owned(),
+                    },
+                );
+                return;
+            }
+            // Truncation or I/O failure: nothing sensible to say.
+            Err(FrameError::Eof) | Err(FrameError::Io(_)) => return,
+        };
+        let response = match Request::decode(&body) {
+            Ok(req) => {
+                requests.with_label(op_label(&req)).inc();
+                handle(farm, req)
+            }
+            // Payload-level damage: framing is intact, keep going.
+            Err((code, message)) => Response::Error { code, message },
+        };
+        if let Response::Error { code, .. } = &response {
+            errors.with_label(code.label()).inc();
+        }
+        if !respond(&mut stream, response) {
+            return;
+        }
+    }
+}
+
+fn op_label(req: &Request) -> &'static str {
+    match req {
+        Request::Hello { .. } => "hello",
+        Request::Load { .. } => "load",
+        Request::Query { .. } => "query",
+        Request::Batch { .. } => "batch",
+        Request::Edit { .. } => "edit",
+        Request::Stats { .. } => "stats",
+        Request::Metrics => "metrics",
+    }
+}
+
+/// Executes one decoded request against the farm.
+fn handle(farm: &Farm, req: Request) -> Response {
+    let err = |(code, message): (ErrorCode, String)| Response::Error { code, message };
+    match req {
+        Request::Hello { version } => {
+            if version != PROTOCOL_VERSION {
+                return Response::Error {
+                    code: ErrorCode::BadVersion,
+                    message: format!("client speaks v{version}, server v{PROTOCOL_VERSION}"),
+                };
+            }
+            Response::Hello {
+                version: PROTOCOL_VERSION,
+                tenants: farm.tenant_count(),
+            }
+        }
+        Request::Load { tenant, path } => match farm.load(&tenant, path.as_ref()) {
+            Ok((entries, bytes)) => Response::Loaded { entries, bytes },
+            Err(e) => err(e),
+        },
+        Request::Query {
+            tenant,
+            class,
+            member,
+        } => match farm.query(&tenant, &class, &member) {
+            Ok(outcome) => Response::Outcome(outcome),
+            Err(e) => err(e),
+        },
+        Request::Batch { tenant, probes } => match farm.batch(&tenant, &probes) {
+            Ok(outcomes) => Response::Outcomes(outcomes),
+            Err(e) => err(e),
+        },
+        Request::Edit { tenant, directive } => match farm.edit(&tenant, &directive) {
+            Ok(epoch) => Response::Edited { epoch },
+            Err(e) => err(e),
+        },
+        Request::Stats { tenant } => match farm.stats_json(&tenant) {
+            Ok(json) => Response::Stats { json },
+            Err(e) => err(e),
+        },
+        Request::Metrics => Response::Metrics {
+            text: cpplookup_obs::global().snapshot().render_prometheus(),
+        },
+    }
+}
+
+fn respond(stream: &mut TcpStream, response: Response) -> bool {
+    write_frame(stream, &response.encode()).is_ok()
+}
+
+fn read_exact_or_close(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), ()> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    Ok(())
+}
+
+/// Serves one HTTP request on a connection whose first bytes were
+/// `GET `; the rest of the header is read (bounded) and discarded
+/// beyond the request target.
+fn serve_admin(mut stream: TcpStream) {
+    // Read until the end of the header block or an 8 KiB cap.
+    let mut header = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while header.len() < 8192 && !header.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => header.push(byte[0]),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+    // `GET ` is already consumed: the target is the first token.
+    let target = header
+        .split(|&b| b == b' ' || b == b'\r')
+        .next()
+        .map(|t| String::from_utf8_lossy(t).into_owned())
+        .unwrap_or_default();
+    let (status, content_type, body) = if target == "/metrics" {
+        cpplookup_obs::global()
+            .counter("server_admin_requests_total", "admin HTTP requests served")
+            .inc();
+        (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            cpplookup_obs::global().snapshot().render_prometheus(),
+        )
+    } else {
+        ("404 Not Found", "text/plain", "not found\n".to_owned())
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.shutdown(Shutdown::Both);
+}

@@ -1106,6 +1106,12 @@ impl SnapshotTable {
     /// touch only the index's fixed-width arrays — the serving
     /// configuration for snapshot-backed deployments
     /// (`batch --snapshot --serve` in the CLI).
+    ///
+    /// Prefer the backend-generic
+    /// [`DispatchIndex::from_backend`](cpplookup_core::DispatchIndex::from_backend)
+    /// in new code; this remains as the snapshot-specific delegate
+    /// behind `&SnapshotTable`'s
+    /// [`IntoDispatchIndex`](cpplookup_core::IntoDispatchIndex) impl.
     pub fn dispatch_index(&self) -> cpplookup_core::DispatchIndex {
         let start = Instant::now();
         let index = cpplookup_core::DispatchIndex::from_entries(self.class_count, self.entries());
@@ -1136,6 +1142,16 @@ impl SnapshotTable {
         }
         rev.reverse();
         ChgPath::new(chg, rev).ok()
+    }
+}
+
+impl cpplookup_core::IntoDispatchIndex for &SnapshotTable {
+    fn backend_label(&self) -> &'static str {
+        "snapshot"
+    }
+
+    fn into_dispatch_index(self) -> cpplookup_core::DispatchIndex {
+        self.dispatch_index()
     }
 }
 

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use cpplookup::{ChgBuilder, Inheritance, LookupOutcome, LookupTable};
+use cpplookup::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The "dreaded diamond" with an override:

@@ -10,10 +10,10 @@
 //! cpplookup-cli audit  <file.cpp>            ambiguity lint + subobject blowup report
 //! cpplookup-cli dot    <file.cpp>            Graphviz export of the class hierarchy
 //! cpplookup-cli export <file.cpp>            JSON export of the class hierarchy
-//! cpplookup-cli stats  <file.cpp> [--json|--prometheus]
+//! cpplookup-cli stats  <file.cpp> [--json|--prometheus] [--backend B]
 //!                                            sweep every (class, member) pair through the
 //!                                            lookup engine, then dump the metrics registry
-//! cpplookup-cli batch  <file.cpp> [--metrics] [--jobs N] [--serve]
+//! cpplookup-cli batch  <file.cpp> [--metrics] [--jobs N] [--serve] [--backend B]
 //!                                            answer `class member` query pairs from stdin
 //!                                            via the concurrent lookup engine; engine
 //!                                            statistics go to stderr on exit. With
@@ -34,7 +34,7 @@
 //!                                            binary snapshot ("compile once, serve many");
 //!                                            --jobs N compiles the table on N worker
 //!                                            threads (byte-identical output)
-//! cpplookup-cli query  <file.cpp> <class> <member>
+//! cpplookup-cli query  <file.cpp> <class> <member> [--backend B]
 //!                                            answer one lookup query
 //! cpplookup-cli query  --snapshot <file.snap> <class> <member>
 //!                                            the same, served straight from a snapshot
@@ -43,7 +43,32 @@
 //!                                            batch mode over an engine warm-started from
 //!                                            the snapshot's serialized entries; --serve
 //!                                            serves from the flat dispatch index instead
+//! cpplookup-cli stats  --snapshot <file.snap> [--json|--prometheus]
+//!                                            pack the dispatch index straight from the
+//!                                            snapshot and dump the metrics registry
+//! cpplookup-cli serve   [--addr HOST:PORT] [--tenant NAME=PATH]...
+//!                                            run the multi-tenant wire-protocol server
+//!                                            (see cpplookup-serverd for all flags)
+//! cpplookup-cli loadgen --addr HOST:PORT --snapshot PATH [...]
+//!                                            drive load at a running server
+//!                                            (see cpplookup-loadgen for all flags)
 //! ```
+//!
+//! `query`, `batch`, and `stats` answer through one of four backends
+//! behind the same unified `IntoDispatchIndex` API, selected with
+//! `--backend {table,engine,snapshot,index}`:
+//!
+//! * `table` — the freshly built immutable [`LookupTable`] (default
+//!   for `query`; in `batch` it rejects edit directives),
+//! * `engine` — a [`LookupEngine`] (default for `batch` and `stats`),
+//! * `snapshot` — a loaded binary snapshot; spelled `--snapshot
+//!   <file.snap>` since it needs the artifact path,
+//! * `index` — the flat [`DispatchIndex`] packed from the table (for
+//!   `batch` this is the epoch-published serve loop, alias `--serve`).
+//!
+//! `--snapshot`/`--serve` stay as the canonical spellings of the
+//! snapshot and index backends; contradictory combinations (e.g.
+//! `--snapshot` with `--backend table`) exit 2.
 //!
 //! Exit status: 0 on success, 1 on resolution errors (`check`) or
 //! unknown query names (`batch`, `query`), 2 on usage/IO errors
@@ -66,17 +91,99 @@ use cpplookup::{
     SnapshotTable,
 };
 
-const USAGE: &str = "usage: cpplookup-cli <check|table|trace|layout|audit|dot|export|stats|batch|compile|query> <file.cpp> [args]\n       cpplookup-cli <query|batch> --snapshot <file.snap> [args]";
+const USAGE: &str = "usage: cpplookup-cli <check|table|trace|layout|audit|dot|export|stats|batch|compile|query> <file.cpp> [args]\n       cpplookup-cli <query|batch|stats> --snapshot <file.snap> [args]\n       cpplookup-cli <query|batch|stats> <file.cpp> --backend <table|engine|snapshot|index> [args]\n       cpplookup-cli serve [--addr HOST:PORT] [--tenant NAME=PATH]...\n       cpplookup-cli loadgen --addr HOST:PORT --snapshot PATH [args]";
+
+/// The lookup backend a `query`/`batch`/`stats` invocation answers
+/// from. All four sit behind [`DispatchIndex::from_backend`]'s
+/// `IntoDispatchIndex` surface; the CLI names them so the same command
+/// can exercise any of them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Backend {
+    /// The freshly built immutable [`LookupTable`].
+    Table,
+    /// A [`LookupEngine`] (edits allowed in `batch`).
+    Engine,
+    /// A loaded binary snapshot (needs the `--snapshot <path>` form).
+    Snapshot,
+    /// The flat [`DispatchIndex`]; in `batch`, the epoch-published
+    /// serve loop (alias `--serve`).
+    Index,
+}
+
+impl Backend {
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Table => "table",
+            Backend::Engine => "engine",
+            Backend::Snapshot => "snapshot",
+            Backend::Index => "index",
+        }
+    }
+}
+
+/// Extracts an optional `--backend B` flag, returning the backend and
+/// the remaining arguments.
+fn parse_backend(rest: &[String]) -> Result<(Option<Backend>, Vec<String>), String> {
+    let mut backend = None;
+    let mut remaining = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg != "--backend" {
+            remaining.push(arg.clone());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or("--backend expects one of table, engine, snapshot, index")?;
+        let parsed = match value.as_str() {
+            "table" => Backend::Table,
+            "engine" => Backend::Engine,
+            "snapshot" => Backend::Snapshot,
+            "index" => Backend::Index,
+            other => return Err(format!("unknown backend `{other}`")),
+        };
+        if backend.replace(parsed).is_some() {
+            return Err("--backend given more than once".to_owned());
+        }
+    }
+    Ok((backend, remaining))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The server front ends take no C++ source at all; they dispatch
+    // before everything else. Parsing and run bodies are shared with
+    // the standalone cpplookup-serverd / cpplookup-loadgen bins.
+    match args.split_first() {
+        Some((command, rest)) if command == "serve" => return serve_cmd(rest),
+        Some((command, rest)) if command == "loadgen" => return loadgen_cmd(rest),
+        _ => {}
+    }
     // Snapshot-serving modes take a binary snapshot, not C++ source, so
     // they dispatch before the UTF-8 source read below.
     if let [command, flag, file, rest @ ..] = args.as_slice() {
         if flag == "--snapshot" {
+            // `--snapshot <path>` is the canonical spelling of
+            // `--backend snapshot`; naming any other backend alongside
+            // it is a contradiction.
+            let rest = match parse_backend(rest) {
+                Ok((None | Some(Backend::Snapshot), rest)) => rest,
+                Ok((Some(other), _)) => {
+                    eprintln!(
+                        "cpplookup-cli: --snapshot conflicts with --backend {}",
+                        other.name()
+                    );
+                    return ExitCode::from(2);
+                }
+                Err(e) => {
+                    eprintln!("cpplookup-cli: {e}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            };
             match command.as_str() {
-                "query" => return snapshot_query(file, rest),
-                "batch" => return snapshot_batch(file, rest),
+                "query" => return snapshot_query(file, &rest),
+                "batch" => return snapshot_batch(file, &rest),
+                "stats" => return snapshot_stats(file, &rest),
                 other => {
                     eprintln!("cpplookup-cli: `{other}` does not take --snapshot\n{USAGE}");
                     return ExitCode::from(2);
@@ -348,36 +455,77 @@ fn metrics_json(engine: &LookupEngine, sink: &obs::MemorySink) -> String {
 /// stream), and a JSON metrics snapshot — including per-edit dirty-set
 /// and invalidation sizes — is printed to stdout at the end.
 fn batch(analysis: &Analysis, rest: &[String]) -> ExitCode {
+    let (backend, rest) = match parse_backend(rest) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("cpplookup-cli: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let metrics = rest.iter().any(|a| a == "--metrics");
     let serve = rest.iter().any(|a| a == "--serve");
-    let jobs = match parse_jobs(rest) {
+    // `--serve` is the canonical spelling of `--backend index`.
+    let backend = match (backend, serve) {
+        (None | Some(Backend::Index), true) => Backend::Index,
+        (Some(other), true) => {
+            eprintln!(
+                "cpplookup-cli: --serve conflicts with --backend {}",
+                other.name()
+            );
+            return ExitCode::from(2);
+        }
+        (Some(b), false) => b,
+        (None, false) => Backend::Engine,
+    };
+    let jobs = match parse_jobs(&rest) {
         Ok(jobs) => jobs,
         Err(e) => {
             eprintln!("cpplookup-cli: {e}");
             return ExitCode::from(2);
         }
     };
-    if serve {
-        if metrics {
+    match backend {
+        Backend::Snapshot => {
             eprintln!(
-                "cpplookup-cli: --serve and --metrics are mutually exclusive \
-                 (the serve loop reports index size and epochs to stderr)"
+                "cpplookup-cli: the snapshot backend needs the artifact path: \
+                 `batch --snapshot <file.snap>`"
             );
-            return ExitCode::from(2);
+            ExitCode::from(2)
         }
-        let engine =
-            LookupEngine::with_options(analysis.chg.clone(), EngineOptions::parallel(jobs));
-        return serve_loop(IndexedEngine::new(engine));
+        Backend::Index => {
+            if metrics {
+                eprintln!(
+                    "cpplookup-cli: --serve and --metrics are mutually exclusive \
+                     (the serve loop reports index size and epochs to stderr)"
+                );
+                return ExitCode::from(2);
+            }
+            let engine =
+                LookupEngine::with_options(analysis.chg.clone(), EngineOptions::parallel(jobs));
+            serve_loop(IndexedEngine::new(engine))
+        }
+        Backend::Table => {
+            if metrics {
+                eprintln!(
+                    "cpplookup-cli: --metrics requires the engine backend \
+                     (the table backend is immutable and untimed)"
+                );
+                return ExitCode::from(2);
+            }
+            table_loop(analysis)
+        }
+        Backend::Engine => {
+            let options = if metrics {
+                let mut o = EngineOptions::lazy();
+                o.timing = true;
+                o
+            } else {
+                EngineOptions::parallel(jobs)
+            };
+            let engine = LookupEngine::with_options(analysis.chg.clone(), options);
+            batch_loop(engine, metrics)
+        }
     }
-    let options = if metrics {
-        let mut o = EngineOptions::lazy();
-        o.timing = true;
-        o
-    } else {
-        EngineOptions::parallel(jobs)
-    };
-    let engine = LookupEngine::with_options(analysis.chg.clone(), options);
-    batch_loop(engine, metrics)
 }
 
 /// Parses an optional `--jobs N` flag (N ≥ 1); absent means one worker
@@ -435,6 +583,61 @@ fn batch_loop(mut engine: LookupEngine, metrics: bool) -> ExitCode {
         println!("{}", metrics_json(&engine, &sink));
     }
     eprintln!("{}", engine.stats());
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The stdin loop for `--backend table`: queries are answered straight
+/// from the freshly built immutable [`LookupTable`] — no engine, no
+/// cache, no edits. Edit directives are rejected per line (the rest of
+/// the stream still runs) so a mixed script degrades loudly, not
+/// silently.
+fn table_loop(analysis: &Analysis) -> ExitCode {
+    use std::io::BufRead;
+
+    let flush = |pending: &mut Vec<PendingLine>| {
+        flush_pending(&analysis.chg, pending, |queries| {
+            queries
+                .iter()
+                .map(|&(c, m)| analysis.table.lookup(c, m))
+                .collect()
+        })
+    };
+    let mut pending: Vec<PendingLine> = Vec::new();
+    let mut failed = false;
+    for line in std::io::stdin().lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cpplookup-cli: cannot read stdin: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('!') {
+            // The directive itself is the failure; the flush verdicts
+            // still print so preceding queries get their answers.
+            flush(&mut pending);
+            println!("{line:<24} error: edit directives require the engine or index backend");
+            failed = true;
+            continue;
+        }
+        pending.push(parse_query_line(line));
+    }
+    failed |= flush(&mut pending);
+    let stats = analysis.table.stats();
+    eprintln!(
+        "table backend: {} classes, {} lookup entries ({} ambiguous)",
+        analysis.chg.class_count(),
+        stats.entries,
+        stats.blue
+    );
     if failed {
         ExitCode::from(1)
     } else {
@@ -612,11 +815,20 @@ fn render_verdict(
     }
 }
 
-/// `query <file.cpp> <class> <member>`: one lookup against the freshly
-/// built table.
+/// `query <file.cpp> <class> <member> [--backend B]`: one lookup,
+/// answered by the chosen backend (default: the freshly built table).
+/// All three source-backed backends go through the same names and must
+/// agree; the flag exists to exercise any one of them on demand.
 fn query(analysis: &Analysis, rest: &[String]) -> ExitCode {
-    let [class, member] = rest else {
-        eprintln!("usage: cpplookup-cli query <file.cpp> <class> <member>");
+    let (backend, rest) = match parse_backend(rest) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("cpplookup-cli: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let [class, member] = rest.as_slice() else {
+        eprintln!("usage: cpplookup-cli query <file.cpp> <class> <member> [--backend B]");
         return ExitCode::from(2);
     };
     let chg = &analysis.chg;
@@ -624,9 +836,22 @@ fn query(analysis: &Analysis, rest: &[String]) -> ExitCode {
         eprintln!("cpplookup-cli: unknown class or member `{class}::{member}`");
         return ExitCode::from(1);
     };
-    let verdict = render_verdict(analysis.table.lookup(c, m), member, |c| {
-        chg.class_name(c).to_owned()
-    });
+    let outcome = match backend.unwrap_or(Backend::Table) {
+        Backend::Snapshot => {
+            eprintln!(
+                "cpplookup-cli: the snapshot backend needs the artifact path: \
+                 `query --snapshot <file.snap> <class> <member>`"
+            );
+            return ExitCode::from(2);
+        }
+        Backend::Table => analysis.table.lookup(c, m),
+        Backend::Engine => {
+            let engine = LookupEngine::new(analysis.chg.clone());
+            engine.lookup_batch(&[(c, m)]).remove(0)
+        }
+        Backend::Index => DispatchIndex::from_backend(analysis.table.clone()).lookup(c, m),
+    };
+    let verdict = render_verdict(outcome, member, |c| chg.class_name(c).to_owned());
     println!("{:<24} {verdict}", format!("{class}::{member}"));
     ExitCode::SUCCESS
 }
@@ -729,6 +954,21 @@ fn trace(analysis: &Analysis, rest: &[String]) -> ExitCode {
 /// (propagation counters, baseline query counts) in the requested
 /// format.
 fn stats(analysis: &Analysis, rest: &[String]) -> ExitCode {
+    let (backend, rest) = match parse_backend(rest) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("cpplookup-cli: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let backend = backend.unwrap_or(Backend::Engine);
+    if backend == Backend::Snapshot {
+        eprintln!(
+            "cpplookup-cli: the snapshot backend needs the artifact path: \
+             `stats --snapshot <file.snap>`"
+        );
+        return ExitCode::from(2);
+    }
     let mut options = EngineOptions::lazy();
     options.timing = true;
     let engine = LookupEngine::with_options(analysis.chg.clone(), options);
@@ -739,9 +979,19 @@ fn stats(analysis: &Analysis, rest: &[String]) -> ExitCode {
         .collect();
     engine.lookup_batch(&queries);
 
-    // Pack the swept memo into a dispatch index so the serve-side build
-    // metrics (index size, entry count, build time) appear in the dump.
-    let index = DispatchIndex::from_engine(&engine);
+    // Pack the chosen backend into a dispatch index through the unified
+    // `IntoDispatchIndex` surface so the serve-side build metrics
+    // (index size, entry count, build time) appear in the dump. Every
+    // backend packs the same entries; the flag picks which impl runs.
+    let index = match backend {
+        Backend::Engine => DispatchIndex::from_backend(&engine),
+        Backend::Table => DispatchIndex::from_backend(analysis.table.clone()),
+        Backend::Index => {
+            // The identity impl: an already packed index passes through.
+            DispatchIndex::from_backend(DispatchIndex::from_backend(analysis.table.clone()))
+        }
+        Backend::Snapshot => unreachable!("rejected above"),
+    };
     eprintln!(
         "dispatch index: {} entries, {} bytes ({:.1} bytes/entry)",
         index.entry_count(),
@@ -751,6 +1001,13 @@ fn stats(analysis: &Analysis, rest: &[String]) -> ExitCode {
 
     let mut snapshot = engine.metrics_snapshot();
     snapshot.extend(obs::global().snapshot());
+    render_metrics(&snapshot, &rest);
+    ExitCode::SUCCESS
+}
+
+/// Prints a metrics snapshot in the format chosen by
+/// `--json`/`--prometheus` (default: plain text).
+fn render_metrics(snapshot: &obs::Snapshot, rest: &[String]) {
     if rest.iter().any(|a| a == "--json") {
         println!("{}", snapshot.render_json());
     } else if rest.iter().any(|a| a == "--prometheus") {
@@ -758,7 +1015,78 @@ fn stats(analysis: &Analysis, rest: &[String]) -> ExitCode {
     } else {
         print!("{}", snapshot.render_text());
     }
+}
+
+/// `stats --snapshot <file.snap>`: pack the dispatch index straight
+/// from the loaded snapshot bytes (the `&SnapshotTable` backend — no
+/// table rebuild, no engine) and dump the process-global metrics
+/// registry.
+fn snapshot_stats(file: &str, rest: &[String]) -> ExitCode {
+    let snap = match SnapshotTable::load(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cpplookup-cli: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let index = DispatchIndex::from_backend(&snap);
+    eprintln!(
+        "dispatch index: {} entries, {} bytes ({:.1} bytes/entry)",
+        index.entry_count(),
+        index.size_bytes(),
+        index.bytes_per_entry()
+    );
+    render_metrics(&obs::global().snapshot(), rest);
     ExitCode::SUCCESS
+}
+
+/// `serve [flags]`: run the multi-tenant wire-protocol server in the
+/// foreground. Parsing and the serve loop are shared with the
+/// standalone `cpplookup-serverd` bin.
+fn serve_cmd(rest: &[String]) -> ExitCode {
+    use cpplookup::server::cli as server_cli;
+
+    match server_cli::parse_server_args(rest) {
+        Ok(config) => {
+            let e = server_cli::serve_forever(config);
+            eprintln!("cpplookup-cli: {e}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!(
+                "cpplookup-cli: {e}\nusage: cpplookup-cli serve {}",
+                server_cli::SERVE_USAGE
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `loadgen [flags]`: drive load at a running server. Parsing and the
+/// run body are shared with the standalone `cpplookup-loadgen` bin.
+fn loadgen_cmd(rest: &[String]) -> ExitCode {
+    use cpplookup::server::cli as server_cli;
+
+    let parsed = match server_cli::parse_loadgen_args(rest) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!(
+                "cpplookup-cli: {e}\nusage: cpplookup-cli loadgen {}",
+                server_cli::LOADGEN_USAGE
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match server_cli::run_loadgen(&parsed) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cpplookup-cli: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn layout(analysis: &Analysis, rest: &[String]) -> ExitCode {

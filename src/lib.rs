@@ -20,6 +20,7 @@
 //! | [`hiergen`] | `cpplookup-hiergen` | structured and random hierarchy generators |
 //! | [`layout`] | `cpplookup-layout` | subobject-accurate object layouts (offsets, vptrs, virtual bases) |
 //! | [`snapshot`] | `cpplookup-snapshot` | compile-once/serve-many binary snapshots of compiled tables |
+//! | [`server`] | `cpplookup-server` | multi-tenant wire-protocol server, blocking client, load generator |
 //!
 //! The most common types are re-exported at the top level.
 //!
@@ -139,6 +140,7 @@ pub use cpplookup_core::obs;
 pub use cpplookup_frontend as frontend;
 pub use cpplookup_hiergen as hiergen;
 pub use cpplookup_layout as layout;
+pub use cpplookup_server as server;
 pub use cpplookup_snapshot as snapshot;
 pub use cpplookup_subobject as subobject;
 
@@ -147,9 +149,23 @@ pub use cpplookup_chg::{
     MemberId, MemberKind, Path,
 };
 pub use cpplookup_core::{
-    DispatchIndex, EngineBacking, EngineOptions, EngineStats, IndexedEngine, LazyLookup,
-    LeastVirtual, LookupEngine, LookupOptions, LookupOutcome, LookupTable, MemberLookup,
-    OutcomeRef, RedAbs, ServeHandle, StaticRule,
+    DispatchIndex, EngineBacking, EngineOptions, EngineStats, IndexedEngine, IntoDispatchIndex,
+    LazyLookup, LeastVirtual, LookupEngine, LookupOptions, LookupOutcome, LookupTable,
+    MemberLookup, OutcomeRef, RedAbs, ServeHandle, StaticRule,
 };
 pub use cpplookup_snapshot::{Snapshot, SnapshotError, SnapshotTable};
 pub use cpplookup_subobject::{Resolution, Subobject, SubobjectGraph};
+
+pub mod prelude {
+    //! The stable one-line import: `use cpplookup::prelude::*;`.
+    //!
+    //! Extends [`cpplookup_core::prelude`] with the hierarchy-building
+    //! types and the snapshot container, so examples, tests, and
+    //! downstream tools pull the whole supported surface from one
+    //! place.
+    pub use cpplookup_chg::{
+        Chg, ChgBuilder, ChgError, ClassId, Edit, Inheritance, MemberDecl, MemberId, MemberKind,
+    };
+    pub use cpplookup_core::prelude::*;
+    pub use cpplookup_snapshot::{Snapshot, SnapshotError, SnapshotTable};
+}

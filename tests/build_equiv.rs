@@ -15,9 +15,8 @@
 
 use cpplookup::hiergen::families;
 use cpplookup::hiergen::{random_hierarchy, RandomConfig};
-use cpplookup::snapshot::{Snapshot, SnapshotTable};
+use cpplookup::prelude::*;
 use cpplookup::subobject::{lookup_in_class, Resolution, SubobjectGraph};
-use cpplookup::{Chg, Inheritance, LookupOptions, LookupOutcome, LookupTable, StaticRule};
 
 /// Subobject-graph budget for the oracle pass.
 const LIMIT: usize = 200_000;

@@ -477,6 +477,239 @@ fn snapshot_flag_usage_errors_exit_2() {
 }
 
 #[test]
+fn backend_flag_answers_identically_across_backends() {
+    let src = write_temp(FIG9);
+    let p = src.to_str().unwrap();
+    let (reference, _, code) = run(&["query", p, "E", "m"]);
+    assert_eq!(code, Some(0));
+    assert!(reference.contains("C::m"), "{reference}");
+    for backend in ["table", "engine", "index"] {
+        let (stdout, stderr, code) = run(&["query", p, "E", "m", "--backend", backend]);
+        assert_eq!(code, Some(0), "backend {backend}: {stderr}");
+        assert_eq!(stdout, reference, "backend {backend} disagrees");
+    }
+
+    // The snapshot backend answers the same through its own spelling.
+    let snap = temp_snap_path("backend-equiv");
+    let (_, _, code) = run(&["compile", p, "-o", snap.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    let (stdout, _, code) = run(&[
+        "query",
+        "--snapshot",
+        snap.to_str().unwrap(),
+        "E",
+        "m",
+        "--backend",
+        "snapshot",
+    ]);
+    assert_eq!(code, Some(0));
+    assert_eq!(stdout, reference);
+
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(snap);
+}
+
+#[test]
+fn backend_arg_conflicts_exit_2() {
+    let src = write_temp(FIG9);
+    let p = src.to_str().unwrap();
+
+    // `--snapshot <path>` is `--backend snapshot`; naming another
+    // backend alongside it is a contradiction.
+    let (_, stderr, code) = run(&[
+        "query",
+        "--snapshot",
+        "whatever.snap",
+        "E",
+        "m",
+        "--backend",
+        "table",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("--snapshot conflicts with --backend table"),
+        "{stderr}"
+    );
+
+    // Likewise `--serve` is `--backend index` in batch mode.
+    let (_, stderr, code) = run_with_stdin(&["batch", p, "--serve", "--backend", "engine"], "");
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("--serve conflicts with --backend engine"),
+        "{stderr}"
+    );
+    // The consistent spellings are fine.
+    let (_, _, code) = run_with_stdin(&["batch", p, "--serve", "--backend", "index"], "");
+    assert_eq!(code, Some(0));
+
+    // The snapshot backend needs the artifact path.
+    let (_, stderr, code) = run(&["query", p, "E", "m", "--backend", "snapshot"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--snapshot <file.snap>"), "{stderr}");
+    let (_, stderr, code) = run(&["stats", p, "--backend", "snapshot"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--snapshot <file.snap>"), "{stderr}");
+
+    // The immutable table backend cannot be timed.
+    let (_, stderr, code) = run_with_stdin(&["batch", p, "--backend", "table", "--metrics"], "");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--metrics requires the engine"), "{stderr}");
+
+    // Malformed flags are usage errors, not silent defaults.
+    let (_, stderr, code) = run(&["query", p, "E", "m", "--backend", "bogus"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown backend `bogus`"), "{stderr}");
+    let (_, stderr, code) = run(&["query", p, "E", "m", "--backend"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--backend expects"), "{stderr}");
+    let (_, stderr, code) = run(&[
+        "query",
+        p,
+        "E",
+        "m",
+        "--backend",
+        "table",
+        "--backend",
+        "index",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("more than once"), "{stderr}");
+
+    let _ = std::fs::remove_file(src);
+}
+
+#[test]
+fn batch_backend_table_answers_but_rejects_edits() {
+    let path = write_temp(FIG9);
+    let (stdout, stderr, code) = run_with_stdin(
+        &["batch", path.to_str().unwrap(), "--backend", "table"],
+        "E m\n!class X\nC m\n",
+    );
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(
+        stdout.contains("E::m") && stdout.contains("C::m"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("edit directives require the engine or index backend"),
+        "{stdout}"
+    );
+    assert!(stderr.contains("table backend:"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn stats_over_snapshot_packs_the_index_from_the_bytes() {
+    let src = write_temp(FIG9);
+    let snap = temp_snap_path("stats");
+    let (_, _, code) = run(&[
+        "compile",
+        src.to_str().unwrap(),
+        "-o",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+
+    let (stdout, stderr, code) = run(&[
+        "stats",
+        "--snapshot",
+        snap.to_str().unwrap(),
+        "--prometheus",
+    ]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("dispatch index:"), "{stderr}");
+    if cfg!(feature = "obs") {
+        assert!(stdout.contains("snapshot_loads_total"), "{stdout}");
+        assert!(stdout.contains("serve_index_builds_total"), "{stdout}");
+    }
+
+    // Source-backed stats accepts the backend flag too and reports the
+    // same index shape regardless of which impl packed it.
+    let (_, from_engine, code) = run(&["stats", src.to_str().unwrap(), "--backend", "engine"]);
+    assert_eq!(code, Some(0));
+    let (_, from_table, code) = run(&["stats", src.to_str().unwrap(), "--backend", "table"]);
+    assert_eq!(code, Some(0));
+    let index_line = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("dispatch index:"))
+            .expect("index line")
+            .to_owned()
+    };
+    assert_eq!(index_line(&from_engine), index_line(&from_table));
+
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(snap);
+}
+
+#[test]
+fn serve_and_loadgen_subcommands_front_the_server_crate() {
+    use std::io::BufRead as _;
+    use std::process::Stdio;
+
+    let src = write_temp(FIG9);
+    let snap = temp_snap_path("serve-sub");
+    let (_, _, code) = run(&[
+        "compile",
+        src.to_str().unwrap(),
+        "-o",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_cpplookup-cli"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--tenant",
+            &format!("t0={}", snap.display()),
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut line = String::new();
+    std::io::BufReader::new(server.stderr.take().expect("piped stderr"))
+        .read_line(&mut line)
+        .expect("read announcement");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line}"))
+        .to_owned();
+
+    let (stdout, stderr, code) = run(&[
+        "loadgen",
+        "--addr",
+        &addr,
+        "--snapshot",
+        snap.to_str().unwrap(),
+        "--connections",
+        "2",
+        "--duration-secs",
+        "0.3",
+    ]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(
+        stdout.contains("req/s") && stdout.contains("0 errors"),
+        "{stdout}"
+    );
+
+    server.kill().expect("kill server");
+    let _ = server.wait();
+
+    // Bad flags are usage errors on both subcommands.
+    let (_, stderr, code) = run(&["serve", "--wat"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage: cpplookup-cli serve"), "{stderr}");
+    let (_, stderr, code) = run(&["loadgen", "--addr", "h:1"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--snapshot is required"), "{stderr}");
+
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(snap);
+}
+
+#[test]
 fn batch_rejects_directives_without_metrics_flag() {
     let path = write_temp(FIG9);
     let (stdout, _, code) = run_with_stdin(&["batch", path.to_str().unwrap()], "!class X\nE m\n");

@@ -9,10 +9,8 @@
 
 use cpplookup::baselines::adapters::{GxxAdapter, NaiveLookup, TopoShortcut};
 use cpplookup::conformance::{check_backend, Conformance};
-use cpplookup::snapshot::{Snapshot, SnapshotTable};
-use cpplookup::{
-    EngineOptions, LazyLookup, LookupEngine, LookupOptions, LookupTable, MemberLookup,
-};
+use cpplookup::prelude::*;
+use cpplookup::LazyLookup;
 
 fn assert_conforms<F>(name: &str, level: Conformance, make: F)
 where

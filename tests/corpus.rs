@@ -30,9 +30,8 @@ use std::path::PathBuf;
 
 use cpplookup::hiergen::families;
 use cpplookup::hiergen::{random_hierarchy, RandomConfig};
-use cpplookup::snapshot::{Snapshot, SnapshotTable};
+use cpplookup::prelude::*;
 use cpplookup::subobject::{lookup_in_class, Resolution};
-use cpplookup::{Chg, Inheritance, LookupOutcome};
 
 /// Subobject-graph budget for the oracle pass; corpus hierarchies are
 /// chosen to stay well under it.

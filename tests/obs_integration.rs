@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use cpplookup::hiergen::{random_hierarchy, RandomConfig};
 use cpplookup::obs;
-use cpplookup::{ClassId, EngineOptions, Inheritance, LookupEngine, MemberId};
+use cpplookup::prelude::*;
 
 /// Sweeps every `(class, member)` pair and returns the sweep's
 /// `(hits, misses)` deltas.

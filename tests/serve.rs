@@ -14,14 +14,10 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use cpplookup::apply_edits;
 use cpplookup::hiergen::families;
 use cpplookup::hiergen::{random_hierarchy, RandomConfig};
-use cpplookup::lookup::serve::OutcomeRef;
-use cpplookup::snapshot::{Snapshot, SnapshotTable};
-use cpplookup::{
-    apply_edits, Chg, DispatchIndex, Edit, Inheritance, LookupEngine, LookupOptions, LookupOutcome,
-    LookupTable, MemberDecl, MemberKind, StaticRule,
-};
+use cpplookup::prelude::*;
 
 struct Case {
     name: &'static str,

@@ -12,9 +12,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
+use cpplookup::chg::fixtures;
 use cpplookup::hiergen::families;
-use cpplookup::lookup::serve::OutcomeRef;
-use cpplookup::{chg::fixtures, DispatchIndex, Inheritance, LookupTable};
+use cpplookup::prelude::*;
 
 thread_local! {
     /// Allocations observed on this thread while [`COUNTING`] is set.

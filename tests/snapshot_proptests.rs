@@ -5,8 +5,7 @@
 //! never a silently wrong answer.
 
 use cpplookup::hiergen::{random_hierarchy, RandomConfig};
-use cpplookup::snapshot::{Snapshot, SnapshotTable};
-use cpplookup::{Chg, LookupOptions, LookupTable, StaticRule};
+use cpplookup::prelude::*;
 use proptest::prelude::*;
 
 /// A strategy producing small, ambiguity-rich hierarchies (same shape
