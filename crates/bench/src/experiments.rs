@@ -30,11 +30,11 @@ use crate::workloads::{self, Workload};
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24",
 ];
 
-/// Runs one experiment by id (`"e1"`..`"e23"`), writing its report.
-/// The extra ids `"e21-smoke"`, `"e22-smoke"`, and `"e23-smoke"` are
+/// Runs one experiment by id (`"e1"`..`"e24"`), writing its report.
+/// The extra ids `"e21-smoke"` through `"e24-smoke"` are
 /// the CI guard variants of E21/E22/E23: fast differential + perf
 /// checks that *fail* (return an error) when the batched compiler, the
 /// dispatch index, or the wire-protocol server regresses.
@@ -72,6 +72,8 @@ pub fn run(id: &str, w: &mut dyn Write) -> io::Result<()> {
         "e22-smoke" => e22_smoke(w),
         "e23" => e23(w),
         "e23-smoke" => e23_smoke(w),
+        "e24" => e24(w),
+        "e24-smoke" => e24_smoke(w),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}` (known: {})", ALL.join(", ")),
@@ -1405,6 +1407,21 @@ fn e22(w: &mut dyn Write) -> io::Result<()> {
     Ok(())
 }
 
+/// The host context recorded alongside wire-path throughput numbers:
+/// QPS on a 64-core box and on a 1-core container are different
+/// experiments, and a baseline file is meaningless without knowing
+/// which one produced it. `client_threads` is the largest client-side
+/// thread count the experiment drove.
+fn host_context_json(client_threads: usize) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    format!(
+        "\"host\": {{\"cores\": {cores}, \"client_threads\": {client_threads}, \
+         \"os\": \"{}\", \"arch\": \"{}\"}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    )
+}
+
 /// Pulls a bare numeric field out of the hand-rolled `BENCH_e22.json`
 /// (the bench crate has no serde); `None` when the key is absent.
 fn json_f64(json: &str, key: &str) -> Option<f64> {
@@ -1734,11 +1751,12 @@ fn e23(w: &mut dyn Write) -> io::Result<()> {
     )?;
 
     let json = format!(
-        "{{\n  \"experiment\": \"e23\",\n  \"differential_pairs\": {},\n  \
+        "{{\n  \"experiment\": \"e23\",\n  {},\n  \"differential_pairs\": {},\n  \
          \"levels\": [\n{}\n  ],\n  \
          \"qps_8_vs_1\": {scaling:.3},\n  \
          \"cold_start\": {{\"tenants\": {COLD_TENANTS}, \"snapshots\": {COLD_SNAPSHOTS}, \
          \"load_per_s\": {load_rate:.0}, \"promote_per_s\": {promote_rate:.0}}}\n}}\n",
+        host_context_json(32),
         probes.len(),
         json_levels.join(",\n")
     );
@@ -1882,6 +1900,396 @@ fn e23_smoke(w: &mut dyn Write) -> io::Result<()> {
     Ok(())
 }
 
+/// E24 — observability overhead and attribution on the wire path,
+/// extending E19's obs-on/obs-off methodology from the engine to the
+/// server:
+///
+/// 1. **Overhead A/B** — the same closed-loop load against two
+///    in-process servers, observability layer on (per-tenant families
+///    plus flight recorder) vs off (the PR-6 request loop),
+///    interleaved in rounds so clock drift and cache state hit both
+///    sides equally. Target: ≤5% QPS overhead with tracing off.
+/// 2. **Span attribution** — traced queries and batches: the span
+///    tree's *structure* (ids, parents, labels) must be identical
+///    across repeated requests and across connections (durations are
+///    measurements, never stable), and the child phases must sum to
+///    the root span exactly.
+/// 3. **Admin endpoints** — `/healthz`, `/tenants`, `/flightrecorder`
+///    verified end-to-end against a live server whose slow threshold
+///    is zero, so the slow log path is exercised too.
+///
+/// Emits `BENCH_e24.json` (with host context) for the CI gate
+/// (`e24-smoke`).
+fn e24(w: &mut dyn Write) -> io::Result<()> {
+    use std::io::Read as _;
+    use std::time::Duration;
+
+    use cpplookup_server::cli::live_probes;
+    use cpplookup_server::loadgen::{self, LoadConfig, TenantTarget};
+    use cpplookup_server::{Client, ObsConfig, Server, ServerConfig};
+    use cpplookup_snapshot::{Snapshot, SnapshotTable};
+
+    const CONNS: usize = 4;
+    const ROUNDS: usize = 3;
+    const ROUND_MS: u64 = 700;
+
+    writeln!(w, "E24: wire-path observability overhead and attribution")?;
+    let dir = BenchDir::new("e24")?;
+    let chg = random_hierarchy(&RandomConfig::realistic(2000, 7));
+    let snap_path = dir.file("main.snap");
+    Snapshot::compile(&chg)
+        .write_to(&snap_path)
+        .map_err(io::Error::other)?;
+    let table = SnapshotTable::load(&snap_path).map_err(io::Error::other)?;
+    let probes = live_probes(&table);
+    let wire = |e: cpplookup_server::client::ClientError| io::Error::other(e.to_string());
+
+    let start_server = |obs: ObsConfig| -> io::Result<(Server, String)> {
+        let server = Server::start(ServerConfig {
+            preload: vec![("t0".to_owned(), snap_path.clone())],
+            obs,
+            ..ServerConfig::default()
+        })?;
+        let addr = server.addr().to_string();
+        Ok((server, addr))
+    };
+    let (on_server, on_addr) = start_server(ObsConfig::default())?;
+    let (off_server, off_addr) = start_server(ObsConfig {
+        enabled: false,
+        ..ObsConfig::default()
+    })?;
+    let _keep = (&on_server, &off_server);
+    let targets = [TenantTarget {
+        name: "t0".to_owned(),
+        probes: probes.clone(),
+    }];
+    let drive = |addr: &str| -> io::Result<(u64, f64)> {
+        let report = loadgen::run(
+            &LoadConfig {
+                addr: addr.to_owned(),
+                connections: CONNS,
+                duration: Duration::from_millis(ROUND_MS),
+                ..LoadConfig::default()
+            },
+            &targets,
+        )?;
+        if report.errors > 0 {
+            return Err(io::Error::other(format!("{} load errors", report.errors)));
+        }
+        Ok((report.requests, report.elapsed.as_secs_f64()))
+    };
+    // Warm both promotion paths before measuring.
+    drive(&on_addr)?;
+    drive(&off_addr)?;
+
+    // Stage 1: interleaved A/B rounds, tracing off on both sides.
+    let (mut req_on, mut secs_on) = (0u64, 0f64);
+    let (mut req_off, mut secs_off) = (0u64, 0f64);
+    for _ in 0..ROUNDS {
+        let (r, s) = drive(&off_addr)?;
+        req_off += r;
+        secs_off += s;
+        let (r, s) = drive(&on_addr)?;
+        req_on += r;
+        secs_on += s;
+    }
+    let qps_on = req_on as f64 / secs_on.max(1e-9);
+    let qps_off = req_off as f64 / secs_off.max(1e-9);
+    let overhead = 1.0 - qps_on / qps_off.max(f64::MIN_POSITIVE);
+    writeln!(
+        w,
+        "  overhead A/B ({ROUNDS} interleaved rounds, {CONNS} connections, tracing off):"
+    )?;
+    writeln!(w, "  obs layer off: {qps_off:>8.0} qps (PR-6 request loop)")?;
+    writeln!(
+        w,
+        "  obs layer on:  {qps_on:>8.0} qps (per-tenant families + flight recorder)"
+    )?;
+    writeln!(
+        w,
+        "  target <=5% overhead with tracing off: {} ({:+.1}%)",
+        if overhead <= 0.05 { "PASS" } else { "FAIL" },
+        overhead * 100.0
+    )?;
+
+    // Stage 2: span structure stability and exact attribution.
+    let shape = |spans: &[cpplookup_server::WireSpan]| -> Vec<(u64, u64, String)> {
+        spans
+            .iter()
+            .map(|s| (s.id, s.parent, s.label.clone()))
+            .collect()
+    };
+    let check_partition = |spans: &[cpplookup_server::WireSpan]| -> io::Result<()> {
+        let root = &spans[0];
+        let children_ns: u64 = spans[1..].iter().map(|s| s.duration_ns).sum();
+        if children_ns != root.duration_ns {
+            return Err(io::Error::other(format!(
+                "phases sum {children_ns} != root {} — partition must be exact",
+                root.duration_ns
+            )));
+        }
+        Ok(())
+    };
+    let mut c1 = Client::connect(on_addr.as_str(), Some(Duration::from_secs(10)))
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let mut c2 = Client::connect(on_addr.as_str(), Some(Duration::from_secs(10)))
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let (class, member) = &probes[0];
+    let (_, first) = c1.query_traced("t0", class, member).map_err(wire)?;
+    let reference = shape(&first);
+    check_partition(&first)?;
+    for _ in 0..32 {
+        let (_, again) = c1.query_traced("t0", class, member).map_err(wire)?;
+        let (_, other) = c2.query_traced("t0", class, member).map_err(wire)?;
+        check_partition(&again)?;
+        check_partition(&other)?;
+        if shape(&again) != reference || shape(&other) != reference {
+            return Err(io::Error::other(
+                "span tree structure varied across runs/connections",
+            ));
+        }
+    }
+    let (_, bspans) = c1
+        .batch_traced("t0", &probes[..probes.len().min(64)])
+        .map_err(wire)?;
+    check_partition(&bspans)?;
+    if shape(&bspans) != reference {
+        return Err(io::Error::other("batch span structure diverged from query"));
+    }
+    writeln!(
+        w,
+        "  spans: {} spans/trace, structure byte-stable over 65 traces x 2 connections, \
+         phases sum to root exactly",
+        reference.len()
+    )?;
+
+    // Stage 3: admin endpoints against a live server with slow
+    // threshold zero, so the traced queries above also exercised the
+    // slow log. Reuse the obs-on server: reconfigure via a fresh one.
+    let (admin_server, admin_addr) = start_server(ObsConfig {
+        slow_threshold: Duration::from_millis(0),
+        ..ObsConfig::default()
+    })?;
+    let _keep2 = &admin_server;
+    let mut ca = Client::connect(admin_addr.as_str(), Some(Duration::from_secs(10)))
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    ca.query_traced("t0", class, member).map_err(wire)?;
+    ca.query("t0", class, member).map_err(wire)?;
+    let http_get = |addr: &str, target: &str| -> io::Result<String> {
+        let mut s = std::net::TcpStream::connect(addr)?;
+        s.set_read_timeout(Some(Duration::from_secs(10)))?;
+        std::io::Write::write_all(
+            &mut s,
+            format!("GET {target} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes(),
+        )?;
+        let mut body = String::new();
+        s.read_to_string(&mut body)?;
+        Ok(body)
+    };
+    let health = http_get(&admin_addr, "/healthz")?;
+    if !health.contains(" 200 OK") {
+        return Err(io::Error::other(format!("/healthz failed: {health}")));
+    }
+    let tenants = http_get(&admin_addr, "/tenants")?;
+    if !tenants.contains("\"tenant\":\"t0\"") || !tenants.contains("\"promoted\":true") {
+        return Err(io::Error::other(format!("/tenants wrong: {tenants}")));
+    }
+    let fr = http_get(&admin_addr, "/flightrecorder")?;
+    if !fr.contains("\"op\":\"query\"") || !fr.contains("\"tree\":[") {
+        return Err(io::Error::other(format!(
+            "/flightrecorder missing entries or slow trees: {}",
+            &fr[..fr.len().min(300)]
+        )));
+    }
+    writeln!(
+        w,
+        "  admin: /healthz 200, /tenants lists t0 promoted, /flightrecorder has \
+         entries + slow span trees"
+    )?;
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e24\",\n  {},\n  \
+         \"connections\": {CONNS},\n  \"rounds\": {ROUNDS},\n  \
+         \"obs_off_qps\": {qps_off:.0},\n  \"obs_on_qps\": {qps_on:.0},\n  \
+         \"overhead_fraction\": {overhead:.4},\n  \
+         \"spans_per_trace\": {},\n  \"span_structure_stable\": true,\n  \
+         \"admin_endpoints_verified\": true\n}}\n",
+        host_context_json(CONNS),
+        reference.len(),
+    );
+    std::fs::write("BENCH_e24.json", json)?;
+    writeln!(w, "  wrote BENCH_e24.json")?;
+    Ok(())
+}
+
+/// E24's CI gate: one full wire session with `--trace` semantics — a
+/// traced query whose span tree must be non-empty, carry the six
+/// expected phases, and partition the root exactly — plus a traced
+/// load run, and a tracing-off QPS guard. The guard is an *in-run*
+/// A/B against an obs-off server measured in the same process seconds
+/// apart (a recorded cross-machine baseline would make a QPS floor
+/// pure noise; the absolute floor and the recorded-E23 sanity floor
+/// from `e23-smoke` still apply underneath). The floor is 90% rather
+/// than the 95% design target: short CI rounds on a small shared
+/// runner swing ±6% run to run, and 95% false-fails on noise alone —
+/// E24 proper measures the real overhead against the 5% target.
+fn e24_smoke(w: &mut dyn Write) -> io::Result<()> {
+    use std::time::Duration;
+
+    use cpplookup_server::cli::live_probes;
+    use cpplookup_server::loadgen::{self, LoadConfig, TenantTarget};
+    use cpplookup_server::{Client, ObsConfig, Server, ServerConfig};
+    use cpplookup_snapshot::{Snapshot, SnapshotTable};
+
+    const PHASES: [&str; 6] = [
+        "queue_wait",
+        "frame_decode",
+        "tenant_resolve",
+        "promotion_wait",
+        "directory_probe",
+        "encode",
+    ];
+
+    writeln!(w, "E24-smoke: traced wire session + obs overhead guard")?;
+    let dir = BenchDir::new("e24-smoke")?;
+    let chg = families::interface_heavy(100, 4);
+    let snap_path = dir.file("smoke.snap");
+    Snapshot::compile(&chg)
+        .write_to(&snap_path)
+        .map_err(io::Error::other)?;
+    let table = SnapshotTable::load(&snap_path).map_err(io::Error::other)?;
+    let probes = live_probes(&table);
+    let wire = |e: cpplookup_server::client::ClientError| io::Error::other(e.to_string());
+
+    let start = |enabled: bool| -> io::Result<(Server, String)> {
+        let server = Server::start(ServerConfig {
+            preload: vec![("t0".to_owned(), snap_path.clone())],
+            obs: ObsConfig {
+                enabled,
+                ..ObsConfig::default()
+            },
+            ..ServerConfig::default()
+        })?;
+        let addr = server.addr().to_string();
+        Ok((server, addr))
+    };
+    let (_on, on_addr) = start(true)?;
+    let (_off, off_addr) = start(false)?;
+
+    // 1. Traced query: non-empty span tree, the six phases in order,
+    //    durations summing to the root exactly.
+    let mut client = Client::connect(on_addr.as_str(), Some(Duration::from_secs(10)))
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let (class, member) = &probes[0];
+    let (_, spans) = client.query_traced("t0", class, member).map_err(wire)?;
+    if spans.len() != 1 + PHASES.len() {
+        return Err(io::Error::other(format!(
+            "expected root + {} phases, got {} spans",
+            PHASES.len(),
+            spans.len()
+        )));
+    }
+    let mut sum = 0u64;
+    for (s, want) in spans[1..].iter().zip(PHASES) {
+        if s.label != want {
+            return Err(io::Error::other(format!(
+                "phase `{}` where `{want}` expected",
+                s.label
+            )));
+        }
+        if s.parent != spans[0].id {
+            return Err(io::Error::other("phase not parented to the root span"));
+        }
+        sum += s.duration_ns;
+    }
+    if sum != spans[0].duration_ns {
+        return Err(io::Error::other(format!(
+            "phase durations sum to {sum}, root is {} — partition must be exact",
+            spans[0].duration_ns
+        )));
+    }
+    writeln!(
+        w,
+        "  trace: {} spans, phases sum to root ({} ns) exactly",
+        spans.len(),
+        spans[0].duration_ns
+    )?;
+
+    // 2. A traced load run aggregates attribution.
+    let targets = [TenantTarget {
+        name: "t0".to_owned(),
+        probes: probes.clone(),
+    }];
+    let traced = loadgen::run(
+        &LoadConfig {
+            addr: on_addr.clone(),
+            connections: 2,
+            duration: Duration::from_millis(300),
+            trace: true,
+            ..LoadConfig::default()
+        },
+        &targets,
+    )?;
+    if traced.traced == 0 || traced.phases.len() != PHASES.len() {
+        return Err(io::Error::other(format!(
+            "traced load run attributed {} requests over {} phases",
+            traced.traced,
+            traced.phases.len()
+        )));
+    }
+    writeln!(
+        w,
+        "  traced load: {} requests attributed over {} phases",
+        traced.traced,
+        traced.phases.len()
+    )?;
+
+    // 3. Tracing-off overhead guard: obs-on vs obs-off, interleaved in
+    //    the same process.
+    let drive = |addr: &str| -> io::Result<(u64, f64)> {
+        let report = loadgen::run(
+            &LoadConfig {
+                addr: addr.to_owned(),
+                connections: 2,
+                duration: Duration::from_millis(400),
+                ..LoadConfig::default()
+            },
+            &targets,
+        )?;
+        if report.errors > 0 {
+            return Err(io::Error::other(format!("{} load errors", report.errors)));
+        }
+        Ok((report.requests, report.elapsed.as_secs_f64()))
+    };
+    drive(&on_addr)?; // warm
+    drive(&off_addr)?;
+    // A genuine regression slows *every* round; a scheduler hiccup on a
+    // shared runner hits one. Gate on the best round's ratio.
+    let mut best = 0f64;
+    let mut rounds = Vec::new();
+    for _ in 0..3 {
+        let (r_off, s_off) = drive(&off_addr)?;
+        let (r_on, s_on) = drive(&on_addr)?;
+        let qps_off = r_off as f64 / s_off.max(1e-9);
+        let qps_on = r_on as f64 / s_on.max(1e-9);
+        best = best.max(qps_on / qps_off.max(f64::MIN_POSITIVE));
+        rounds.push(format!("{qps_on:.0}/{qps_off:.0}"));
+    }
+    writeln!(
+        w,
+        "  overhead guard: obs-on/obs-off qps per round [{}], best ratio {best:.3} \
+         (floor 0.90)",
+        rounds.join(", ")
+    )?;
+    if best < 0.90 {
+        return Err(io::Error::other(format!(
+            "obs layer costs more than 10% in every round (best ratio {best:.3})"
+        )));
+    }
+    writeln!(w, "  guard: PASS")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1911,7 +2319,7 @@ mod tests {
         // Don't run the heavy ones here; just verify dispatch exists by
         // name for every id in ALL (compile-time exhaustiveness is
         // enforced by the match).
-        assert_eq!(ALL.len(), 23);
+        assert_eq!(ALL.len(), 24);
         assert!(ALL.iter().all(|id| id.starts_with('e')));
     }
 }

@@ -9,12 +9,18 @@
 //!
 //! * [`Counter`], [`Gauge`], [`Histogram`] — relaxed-atomic primitives
 //!   whose record path is one or two uncontended read-modify-writes;
-//! * [`Family`] — a labelled set of counters
-//!   (`…{shard="3"}`);
+//! * [`Family`], [`GaugeFamily`], [`HistogramFamily`], [`Family2`] —
+//!   labelled metric families (`…{shard="3"}`,
+//!   `…{tenant="acme",op="query"}`) with a bounded-cardinality guard:
+//!   past a per-family limit, unseen label values share one `other`
+//!   series instead of growing the registry without bound;
 //! * [`Registry`] — named get-or-create registration returning `Arc`
 //!   handles, so hot paths never touch the registry lock;
 //! * [`Snapshot`] — point-in-time export as human-readable text,
 //!   Prometheus text exposition, or JSON;
+//! * [`Span`] / [`SpanRecorder`] / [`SpanBuffer`] — request-scoped
+//!   phase attribution: single-writer span trees with per-trace
+//!   monotonic ids and oldest-dropped overflow;
 //! * [`Event`] / [`EventSink`] — structured per-query trace events
 //!   ([`MemorySink`], [`CountingSink`], [`NullSink`] provided).
 //!
@@ -30,7 +36,12 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod span;
 
 pub use event::{CountingSink, Event, EventSink, MemorySink, NullSink};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-pub use registry::{global, Family, MetricSnapshot, MetricValue, Registry, Snapshot};
+pub use registry::{
+    global, Family, Family2, GaugeFamily, HistogramFamily, MetricSnapshot, MetricValue, Registry,
+    Snapshot,
+};
+pub use span::{Span, SpanBuffer, SpanRecorder, OVERFLOW_LABEL};

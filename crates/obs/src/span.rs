@@ -1,0 +1,261 @@
+//! Request-scoped tracing: spans and the per-connection span buffer.
+//!
+//! A [`Span`] is one attributed interval of a request's life — "this
+//! query spent 1.4 µs in the directory probe". Spans form a tree
+//! through parent ids; the server's wire path records one root span per
+//! request whose children partition it phase by phase, so the phase
+//! durations sum to the request total *by construction* rather than by
+//! luck.
+//!
+//! Recording is deliberately single-writer: a [`SpanRecorder`] belongs
+//! to one request on one connection thread, so the hot path is plain
+//! arithmetic — no locks, no atomics, no allocation beyond the span
+//! labels themselves. Ids are assigned monotonically *per trace*
+//! (starting at zero), which keeps a trace's structure byte-stable
+//! across runs: two executions of the same request produce the same
+//! ids, parents, and labels, differing only in measured durations.
+//!
+//! A [`SpanBuffer`] bounds what one connection can accumulate: past its
+//! capacity the *oldest* span is dropped and a drop counter ticks, so a
+//! pathological request cannot grow memory without bound and the loss
+//! is visible instead of silent.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// The label series overflowing spans and metric families collapse to.
+pub const OVERFLOW_LABEL: &str = "other";
+
+/// One attributed interval in a request's execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Monotonic id within the trace (the root is 0).
+    pub id: u64,
+    /// Parent span id; `None` for the root.
+    pub parent: Option<u64>,
+    /// Phase label (`"directory_probe"`, `"encode"`, …).
+    pub label: String,
+    /// Start offset from the trace origin, nanoseconds.
+    pub start_ns: u64,
+    /// Measured duration, nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// A bounded buffer of completed spans: per-connection, single-writer,
+/// oldest-dropped on overflow.
+#[derive(Debug)]
+pub struct SpanBuffer {
+    capacity: usize,
+    spans: VecDeque<Span>,
+    dropped: u64,
+}
+
+impl SpanBuffer {
+    /// A buffer holding at most `capacity` spans (at least 1).
+    pub fn new(capacity: usize) -> SpanBuffer {
+        SpanBuffer {
+            capacity: capacity.max(1),
+            spans: VecDeque::with_capacity(capacity.clamp(1, 64)),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a completed span, evicting the oldest one (and counting
+    /// the eviction) when the buffer is full.
+    pub fn push(&mut self, span: Span) {
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(span);
+    }
+
+    /// Spans currently buffered, oldest first.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the buffer holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// How many spans were evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The buffered spans, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+
+    /// Consumes the buffer, returning `(spans oldest-first, dropped)`.
+    pub fn into_parts(self) -> (Vec<Span>, u64) {
+        (self.spans.into(), self.dropped)
+    }
+}
+
+/// Records one request's span tree against a fixed time origin.
+///
+/// Owned by the connection thread handling the request; ids start at 0
+/// and increase in recording order, so the recorded *structure* (ids,
+/// parents, labels, ordering) is a pure function of the code path
+/// taken, independent of the clock.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    origin: Instant,
+    next_id: u64,
+    buffer: SpanBuffer,
+}
+
+impl SpanRecorder {
+    /// A recorder whose origin is `origin` (usually the instant the
+    /// request's first byte was seen), buffering at most `capacity`
+    /// spans.
+    pub fn new(origin: Instant, capacity: usize) -> SpanRecorder {
+        SpanRecorder {
+            origin,
+            next_id: 0,
+            buffer: SpanBuffer::new(capacity),
+        }
+    }
+
+    /// The trace's time origin.
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+
+    /// Records one completed interval and returns its span id.
+    ///
+    /// `start`/`end` before the origin clamp to it (duration clamps to
+    /// zero rather than wrapping).
+    pub fn record(
+        &mut self,
+        label: &str,
+        parent: Option<u64>,
+        start: Instant,
+        end: Instant,
+    ) -> u64 {
+        let start_ns = start.saturating_duration_since(self.origin).as_nanos() as u64;
+        let duration_ns = end.saturating_duration_since(start).as_nanos() as u64;
+        self.record_ns(label, parent, start_ns, duration_ns)
+    }
+
+    /// Records one completed interval from pre-computed offsets (used
+    /// when the caller partitions a measured total exactly).
+    pub fn record_ns(
+        &mut self,
+        label: &str,
+        parent: Option<u64>,
+        start_ns: u64,
+        duration_ns: u64,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.buffer.push(Span {
+            id,
+            parent,
+            label: label.to_owned(),
+            start_ns,
+            duration_ns,
+        });
+        id
+    }
+
+    /// Spans evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.buffer.dropped()
+    }
+
+    /// Finishes the trace: `(spans oldest-first, dropped count)`.
+    pub fn finish(self) -> (Vec<Span>, u64) {
+        self.buffer.into_parts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn buffer_drops_oldest_and_counts() {
+        let mut buf = SpanBuffer::new(3);
+        for i in 0..5u64 {
+            buf.push(Span {
+                id: i,
+                parent: None,
+                label: format!("s{i}"),
+                start_ns: i,
+                duration_ns: 1,
+            });
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 2, "two oldest evicted");
+        let ids: Vec<u64> = buf.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![2, 3, 4], "oldest dropped, newest kept");
+        let (spans, dropped) = buf.into_parts();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(dropped, 2);
+    }
+
+    #[test]
+    fn buffer_capacity_is_at_least_one() {
+        let mut buf = SpanBuffer::new(0);
+        buf.push(Span {
+            id: 0,
+            parent: None,
+            label: "a".into(),
+            start_ns: 0,
+            duration_ns: 0,
+        });
+        buf.push(Span {
+            id: 1,
+            parent: None,
+            label: "b".into(),
+            start_ns: 0,
+            duration_ns: 0,
+        });
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.dropped(), 1);
+    }
+
+    #[test]
+    fn recorder_ids_are_monotonic_from_zero() {
+        let origin = Instant::now();
+        let mut rec = SpanRecorder::new(origin, 16);
+        let root = rec.record_ns("request", None, 0, 100);
+        let child = rec.record_ns("probe", Some(root), 0, 60);
+        assert_eq!(root, 0);
+        assert_eq!(child, 1);
+        let (spans, dropped) = rec.finish();
+        assert_eq!(dropped, 0);
+        assert_eq!(spans[0].label, "request");
+        assert_eq!(spans[1].parent, Some(0));
+    }
+
+    #[test]
+    fn recorder_clamps_pre_origin_instants() {
+        let origin = Instant::now() + Duration::from_secs(3600);
+        let mut rec = SpanRecorder::new(origin, 4);
+        let now = Instant::now();
+        rec.record("early", None, now, now);
+        let (spans, _) = rec.finish();
+        assert_eq!(spans[0].start_ns, 0, "pre-origin start clamps to 0");
+        assert_eq!(spans[0].duration_ns, 0);
+    }
+
+    #[test]
+    fn recorder_overflow_increments_dropped() {
+        let mut rec = SpanRecorder::new(Instant::now(), 2);
+        for _ in 0..5 {
+            rec.record_ns("p", None, 0, 1);
+        }
+        assert_eq!(rec.dropped(), 3);
+        let (spans, dropped) = rec.finish();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(dropped, 3);
+        assert_eq!(spans[0].id, 3, "ids keep climbing past evictions");
+    }
+}

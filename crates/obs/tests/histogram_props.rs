@@ -1,0 +1,109 @@
+//! Property tests for histogram merging and quantile estimation, with
+//! shards recorded concurrently — the exact shape the server's loadgen
+//! and per-tenant histogram families rely on: per-thread histograms
+//! merged into one at export time.
+
+use cpplookup_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Records each shard's observations on its own thread, snapshots after
+/// joining, and returns the per-shard snapshots.
+fn record_sharded(bounds: &[u64], shards: &[Vec<u64>]) -> Vec<HistogramSnapshot> {
+    let hists: Vec<Histogram> = shards.iter().map(|_| Histogram::new(bounds)).collect();
+    std::thread::scope(|s| {
+        for (h, values) in hists.iter().zip(shards) {
+            s.spawn(move || {
+                for &v in values {
+                    h.observe(v);
+                }
+            });
+        }
+    });
+    hists.iter().map(|h| h.snapshot()).collect()
+}
+
+proptest! {
+    /// A merge of concurrently-recorded shards holds exactly the union
+    /// of the observations, and the merged quantile estimate brackets
+    /// the per-shard quantile estimates: bucket-upper-bound quantiles
+    /// are monotone in the data, so a pooled q-quantile can never fall
+    /// below every shard's nor above every shard's.
+    #[test]
+    fn merged_quantiles_bracket_per_shard_quantiles(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..5_000, 1..80),
+            1..6,
+        ),
+        q in 0.0f64..1.0,
+    ) {
+        let bounds = [8u64, 64, 512, 4096, 32_768];
+        let snaps = record_sharded(&bounds, &shards);
+        let mut merged = Histogram::new(&bounds).snapshot();
+        for s in &snaps {
+            merged.merge(s);
+        }
+        let total: u64 = shards.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(merged.count, total, "no observation lost in merge");
+        let sum: u64 = shards.iter().flatten().sum();
+        prop_assert_eq!(merged.sum, sum);
+        let shard_qs: Vec<u64> = snaps.iter().map(|s| s.quantile(q)).collect();
+        let merged_q = merged.quantile(q);
+        let lo = *shard_qs.iter().min().unwrap();
+        let hi = *shard_qs.iter().max().unwrap();
+        prop_assert!(
+            lo <= merged_q && merged_q <= hi,
+            "merged q={} estimate {} outside shard bracket [{}, {}]",
+            q, merged_q, lo, hi
+        );
+    }
+
+    /// Merge is order-independent: folding the shards in any rotation
+    /// yields identical buckets, so exporters may merge in whatever
+    /// order workers finish.
+    #[test]
+    fn merge_is_commutative(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..10_000, 0..40),
+            2..5,
+        ),
+        rot in 0usize..4,
+    ) {
+        let bounds = [16u64, 256, 4096];
+        let snaps = record_sharded(&bounds, &shards);
+        let mut forward = Histogram::new(&bounds).snapshot();
+        for s in &snaps {
+            forward.merge(s);
+        }
+        let mut rotated = Histogram::new(&bounds).snapshot();
+        let k = rot % snaps.len();
+        for s in snaps[k..].iter().chain(&snaps[..k]) {
+            rotated.merge(s);
+        }
+        prop_assert_eq!(forward, rotated);
+    }
+
+    /// The quantile estimate is always one of the bucket upper bounds
+    /// and is monotone in q.
+    #[test]
+    fn quantile_is_monotone_over_bucket_bounds(
+        values in proptest::collection::vec(0u64..100_000, 1..120),
+    ) {
+        let bounds = [10u64, 100, 1000, 10_000];
+        let h = Histogram::new(&bounds);
+        for &v in &values {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let mut last = 0u64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let est = s.quantile(q);
+            prop_assert!(
+                bounds.contains(&est) || est == u64::MAX,
+                "estimate {est} is not a bucket bound"
+            );
+            prop_assert!(est >= last, "quantile must be monotone in q");
+            last = est;
+        }
+    }
+}

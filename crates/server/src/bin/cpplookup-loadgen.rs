@@ -5,6 +5,9 @@
 //!                   [--tenants N] [--load] [--connections N]
 //!                   [--duration-secs N] [--rate QPS] [--batch N]
 //!                   [--tenant-skew S] [--probe-skew S] [--seed N]
+//!                   [--trace]
+//! cpplookup-loadgen query --addr HOST:PORT --tenant NAME CLASS MEMBER
+//!                   [--trace]
 //! ```
 //!
 //! The snapshot is opened *locally* to enumerate real class/member
@@ -12,18 +15,40 @@
 //! out as `t0..tN-1`, and `--load` issues the `LOAD` requests first
 //! (the server must be able to read `PATH` too — same host). Without
 //! `--rate` the run is closed-loop; with it, open-loop at that
-//! aggregate rate. Prints the human summary line to stdout.
+//! aggregate rate. Prints the human summary line to stdout; with
+//! `--trace` every request carries the protocol TRACE flag and the
+//! summary gains the server-side per-phase attribution.
+//!
+//! The `query` form sends one wire query and prints the outcome —
+//! with `--trace`, the server's span tree follows as an attributed
+//! breakdown.
 //!
 //! Flag parsing and the run body live in [`cpplookup_server::cli`],
 //! shared with the main CLI's `loadgen` subcommand.
 
 use std::process::ExitCode;
 
-use cpplookup_server::cli::{parse_loadgen_args, run_loadgen, LOADGEN_USAGE};
+use cpplookup_server::cli::{
+    parse_loadgen_args, parse_query_args, run_loadgen, run_wire_query, LOADGEN_USAGE, QUERY_USAGE,
+};
 
 fn usage() -> ExitCode {
     eprintln!("usage: cpplookup-loadgen {LOADGEN_USAGE}");
+    eprintln!("       cpplookup-loadgen {QUERY_USAGE}");
     ExitCode::from(2)
+}
+
+fn report(result: Result<String, String>) -> ExitCode {
+    match result {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -32,6 +57,15 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::SUCCESS;
     }
+    if args.first().map(String::as_str) == Some("query") {
+        return match parse_query_args(&args[1..]) {
+            Ok(q) => report(run_wire_query(&q)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        };
+    }
     let parsed = match parse_loadgen_args(&args) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -39,14 +73,5 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    match run_loadgen(&parsed) {
-        Ok(report) => {
-            println!("{report}");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
-        }
-    }
+    report(run_loadgen(&parsed))
 }

@@ -3,11 +3,20 @@
 //! ```text
 //! cpplookup-serverd [--addr HOST:PORT] [--max-connections N]
 //!                   [--read-timeout-secs N] [--tenant NAME=PATH]...
+//!                   [--no-obs] [--recorder-capacity N]
+//!                   [--slow-threshold-ms N] [--tenant-cardinality N]
 //! ```
 //!
 //! Prints `listening on ADDR` to stderr once the socket is bound (the
 //! CLI's `serve` subcommand and the tests read the real port from that
 //! line when port 0 was requested), then serves until killed.
+//!
+//! The `--no-obs` family of flags controls the observability layer:
+//! per-tenant metric families and the flight recorder (dumped from
+//! `GET /flightrecorder` on the same port; `GET /healthz`, `/tenants`,
+//! and `/metrics` are always available). Request tracing via the
+//! protocol TRACE flag is always honored and costs nothing when no
+//! client asks for it.
 //!
 //! Flag parsing and the serve loop live in [`cpplookup_server::cli`],
 //! shared with the main CLI's `serve` subcommand.

@@ -10,16 +10,21 @@ use std::time::Duration;
 
 use crate::client::Client;
 use crate::loadgen::{self, LoadConfig, Pacing, TenantTarget};
+use crate::protocol::WireSpan;
 use crate::server::{Server, ServerConfig};
 
 /// Usage text for the server front end.
 pub const SERVE_USAGE: &str = "[--addr HOST:PORT] [--max-connections N] \
-     [--read-timeout-secs N] [--tenant NAME=PATH]...";
+     [--read-timeout-secs N] [--tenant NAME=PATH]... [--no-obs] \
+     [--recorder-capacity N] [--slow-threshold-ms N] [--tenant-cardinality N]";
 
 /// Usage text for the load-generator front end.
 pub const LOADGEN_USAGE: &str = "--addr HOST:PORT --snapshot PATH [--tenants N] [--load] \
      [--connections N] [--duration-secs N] [--rate QPS] [--batch N] \
-     [--tenant-skew S] [--probe-skew S] [--seed N]";
+     [--tenant-skew S] [--probe-skew S] [--seed N] [--trace]";
+
+/// Usage text for the one-shot wire query front end.
+pub const QUERY_USAGE: &str = "query --addr HOST:PORT --tenant NAME CLASS MEMBER [--trace]";
 
 /// Parses server flags into a [`ServerConfig`].
 ///
@@ -55,6 +60,28 @@ pub fn parse_server_args(args: &[String]) -> Result<ServerConfig, String> {
                     }
                     _ => return Err(format!("--tenant wants NAME=PATH, got `{spec}`")),
                 }
+            }
+            "--no-obs" => config.obs.enabled = false,
+            "--recorder-capacity" => {
+                config.obs.recorder_capacity = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--recorder-capacity wants a positive number")?;
+            }
+            "--slow-threshold-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--slow-threshold-ms wants a number")?;
+                config.obs.slow_threshold = Duration::from_millis(ms);
+            }
+            "--tenant-cardinality" => {
+                config.obs.tenant_cardinality = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--tenant-cardinality wants a positive number")?;
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -170,6 +197,7 @@ pub fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--seed wants a number")?;
             }
+            "--trace" => out.config.trace = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -228,6 +256,102 @@ pub fn run_loadgen(args: &LoadgenArgs) -> Result<String, String> {
     }
     let report = loadgen::run(&args.config, &targets).map_err(|e| e.to_string())?;
     Ok(report.render())
+}
+
+/// Parsed one-shot wire query invocation.
+pub struct QueryArgs {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Tenant to query.
+    pub tenant: String,
+    /// Class name.
+    pub class: String,
+    /// Member name.
+    pub member: String,
+    /// Ask the server for the span tree and print the breakdown.
+    pub trace: bool,
+}
+
+/// Parses one-shot query flags (positional `CLASS MEMBER` plus flags).
+///
+/// # Errors
+///
+/// A one-line description of the offending flag.
+pub fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
+    let mut out = QueryArgs {
+        addr: String::new(),
+        tenant: String::new(),
+        class: String::new(),
+        member: String::new(),
+        trace: false,
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => out.addr = it.next().ok_or("--addr wants HOST:PORT")?.clone(),
+            "--tenant" => out.tenant = it.next().ok_or("--tenant wants NAME")?.clone(),
+            "--trace" => out.trace = true,
+            other if !other.starts_with("--") => positional.push(other.to_owned()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    match positional.as_slice() {
+        [class, member] => {
+            out.class = class.clone();
+            out.member = member.clone();
+        }
+        _ => return Err("expected exactly CLASS MEMBER".to_owned()),
+    }
+    if out.addr.is_empty() {
+        return Err("--addr is required".to_owned());
+    }
+    if out.tenant.is_empty() {
+        return Err("--tenant is required".to_owned());
+    }
+    Ok(out)
+}
+
+/// Runs one wire query and renders the outcome — with `--trace`, the
+/// server's span tree follows as an attributed breakdown.
+///
+/// # Errors
+///
+/// A one-line description of what failed.
+pub fn run_wire_query(args: &QueryArgs) -> Result<String, String> {
+    let mut client = Client::connect(args.addr.as_str(), Some(Duration::from_secs(10)))
+        .map_err(|e| format!("cannot connect to {}: {e}", args.addr))?;
+    if args.trace {
+        let (outcome, spans) = client
+            .query_traced(&args.tenant, &args.class, &args.member)
+            .map_err(|e| e.to_string())?;
+        Ok(format!("{outcome:?}\n{}", render_spans(&spans)))
+    } else {
+        let outcome = client
+            .query(&args.tenant, &args.class, &args.member)
+            .map_err(|e| e.to_string())?;
+        Ok(format!("{outcome:?}"))
+    }
+}
+
+/// Renders a span tree as an indented, percent-attributed breakdown —
+/// what `--trace` prints under the outcome.
+pub fn render_spans(spans: &[WireSpan]) -> String {
+    let total = spans
+        .iter()
+        .find(|s| s.parent_id().is_none())
+        .map_or(0, |root| root.duration_ns);
+    let mut out = String::new();
+    for s in spans {
+        let indent = if s.parent_id().is_none() { "" } else { "  " };
+        out.push_str(&format!(
+            "{indent}{:<18} {:>9.1}us  {:5.1}%\n",
+            s.label,
+            s.duration_ns as f64 / 1e3,
+            100.0 * s.duration_ns as f64 / total.max(1) as f64,
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -291,5 +415,68 @@ mod tests {
             parse_loadgen_args(&strs(&["--addr", "h:1", "--snapshot", "x", "--rate", "-1"]))
                 .is_err()
         );
+    }
+
+    #[test]
+    fn loadgen_trace_flag_parses() {
+        let args =
+            parse_loadgen_args(&strs(&["--addr", "h:1", "--snapshot", "x", "--trace"])).unwrap();
+        assert!(args.config.trace);
+        let args = parse_loadgen_args(&strs(&["--addr", "h:1", "--snapshot", "x"])).unwrap();
+        assert!(!args.config.trace);
+    }
+
+    #[test]
+    fn server_obs_flags_parse() {
+        let cfg = parse_server_args(&strs(&[
+            "--no-obs",
+            "--recorder-capacity",
+            "32",
+            "--slow-threshold-ms",
+            "5",
+            "--tenant-cardinality",
+            "8",
+        ]))
+        .unwrap();
+        assert!(!cfg.obs.enabled);
+        assert_eq!(cfg.obs.recorder_capacity, 32);
+        assert_eq!(cfg.obs.slow_threshold, Duration::from_millis(5));
+        assert_eq!(cfg.obs.tenant_cardinality, 8);
+        assert!(parse_server_args(&strs(&["--recorder-capacity", "0"])).is_err());
+    }
+
+    #[test]
+    fn query_args_parse_and_validate() {
+        let q = parse_query_args(&strs(&[
+            "--addr", "h:1", "--tenant", "t", "--trace", "E", "m",
+        ]))
+        .unwrap();
+        assert_eq!((q.class.as_str(), q.member.as_str()), ("E", "m"));
+        assert!(q.trace);
+        assert!(parse_query_args(&strs(&["--addr", "h:1", "E", "m"])).is_err());
+        assert!(parse_query_args(&strs(&["--addr", "h:1", "--tenant", "t", "E"])).is_err());
+    }
+
+    #[test]
+    fn render_spans_attributes_percentages() {
+        let spans = vec![
+            WireSpan {
+                id: 0,
+                parent: u64::MAX,
+                label: "request".into(),
+                start_ns: 0,
+                duration_ns: 1000,
+            },
+            WireSpan {
+                id: 1,
+                parent: 0,
+                label: "directory_probe".into(),
+                start_ns: 0,
+                duration_ns: 750,
+            },
+        ];
+        let text = render_spans(&spans);
+        assert!(text.contains("request"), "{text}");
+        assert!(text.contains("75.0%"), "{text}");
     }
 }

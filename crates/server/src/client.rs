@@ -13,7 +13,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, Request, Response, WireOutcome,
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, WireOutcome, WireSpan,
     PROTOCOL_VERSION,
 };
 
@@ -167,9 +167,40 @@ impl Client {
                 tenant: tenant.to_owned(),
                 class: class.to_owned(),
                 member: member.to_owned(),
+                trace: false,
             },
             |r| match r {
                 Response::Outcome(o) => Ok(o),
+                other => Err(other),
+            },
+        )
+    }
+
+    /// One point lookup with the TRACE flag set; returns the outcome
+    /// plus the server's span tree attributing where the request's
+    /// time went.
+    ///
+    /// # Errors
+    ///
+    /// As for [`query`](Client::query).
+    pub fn query_traced(
+        &mut self,
+        tenant: &str,
+        class: &str,
+        member: &str,
+    ) -> Result<(WireOutcome, Vec<WireSpan>), ClientError> {
+        self.expect(
+            &Request::Query {
+                tenant: tenant.to_owned(),
+                class: class.to_owned(),
+                member: member.to_owned(),
+                trace: true,
+            },
+            |r| match r {
+                Response::Traced {
+                    mut outcomes,
+                    spans,
+                } if outcomes.len() == 1 => Ok((outcomes.remove(0), spans)),
                 other => Err(other),
             },
         )
@@ -189,9 +220,34 @@ impl Client {
             &Request::Batch {
                 tenant: tenant.to_owned(),
                 probes: probes.to_vec(),
+                trace: false,
             },
             |r| match r {
                 Response::Outcomes(o) => Ok(o),
+                other => Err(other),
+            },
+        )
+    }
+
+    /// A batch of lookups with the TRACE flag set; the span tree
+    /// attributes the whole batch, not each probe.
+    ///
+    /// # Errors
+    ///
+    /// As for [`batch`](Client::batch).
+    pub fn batch_traced(
+        &mut self,
+        tenant: &str,
+        probes: &[(String, String)],
+    ) -> Result<(Vec<WireOutcome>, Vec<WireSpan>), ClientError> {
+        self.expect(
+            &Request::Batch {
+                tenant: tenant.to_owned(),
+                probes: probes.to_vec(),
+                trace: true,
+            },
+            |r| match r {
+                Response::Traced { outcomes, spans } => Ok((outcomes, spans)),
                 other => Err(other),
             },
         )

@@ -31,6 +31,7 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
 
 use cpplookup_chg::fxmap::FxHashMap;
 use cpplookup_chg::{Chg, ClassId, Edit, Inheritance, MemberDecl, MemberId, MemberKind};
@@ -42,6 +43,52 @@ use crate::protocol::{ErrorCode, WireLv, WireOutcome};
 
 /// A request-level failure: the structured code plus a human message.
 pub type FarmError = (ErrorCode, String);
+
+/// Phase boundaries captured inside a traced probe, as instants: after
+/// name resolution, after the serve handle was obtained (on a cold
+/// tenant this absorbs the index build — the "promotion wait"), and
+/// after the directory probe produced wire outcomes. Together with the
+/// caller's own decode/encode stamps these partition a request
+/// end-to-end.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeTiming {
+    /// Names resolved to ids (includes the tenant-map lookup).
+    pub resolved: Instant,
+    /// Publication handle loaded; cold tenants pay the index pack here.
+    pub promoted: Instant,
+    /// Directory probed and outcomes converted back to names.
+    pub probed: Instant,
+}
+
+/// Per-tenant metric families, shared by every tenant in a farm.
+/// `None` on a farm built with observability off — the E19/E24
+/// baseline — in which case tenants keep only their local atomics.
+struct FarmMetrics {
+    /// `tenant_promotions_total{tenant}`.
+    promotions: Arc<cpplookup_obs::Family>,
+    /// `tenant_epoch{tenant}`: the currently published index epoch.
+    epoch: Arc<cpplookup_obs::GaugeFamily>,
+}
+
+impl FarmMetrics {
+    fn new(cardinality: usize) -> FarmMetrics {
+        let obs = cpplookup_obs::global();
+        FarmMetrics {
+            promotions: obs.counter_family_bounded(
+                "tenant_promotions_total",
+                "snapshot-to-index promotions, by tenant",
+                "tenant",
+                cardinality,
+            ),
+            epoch: obs.gauge_family(
+                "tenant_epoch",
+                "currently published index epoch, by tenant",
+                "tenant",
+                cardinality,
+            ),
+        }
+    }
+}
 
 /// Name ↔ id mapping for one tenant, rebuilt wholesale on edit (edits
 /// are rare and append-only; queries only take the read lock).
@@ -150,10 +197,11 @@ pub struct Tenant {
     names: RwLock<Arc<Names>>,
     queries: AtomicU64,
     edits: AtomicU64,
+    metrics: Option<Arc<FarmMetrics>>,
 }
 
 impl Tenant {
-    fn new(name: String, table: SnapshotTable) -> Tenant {
+    fn new(name: String, table: SnapshotTable, metrics: Option<Arc<FarmMetrics>>) -> Tenant {
         let names = Names::from_snapshot(&table);
         Tenant {
             name,
@@ -163,6 +211,7 @@ impl Tenant {
             names: RwLock::new(Arc::new(names)),
             queries: AtomicU64::new(0),
             edits: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -181,6 +230,10 @@ impl Tenant {
                     "tenants promoted from snapshot to dispatch index",
                 )
                 .inc();
+            if let Some(m) = &self.metrics {
+                m.promotions.with_label(&self.name).inc();
+                m.epoch.with_label(&self.name).set(0);
+            }
             ServeHandle::serving(&*self.snapshot)
         })
     }
@@ -190,14 +243,40 @@ impl Tenant {
     }
 
     fn query_now(&self, class: &str, member: &str) -> Result<WireOutcome, FarmError> {
+        Ok(self.query_now_timed(class, member)?.0)
+    }
+
+    fn query_now_timed(
+        &self,
+        class: &str,
+        member: &str,
+    ) -> Result<(WireOutcome, ProbeTiming), FarmError> {
         self.queries.fetch_add(1, Ordering::Relaxed);
         let names = self.names();
         let (c, m) = (names.class(class)?, names.member(member)?);
+        let resolved = Instant::now();
         let published = self.promote().load();
-        Ok(names.wire(&published.index().lookup(c, m)))
+        let promoted = Instant::now();
+        let outcome = names.wire(&published.index().lookup(c, m));
+        let probed = Instant::now();
+        Ok((
+            outcome,
+            ProbeTiming {
+                resolved,
+                promoted,
+                probed,
+            },
+        ))
     }
 
     fn batch_now(&self, probes: &[(String, String)]) -> Result<Vec<WireOutcome>, FarmError> {
+        Ok(self.batch_now_timed(probes)?.0)
+    }
+
+    fn batch_now_timed(
+        &self,
+        probes: &[(String, String)],
+    ) -> Result<(Vec<WireOutcome>, ProbeTiming), FarmError> {
         self.queries
             .fetch_add(probes.len() as u64, Ordering::Relaxed);
         let names = self.names();
@@ -205,13 +284,24 @@ impl Tenant {
             .iter()
             .map(|(class, member)| Ok((names.class(class)?, names.member(member)?)))
             .collect::<Result<Vec<_>, FarmError>>()?;
+        let resolved = Instant::now();
         let published = self.promote().load();
-        Ok(published
+        let promoted = Instant::now();
+        let outcomes = published
             .index()
             .lookup_batch(&ids)
             .iter()
             .map(|o| names.wire(o))
-            .collect())
+            .collect();
+        let probed = Instant::now();
+        Ok((
+            outcomes,
+            ProbeTiming {
+                resolved,
+                promoted,
+                probed,
+            },
+        ))
     }
 
     fn edit_now(&self, directive: &str) -> Result<u64, FarmError> {
@@ -235,6 +325,9 @@ impl Tenant {
         *self.names.write().expect("names lock poisoned") =
             Arc::new(Names::from_chg(serving.engine().chg()));
         self.edits.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.epoch.with_label(&self.name).set(epoch as i64);
+        }
         Ok(epoch)
     }
 
@@ -293,7 +386,7 @@ fn parse_directive(directive: &str, names: &Names) -> Result<Edit, FarmError> {
 
 /// Minimal JSON string encoding (names are operator-controlled, but a
 /// quote in a tenant name must not corrupt the stats document).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -315,14 +408,26 @@ fn json_str(s: &str) -> String {
 pub struct Farm {
     tenants: RwLock<FxHashMap<String, Arc<Tenant>>>,
     cold_probes: Coalescer<(String, String, String), Result<WireOutcome, FarmError>>,
+    metrics: Option<Arc<FarmMetrics>>,
 }
 
 impl Farm {
-    /// An empty farm.
+    /// An empty farm with per-tenant metrics at the default label
+    /// cardinality.
     pub fn new() -> Farm {
+        Farm::with_tenant_cardinality(Some(64))
+    }
+
+    /// An empty farm; `cardinality` bounds the per-tenant label space
+    /// of the `tenant_promotions_total` / `tenant_epoch` families
+    /// (tenants past the bound share an `other` series), and `None`
+    /// disables the per-tenant families entirely — the observability-off
+    /// baseline the E24 overhead experiment compares against.
+    pub fn with_tenant_cardinality(cardinality: Option<usize>) -> Farm {
         Farm {
             tenants: RwLock::new(FxHashMap::default()),
             cold_probes: Coalescer::new(),
+            metrics: cardinality.map(|k| Arc::new(FarmMetrics::new(k))),
         }
     }
 
@@ -342,7 +447,7 @@ impl Farm {
             )
         })?;
         let stats = (table.entry_count() as u64, table.size_bytes() as u64);
-        let t = Arc::new(Tenant::new(tenant.to_owned(), table));
+        let t = Arc::new(Tenant::new(tenant.to_owned(), table, self.metrics.clone()));
         let count = {
             let mut tenants = self.tenants.write().expect("tenants lock poisoned");
             tenants.insert(tenant.to_owned(), t);
@@ -391,6 +496,37 @@ impl Farm {
                 .inc();
         }
         outcome
+    }
+
+    /// One point lookup with phase timing, for traced requests. Traced
+    /// probes bypass the cold-probe coalescer on purpose: a trace asks
+    /// "what did *this* request pay", and riding another connection's
+    /// in-flight build would attribute the leader's work to the
+    /// follower.
+    ///
+    /// # Errors
+    ///
+    /// As for [`query`](Farm::query).
+    pub fn query_traced(
+        &self,
+        tenant: &str,
+        class: &str,
+        member: &str,
+    ) -> Result<(WireOutcome, ProbeTiming), FarmError> {
+        self.get(tenant)?.query_now_timed(class, member)
+    }
+
+    /// A batch of lookups with phase timing, for traced requests.
+    ///
+    /// # Errors
+    ///
+    /// As for [`batch`](Farm::batch).
+    pub fn batch_traced(
+        &self,
+        tenant: &str,
+        probes: &[(String, String)],
+    ) -> Result<(Vec<WireOutcome>, ProbeTiming), FarmError> {
+        self.get(tenant)?.batch_now_timed(probes)
     }
 
     /// A batch of lookups against one tenant, answered in probe order.

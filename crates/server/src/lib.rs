@@ -18,9 +18,13 @@
 //!   build), and lazily *warmed* to an engine on first edit so
 //!   subsequent queries read the epoch-published index.
 //! * [`server`] — the threaded TCP listener: bounded-accept admission
-//!   control, one thread per connection, plus a minimal HTTP admin
-//!   endpoint (`GET /metrics`) sharing the same port by first-bytes
-//!   sniffing.
+//!   control, one thread per connection, request-scoped phase tracing
+//!   (the protocol TRACE flag returns a span tree), per-tenant metric
+//!   families, plus an HTTP admin endpoint (`GET /metrics`,
+//!   `/healthz`, `/tenants`, `/flightrecorder`) sharing the same port
+//!   by first-bytes sniffing.
+//! * [`recorder`] — the flight recorder: a bounded ring of recent
+//!   completed requests plus a slow-query log with full span trees.
 //! * [`client`] — a small blocking client used by the CLI, the load
 //!   generator, and the tests.
 //! * [`loadgen`] — open- and closed-loop load generation with zipfian
@@ -41,10 +45,12 @@ pub mod client;
 pub mod farm;
 pub mod loadgen;
 pub mod protocol;
+pub mod recorder;
 pub mod server;
 
 pub use client::Client;
 pub use farm::Farm;
 pub use loadgen::{LoadConfig, LoadReport, Pacing};
-pub use protocol::{ErrorCode, Request, Response, WireLv, WireOutcome, PROTOCOL_VERSION};
-pub use server::{Server, ServerConfig};
+pub use protocol::{ErrorCode, Request, Response, WireLv, WireOutcome, WireSpan, PROTOCOL_VERSION};
+pub use recorder::{FlightEntry, FlightRecorder, SlowEntry};
+pub use server::{ObsConfig, Server, ServerConfig};

@@ -18,6 +18,7 @@
 //! tenants stay hot) and the cache-residency behaviour of the dispatch
 //! directory.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,6 +30,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::client::{Client, ClientError};
+use crate::protocol::WireSpan;
 
 /// One tenant a load run targets, with the probe vocabulary to draw
 /// from (rank 0 is the hottest under zipf skew).
@@ -73,6 +75,9 @@ pub struct LoadConfig {
     pub batch: usize,
     /// RNG seed; worker `i` derives its stream from `seed + i`.
     pub seed: u64,
+    /// Send every request with the TRACE flag and aggregate the
+    /// server's per-phase attribution into the report.
+    pub trace: bool,
 }
 
 impl Default for LoadConfig {
@@ -86,6 +91,7 @@ impl Default for LoadConfig {
             probe_skew: 1.0,
             batch: 1,
             seed: 0xC0FFEE,
+            trace: false,
         }
     }
 }
@@ -104,6 +110,11 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Per-request latency, nanoseconds.
     pub latency: HistogramSnapshot,
+    /// Traced responses aggregated into [`phases`](LoadReport::phases).
+    pub traced: u64,
+    /// Total server-side nanoseconds per request phase, summed over
+    /// every traced response (empty unless the run traced).
+    pub phases: BTreeMap<String, u64>,
 }
 
 impl LoadReport {
@@ -127,9 +138,10 @@ impl LoadReport {
         self.latency.quantile(0.99) as f64 / 1e3
     }
 
-    /// One human-readable summary line.
+    /// One human-readable summary line (plus a per-phase breakdown
+    /// when the run traced).
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{} requests ({} probes) in {:.2}s: {:.0} req/s, {:.0} probes/s, \
              p50 {:.1}us p99 {:.1}us, {} errors",
             self.requests,
@@ -140,7 +152,25 @@ impl LoadReport {
             self.p50_us(),
             self.p99_us(),
             self.errors,
-        )
+        );
+        if self.traced > 0 {
+            let total: u64 = self.phases.values().sum();
+            out.push_str(&format!(
+                "\nserver-side attribution over {} traced requests:",
+                self.traced
+            ));
+            // Heaviest phase first; ties break on the label.
+            let mut ranked: Vec<(&String, &u64)> = self.phases.iter().collect();
+            ranked.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            for (label, ns) in ranked {
+                out.push_str(&format!(
+                    "\n  {label:>16}: {:>9.1}us/req  {:5.1}%",
+                    *ns as f64 / self.traced as f64 / 1e3,
+                    100.0 * *ns as f64 / total.max(1) as f64,
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -200,12 +230,14 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
             let (errors, connected) = (Arc::clone(&errors), Arc::clone(&connected));
             thread::spawn(move || {
                 let hist = Histogram::latency_ns();
+                let mut traced = 0u64;
+                let mut phases: BTreeMap<String, u64> = BTreeMap::new();
                 let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(worker as u64));
                 let Ok(mut client) =
                     Client::connect(config.addr.as_str(), Some(Duration::from_secs(10)))
                 else {
                     errors.fetch_add(1, Ordering::Relaxed);
-                    return (0u64, 0u64, hist.snapshot());
+                    return (0u64, 0u64, hist.snapshot(), 0u64, BTreeMap::new());
                 };
                 connected.fetch_add(1, Ordering::Relaxed);
                 // Open loop: this worker owns every `connections`-th
@@ -237,10 +269,30 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
                         let picked: Vec<(String, String)> = (0..config.batch)
                             .map(|_| target.probes[zipf.sample(&mut rng)].clone())
                             .collect();
-                        client.batch(&target.name, &picked).map(|o| o.len() as u64)
+                        if config.trace {
+                            client
+                                .batch_traced(&target.name, &picked)
+                                .map(|(o, spans)| {
+                                    traced += 1;
+                                    merge_phases(&mut phases, &spans);
+                                    o.len() as u64
+                                })
+                        } else {
+                            client.batch(&target.name, &picked).map(|o| o.len() as u64)
+                        }
                     } else {
                         let (class, member) = &target.probes[zipf.sample(&mut rng)];
-                        client.query(&target.name, class, member).map(|_| 1)
+                        if config.trace {
+                            client
+                                .query_traced(&target.name, class, member)
+                                .map(|(_, spans)| {
+                                    traced += 1;
+                                    merge_phases(&mut phases, &spans);
+                                    1
+                                })
+                        } else {
+                            client.query(&target.name, class, member).map(|_| 1)
+                        }
                     };
                     match outcome {
                         Ok(n) => {
@@ -258,18 +310,24 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
                         }
                     }
                 }
-                (requests, probes, hist.snapshot())
+                (requests, probes, hist.snapshot(), traced, phases)
             })
         })
         .collect();
     let mut requests = 0;
     let mut probes = 0;
     let mut latency = Histogram::latency_ns().snapshot();
+    let mut traced = 0;
+    let mut phases: BTreeMap<String, u64> = BTreeMap::new();
     for w in workers {
-        let (r, p, h) = w.join().expect("loadgen worker panicked");
+        let (r, p, h, t, ph) = w.join().expect("loadgen worker panicked");
         requests += r;
         probes += p;
         latency.merge(&h);
+        traced += t;
+        for (label, ns) in ph {
+            *phases.entry(label).or_insert(0) += ns;
+        }
     }
     if connected.load(Ordering::Relaxed) == 0 {
         return Err(io::Error::other(format!(
@@ -283,7 +341,20 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
         errors: errors.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
         latency,
+        traced,
+        phases,
     })
+}
+
+/// Accumulates one traced response's child-phase durations (the spans
+/// whose parent is the root) into the per-phase totals.
+fn merge_phases(phases: &mut BTreeMap<String, u64>, spans: &[WireSpan]) {
+    let root = spans.first().map(|s| s.id);
+    for s in spans {
+        if s.parent_id().is_some() && s.parent_id() == root {
+            *phases.entry(s.label.clone()).or_insert(0) += s.duration_ns;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -71,8 +71,18 @@ pub mod op {
     pub const R_STATS: u8 = 0x86;
     /// [`Response::Metrics`](super::Response::Metrics).
     pub const R_METRICS: u8 = 0x87;
+    /// [`Response::Traced`](super::Response::Traced).
+    pub const R_TRACED: u8 = 0x88;
     /// [`Response::Error`](super::Response::Error).
     pub const R_ERROR: u8 = 0xEE;
+}
+
+/// Request flag bits (the optional trailing flags byte on `QUERY` and
+/// `BATCH`; a request without the byte has no flags set).
+pub mod flags {
+    /// Ask the server to time the request's phases and answer with
+    /// [`Response::Traced`](super::Response::Traced).
+    pub const TRACE: u8 = 0x01;
 }
 
 /// Structured protocol error codes carried by [`Response::Error`](super::Response::Error).
@@ -168,6 +178,31 @@ pub enum WireOutcome {
     },
 }
 
+/// One span of a server-side trace on the wire: the name-level image of
+/// [`Span`](cpplookup_obs::Span). Offsets are relative to the request's
+/// first byte; a span tree's *structure* (ids, parents, labels, order)
+/// is deterministic for a given request, only the durations vary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Monotonic id within the trace (the root is 0).
+    pub id: u64,
+    /// Parent span id; `u64::MAX` encodes "no parent" (the root).
+    pub parent: u64,
+    /// Phase label (`"directory_probe"`, `"encode"`, …).
+    pub label: String,
+    /// Start offset from the request's first byte, nanoseconds.
+    pub start_ns: u64,
+    /// Measured duration, nanoseconds.
+    pub duration_ns: u64,
+}
+
+impl WireSpan {
+    /// The parent id, decoded (`u64::MAX` means root).
+    pub fn parent_id(&self) -> Option<u64> {
+        (self.parent != u64::MAX).then_some(self.parent)
+    }
+}
+
 /// A client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -192,6 +227,10 @@ pub enum Request {
         class: String,
         /// Member name.
         member: String,
+        /// Request a phase trace ([`flags::TRACE`]); a traced query is
+        /// answered with [`Response::Traced`] instead of
+        /// [`Response::Outcome`].
+        trace: bool,
     },
     /// Many lookups against one tenant, answered in order.
     Batch {
@@ -199,6 +238,10 @@ pub enum Request {
         tenant: String,
         /// `(class, member)` name pairs.
         probes: Vec<(String, String)>,
+        /// Request a phase trace ([`flags::TRACE`]); a traced batch is
+        /// answered with [`Response::Traced`] instead of
+        /// [`Response::Outcomes`].
+        trace: bool,
     },
     /// Apply one edit directive (`class NAME`, `member CLASS NAME`, or
     /// `edge DERIVED BASE [virtual]`) through the tenant's engine.
@@ -253,6 +296,15 @@ pub enum Response {
     Metrics {
         /// Prometheus exposition text.
         text: String,
+    },
+    /// Answer to a traced [`Request::Query`] or [`Request::Batch`]: the
+    /// outcomes (one for a query, probe-ordered for a batch) plus the
+    /// request's span tree.
+    Traced {
+        /// Lookup outcomes.
+        outcomes: Vec<WireOutcome>,
+        /// The span tree, recording order (root first).
+        spans: Vec<WireSpan>,
     },
     /// Any failure, with a structured code.
     Error {
@@ -461,6 +513,12 @@ impl<'a> Dec<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what} is not UTF-8"))
     }
 
+    /// Bytes not yet consumed (used for optional trailing fields like
+    /// the `QUERY`/`BATCH` flags byte).
+    pub fn remaining(&self) -> usize {
+        self.body.len() - self.at
+    }
+
     /// Asserts the body is fully consumed.
     pub fn done(self) -> Result<(), String> {
         if self.at == self.body.len() {
@@ -491,6 +549,35 @@ fn dec_lv(d: &mut Dec<'_>) -> Result<WireLv, String> {
         1 => Ok(WireLv::Class(d.str("leastVirtual class")?)),
         t => Err(format!("unknown leastVirtual tag {t}")),
     }
+}
+
+/// Reads the optional trailing flags byte of `QUERY`/`BATCH`: absent
+/// means no flags; unknown bits are rejected (this protocol is strict —
+/// a flag the server would silently ignore is a client bug).
+fn dec_flags(d: &mut Dec<'_>) -> Result<u8, String> {
+    if d.remaining() == 0 {
+        return Ok(0);
+    }
+    let f = d.u8("flags")?;
+    if f & !flags::TRACE != 0 {
+        return Err(format!("unknown flag bits 0x{:02x}", f & !flags::TRACE));
+    }
+    Ok(f)
+}
+
+fn enc_span(e: &mut Enc, s: &WireSpan) {
+    e.u64(s.id).u64(s.parent).str(&s.label);
+    e.u64(s.start_ns).u64(s.duration_ns);
+}
+
+fn dec_span(d: &mut Dec<'_>) -> Result<WireSpan, String> {
+    Ok(WireSpan {
+        id: d.u64("span id")?,
+        parent: d.u64("span parent")?,
+        label: d.str("span label")?,
+        start_ns: d.u64("span start")?,
+        duration_ns: d.u64("span duration")?,
+    })
 }
 
 fn enc_outcome(e: &mut Enc, o: &WireOutcome) {
@@ -554,16 +641,30 @@ impl Request {
                 tenant,
                 class,
                 member,
+                trace,
             } => {
                 let mut e = Enc::new(op::QUERY);
                 e.str(tenant).str(class).str(member);
+                // The flags byte is appended only when a flag is set,
+                // so an untraced request is byte-identical to the
+                // flagless encoding.
+                if *trace {
+                    e.u8(flags::TRACE);
+                }
                 e.finish()
             }
-            Request::Batch { tenant, probes } => {
+            Request::Batch {
+                tenant,
+                probes,
+                trace,
+            } => {
                 let mut e = Enc::new(op::BATCH);
                 e.str(tenant).u32(probes.len() as u32);
                 for (class, member) in probes {
                     e.str(class).str(member);
+                }
+                if *trace {
+                    e.u8(flags::TRACE);
                 }
                 e.finish()
             }
@@ -602,11 +703,18 @@ impl Request {
                 tenant: d.str("tenant").map_err(bad)?,
                 path: d.str("path").map_err(bad)?,
             },
-            op::QUERY => Request::Query {
-                tenant: d.str("tenant").map_err(bad)?,
-                class: d.str("class").map_err(bad)?,
-                member: d.str("member").map_err(bad)?,
-            },
+            op::QUERY => {
+                let tenant = d.str("tenant").map_err(bad)?;
+                let class = d.str("class").map_err(bad)?;
+                let member = d.str("member").map_err(bad)?;
+                let f = dec_flags(&mut d).map_err(bad)?;
+                Request::Query {
+                    tenant,
+                    class,
+                    member,
+                    trace: f & flags::TRACE != 0,
+                }
+            }
             op::BATCH => {
                 let tenant = d.str("tenant").map_err(bad)?;
                 let n = d.u32("probe count").map_err(bad)?;
@@ -620,7 +728,12 @@ impl Request {
                         d.str("probe member").map_err(bad)?,
                     ));
                 }
-                Request::Batch { tenant, probes }
+                let f = dec_flags(&mut d).map_err(bad)?;
+                Request::Batch {
+                    tenant,
+                    probes,
+                    trace: f & flags::TRACE != 0,
+                }
             }
             op::EDIT => Request::Edit {
                 tenant: d.str("tenant").map_err(bad)?,
@@ -639,6 +752,35 @@ impl Request {
         };
         d.done().map_err(bad)?;
         Ok(req)
+    }
+}
+
+/// Two-phase encoder for [`Response::Traced`]: the outcomes are encoded
+/// first (so the server can clock the encode phase), then the span list
+/// — which may include that very encode span — is appended. The result
+/// is byte-identical to `Response::Traced { .. }.encode()`.
+pub struct TracedEncoder {
+    e: Enc,
+}
+
+impl TracedEncoder {
+    /// Encodes the opcode and outcome section.
+    pub fn new(outcomes: &[WireOutcome]) -> TracedEncoder {
+        let mut e = Enc::new(op::R_TRACED);
+        e.u32(outcomes.len() as u32);
+        for o in outcomes {
+            enc_outcome(&mut e, o);
+        }
+        TracedEncoder { e }
+    }
+
+    /// Appends the span section and returns the finished frame body.
+    pub fn finish(mut self, spans: &[WireSpan]) -> Vec<u8> {
+        self.e.u32(spans.len() as u32);
+        for s in spans {
+            enc_span(&mut self.e, s);
+        }
+        self.e.finish()
     }
 }
 
@@ -682,6 +824,18 @@ impl Response {
             Response::Metrics { text } => {
                 let mut e = Enc::new(op::R_METRICS);
                 e.str(text);
+                e.finish()
+            }
+            Response::Traced { outcomes, spans } => {
+                let mut e = Enc::new(op::R_TRACED);
+                e.u32(outcomes.len() as u32);
+                for o in outcomes {
+                    enc_outcome(&mut e, o);
+                }
+                e.u32(spans.len() as u32);
+                for s in spans {
+                    enc_span(&mut e, s);
+                }
                 e.finish()
             }
             Response::Error { code, message } => {
@@ -730,6 +884,26 @@ impl Response {
             op::R_METRICS => Response::Metrics {
                 text: d.str("metrics text")?,
             },
+            op::R_TRACED => {
+                let n = d.u32("outcome count")?;
+                if n > MAX_BODY / 2 {
+                    return Err(format!("outcome count {n} exceeds frame capacity"));
+                }
+                let mut outcomes = Vec::with_capacity(n.min(4096) as usize);
+                for _ in 0..n {
+                    outcomes.push(dec_outcome(&mut d)?);
+                }
+                let n = d.u32("span count")?;
+                if n > MAX_BODY / 34 {
+                    // 34 bytes = the smallest span encoding.
+                    return Err(format!("span count {n} exceeds frame capacity"));
+                }
+                let mut spans = Vec::with_capacity(n.min(4096) as usize);
+                for _ in 0..n {
+                    spans.push(dec_span(&mut d)?);
+                }
+                Response::Traced { outcomes, spans }
+            }
             op::R_ERROR => Response::Error {
                 code: ErrorCode::from_u16(d.u16("error code")?),
                 message: d.str("error message")?,
@@ -773,10 +947,23 @@ mod tests {
             tenant: "t0".into(),
             class: "E".into(),
             member: "m".into(),
+            trace: false,
+        });
+        roundtrip_request(Request::Query {
+            tenant: "t0".into(),
+            class: "E".into(),
+            member: "m".into(),
+            trace: true,
         });
         roundtrip_request(Request::Batch {
             tenant: "t0".into(),
             probes: vec![("E".into(), "m".into()), ("D".into(), "m".into())],
+            trace: false,
+        });
+        roundtrip_request(Request::Batch {
+            tenant: "t0".into(),
+            probes: vec![("E".into(), "m".into())],
+            trace: true,
         });
         roundtrip_request(Request::Edit {
             tenant: "t0".into(),
@@ -814,10 +1001,71 @@ mod tests {
         roundtrip_response(Response::Metrics {
             text: "# HELP x\n".into(),
         });
+        roundtrip_response(Response::Traced {
+            outcomes: vec![WireOutcome::Resolved {
+                class: "D".into(),
+                least_virtual: WireLv::Omega,
+            }],
+            spans: vec![
+                WireSpan {
+                    id: 0,
+                    parent: u64::MAX,
+                    label: "request".into(),
+                    start_ns: 0,
+                    duration_ns: 4200,
+                },
+                WireSpan {
+                    id: 1,
+                    parent: 0,
+                    label: "directory_probe".into(),
+                    start_ns: 1000,
+                    duration_ns: 3000,
+                },
+            ],
+        });
         roundtrip_response(Response::Error {
             code: ErrorCode::NoSuchTenant,
             message: "no tenant `x`".into(),
         });
+    }
+
+    #[test]
+    fn trace_flag_is_an_optional_trailing_byte() {
+        // A flagless QUERY and a trace:false QUERY are byte-identical —
+        // the flag byte only appears when set.
+        let plain = Request::Query {
+            tenant: "t".into(),
+            class: "C".into(),
+            member: "m".into(),
+            trace: false,
+        };
+        let traced = Request::Query {
+            tenant: "t".into(),
+            class: "C".into(),
+            member: "m".into(),
+            trace: true,
+        };
+        assert_eq!(traced.encode().len(), plain.encode().len() + 1);
+        // An explicit zero flags byte decodes as untraced.
+        let mut with_zero = plain.encode();
+        with_zero.push(0);
+        assert_eq!(Request::decode(&with_zero).unwrap(), plain);
+        // Unknown flag bits are a payload error, not silently ignored.
+        let mut unknown = plain.encode();
+        unknown.push(0x80);
+        assert_eq!(
+            Request::decode(&unknown).unwrap_err().0,
+            ErrorCode::BadPayload
+        );
+        // The span parent sentinel survives the helper.
+        let root = WireSpan {
+            id: 0,
+            parent: u64::MAX,
+            label: "request".into(),
+            start_ns: 0,
+            duration_ns: 0,
+        };
+        assert_eq!(root.parent_id(), None);
     }
 
     #[test]
@@ -826,6 +1074,7 @@ mod tests {
             tenant: "tenant".into(),
             class: "Class".into(),
             member: "member".into(),
+            trace: true,
         };
         let mut wire = Vec::new();
         write_frame(&mut wire, &req.encode()).unwrap();
@@ -856,6 +1105,7 @@ mod tests {
         let req = Request::Batch {
             tenant: "t".into(),
             probes: vec![("A".into(), "m".into())],
+            trace: false,
         };
         let mut wire = Vec::new();
         write_frame(&mut wire, &req.encode()).unwrap();

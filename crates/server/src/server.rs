@@ -12,10 +12,26 @@
 //!
 //! The same port doubles as the admin endpoint: a connection whose
 //! first four bytes are `GET ` is served as one HTTP request
-//! (`/metrics` → the Prometheus exposition text from the global obs
-//! registry) and closed. Binary framing can never collide with this —
-//! `GET ` as a length prefix would be a 0x20544547-byte frame, far
-//! beyond [`MAX_BODY`](crate::protocol::MAX_BODY).
+//! (`/metrics` → Prometheus exposition text, `/healthz` → liveness,
+//! `/tenants` → per-tenant lifecycle JSON, `/flightrecorder` → the
+//! recent-request ring as JSON) and closed. Binary framing can never
+//! collide with this — `GET ` as a length prefix would be a
+//! 0x20544547-byte frame, far beyond
+//! [`MAX_BODY`](crate::protocol::MAX_BODY).
+//!
+//! # Observability
+//!
+//! Every request is clocked at its phase boundaries (frame read,
+//! decode, and — through [`ProbeTiming`](crate::farm::ProbeTiming) —
+//! name resolution, promotion wait, and the directory probe). A
+//! request carrying the protocol's TRACE flag gets those boundaries
+//! back as a span tree in a [`Response::Traced`]; the spans are built
+//! from contiguous instants, so the child phases partition the root
+//! span *exactly* — their durations sum to the root's. With the
+//! [`ObsConfig`] layer enabled the server additionally feeds
+//! per-tenant metric families and the [`FlightRecorder`]; with it
+//! disabled the request path is the bare PR-6 loop, which is what the
+//! E24 overhead experiment compares against.
 //!
 //! # Error policy
 //!
@@ -32,12 +48,50 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::farm::Farm;
+use cpplookup_obs::{Counter, Family2, HistogramFamily, Span, SpanRecorder};
+
+use crate::farm::{Farm, ProbeTiming};
 use crate::protocol::{
-    read_frame_body, write_frame, ErrorCode, FrameError, Request, Response, PROTOCOL_VERSION,
+    read_frame_body, write_frame, ErrorCode, FrameError, Request, Response, TracedEncoder,
+    WireOutcome, WireSpan, PROTOCOL_VERSION,
 };
+use crate::recorder::FlightRecorder;
+
+/// Observability-layer configuration: per-tenant metric families and
+/// the flight recorder. Request tracing (the protocol TRACE flag) is
+/// always honored and is *not* gated here — it costs nothing unless a
+/// client asks for it.
+#[derive(Clone, Debug)]
+pub struct ObsConfig {
+    /// Master switch. `false` drops the per-tenant families and the
+    /// flight recorder from the request path entirely — the baseline
+    /// the E24 overhead experiment measures against.
+    pub enabled: bool,
+    /// Flight-recorder main ring size (recent completed requests).
+    pub recorder_capacity: usize,
+    /// Slow-query log size (full span trees).
+    pub slow_capacity: usize,
+    /// Requests at or over this latency also land in the slow log.
+    pub slow_threshold: Duration,
+    /// Bounded-cardinality limit for tenant-labelled families; tenants
+    /// past the first `tenant_cardinality` distinct names share one
+    /// `other` series.
+    pub tenant_cardinality: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            recorder_capacity: 256,
+            slow_capacity: 64,
+            slow_threshold: Duration::from_millis(50),
+            tenant_cardinality: 64,
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -55,6 +109,8 @@ pub struct ServerConfig {
     /// Per-connection read timeout; an idle connection is dropped after
     /// this long (`None` = never).
     pub read_timeout: Option<Duration>,
+    /// Observability layer: per-tenant metrics + flight recorder.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +120,55 @@ impl Default for ServerConfig {
             max_connections: 64,
             preload: Vec::new(),
             read_timeout: Some(Duration::from_secs(120)),
+            obs: ObsConfig::default(),
+        }
+    }
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    farm: Arc<Farm>,
+    obs: Option<ObsState>,
+}
+
+/// The observability layer's per-request handles, resolved once at
+/// startup so the request path never touches the registry lock.
+struct ObsState {
+    recorder: Arc<FlightRecorder>,
+    queries_by_tenant: Arc<Family2>,
+    latency_by_tenant: Arc<HistogramFamily>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+}
+
+impl ObsState {
+    fn new(cfg: &ObsConfig) -> ObsState {
+        let obs = cpplookup_obs::global();
+        ObsState {
+            recorder: Arc::new(FlightRecorder::new(
+                cfg.recorder_capacity,
+                cfg.slow_capacity,
+                cfg.slow_threshold.as_nanos() as u64,
+            )),
+            queries_by_tenant: obs.counter_family2(
+                "server_queries_total",
+                "requests served, by tenant and operation",
+                "tenant",
+                "op",
+                cfg.tenant_cardinality,
+            ),
+            latency_by_tenant: obs.histogram_family(
+                "server_query_latency_ns",
+                "end-to-end query/batch service latency, by tenant",
+                "tenant",
+                cpplookup_obs::Histogram::latency_ns(),
+                cfg.tenant_cardinality,
+            ),
+            bytes_read: obs.counter("server_bytes_read_total", "request bytes read off the wire"),
+            bytes_written: obs.counter(
+                "server_bytes_written_total",
+                "response bytes written to the wire",
+            ),
         }
     }
 }
@@ -72,7 +177,7 @@ impl Default for ServerConfig {
 /// [`shutdown`](Server::shutdown)) stops the acceptor.
 pub struct Server {
     addr: SocketAddr,
-    farm: Arc<Farm>,
+    shared: Arc<Shared>,
     stop: Arc<AtomicBool>,
     acceptor: Option<thread::JoinHandle<()>>,
 }
@@ -86,22 +191,28 @@ impl Server {
     /// snapshot on the command line is a startup error, not a latent
     /// per-request one).
     pub fn start(config: ServerConfig) -> io::Result<Server> {
-        let farm = Arc::new(Farm::new());
+        let farm = Arc::new(Farm::with_tenant_cardinality(
+            config.obs.enabled.then_some(config.obs.tenant_cardinality),
+        ));
         for (tenant, path) in &config.preload {
             farm.load(tenant, path)
                 .map_err(|(_, msg)| io::Error::other(format!("preload `{tenant}`: {msg}")))?;
         }
+        let shared = Arc::new(Shared {
+            farm,
+            obs: config.obs.enabled.then(|| ObsState::new(&config.obs)),
+        });
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let acceptor = {
-            let farm = Arc::clone(&farm);
+            let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
-            thread::spawn(move || accept_loop(listener, farm, stop, config))
+            thread::spawn(move || accept_loop(listener, shared, stop, config))
         };
         Ok(Server {
             addr,
-            farm,
+            shared,
             stop,
             acceptor: Some(acceptor),
         })
@@ -114,7 +225,12 @@ impl Server {
 
     /// The farm, for in-process inspection (tests, benches).
     pub fn farm(&self) -> &Arc<Farm> {
-        &self.farm
+        &self.shared.farm
+    }
+
+    /// The flight recorder, when the observability layer is enabled.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.shared.obs.as_ref().map(|o| &o.recorder)
     }
 
     /// Stops the acceptor and waits for it. Already-open connections
@@ -135,7 +251,12 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, farm: Arc<Farm>, stop: Arc<AtomicBool>, cfg: ServerConfig) {
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    cfg: ServerConfig,
+) {
     let obs = cpplookup_obs::global();
     let active = Arc::new(AtomicUsize::new(0));
     let active_gauge = obs.gauge("server_connections", "connections currently open");
@@ -157,14 +278,14 @@ fn accept_loop(listener: TcpListener, farm: Arc<Farm>, stop: Arc<AtomicBool>, cf
         accepted.inc();
         active.fetch_add(1, Ordering::SeqCst);
         active_gauge.add(1);
-        let farm = Arc::clone(&farm);
+        let shared = Arc::clone(&shared);
         let active = Arc::clone(&active);
         let active_gauge = Arc::clone(&active_gauge);
         let timeout = cfg.read_timeout;
         thread::spawn(move || {
             let _ = stream.set_read_timeout(timeout);
             let _ = stream.set_nodelay(true);
-            serve_connection(stream, &farm);
+            serve_connection(stream, &shared);
             active.fetch_sub(1, Ordering::SeqCst);
             active_gauge.add(-1);
         });
@@ -182,7 +303,37 @@ fn refuse(mut stream: TcpStream) {
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn serve_connection(mut stream: TcpStream, farm: &Farm) {
+/// What the metrics and the flight recorder need to know about a
+/// request after it has been consumed by [`handle`].
+struct ReqMeta {
+    op: &'static str,
+    tenant: String,
+    trace: bool,
+}
+
+impl ReqMeta {
+    fn of(req: &Request) -> ReqMeta {
+        let tenant = match req {
+            Request::Load { tenant, .. }
+            | Request::Query { tenant, .. }
+            | Request::Batch { tenant, .. }
+            | Request::Edit { tenant, .. }
+            | Request::Stats { tenant } => tenant.clone(),
+            Request::Hello { .. } | Request::Metrics => String::new(),
+        };
+        let trace = matches!(
+            req,
+            Request::Query { trace: true, .. } | Request::Batch { trace: true, .. }
+        );
+        ReqMeta {
+            op: op_label(req),
+            tenant,
+            trace,
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let requests = cpplookup_obs::global().counter_family(
         "server_requests_total",
         "requests served, by operation",
@@ -201,9 +352,11 @@ fn serve_connection(mut stream: TcpStream, farm: &Farm) {
             return;
         }
         if &prefix == b"GET " {
-            serve_admin(stream);
+            serve_admin(stream, shared);
             return;
         }
+        // t0: request visible. t1: frame fully read. t2: decoded.
+        let t0 = Instant::now();
         let body = match read_frame_body(&mut stream, u32::from_le_bytes(prefix)) {
             Ok(body) => body,
             Err(FrameError::BadLength { len }) => {
@@ -233,21 +386,115 @@ fn serve_connection(mut stream: TcpStream, farm: &Farm) {
             // Truncation or I/O failure: nothing sensible to say.
             Err(FrameError::Eof) | Err(FrameError::Io(_)) => return,
         };
-        let response = match Request::decode(&body) {
+        let t1 = Instant::now();
+        if let Some(obs) = &shared.obs {
+            obs.bytes_read.add((4 + body.len() + 8) as u64);
+        }
+        let decoded = Request::decode(&body);
+        let t2 = Instant::now();
+        let (meta, outcome) = match decoded {
             Ok(req) => {
                 requests.with_label(op_label(&req)).inc();
-                handle(farm, req)
+                (ReqMeta::of(&req), handle(&shared.farm, req))
             }
             // Payload-level damage: framing is intact, keep going.
-            Err((code, message)) => Response::Error { code, message },
+            Err((code, message)) => (
+                ReqMeta {
+                    op: "invalid",
+                    tenant: String::new(),
+                    trace: false,
+                },
+                (Response::Error { code, message }, None),
+            ),
         };
+        let (response, timing) = outcome;
         if let Response::Error { code, .. } = &response {
             errors.with_label(code.label()).inc();
         }
-        if !respond(&mut stream, response) {
+        let outcome_label = match &response {
+            Response::Error { code, .. } => code.label(),
+            _ => "ok",
+        };
+        // A traced probe that succeeded answers with its span tree;
+        // everything else (including traced probes that failed) uses
+        // the plain encoding.
+        let mut spans: Vec<Span> = Vec::new();
+        let frame_body = match (&response, meta.trace, timing) {
+            (Response::Outcome(o), true, Some(t)) => {
+                traced_body(std::slice::from_ref(o), t0, t1, t2, t, &mut spans)
+            }
+            (Response::Outcomes(os), true, Some(t)) => traced_body(os, t0, t1, t2, t, &mut spans),
+            _ => response.encode(),
+        };
+        let wrote = write_frame(&mut stream, &frame_body).is_ok();
+        if let Some(obs) = &shared.obs {
+            obs.bytes_written.add((4 + frame_body.len() + 8) as u64);
+            let latency_ns = t0.elapsed().as_nanos() as u64;
+            if !meta.tenant.is_empty() {
+                obs.queries_by_tenant
+                    .with_labels(&meta.tenant, meta.op)
+                    .inc();
+                if matches!(meta.op, "query" | "batch") {
+                    obs.latency_by_tenant
+                        .with_label(&meta.tenant)
+                        .observe(latency_ns);
+                }
+            }
+            obs.recorder
+                .record(&meta.tenant, meta.op, outcome_label, latency_ns, &spans);
+        }
+        if !wrote {
             return;
         }
     }
+}
+
+/// Builds the span tree for one traced probe and encodes the traced
+/// response. The outcomes are encoded *before* the spans are stamped,
+/// so the `encode` span reflects real outcome-encoding work; the six
+/// phases are cut from contiguous instants, so their durations sum to
+/// the root's exactly.
+fn traced_body(
+    outcomes: &[WireOutcome],
+    t0: Instant,
+    t1: Instant,
+    t2: Instant,
+    probe: ProbeTiming,
+    spans_out: &mut Vec<Span>,
+) -> Vec<u8> {
+    let enc = TracedEncoder::new(outcomes);
+    let t6 = Instant::now();
+    let mut rec = SpanRecorder::new(t0, 16);
+    let off = |t: Instant| t.saturating_duration_since(t0).as_nanos() as u64;
+    let cuts = [
+        ("queue_wait", off(t1)),
+        ("frame_decode", off(t2)),
+        ("tenant_resolve", off(probe.resolved)),
+        ("promotion_wait", off(probe.promoted)),
+        ("directory_probe", off(probe.probed)),
+        ("encode", off(t6)),
+    ];
+    let total = cuts.last().map_or(0, |&(_, end)| end);
+    let root = rec.record_ns("request", None, 0, total);
+    let mut prev = 0u64;
+    for (label, end) in cuts {
+        let end = end.max(prev);
+        rec.record_ns(label, Some(root), prev, end - prev);
+        prev = end;
+    }
+    let (spans, _dropped) = rec.finish();
+    let wire: Vec<WireSpan> = spans
+        .iter()
+        .map(|s| WireSpan {
+            id: s.id,
+            parent: s.parent.unwrap_or(u64::MAX),
+            label: s.label.clone(),
+            start_ns: s.start_ns,
+            duration_ns: s.duration_ns,
+        })
+        .collect();
+    *spans_out = spans;
+    enc.finish(&wire)
 }
 
 fn op_label(req: &Request) -> &'static str {
@@ -262,49 +509,73 @@ fn op_label(req: &Request) -> &'static str {
     }
 }
 
-/// Executes one decoded request against the farm.
-fn handle(farm: &Farm, req: Request) -> Response {
+/// Executes one decoded request against the farm. Traced probes also
+/// return the farm's phase timing, for the caller to cut spans from.
+fn handle(farm: &Farm, req: Request) -> (Response, Option<ProbeTiming>) {
     let err = |(code, message): (ErrorCode, String)| Response::Error { code, message };
+    let plain = |r: Response| (r, None);
     match req {
         Request::Hello { version } => {
             if version != PROTOCOL_VERSION {
-                return Response::Error {
+                return plain(Response::Error {
                     code: ErrorCode::BadVersion,
                     message: format!("client speaks v{version}, server v{PROTOCOL_VERSION}"),
-                };
+                });
             }
-            Response::Hello {
+            plain(Response::Hello {
                 version: PROTOCOL_VERSION,
                 tenants: farm.tenant_count(),
-            }
+            })
         }
-        Request::Load { tenant, path } => match farm.load(&tenant, path.as_ref()) {
+        Request::Load { tenant, path } => plain(match farm.load(&tenant, path.as_ref()) {
             Ok((entries, bytes)) => Response::Loaded { entries, bytes },
             Err(e) => err(e),
+        }),
+        Request::Query {
+            tenant,
+            class,
+            member,
+            trace: true,
+        } => match farm.query_traced(&tenant, &class, &member) {
+            Ok((outcome, timing)) => (Response::Outcome(outcome), Some(timing)),
+            Err(e) => plain(err(e)),
         },
         Request::Query {
             tenant,
             class,
             member,
-        } => match farm.query(&tenant, &class, &member) {
+            trace: false,
+        } => plain(match farm.query(&tenant, &class, &member) {
             Ok(outcome) => Response::Outcome(outcome),
             Err(e) => err(e),
+        }),
+        Request::Batch {
+            tenant,
+            probes,
+            trace: true,
+        } => match farm.batch_traced(&tenant, &probes) {
+            Ok((outcomes, timing)) => (Response::Outcomes(outcomes), Some(timing)),
+            Err(e) => plain(err(e)),
         },
-        Request::Batch { tenant, probes } => match farm.batch(&tenant, &probes) {
+        Request::Batch {
+            tenant,
+            probes,
+            trace: false,
+        } => plain(match farm.batch(&tenant, &probes) {
             Ok(outcomes) => Response::Outcomes(outcomes),
             Err(e) => err(e),
-        },
-        Request::Edit { tenant, directive } => match farm.edit(&tenant, &directive) {
+        }),
+        Request::Edit { tenant, directive } => plain(match farm.edit(&tenant, &directive) {
             Ok(epoch) => Response::Edited { epoch },
             Err(e) => err(e),
-        },
-        Request::Stats { tenant } => match farm.stats_json(&tenant) {
+        }),
+        Request::Stats { tenant } => plain(match farm.stats_json(&tenant) {
             Ok(json) => Response::Stats { json },
             Err(e) => err(e),
-        },
-        Request::Metrics => Response::Metrics {
+        }),
+        Request::Metrics => plain(Response::Metrics {
             text: cpplookup_obs::global().snapshot().render_prometheus(),
-        },
+        }),
     }
 }
 
@@ -328,7 +599,7 @@ fn read_exact_or_close(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), ()>
 /// Serves one HTTP request on a connection whose first bytes were
 /// `GET `; the rest of the header is read (bounded) and discarded
 /// beyond the request target.
-fn serve_admin(mut stream: TcpStream) {
+fn serve_admin(mut stream: TcpStream, shared: &Shared) {
     // Read until the end of the header block or an 8 KiB cap.
     let mut header = Vec::with_capacity(256);
     let mut byte = [0u8; 1];
@@ -346,17 +617,33 @@ fn serve_admin(mut stream: TcpStream) {
         .next()
         .map(|t| String::from_utf8_lossy(t).into_owned())
         .unwrap_or_default();
-    let (status, content_type, body) = if target == "/metrics" {
-        cpplookup_obs::global()
-            .counter("server_admin_requests_total", "admin HTTP requests served")
-            .inc();
-        (
+    cpplookup_obs::global()
+        .counter("server_admin_requests_total", "admin HTTP requests served")
+        .inc();
+    let (status, content_type, body) = match target.as_str() {
+        "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4",
             cpplookup_obs::global().snapshot().render_prometheus(),
-        )
-    } else {
-        ("404 Not Found", "text/plain", "not found\n".to_owned())
+        ),
+        "/healthz" => ("200 OK", "text/plain", "ok\n".to_owned()),
+        "/tenants" => (
+            "200 OK",
+            "application/json",
+            shared
+                .farm
+                .stats_json("")
+                .unwrap_or_else(|(_, m)| format!("{{\"error\":{}}}", crate::farm::json_str(&m))),
+        ),
+        "/flightrecorder" => match &shared.obs {
+            Some(obs) => ("200 OK", "application/json", obs.recorder.to_json()),
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "flight recorder disabled\n".to_owned(),
+            ),
+        },
+        _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
     };
     let _ = write!(
         stream,

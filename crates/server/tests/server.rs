@@ -292,6 +292,7 @@ fn malformed_bytes_produce_structured_errors_never_hangs() {
         tenant: "t".to_owned(),
         class: "E".to_owned(),
         member: "m".to_owned(),
+        trace: false,
     };
 
     // 1. Oversized length prefix → BadLength, then close.
@@ -426,6 +427,149 @@ fn http_admin_serves_prometheus_on_the_same_port() {
     assert!(metrics.contains("# TYPE"), "prometheus text: {metrics}");
     let missing = fetch("/nope");
     assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+}
+
+/// The six request phases, in server order.
+const PHASES: [&str; 6] = [
+    "queue_wait",
+    "frame_decode",
+    "tenant_resolve",
+    "promotion_wait",
+    "directory_probe",
+    "encode",
+];
+
+fn http_get(addr: &str, target: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(s, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn traced_query_returns_exact_phase_partition() {
+    let dir = TempDir::new("traced");
+    let snap = dir.file("fig2.snap");
+    write_snapshot(&fixtures::fig2(), &snap);
+    let (_server, addr) = start_server(ServerConfig::default());
+    let mut c = connect(&addr);
+    c.load("t0", snap.to_str().unwrap()).unwrap();
+
+    let (outcome, spans) = c.query_traced("t0", "E", "m").unwrap();
+    assert!(matches!(outcome, WireOutcome::Resolved { .. }));
+    assert_eq!(spans.len(), 1 + PHASES.len(), "root + six phases");
+    let root = &spans[0];
+    assert_eq!(root.label, "request");
+    assert_eq!(root.parent_id(), None);
+    assert_eq!(root.start_ns, 0);
+    // Children carry the fixed phase labels, chain contiguously from
+    // the root's start, and partition its duration exactly.
+    let mut cursor = 0u64;
+    for (span, phase) in spans[1..].iter().zip(PHASES) {
+        assert_eq!(span.label, phase);
+        assert_eq!(span.parent_id(), Some(root.id));
+        assert_eq!(span.start_ns, cursor, "phases must be contiguous");
+        cursor += span.duration_ns;
+    }
+    assert_eq!(
+        cursor, root.duration_ns,
+        "phase durations must sum to the root exactly"
+    );
+    // Ids are per-trace monotonic from zero: a second trace starts
+    // over, so the tree *structure* is byte-stable run to run.
+    let (_, again) = c.query_traced("t0", "E", "m").unwrap();
+    let shape = |s: &[cpplookup_server::WireSpan]| -> Vec<(u64, u64, String)> {
+        s.iter()
+            .map(|x| (x.id, x.parent, x.label.clone()))
+            .collect()
+    };
+    assert_eq!(shape(&spans), shape(&again));
+
+    // A traced batch traces the batch as one request.
+    let probes = vec![
+        ("E".to_owned(), "m".to_owned()),
+        ("A".to_owned(), "m".to_owned()),
+    ];
+    let (outcomes, bspans) = c.batch_traced("t0", &probes).unwrap();
+    assert_eq!(outcomes.len(), 2);
+    assert_eq!(outcomes, c.batch("t0", &probes).unwrap());
+    assert_eq!(bspans.len(), 1 + PHASES.len());
+
+    // An untraced query still answers with the plain response shape.
+    assert_eq!(outcome, c.query("t0", "E", "m").unwrap());
+}
+
+#[test]
+fn admin_endpoints_tenants_and_flightrecorder_work_end_to_end() {
+    let dir = TempDir::new("admin");
+    let snap = dir.file("fig2.snap");
+    write_snapshot(&fixtures::fig2(), &snap);
+    let (_server, addr) = start_server(ServerConfig::default());
+    let mut c = connect(&addr);
+    c.load("acme", snap.to_str().unwrap()).unwrap();
+    c.query("acme", "E", "m").unwrap();
+    c.query_traced("acme", "E", "m").unwrap();
+
+    let health = http_get(&addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert!(health.ends_with("ok\n"), "{health}");
+
+    let tenants = http_get(&addr, "/tenants");
+    assert!(tenants.starts_with("HTTP/1.1 200 OK"), "{tenants}");
+    assert!(tenants.contains("application/json"), "{tenants}");
+    assert!(tenants.contains("\"tenant\":\"acme\""), "{tenants}");
+    assert!(tenants.contains("\"promoted\":true"), "{tenants}");
+    assert!(tenants.contains("\"epoch\":0"), "{tenants}");
+
+    let fr = http_get(&addr, "/flightrecorder");
+    assert!(fr.starts_with("HTTP/1.1 200 OK"), "{fr}");
+    assert!(fr.contains("\"requests\":["), "{fr}");
+    assert!(fr.contains("\"tenant\":\"acme\""), "{fr}");
+    assert!(fr.contains("\"op\":\"query\""), "{fr}");
+    // The traced query's phase summary made it into the ring.
+    assert!(fr.contains("\"directory_probe\":"), "{fr}");
+
+    // Per-tenant families show up in the Prometheus exposition.
+    let metrics = http_get(&addr, "/metrics");
+    assert!(
+        metrics.contains("server_queries_total{tenant=\"acme\",op=\"query\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("tenant_promotions_total{tenant=\"acme\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("tenant_epoch{tenant=\"acme\"}"),
+        "{metrics}"
+    );
+}
+
+#[test]
+fn obs_disabled_server_still_traces_but_has_no_flight_recorder() {
+    let dir = TempDir::new("obsless");
+    let snap = dir.file("fig1.snap");
+    write_snapshot(&fixtures::fig1(), &snap);
+    let (server, addr) = start_server(ServerConfig {
+        obs: cpplookup_server::ObsConfig {
+            enabled: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    assert!(server.recorder().is_none());
+    let mut c = connect(&addr);
+    c.load("t", snap.to_str().unwrap()).unwrap();
+    // Tracing is request-scoped, not part of the obs layer: it still
+    // answers with a full span tree.
+    let (_, spans) = c.query_traced("t", "A", "m").unwrap();
+    assert_eq!(spans.len(), 1 + PHASES.len());
+    let fr = http_get(&addr, "/flightrecorder");
+    assert!(fr.starts_with("HTTP/1.1 404"), "{fr}");
+    let health = http_get(&addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
 }
 
 #[test]

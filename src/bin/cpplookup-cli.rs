@@ -52,6 +52,9 @@
 //! cpplookup-cli loadgen --addr HOST:PORT --snapshot PATH [...]
 //!                                            drive load at a running server
 //!                                            (see cpplookup-loadgen for all flags)
+//! cpplookup-cli query  --addr HOST:PORT --tenant NAME CLASS MEMBER [--trace]
+//!                                            one query over the wire; --trace prints the
+//!                                            server's span tree as an attributed breakdown
 //! ```
 //!
 //! `query`, `batch`, and `stats` answer through one of four backends
@@ -91,7 +94,7 @@ use cpplookup::{
     SnapshotTable,
 };
 
-const USAGE: &str = "usage: cpplookup-cli <check|table|trace|layout|audit|dot|export|stats|batch|compile|query> <file.cpp> [args]\n       cpplookup-cli <query|batch|stats> --snapshot <file.snap> [args]\n       cpplookup-cli <query|batch|stats> <file.cpp> --backend <table|engine|snapshot|index> [args]\n       cpplookup-cli serve [--addr HOST:PORT] [--tenant NAME=PATH]...\n       cpplookup-cli loadgen --addr HOST:PORT --snapshot PATH [args]";
+const USAGE: &str = "usage: cpplookup-cli <check|table|trace|layout|audit|dot|export|stats|batch|compile|query> <file.cpp> [args]\n       cpplookup-cli <query|batch|stats> --snapshot <file.snap> [args]\n       cpplookup-cli <query|batch|stats> <file.cpp> --backend <table|engine|snapshot|index> [args]\n       cpplookup-cli serve [--addr HOST:PORT] [--tenant NAME=PATH]...\n       cpplookup-cli loadgen --addr HOST:PORT --snapshot PATH [args]\n       cpplookup-cli query --addr HOST:PORT --tenant NAME CLASS MEMBER [--trace]";
 
 /// The lookup backend a `query`/`batch`/`stats` invocation answers
 /// from. All four sit behind [`DispatchIndex::from_backend`]'s
@@ -157,6 +160,11 @@ fn main() -> ExitCode {
     match args.split_first() {
         Some((command, rest)) if command == "serve" => return serve_cmd(rest),
         Some((command, rest)) if command == "loadgen" => return loadgen_cmd(rest),
+        // `query --addr` goes over the wire to a running server; the
+        // snapshot/source forms of `query` never take --addr.
+        Some((command, rest)) if command == "query" && rest.iter().any(|a| a == "--addr") => {
+            return wire_query_cmd(rest)
+        }
         _ => {}
     }
     // Snapshot-serving modes take a binary snapshot, not C++ source, so
@@ -1080,6 +1088,35 @@ fn loadgen_cmd(rest: &[String]) -> ExitCode {
     match server_cli::run_loadgen(&parsed) {
         Ok(report) => {
             println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cpplookup-cli: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `query --addr HOST:PORT --tenant NAME CLASS MEMBER [--trace]`: one
+/// wire query against a running server; with `--trace` the server's
+/// span tree follows as an attributed breakdown. Parsing and the run
+/// body are shared with `cpplookup-loadgen query`.
+fn wire_query_cmd(rest: &[String]) -> ExitCode {
+    use cpplookup::server::cli as server_cli;
+
+    let parsed = match server_cli::parse_query_args(rest) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!(
+                "cpplookup-cli: {e}\nusage: cpplookup-cli {}",
+                server_cli::QUERY_USAGE
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match server_cli::run_wire_query(&parsed) {
+        Ok(text) => {
+            println!("{text}");
             ExitCode::SUCCESS
         }
         Err(e) => {
