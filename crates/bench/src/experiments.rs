@@ -30,14 +30,14 @@ use crate::workloads::{self, Workload};
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25",
 ];
 
-/// Runs one experiment by id (`"e1"`..`"e24"`), writing its report.
-/// The extra ids `"e21-smoke"` through `"e24-smoke"` are
-/// the CI guard variants of E21/E22/E23: fast differential + perf
-/// checks that *fail* (return an error) when the batched compiler, the
-/// dispatch index, or the wire-protocol server regresses.
+/// Runs one experiment by id (`"e1"`..`"e25"`), writing its report.
+/// The extra ids `"e21-smoke"` through `"e25-smoke"` are
+/// the CI guard variants: fast differential + perf checks that *fail*
+/// (return an error) when the batched compiler, the dispatch index,
+/// the wire-protocol server, or the replication stack regresses.
 ///
 /// # Errors
 ///
@@ -74,6 +74,8 @@ pub fn run(id: &str, w: &mut dyn Write) -> io::Result<()> {
         "e23-smoke" => e23_smoke(w),
         "e24" => e24(w),
         "e24-smoke" => e24_smoke(w),
+        "e25" => e25(w),
+        "e25-smoke" => e25_smoke(w),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}` (known: {})", ALL.join(", ")),
@@ -2290,6 +2292,368 @@ fn e24_smoke(w: &mut dyn Write) -> io::Result<()> {
     Ok(())
 }
 
+/// E25 — the durable edit log and follower replication: end-to-end
+/// replication lag over the wire at three edit-burst sizes, then
+/// restart-recovery time as a function of log length, before and after
+/// checkpoint compaction. Emits `BENCH_e25.json` for the CI gate
+/// (`e25-smoke`).
+fn e25(w: &mut dyn Write) -> io::Result<()> {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use cpplookup_server::{
+        Client, Farm, FarmOptions, FollowSource, Follower, FollowerConfig, Server, ServerConfig,
+    };
+    use cpplookup_snapshot::Snapshot;
+    use cpplookup_wal::WalStore;
+
+    const BURSTS: [usize; 3] = [1, 32, 256];
+    const REPEATS: usize = 5;
+    const LOG_LENS: [usize; 3] = [256, 1024, 4096];
+
+    writeln!(w, "E25: edit-log replication lag and recovery time")?;
+    let dir = BenchDir::new("e25")?;
+    let chg = families::chain(64, None);
+    let class_names: Vec<String> = chg
+        .classes()
+        .map(|c| chg.class_name(c).to_owned())
+        .collect();
+    let snap_path = dir.file("t.snap");
+    Snapshot::compile(&chg)
+        .write_to(&snap_path)
+        .map_err(io::Error::other)?;
+    let wire = |e: cpplookup_server::client::ClientError| io::Error::other(e.to_string());
+
+    // Stage 1: wire replication lag. A leader server with a durable
+    // log, a follower subscribed over the wire; each sample appends a
+    // burst of accepted edits and times the follower's convergence to
+    // the leader's last sequence number.
+    let leader = Server::start(ServerConfig {
+        preload: vec![("t".to_owned(), snap_path.clone())],
+        wal_path: Some(dir.file("leader.wal")),
+        fsync_every: 1,
+        retain_epochs: 4,
+        ..ServerConfig::default()
+    })?;
+    let replica = Arc::new(Farm::with_options(FarmOptions {
+        read_only: true,
+        retain_epochs: 4,
+        ..FarmOptions::default()
+    }));
+    let follower = Follower::start(
+        Arc::clone(&replica),
+        FollowerConfig {
+            source: FollowSource::Wire(leader.addr().to_string()),
+            follower_id: "e25".to_owned(),
+            ..FollowerConfig::default()
+        },
+    );
+    let mut client = Client::connect(leader.addr(), Some(Duration::from_secs(10)))
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let mut edit_no = 0usize;
+    let mut lag_rows = Vec::new();
+    writeln!(w, "  wire replication lag (median of {REPEATS} bursts):")?;
+    for burst in BURSTS {
+        let mut lags = Vec::new();
+        for _ in 0..REPEATS {
+            for _ in 0..burst {
+                let class = &class_names[edit_no % class_names.len()];
+                client
+                    .edit("t", &format!("member {class} e25m{edit_no}"))
+                    .map_err(wire)?;
+                edit_no += 1;
+            }
+            let target = leader.farm().wal().expect("leader has a log").last_seq();
+            let t0 = Instant::now();
+            if !follower.wait_for_seq(target, Duration::from_secs(30)) {
+                return Err(io::Error::other(format!(
+                    "follower stalled at seq {} of {target}",
+                    follower.applied_seq()
+                )));
+            }
+            lags.push(t0.elapsed());
+        }
+        lags.sort();
+        let median = lags[lags.len() / 2];
+        writeln!(
+            w,
+            "  burst {burst:>4} edits: converged in {:>10} ({:>8}/edit)",
+            fmt_duration(median),
+            fmt_duration(median / burst as u32),
+        )?;
+        lag_rows.push(format!(
+            "{{\"burst\": {burst}, \"median_lag_ns\": {}}}",
+            median.as_nanos()
+        ));
+    }
+    follower.stop();
+    drop(client);
+    drop(leader);
+
+    // Stage 2: restart recovery vs log length, then the same log after
+    // checkpoint compaction. Replay is the farm-level path a booting
+    // server runs before its first connection.
+    writeln!(w, "  restart recovery vs log length:")?;
+    writeln!(
+        w,
+        "  {:>8} {:>10} {:>12} {:>12} | {:>6} {:>12}",
+        "records", "log bytes", "replay", "rate", "after", "replay"
+    )?;
+    let mut recovery_rows = Vec::new();
+    for log_len in LOG_LENS {
+        let wal_path = dir.file(&format!("len{log_len}.wal"));
+        {
+            let (store, _) = WalStore::open(&wal_path, 0).map_err(io::Error::other)?;
+            let farm = Farm::with_options(FarmOptions {
+                wal: Some(Arc::new(store)),
+                ..FarmOptions::default()
+            });
+            farm.load("t", &snap_path)
+                .map_err(|(_, m)| io::Error::other(m))?;
+            for i in 0..log_len {
+                let class = &class_names[i % class_names.len()];
+                farm.edit("t", &format!("member {class} r{i}"))
+                    .map_err(|(_, m)| io::Error::other(m))?;
+            }
+            farm.wal().unwrap().sync()?;
+        }
+        let log_bytes = std::fs::metadata(&wal_path)?.len();
+        let replay = |path: &std::path::Path| -> io::Result<(usize, Duration)> {
+            let t0 = Instant::now();
+            let (store, recovered) = WalStore::open(path, 0).map_err(io::Error::other)?;
+            let farm = Farm::with_options(FarmOptions {
+                wal: Some(Arc::new(store)),
+                ..FarmOptions::default()
+            });
+            for stamped in &recovered {
+                farm.apply_replica_record(&stamped.record)
+                    .map_err(|(_, m)| io::Error::other(m))?;
+            }
+            Ok((recovered.len(), t0.elapsed()))
+        };
+        let (records, cold) = replay(&wal_path)?;
+        let rate = records as f64 / cold.as_secs_f64().max(1e-9);
+
+        // Compact: fold the whole history into one checkpoint snapshot.
+        {
+            let (store, recovered) = WalStore::open(&wal_path, 0).map_err(io::Error::other)?;
+            let farm = Farm::with_options(FarmOptions {
+                wal: Some(Arc::new(store)),
+                ..FarmOptions::default()
+            });
+            for stamped in &recovered {
+                farm.apply_replica_record(&stamped.record)
+                    .map_err(|(_, m)| io::Error::other(m))?;
+            }
+            farm.compact_wal(&dir.file(&format!("ckpt{log_len}")))
+                .map_err(|(_, m)| io::Error::other(m))?;
+        }
+        let (compacted_records, warm) = replay(&wal_path)?;
+        writeln!(
+            w,
+            "  {records:>8} {log_bytes:>10} {:>12} {rate:>9.0}/s | {compacted_records:>6} {:>12}",
+            fmt_duration(cold),
+            fmt_duration(warm),
+        )?;
+        recovery_rows.push(format!(
+            "{{\"records\": {records}, \"log_bytes\": {log_bytes}, \
+             \"replay_ns\": {}, \"compacted_records\": {compacted_records}, \
+             \"compacted_replay_ns\": {}}}",
+            cold.as_nanos(),
+            warm.as_nanos()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e25\",\n  {},\n  \
+         \"lag\": [{}],\n  \"recovery\": [{}]\n}}\n",
+        host_context_json(1),
+        lag_rows.join(", "),
+        recovery_rows.join(", "),
+    );
+    std::fs::write("BENCH_e25.json", json)?;
+    writeln!(w, "  wrote BENCH_e25.json")?;
+    Ok(())
+}
+
+/// E25's CI gate, three checks deep:
+///
+/// 1. **Crash recovery** — a scripted log truncated at *every* byte
+///    boundary must recover a clean prefix of its records (the
+///    reduced, deterministic core of `tests/wal_proptests.rs`).
+/// 2. **Leader/follower differential** — a wire follower must converge
+///    to the leader's exact sequence number and then answer every
+///    probe byte-identically at identical epochs, rejected edits and
+///    time-travel reads included.
+/// 3. **Lag sanity** — convergence of a small burst must land inside a
+///    generous wall-clock bound (30s); a wedged subscription or a
+///    follower spinning on a poisoned record fails here, actual
+///    latency is E25 proper's business.
+fn e25_smoke(w: &mut dyn Write) -> io::Result<()> {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use cpplookup_server::{
+        Client, Farm, FollowSource, Follower, FollowerConfig, Server, ServerConfig,
+    };
+    use cpplookup_snapshot::Snapshot;
+    use cpplookup_wal::{read_all, recover_bytes, WalStore};
+
+    writeln!(
+        w,
+        "E25-smoke: crash recovery + leader/follower differential"
+    )?;
+    let dir = BenchDir::new("e25-smoke")?;
+    let chg = families::interface_heavy(12, 3);
+    let snap_path = dir.file("t.snap");
+    Snapshot::compile(&chg)
+        .write_to(&snap_path)
+        .map_err(io::Error::other)?;
+    let class_names: Vec<String> = chg
+        .classes()
+        .map(|c| chg.class_name(c).to_owned())
+        .collect();
+    let wire = |e: cpplookup_server::client::ClientError| io::Error::other(e.to_string());
+
+    // 1. Every-byte-boundary crash recovery on a scripted log.
+    let wal_path = dir.file("crash.wal");
+    {
+        let (store, _) = WalStore::open(&wal_path, 1).map_err(io::Error::other)?;
+        let farm = Farm::with_options(cpplookup_server::FarmOptions {
+            wal: Some(Arc::new(store)),
+            ..Default::default()
+        });
+        farm.load("t", &snap_path)
+            .map_err(|(_, m)| io::Error::other(m))?;
+        for i in 0..12 {
+            let class = &class_names[i % class_names.len()];
+            farm.edit("t", &format!("member {class} s{i}"))
+                .map_err(|(_, m)| io::Error::other(m))?;
+        }
+    }
+    let records = read_all(&wal_path).map_err(io::Error::other)?;
+    let bytes = std::fs::read(&wal_path)?;
+    for at in 0..=bytes.len() {
+        let recovery = recover_bytes(&bytes[..at]);
+        if recovery.records.len() > records.len()
+            || recovery.records[..] != records[..recovery.records.len()]
+        {
+            return Err(io::Error::other(format!(
+                "cut at byte {at}: recovery is not a clean record prefix"
+            )));
+        }
+    }
+    writeln!(
+        w,
+        "  crash recovery: {} records, every one of {} byte boundaries recovers a clean prefix",
+        records.len(),
+        bytes.len() + 1
+    )?;
+
+    // 2 + 3. Wire differential with a lag bound.
+    let leader = Server::start(ServerConfig {
+        preload: vec![("t".to_owned(), snap_path.clone())],
+        wal_path: Some(dir.file("leader.wal")),
+        retain_epochs: 4,
+        ..ServerConfig::default()
+    })?;
+    let follower_srv = Server::start(ServerConfig {
+        read_only: true,
+        retain_epochs: 4,
+        ..ServerConfig::default()
+    })?;
+    let follower = Follower::start(
+        Arc::clone(follower_srv.farm()),
+        FollowerConfig {
+            source: FollowSource::Wire(leader.addr().to_string()),
+            follower_id: "smoke".to_owned(),
+            ack_every: 4,
+            ..FollowerConfig::default()
+        },
+    );
+    let mut lc = Client::connect(leader.addr(), Some(Duration::from_secs(10)))
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    for i in 0..24 {
+        let class = &class_names[i % class_names.len()];
+        lc.edit("t", &format!("member {class} w{i}"))
+            .map_err(wire)?;
+    }
+    if lc.edit("t", "no such directive").is_ok() {
+        return Err(io::Error::other("gibberish edit was accepted"));
+    }
+    let target = leader.farm().wal().expect("leader has a log").last_seq();
+    let t0 = Instant::now();
+    if !follower.wait_for_seq(target, Duration::from_secs(30)) {
+        return Err(io::Error::other(format!(
+            "lag bound: follower stalled at seq {} of {target}",
+            follower.applied_seq()
+        )));
+    }
+    let lag = t0.elapsed();
+
+    let mut fc = Client::connect(follower_srv.addr(), Some(Duration::from_secs(10)))
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    // The oldest epoch still inside the retention window: the
+    // time-travel target both sides must agree on.
+    let as_of = leader
+        .farm()
+        .retained_epochs("t")
+        .map_err(|(_, m)| io::Error::other(m))?
+        .first()
+        .copied();
+    let mut compared = 0usize;
+    for class in &class_names {
+        for i in [0usize, 11, 23] {
+            let member = format!("w{i}");
+            let on_leader = lc.query("t", class, &member).map_err(wire)?;
+            let on_follower = fc.query("t", class, &member).map_err(wire)?;
+            if on_leader != on_follower {
+                return Err(io::Error::other(format!(
+                    "differential: `{class}::{member}` is {on_leader:?} on the leader \
+                     but {on_follower:?} on the follower"
+                )));
+            }
+            let epoch = as_of.expect("retained window is never empty");
+            let then_leader = lc
+                .query_at("t", class, &member, Some(epoch))
+                .map_err(wire)?;
+            let then_follower = fc
+                .query_at("t", class, &member, Some(epoch))
+                .map_err(wire)?;
+            if then_leader != then_follower {
+                return Err(io::Error::other(format!(
+                    "differential at epoch {epoch}: `{class}::{member}` diverged"
+                )));
+            }
+            compared += 2;
+        }
+    }
+    let leader_epochs = leader
+        .farm()
+        .retained_epochs("t")
+        .map_err(|(_, m)| io::Error::other(m))?;
+    let follower_epochs = follower_srv
+        .farm()
+        .retained_epochs("t")
+        .map_err(|(_, m)| io::Error::other(m))?;
+    if leader_epochs != follower_epochs {
+        return Err(io::Error::other(format!(
+            "epoch divergence: leader retains {leader_epochs:?}, follower {follower_epochs:?}"
+        )));
+    }
+    follower.stop();
+    writeln!(
+        w,
+        "  differential: {compared} probes byte-identical (current + epoch {}), \
+         epochs {:?} on both sides, burst converged in {}",
+        as_of.unwrap(),
+        leader_epochs,
+        fmt_duration(lag)
+    )?;
+    writeln!(w, "  guard: PASS")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2319,7 +2683,7 @@ mod tests {
         // Don't run the heavy ones here; just verify dispatch exists by
         // name for every id in ALL (compile-time exhaustiveness is
         // enforced by the match).
-        assert_eq!(ALL.len(), 24);
+        assert_eq!(ALL.len(), 25);
         assert!(ALL.iter().all(|id| id.starts_with('e')));
     }
 }

@@ -1,0 +1,107 @@
+//! The workspace-wide integrity checksum: 4-lane word-FNV.
+//!
+//! One definition, three consumers: the snapshot container checksums
+//! its sections and whole file with it, the wire protocol trails every
+//! frame with it, and the write-ahead log seals every record with it.
+//! They used to carry private copies; a silent divergence between them
+//! would have made artifacts written by one layer unreadable by
+//! another, so the function lives here — in the one crate all three
+//! already depend on — with a pinned-value test freezing the exact
+//! bit pattern.
+
+/// The integrity checksum: FNV-1a's xor-multiply step applied to
+/// little-endian 8-byte words instead of single bytes, in four
+/// independent lanes that are mixed together at the end. Words beat
+/// bytes because each multiply digests 8 bytes at once; four lanes beat
+/// one because the `(h ^ w) * PRIME` chain is latency-bound — splitting
+/// it lets the CPU overlap four multiplies. Together they make
+/// checksumming an order of magnitude faster than classic byte-wise
+/// FNV, which matters because every cold load checksums the whole file.
+///
+/// Not cryptographic; it exists to catch truncation, bit rot, and
+/// transport damage. Detection of any single flipped byte is
+/// deterministic, not probabilistic: each lane step `h = (h ^ w) *
+/// PRIME` is a bijection of `h` for fixed `w` (the prime is odd), the
+/// final combine is a bijection of each lane holding the others fixed,
+/// and a flipped byte perturbs exactly one lane — so two inputs of
+/// equal length differing in one byte always hash differently.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    // Lane seeds: the FNV-1a offset basis, then successive additions of
+    // the golden-ratio constant so the lanes start decorrelated.
+    let mut h: [u64; 4] = [
+        0xcbf2_9ce4_8422_2325,
+        0x6b91_1ab6_2c97_85ce,
+        0x0b2f_9c87_d50c_e877,
+        0xaace_1e59_7d82_4c20,
+    ];
+    let mut blocks = bytes.chunks_exact(32);
+    for block in &mut blocks {
+        let block: &[u8; 32] = block.try_into().expect("chunks_exact yields 32 bytes");
+        let w0 = u64::from_le_bytes(block[0..8].try_into().expect("8-byte word"));
+        let w1 = u64::from_le_bytes(block[8..16].try_into().expect("8-byte word"));
+        let w2 = u64::from_le_bytes(block[16..24].try_into().expect("8-byte word"));
+        let w3 = u64::from_le_bytes(block[24..32].try_into().expect("8-byte word"));
+        h[0] = (h[0] ^ w0).wrapping_mul(PRIME);
+        h[1] = (h[1] ^ w1).wrapping_mul(PRIME);
+        h[2] = (h[2] ^ w2).wrapping_mul(PRIME);
+        h[3] = (h[3] ^ w3).wrapping_mul(PRIME);
+    }
+    for &b in blocks.remainder() {
+        h[0] = (h[0] ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    let mut out = h[0];
+    for lane in &h[1..] {
+        out = out.wrapping_mul(PRIME) ^ lane;
+    }
+    out.wrapping_mul(PRIME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pinned values: every on-disk and on-wire artifact in the
+    /// workspace embeds checksums of this exact function. If this test
+    /// fails, the function changed, and every existing snapshot, WAL,
+    /// and wire peer just became unreadable — that is a format break,
+    /// not a refactor.
+    #[test]
+    fn pinned_values() {
+        assert_eq!(checksum64(b""), PINNED_EMPTY);
+        assert_eq!(checksum64(b"cpplookup"), PINNED_CPPLOOKUP);
+        assert_eq!(
+            checksum64(b"the quick brown fox jumps over the lazy dog"),
+            PINNED_FOX
+        );
+        let ramp: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(checksum64(&ramp), PINNED_RAMP);
+    }
+
+    const PINNED_EMPTY: u64 = 0x8a84_1eee_319a_9b54;
+    const PINNED_CPPLOOKUP: u64 = 0x538d_a4ec_8a08_5cd9;
+    const PINNED_FOX: u64 = 0xcd5c_8606_481e_15e1;
+    const PINNED_RAMP: u64 = 0x6b43_b9e2_7c64_8354;
+
+    #[test]
+    fn detects_any_single_byte_flip() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let base = checksum64(data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut copy = data.to_vec();
+                copy[i] ^= 1 << bit;
+                assert_ne!(checksum64(&copy), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_extension_of_zeroes_changes_the_sum() {
+        // Appending zero bytes must not be invisible (a torn tail of
+        // zeroed blocks has to fail the record checksum).
+        let base = checksum64(b"abc");
+        assert_ne!(checksum64(b"abc\0"), base);
+        assert_ne!(checksum64(b"abc\0\0\0\0\0\0\0\0"), base);
+    }
+}

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 mod bitset;
+pub mod checksum;
 mod csr;
 pub mod dot;
 mod edit;

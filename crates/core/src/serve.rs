@@ -74,6 +74,7 @@
 //! `apply` edits the engine, incrementally refreshes the index, and
 //! republishes.
 
+use std::collections::VecDeque;
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
@@ -888,6 +889,18 @@ impl PublishedIndex {
     }
 }
 
+/// The publication slot behind a [`ServeHandle`]: the live version
+/// plus a bounded tail of superseded versions for time-travel reads.
+#[derive(Debug)]
+struct Publications {
+    current: Arc<PublishedIndex>,
+    /// Superseded versions, oldest at the front. Holds at most
+    /// `retain - 1` entries (the current version is the rest of the
+    /// retention budget).
+    history: VecDeque<Arc<PublishedIndex>>,
+    retain: usize,
+}
+
 /// The atomic publication point for index versions — the `arc-swap`
 /// protocol built from safe primitives (this crate forbids `unsafe`):
 /// the lock guards only the `Arc` pointer, held for a clone on the read
@@ -896,17 +909,29 @@ impl PublishedIndex {
 /// an index a reader holds, and a reader is at most "one epoch behind"
 /// in the instant between its load and a concurrent publish.
 ///
+/// A handle can also *retain* superseded versions: with
+/// [`set_retention`](ServeHandle::set_retention)`(k)`, the `k` most
+/// recent epochs stay loadable through
+/// [`load_at`](ServeHandle::load_at), giving readers repeatable
+/// point-in-time queries ("time travel") while the write side keeps
+/// publishing. The default retention is 1 — current only, exactly the
+/// pre-retention behavior and memory footprint.
+///
 /// Handles are cheap to clone and share one published state.
 #[derive(Clone, Debug)]
 pub struct ServeHandle {
-    current: Arc<RwLock<Arc<PublishedIndex>>>,
+    current: Arc<RwLock<Publications>>,
 }
 
 impl ServeHandle {
     /// Publishes `index` as epoch 0.
     pub fn new(index: DispatchIndex) -> Self {
         ServeHandle {
-            current: Arc::new(RwLock::new(Arc::new(PublishedIndex { epoch: 0, index }))),
+            current: Arc::new(RwLock::new(Publications {
+                current: Arc::new(PublishedIndex { epoch: 0, index }),
+                history: VecDeque::new(),
+                retain: 1,
+            })),
         }
     }
 
@@ -934,7 +959,40 @@ impl ServeHandle {
         self.current
             .read()
             .expect("serve handle lock poisoned")
+            .current
             .clone()
+    }
+
+    /// The retained version published as `epoch`, if it is still
+    /// within the retention window. The current epoch is always
+    /// loadable this way.
+    pub fn load_at(&self, epoch: u64) -> Option<Arc<PublishedIndex>> {
+        let slot = self.current.read().expect("serve handle lock poisoned");
+        if slot.current.epoch == epoch {
+            return Some(slot.current.clone());
+        }
+        slot.history.iter().find(|p| p.epoch == epoch).cloned()
+    }
+
+    /// Sets how many recent epochs (current included) stay loadable
+    /// through [`load_at`](Self::load_at); clamped to at least 1.
+    /// Shrinking drops the oldest retained versions immediately.
+    pub fn set_retention(&self, k: usize) {
+        let mut slot = self.current.write().expect("serve handle lock poisoned");
+        slot.retain = k.max(1);
+        let keep = slot.retain - 1;
+        while slot.history.len() > keep {
+            slot.history.pop_front();
+        }
+    }
+
+    /// The epochs currently loadable through [`load_at`](Self::load_at),
+    /// oldest first (the last entry is the current epoch).
+    pub fn retained_epochs(&self) -> Vec<u64> {
+        let slot = self.current.read().expect("serve handle lock poisoned");
+        let mut epochs: Vec<u64> = slot.history.iter().map(|p| p.epoch).collect();
+        epochs.push(slot.current.epoch);
+        epochs
     }
 
     /// The current epoch.
@@ -944,12 +1002,21 @@ impl ServeHandle {
 
     /// Atomically replaces the published index, returning the new
     /// epoch. Build the replacement *before* calling: the write lock is
-    /// held only for the pointer swap.
+    /// held only for the pointer swap (plus an O(1) push into the
+    /// retention window when retention is above 1).
     pub fn publish(&self, index: DispatchIndex) -> u64 {
         let start = Instant::now();
         let mut slot = self.current.write().expect("serve handle lock poisoned");
-        let epoch = slot.epoch + 1;
-        *slot = Arc::new(PublishedIndex { epoch, index });
+        let epoch = slot.current.epoch + 1;
+        let superseded =
+            std::mem::replace(&mut slot.current, Arc::new(PublishedIndex { epoch, index }));
+        if slot.retain > 1 {
+            slot.history.push_back(superseded);
+            let keep = slot.retain - 1;
+            while slot.history.len() > keep {
+                slot.history.pop_front();
+            }
+        }
         drop(slot);
         crate::obs::index_published(epoch, elapsed_ns(start));
         epoch
@@ -1290,6 +1357,51 @@ mod tests {
         let e = g.class_by_name("E").unwrap();
         let m = g.member_by_name("m").unwrap();
         assert!(v0.index().lookup_ref(e, m).is_resolved());
+    }
+
+    #[test]
+    fn default_retention_keeps_only_the_current_epoch() {
+        let g = fixtures::fig2();
+        let handle = ServeHandle::new(DispatchIndex::from_table(LookupTable::build(&g)));
+        handle.publish(DispatchIndex::from_table(LookupTable::build(&g)));
+        handle.publish(DispatchIndex::from_table(LookupTable::build(&g)));
+        assert_eq!(handle.retained_epochs(), vec![2]);
+        assert!(handle.load_at(2).is_some());
+        assert!(handle.load_at(1).is_none());
+        assert!(handle.load_at(0).is_none());
+    }
+
+    #[test]
+    fn retention_window_serves_time_travel_reads() {
+        let g = fixtures::fig2();
+        let mut serving = IndexedEngine::new(LookupEngine::new(g.clone()));
+        let handle = serving.handle();
+        handle.set_retention(3);
+        let e = serving.engine().chg().class_by_name("E").unwrap();
+        for i in 0..4 {
+            serving
+                .apply(&[Edit::AddMember {
+                    class: e,
+                    name: format!("m{i}"),
+                    decl: MemberDecl::public(MemberKind::Function),
+                }])
+                .unwrap();
+        }
+        // Epochs 0 and 1 aged out of the 3-deep window; 2, 3, 4 remain.
+        assert_eq!(handle.retained_epochs(), vec![2, 3, 4]);
+        assert!(handle.load_at(1).is_none());
+        // Old epochs answer from their frozen index: the member added
+        // at epoch 3 is visible at 3 and 4, unknown at 2.
+        let chg = serving.engine().chg();
+        let m2 = chg.member_by_name("m2").unwrap();
+        let at = |epoch: u64| handle.load_at(epoch).unwrap();
+        assert!(!at(2).index().lookup_ref(e, m2).is_resolved());
+        assert!(at(3).index().lookup_ref(e, m2).is_resolved());
+        assert!(at(4).index().lookup_ref(e, m2).is_resolved());
+        // Shrinking retention drops the oldest retained epoch.
+        handle.set_retention(1);
+        assert_eq!(handle.retained_epochs(), vec![4]);
+        assert!(handle.load_at(3).is_none());
     }
 
     #[test]

@@ -5,7 +5,19 @@
 //!                   [--read-timeout-secs N] [--tenant NAME=PATH]...
 //!                   [--no-obs] [--recorder-capacity N]
 //!                   [--slow-threshold-ms N] [--tenant-cardinality N]
+//!                   [--wal PATH] [--fsync-every N] [--retain-epochs N]
+//!                   [--read-only] [--compact-every-secs N] [--compact-dir DIR]
+//!                   [--follow ADDR | --follow-log PATH] [--follower-id NAME]
 //! ```
+//!
+//! With `--wal` the server appends every accepted EDIT to a durable,
+//! checksummed log before applying it, replays the log on restart, and
+//! (with `--compact-every-secs`) periodically folds history into
+//! per-tenant snapshot checkpoints. With `--follow` (wire SUBSCRIBE to
+//! a leader) or `--follow-log` (tail a log file) the daemon becomes a
+//! read-only replication follower. `--retain-epochs` keeps the last K
+//! published epochs per tenant queryable via the protocol's AS_OF flag
+//! (`cpplookup-cli query --as-of-epoch`).
 //!
 //! Prints `listening on ADDR` to stderr once the socket is bound (the
 //! CLI's `serve` subcommand and the tests read the real port from that

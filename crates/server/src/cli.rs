@@ -6,33 +6,64 @@
 //! and run the same bodies; keeping the logic here means the two entry
 //! points cannot drift apart.
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::client::Client;
 use crate::loadgen::{self, LoadConfig, Pacing, TenantTarget};
 use crate::protocol::WireSpan;
+use crate::replication::{FollowSource, Follower, FollowerConfig};
 use crate::server::{Server, ServerConfig};
 
 /// Usage text for the server front end.
 pub const SERVE_USAGE: &str = "[--addr HOST:PORT] [--max-connections N] \
      [--read-timeout-secs N] [--tenant NAME=PATH]... [--no-obs] \
-     [--recorder-capacity N] [--slow-threshold-ms N] [--tenant-cardinality N]";
+     [--recorder-capacity N] [--slow-threshold-ms N] [--tenant-cardinality N] \
+     [--wal PATH] [--fsync-every N] [--retain-epochs N] [--read-only] \
+     [--compact-every-secs N] [--compact-dir DIR] \
+     [--follow ADDR | --follow-log PATH] [--follower-id NAME]";
 
 /// Usage text for the load-generator front end.
 pub const LOADGEN_USAGE: &str = "--addr HOST:PORT --snapshot PATH [--tenants N] [--load] \
      [--connections N] [--duration-secs N] [--rate QPS] [--batch N] \
-     [--tenant-skew S] [--probe-skew S] [--seed N] [--trace]";
+     [--tenant-skew S] [--probe-skew S] [--seed N] [--trace] [--edit-every N]";
 
 /// Usage text for the one-shot wire query front end.
-pub const QUERY_USAGE: &str = "query --addr HOST:PORT --tenant NAME CLASS MEMBER [--trace]";
+pub const QUERY_USAGE: &str =
+    "query --addr HOST:PORT --tenant NAME CLASS MEMBER [--trace] [--as-of-epoch N]";
 
-/// Parses server flags into a [`ServerConfig`].
+/// A parsed `serve` invocation: the server's own configuration plus the
+/// pieces that live beside it (the follower loop, the compaction
+/// schedule).
+pub struct ServeArgs {
+    /// The server configuration.
+    pub config: ServerConfig,
+    /// Follower mode: replicate a leader's edit log into this farm.
+    pub follow: Option<FollowSource>,
+    /// The name this follower reports in its ACKs.
+    pub follower_id: String,
+    /// Compact the edit log on this period.
+    pub compact_every: Option<Duration>,
+    /// Where compaction checkpoints land (default: the log path with
+    /// a `.ckpt` extension, as a directory).
+    pub compact_dir: Option<PathBuf>,
+}
+
+/// Parses server flags into a [`ServeArgs`].
 ///
 /// # Errors
 ///
 /// A one-line description of the offending flag.
-pub fn parse_server_args(args: &[String]) -> Result<ServerConfig, String> {
-    let mut config = ServerConfig::default();
+pub fn parse_server_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs {
+        config: ServerConfig::default(),
+        follow: None,
+        follower_id: "follower".to_owned(),
+        compact_every: None,
+        compact_dir: None,
+    };
+    let config = &mut out.config;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -83,25 +114,101 @@ pub fn parse_server_args(args: &[String]) -> Result<ServerConfig, String> {
                     .filter(|&n| n > 0)
                     .ok_or("--tenant-cardinality wants a positive number")?;
             }
+            "--wal" => {
+                config.wal_path = Some(it.next().ok_or("--wal wants PATH")?.into());
+            }
+            "--fsync-every" => {
+                config.fsync_every = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--fsync-every wants a positive number")?;
+            }
+            "--retain-epochs" => {
+                config.retain_epochs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--retain-epochs wants a positive number")?;
+            }
+            "--read-only" => config.read_only = true,
+            "--follow" => {
+                let addr = it.next().ok_or("--follow wants HOST:PORT")?.clone();
+                out.follow = Some(FollowSource::Wire(addr));
+                config.read_only = true;
+            }
+            "--follow-log" => {
+                let path = it.next().ok_or("--follow-log wants PATH")?;
+                out.follow = Some(FollowSource::File(path.into()));
+                config.read_only = true;
+            }
+            "--follower-id" => {
+                out.follower_id = it.next().ok_or("--follower-id wants NAME")?.clone();
+            }
+            "--compact-every-secs" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--compact-every-secs wants a positive number")?;
+                out.compact_every = Some(Duration::from_secs(n));
+            }
+            "--compact-dir" => {
+                out.compact_dir = Some(it.next().ok_or("--compact-dir wants DIR")?.into());
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(config)
+    if out.compact_every.is_some() && out.config.wal_path.is_none() {
+        return Err("--compact-every-secs needs --wal".to_owned());
+    }
+    Ok(out)
 }
 
-/// Starts the server, announces `listening on ADDR` on stderr (tests
-/// and wrapper scripts read the real port from that line when port 0
-/// was requested), and serves until the process is killed.
+/// Starts the server — plus the follower loop with `--follow` /
+/// `--follow-log` and the periodic edit-log compactor with
+/// `--compact-every-secs` — announces `listening on ADDR` on stderr
+/// (tests and wrapper scripts read the real port from that line when
+/// port 0 was requested), and serves until the process is killed.
 ///
 /// # Errors
 ///
 /// Bind or preload failure; on success this never returns.
-pub fn serve_forever(config: ServerConfig) -> std::io::Error {
-    let server = match Server::start(config) {
+pub fn serve_forever(args: ServeArgs) -> std::io::Error {
+    let wal_path = args.config.wal_path.clone();
+    let server = match Server::start(args.config) {
         Ok(server) => server,
         Err(e) => return e,
     };
     eprintln!("listening on {}", server.addr());
+    if let Some(source) = args.follow {
+        let follower = Follower::start(
+            Arc::clone(server.farm()),
+            FollowerConfig {
+                source,
+                follower_id: args.follower_id,
+                ..FollowerConfig::default()
+            },
+        );
+        // The follower runs for the life of the process; there is no
+        // clean shutdown path past this point, so leak the handle
+        // rather than join it in a Drop that never runs.
+        std::mem::forget(follower);
+    }
+    if let Some(every) = args.compact_every {
+        let dir = args
+            .compact_dir
+            .or_else(|| wal_path.map(|p| p.with_extension("ckpt")))
+            .expect("--compact-every-secs needs --wal");
+        let farm = Arc::clone(server.farm());
+        std::thread::spawn(move || loop {
+            std::thread::sleep(every);
+            match farm.compact_wal(&dir) {
+                Ok(dropped) => eprintln!("compacted edit log: {dropped} records dropped"),
+                Err(e) => eprintln!("edit log compaction failed: {e:?}"),
+            }
+        });
+    }
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }
@@ -198,6 +305,12 @@ pub fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
                     .ok_or("--seed wants a number")?;
             }
             "--trace" => out.config.trace = true,
+            "--edit-every" => {
+                out.config.edit_every = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--edit-every wants a number (0 = reads only)")?;
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -270,6 +383,8 @@ pub struct QueryArgs {
     pub member: String,
     /// Ask the server for the span tree and print the breakdown.
     pub trace: bool,
+    /// Resolve against a retained past epoch instead of the current one.
+    pub as_of: Option<u64>,
 }
 
 /// Parses one-shot query flags (positional `CLASS MEMBER` plus flags).
@@ -284,6 +399,7 @@ pub fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
         class: String::new(),
         member: String::new(),
         trace: false,
+        as_of: None,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -292,6 +408,13 @@ pub fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
             "--addr" => out.addr = it.next().ok_or("--addr wants HOST:PORT")?.clone(),
             "--tenant" => out.tenant = it.next().ok_or("--tenant wants NAME")?.clone(),
             "--trace" => out.trace = true,
+            "--as-of-epoch" => {
+                out.as_of = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--as-of-epoch wants an epoch number")?,
+                );
+            }
             other if !other.starts_with("--") => positional.push(other.to_owned()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -308,6 +431,9 @@ pub fn parse_query_args(args: &[String]) -> Result<QueryArgs, String> {
     }
     if out.tenant.is_empty() {
         return Err("--tenant is required".to_owned());
+    }
+    if out.trace && out.as_of.is_some() {
+        return Err("--trace and --as-of-epoch cannot be combined".to_owned());
     }
     Ok(out)
 }
@@ -328,7 +454,7 @@ pub fn run_wire_query(args: &QueryArgs) -> Result<String, String> {
         Ok(format!("{outcome:?}\n{}", render_spans(&spans)))
     } else {
         let outcome = client
-            .query(&args.tenant, &args.class, &args.member)
+            .query_at(&args.tenant, &args.class, &args.member, args.as_of)
             .map_err(|e| e.to_string())?;
         Ok(format!("{outcome:?}"))
     }
@@ -374,13 +500,66 @@ mod tests {
             "--tenant",
             "a=/tmp/a.snap",
         ]))
-        .unwrap();
+        .unwrap()
+        .config;
         assert_eq!(cfg.addr, "127.0.0.1:7777");
         assert_eq!(cfg.max_connections, 9);
         assert_eq!(cfg.read_timeout, None);
         assert_eq!(cfg.preload.len(), 1);
         assert!(parse_server_args(&strs(&["--tenant", "nope"])).is_err());
         assert!(parse_server_args(&strs(&["--wat"])).is_err());
+    }
+
+    #[test]
+    fn server_replication_flags_parse() {
+        let args = parse_server_args(&strs(&[
+            "--wal",
+            "/tmp/edits.wal",
+            "--fsync-every",
+            "8",
+            "--retain-epochs",
+            "4",
+            "--compact-every-secs",
+            "60",
+            "--compact-dir",
+            "/tmp/ckpt",
+        ]))
+        .unwrap();
+        assert_eq!(
+            args.config.wal_path.as_deref(),
+            Some("/tmp/edits.wal".as_ref())
+        );
+        assert_eq!(args.config.fsync_every, 8);
+        assert_eq!(args.config.retain_epochs, 4);
+        assert!(!args.config.read_only);
+        assert_eq!(args.compact_every, Some(Duration::from_secs(60)));
+        assert_eq!(args.compact_dir.as_deref(), Some("/tmp/ckpt".as_ref()));
+        assert!(
+            parse_server_args(&strs(&["--compact-every-secs", "60"])).is_err(),
+            "compaction without a log"
+        );
+        assert!(parse_server_args(&strs(&["--fsync-every", "0"])).is_err());
+        assert!(parse_server_args(&strs(&["--retain-epochs", "0"])).is_err());
+    }
+
+    #[test]
+    fn follower_flags_imply_read_only() {
+        let args = parse_server_args(&strs(&[
+            "--follow",
+            "127.0.0.1:9999",
+            "--follower-id",
+            "replica-a",
+        ]))
+        .unwrap();
+        assert!(matches!(args.follow, Some(FollowSource::Wire(ref a)) if a == "127.0.0.1:9999"));
+        assert_eq!(args.follower_id, "replica-a");
+        assert!(args.config.read_only);
+        let args = parse_server_args(&strs(&["--follow-log", "/tmp/edits.wal"])).unwrap();
+        assert!(matches!(args.follow, Some(FollowSource::File(_))));
+        assert!(args.config.read_only);
+        let args = parse_server_args(&strs(&["--read-only"])).unwrap();
+        assert!(args.config.read_only);
+        assert!(args.follow.is_none());
     }
 
     #[test]
@@ -437,7 +616,8 @@ mod tests {
             "--tenant-cardinality",
             "8",
         ]))
-        .unwrap();
+        .unwrap()
+        .config;
         assert!(!cfg.obs.enabled);
         assert_eq!(cfg.obs.recorder_capacity, 32);
         assert_eq!(cfg.obs.slow_threshold, Duration::from_millis(5));
@@ -455,6 +635,57 @@ mod tests {
         assert!(q.trace);
         assert!(parse_query_args(&strs(&["--addr", "h:1", "E", "m"])).is_err());
         assert!(parse_query_args(&strs(&["--addr", "h:1", "--tenant", "t", "E"])).is_err());
+    }
+
+    #[test]
+    fn query_as_of_epoch_parses_and_excludes_trace() {
+        let q = parse_query_args(&strs(&[
+            "--addr",
+            "h:1",
+            "--tenant",
+            "t",
+            "--as-of-epoch",
+            "3",
+            "E",
+            "m",
+        ]))
+        .unwrap();
+        assert_eq!(q.as_of, Some(3));
+        assert!(parse_query_args(&strs(&[
+            "--addr",
+            "h:1",
+            "--tenant",
+            "t",
+            "--trace",
+            "--as-of-epoch",
+            "3",
+            "E",
+            "m",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn loadgen_edit_every_parses() {
+        let args = parse_loadgen_args(&strs(&[
+            "--addr",
+            "h:1",
+            "--snapshot",
+            "x",
+            "--edit-every",
+            "50",
+        ]))
+        .unwrap();
+        assert_eq!(args.config.edit_every, 50);
+        assert!(parse_loadgen_args(&strs(&[
+            "--addr",
+            "h:1",
+            "--snapshot",
+            "x",
+            "--edit-every",
+            "z"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -13,8 +13,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, Request, Response, WireOutcome, WireSpan,
-    PROTOCOL_VERSION,
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, WireOutcome, WireRecord,
+    WireSpan, PROTOCOL_VERSION,
 };
 
 /// Client-side failure.
@@ -162,12 +162,31 @@ impl Client {
         class: &str,
         member: &str,
     ) -> Result<WireOutcome, ClientError> {
+        self.query_at(tenant, class, member, None)
+    }
+
+    /// One point lookup, optionally pinned to a retained epoch
+    /// ([`flags::AS_OF`](crate::protocol::flags::AS_OF)) for a
+    /// repeatable point-in-time read.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::EpochRetired`] when the epoch aged out of the
+    /// retention window, plus [`query`](Client::query)'s failures.
+    pub fn query_at(
+        &mut self,
+        tenant: &str,
+        class: &str,
+        member: &str,
+        as_of: Option<u64>,
+    ) -> Result<WireOutcome, ClientError> {
         self.expect(
             &Request::Query {
                 tenant: tenant.to_owned(),
                 class: class.to_owned(),
                 member: member.to_owned(),
                 trace: false,
+                as_of,
             },
             |r| match r {
                 Response::Outcome(o) => Ok(o),
@@ -195,6 +214,7 @@ impl Client {
                 class: class.to_owned(),
                 member: member.to_owned(),
                 trace: true,
+                as_of: None,
             },
             |r| match r {
                 Response::Traced {
@@ -216,11 +236,27 @@ impl Client {
         tenant: &str,
         probes: &[(String, String)],
     ) -> Result<Vec<WireOutcome>, ClientError> {
+        self.batch_at(tenant, probes, None)
+    }
+
+    /// A batch of lookups, optionally pinned to a retained epoch; every
+    /// probe is answered from the same frozen index version.
+    ///
+    /// # Errors
+    ///
+    /// As for [`query_at`](Client::query_at).
+    pub fn batch_at(
+        &mut self,
+        tenant: &str,
+        probes: &[(String, String)],
+        as_of: Option<u64>,
+    ) -> Result<Vec<WireOutcome>, ClientError> {
         self.expect(
             &Request::Batch {
                 tenant: tenant.to_owned(),
                 probes: probes.to_vec(),
                 trace: false,
+                as_of,
             },
             |r| match r {
                 Response::Outcomes(o) => Ok(o),
@@ -245,6 +281,7 @@ impl Client {
                 tenant: tenant.to_owned(),
                 probes: probes.to_vec(),
                 trace: true,
+                as_of: None,
             },
             |r| match r {
                 Response::Traced { outcomes, spans } => Ok((outcomes, spans)),
@@ -266,6 +303,25 @@ impl Client {
             },
             |r| match r {
                 Response::Edited { epoch } => Ok(epoch),
+                other => Err(other),
+            },
+        )
+    }
+
+    /// Reports a follower's applied log position to the leader;
+    /// returns the leader's current last sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NotReplicating`] when the server has no edit log.
+    pub fn ack(&mut self, follower: &str, seq: u64) -> Result<u64, ClientError> {
+        self.expect(
+            &Request::Ack {
+                follower: follower.to_owned(),
+                seq,
+            },
+            |r| match r {
+                Response::Acked { leader_seq } => Ok(leader_seq),
                 other => Err(other),
             },
         )
@@ -298,5 +354,55 @@ impl Client {
             Response::Metrics { text } => Ok(text),
             other => Err(other),
         })
+    }
+
+    /// Converts this connection into a replication subscription: the
+    /// server streams every edit-log record after `from_seq` (then new
+    /// ones as they are appended) until either side disconnects. The
+    /// connection speaks nothing but `R_REPLICATED` frames afterwards,
+    /// so the client is consumed.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a structured server error
+    /// ([`ErrorCode::NotReplicating`]) refusing the subscription.
+    pub fn subscribe(mut self, from_seq: u64) -> Result<Subscription, ClientError> {
+        write_frame(&mut self.stream, &Request::Subscribe { from_seq }.encode())
+            .map_err(ClientError::Transport)?;
+        // The server answers the subscription itself with the first
+        // frame: an error frame to refuse, else the record stream just
+        // begins (possibly after a quiet wait), so no handshake frame
+        // is read here.
+        Ok(Subscription {
+            stream: self.stream,
+        })
+    }
+}
+
+/// A live replication stream (see [`Client::subscribe`]).
+pub struct Subscription {
+    stream: TcpStream,
+}
+
+impl Subscription {
+    /// Blocks for the next replicated record: `(seq, leader append
+    /// time in unix nanoseconds, record)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (including the read timeout the client was
+    /// connected with), a structured server error, or a malformed
+    /// frame.
+    pub fn next_record(&mut self) -> Result<(u64, u64, WireRecord), ClientError> {
+        let body = read_frame(&mut self.stream)?;
+        match Response::decode(&body).map_err(ClientError::Protocol)? {
+            Response::Replicated {
+                seq,
+                unix_nanos,
+                record,
+            } => Ok((seq, unix_nanos, record)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
     }
 }

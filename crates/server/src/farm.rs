@@ -31,12 +31,13 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use cpplookup_chg::fxmap::FxHashMap;
 use cpplookup_chg::{Chg, ClassId, Edit, Inheritance, MemberDecl, MemberId, MemberKind};
 use cpplookup_core::{IndexedEngine, LeastVirtual, LookupOutcome, ServeHandle};
-use cpplookup_snapshot::SnapshotTable;
+use cpplookup_snapshot::{Snapshot, SnapshotTable};
+use cpplookup_wal::{Stamped, WalRecord, WalStore};
 
 use crate::coalesce::Coalescer;
 use crate::protocol::{ErrorCode, WireLv, WireOutcome};
@@ -197,11 +198,18 @@ pub struct Tenant {
     names: RwLock<Arc<Names>>,
     queries: AtomicU64,
     edits: AtomicU64,
+    /// Epochs (current included) kept loadable for as-of reads.
+    retain_epochs: usize,
     metrics: Option<Arc<FarmMetrics>>,
 }
 
 impl Tenant {
-    fn new(name: String, table: SnapshotTable, metrics: Option<Arc<FarmMetrics>>) -> Tenant {
+    fn new(
+        name: String,
+        table: SnapshotTable,
+        retain_epochs: usize,
+        metrics: Option<Arc<FarmMetrics>>,
+    ) -> Tenant {
         let names = Names::from_snapshot(&table);
         Tenant {
             name,
@@ -211,6 +219,7 @@ impl Tenant {
             names: RwLock::new(Arc::new(names)),
             queries: AtomicU64::new(0),
             edits: AtomicU64::new(0),
+            retain_epochs,
             metrics,
         }
     }
@@ -234,7 +243,11 @@ impl Tenant {
                 m.promotions.with_label(&self.name).inc();
                 m.epoch.with_label(&self.name).set(0);
             }
-            ServeHandle::serving(&*self.snapshot)
+            let handle = ServeHandle::serving(&*self.snapshot);
+            if self.retain_epochs > 1 {
+                handle.set_retention(self.retain_epochs);
+            }
+            handle
         })
     }
 
@@ -242,20 +255,48 @@ impl Tenant {
         self.names.read().expect("names lock poisoned").clone()
     }
 
-    fn query_now(&self, class: &str, member: &str) -> Result<WireOutcome, FarmError> {
-        Ok(self.query_now_timed(class, member)?.0)
+    /// Loads the publication to answer from: the current one, or — for
+    /// an as-of read — the retained epoch the request pinned.
+    fn published_at(
+        &self,
+        as_of: Option<u64>,
+    ) -> Result<Arc<cpplookup_core::PublishedIndex>, FarmError> {
+        let handle = self.promote();
+        match as_of {
+            None => Ok(handle.load()),
+            Some(epoch) => handle.load_at(epoch).ok_or_else(|| {
+                (
+                    ErrorCode::EpochRetired,
+                    format!(
+                        "epoch {epoch} of `{}` is not retained (retained: {:?})",
+                        self.name,
+                        handle.retained_epochs()
+                    ),
+                )
+            }),
+        }
+    }
+
+    fn query_now(
+        &self,
+        class: &str,
+        member: &str,
+        as_of: Option<u64>,
+    ) -> Result<WireOutcome, FarmError> {
+        Ok(self.query_now_timed(class, member, as_of)?.0)
     }
 
     fn query_now_timed(
         &self,
         class: &str,
         member: &str,
+        as_of: Option<u64>,
     ) -> Result<(WireOutcome, ProbeTiming), FarmError> {
         self.queries.fetch_add(1, Ordering::Relaxed);
         let names = self.names();
         let (c, m) = (names.class(class)?, names.member(member)?);
         let resolved = Instant::now();
-        let published = self.promote().load();
+        let published = self.published_at(as_of)?;
         let promoted = Instant::now();
         let outcome = names.wire(&published.index().lookup(c, m));
         let probed = Instant::now();
@@ -269,13 +310,18 @@ impl Tenant {
         ))
     }
 
-    fn batch_now(&self, probes: &[(String, String)]) -> Result<Vec<WireOutcome>, FarmError> {
-        Ok(self.batch_now_timed(probes)?.0)
+    fn batch_now(
+        &self,
+        probes: &[(String, String)],
+        as_of: Option<u64>,
+    ) -> Result<Vec<WireOutcome>, FarmError> {
+        Ok(self.batch_now_timed(probes, as_of)?.0)
     }
 
     fn batch_now_timed(
         &self,
         probes: &[(String, String)],
+        as_of: Option<u64>,
     ) -> Result<(Vec<WireOutcome>, ProbeTiming), FarmError> {
         self.queries
             .fetch_add(probes.len() as u64, Ordering::Relaxed);
@@ -285,7 +331,7 @@ impl Tenant {
             .map(|(class, member)| Ok((names.class(class)?, names.member(member)?)))
             .collect::<Result<Vec<_>, FarmError>>()?;
         let resolved = Instant::now();
-        let published = self.promote().load();
+        let published = self.published_at(as_of)?;
         let promoted = Instant::now();
         let outcomes = published
             .index()
@@ -304,7 +350,7 @@ impl Tenant {
         ))
     }
 
-    fn edit_now(&self, directive: &str) -> Result<u64, FarmError> {
+    fn edit_now(&self, directive: &str, wal: Option<&WalStore>) -> Result<u64, FarmError> {
         let mut live = self.live.lock().expect("live lock poisoned");
         if live.is_none() {
             let engine = self.snapshot.warm_engine().map_err(|e| {
@@ -319,6 +365,23 @@ impl Tenant {
         }
         let serving = live.as_mut().unwrap();
         let edit = parse_directive(directive, &self.names())?;
+        // Append-before-apply, still under the live lock: the log's
+        // record order is exactly the apply order, so a replayer that
+        // walks the log reproduces the engine state (directives the
+        // engine deterministically rejects below stay in the log and
+        // are skipped identically by every replayer).
+        if let Some(wal) = wal {
+            wal.append(WalRecord::Edit {
+                tenant: self.name.clone(),
+                directive: directive.to_owned(),
+            })
+            .map_err(|e| {
+                (
+                    ErrorCode::EditRejected,
+                    format!("edit log append failed: {e}"),
+                )
+            })?;
+        }
         let epoch = serving
             .apply(std::slice::from_ref(&edit))
             .map_err(|e| (ErrorCode::EditRejected, format!("edit rejected: {e}")))?;
@@ -384,6 +447,23 @@ fn parse_directive(directive: &str, names: &Names) -> Result<Edit, FarmError> {
     }
 }
 
+/// Tenant names become checkpoint file names; anything outside
+/// `[A-Za-z0-9._-]` is mapped to `_` so a hostile name cannot escape
+/// the checkpoint directory.
+fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '.' | '_' | '-' => c,
+            _ => '_',
+        })
+        .collect();
+    if out.is_empty() || out.bytes().all(|b| b == b'.') {
+        out = "tenant".to_owned();
+    }
+    out
+}
+
 /// Minimal JSON string encoding (names are operator-controlled, but a
 /// quote in a tenant name must not corrupt the stats document).
 pub(crate) fn json_str(s: &str) -> String {
@@ -404,18 +484,69 @@ pub(crate) fn json_str(s: &str) -> String {
     out
 }
 
+/// How a replayed log record changed the farm — see
+/// [`Farm::apply_replica_record`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReplicaApply {
+    /// An `Open` (or a `Checkpoint` for an unknown tenant) loaded a
+    /// snapshot.
+    Loaded,
+    /// An `Edit` applied; the tenant's new published epoch.
+    Edited(u64),
+    /// An `Edit` the engine deterministically rejects — the leader
+    /// logged it and failed it too, so skipping keeps replicas
+    /// byte-identical. Carries the rejection message.
+    EditSkipped(String),
+    /// A `Checkpoint` for a tenant already live from earlier records;
+    /// its state already subsumes the checkpoint.
+    CheckpointSkipped,
+}
+
+/// Construction-time knobs for a [`Farm`].
+pub struct FarmOptions {
+    /// Bounds the per-tenant metric label space (`None` disables the
+    /// per-tenant families — the observability-off baseline).
+    pub tenant_cardinality: Option<usize>,
+    /// The durable edit log: loads and edits are appended before they
+    /// apply, making the farm a replication leader.
+    pub wal: Option<Arc<WalStore>>,
+    /// Refuse client edits — the stance of a replication follower,
+    /// whose only writer is the replayed log.
+    pub read_only: bool,
+    /// Published index epochs (current included) each tenant keeps
+    /// loadable for `as-of` time-travel reads. Clamped to at least 1.
+    pub retain_epochs: usize,
+}
+
+impl Default for FarmOptions {
+    fn default() -> FarmOptions {
+        FarmOptions {
+            tenant_cardinality: Some(64),
+            wal: None,
+            read_only: false,
+            retain_epochs: 1,
+        }
+    }
+}
+
 /// The farm: the tenant map plus the cold-probe coalescer.
 pub struct Farm {
     tenants: RwLock<FxHashMap<String, Arc<Tenant>>>,
     cold_probes: Coalescer<(String, String, String), Result<WireOutcome, FarmError>>,
     metrics: Option<Arc<FarmMetrics>>,
+    wal: Option<Arc<WalStore>>,
+    read_only: bool,
+    retain_epochs: usize,
+    /// Serializes compactions (each burns sequence numbers and rewrites
+    /// the log file).
+    compact: Mutex<()>,
 }
 
 impl Farm {
     /// An empty farm with per-tenant metrics at the default label
     /// cardinality.
     pub fn new() -> Farm {
-        Farm::with_tenant_cardinality(Some(64))
+        Farm::with_options(FarmOptions::default())
     }
 
     /// An empty farm; `cardinality` bounds the per-tenant label space
@@ -424,22 +555,69 @@ impl Farm {
     /// disables the per-tenant families entirely — the observability-off
     /// baseline the E24 overhead experiment compares against.
     pub fn with_tenant_cardinality(cardinality: Option<usize>) -> Farm {
+        Farm::with_options(FarmOptions {
+            tenant_cardinality: cardinality,
+            ..FarmOptions::default()
+        })
+    }
+
+    /// An empty farm with every knob explicit — see [`FarmOptions`].
+    pub fn with_options(options: FarmOptions) -> Farm {
         Farm {
             tenants: RwLock::new(FxHashMap::default()),
             cold_probes: Coalescer::new(),
-            metrics: cardinality.map(|k| Arc::new(FarmMetrics::new(k))),
+            metrics: options
+                .tenant_cardinality
+                .map(|k| Arc::new(FarmMetrics::new(k))),
+            wal: options.wal,
+            read_only: options.read_only,
+            retain_epochs: options.retain_epochs.max(1),
+            compact: Mutex::new(()),
         }
+    }
+
+    /// The edit log this farm appends to, if it has one.
+    pub fn wal(&self) -> Option<&Arc<WalStore>> {
+        self.wal.as_ref()
+    }
+
+    /// Whether client edits are refused (replication-follower stance).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
     }
 
     /// Loads (or replaces) a tenant from a snapshot file, returning
     /// `(entries, snapshot bytes)`. A replaced tenant restarts its
     /// lifecycle from cold; readers of the old tenant finish on the old
-    /// state.
+    /// state. On a logging farm the load is appended to the edit log
+    /// (after it validated locally) so a replayer loads the same
+    /// snapshot — snapshot files are treated as content-stable
+    /// artifacts that outlive the log.
     ///
     /// # Errors
     ///
-    /// [`ErrorCode::LoadFailed`] with the loader's message.
+    /// [`ErrorCode::LoadFailed`] with the loader's message (or the log
+    /// append failure).
     pub fn load(&self, tenant: &str, path: &Path) -> Result<(u64, u64), FarmError> {
+        let stats = self.load_unlogged(tenant, path)?;
+        if let (Some(wal), false) = (&self.wal, self.read_only) {
+            wal.append(WalRecord::Open {
+                tenant: tenant.to_owned(),
+                path: path.display().to_string(),
+            })
+            .map_err(|e| {
+                (
+                    ErrorCode::LoadFailed,
+                    format!("edit log append failed: {e}"),
+                )
+            })?;
+        }
+        Ok(stats)
+    }
+
+    /// [`load`](Farm::load) without the log append — the replay path,
+    /// and the body both share.
+    fn load_unlogged(&self, tenant: &str, path: &Path) -> Result<(u64, u64), FarmError> {
         let table = SnapshotTable::load(path).map_err(|e| {
             (
                 ErrorCode::LoadFailed,
@@ -447,7 +625,12 @@ impl Farm {
             )
         })?;
         let stats = (table.entry_count() as u64, table.size_bytes() as u64);
-        let t = Arc::new(Tenant::new(tenant.to_owned(), table, self.metrics.clone()));
+        let t = Arc::new(Tenant::new(
+            tenant.to_owned(),
+            table,
+            self.retain_epochs,
+            self.metrics.clone(),
+        ));
         let count = {
             let mut tenants = self.tenants.write().expect("tenants lock poisoned");
             tenants.insert(tenant.to_owned(), t);
@@ -481,12 +664,33 @@ impl Farm {
     ///
     /// [`ErrorCode::NoSuchTenant`] or [`ErrorCode::UnknownName`].
     pub fn query(&self, tenant: &str, class: &str, member: &str) -> Result<WireOutcome, FarmError> {
+        self.query_at(tenant, class, member, None)
+    }
+
+    /// One point lookup, optionally pinned to a retained epoch — the
+    /// time-travel read. As-of probes on a cold tenant still coalesce
+    /// (the pinned epoch is part of the answer, not the key, only
+    /// because a cold tenant has exactly one epoch to pin).
+    ///
+    /// # Errors
+    ///
+    /// [`query`](Farm::query)'s, plus [`ErrorCode::EpochRetired`] when
+    /// the epoch aged out of the retention window.
+    pub fn query_at(
+        &self,
+        tenant: &str,
+        class: &str,
+        member: &str,
+        as_of: Option<u64>,
+    ) -> Result<WireOutcome, FarmError> {
         let t = self.get(tenant)?;
-        if t.is_promoted() {
-            return t.query_now(class, member);
+        if t.is_promoted() || as_of.is_some() {
+            return t.query_now(class, member, as_of);
         }
         let key = (tenant.to_owned(), class.to_owned(), member.to_owned());
-        let (outcome, leader) = self.cold_probes.run(key, || t.query_now(class, member));
+        let (outcome, leader) = self
+            .cold_probes
+            .run(key, || t.query_now(class, member, None));
         if !leader {
             cpplookup_obs::global()
                 .counter(
@@ -512,8 +716,9 @@ impl Farm {
         tenant: &str,
         class: &str,
         member: &str,
+        as_of: Option<u64>,
     ) -> Result<(WireOutcome, ProbeTiming), FarmError> {
-        self.get(tenant)?.query_now_timed(class, member)
+        self.get(tenant)?.query_now_timed(class, member, as_of)
     }
 
     /// A batch of lookups with phase timing, for traced requests.
@@ -525,8 +730,9 @@ impl Farm {
         &self,
         tenant: &str,
         probes: &[(String, String)],
+        as_of: Option<u64>,
     ) -> Result<(Vec<WireOutcome>, ProbeTiming), FarmError> {
-        self.get(tenant)?.batch_now_timed(probes)
+        self.get(tenant)?.batch_now_timed(probes, as_of)
     }
 
     /// A batch of lookups against one tenant, answered in probe order.
@@ -540,19 +746,214 @@ impl Farm {
         tenant: &str,
         probes: &[(String, String)],
     ) -> Result<Vec<WireOutcome>, FarmError> {
-        self.get(tenant)?.batch_now(probes)
+        self.batch_at(tenant, probes, None)
+    }
+
+    /// A batch of lookups pinned to a retained epoch: every probe is
+    /// answered from the same frozen index version.
+    ///
+    /// # Errors
+    ///
+    /// As for [`query_at`](Farm::query_at).
+    pub fn batch_at(
+        &self,
+        tenant: &str,
+        probes: &[(String, String)],
+        as_of: Option<u64>,
+    ) -> Result<Vec<WireOutcome>, FarmError> {
+        self.get(tenant)?.batch_now(probes, as_of)
     }
 
     /// Applies one edit directive through the tenant's engine, warming
-    /// it on first use, and returns the newly published epoch.
+    /// it on first use, and returns the newly published epoch. On a
+    /// logging farm the directive is appended to the edit log before it
+    /// applies.
     ///
     /// # Errors
     ///
     /// [`ErrorCode::NoSuchTenant`], [`ErrorCode::UnknownName`],
     /// [`ErrorCode::BadPayload`] for an unparseable directive, or
-    /// [`ErrorCode::EditRejected`] from the engine.
+    /// [`ErrorCode::EditRejected`] from the engine, a failed log
+    /// append, or (always) a read-only follower.
     pub fn edit(&self, tenant: &str, directive: &str) -> Result<u64, FarmError> {
-        self.get(tenant)?.edit_now(directive)
+        if self.read_only {
+            return Err((
+                ErrorCode::EditRejected,
+                "this server is a read-only replication follower".to_owned(),
+            ));
+        }
+        self.get(tenant)?.edit_now(directive, self.wal.as_deref())
+    }
+
+    /// Whether a tenant of that name is loaded.
+    pub fn has_tenant(&self, tenant: &str) -> bool {
+        self.tenants
+            .read()
+            .expect("tenants lock poisoned")
+            .contains_key(tenant)
+    }
+
+    /// The epochs a tenant currently serves `as-of` reads for,
+    /// oldest-first and ending with the current epoch. A cold tenant
+    /// has no published epochs yet and reports an empty list.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoSuchTenant`].
+    pub fn retained_epochs(&self, tenant: &str) -> Result<Vec<u64>, FarmError> {
+        let t = self.get(tenant)?;
+        Ok(match t.serve.get() {
+            Some(handle) => handle.retained_epochs(),
+            None => Vec::new(),
+        })
+    }
+
+    /// Applies one replayed log record — the follower's (and the
+    /// startup recovery's) write path. The replay rules keep every
+    /// replayer byte-identical to the leader: `Open` loads the named
+    /// snapshot, `Edit` applies through the same lifecycle the leader
+    /// used (deterministic engine rejections are skipped, exactly as
+    /// the leader failed them), and `Checkpoint` loads its snapshot
+    /// only for tenants this replica has no earlier records for.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::LoadFailed`] when a named snapshot is gone, or
+    /// [`ErrorCode::NoSuchTenant`] when an `Edit` precedes its
+    /// tenant's `Open` — both mean the log and its artifacts are out
+    /// of step, which a replica must surface, not paper over.
+    pub fn apply_replica_record(&self, record: &WalRecord) -> Result<ReplicaApply, FarmError> {
+        match record {
+            WalRecord::Open { tenant, path } => {
+                self.load_unlogged(tenant, Path::new(path))?;
+                Ok(ReplicaApply::Loaded)
+            }
+            WalRecord::Edit { tenant, directive } => {
+                match self.get(tenant)?.edit_now(directive, None) {
+                    Ok(epoch) => Ok(ReplicaApply::Edited(epoch)),
+                    Err((
+                        ErrorCode::BadPayload | ErrorCode::UnknownName | ErrorCode::EditRejected,
+                        message,
+                    )) => Ok(ReplicaApply::EditSkipped(message)),
+                    Err(e) => Err(e),
+                }
+            }
+            WalRecord::Checkpoint { tenant, path, .. } => {
+                if self.has_tenant(tenant) {
+                    Ok(ReplicaApply::CheckpointSkipped)
+                } else {
+                    self.load_unlogged(tenant, Path::new(path))?;
+                    Ok(ReplicaApply::Loaded)
+                }
+            }
+        }
+    }
+
+    /// Compacts the edit log: captures every tenant's current state as
+    /// a checkpoint snapshot under `dir`, then rewrites the log to drop
+    /// the records those checkpoints subsume. Returns the number of
+    /// records dropped.
+    ///
+    /// Each tenant's cutoff sequence number is reserved *under its
+    /// edit lock*, so an edit racing the capture lands after the
+    /// cutoff and survives the rewrite. Sequence numbers are preserved
+    /// across the rewrite; a tailer mid-stream sees nothing re-delivered.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NotReplicating`] on a farm with no log;
+    /// [`ErrorCode::LoadFailed`] for checkpoint-write or rewrite I/O
+    /// failures (the log itself is replaced atomically or not at all).
+    pub fn compact_wal(&self, dir: &Path) -> Result<usize, FarmError> {
+        let wal = self.wal.as_ref().ok_or_else(|| {
+            (
+                ErrorCode::NotReplicating,
+                "this server has no edit log to compact".to_owned(),
+            )
+        })?;
+        let _serial = self.compact.lock().expect("compact lock poisoned");
+        let io = |what: &str, e: &dyn std::fmt::Display| {
+            (ErrorCode::LoadFailed, format!("compaction {what}: {e}"))
+        };
+        std::fs::create_dir_all(dir).map_err(|e| io("mkdir", &e))?;
+        let tenants: Vec<Arc<Tenant>> = {
+            let map = self.tenants.read().expect("tenants lock poisoned");
+            let mut all: Vec<Arc<Tenant>> = map.values().cloned().collect();
+            all.sort_by(|a, b| a.name.cmp(&b.name));
+            all
+        };
+        let now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut cutoffs: FxHashMap<String, u64> = FxHashMap::default();
+        let mut checkpoints: Vec<Stamped> = Vec::with_capacity(tenants.len());
+        for t in &tenants {
+            // Capture under the tenant's edit lock: the reserved seq
+            // orders before any edit that starts after we release it.
+            let live = t.live.lock().expect("live lock poisoned");
+            let cutoff = wal.reserve_seq();
+            let captured = live
+                .as_ref()
+                .map(|engine| (engine.engine().chg().clone(), t.promote().epoch()));
+            drop(live);
+            let file = dir.join(format!("{}-seq{cutoff}.snap", sanitize_name(&t.name)));
+            let epoch = match captured {
+                Some((chg, epoch)) => {
+                    Snapshot::compile_with(&chg, t.snapshot.options())
+                        .write_to(&file)
+                        .map_err(|e| io("checkpoint write", &e))?;
+                    epoch
+                }
+                None => {
+                    // Never edited: the validated snapshot image is the
+                    // state, verbatim.
+                    std::fs::write(&file, t.snapshot.as_bytes())
+                        .map_err(|e| io("checkpoint write", &e))?;
+                    0
+                }
+            };
+            cutoffs.insert(t.name.clone(), cutoff);
+            checkpoints.push(Stamped {
+                seq: cutoff,
+                unix_nanos: now,
+                record: WalRecord::Checkpoint {
+                    tenant: t.name.clone(),
+                    path: file.display().to_string(),
+                    epoch,
+                },
+            });
+        }
+        let mut dropped = 0usize;
+        wal.rewrite(|records| {
+            let mut kept: Vec<Stamped> = records
+                .into_iter()
+                .filter(|r| match cutoffs.get(r.record.tenant()) {
+                    // Records up to the tenant's cutoff are subsumed by
+                    // its checkpoint; unknown tenants (unloaded since)
+                    // keep their history verbatim.
+                    Some(&cutoff) => {
+                        let keep = r.seq > cutoff;
+                        if !keep {
+                            dropped += 1;
+                        }
+                        keep
+                    }
+                    None => true,
+                })
+                .collect();
+            kept.extend(checkpoints);
+            kept.sort_by_key(|r| r.seq);
+            kept
+        })
+        .map_err(|e| io("rewrite", &e))?;
+        cpplookup_obs::global()
+            .counter(
+                "server_wal_compactions_total",
+                "edit-log compaction rewrites",
+            )
+            .inc();
+        Ok(dropped)
     }
 
     /// Farm statistics as JSON: one tenant's document, or
@@ -716,5 +1117,230 @@ mod tests {
         for ((class, member), got) in probes.iter().zip(&batch) {
             assert_eq!(got, &farm.query("t", class, member).unwrap());
         }
+    }
+
+    /// A scratch directory that survives for the test (WAL replay needs
+    /// the snapshot paths in the log to stay resolvable).
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cpplookup-farm-wal-{name}-{}-{:x}",
+            std::process::id(),
+            {
+                use std::time::{SystemTime, UNIX_EPOCH};
+                SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            }
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn logging_farm(dir: &Path, chg: &Chg) -> Farm {
+        let snap = dir.join("t.snap");
+        Snapshot::compile(chg).write_to(&snap).unwrap();
+        let (wal, recovered) = WalStore::open(&dir.join("edits.wal"), 1).unwrap();
+        assert!(recovered.is_empty());
+        let farm = Farm::with_options(FarmOptions {
+            wal: Some(Arc::new(wal)),
+            ..FarmOptions::default()
+        });
+        farm.load("t", &snap).unwrap();
+        farm
+    }
+
+    #[test]
+    fn edits_append_to_the_log_before_applying() {
+        let dir = scratch("append");
+        let farm = logging_farm(&dir, &fixtures::fig2());
+        farm.edit("t", "member E fresh").unwrap();
+        farm.edit("t", "class R").unwrap();
+        farm.edit("t", "class S").unwrap();
+        farm.edit("t", "edge R S").unwrap();
+        // A deterministic engine rejection (the cycle) is logged too —
+        // every replayer fails it identically — but a parse failure
+        // never reaches the log.
+        assert_eq!(
+            farm.edit("t", "edge S R").unwrap_err().0,
+            ErrorCode::EditRejected
+        );
+        assert_eq!(
+            farm.edit("t", "drop table").unwrap_err().0,
+            ErrorCode::BadPayload
+        );
+        let records = cpplookup_wal::read_all(farm.wal().unwrap().path()).unwrap();
+        let shapes: Vec<String> = records
+            .iter()
+            .map(|r| match &r.record {
+                WalRecord::Open { tenant, .. } => format!("open {tenant}"),
+                WalRecord::Edit { directive, .. } => directive.clone(),
+                WalRecord::Checkpoint { .. } => "checkpoint".to_owned(),
+            })
+            .collect();
+        assert_eq!(
+            shapes,
+            vec![
+                "open t",
+                "member E fresh",
+                "class R",
+                "class S",
+                "edge R S",
+                "edge S R",
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replaying_the_log_reproduces_the_leader() {
+        let dir = scratch("replay");
+        let leader = logging_farm(&dir, &fixtures::fig2());
+        leader.edit("t", "member E fresh").unwrap();
+        leader.edit("t", "class Z").unwrap();
+        let leader_epoch = leader.edit("t", "edge Z E").unwrap();
+        // A cycle attempt: deterministically rejected, but logged.
+        assert_eq!(
+            leader.edit("t", "edge E Z").unwrap_err().0,
+            ErrorCode::EditRejected
+        );
+        let follower = Farm::with_options(FarmOptions {
+            read_only: true,
+            ..FarmOptions::default()
+        });
+        for r in cpplookup_wal::read_all(leader.wal().unwrap().path()).unwrap() {
+            follower.apply_replica_record(&r.record).unwrap();
+        }
+        assert_eq!(
+            follower.retained_epochs("t").unwrap().last().copied(),
+            Some(leader_epoch),
+            "a full-history replay lands on the leader's epoch"
+        );
+        for (c, m) in [("E", "m"), ("E", "fresh"), ("Z", "fresh"), ("D", "m")] {
+            assert_eq!(follower.query("t", c, m), leader.query("t", c, m));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_only_farms_refuse_edits() {
+        let dir = scratch("readonly");
+        let snap = dir.join("t.snap");
+        Snapshot::compile(&fixtures::fig1())
+            .write_to(&snap)
+            .unwrap();
+        let farm = Farm::with_options(FarmOptions {
+            read_only: true,
+            ..FarmOptions::default()
+        });
+        farm.load("t", &snap).unwrap();
+        assert_eq!(
+            farm.edit("t", "class Q").unwrap_err().0,
+            ErrorCode::EditRejected
+        );
+        assert!(farm.query("t", "A", "m").is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn as_of_reads_serve_retained_epochs() {
+        let dir = scratch("asof");
+        let snap = dir.join("t.snap");
+        Snapshot::compile(&fixtures::fig2())
+            .write_to(&snap)
+            .unwrap();
+        let farm = Farm::with_options(FarmOptions {
+            retain_epochs: 8,
+            ..FarmOptions::default()
+        });
+        farm.load("t", &snap).unwrap();
+        farm.query("t", "E", "m").unwrap(); // promote: epoch 0
+        let epoch = farm.edit("t", "member E fresh").unwrap(); // attach 1, edit 2
+        assert_eq!(farm.retained_epochs("t").unwrap(), vec![0, 1, 2]);
+        // The new member exists now but not in the pinned past.
+        assert!(matches!(
+            farm.query_at("t", "E", "fresh", Some(epoch)).unwrap(),
+            WireOutcome::Resolved { .. }
+        ));
+        assert_eq!(
+            farm.query_at("t", "E", "fresh", Some(0)).unwrap(),
+            WireOutcome::NotFound
+        );
+        // Batches pin the same frozen version.
+        let probes = vec![("E".to_owned(), "fresh".to_owned())];
+        assert_eq!(
+            farm.batch_at("t", &probes, Some(0)).unwrap(),
+            vec![WireOutcome::NotFound]
+        );
+        assert_eq!(
+            farm.query_at("t", "E", "m", Some(99)).unwrap_err().0,
+            ErrorCode::EpochRetired
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_retention_retires_past_epochs() {
+        let farm = farm_with("t", &fixtures::fig2());
+        farm.query("t", "E", "m").unwrap();
+        farm.edit("t", "member E fresh").unwrap();
+        assert_eq!(
+            farm.query_at("t", "E", "m", Some(0)).unwrap_err().0,
+            ErrorCode::EpochRetired
+        );
+    }
+
+    #[test]
+    fn compaction_checkpoints_subsume_history_and_rejoiners_converge() {
+        let dir = scratch("compact");
+        let leader = logging_farm(&dir, &fixtures::fig2());
+        leader.edit("t", "member E fresh").unwrap();
+        leader.edit("t", "class Z").unwrap();
+        leader.edit("t", "edge Z E").unwrap();
+        // open + 3 edits are subsumed by the checkpoint.
+        let dropped = leader.compact_wal(&dir.join("ckpt")).unwrap();
+        assert_eq!(dropped, 4);
+        let records = cpplookup_wal::read_all(leader.wal().unwrap().path()).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(records[0].record, WalRecord::Checkpoint { .. }));
+        // The leader keeps serving and logging after the rewrite, with
+        // sequence numbers still increasing.
+        let before = records[0].seq;
+        leader.edit("t", "class Q").unwrap();
+        let records = cpplookup_wal::read_all(leader.wal().unwrap().path()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(records[1].seq > before);
+        // A fresh replayer of the compacted log converges to
+        // byte-identical answers.
+        let follower = Farm::with_options(FarmOptions {
+            read_only: true,
+            ..FarmOptions::default()
+        });
+        for r in &records {
+            follower.apply_replica_record(&r.record).unwrap();
+        }
+        for (c, m) in [("E", "m"), ("E", "fresh"), ("Z", "fresh")] {
+            assert_eq!(follower.query("t", c, m), leader.query("t", c, m));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_preserves_cold_tenants_verbatim() {
+        let dir = scratch("coldckpt");
+        let leader = logging_farm(&dir, &fixtures::fig2());
+        // Never edited: the checkpoint must be the validated snapshot
+        // image, byte for byte.
+        leader.compact_wal(&dir.join("ckpt")).unwrap();
+        let records = cpplookup_wal::read_all(leader.wal().unwrap().path()).unwrap();
+        assert_eq!(records.len(), 1);
+        let ckpt_path = match &records[0].record {
+            WalRecord::Checkpoint { path, .. } => path.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let original = std::fs::read(dir.join("t.snap")).unwrap();
+        let checkpoint = std::fs::read(&ckpt_path).unwrap();
+        assert_eq!(original, checkpoint);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -25,6 +25,10 @@
 //!   by first-bytes sniffing.
 //! * [`recorder`] — the flight recorder: a bounded ring of recent
 //!   completed requests plus a slow-query log with full span trees.
+//! * [`replication`] — follower mode: a background loop that tails a
+//!   leader's durable edit log (over the wire via `SUBSCRIBE`, or by
+//!   file) and replays it through the farm's replica path, acking its
+//!   position back to the leader.
 //! * [`client`] — a small blocking client used by the CLI, the load
 //!   generator, and the tests.
 //! * [`loadgen`] — open- and closed-loop load generation with zipfian
@@ -46,11 +50,13 @@ pub mod farm;
 pub mod loadgen;
 pub mod protocol;
 pub mod recorder;
+pub mod replication;
 pub mod server;
 
 pub use client::Client;
-pub use farm::Farm;
+pub use farm::{Farm, FarmOptions};
 pub use loadgen::{LoadConfig, LoadReport, Pacing};
 pub use protocol::{ErrorCode, Request, Response, WireLv, WireOutcome, WireSpan, PROTOCOL_VERSION};
 pub use recorder::{FlightEntry, FlightRecorder, SlowEntry};
+pub use replication::{FollowSource, Follower, FollowerConfig};
 pub use server::{ObsConfig, Server, ServerConfig};

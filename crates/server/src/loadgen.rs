@@ -78,6 +78,10 @@ pub struct LoadConfig {
     /// Send every request with the TRACE flag and aggregate the
     /// server's per-phase attribution into the report.
     pub trace: bool,
+    /// Every Nth request per worker is an `EDIT` adding a fresh member
+    /// to the sampled tenant instead of a read (0 = reads only) — the
+    /// write mix that drives the durable edit log in E25.
+    pub edit_every: u64,
 }
 
 impl Default for LoadConfig {
@@ -92,6 +96,7 @@ impl Default for LoadConfig {
             batch: 1,
             seed: 0xC0FFEE,
             trace: false,
+            edit_every: 0,
         }
     }
 }
@@ -106,6 +111,9 @@ pub struct LoadReport {
     /// Error responses received (transport failures end a worker and
     /// also count here).
     pub errors: u64,
+    /// Edit requests applied (counted inside
+    /// [`requests`](LoadReport::requests) too).
+    pub edits: u64,
     /// Wall-clock elapsed.
     pub elapsed: Duration,
     /// Per-request latency, nanoseconds.
@@ -153,6 +161,9 @@ impl LoadReport {
             self.p99_us(),
             self.errors,
         );
+        if self.edits > 0 {
+            out.push_str(&format!(", {} edits", self.edits));
+        }
         if self.traced > 0 {
             let total: u64 = self.phases.values().sum();
             out.push_str(&format!(
@@ -237,7 +248,7 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
                     Client::connect(config.addr.as_str(), Some(Duration::from_secs(10)))
                 else {
                     errors.fetch_add(1, Ordering::Relaxed);
-                    return (0u64, 0u64, hist.snapshot(), 0u64, BTreeMap::new());
+                    return (0u64, 0u64, hist.snapshot(), 0u64, BTreeMap::new(), 0u64);
                 };
                 connected.fetch_add(1, Ordering::Relaxed);
                 // Open loop: this worker owns every `connections`-th
@@ -249,7 +260,7 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
                     Pacing::Closed => None,
                 };
                 let mut next_departure = Instant::now();
-                let (mut requests, mut probes) = (0u64, 0u64);
+                let (mut requests, mut probes, mut edits) = (0u64, 0u64, 0u64);
                 while Instant::now() < deadline {
                     let measure_from = if let Some(interval) = interval {
                         let now = Instant::now();
@@ -265,35 +276,45 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
                     let rank = tenant_zipf.sample(&mut rng);
                     let target = &targets[rank];
                     let zipf = &probe_zipfs[rank];
-                    let outcome = if config.batch > 1 {
-                        let picked: Vec<(String, String)> = (0..config.batch)
-                            .map(|_| target.probes[zipf.sample(&mut rng)].clone())
-                            .collect();
-                        if config.trace {
-                            client
-                                .batch_traced(&target.name, &picked)
-                                .map(|(o, spans)| {
-                                    traced += 1;
-                                    merge_phases(&mut phases, &spans);
-                                    o.len() as u64
-                                })
+                    let outcome =
+                        if config.edit_every > 0 && (requests + 1) % config.edit_every == 0 {
+                            // A fresh, per-worker-unique member name keeps
+                            // every edit applicable (and the log growing).
+                            let (class, _) = &target.probes[zipf.sample(&mut rng)];
+                            let directive = format!("member {class} lg_{worker}_{requests}");
+                            client.edit(&target.name, &directive).map(|_| {
+                                edits += 1;
+                                1
+                            })
+                        } else if config.batch > 1 {
+                            let picked: Vec<(String, String)> = (0..config.batch)
+                                .map(|_| target.probes[zipf.sample(&mut rng)].clone())
+                                .collect();
+                            if config.trace {
+                                client
+                                    .batch_traced(&target.name, &picked)
+                                    .map(|(o, spans)| {
+                                        traced += 1;
+                                        merge_phases(&mut phases, &spans);
+                                        o.len() as u64
+                                    })
+                            } else {
+                                client.batch(&target.name, &picked).map(|o| o.len() as u64)
+                            }
                         } else {
-                            client.batch(&target.name, &picked).map(|o| o.len() as u64)
-                        }
-                    } else {
-                        let (class, member) = &target.probes[zipf.sample(&mut rng)];
-                        if config.trace {
-                            client
-                                .query_traced(&target.name, class, member)
-                                .map(|(_, spans)| {
-                                    traced += 1;
-                                    merge_phases(&mut phases, &spans);
-                                    1
-                                })
-                        } else {
-                            client.query(&target.name, class, member).map(|_| 1)
-                        }
-                    };
+                            let (class, member) = &target.probes[zipf.sample(&mut rng)];
+                            if config.trace {
+                                client.query_traced(&target.name, class, member).map(
+                                    |(_, spans)| {
+                                        traced += 1;
+                                        merge_phases(&mut phases, &spans);
+                                        1
+                                    },
+                                )
+                            } else {
+                                client.query(&target.name, class, member).map(|_| 1)
+                            }
+                        };
                     match outcome {
                         Ok(n) => {
                             requests += 1;
@@ -310,7 +331,7 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
                         }
                     }
                 }
-                (requests, probes, hist.snapshot(), traced, phases)
+                (requests, probes, hist.snapshot(), traced, phases, edits)
             })
         })
         .collect();
@@ -319,12 +340,14 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
     let mut latency = Histogram::latency_ns().snapshot();
     let mut traced = 0;
     let mut phases: BTreeMap<String, u64> = BTreeMap::new();
+    let mut edits = 0;
     for w in workers {
-        let (r, p, h, t, ph) = w.join().expect("loadgen worker panicked");
+        let (r, p, h, t, ph, e) = w.join().expect("loadgen worker panicked");
         requests += r;
         probes += p;
         latency.merge(&h);
         traced += t;
+        edits += e;
         for (label, ns) in ph {
             *phases.entry(label).or_insert(0) += ns;
         }
@@ -339,6 +362,7 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
         requests,
         probes,
         errors: errors.load(Ordering::Relaxed),
+        edits,
         elapsed: start.elapsed(),
         latency,
         traced,

@@ -29,7 +29,7 @@
 
 use std::io::{self, Read, Write};
 
-pub use cpplookup_snapshot::format::checksum64;
+pub use cpplookup_chg::checksum::checksum64;
 
 /// Protocol version spoken by this build; [`Request::Hello`] carries
 /// the client's, and mismatches are rejected with
@@ -56,6 +56,10 @@ pub mod op {
     pub const STATS: u8 = 0x06;
     /// [`Request::Metrics`](super::Request::Metrics).
     pub const METRICS: u8 = 0x07;
+    /// [`Request::Subscribe`](super::Request::Subscribe).
+    pub const SUBSCRIBE: u8 = 0x08;
+    /// [`Request::Ack`](super::Request::Ack).
+    pub const ACK: u8 = 0x09;
 
     /// [`Response::Hello`](super::Response::Hello).
     pub const R_HELLO: u8 = 0x81;
@@ -73,6 +77,10 @@ pub mod op {
     pub const R_METRICS: u8 = 0x87;
     /// [`Response::Traced`](super::Response::Traced).
     pub const R_TRACED: u8 = 0x88;
+    /// [`Response::Replicated`](super::Response::Replicated).
+    pub const R_REPLICATED: u8 = 0x89;
+    /// [`Response::Acked`](super::Response::Acked).
+    pub const R_ACKED: u8 = 0x8A;
     /// [`Response::Error`](super::Response::Error).
     pub const R_ERROR: u8 = 0xEE;
 }
@@ -83,6 +91,14 @@ pub mod flags {
     /// Ask the server to time the request's phases and answer with
     /// [`Response::Traced`](super::Response::Traced).
     pub const TRACE: u8 = 0x01;
+    /// Answer from a *retained* epoch instead of the live index: the
+    /// flags byte is followed by the `u64` epoch to read at. An epoch
+    /// outside the retention window is
+    /// [`ErrorCode::EpochRetired`](super::ErrorCode::EpochRetired).
+    pub const AS_OF: u8 = 0x02;
+
+    /// Every bit this build understands; the decoder rejects the rest.
+    pub const ALL: u8 = TRACE | AS_OF;
 }
 
 /// Structured protocol error codes carried by [`Response::Error`](super::Response::Error).
@@ -110,6 +126,10 @@ pub enum ErrorCode {
     Busy = 9,
     /// Client and server protocol versions differ.
     BadVersion = 10,
+    /// An `as-of` query named an epoch outside the retention window.
+    EpochRetired = 11,
+    /// A replication request reached a server with no edit log.
+    NotReplicating = 12,
 }
 
 impl ErrorCode {
@@ -127,6 +147,8 @@ impl ErrorCode {
             8 => ErrorCode::EditRejected,
             9 => ErrorCode::Busy,
             10 => ErrorCode::BadVersion,
+            11 => ErrorCode::EpochRetired,
+            12 => ErrorCode::NotReplicating,
             _ => ErrorCode::BadPayload,
         }
     }
@@ -144,6 +166,8 @@ impl ErrorCode {
             ErrorCode::EditRejected => "edit_rejected",
             ErrorCode::Busy => "busy",
             ErrorCode::BadVersion => "bad_version",
+            ErrorCode::EpochRetired => "epoch_retired",
+            ErrorCode::NotReplicating => "not_replicating",
         }
     }
 }
@@ -203,6 +227,38 @@ impl WireSpan {
     }
 }
 
+/// One replicated edit-log record on the wire — the protocol-level
+/// image of the WAL's record enum, defined here so the protocol stays
+/// free of a `cpplookup-wal` dependency (and so the wire format is
+/// pinned by this module's fuzz tests like every other payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireRecord {
+    /// A tenant was loaded (or replaced) from a snapshot file.
+    Open {
+        /// Tenant name.
+        tenant: String,
+        /// Leader-side path of the snapshot.
+        path: String,
+    },
+    /// One edit directive was appended.
+    Edit {
+        /// Tenant name.
+        tenant: String,
+        /// The directive text.
+        directive: String,
+    },
+    /// A compaction checkpoint (followers that already track the
+    /// tenant skip it; late joiners load it).
+    Checkpoint {
+        /// Tenant name.
+        tenant: String,
+        /// Leader-side path of the checkpoint snapshot.
+        path: String,
+        /// The tenant's published epoch at capture.
+        epoch: u64,
+    },
+}
+
 /// A client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -231,6 +287,9 @@ pub enum Request {
         /// answered with [`Response::Traced`] instead of
         /// [`Response::Outcome`].
         trace: bool,
+        /// Answer from this retained epoch instead of the live index
+        /// ([`flags::AS_OF`]).
+        as_of: Option<u64>,
     },
     /// Many lookups against one tenant, answered in order.
     Batch {
@@ -242,6 +301,9 @@ pub enum Request {
         /// answered with [`Response::Traced`] instead of
         /// [`Response::Outcomes`].
         trace: bool,
+        /// Answer from this retained epoch instead of the live index
+        /// ([`flags::AS_OF`]).
+        as_of: Option<u64>,
     },
     /// Apply one edit directive (`class NAME`, `member CLASS NAME`, or
     /// `edge DERIVED BASE [virtual]`) through the tenant's engine.
@@ -259,6 +321,23 @@ pub enum Request {
     /// The Prometheus metrics text (also served over the HTTP admin
     /// endpoint).
     Metrics,
+    /// Become a replication follower: the server diverts this
+    /// connection into a one-way stream of [`Response::Replicated`]
+    /// frames, starting after log sequence number `from_seq`.
+    Subscribe {
+        /// Deliver records with sequence numbers strictly greater
+        /// than this (0 = the whole retained log).
+        from_seq: u64,
+    },
+    /// A follower's applied-position report (sent on a *separate*
+    /// connection from its subscription stream), answered with
+    /// [`Response::Acked`].
+    Ack {
+        /// The follower's self-chosen identity (a metrics label).
+        follower: String,
+        /// Highest log sequence number the follower has applied.
+        seq: u64,
+    },
 }
 
 /// A server response.
@@ -305,6 +384,22 @@ pub enum Response {
         outcomes: Vec<WireOutcome>,
         /// The span tree, recording order (root first).
         spans: Vec<WireSpan>,
+    },
+    /// One edit-log record streamed to a subscribed follower.
+    Replicated {
+        /// The record's log sequence number.
+        seq: u64,
+        /// Leader append time, nanoseconds since the Unix epoch (the
+        /// follower's replication-lag clock).
+        unix_nanos: u64,
+        /// The record itself.
+        record: WireRecord,
+    },
+    /// Answer to [`Request::Ack`].
+    Acked {
+        /// The leader's current last log sequence number, so the
+        /// follower can measure how far behind it is.
+        leader_seq: u64,
     },
     /// Any failure, with a structured code.
     Error {
@@ -551,18 +646,81 @@ fn dec_lv(d: &mut Dec<'_>) -> Result<WireLv, String> {
     }
 }
 
-/// Reads the optional trailing flags byte of `QUERY`/`BATCH`: absent
-/// means no flags; unknown bits are rejected (this protocol is strict —
-/// a flag the server would silently ignore is a client bug).
-fn dec_flags(d: &mut Dec<'_>) -> Result<u8, String> {
+/// Reads the optional trailing flags section of `QUERY`/`BATCH`:
+/// absent means no flags; unknown bits are rejected (this protocol is
+/// strict — a flag the server would silently ignore is a client bug).
+/// When [`flags::AS_OF`] is set, the `u64` epoch that follows the
+/// flags byte is read too.
+fn dec_flags(d: &mut Dec<'_>) -> Result<(u8, Option<u64>), String> {
     if d.remaining() == 0 {
-        return Ok(0);
+        return Ok((0, None));
     }
     let f = d.u8("flags")?;
-    if f & !flags::TRACE != 0 {
-        return Err(format!("unknown flag bits 0x{:02x}", f & !flags::TRACE));
+    if f & !flags::ALL != 0 {
+        return Err(format!("unknown flag bits 0x{:02x}", f & !flags::ALL));
     }
-    Ok(f)
+    let as_of = if f & flags::AS_OF != 0 {
+        Some(d.u64("as-of epoch")?)
+    } else {
+        None
+    };
+    Ok((f, as_of))
+}
+
+/// Appends the optional trailing flags section: the flags byte only
+/// when a flag is set (so a flagless request is byte-identical to the
+/// pre-flags encoding), then the as-of epoch when present.
+fn enc_flags(e: &mut Enc, trace: bool, as_of: Option<u64>) {
+    let mut f = 0u8;
+    if trace {
+        f |= flags::TRACE;
+    }
+    if as_of.is_some() {
+        f |= flags::AS_OF;
+    }
+    if f != 0 {
+        e.u8(f);
+    }
+    if let Some(epoch) = as_of {
+        e.u64(epoch);
+    }
+}
+
+fn enc_record(e: &mut Enc, r: &WireRecord) {
+    match r {
+        WireRecord::Open { tenant, path } => {
+            e.u8(1).str(tenant).str(path);
+        }
+        WireRecord::Edit { tenant, directive } => {
+            e.u8(2).str(tenant).str(directive);
+        }
+        WireRecord::Checkpoint {
+            tenant,
+            path,
+            epoch,
+        } => {
+            e.u8(3).str(tenant).str(path).u64(*epoch);
+        }
+    }
+}
+
+fn dec_record(d: &mut Dec<'_>) -> Result<WireRecord, String> {
+    match d.u8("record kind")? {
+        1 => Ok(WireRecord::Open {
+            tenant: d.str("record tenant")?,
+            path: d.str("record path")?,
+        }),
+        2 => Ok(WireRecord::Edit {
+            tenant: d.str("record tenant")?,
+            directive: d.str("record directive")?,
+        }),
+        3 => Ok(WireRecord::Checkpoint {
+            tenant: d.str("record tenant")?,
+            path: d.str("record path")?,
+            epoch: d.u64("record epoch")?,
+        }),
+        k => Err(format!("unknown record kind {k}")),
+    }
 }
 
 fn enc_span(e: &mut Enc, s: &WireSpan) {
@@ -642,30 +800,25 @@ impl Request {
                 class,
                 member,
                 trace,
+                as_of,
             } => {
                 let mut e = Enc::new(op::QUERY);
                 e.str(tenant).str(class).str(member);
-                // The flags byte is appended only when a flag is set,
-                // so an untraced request is byte-identical to the
-                // flagless encoding.
-                if *trace {
-                    e.u8(flags::TRACE);
-                }
+                enc_flags(&mut e, *trace, *as_of);
                 e.finish()
             }
             Request::Batch {
                 tenant,
                 probes,
                 trace,
+                as_of,
             } => {
                 let mut e = Enc::new(op::BATCH);
                 e.str(tenant).u32(probes.len() as u32);
                 for (class, member) in probes {
                     e.str(class).str(member);
                 }
-                if *trace {
-                    e.u8(flags::TRACE);
-                }
+                enc_flags(&mut e, *trace, *as_of);
                 e.finish()
             }
             Request::Edit { tenant, directive } => {
@@ -679,6 +832,16 @@ impl Request {
                 e.finish()
             }
             Request::Metrics => Enc::new(op::METRICS).finish(),
+            Request::Subscribe { from_seq } => {
+                let mut e = Enc::new(op::SUBSCRIBE);
+                e.u64(*from_seq);
+                e.finish()
+            }
+            Request::Ack { follower, seq } => {
+                let mut e = Enc::new(op::ACK);
+                e.str(follower).u64(*seq);
+                e.finish()
+            }
         }
     }
 
@@ -707,12 +870,13 @@ impl Request {
                 let tenant = d.str("tenant").map_err(bad)?;
                 let class = d.str("class").map_err(bad)?;
                 let member = d.str("member").map_err(bad)?;
-                let f = dec_flags(&mut d).map_err(bad)?;
+                let (f, as_of) = dec_flags(&mut d).map_err(bad)?;
                 Request::Query {
                     tenant,
                     class,
                     member,
                     trace: f & flags::TRACE != 0,
+                    as_of,
                 }
             }
             op::BATCH => {
@@ -728,11 +892,12 @@ impl Request {
                         d.str("probe member").map_err(bad)?,
                     ));
                 }
-                let f = dec_flags(&mut d).map_err(bad)?;
+                let (f, as_of) = dec_flags(&mut d).map_err(bad)?;
                 Request::Batch {
                     tenant,
                     probes,
                     trace: f & flags::TRACE != 0,
+                    as_of,
                 }
             }
             op::EDIT => Request::Edit {
@@ -743,6 +908,13 @@ impl Request {
                 tenant: d.str("tenant").map_err(bad)?,
             },
             op::METRICS => Request::Metrics,
+            op::SUBSCRIBE => Request::Subscribe {
+                from_seq: d.u64("from_seq").map_err(bad)?,
+            },
+            op::ACK => Request::Ack {
+                follower: d.str("follower").map_err(bad)?,
+                seq: d.u64("seq").map_err(bad)?,
+            },
             other => {
                 return Err((
                     ErrorCode::UnknownOpcode,
@@ -838,6 +1010,21 @@ impl Response {
                 }
                 e.finish()
             }
+            Response::Replicated {
+                seq,
+                unix_nanos,
+                record,
+            } => {
+                let mut e = Enc::new(op::R_REPLICATED);
+                e.u64(*seq).u64(*unix_nanos);
+                enc_record(&mut e, record);
+                e.finish()
+            }
+            Response::Acked { leader_seq } => {
+                let mut e = Enc::new(op::R_ACKED);
+                e.u64(*leader_seq);
+                e.finish()
+            }
             Response::Error { code, message } => {
                 let mut e = Enc::new(op::R_ERROR);
                 e.u16(*code as u16).str(message);
@@ -904,6 +1091,14 @@ impl Response {
                 }
                 Response::Traced { outcomes, spans }
             }
+            op::R_REPLICATED => Response::Replicated {
+                seq: d.u64("seq")?,
+                unix_nanos: d.u64("unix_nanos")?,
+                record: dec_record(&mut d)?,
+            },
+            op::R_ACKED => Response::Acked {
+                leader_seq: d.u64("leader_seq")?,
+            },
             op::R_ERROR => Response::Error {
                 code: ErrorCode::from_u16(d.u16("error code")?),
                 message: d.str("error message")?,
@@ -948,22 +1143,26 @@ mod tests {
             class: "E".into(),
             member: "m".into(),
             trace: false,
+            as_of: None,
         });
         roundtrip_request(Request::Query {
             tenant: "t0".into(),
             class: "E".into(),
             member: "m".into(),
             trace: true,
+            as_of: None,
         });
         roundtrip_request(Request::Batch {
             tenant: "t0".into(),
             probes: vec![("E".into(), "m".into()), ("D".into(), "m".into())],
             trace: false,
+            as_of: None,
         });
         roundtrip_request(Request::Batch {
             tenant: "t0".into(),
             probes: vec![("E".into(), "m".into())],
             trace: true,
+            as_of: None,
         });
         roundtrip_request(Request::Edit {
             tenant: "t0".into(),
@@ -971,6 +1170,32 @@ mod tests {
         });
         roundtrip_request(Request::Stats { tenant: "".into() });
         roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Query {
+            tenant: "t0".into(),
+            class: "E".into(),
+            member: "m".into(),
+            trace: false,
+            as_of: Some(4),
+        });
+        roundtrip_request(Request::Query {
+            tenant: "t0".into(),
+            class: "E".into(),
+            member: "m".into(),
+            trace: true,
+            as_of: Some(0),
+        });
+        roundtrip_request(Request::Batch {
+            tenant: "t0".into(),
+            probes: vec![("E".into(), "m".into())],
+            trace: false,
+            as_of: Some(u64::MAX),
+        });
+        roundtrip_request(Request::Subscribe { from_seq: 0 });
+        roundtrip_request(Request::Subscribe { from_seq: 99 });
+        roundtrip_request(Request::Ack {
+            follower: "f1".into(),
+            seq: 17,
+        });
     }
 
     #[test]
@@ -1027,6 +1252,71 @@ mod tests {
             code: ErrorCode::NoSuchTenant,
             message: "no tenant `x`".into(),
         });
+        roundtrip_response(Response::Replicated {
+            seq: 12,
+            unix_nanos: 1_700_000_000_000_000_000,
+            record: WireRecord::Open {
+                tenant: "t".into(),
+                path: "/tmp/t.snap".into(),
+            },
+        });
+        roundtrip_response(Response::Replicated {
+            seq: 13,
+            unix_nanos: 0,
+            record: WireRecord::Edit {
+                tenant: "t".into(),
+                directive: "member E fresh".into(),
+            },
+        });
+        roundtrip_response(Response::Replicated {
+            seq: 14,
+            unix_nanos: 7,
+            record: WireRecord::Checkpoint {
+                tenant: "t".into(),
+                path: "/tmp/ckpt.snap".into(),
+                epoch: 9,
+            },
+        });
+        roundtrip_response(Response::Acked { leader_seq: 21 });
+    }
+
+    #[test]
+    fn as_of_is_a_flagged_trailing_epoch() {
+        let plain = Request::Query {
+            tenant: "t".into(),
+            class: "C".into(),
+            member: "m".into(),
+            trace: false,
+            as_of: None,
+        };
+        let pinned = Request::Query {
+            tenant: "t".into(),
+            class: "C".into(),
+            member: "m".into(),
+            trace: false,
+            as_of: Some(5),
+        };
+        // Flags byte + u64 epoch.
+        assert_eq!(pinned.encode().len(), plain.encode().len() + 9);
+        // The epoch must actually be present when the flag is set.
+        let mut truncated = pinned.encode();
+        truncated.truncate(truncated.len() - 8);
+        assert_eq!(
+            Request::decode(&truncated).unwrap_err().0,
+            ErrorCode::BadPayload
+        );
+        // Both flags compose.
+        let both = Request::Batch {
+            tenant: "t".into(),
+            probes: vec![("C".into(), "m".into())],
+            trace: true,
+            as_of: Some(2),
+        };
+        assert_eq!(Request::decode(&both.encode()).unwrap(), both);
+        // An unknown error code from the future still decodes.
+        assert_eq!(ErrorCode::from_u16(11), ErrorCode::EpochRetired);
+        assert_eq!(ErrorCode::from_u16(12), ErrorCode::NotReplicating);
+        assert_eq!(ErrorCode::from_u16(999), ErrorCode::BadPayload);
     }
 
     #[test]
@@ -1038,12 +1328,14 @@ mod tests {
             class: "C".into(),
             member: "m".into(),
             trace: false,
+            as_of: None,
         };
         let traced = Request::Query {
             tenant: "t".into(),
             class: "C".into(),
             member: "m".into(),
             trace: true,
+            as_of: None,
         };
         assert_eq!(traced.encode().len(), plain.encode().len() + 1);
         // An explicit zero flags byte decodes as untraced.
@@ -1075,6 +1367,7 @@ mod tests {
             class: "Class".into(),
             member: "member".into(),
             trace: true,
+            as_of: Some(3),
         };
         let mut wire = Vec::new();
         write_frame(&mut wire, &req.encode()).unwrap();
@@ -1106,6 +1399,7 @@ mod tests {
             tenant: "t".into(),
             probes: vec![("A".into(), "m".into())],
             trace: false,
+            as_of: None,
         };
         let mut wire = Vec::new();
         write_frame(&mut wire, &req.encode()).unwrap();

@@ -1,0 +1,402 @@
+//! Follower-side replication: tail a leader's edit log and apply it.
+//!
+//! A [`Follower`] is a background thread that keeps a read-only
+//! [`Farm`] converged with a leader by replaying the leader's log in
+//! sequence order through [`Farm::apply_replica_record`] — the same
+//! replay path the leader itself uses for crash recovery, so "follower
+//! state" and "restarted-leader state" are the same thing by
+//! construction. Two transports ship the records:
+//!
+//! * **Wire** ([`FollowSource::Wire`]): a `SUBSCRIBE` connection to the
+//!   leader streams records as they are appended; a second, plain
+//!   connection reports progress back with `ACK` frames. Disconnects
+//!   and leader restarts are survived by resubscribing from the last
+//!   applied sequence number — records carry their identity, so replay
+//!   is idempotent by construction.
+//! * **File** ([`FollowSource::File`]): the leader's log file is tailed
+//!   directly (same host or shared filesystem) with
+//!   [`FileTailer`](cpplookup_wal::FileTailer); a torn tail — the
+//!   leader mid-append — reads as "no new records yet".
+//!
+//! Replication lag is measured per record as apply-time minus the
+//! leader's append timestamp and lands in the
+//! `replication_lag_ns` histogram; `replication_applied_seq` gauges the
+//! follower's position for dashboards and the E25 experiment.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use cpplookup_wal::{FileTailer, WalRecord};
+
+use crate::client::Client;
+use crate::farm::Farm;
+use crate::protocol::WireRecord;
+
+/// Converts a log record to its wire twin (the protocol stays free of
+/// a `cpplookup-wal` dependency; the two enums mirror field for field).
+pub fn wire_record(r: &WalRecord) -> WireRecord {
+    match r {
+        WalRecord::Open { tenant, path } => WireRecord::Open {
+            tenant: tenant.clone(),
+            path: path.clone(),
+        },
+        WalRecord::Edit { tenant, directive } => WireRecord::Edit {
+            tenant: tenant.clone(),
+            directive: directive.clone(),
+        },
+        WalRecord::Checkpoint {
+            tenant,
+            path,
+            epoch,
+        } => WireRecord::Checkpoint {
+            tenant: tenant.clone(),
+            path: path.clone(),
+            epoch: *epoch,
+        },
+    }
+}
+
+/// Converts a wire record back to the log record it mirrors.
+pub fn wal_record(r: &WireRecord) -> WalRecord {
+    match r {
+        WireRecord::Open { tenant, path } => WalRecord::Open {
+            tenant: tenant.clone(),
+            path: path.clone(),
+        },
+        WireRecord::Edit { tenant, directive } => WalRecord::Edit {
+            tenant: tenant.clone(),
+            directive: directive.clone(),
+        },
+        WireRecord::Checkpoint {
+            tenant,
+            path,
+            epoch,
+        } => WalRecord::Checkpoint {
+            tenant: tenant.clone(),
+            path: path.clone(),
+            epoch: *epoch,
+        },
+    }
+}
+
+/// Where a follower's records come from.
+#[derive(Clone, Debug)]
+pub enum FollowSource {
+    /// Subscribe to a leader over the wire protocol (`host:port`).
+    Wire(String),
+    /// Tail the leader's log file directly.
+    File(PathBuf),
+}
+
+/// Follower configuration.
+#[derive(Clone, Debug)]
+pub struct FollowerConfig {
+    /// The leader's log, by wire or by file.
+    pub source: FollowSource,
+    /// Name this follower reports in its ACKs (and metrics labels).
+    pub follower_id: String,
+    /// Resume point: apply only records after this sequence number
+    /// (0 = from the beginning).
+    pub from_seq: u64,
+    /// Idle poll interval (file mode) / reconnect backoff (wire mode).
+    pub poll_interval: Duration,
+    /// Wire mode: report progress to the leader after this many applied
+    /// records (0 disables ACKs).
+    pub ack_every: u64,
+}
+
+impl Default for FollowerConfig {
+    fn default() -> Self {
+        FollowerConfig {
+            source: FollowSource::File(PathBuf::from("edits.wal")),
+            follower_id: "follower".to_owned(),
+            from_seq: 0,
+            poll_interval: Duration::from_millis(20),
+            ack_every: 32,
+        }
+    }
+}
+
+/// Shared live state of a running follower.
+struct Progress {
+    /// Last sequence number applied to the farm.
+    applied: AtomicU64,
+    /// Records applied since start.
+    records: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A background replication loop — see the module docs.
+pub struct Follower {
+    progress: Arc<Progress>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl Follower {
+    /// Starts replicating `config.source` into `farm` on a background
+    /// thread. The farm is typically read-only (client edits refused),
+    /// but that is the caller's choice — replay bypasses the read-only
+    /// gate by design.
+    pub fn start(farm: Arc<Farm>, config: FollowerConfig) -> Follower {
+        let progress = Arc::new(Progress {
+            applied: AtomicU64::new(config.from_seq),
+            records: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let worker = {
+            let progress = Arc::clone(&progress);
+            thread::spawn(move || match &config.source {
+                FollowSource::Wire(addr) => follow_wire(&farm, &config, addr, &progress),
+                FollowSource::File(path) => follow_file(&farm, &config, path, &progress),
+            })
+        };
+        Follower {
+            progress,
+            worker: Some(worker),
+        }
+    }
+
+    /// Last log sequence number applied to the farm.
+    pub fn applied_seq(&self) -> u64 {
+        self.progress.applied.load(Ordering::SeqCst)
+    }
+
+    /// Records applied since start.
+    pub fn records_applied(&self) -> u64 {
+        self.progress.records.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the follower has applied through `seq` (or the
+    /// timeout passes); returns whether it got there.
+    pub fn wait_for_seq(&self, seq: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.applied_seq() < seq {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Stops the loop and joins the thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.progress.stop.store(true, Ordering::SeqCst);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Follower {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Per-follower metric handles, resolved once.
+struct LagMeter {
+    lag: Arc<cpplookup_obs::Histogram>,
+    applied: Arc<cpplookup_obs::Gauge>,
+    skipped: Arc<cpplookup_obs::Counter>,
+    errors: Arc<cpplookup_obs::Counter>,
+}
+
+impl LagMeter {
+    fn new() -> LagMeter {
+        let obs = cpplookup_obs::global();
+        LagMeter {
+            lag: obs.histogram(
+                "replication_lag_ns",
+                "per-record apply-time minus leader append-time",
+                cpplookup_obs::Histogram::latency_ns(),
+            ),
+            applied: obs.gauge(
+                "replication_applied_seq",
+                "last leader log sequence number applied locally",
+            ),
+            skipped: obs.counter(
+                "replication_skipped_total",
+                "replayed records deterministically skipped (leader rejected them too)",
+            ),
+            errors: obs.counter(
+                "replication_errors_total",
+                "records that failed to apply or stream errors",
+            ),
+        }
+    }
+}
+
+fn unix_nanos_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// Applies one record, advancing progress and the lag histogram.
+fn apply_one(
+    farm: &Farm,
+    meter: &LagMeter,
+    progress: &Progress,
+    seq: u64,
+    leader_nanos: u64,
+    record: &WalRecord,
+) {
+    match farm.apply_replica_record(record) {
+        Ok(crate::farm::ReplicaApply::EditSkipped(_)) => meter.skipped.inc(),
+        Ok(_) => {}
+        Err(_) => {
+            // A missing snapshot artifact or an out-of-order stream:
+            // count it and keep the position honest — retrying the same
+            // record forever would wedge the stream.
+            meter.errors.inc();
+        }
+    }
+    progress.applied.store(seq, Ordering::SeqCst);
+    progress.records.fetch_add(1, Ordering::SeqCst);
+    meter.applied.set(seq as i64);
+    meter
+        .lag
+        .observe(unix_nanos_now().saturating_sub(leader_nanos));
+}
+
+/// The wire loop: subscribe, apply, ack; reconnect on any stream error.
+fn follow_wire(farm: &Farm, config: &FollowerConfig, addr: &str, progress: &Progress) {
+    let meter = LagMeter::new();
+    // Short read timeouts keep the loop responsive to `stop` while the
+    // leader is quiet: a timeout is an idle tick, not a failure.
+    let timeout = Some(Duration::from_millis(250));
+    while !progress.stop.load(Ordering::SeqCst) {
+        let from = progress.applied.load(Ordering::SeqCst);
+        let Ok(client) = Client::connect(addr, timeout) else {
+            thread::sleep(config.poll_interval);
+            continue;
+        };
+        let Ok(mut sub) = client.subscribe(from) else {
+            thread::sleep(config.poll_interval);
+            continue;
+        };
+        let mut acker: Option<Client> = None;
+        let mut unacked = 0u64;
+        loop {
+            if progress.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match sub.next_record() {
+                Ok((seq, leader_nanos, record)) => {
+                    apply_one(
+                        farm,
+                        &meter,
+                        progress,
+                        seq,
+                        leader_nanos,
+                        &wal_record(&record),
+                    );
+                    unacked += 1;
+                    if config.ack_every > 0 && unacked >= config.ack_every {
+                        if acker.is_none() {
+                            acker = Client::connect(addr, timeout).ok();
+                        }
+                        if let Some(c) = &mut acker {
+                            if c.ack(&config.follower_id, seq).is_err() {
+                                acker = None;
+                            }
+                        }
+                        unacked = 0;
+                    }
+                }
+                Err(crate::client::ClientError::Transport(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Idle leader; take the chance to flush a final ack
+                    // so the leader's view converges when writes stop.
+                    if config.ack_every > 0 && unacked > 0 {
+                        let seq = progress.applied.load(Ordering::SeqCst);
+                        if acker.is_none() {
+                            acker = Client::connect(addr, timeout).ok();
+                        }
+                        if let Some(c) = &mut acker {
+                            if c.ack(&config.follower_id, seq).is_ok() {
+                                unacked = 0;
+                            } else {
+                                acker = None;
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Leader gone or stream damaged: resubscribe from
+                    // the applied position after a breath.
+                    meter.errors.inc();
+                    break;
+                }
+            }
+        }
+        thread::sleep(config.poll_interval);
+    }
+}
+
+/// The file loop: poll the leader's log with a [`FileTailer`].
+fn follow_file(farm: &Farm, config: &FollowerConfig, path: &std::path::Path, progress: &Progress) {
+    let meter = LagMeter::new();
+    let mut tailer = FileTailer::new(path, progress.applied.load(Ordering::SeqCst));
+    while !progress.stop.load(Ordering::SeqCst) {
+        match tailer.poll() {
+            Ok(batch) if batch.is_empty() => thread::sleep(config.poll_interval),
+            Ok(batch) => {
+                for stamped in batch {
+                    apply_one(
+                        farm,
+                        &meter,
+                        progress,
+                        stamped.seq,
+                        stamped.unix_nanos,
+                        &stamped.record,
+                    );
+                }
+            }
+            Err(_) => {
+                // Mid-rewrite rename or real damage: the tailer dedupes
+                // by seq, so retrying after a pause is always safe.
+                meter.errors.inc();
+                thread::sleep(config.poll_interval);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_conversions_roundtrip() {
+        let records = [
+            WalRecord::Open {
+                tenant: "t".into(),
+                path: "/snap/t.snap".into(),
+            },
+            WalRecord::Edit {
+                tenant: "t".into(),
+                directive: "member E fresh".into(),
+            },
+            WalRecord::Checkpoint {
+                tenant: "t".into(),
+                path: "/ckpt/t-seq9.snap".into(),
+                epoch: 4,
+            },
+        ];
+        for r in &records {
+            assert_eq!(&wal_record(&wire_record(r)), r);
+        }
+    }
+}

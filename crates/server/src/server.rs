@@ -51,13 +51,15 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use cpplookup_obs::{Counter, Family2, HistogramFamily, Span, SpanRecorder};
+use cpplookup_wal::{TailCursor, WalStore};
 
-use crate::farm::{Farm, ProbeTiming};
+use crate::farm::{Farm, FarmOptions, ProbeTiming};
 use crate::protocol::{
     read_frame_body, write_frame, ErrorCode, FrameError, Request, Response, TracedEncoder,
     WireOutcome, WireSpan, PROTOCOL_VERSION,
 };
 use crate::recorder::FlightRecorder;
+use crate::replication::wire_record;
 
 /// Observability-layer configuration: per-tenant metric families and
 /// the flight recorder. Request tracing (the protocol TRACE flag) is
@@ -111,6 +113,19 @@ pub struct ServerConfig {
     pub read_timeout: Option<Duration>,
     /// Observability layer: per-tenant metrics + flight recorder.
     pub obs: ObsConfig,
+    /// Durable edit log file. `Some` makes this server a replication
+    /// leader: loads and edits are appended (and recovered on restart),
+    /// and `SUBSCRIBE` connections stream the log.
+    pub wal_path: Option<PathBuf>,
+    /// Group-commit policy for the edit log: fsync after every N
+    /// appends (1 = every append; 0 = only on explicit syncs).
+    pub fsync_every: usize,
+    /// Published index epochs (current included) each tenant keeps
+    /// loadable for `as-of` time-travel reads.
+    pub retain_epochs: usize,
+    /// Refuse client edits — the stance of a replication follower,
+    /// whose only writer is the replayed log.
+    pub read_only: bool,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +136,10 @@ impl Default for ServerConfig {
             preload: Vec::new(),
             read_timeout: Some(Duration::from_secs(120)),
             obs: ObsConfig::default(),
+            wal_path: None,
+            fsync_every: 1,
+            retain_epochs: 1,
+            read_only: false,
         }
     }
 }
@@ -184,17 +203,54 @@ pub struct Server {
 
 impl Server {
     /// Binds, preloads the configured tenants, and starts accepting.
+    /// With an edit log configured, the log is recovered and replayed
+    /// first, so a restarted leader answers from the state it crashed
+    /// with before its first connection.
     ///
     /// # Errors
     ///
-    /// Bind failures, and preload failures (a missing or corrupt
-    /// snapshot on the command line is a startup error, not a latent
-    /// per-request one).
+    /// Bind failures, edit-log recovery failures (non-crash damage is
+    /// refused — see [`cpplookup_wal::WalWriter::open`]), and preload
+    /// failures (a missing or corrupt snapshot on the command line is a
+    /// startup error, not a latent per-request one).
     pub fn start(config: ServerConfig) -> io::Result<Server> {
-        let farm = Arc::new(Farm::with_tenant_cardinality(
-            config.obs.enabled.then_some(config.obs.tenant_cardinality),
-        ));
+        let (wal, recovered) = match &config.wal_path {
+            Some(path) => {
+                let (store, recovered) = WalStore::open(path, config.fsync_every)
+                    .map_err(|e| io::Error::other(format!("edit log `{}`: {e}", path.display())))?;
+                (Some(Arc::new(store)), recovered)
+            }
+            None => (None, Vec::new()),
+        };
+        let farm = Arc::new(Farm::with_options(FarmOptions {
+            tenant_cardinality: config.obs.enabled.then_some(config.obs.tenant_cardinality),
+            wal: wal.clone(),
+            read_only: config.read_only,
+            retain_epochs: config.retain_epochs,
+        }));
+        for stamped in &recovered {
+            // Replay is load-shaped, not append-shaped: nothing here
+            // goes back into the log.
+            farm.apply_replica_record(&stamped.record)
+                .map_err(|(_, msg)| {
+                    io::Error::other(format!("edit log replay (seq {}): {msg}", stamped.seq))
+                })?;
+        }
+        if !recovered.is_empty() {
+            cpplookup_obs::global()
+                .counter(
+                    "server_wal_replayed_total",
+                    "edit-log records replayed at startup",
+                )
+                .add(recovered.len() as u64);
+        }
         for (tenant, path) in &config.preload {
+            // A tenant the replay already restored carries edits the
+            // pristine snapshot lacks; reloading it would wind the
+            // state back and append a redundant Open to the log.
+            if farm.has_tenant(tenant) {
+                continue;
+            }
             farm.load(tenant, path)
                 .map_err(|(_, msg)| io::Error::other(format!("preload `{tenant}`: {msg}")))?;
         }
@@ -319,7 +375,10 @@ impl ReqMeta {
             | Request::Batch { tenant, .. }
             | Request::Edit { tenant, .. }
             | Request::Stats { tenant } => tenant.clone(),
-            Request::Hello { .. } | Request::Metrics => String::new(),
+            Request::Hello { .. }
+            | Request::Metrics
+            | Request::Subscribe { .. }
+            | Request::Ack { .. } => String::new(),
         };
         let trace = matches!(
             req,
@@ -393,9 +452,16 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         let decoded = Request::decode(&body);
         let t2 = Instant::now();
         let (meta, outcome) = match decoded {
+            Ok(Request::Subscribe { from_seq }) => {
+                // A subscription takes over the connection: from here
+                // the stream speaks nothing but replicated records.
+                requests.with_label("subscribe").inc();
+                serve_subscription(stream, shared, from_seq);
+                return;
+            }
             Ok(req) => {
                 requests.with_label(op_label(&req)).inc();
-                (ReqMeta::of(&req), handle(&shared.farm, req))
+                (ReqMeta::of(&req), handle(shared, req))
             }
             // Payload-level damage: framing is intact, keep going.
             Err((code, message)) => (
@@ -506,12 +572,17 @@ fn op_label(req: &Request) -> &'static str {
         Request::Edit { .. } => "edit",
         Request::Stats { .. } => "stats",
         Request::Metrics => "metrics",
+        Request::Subscribe { .. } => "subscribe",
+        Request::Ack { .. } => "ack",
     }
 }
 
 /// Executes one decoded request against the farm. Traced probes also
 /// return the farm's phase timing, for the caller to cut spans from.
-fn handle(farm: &Farm, req: Request) -> (Response, Option<ProbeTiming>) {
+/// ([`Request::Subscribe`] never reaches here — it takes over the
+/// connection in `serve_connection`.)
+fn handle(shared: &Shared, req: Request) -> (Response, Option<ProbeTiming>) {
+    let farm = &shared.farm;
     let err = |(code, message): (ErrorCode, String)| Response::Error { code, message };
     let plain = |r: Response| (r, None);
     match req {
@@ -536,7 +607,8 @@ fn handle(farm: &Farm, req: Request) -> (Response, Option<ProbeTiming>) {
             class,
             member,
             trace: true,
-        } => match farm.query_traced(&tenant, &class, &member) {
+            as_of,
+        } => match farm.query_traced(&tenant, &class, &member, as_of) {
             Ok((outcome, timing)) => (Response::Outcome(outcome), Some(timing)),
             Err(e) => plain(err(e)),
         },
@@ -545,7 +617,8 @@ fn handle(farm: &Farm, req: Request) -> (Response, Option<ProbeTiming>) {
             class,
             member,
             trace: false,
-        } => plain(match farm.query(&tenant, &class, &member) {
+            as_of,
+        } => plain(match farm.query_at(&tenant, &class, &member, as_of) {
             Ok(outcome) => Response::Outcome(outcome),
             Err(e) => err(e),
         }),
@@ -553,7 +626,8 @@ fn handle(farm: &Farm, req: Request) -> (Response, Option<ProbeTiming>) {
             tenant,
             probes,
             trace: true,
-        } => match farm.batch_traced(&tenant, &probes) {
+            as_of,
+        } => match farm.batch_traced(&tenant, &probes, as_of) {
             Ok((outcomes, timing)) => (Response::Outcomes(outcomes), Some(timing)),
             Err(e) => plain(err(e)),
         },
@@ -561,7 +635,8 @@ fn handle(farm: &Farm, req: Request) -> (Response, Option<ProbeTiming>) {
             tenant,
             probes,
             trace: false,
-        } => plain(match farm.batch(&tenant, &probes) {
+            as_of,
+        } => plain(match farm.batch_at(&tenant, &probes, as_of) {
             Ok(outcomes) => Response::Outcomes(outcomes),
             Err(e) => err(e),
         }),
@@ -576,7 +651,113 @@ fn handle(farm: &Farm, req: Request) -> (Response, Option<ProbeTiming>) {
         Request::Metrics => plain(Response::Metrics {
             text: cpplookup_obs::global().snapshot().render_prometheus(),
         }),
+        Request::Subscribe { .. } => plain(Response::Error {
+            code: ErrorCode::BadPayload,
+            message: "subscribe is a connection-level request".to_owned(),
+        }),
+        Request::Ack { follower, seq } => plain(match farm.wal() {
+            Some(wal) => {
+                cpplookup_obs::global()
+                    .gauge_family(
+                        "server_follower_acked_seq",
+                        "last log sequence number each follower reported applied",
+                        "follower",
+                        16,
+                    )
+                    .with_label(&follower)
+                    .set(seq as i64);
+                Response::Acked {
+                    leader_seq: wal.last_seq(),
+                }
+            }
+            None => Response::Error {
+                code: ErrorCode::NotReplicating,
+                message: "this server has no edit log".to_owned(),
+            },
+        }),
     }
+}
+
+/// Streams the edit log over a connection that sent
+/// [`Request::Subscribe`]: everything after the subscriber's
+/// `from_seq`, then new records as they are appended, until either side
+/// disconnects. The subscriber is expected to stay quiet — its ACKs
+/// travel on a separate connection — so inbound bytes (or EOF) end the
+/// stream.
+fn serve_subscription(mut stream: TcpStream, shared: &Shared, from_seq: u64) {
+    let Some(wal) = shared.farm.wal().cloned() else {
+        respond(
+            &mut stream,
+            Response::Error {
+                code: ErrorCode::NotReplicating,
+                message: "this server has no edit log".to_owned(),
+            },
+        );
+        return;
+    };
+    let obs = cpplookup_obs::global();
+    let subscribers = obs.gauge("server_subscribers", "replication subscriptions active");
+    let shipped = obs.counter(
+        "server_replicated_records_total",
+        "edit-log records streamed to subscribers",
+    );
+    subscribers.add(1);
+    let mut cursor = TailCursor::from_seq(from_seq);
+    // The liveness probe below must not block: a quiet, connected
+    // subscriber answers `peek` with a timeout, a gone one with EOF.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+    loop {
+        let batch = match wal.wait(&mut cursor, Duration::from_millis(250)) {
+            Ok(batch) => batch,
+            Err(e) => {
+                // The writer validated this log at open; damage now is
+                // rot under a live server. Tell the subscriber before
+                // dropping it.
+                respond(
+                    &mut stream,
+                    Response::Error {
+                        code: ErrorCode::LoadFailed,
+                        message: format!("edit log unreadable: {e}"),
+                    },
+                );
+                break;
+            }
+        };
+        if batch.is_empty() {
+            // Idle: check the subscriber is still there, else this
+            // thread outlives it parked in `wait` forever.
+            match stream.peek(&mut [0u8; 1]) {
+                Ok(0) => break,
+                Ok(_) => break, // protocol violation: subscribers don't talk
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
+            continue;
+        }
+        let mut closed = false;
+        for stamped in batch {
+            let body = Response::Replicated {
+                seq: stamped.seq,
+                unix_nanos: stamped.unix_nanos,
+                record: wire_record(&stamped.record),
+            }
+            .encode();
+            if write_frame(&mut stream, &body).is_err() {
+                closed = true;
+                break;
+            }
+            shipped.inc();
+            if let Some(o) = &shared.obs {
+                o.bytes_written.add((4 + body.len() + 8) as u64);
+            }
+        }
+        if closed {
+            break;
+        }
+    }
+    subscribers.add(-1);
 }
 
 fn respond(stream: &mut TcpStream, response: Response) -> bool {

@@ -293,6 +293,7 @@ fn malformed_bytes_produce_structured_errors_never_hangs() {
         class: "E".to_owned(),
         member: "m".to_owned(),
         trace: false,
+        as_of: None,
     };
 
     // 1. Oversized length prefix → BadLength, then close.

@@ -69,53 +69,11 @@ pub fn section_name(id: u32) -> &'static str {
     }
 }
 
-/// The integrity checksum: FNV-1a's xor-multiply step applied to
-/// little-endian 8-byte words instead of single bytes, in four
-/// independent lanes that are mixed together at the end. Words beat
-/// bytes because each multiply digests 8 bytes at once; four lanes beat
-/// one because the `(h ^ w) * PRIME` chain is latency-bound — splitting
-/// it lets the CPU overlap four multiplies. Together they make
-/// checksumming an order of magnitude faster than classic byte-wise
-/// FNV, which matters because every cold load checksums the whole file.
-///
-/// Not cryptographic; it exists to catch truncation, bit rot, and
-/// transport damage. Detection of any single flipped byte is
-/// deterministic, not probabilistic: each lane step `h = (h ^ w) *
-/// PRIME` is a bijection of `h` for fixed `w` (the prime is odd), the
-/// final combine is a bijection of each lane holding the others fixed,
-/// and a flipped byte perturbs exactly one lane — so two inputs of
-/// equal length differing in one byte always hash differently.
-pub fn checksum64(bytes: &[u8]) -> u64 {
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-    // Lane seeds: the FNV-1a offset basis, then successive additions of
-    // the golden-ratio constant so the lanes start decorrelated.
-    let mut h: [u64; 4] = [
-        0xcbf2_9ce4_8422_2325,
-        0x6b91_1ab6_2c97_85ce,
-        0x0b2f_9c87_d50c_e877,
-        0xaace_1e59_7d82_4c20,
-    ];
-    let mut blocks = bytes.chunks_exact(32);
-    for block in &mut blocks {
-        let block: &[u8; 32] = block.try_into().expect("chunks_exact yields 32 bytes");
-        let w0 = u64::from_le_bytes(block[0..8].try_into().expect("8-byte word"));
-        let w1 = u64::from_le_bytes(block[8..16].try_into().expect("8-byte word"));
-        let w2 = u64::from_le_bytes(block[16..24].try_into().expect("8-byte word"));
-        let w3 = u64::from_le_bytes(block[24..32].try_into().expect("8-byte word"));
-        h[0] = (h[0] ^ w0).wrapping_mul(PRIME);
-        h[1] = (h[1] ^ w1).wrapping_mul(PRIME);
-        h[2] = (h[2] ^ w2).wrapping_mul(PRIME);
-        h[3] = (h[3] ^ w3).wrapping_mul(PRIME);
-    }
-    for &b in blocks.remainder() {
-        h[0] = (h[0] ^ u64::from(b)).wrapping_mul(PRIME);
-    }
-    let mut out = h[0];
-    for lane in &h[1..] {
-        out = out.wrapping_mul(PRIME) ^ lane;
-    }
-    out.wrapping_mul(PRIME)
-}
+// The integrity checksum used throughout the file: the shared 4-lane
+// word-FNV, re-exported here so existing `format::checksum64` callers
+// (including the wire protocol) keep their import path. The pinned
+// bit-pattern lives with the definition in `cpplookup_chg::checksum`.
+pub use cpplookup_chg::checksum::checksum64;
 
 /// Appends `value` as LEB128.
 pub fn put_varint(out: &mut Vec<u8>, mut value: u64) {

@@ -885,6 +885,14 @@ impl SnapshotTable {
         self.data.len()
     }
 
+    /// The raw, validated snapshot image the table serves from — the
+    /// exact bytes of the file it was loaded from, so a server can
+    /// re-materialize the snapshot (e.g. as a compaction checkpoint)
+    /// even after the original file is gone.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
     /// The lookup options the table was compiled with.
     pub fn options(&self) -> LookupOptions {
         LookupOptions {

@@ -1,0 +1,378 @@
+//! Record types and the on-disk frame codec.
+//!
+//! Every record travels as one frame, mirroring the wire protocol's
+//! framing so the same corruption arguments apply:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     len       u32 LE, length of body (1 ..= MAX_RECORD)
+//! 4       len   body      seq, timestamp, kind byte, fields
+//! 4+len   8     checksum  u64 LE, checksum64(body)
+//! ```
+//!
+//! The body is `seq: u64 | unix_nanos: u64 | kind: u8 | fields`, with
+//! strings as a `u16` length followed by UTF-8 bytes. The sequence
+//! number is part of the *body*, not implied by file position, so a
+//! compaction rewrite preserves identity and a tailer that re-reads a
+//! rewritten log can dedupe by `seq` alone.
+
+use cpplookup_chg::checksum::checksum64;
+
+use crate::WalError;
+
+/// Hard cap on a record body; anything larger is rejected before
+/// allocation (a corrupt length prefix must not become an OOM).
+pub const MAX_RECORD: u32 = 1 << 20;
+
+/// Record kind byte: [`WalRecord::Open`].
+const KIND_OPEN: u8 = 1;
+/// Record kind byte: [`WalRecord::Edit`].
+const KIND_EDIT: u8 = 2;
+/// Record kind byte: [`WalRecord::Checkpoint`].
+const KIND_CHECKPOINT: u8 = 3;
+
+/// One logical entry of the edit log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A tenant was loaded (or replaced) from a snapshot file. Replay
+    /// reloads the same path, so the snapshot must outlive the log —
+    /// the farm treats snapshot paths as content-stable artifacts.
+    Open {
+        /// Tenant name.
+        tenant: String,
+        /// Path of the snapshot the tenant was loaded from.
+        path: String,
+    },
+    /// One edit directive was applied (or at least attempted — see
+    /// the replay rules in `cpplookup-server`'s replication module:
+    /// a directive the engine deterministically rejects is skipped
+    /// identically by every replayer).
+    Edit {
+        /// Tenant name.
+        tenant: String,
+        /// The directive text, in the farm's `class NAME` /
+        /// `member CLASS NAME` / `edge DERIVED BASE [virtual]` grammar.
+        directive: String,
+    },
+    /// A compaction checkpoint: the tenant's full state at this
+    /// sequence number, compiled into a snapshot container. Records
+    /// for the same tenant with lower sequence numbers are subsumed.
+    Checkpoint {
+        /// Tenant name.
+        tenant: String,
+        /// Path of the compiled checkpoint snapshot.
+        path: String,
+        /// The tenant's published index epoch at capture, for
+        /// diagnostics (replay derives its own epochs).
+        epoch: u64,
+    },
+}
+
+impl WalRecord {
+    /// The tenant this record belongs to.
+    pub fn tenant(&self) -> &str {
+        match self {
+            WalRecord::Open { tenant, .. }
+            | WalRecord::Edit { tenant, .. }
+            | WalRecord::Checkpoint { tenant, .. } => tenant,
+        }
+    }
+}
+
+/// A record with its durable identity: the log-assigned sequence
+/// number and append timestamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stamped {
+    /// Strictly increasing across the log's lifetime; preserved by
+    /// compaction rewrites.
+    pub seq: u64,
+    /// Append wall-clock time, nanoseconds since the Unix epoch —
+    /// the replication-lag clock.
+    pub unix_nanos: u64,
+    /// The record itself.
+    pub record: WalRecord,
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+/// Encodes the frame body (everything between the length prefix and
+/// the trailing checksum).
+pub(crate) fn encode_body(s: &Stamped) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    b.extend_from_slice(&s.seq.to_le_bytes());
+    b.extend_from_slice(&s.unix_nanos.to_le_bytes());
+    match &s.record {
+        WalRecord::Open { tenant, path } => {
+            b.push(KIND_OPEN);
+            put_str(&mut b, tenant);
+            put_str(&mut b, path);
+        }
+        WalRecord::Edit { tenant, directive } => {
+            b.push(KIND_EDIT);
+            put_str(&mut b, tenant);
+            put_str(&mut b, directive);
+        }
+        WalRecord::Checkpoint {
+            tenant,
+            path,
+            epoch,
+        } => {
+            b.push(KIND_CHECKPOINT);
+            put_str(&mut b, tenant);
+            put_str(&mut b, path);
+            b.extend_from_slice(&epoch.to_le_bytes());
+        }
+    }
+    b
+}
+
+/// Encodes one full frame: length prefix, body, trailing checksum.
+pub(crate) fn encode_frame(s: &Stamped) -> Vec<u8> {
+    let body = encode_body(s);
+    debug_assert!(body.len() <= MAX_RECORD as usize);
+    let mut frame = Vec::with_capacity(body.len() + 12);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame.extend_from_slice(&checksum64(&body).to_le_bytes());
+    frame
+}
+
+/// A minimal strict cursor over a record body.
+struct Cur<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        match self.b.get(self.at..self.at + n) {
+            Some(s) => {
+                self.at += n;
+                Ok(s)
+            }
+            None => Err(format!(
+                "truncated record body at offset {} (want {n} bytes)",
+                self.at
+            )),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "record string is not UTF-8".to_owned())
+    }
+
+    fn done(self) -> Result<(), String> {
+        if self.at == self.b.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after record payload",
+                self.b.len() - self.at
+            ))
+        }
+    }
+}
+
+/// Decodes a frame body (checksum already verified by the caller).
+pub(crate) fn decode_body(body: &[u8]) -> Result<Stamped, String> {
+    let mut c = Cur { b: body, at: 0 };
+    let seq = c.u64()?;
+    let unix_nanos = c.u64()?;
+    let record = match c.u8()? {
+        KIND_OPEN => WalRecord::Open {
+            tenant: c.str()?,
+            path: c.str()?,
+        },
+        KIND_EDIT => WalRecord::Edit {
+            tenant: c.str()?,
+            directive: c.str()?,
+        },
+        KIND_CHECKPOINT => WalRecord::Checkpoint {
+            tenant: c.str()?,
+            path: c.str()?,
+            epoch: c.u64()?,
+        },
+        k => return Err(format!("unknown record kind {k}")),
+    };
+    c.done()?;
+    Ok(Stamped {
+        seq,
+        unix_nanos,
+        record,
+    })
+}
+
+/// Walks complete frames from `data`, which starts at absolute file
+/// offset `base` (records must have strictly increasing sequence
+/// numbers continuing after `prev_seq`).
+///
+/// Returns the decoded records, the number of bytes consumed by them
+/// (frames after that point are damaged or incomplete), and the damage
+/// classification: `None` for a clean end at a frame boundary,
+/// [`WalError::TornTail`] for an incomplete trailing frame (the
+/// expected shape after a crash mid-append), or [`WalError::Corrupt`]
+/// for a frame whose bytes are all present but wrong (bit rot — the
+/// damage is localized to the record starting at the reported offset).
+pub(crate) fn parse_frames(
+    data: &[u8],
+    base: u64,
+    mut prev_seq: u64,
+) -> (Vec<Stamped>, u64, Option<WalError>) {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    loop {
+        let offset = base + at as u64;
+        let rest = &data[at..];
+        if rest.is_empty() {
+            return (out, at as u64, None);
+        }
+        if rest.len() < 4 {
+            return (out, at as u64, Some(WalError::TornTail { offset }));
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD {
+            return (
+                out,
+                at as u64,
+                Some(WalError::Corrupt {
+                    offset,
+                    reason: format!("record length {len} outside 1..={MAX_RECORD}"),
+                }),
+            );
+        }
+        let need = 4 + len as usize + 8;
+        if rest.len() < need {
+            return (out, at as u64, Some(WalError::TornTail { offset }));
+        }
+        let body = &rest[4..4 + len as usize];
+        let sum = u64::from_le_bytes(rest[4 + len as usize..need].try_into().unwrap());
+        if sum != checksum64(body) {
+            return (
+                out,
+                at as u64,
+                Some(WalError::Corrupt {
+                    offset,
+                    reason: "record checksum mismatch".to_owned(),
+                }),
+            );
+        }
+        let stamped = match decode_body(body) {
+            Ok(s) => s,
+            Err(reason) => {
+                return (out, at as u64, Some(WalError::Corrupt { offset, reason }));
+            }
+        };
+        if stamped.seq <= prev_seq {
+            return (
+                out,
+                at as u64,
+                Some(WalError::Corrupt {
+                    offset,
+                    reason: format!(
+                        "sequence number {} not after predecessor {prev_seq}",
+                        stamped.seq
+                    ),
+                }),
+            );
+        }
+        prev_seq = stamped.seq;
+        out.push(stamped);
+        at += need;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Stamped> {
+        vec![
+            Stamped {
+                seq: 1,
+                unix_nanos: 11,
+                record: WalRecord::Open {
+                    tenant: "t".into(),
+                    path: "/tmp/t.snap".into(),
+                },
+            },
+            Stamped {
+                seq: 2,
+                unix_nanos: 22,
+                record: WalRecord::Edit {
+                    tenant: "t".into(),
+                    directive: "member E fresh".into(),
+                },
+            },
+            Stamped {
+                seq: 7,
+                unix_nanos: 33,
+                record: WalRecord::Checkpoint {
+                    tenant: "t".into(),
+                    path: "/tmp/ckpt.snap".into(),
+                    epoch: 4,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut data = Vec::new();
+        for s in sample() {
+            data.extend_from_slice(&encode_frame(&s));
+        }
+        let (records, consumed, damage) = parse_frames(&data, 0, 0);
+        assert_eq!(records, sample());
+        assert_eq!(consumed, data.len() as u64);
+        assert!(damage.is_none(), "{damage:?}");
+    }
+
+    #[test]
+    fn non_monotonic_seq_is_corrupt() {
+        let mut data = Vec::new();
+        for s in sample() {
+            data.extend_from_slice(&encode_frame(&s));
+        }
+        let (records, _, damage) = parse_frames(&data, 0, 1);
+        assert!(records.is_empty());
+        assert!(matches!(damage, Some(WalError::Corrupt { offset: 0, .. })));
+    }
+
+    #[test]
+    fn truncation_is_a_torn_tail_with_a_record_prefix() {
+        let mut data = Vec::new();
+        for s in sample() {
+            data.extend_from_slice(&encode_frame(&s));
+        }
+        for cut in 0..data.len() {
+            let (records, consumed, damage) = parse_frames(&data[..cut], 0, 0);
+            assert_eq!(records, sample()[..records.len()], "cut at {cut}");
+            assert!(consumed <= cut as u64);
+            if consumed < cut as u64 {
+                assert!(
+                    matches!(damage, Some(WalError::TornTail { .. })),
+                    "cut at {cut}: {damage:?}"
+                );
+            }
+        }
+    }
+}

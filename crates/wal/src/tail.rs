@@ -1,0 +1,138 @@
+//! [`FileTailer`]: a cross-process follower's view of a log file.
+//!
+//! A follower process cannot share a [`WalStore`](crate::WalStore)
+//! with the leader, so it re-reads the log file on every poll and
+//! filters by sequence number. Two kinds of "damage" are *normal* from
+//! this vantage point and are tolerated silently:
+//!
+//! * a torn tail — the leader is mid-append; the complete prefix is
+//!   delivered and the tail is retried next poll;
+//! * a missing file — the leader has not created the log yet (or a
+//!   compaction rename is in flight); the poll is simply empty.
+//!
+//! Real damage — bad header, bit rot, non-monotonic sequences — is an
+//! error: a follower must stop and report rather than guess.
+
+use std::path::{Path, PathBuf};
+
+use crate::log::recover_bytes;
+use crate::record::Stamped;
+use crate::WalError;
+
+/// Polls a log file some other process appends to, delivering each
+/// record exactly once (by sequence number).
+pub struct FileTailer {
+    path: PathBuf,
+    last_seq: u64,
+}
+
+impl FileTailer {
+    /// A tailer over `path` delivering records with sequence numbers
+    /// after `from_seq` (0 = everything).
+    pub fn new(path: &Path, from_seq: u64) -> FileTailer {
+        FileTailer {
+            path: path.to_owned(),
+            last_seq: from_seq,
+        }
+    }
+
+    /// Sequence number of the last delivered record.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Reads the file and returns records not yet delivered. Empty if
+    /// the file is missing or nothing new has been appended.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] for real I/O failures, [`WalError::BadHeader`]
+    /// / [`WalError::Corrupt`] for non-crash-shaped damage. A torn
+    /// tail is *not* an error here.
+    pub fn poll(&mut self) -> Result<Vec<Stamped>, WalError> {
+        let data = match std::fs::read(&self.path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(WalError::Io(e)),
+        };
+        let recovery = recover_bytes(&data);
+        match recovery.damage {
+            None | Some(WalError::TornTail { .. }) => {}
+            Some(damage) => return Err(damage),
+        }
+        let fresh: Vec<Stamped> = recovery
+            .records
+            .into_iter()
+            .filter(|r| r.seq > self.last_seq)
+            .collect();
+        if let Some(last) = fresh.last() {
+            self.last_seq = last.seq;
+        }
+        Ok(fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WalRecord;
+    use crate::WalWriter;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cpplookup-waltail-test-{name}-{}-{:x}",
+            std::process::id(),
+            crate::log::unix_nanos_now()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn edit(d: &str) -> WalRecord {
+        WalRecord::Edit {
+            tenant: "t".into(),
+            directive: d.into(),
+        }
+    }
+
+    #[test]
+    fn tails_appends_exactly_once_and_tolerates_torn_tails() {
+        let path = tmp("tail");
+        let mut tailer = FileTailer::new(&path, 0);
+        assert!(tailer.poll().unwrap().is_empty(), "missing file is empty");
+        let (mut w, _) = WalWriter::open(&path, 1).unwrap();
+        w.append(edit("class A")).unwrap();
+        assert_eq!(tailer.poll().unwrap().len(), 1);
+        assert!(tailer.poll().unwrap().is_empty());
+        w.append(edit("class B")).unwrap();
+        w.append(edit("class C")).unwrap();
+        drop(w);
+        // Simulate the leader mid-append: chop bytes off the tail.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let fresh = tailer.poll().unwrap();
+        assert_eq!(fresh.len(), 1, "only the complete record is delivered");
+        assert_eq!(fresh[0].seq, 2);
+        // The append "completes": the whole record arrives.
+        std::fs::write(&path, &full).unwrap();
+        let fresh = tailer.poll().unwrap();
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].seq, 3);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn corruption_stops_the_tailer_with_a_structured_error() {
+        let path = tmp("corrupt");
+        let (mut w, _) = WalWriter::open(&path, 1).unwrap();
+        w.append(edit("class A")).unwrap();
+        drop(w);
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 9] ^= 0x01; // inside the record body
+        std::fs::write(&path, &data).unwrap();
+        let mut tailer = FileTailer::new(&path, 0);
+        assert!(matches!(tailer.poll(), Err(WalError::Corrupt { .. })));
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

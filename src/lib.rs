@@ -20,7 +20,8 @@
 //! | [`hiergen`] | `cpplookup-hiergen` | structured and random hierarchy generators |
 //! | [`layout`] | `cpplookup-layout` | subobject-accurate object layouts (offsets, vptrs, virtual bases) |
 //! | [`snapshot`] | `cpplookup-snapshot` | compile-once/serve-many binary snapshots of compiled tables |
-//! | [`server`] | `cpplookup-server` | multi-tenant wire-protocol server, blocking client, load generator |
+//! | [`wal`] | `cpplookup-wal` | durable write-ahead edit log: crash recovery, tailing, compaction |
+//! | [`server`] | `cpplookup-server` | multi-tenant wire-protocol server, blocking client, load generator, replication |
 //!
 //! The most common types are re-exported at the top level.
 //!
@@ -143,6 +144,7 @@ pub use cpplookup_layout as layout;
 pub use cpplookup_server as server;
 pub use cpplookup_snapshot as snapshot;
 pub use cpplookup_subobject as subobject;
+pub use cpplookup_wal as wal;
 
 pub use cpplookup_chg::{
     apply_edits, Access, Chg, ChgBuilder, ChgError, ClassId, Edit, Inheritance, MemberDecl,

@@ -12,11 +12,15 @@ const FIG9: &str = "struct S { int m; };\n\
                     int main() { E e; e.m = 10; }\n";
 
 fn write_temp(contents: &str) -> std::path::PathBuf {
+    // A per-call counter keeps paths unique even when two parallel
+    // tests write the same fixture — keying on the content length alone
+    // lets one test's cleanup delete a file another is still compiling.
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let mut path = std::env::temp_dir();
     path.push(format!(
         "cpplookup-cli-test-{}-{}.cpp",
         std::process::id(),
-        contents.len()
+        NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     ));
     let mut f = std::fs::File::create(&path).expect("create temp file");
     f.write_all(contents.as_bytes()).expect("write temp file");
@@ -101,12 +105,19 @@ fn run_with_stdin(args: &[&str], input: &str) -> (String, String, Option<i32>) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary runs");
-    child
+    // A child that refuses its input (e.g. a corrupt snapshot) may exit
+    // before reading stdin; the resulting EPIPE is not a test failure —
+    // the exit code and stderr below are what's under test.
+    match child
         .stdin
         .take()
         .expect("piped stdin")
         .write_all(input.as_bytes())
-        .expect("write stdin");
+    {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
+        Err(e) => panic!("write stdin: {e}"),
+    }
     let out = child.wait_with_output().expect("binary exits");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),

@@ -1,0 +1,250 @@
+//! Leader/follower replication over the wire, end to end: a leader
+//! server with a durable edit log, a read-only follower subscribed to
+//! it, and the convergence guarantee — after the follower acknowledges
+//! the leader's last sequence number, the two serve byte-identical
+//! outcomes at identical epochs. Plus the two recovery stories: the
+//! leader restarting over its own log, and a file-tailing follower
+//! with no wire at all.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cpplookup::chg::fixtures;
+use cpplookup::prelude::*;
+use cpplookup::server::{
+    Client, ErrorCode, Farm, FollowSource, Follower, FollowerConfig, Server, ServerConfig,
+    WireOutcome,
+};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cpplookup-repl-{name}-{}-{}",
+        std::process::id(),
+        NEXT_DIR.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn snapshot_in(dir: &std::path::Path) -> PathBuf {
+    let snap = dir.join("t.snap");
+    Snapshot::compile(&fixtures::fig2())
+        .write_to(&snap)
+        .unwrap();
+    snap
+}
+
+fn leader_config(dir: &std::path::Path, snap: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        wal_path: Some(dir.join("edits.wal")),
+        fsync_every: 1,
+        retain_epochs: 8,
+        preload: vec![("t".to_owned(), snap.to_owned())],
+        ..ServerConfig::default()
+    }
+}
+
+fn follower_config() -> ServerConfig {
+    ServerConfig {
+        read_only: true,
+        retain_epochs: 8,
+        ..ServerConfig::default()
+    }
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(server.addr(), Some(Duration::from_secs(10))).unwrap()
+}
+
+/// Every probe outcome as the wire reports it — two servers with equal
+/// fingerprints are byte-identical to clients.
+fn fingerprint(client: &mut Client) -> Vec<Result<WireOutcome, String>> {
+    let classes = ["A", "B", "C", "D", "E", "R", "S"];
+    let members = ["m", "fresh", "extra"];
+    let mut out = Vec::new();
+    for c in classes {
+        for m in members {
+            out.push(client.query("t", c, m).map_err(|e| e.to_string()));
+        }
+    }
+    out
+}
+
+/// The scripted history: accepted edits, an engine-rejected cycle
+/// (logged, skipped identically by every replayer), and a parse
+/// failure (never logged at all).
+fn drive_edits(client: &mut Client) {
+    for d in [
+        "member E fresh",
+        "class R",
+        "class S",
+        "edge R S",
+        "member R extra",
+    ] {
+        client.edit("t", d).unwrap();
+    }
+    assert!(
+        client.edit("t", "edge S R").is_err(),
+        "cycle must be rejected"
+    );
+    assert!(
+        client.edit("t", "drop table").is_err(),
+        "gibberish must be rejected"
+    );
+}
+
+#[test]
+fn wire_follower_converges_to_the_leader() {
+    let dir = scratch("wire");
+    let snap = snapshot_in(&dir);
+    let leader = Server::start(leader_config(&dir, &snap)).unwrap();
+    let follower_srv = Server::start(follower_config()).unwrap();
+    let follower = Follower::start(
+        Arc::clone(follower_srv.farm()),
+        FollowerConfig {
+            source: FollowSource::Wire(leader.addr().to_string()),
+            follower_id: "replica-1".to_owned(),
+            ack_every: 2,
+            ..FollowerConfig::default()
+        },
+    );
+
+    let mut client = connect(&leader);
+    drive_edits(&mut client);
+
+    let leader_seq = leader.farm().wal().unwrap().last_seq();
+    assert!(
+        follower.wait_for_seq(leader_seq, Duration::from_secs(10)),
+        "follower stalled at seq {} of {leader_seq}",
+        follower.applied_seq()
+    );
+
+    // Byte-identical outcomes over the wire...
+    let mut follower_client = connect(&follower_srv);
+    assert_eq!(fingerprint(&mut client), fingerprint(&mut follower_client));
+    // ...at identical epochs (full-history followers track the leader
+    // exactly, skipped rejections included).
+    assert_eq!(
+        leader.farm().retained_epochs("t").unwrap(),
+        follower_srv.farm().retained_epochs("t").unwrap()
+    );
+
+    // The follower refuses direct writes — its only writer is the log.
+    let err = follower_client.edit("t", "class Nope").unwrap_err();
+    assert!(err.to_string().contains("read-only"), "{err}");
+
+    // The leader has seen the follower's ACKs (sent every 2 records).
+    let metrics = client.metrics().unwrap();
+    assert!(
+        metrics.contains("server_follower_acked_seq"),
+        "no follower ack gauge in:\n{metrics}"
+    );
+
+    follower.stop();
+    drop(dir); // keep the scratch dir alive through the run
+}
+
+#[test]
+fn a_file_tailing_follower_needs_no_wire() {
+    let dir = scratch("file");
+    let snap = snapshot_in(&dir);
+    let wal_path = dir.join("edits.wal");
+    let leader = Server::start(leader_config(&dir, &snap)).unwrap();
+    let mut client = connect(&leader);
+    drive_edits(&mut client);
+    let leader_seq = leader.farm().wal().unwrap().last_seq();
+
+    let replica = Arc::new(Farm::with_options(cpplookup::server::FarmOptions {
+        read_only: true,
+        retain_epochs: 8,
+        ..Default::default()
+    }));
+    let follower = Follower::start(
+        Arc::clone(&replica),
+        FollowerConfig {
+            source: FollowSource::File(wal_path),
+            follower_id: "tailer".to_owned(),
+            poll_interval: Duration::from_millis(5),
+            ..FollowerConfig::default()
+        },
+    );
+    assert!(
+        follower.wait_for_seq(leader_seq, Duration::from_secs(10)),
+        "file tailer stalled at seq {}",
+        follower.applied_seq()
+    );
+
+    // Late edits flow through the same tail.
+    client.edit("t", "member S late").unwrap();
+    let leader_seq = leader.farm().wal().unwrap().last_seq();
+    assert!(follower.wait_for_seq(leader_seq, Duration::from_secs(10)));
+    assert_eq!(
+        replica.query("t", "S", "late").map_err(|(c, _)| c),
+        leader.farm().query("t", "S", "late").map_err(|(c, _)| c)
+    );
+    assert_eq!(
+        leader.farm().retained_epochs("t").unwrap(),
+        replica.retained_epochs("t").unwrap()
+    );
+    follower.stop();
+}
+
+#[test]
+fn a_restarted_leader_recovers_its_log() {
+    let dir = scratch("restart");
+    let snap = snapshot_in(&dir);
+    let config = leader_config(&dir, &snap);
+
+    let before = {
+        let leader = Server::start(config.clone()).unwrap();
+        let mut client = connect(&leader);
+        drive_edits(&mut client);
+        fingerprint(&mut client)
+    }; // leader drops: sockets close, the log stays
+
+    let revived = Server::start(config).unwrap();
+    let mut client = connect(&revived);
+    assert_eq!(fingerprint(&mut client), before, "restart lost edits");
+
+    // The revived leader keeps appending where it left off.
+    client.edit("t", "member S late").unwrap();
+    assert!(matches!(
+        client.query("t", "S", "late").unwrap(),
+        WireOutcome::Resolved { class, .. } if class == "S"
+    ));
+}
+
+#[test]
+fn as_of_queries_work_over_the_wire_and_retire_cleanly() {
+    let dir = scratch("asof");
+    let snap = snapshot_in(&dir);
+    let leader = Server::start(leader_config(&dir, &snap)).unwrap();
+    let mut client = connect(&leader);
+
+    let e1 = client.edit("t", "member E fresh").unwrap();
+    let e2 = client.edit("t", "member D fresh").unwrap();
+    assert!(e2 > e1);
+
+    // At e1, D had no `fresh`; at e2 it does. The present equals e2.
+    assert_eq!(
+        client.query_at("t", "D", "fresh", Some(e1)).unwrap(),
+        WireOutcome::NotFound
+    );
+    assert!(matches!(
+        client.query_at("t", "D", "fresh", Some(e2)).unwrap(),
+        WireOutcome::Resolved { .. }
+    ));
+    assert_eq!(
+        client.query_at("t", "D", "fresh", None).unwrap(),
+        client.query_at("t", "D", "fresh", Some(e2)).unwrap()
+    );
+
+    // A never-published epoch is a structured retirement, not a hang.
+    let err = client.query_at("t", "D", "fresh", Some(999)).unwrap_err();
+    assert!(err.to_string().contains("retired"), "{err}");
+    let _ = ErrorCode::EpochRetired; // the code the message carries
+}
