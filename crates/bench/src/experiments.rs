@@ -30,7 +30,7 @@ use crate::workloads::{self, Workload};
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26",
 ];
 
 /// Runs one experiment by id (`"e1"`..`"e25"`), writing its report.
@@ -76,6 +76,8 @@ pub fn run(id: &str, w: &mut dyn Write) -> io::Result<()> {
         "e24-smoke" => e24_smoke(w),
         "e25" => e25(w),
         "e25-smoke" => e25_smoke(w),
+        "e26" => e26(w),
+        "e26-smoke" => e26_smoke(w),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}` (known: {})", ALL.join(", ")),
@@ -1266,7 +1268,7 @@ fn serve_probes(chg: &Chg, table: &LookupTable, seed: u64) -> Vec<Probe> {
 /// reported. Also emits `BENCH_e22.json` for the CI no-regression
 /// guard (`e22-smoke`).
 fn e22(w: &mut dyn Write) -> io::Result<()> {
-    use cpplookup_core::DispatchIndex;
+    use cpplookup_core::{DirectoryKind, DispatchIndex};
     use cpplookup_snapshot::{Snapshot, SnapshotTable};
 
     const THREADS: usize = 8;
@@ -1278,7 +1280,8 @@ fn e22(w: &mut dyn Write) -> io::Result<()> {
         w,
         "  table = FxHashMap-of-FxHashMap entry clone; snapshot = binary-search \
          + varint decode per hit; index = pre-decoded CSR rows served via \
-         allocation-free lookup_ref"
+         allocation-free lookup_ref (open-addressed directory: E22 is the \
+         baseline-directory experiment; the MPH directory is E26's subject)"
     )?;
     let families: Vec<(&str, Chg)> = vec![
         ("chain_2500", families::chain(2500, Some(16))),
@@ -1307,7 +1310,8 @@ fn e22(w: &mut dyn Write) -> io::Result<()> {
         let table = LookupTable::build(chg);
         let snap = SnapshotTable::from_bytes(Snapshot::compile(chg).into_bytes())
             .expect("snapshot roundtrip");
-        let index = DispatchIndex::from_table(LookupTable::build(chg));
+        let index = DispatchIndex::from_table(LookupTable::build(chg))
+            .with_directory_kind(DirectoryKind::Open);
         let probes = serve_probes(chg, &table, 0x9E37 ^ name.len() as u64);
         let reps = (2_000_000 / probes.len()).max(1);
         let mt_reps = (1_000_000 / probes.len()).max(1);
@@ -1442,16 +1446,23 @@ fn json_f64(json: &str, key: &str) -> Option<f64> {
 /// margin over the hashmap table (≥2×) — and, when a committed
 /// `BENCH_e22.json` baseline exists, a no-regression check against
 /// 0.4× that family's recorded ratio.
+///
+/// Since the MPH directory became the serving default, this guard pins
+/// the index to the **open-addressed** directory on purpose: open is
+/// the fallback every version-1 snapshot still loads through, so it
+/// must stay correct and fast on its own. The MPH path has its own
+/// gate (`e26-smoke`).
 fn e22_smoke(w: &mut dyn Write) -> io::Result<()> {
-    use cpplookup_core::DispatchIndex;
+    use cpplookup_core::{DirectoryKind, DispatchIndex};
 
     writeln!(
         w,
-        "E22-smoke: dispatch-index differential + serve perf guard"
+        "E22-smoke: dispatch-index differential + serve perf guard (open-directory fallback path)"
     )?;
     let diff = families::interface_heavy(200, 4);
     let diff_table = LookupTable::build(&diff);
-    let diff_index = DispatchIndex::from_table(LookupTable::build(&diff));
+    let diff_index = DispatchIndex::from_table(LookupTable::build(&diff))
+        .with_directory_kind(DirectoryKind::Open);
     for c in diff.classes() {
         for m in diff.member_ids() {
             if diff_index.lookup_ref(c, m).to_outcome() != diff_table.lookup(c, m) {
@@ -1471,7 +1482,8 @@ fn e22_smoke(w: &mut dyn Write) -> io::Result<()> {
     )?;
     let chg = families::grid(50, 50);
     let table = LookupTable::build(&chg);
-    let index = DispatchIndex::from_table(LookupTable::build(&chg));
+    let index = DispatchIndex::from_table(LookupTable::build(&chg))
+        .with_directory_kind(DirectoryKind::Open);
     let probes = serve_probes(&chg, &table, 0xE22);
     let reps = (1_000_000 / probes.len()).max(1);
     let (ns_table, s_table) =
@@ -2654,6 +2666,373 @@ fn e25_smoke(w: &mut dyn Write) -> io::Result<()> {
     Ok(())
 }
 
+/// E26 — the minimal perfect hash probe directory against the
+/// open-addressed directory it replaced, plus the SWAR batch path.
+///
+/// Four measurements per family, on shuffled live-pair probe streams
+/// with cross-directory checksums verified before any number is
+/// reported:
+///
+/// 1. **Serve-path race** (the headline) — the new BATCH serve path
+///    (`lookup_batch_into` over 256-probe chunks, reused buffer, MPH
+///    directory) against the serve path it replaced: a per-probe
+///    *owned* `lookup` loop over the open-addressed directory (one
+///    owned outcome, witness `Vec` clones and per-call obs hooks
+///    included, per probe — exactly what the server's BATCH handler
+///    ran before this change, and what a v1 snapshot still runs).
+/// 2. **Batch isolation** — the same batch path against the owned
+///    loop *on the MPH directory*, so the ratio isolates the batch
+///    rewrite from the directory swap.
+/// 3. **Directory race** (context, no target) — single-thread
+///    ns/lookup through `lookup_ref`, open vs MPH. The MPH probe is
+///    one displacement read plus exactly one data-dependent cell
+///    line, but pays ~4 serial multiplies against open addressing's
+///    one; it wins once the open table outgrows cache (collision
+///    chains start missing lines) and loses on cache-resident
+///    families. Reported honestly either way — the serving win is
+///    the batch path plus roughly halved directory bytes.
+/// 4. **Thread scaling** — aggregate MPH lookup throughput from 1 to
+///    32 threads on the largest family; the shared directory is
+///    read-only, so scaling should track cores until memory bandwidth
+///    (on a single-core host the curve is honestly flat).
+///
+/// Emits `BENCH_e26.json` (with host context) for the CI gate
+/// (`e26-smoke`).
+fn e26(w: &mut dyn Write) -> io::Result<()> {
+    use cpplookup_core::{DirectoryKind, DispatchIndex};
+
+    const CHUNK: usize = 256;
+    const THREAD_SWEEP: [usize; 6] = [1, 2, 4, 8, 16, 32];
+    writeln!(
+        w,
+        "E26: minimal perfect hash directory + SWAR batch serve path"
+    )?;
+    writeln!(
+        w,
+        "  open = open-addressed directory (the v1-snapshot fallback); mph = CHD \
+         displacement directory (the serving default); owned = per-probe owned \
+         lookup loop (the serve path the BATCH handler used to run, measured on \
+         the open directory); batch = lookup_batch_into over {CHUNK}-probe \
+         chunks with a reused buffer on the mph directory (the serve path now)"
+    )?;
+    let families: Vec<(&str, Chg)> = vec![
+        ("chain_2500", families::chain(2500, Some(16))),
+        ("grid_50x50", families::grid(50, 50)),
+        ("interface_500x4", families::interface_heavy(500, 4)),
+        (
+            "realistic_2000",
+            random_hierarchy(&RandomConfig::realistic(2000, 7)),
+        ),
+        (
+            "realistic_4000",
+            random_hierarchy(&RandomConfig::realistic(4000, 7)),
+        ),
+    ];
+    writeln!(w, "  single thread, ns/lookup:")?;
+    writeln!(
+        w,
+        "  {:<16} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "family",
+        "classes",
+        "entries",
+        "open",
+        "mph",
+        "dir gain",
+        "owned",
+        "batch",
+        "batch gain",
+        "serve gain"
+    )?;
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut dir_ratios: Vec<f64> = Vec::new();
+    let mut batch_ratios: Vec<f64> = Vec::new();
+    let mut serve_ratios: Vec<f64> = Vec::new();
+    for (name, chg) in &families {
+        let table = LookupTable::build(chg);
+        let mph = DispatchIndex::from_table(LookupTable::build(chg));
+        let open = mph.with_directory_kind(DirectoryKind::Open);
+        let probes = serve_probes(chg, &table, 0xE26 ^ name.len() as u64);
+        let reps = (2_000_000 / probes.len()).max(1);
+        let lookups = (reps * probes.len()) as f64;
+
+        let (ns_open, s_open) = serve_single(&probes, reps, |(c, m)| {
+            outcome_ref_word(&open.lookup_ref(c, m))
+        });
+        let (ns_mph, s_mph) = serve_single(&probes, reps, |(c, m)| {
+            outcome_ref_word(&mph.lookup_ref(c, m))
+        });
+        if s_open != s_mph {
+            return Err(io::Error::other(format!(
+                "{name}: open and mph directories disagreed on the serve sweep"
+            )));
+        }
+        // The pre-batch serve path: one owned outcome per probe over
+        // the open directory — what the BATCH handler ran before this
+        // change, and what a v1 snapshot still serves today.
+        let (ns_owned, s_owned) =
+            serve_single(&probes, reps, |(c, m)| outcome_word(&open.lookup(c, m)));
+        if s_owned != s_mph {
+            return Err(io::Error::other(format!(
+                "{name}: owned lookup (open) diverged from lookup_ref"
+            )));
+        }
+        // The same owned loop on the mph directory, so the batch ratio
+        // isolates the loop rewrite from the directory swap.
+        let (ns_owned_mph, s_owned_mph) =
+            serve_single(&probes, reps, |(c, m)| outcome_word(&mph.lookup(c, m)));
+        if s_owned_mph != s_mph {
+            return Err(io::Error::other(format!(
+                "{name}: owned lookup (mph) diverged from lookup_ref"
+            )));
+        }
+        let (t_batch, s_batch) = median_time(3, || {
+            let mut out = Vec::new();
+            let mut sum = 0u64;
+            for _ in 0..reps {
+                for chunk in probes.chunks(CHUNK) {
+                    mph.lookup_batch_into(chunk, &mut out);
+                    for o in &out {
+                        sum = sum.wrapping_add(outcome_ref_word(o));
+                    }
+                }
+            }
+            sum
+        });
+        if s_batch != s_mph {
+            return Err(io::Error::other(format!(
+                "{name}: batch path diverged from lookup_ref"
+            )));
+        }
+        let ns_batch = t_batch.as_secs_f64() * 1e9 / lookups;
+        let dir_ratio = ns_open / ns_mph.max(f64::MIN_POSITIVE);
+        let batch_ratio = ns_owned_mph / ns_batch.max(f64::MIN_POSITIVE);
+        let serve_ratio = ns_owned / ns_batch.max(f64::MIN_POSITIVE);
+        // The acceptance geomeans are over the ≥2000-class families;
+        // smaller ones are printed for shape but not averaged in.
+        if chg.class_count() >= 2000 {
+            dir_ratios.push(dir_ratio);
+            batch_ratios.push(batch_ratio);
+            serve_ratios.push(serve_ratio);
+        }
+        writeln!(
+            w,
+            "  {:<16} {:>7} {:>8} {:>8.1} {:>8.1} {:>7.2}x {:>8.1} {:>8.1} {:>8.2}x {:>8.2}x",
+            name,
+            chg.class_count(),
+            mph.entry_count(),
+            ns_open,
+            ns_mph,
+            dir_ratio,
+            ns_owned,
+            ns_batch,
+            batch_ratio,
+            serve_ratio,
+        )?;
+        json_rows.push(format!(
+            "    {{\"name\": \"{name}\", \"classes\": {}, \"entries\": {}, \
+             \"single_ns\": {{\"open\": {ns_open:.2}, \"mph\": {ns_mph:.2}, \
+             \"owned_open\": {ns_owned:.2}, \"owned_mph\": {ns_owned_mph:.2}, \
+             \"batch\": {ns_batch:.2}}}, \
+             \"mph_vs_open_single\": {dir_ratio:.3}, \
+             \"batch_vs_owned\": {batch_ratio:.3}, \
+             \"serve_path_vs_baseline\": {serve_ratio:.3}}}",
+            chg.class_count(),
+            mph.entry_count(),
+        ));
+    }
+    // Thread scaling on the largest family, MPH directory.
+    let (scale_name, scale_chg) = families.last().expect("families nonempty");
+    let table = LookupTable::build(scale_chg);
+    let mph = DispatchIndex::from_table(LookupTable::build(scale_chg));
+    let probes = serve_probes(scale_chg, &table, 0xE26);
+    let mt_reps = (500_000 / probes.len()).max(1);
+    writeln!(
+        w,
+        "  thread scaling ({scale_name}, mph directory), aggregate Mlookups/s:"
+    )?;
+    let mut scale_rows: Vec<String> = Vec::new();
+    let mut base_qps = f64::MIN_POSITIVE;
+    for &threads in &THREAD_SWEEP {
+        let (qps, _) = serve_mt(threads, &probes, mt_reps, |(c, m)| {
+            outcome_ref_word(&mph.lookup_ref(c, m))
+        });
+        if threads == 1 {
+            base_qps = qps;
+        }
+        writeln!(
+            w,
+            "    {threads:>2} threads: {:>8.2} M/s ({:.2}x over 1 thread)",
+            qps / 1e6,
+            qps / base_qps
+        )?;
+        scale_rows.push(format!(
+            "    {{\"threads\": {threads}, \"qps\": {qps:.0}, \"speedup\": {:.3}}}",
+            qps / base_qps
+        ));
+    }
+    let geo = |rs: &[f64]| (rs.iter().map(|r| r.ln()).sum::<f64>() / rs.len() as f64).exp();
+    let g_dir = geo(&dir_ratios);
+    let g_batch = geo(&batch_ratios);
+    let g_serve = geo(&serve_ratios);
+    writeln!(
+        w,
+        "  target >=1.5x serve path (batch on mph) vs the open-addressed per-probe \
+         loop it replaced, >=2000-class families (geomean): {} ({g_serve:.2}x)",
+        if g_serve >= 1.5 { "PASS" } else { "FAIL" }
+    )?;
+    writeln!(
+        w,
+        "  target >=2x batch vs per-probe owned loop, same directory (geomean): {} ({g_batch:.2}x)",
+        if g_batch >= 2.0 { "PASS" } else { "FAIL" }
+    )?;
+    writeln!(
+        w,
+        "  context (no target): mph vs open per-probe lookup_ref geomean {g_dir:.2}x \
+         — the bare directory race; mph pays ~4 serial multiplies + a displacement \
+         load per probe and wins only once the open table outgrows cache"
+    )?;
+    let json = format!(
+        "{{\n  \"experiment\": \"e26\",\n  {},\n  \"families\": [\n{}\n  ],\n  \
+         \"scaling\": {{\"family\": \"{scale_name}\", \"points\": [\n{}\n  ]}},\n  \
+         \"geomean_mph_vs_open_single\": {g_dir:.3},\n  \
+         \"geomean_batch_vs_owned\": {g_batch:.3},\n  \
+         \"geomean_serve_path_vs_baseline\": {g_serve:.3}\n}}\n",
+        host_context_json(*THREAD_SWEEP.last().expect("sweep nonempty")),
+        json_rows.join(",\n"),
+        scale_rows.join(",\n"),
+    );
+    std::fs::write("BENCH_e26.json", json)?;
+    writeln!(w, "  wrote BENCH_e26.json")?;
+    Ok(())
+}
+
+/// E26's CI gate, in three stages mirroring `e22-smoke`:
+///
+/// 1. **MPH/open differential** — every live pair *and* a dead-key
+///    margin beyond the id ranges on an interface-heavy family, both
+///    directories, single and batch paths. A wrong displacement, a
+///    weak slot remix, or a missing key-compare all surface here.
+/// 2. **Perf floor** — ≥1.2× single-thread serve path on
+///    `grid_50x50`: the batched MPH path (`lookup_batch_into`, reused
+///    buffer) against the per-probe owned `lookup` loop on the open
+///    directory that the BATCH handler ran before this change.
+/// 3. **No-regression** — when a committed `BENCH_e26.json` exists,
+///    the measured ratio must stay above 0.4× the recorded
+///    `grid_50x50` `serve_path_vs_baseline` ratio.
+fn e26_smoke(w: &mut dyn Write) -> io::Result<()> {
+    use cpplookup_core::{DirectoryKind, DispatchIndex};
+
+    writeln!(w, "E26-smoke: mph/open differential + mph perf floor")?;
+    let diff = families::interface_heavy(200, 4);
+    let mph = DispatchIndex::from_table(LookupTable::build(&diff));
+    if mph.directory_kind() != DirectoryKind::Mph {
+        return Err(io::Error::other("from_table no longer defaults to mph"));
+    }
+    let open = mph.with_directory_kind(DirectoryKind::Open);
+    // Live pairs and a margin of dead ids beyond both ranges: an alien
+    // key still hashes *somewhere*, so this exercises the key-compare
+    // rejection, not just the happy path.
+    let probes: Vec<Probe> = (0..diff.class_count() + 4)
+        .flat_map(|c| {
+            (0..diff.member_name_count() + 4).map(move |m| {
+                (
+                    cpplookup_chg::ClassId::from_index(c),
+                    cpplookup_chg::MemberId::from_index(m),
+                )
+            })
+        })
+        .collect();
+    let mut mph_batch = Vec::new();
+    let mut open_batch = Vec::new();
+    mph.lookup_batch_into(&probes, &mut mph_batch);
+    open.lookup_batch_into(&probes, &mut open_batch);
+    for (i, &(c, m)) in probes.iter().enumerate() {
+        let got = mph.lookup_ref(c, m);
+        if got != open.lookup_ref(c, m) || got != mph_batch[i] || got != open_batch[i] {
+            return Err(io::Error::other(format!(
+                "mph/open divergence at probe ({}, {})",
+                c.index(),
+                m.index()
+            )));
+        }
+    }
+    writeln!(
+        w,
+        "  differential: {} probes ({} live entries + dead margin), \
+         mph == open, batch == single",
+        probes.len(),
+        mph.entry_count()
+    )?;
+    let chg = families::grid(50, 50);
+    let table = LookupTable::build(&chg);
+    let mph = DispatchIndex::from_table(LookupTable::build(&chg));
+    let open = mph.with_directory_kind(DirectoryKind::Open);
+    let probes = serve_probes(&chg, &table, 0xE26);
+    let reps = (1_000_000 / probes.len()).max(1);
+    // The serve path before this change: one owned outcome (witness
+    // Vec clones and obs hooks included) per probe, open directory.
+    let (ns_owned, s_owned) =
+        serve_single(&probes, reps, |(c, m)| outcome_word(&open.lookup(c, m)));
+    // The serve path now: batched allocation-free lookups, mph
+    // directory, reused output buffer.
+    let (t_batch, s_batch) = median_time(3, || {
+        let mut out = Vec::new();
+        let mut sum = 0u64;
+        for _ in 0..reps {
+            for chunk in probes.chunks(256) {
+                mph.lookup_batch_into(chunk, &mut out);
+                for o in &out {
+                    sum = sum.wrapping_add(outcome_ref_word(o));
+                }
+            }
+        }
+        sum
+    });
+    if s_owned != s_batch {
+        return Err(io::Error::other(
+            "probe checksums diverged between the owned open loop and the mph batch path",
+        ));
+    }
+    let ns_batch = t_batch.as_secs_f64() * 1e9 / (reps * probes.len()) as f64;
+    let ratio = ns_owned / ns_batch.max(f64::MIN_POSITIVE);
+    writeln!(
+        w,
+        "  perf (grid_50x50): owned loop on open {ns_owned:.1} ns/probe, batch on \
+         mph {ns_batch:.1} ns/probe (serve-path speedup {ratio:.2}x)"
+    )?;
+    if ratio < 1.2 {
+        return Err(io::Error::other(format!(
+            "the batched mph serve path is only {ratio:.2}x the open per-probe \
+             loop it replaced (floor 1.2x)"
+        )));
+    }
+    writeln!(w, "  guard: PASS (floor 1.2x)")?;
+    if let Ok(baseline) = std::fs::read_to_string("BENCH_e26.json") {
+        let recorded = baseline
+            .find("\"name\": \"grid_50x50\"")
+            .and_then(|at| json_f64(&baseline[at..], "serve_path_vs_baseline"));
+        if let Some(recorded) = recorded {
+            let floor = (recorded * 0.4).max(1.2);
+            if ratio < floor {
+                return Err(io::Error::other(format!(
+                    "serve-path speedup {ratio:.2}x regressed below {floor:.2}x \
+                     (0.4x the recorded grid_50x50 ratio {recorded:.2}x)"
+                )));
+            }
+            writeln!(
+                w,
+                "  baseline: recorded grid_50x50 ratio {recorded:.2}x, floor {floor:.2}x — PASS"
+            )?;
+        }
+    } else {
+        writeln!(
+            w,
+            "  baseline: BENCH_e26.json not present, skipping no-regression guard"
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2683,7 +3062,7 @@ mod tests {
         // Don't run the heavy ones here; just verify dispatch exists by
         // name for every id in ALL (compile-time exhaustiveness is
         // enforced by the match).
-        assert_eq!(ALL.len(), 25);
+        assert_eq!(ALL.len(), 26);
         assert!(ALL.iter().all(|id| id.starts_with('e')));
     }
 }

@@ -71,6 +71,7 @@ pub mod dispatch;
 mod engine;
 pub mod fxmap;
 mod lazy;
+pub mod mph;
 pub mod obs;
 mod parallel;
 mod result;
@@ -87,7 +88,8 @@ pub use engine::{EngineBacking, EngineOptions, EngineStats, LookupEngine};
 pub use lazy::LazyLookup;
 pub use result::{DisplayEntry, Entry, LookupOutcome};
 pub use serve::{
-    DispatchIndex, IndexedEngine, IntoDispatchIndex, OutcomeRef, PublishedIndex, ServeHandle,
+    DirectoryKind, DispatchIndex, IndexedEngine, IntoDispatchIndex, OutcomeRef, PublishedIndex,
+    ServeHandle,
 };
 pub use table::{LookupOptions, LookupTable, TableStats};
 
@@ -107,7 +109,8 @@ pub mod prelude {
     pub use crate::engine::{EngineOptions, LookupEngine};
     pub use crate::result::{Entry, LookupOutcome};
     pub use crate::serve::{
-        DispatchIndex, IndexedEngine, IntoDispatchIndex, OutcomeRef, PublishedIndex, ServeHandle,
+        DirectoryKind, DispatchIndex, IndexedEngine, IntoDispatchIndex, OutcomeRef, PublishedIndex,
+        ServeHandle,
     };
     pub use crate::table::{LookupOptions, LookupTable};
 }

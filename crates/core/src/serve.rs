@@ -19,12 +19,13 @@
 //! pairs       : (member: u32, slot: u32)      one contiguous run per
 //!               sorted by member id per class  class — rank iteration
 //!                                              and batch locality
-//! cells       : 16-byte {key, a, b}           one global open-addressing
-//!               key = class | member << 32     directory, power-of-two
-//!               u64::MAX = vacant, α ≤ 0.6     capacity — the O(1)
-//!               red  → a = ldc, b = lv         probe path, verdict
-//!               blue → a = pool off,           decoded inline
-//!                      b = len | BLUE_BIT
+//! directory   : 16-byte cells {key, a, b}     the global probe path,
+//!               key = class | member << 32     verdict decoded inline:
+//!               red  → a = ldc, b = lv         · mph: minimal perfect
+//!               blue → a = pool off,             hash, n cells, zero
+//!                      b = len | BLUE_BIT        collision chains
+//!                                              · open: linear probing,
+//!                                                α ≤ 0.6 (fallback)
 //! entries     : fixed-width pre-decoded slots (24 bytes each)
 //!               red  → {ldc, lv, via, shared off+len}
 //!               blue → {witness off+len}
@@ -33,19 +34,30 @@
 //! ```
 //!
 //! The rank-sorted `pairs` rows serve ordered iteration
-//! ([`members_of`](DispatchIndex::members_of)) and give
-//! [`lookup_batch`](DispatchIndex::lookup_batch) its locality; the
-//! `cells` directory answers a point probe in one hashed 16-byte load
-//! plus a short linear scan. Because a cell carries the decoded verdict
-//! inline, a red hit costs exactly one data-dependent cache line — not
-//! the `log₂(row)` lines a binary search pays on member-heavy classes,
-//! and not the two-level bucket walk of the hashmap table — and the
-//! single flat directory keeps the probe footprint several times
-//! smaller than per-class hash maps, so far more of it stays resident.
-//! Blue hits add one pool read for the witnesses; the `entries` arena
-//! is only touched by the cold reconstruction paths
+//! ([`members_of`](DispatchIndex::members_of)); the cell directory
+//! answers a point probe with one hashed 16-byte load. The key set is
+//! *static between epochs*, so the default directory is a minimal
+//! perfect hash ([`crate::mph`]): exactly `n` cells for `n` entries,
+//! every probe is one displacement-array load plus one data-dependent
+//! cache line, with **zero collision chains** — a miss is decided by
+//! the same single key compare a hit needs. (Old snapshots without a
+//! serialized hash fall back to the original open-addressed directory,
+//! [`DirectoryKind::Open`].) Cells live in 64-byte-aligned blocks of
+//! four, so a cell never straddles a cache line. Because a cell carries
+//! the decoded verdict inline, a red hit costs exactly one
+//! data-dependent line — not the `log₂(row)` lines a binary search pays
+//! on member-heavy classes, and not the two-level bucket walk of the
+//! hashmap table. Blue hits add one pool read for the witnesses; the
+//! `entries` arena is only touched by the cold reconstruction paths
 //! ([`entry`](DispatchIndex::entry), refresh copying, which binary-
 //! search the rank-sorted rows instead).
+//!
+//! [`lookup_batch_into`](DispatchIndex::lookup_batch_into) is the
+//! SWAR-style batch probe: stripes of eight probes are packed and
+//! hashed first (independent, register-only work), then all eight cells
+//! are loaded back-to-back so the misses overlap, then decoded — and
+//! the caller's output buffer is reused, so a server BATCH frame costs
+//! zero allocation on resolved/not-found probes.
 //!
 //! Three construction paths feed it:
 //!
@@ -85,6 +97,7 @@ use crate::abstraction::{LeastVirtual, RedAbs};
 use crate::api::MemberLookup;
 use crate::batched::elapsed_ns;
 use crate::engine::LookupEngine;
+use crate::mph::MphFunction;
 use crate::result::{Entry, LookupOutcome};
 use crate::table::LookupTable;
 
@@ -188,9 +201,145 @@ impl Cell {
     };
 }
 
-/// Directory capacity for `n` occupied cells: the next power of two at
-/// or above `n / 0.6`, so the load factor never exceeds 0.6 and linear
-/// probing terminates on a vacant cell.
+/// Which probe directory a [`DispatchIndex`] carries — reported by
+/// [`DispatchIndex::directory_kind`] and surfaced per tenant through
+/// the `serve_directory_kind` gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectoryKind {
+    /// The minimal perfect hash directory ([`crate::mph`]): exactly one
+    /// displacement load + one cell line per probe, zero collision
+    /// chains. The default for every freshly built index and for
+    /// current-version snapshots (which serialize the hash).
+    Mph,
+    /// The open-addressed directory (multiplicative hash, linear
+    /// probing, load ≤ 0.6) — the compatibility fallback for snapshots
+    /// written before the hash section existed.
+    Open,
+}
+
+impl DirectoryKind {
+    /// Stable label for metrics and reports: `"mph"` / `"open"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DirectoryKind::Mph => "mph",
+            DirectoryKind::Open => "open",
+        }
+    }
+}
+
+/// Four cells on one 64-byte line: the arena's unit of alignment, so a
+/// 16-byte cell can never straddle a cache-line boundary and every
+/// probe touches exactly one line of directory.
+#[derive(Clone, Copy, Debug)]
+#[repr(align(64))]
+struct CellBlock([Cell; 4]);
+
+/// The cell store: 64-byte-aligned blocks of four, indexed flat.
+#[derive(Clone, Debug)]
+struct CellArena {
+    blocks: Vec<CellBlock>,
+    len: usize,
+}
+
+impl CellArena {
+    /// An arena of `len` vacant cells (rounded up to whole blocks).
+    fn vacant(len: usize) -> CellArena {
+        CellArena {
+            blocks: vec![CellBlock([Cell::EMPTY; 4]); len.div_ceil(4)],
+            len,
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> &Cell {
+        &self.blocks[i >> 2].0[i & 3]
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, cell: Cell) {
+        self.blocks[i >> 2].0[i & 3] = cell;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Allocated bytes (whole blocks, including block padding).
+    fn bytes(&self) -> usize {
+        self.blocks.len() * std::mem::size_of::<CellBlock>()
+    }
+}
+
+/// The probe directory behind [`DispatchIndex::lookup_ref`]: either the
+/// minimal perfect hash (one displacement + one cell, every cell
+/// occupied by a live key) or the open-addressed fallback.
+#[derive(Clone, Debug)]
+enum Directory {
+    /// Linear probing over a power-of-two arena at load ≤ 0.6.
+    Open(CellArena),
+    /// One cell per key at the hash's slot; misses are rejected by the
+    /// key compare on the single probed cell.
+    Mph { mph: MphFunction, cells: CellArena },
+}
+
+/// How a constructor obtains its directory: build one of the given
+/// kind, or place cells under a hash that already exists (the snapshot
+/// loader deserializes and validates one instead of re-running the
+/// displacement search).
+enum DirectoryInit {
+    Build(DirectoryKind),
+    Prebuilt(MphFunction),
+}
+
+impl Directory {
+    fn kind(&self) -> DirectoryKind {
+        match self {
+            Directory::Open(_) => DirectoryKind::Open,
+            Directory::Mph { .. } => DirectoryKind::Mph,
+        }
+    }
+
+    /// The cell holding `key`, if the key is live — the single-probe
+    /// core of every point lookup.
+    #[inline]
+    fn get(&self, key: u64) -> Option<&Cell> {
+        match self {
+            Directory::Mph { mph, cells } => {
+                if cells.len() == 0 {
+                    return None;
+                }
+                let cell = cells.get(mph.position(key));
+                (cell.key == key).then_some(cell)
+            }
+            Directory::Open(cells) => {
+                let mask = cells.len() - 1;
+                let mut at = hash_key(key) & mask;
+                loop {
+                    let cell = cells.get(at);
+                    if cell.key == key {
+                        return Some(cell);
+                    }
+                    if cell.key == Cell::VACANT {
+                        return None;
+                    }
+                    at = (at + 1) & mask;
+                }
+            }
+        }
+    }
+
+    /// Allocated directory bytes (cells + hash metadata).
+    fn bytes(&self) -> usize {
+        match self {
+            Directory::Open(cells) => cells.bytes(),
+            Directory::Mph { mph, cells } => mph.size_bytes() + cells.bytes(),
+        }
+    }
+}
+
+/// Directory capacity for `n` occupied cells under open addressing: the
+/// next power of two at or above `n / 0.6`, so the load factor never
+/// exceeds 0.6 and linear probing terminates on a vacant cell.
 #[inline]
 fn directory_cap(n: usize) -> usize {
     (n.max(1) * 5 / 3 + 1).next_power_of_two()
@@ -441,9 +590,9 @@ pub struct DispatchIndex {
     row_starts: Vec<u32>,
     /// Per-class runs sorted by member id.
     pairs: Vec<IndexPair>,
-    /// The global open-addressing directory of pre-decoded verdicts;
-    /// power-of-two length (see [`directory_cap`]).
-    cells: Vec<Cell>,
+    /// The global probe directory of pre-decoded verdicts — minimal
+    /// perfect hash by default, open-addressed fallback.
+    directory: Directory,
     /// The pre-decoded entry arena; `pairs[i].slot` indexes it.
     entries: Vec<PackedEntry>,
     /// Shared encoded `leastVirtual` pool.
@@ -475,10 +624,57 @@ impl DispatchIndex {
 
     /// Builds the index in one pass from any `(class, member, entry)`
     /// stream. `class_count` must cover every class id in the stream;
-    /// the stream may arrive in any order.
+    /// the stream may arrive in any order. The probe directory is the
+    /// default minimal perfect hash, built here.
     pub fn from_entries(
         class_count: usize,
         entries: impl IntoIterator<Item = (ClassId, MemberId, Entry)>,
+    ) -> Self {
+        Self::from_entries_init(
+            class_count,
+            entries,
+            DirectoryInit::Build(DirectoryKind::Mph),
+        )
+    }
+
+    /// [`from_entries`](Self::from_entries) on the open-addressed
+    /// directory — the compatibility path for snapshots written before
+    /// the hash section existed (the loader cannot place cells under a
+    /// hash the container never stored, and rebuilding one at load time
+    /// would charge the displacement search to every cold start).
+    pub fn from_entries_open(
+        class_count: usize,
+        entries: impl IntoIterator<Item = (ClassId, MemberId, Entry)>,
+    ) -> Self {
+        Self::from_entries_init(
+            class_count,
+            entries,
+            DirectoryInit::Build(DirectoryKind::Open),
+        )
+    }
+
+    /// [`from_entries`](Self::from_entries) under a minimal perfect
+    /// hash that already exists — the snapshot load path, where the
+    /// hash was built once at compile time, serialized, and validated
+    /// against the container's key set, so load skips the displacement
+    /// search entirely and only places cells.
+    ///
+    /// `mph` must be a valid minimal perfect hash for exactly the
+    /// packed keys of the stream (the snapshot loader verifies this
+    /// before calling); if its key count disagrees with the stream the
+    /// hash is discarded and rebuilt from scratch.
+    pub fn from_entries_mph(
+        class_count: usize,
+        entries: impl IntoIterator<Item = (ClassId, MemberId, Entry)>,
+        mph: MphFunction,
+    ) -> Self {
+        Self::from_entries_init(class_count, entries, DirectoryInit::Prebuilt(mph))
+    }
+
+    fn from_entries_init(
+        class_count: usize,
+        entries: impl IntoIterator<Item = (ClassId, MemberId, Entry)>,
+        init: DirectoryInit,
     ) -> Self {
         let mut rows: Vec<Vec<(u32, Entry)>> = vec![Vec::new(); class_count];
         let mut member_count = 0usize;
@@ -486,7 +682,7 @@ impl DispatchIndex {
             member_count = member_count.max(m.index() + 1);
             rows[c.index()].push((m.index() as u32, e));
         }
-        Self::from_rows(member_count, rows)
+        Self::from_rows_init(member_count, rows, init)
     }
 
     /// Builds the index from a consumed [`LookupTable`] — one pass over
@@ -555,7 +751,9 @@ impl DispatchIndex {
     /// classes beyond the old `class_count`) are re-probed from the
     /// engine's memo; every clean row — pairs, packed entries, and
     /// their pool ranges — is copied verbatim. The pool only grows, so
-    /// copied `set_off` ranges stay valid.
+    /// copied `set_off` ranges stay valid. The probe directory is
+    /// rebuilt whole (its key set changed) on the same
+    /// [`DirectoryKind`] this index carries.
     pub fn refreshed(&self, engine: &LookupEngine, dirty: &[(ClassId, MemberId)]) -> Self {
         let start = Instant::now();
         let chg = engine.chg();
@@ -598,13 +796,18 @@ impl DispatchIndex {
             }
             row_starts.push(u32::try_from(pairs.len()).expect("dispatch index overflow"));
         }
-        let cells = Self::build_cells(&row_starts, &pairs, &entries);
+        let directory = Self::build_directory(
+            DirectoryInit::Build(self.directory_kind()),
+            &row_starts,
+            &pairs,
+            &entries,
+        );
         let index = DispatchIndex {
             class_count,
             member_count: chg.member_name_count(),
             row_starts,
             pairs,
-            cells,
+            directory,
             entries,
             pool: pool.pool,
         };
@@ -620,6 +823,14 @@ impl DispatchIndex {
     /// The shared layout pass: sorts each row by member id and packs
     /// entries into the arena + pool.
     fn from_rows(member_count: usize, rows: Vec<Vec<(u32, Entry)>>) -> Self {
+        Self::from_rows_init(member_count, rows, DirectoryInit::Build(DirectoryKind::Mph))
+    }
+
+    fn from_rows_init(
+        member_count: usize,
+        rows: Vec<Vec<(u32, Entry)>>,
+        init: DirectoryInit,
+    ) -> Self {
         let class_count = rows.len();
         let mut pool = PoolBuilder::new();
         let mut row_starts = Vec::with_capacity(class_count + 1);
@@ -635,60 +846,132 @@ impl DispatchIndex {
             }
             row_starts.push(u32::try_from(pairs.len()).expect("dispatch index overflow"));
         }
-        let cells = Self::build_cells(&row_starts, &pairs, &entries);
+        let directory = Self::build_directory(init, &row_starts, &pairs, &entries);
         DispatchIndex {
             class_count,
             member_count,
             row_starts,
             pairs,
-            cells,
+            directory,
             entries,
             pool: pool.pool,
         }
     }
 
-    /// Builds the global probe directory from the finished CSR rows:
-    /// one power-of-two cell table at load factor ≤ 0.6, filled by
-    /// linear probing, every cell carrying its entry's decoded verdict
-    /// inline.
-    fn build_cells(row_starts: &[u32], pairs: &[IndexPair], entries: &[PackedEntry]) -> Vec<Cell> {
+    /// The packed key and pre-decoded cell of one CSR pair.
+    #[inline]
+    fn cell_of(class: usize, pair: &IndexPair, entries: &[PackedEntry]) -> (u64, Cell) {
+        let key = class as u64 | u64::from(pair.member) << 32;
+        debug_assert_ne!(key, Cell::VACANT, "probe key collides with sentinel");
+        let e = &entries[pair.slot as usize];
+        let cell = if e.flags & FLAG_BLUE != 0 {
+            debug_assert_eq!(e.set_len & BLUE_BIT, 0, "witness count overflow");
+            Cell {
+                key,
+                a: e.set_off,
+                b: e.set_len | BLUE_BIT,
+            }
+        } else {
+            debug_assert_eq!(e.lv & BLUE_BIT, 0, "leastVirtual encoding overflow");
+            Cell {
+                key,
+                a: e.ldc,
+                b: e.lv,
+            }
+        };
+        (key, cell)
+    }
+
+    /// Builds the global probe directory from the finished CSR rows,
+    /// every cell carrying its entry's decoded verdict inline.
+    ///
+    /// * `Build(Mph)` runs the hash-and-displace construction over the
+    ///   packed key set (class-ascending, member-ascending — the same
+    ///   order the snapshot serializes) and places each cell at its
+    ///   unique slot: `n` cells for `n` entries, all occupied.
+    /// * `Prebuilt` places cells under an already-validated hash (the
+    ///   snapshot load path) — no displacement search at load time.
+    /// * `Build(Open)` fills a power-of-two table at load ≤ 0.6 by
+    ///   linear probing — the pre-MPH directory, kept as the fallback.
+    fn build_directory(
+        init: DirectoryInit,
+        row_starts: &[u32],
+        pairs: &[IndexPair],
+        entries: &[PackedEntry],
+    ) -> Directory {
+        let start = Instant::now();
         let class_count = row_starts.len() - 1;
-        let mut cells = vec![Cell::EMPTY; directory_cap(pairs.len())];
-        let mask = cells.len() - 1;
+        let mut packed: Vec<(u64, Cell)> = Vec::with_capacity(pairs.len());
         for ci in 0..class_count {
             let (lo, hi) = (row_starts[ci] as usize, row_starts[ci + 1] as usize);
             for pair in &pairs[lo..hi] {
-                let key = ci as u64 | u64::from(pair.member) << 32;
-                debug_assert_ne!(key, Cell::VACANT, "probe key collides with sentinel");
-                let e = &entries[pair.slot as usize];
-                let cell = if e.flags & FLAG_BLUE != 0 {
-                    debug_assert_eq!(e.set_len & BLUE_BIT, 0, "witness count overflow");
-                    Cell {
-                        key,
-                        a: e.set_off,
-                        b: e.set_len | BLUE_BIT,
-                    }
-                } else {
-                    debug_assert_eq!(e.lv & BLUE_BIT, 0, "leastVirtual encoding overflow");
-                    Cell {
-                        key,
-                        a: e.ldc,
-                        b: e.lv,
-                    }
-                };
-                let mut at = hash_key(key) & mask;
-                while cells[at].key != Cell::VACANT {
-                    at = (at + 1) & mask;
-                }
-                cells[at] = cell;
+                packed.push(Self::cell_of(ci, pair, entries));
             }
         }
-        cells
+        let directory = match init {
+            DirectoryInit::Build(DirectoryKind::Open) => {
+                let mut cells = CellArena::vacant(directory_cap(packed.len()));
+                let mask = cells.len() - 1;
+                for &(key, cell) in &packed {
+                    let mut at = hash_key(key) & mask;
+                    while cells.get(at).key != Cell::VACANT {
+                        at = (at + 1) & mask;
+                    }
+                    cells.set(at, cell);
+                }
+                Directory::Open(cells)
+            }
+            DirectoryInit::Build(DirectoryKind::Mph) => {
+                let keys: Vec<u64> = packed.iter().map(|&(key, _)| key).collect();
+                Self::place_mph(MphFunction::build(&keys), &packed)
+                    .expect("freshly built mph collided on its own key set")
+            }
+            DirectoryInit::Prebuilt(mph) => {
+                // A hash that cannot cover this key set — wrong count,
+                // or a displacement array that maps two live keys to
+                // one slot (a mismatched or adversarial container
+                // section; random corruption is already caught by the
+                // file checksum) — is rebuilt instead of served
+                // through: a collision would silently overwrite a cell
+                // and turn live probes into NotFound.
+                let placed = (mph.n() as usize == packed.len())
+                    .then(|| Self::place_mph(mph, &packed))
+                    .flatten();
+                placed.unwrap_or_else(|| {
+                    let keys: Vec<u64> = packed.iter().map(|&(key, _)| key).collect();
+                    Self::place_mph(MphFunction::build(&keys), &packed)
+                        .expect("freshly built mph collided on its own key set")
+                })
+            }
+        };
+        crate::obs::directory_built(
+            directory.kind().label(),
+            packed.len() as u64,
+            matches!(directory, Directory::Mph { .. }).then(|| elapsed_ns(start)),
+        );
+        directory
+    }
+
+    /// Places every cell at its minimal-perfect-hash slot; `None` if
+    /// two keys land on one slot (the hash does not cover this key
+    /// set — possible only for a deserialized hash).
+    fn place_mph(mph: MphFunction, packed: &[(u64, Cell)]) -> Option<Directory> {
+        let mut cells = CellArena::vacant(mph.n() as usize);
+        for &(key, cell) in packed {
+            let at = mph.position(key);
+            if cells.get(at).key != Cell::VACANT {
+                return None;
+            }
+            cells.set(at, cell);
+        }
+        Some(Directory::Mph { mph, cells })
     }
 
     /// The directory cell behind `(c, m)`, if any — the hot probe
-    /// behind every point query: one hashed 16-byte load, stepping
-    /// linearly past collisions (bounded because the directory is at
+    /// behind every point query: on the default MPH directory, one
+    /// displacement load plus one hashed 16-byte cell load with zero
+    /// collision chains; on the open fallback, a hashed load stepping
+    /// linearly past collisions (bounded because that directory is at
     /// most 0.6 full).
     #[inline]
     fn cell(&self, c: ClassId, m: MemberId) -> Option<&Cell> {
@@ -696,17 +979,24 @@ impl DispatchIndex {
             return None;
         }
         let key = c.index() as u64 | (m.index() as u64) << 32;
-        let mask = self.cells.len() - 1;
-        let mut at = hash_key(key) & mask;
-        loop {
-            let cell = &self.cells[at];
-            if cell.key == key {
-                return Some(cell);
+        self.directory.get(key)
+    }
+
+    /// Decodes an occupied cell's inline verdict — shared by the point
+    /// and batch probe paths.
+    #[inline]
+    fn decode(&self, cell: &Cell) -> OutcomeRef<'_> {
+        if cell.b & BLUE_BIT != 0 {
+            OutcomeRef::Ambiguous {
+                witnesses: LvSlice(
+                    &self.pool[cell.a as usize..(cell.a + (cell.b & !BLUE_BIT)) as usize],
+                ),
             }
-            if cell.key == Cell::VACANT {
-                return None;
+        } else {
+            OutcomeRef::Resolved {
+                class: ClassId::from_index(cell.a as usize),
+                least_virtual: dec_lv(cell.b),
             }
-            at = (at + 1) & mask;
         }
     }
 
@@ -734,15 +1024,7 @@ impl DispatchIndex {
     pub fn lookup_ref(&self, c: ClassId, m: MemberId) -> OutcomeRef<'_> {
         match self.cell(c, m) {
             None => OutcomeRef::NotFound,
-            Some(cell) if cell.b & BLUE_BIT != 0 => OutcomeRef::Ambiguous {
-                witnesses: LvSlice(
-                    &self.pool[cell.a as usize..(cell.a + (cell.b & !BLUE_BIT)) as usize],
-                ),
-            },
-            Some(cell) => OutcomeRef::Resolved {
-                class: ClassId::from_index(cell.a as usize),
-                least_virtual: dec_lv(cell.b),
-            },
+            Some(cell) => self.decode(cell),
         }
     }
 
@@ -754,29 +1036,74 @@ impl DispatchIndex {
         self.lookup_ref(c, m).to_outcome()
     }
 
-    /// Answers a batch of probes in input order, probing each distinct
-    /// `(class, member)` pair once: probes are sorted per class run for
-    /// locality (consecutive hits share row and cache lines), duplicates
-    /// are answered by fan-out from the first hit.
-    pub fn lookup_batch(&self, probes: &[(ClassId, MemberId)]) -> Vec<LookupOutcome> {
+    /// Answers a batch of probes in input order into a caller-owned
+    /// buffer — the allocation-free batch path the server's BATCH frame
+    /// loop runs on. `out` is cleared and refilled; reusing one buffer
+    /// across calls amortizes its capacity to zero allocations per
+    /// frame (the outcomes themselves are [`Copy`] borrows).
+    ///
+    /// On the MPH directory this is the SWAR-style striped probe: each
+    /// stripe of eight probes is packed and hashed first — independent,
+    /// register-only work after the displacement loads — then all eight
+    /// cells are copied out back-to-back, so their (potentially
+    /// missing) cache lines are requested together and the loads
+    /// overlap instead of serializing, then decoded. A probe outside
+    /// the class/member id range packs to the vacant sentinel key,
+    /// which no occupied cell carries, and falls out as `NotFound`
+    /// through the same key compare as any dead key.
+    pub fn lookup_batch_into<'a>(
+        &'a self,
+        probes: &[(ClassId, MemberId)],
+        out: &mut Vec<OutcomeRef<'a>>,
+    ) {
         crate::obs::serve_query("index", probes.len() as u64);
-        let mut order: Vec<u32> = (0..probes.len() as u32).collect();
-        order.sort_unstable_by_key(|&i| {
-            let (c, m) = probes[i as usize];
-            (c.index(), m.index())
-        });
-        let mut out = vec![LookupOutcome::NotFound; probes.len()];
-        let mut prev: Option<(ClassId, MemberId)> = None;
-        let mut prev_outcome = LookupOutcome::NotFound;
-        for &i in &order {
-            let probe = probes[i as usize];
-            if prev != Some(probe) {
-                prev_outcome = self.lookup_ref(probe.0, probe.1).to_outcome();
-                prev = Some(probe);
+        out.clear();
+        out.reserve(probes.len());
+        match &self.directory {
+            Directory::Mph { mph, cells } if cells.len() > 0 => {
+                let mut keys = [0u64; 8];
+                let mut slots = [0usize; 8];
+                let mut hit = [Cell::EMPTY; 8];
+                for stripe in probes.chunks(8) {
+                    for (i, &(c, m)) in stripe.iter().enumerate() {
+                        let key = if c.index() < self.class_count && m.index() <= u32::MAX as usize
+                        {
+                            c.index() as u64 | (m.index() as u64) << 32
+                        } else {
+                            Cell::VACANT
+                        };
+                        keys[i] = key;
+                        slots[i] = mph.position(key);
+                    }
+                    for i in 0..stripe.len() {
+                        hit[i] = *cells.get(slots[i]);
+                    }
+                    for i in 0..stripe.len() {
+                        out.push(if hit[i].key == keys[i] {
+                            self.decode(&hit[i])
+                        } else {
+                            OutcomeRef::NotFound
+                        });
+                    }
+                }
             }
-            out[i as usize] = prev_outcome.clone();
+            _ => {
+                for &(c, m) in probes {
+                    out.push(self.lookup_ref(c, m));
+                }
+            }
         }
-        out
+    }
+
+    /// Answers a batch of probes in input order as owned outcomes —
+    /// [`lookup_batch_into`](Self::lookup_batch_into) plus the
+    /// materialization each owned outcome pays anyway. Callers on the
+    /// hot serve loop should prefer the `_into` form with a reused
+    /// buffer.
+    pub fn lookup_batch(&self, probes: &[(ClassId, MemberId)]) -> Vec<LookupOutcome> {
+        let mut refs = Vec::with_capacity(probes.len());
+        self.lookup_batch_into(probes, &mut refs);
+        refs.iter().map(|r| r.to_outcome()).collect()
     }
 
     /// Reconstructs the full [`Entry`] for `(c, m)` — the slow,
@@ -838,12 +1165,37 @@ impl DispatchIndex {
         self.pairs.len()
     }
 
-    /// Bytes of flat storage: row starts + pairs + probe directory +
-    /// entry arena + pool.
+    /// Which probe directory this index carries — MPH for everything
+    /// built fresh, Open only for indexes loaded from pre-hash
+    /// snapshots (or forced via
+    /// [`with_directory_kind`](Self::with_directory_kind)).
+    pub fn directory_kind(&self) -> DirectoryKind {
+        self.directory.kind()
+    }
+
+    /// This index repacked onto the other probe directory — the CSR
+    /// rows, entry arena, and pool are shared verbatim (cloned), only
+    /// the directory is rebuilt. Differential tests and the e22 smoke
+    /// gate use it to exercise the open fallback against the same data
+    /// the MPH path serves.
+    pub fn with_directory_kind(&self, kind: DirectoryKind) -> Self {
+        let mut out = self.clone();
+        out.directory = Self::build_directory(
+            DirectoryInit::Build(kind),
+            &out.row_starts,
+            &out.pairs,
+            &out.entries,
+        );
+        out
+    }
+
+    /// Bytes of flat storage: row starts + pairs + probe directory
+    /// (cells in their 64-byte blocks, plus hash metadata) + entry
+    /// arena + pool.
     pub fn size_bytes(&self) -> usize {
         self.row_starts.len() * 4
             + self.pairs.len() * 8
-            + self.cells.len() * 8
+            + self.directory.bytes()
             + self.entries.len() * 24
             + self.pool.len() * 4
     }
@@ -1205,6 +1557,79 @@ mod tests {
             .map(|&(c, m)| index.lookup_ref(c, m).to_outcome())
             .collect();
         assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn default_directory_is_mph_and_open_repack_agrees_everywhere() {
+        for g in graphs() {
+            let mph = DispatchIndex::from_table(LookupTable::build(&g));
+            assert_eq!(mph.directory_kind(), DirectoryKind::Mph);
+            let open = mph.with_directory_kind(DirectoryKind::Open);
+            assert_eq!(open.directory_kind(), DirectoryKind::Open);
+            // Probe well past the live id range on both axes, so dead
+            // keys go through both directories' miss paths too.
+            for ci in 0..g.class_count() + 3 {
+                for mi in 0..g.member_name_count() + 3 {
+                    let (c, m) = (ClassId::from_index(ci), MemberId::from_index(mi));
+                    assert_eq!(mph.lookup_ref(c, m), open.lookup_ref(c, m));
+                }
+            }
+            // Repacking back lands on MPH again.
+            assert_eq!(
+                open.with_directory_kind(DirectoryKind::Mph)
+                    .directory_kind(),
+                DirectoryKind::Mph
+            );
+        }
+    }
+
+    #[test]
+    fn batch_into_matches_singles_and_reuses_the_buffer() {
+        for g in graphs() {
+            let index = DispatchIndex::from_table(LookupTable::build(&g));
+            let mut probes: Vec<(ClassId, MemberId)> = Vec::new();
+            for ci in 0..g.class_count() + 2 {
+                for mi in 0..g.member_name_count() + 2 {
+                    probes.push((ClassId::from_index(ci), MemberId::from_index(mi)));
+                }
+            }
+            // Odd lengths exercise the partial tail stripe.
+            let mut out = Vec::new();
+            for take in [0, 1, 5, 8, 9, probes.len()] {
+                let take = take.min(probes.len());
+                index.lookup_batch_into(&probes[..take], &mut out);
+                assert_eq!(out.len(), take);
+                for (i, &(c, m)) in probes[..take].iter().enumerate() {
+                    assert_eq!(out[i], index.lookup_ref(c, m), "probe {i}");
+                }
+            }
+            // The open fallback's batch path answers identically.
+            let open = index.with_directory_kind(DirectoryKind::Open);
+            let mut open_out = Vec::new();
+            open.lookup_batch_into(&probes, &mut open_out);
+            index.lookup_batch_into(&probes, &mut out);
+            assert_eq!(out, open_out);
+        }
+    }
+
+    #[test]
+    fn refresh_preserves_directory_kind() {
+        let g = fixtures::fig2();
+        let engine = LookupEngine::new(g);
+        let open = DispatchIndex::from_engine(&engine).with_directory_kind(DirectoryKind::Open);
+        let refreshed = open.refreshed(&engine, &[]);
+        assert_eq!(refreshed.directory_kind(), DirectoryKind::Open);
+        let mph = DispatchIndex::from_engine(&engine);
+        assert_eq!(
+            mph.refreshed(&engine, &[]).directory_kind(),
+            DirectoryKind::Mph
+        );
+    }
+
+    #[test]
+    fn directory_kind_labels_are_stable() {
+        assert_eq!(DirectoryKind::Mph.label(), "mph");
+        assert_eq!(DirectoryKind::Open.label(), "open");
     }
 
     #[test]

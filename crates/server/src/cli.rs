@@ -20,13 +20,13 @@ use crate::server::{Server, ServerConfig};
 pub const SERVE_USAGE: &str = "[--addr HOST:PORT] [--max-connections N] \
      [--read-timeout-secs N] [--tenant NAME=PATH]... [--no-obs] \
      [--recorder-capacity N] [--slow-threshold-ms N] [--tenant-cardinality N] \
-     [--wal PATH] [--fsync-every N] [--retain-epochs N] [--read-only] \
+     [--shards N] [--wal PATH] [--fsync-every N] [--retain-epochs N] [--read-only] \
      [--compact-every-secs N] [--compact-dir DIR] \
      [--follow ADDR | --follow-log PATH] [--follower-id NAME]";
 
 /// Usage text for the load-generator front end.
 pub const LOADGEN_USAGE: &str = "--addr HOST:PORT --snapshot PATH [--tenants N] [--load] \
-     [--connections N] [--duration-secs N] [--rate QPS] [--batch N] \
+     [--connections N] [--duration-secs N] [--rate QPS] [--batch-size N] \
      [--tenant-skew S] [--probe-skew S] [--seed N] [--trace] [--edit-every N]";
 
 /// Usage text for the one-shot wire query front end.
@@ -132,6 +132,12 @@ pub fn parse_server_args(args: &[String]) -> Result<ServeArgs, String> {
                     .ok_or("--retain-epochs wants a positive number")?;
             }
             "--read-only" => config.read_only = true,
+            "--shards" => {
+                config.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--shards wants a worker count (0 = answer on connection threads)")?;
+            }
             "--follow" => {
                 let addr = it.next().ok_or("--follow wants HOST:PORT")?.clone();
                 out.follow = Some(FollowSource::Wire(addr));
@@ -279,12 +285,15 @@ pub fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
                     .ok_or("--rate wants a positive request rate")?;
                 out.config.pacing = Pacing::Open { rate };
             }
-            "--batch" => {
+            // `--batch-size` is the documented spelling; `--batch` is
+            // kept as an alias for scripts written against earlier
+            // releases.
+            "--batch" | "--batch-size" => {
                 out.config.batch = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
-                    .ok_or("--batch wants a positive probe count")?;
+                    .ok_or("--batch-size wants a positive probe count")?;
             }
             "--tenant-skew" => {
                 out.config.tenant_skew = it
@@ -594,6 +603,38 @@ mod tests {
             parse_loadgen_args(&strs(&["--addr", "h:1", "--snapshot", "x", "--rate", "-1"]))
                 .is_err()
         );
+    }
+
+    #[test]
+    fn server_shards_flag_parses() {
+        let cfg = parse_server_args(&strs(&["--shards", "8"])).unwrap().config;
+        assert_eq!(cfg.shards, 8);
+        let cfg = parse_server_args(&strs(&[])).unwrap().config;
+        assert_eq!(cfg.shards, 0, "inline by default");
+        assert!(parse_server_args(&strs(&["--shards", "four"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_batch_size_aliases_batch() {
+        let args = parse_loadgen_args(&strs(&[
+            "--addr",
+            "h:1",
+            "--snapshot",
+            "x",
+            "--batch-size",
+            "32",
+        ]))
+        .unwrap();
+        assert_eq!(args.config.batch, 32);
+        assert!(parse_loadgen_args(&strs(&[
+            "--addr",
+            "h:1",
+            "--snapshot",
+            "x",
+            "--batch-size",
+            "0"
+        ]))
+        .is_err());
     }
 
     #[test]

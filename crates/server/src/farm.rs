@@ -35,7 +35,7 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use cpplookup_chg::fxmap::FxHashMap;
 use cpplookup_chg::{Chg, ClassId, Edit, Inheritance, MemberDecl, MemberId, MemberKind};
-use cpplookup_core::{IndexedEngine, LeastVirtual, LookupOutcome, ServeHandle};
+use cpplookup_core::{IndexedEngine, LeastVirtual, LookupOutcome, OutcomeRef, ServeHandle};
 use cpplookup_snapshot::{Snapshot, SnapshotTable};
 use cpplookup_wal::{Stamped, WalRecord, WalStore};
 
@@ -180,6 +180,27 @@ impl Names {
             },
             LookupOutcome::Ambiguous { witnesses } => WireOutcome::Ambiguous {
                 witnesses: witnesses.iter().map(|w| self.lv(w)).collect(),
+            },
+        }
+    }
+
+    /// [`wire`](Names::wire) over a borrowed outcome, so the batch path
+    /// can go straight from [`DispatchIndex::lookup_batch_into`]
+    /// (cpplookup_core::DispatchIndex::lookup_batch_into)'s pool
+    /// borrows to wire strings without materializing `LookupOutcome`s
+    /// in between.
+    fn wire_ref(&self, outcome: &OutcomeRef<'_>) -> WireOutcome {
+        match outcome {
+            OutcomeRef::NotFound => WireOutcome::NotFound,
+            OutcomeRef::Resolved {
+                class,
+                least_virtual,
+            } => WireOutcome::Resolved {
+                class: self.class_name(*class),
+                least_virtual: self.lv(least_virtual),
+            },
+            OutcomeRef::Ambiguous { witnesses } => WireOutcome::Ambiguous {
+                witnesses: witnesses.iter().map(|w| self.lv(&w)).collect(),
             },
         }
     }
@@ -333,12 +354,12 @@ impl Tenant {
         let resolved = Instant::now();
         let published = self.published_at(as_of)?;
         let promoted = Instant::now();
-        let outcomes = published
-            .index()
-            .lookup_batch(&ids)
-            .iter()
-            .map(|o| names.wire(o))
-            .collect();
+        // The SWAR stripe probe: all the directory loads happen inside
+        // `lookup_batch_into` over borrowed outcomes; only the wire
+        // conversion afterwards allocates.
+        let mut refs = Vec::new();
+        published.index().lookup_batch_into(&ids, &mut refs);
+        let outcomes = refs.iter().map(|o| names.wire_ref(o)).collect();
         let probed = Instant::now();
         Ok((
             outcomes,

@@ -23,6 +23,11 @@
 //!   families, plus an HTTP admin endpoint (`GET /metrics`,
 //!   `/healthz`, `/tenants`, `/flightrecorder`) sharing the same port
 //!   by first-bytes sniffing.
+//! * [`shard`] — optional shard-affine read workers: with
+//!   `--shards N` untraced reads are routed to a fixed worker thread
+//!   by tenant hash, keeping each tenant's probe directory
+//!   cache-resident on one core instead of bouncing between
+//!   connection threads.
 //! * [`recorder`] — the flight recorder: a bounded ring of recent
 //!   completed requests plus a slow-query log with full span trees.
 //! * [`replication`] — follower mode: a background loop that tails a
@@ -52,6 +57,7 @@ pub mod protocol;
 pub mod recorder;
 pub mod replication;
 pub mod server;
+pub mod shard;
 
 pub use client::Client;
 pub use farm::{Farm, FarmOptions};
@@ -60,3 +66,4 @@ pub use protocol::{ErrorCode, Request, Response, WireLv, WireOutcome, WireSpan, 
 pub use recorder::{FlightEntry, FlightRecorder, SlowEntry};
 pub use replication::{FollowSource, Follower, FollowerConfig};
 pub use server::{ObsConfig, Server, ServerConfig};
+pub use shard::ShardPool;

@@ -118,6 +118,12 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Per-request latency, nanoseconds.
     pub latency: HistogramSnapshot,
+    /// Per-probe latency, nanoseconds: each request's latency divided
+    /// evenly over the probes it carried, observed once per probe.
+    /// Makes batched and unbatched runs comparable — a 16-probe batch
+    /// is one slow *request* but sixteen fast *probes* — which is the
+    /// comparison the E26 batch experiment reports.
+    pub probe_latency: HistogramSnapshot,
     /// Traced responses aggregated into [`phases`](LoadReport::phases).
     pub traced: u64,
     /// Total server-side nanoseconds per request phase, summed over
@@ -146,12 +152,22 @@ impl LoadReport {
         self.latency.quantile(0.99) as f64 / 1e3
     }
 
+    /// Median per-probe latency in microseconds (bucket upper bound).
+    pub fn probe_p50_us(&self) -> f64 {
+        self.probe_latency.quantile(0.50) as f64 / 1e3
+    }
+
+    /// Tail per-probe latency in microseconds (bucket upper bound).
+    pub fn probe_p99_us(&self) -> f64 {
+        self.probe_latency.quantile(0.99) as f64 / 1e3
+    }
+
     /// One human-readable summary line (plus a per-phase breakdown
     /// when the run traced).
     pub fn render(&self) -> String {
         let mut out = format!(
             "{} requests ({} probes) in {:.2}s: {:.0} req/s, {:.0} probes/s, \
-             p50 {:.1}us p99 {:.1}us, {} errors",
+             p50 {:.1}us p99 {:.1}us, per-probe p50 {:.1}us p99 {:.1}us, {} errors",
             self.requests,
             self.probes,
             self.elapsed.as_secs_f64(),
@@ -159,6 +175,8 @@ impl LoadReport {
             self.pps(),
             self.p50_us(),
             self.p99_us(),
+            self.probe_p50_us(),
+            self.probe_p99_us(),
             self.errors,
         );
         if self.edits > 0 {
@@ -241,6 +259,7 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
             let (errors, connected) = (Arc::clone(&errors), Arc::clone(&connected));
             thread::spawn(move || {
                 let hist = Histogram::latency_ns();
+                let probe_hist = Histogram::latency_ns();
                 let mut traced = 0u64;
                 let mut phases: BTreeMap<String, u64> = BTreeMap::new();
                 let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(worker as u64));
@@ -248,7 +267,15 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
                     Client::connect(config.addr.as_str(), Some(Duration::from_secs(10)))
                 else {
                     errors.fetch_add(1, Ordering::Relaxed);
-                    return (0u64, 0u64, hist.snapshot(), 0u64, BTreeMap::new(), 0u64);
+                    return (
+                        0u64,
+                        0u64,
+                        hist.snapshot(),
+                        probe_hist.snapshot(),
+                        0u64,
+                        BTreeMap::new(),
+                        0u64,
+                    );
                 };
                 connected.fetch_add(1, Ordering::Relaxed);
                 // Open loop: this worker owns every `connections`-th
@@ -319,7 +346,15 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
                         Ok(n) => {
                             requests += 1;
                             probes += n;
-                            hist.observe(measure_from.elapsed().as_nanos() as u64);
+                            let elapsed_ns = measure_from.elapsed().as_nanos() as u64;
+                            hist.observe(elapsed_ns);
+                            // The request's cost amortized over its
+                            // probes, observed once per probe so the
+                            // distribution weights by probe count.
+                            let per_probe = elapsed_ns / n.max(1);
+                            for _ in 0..n {
+                                probe_hist.observe(per_probe);
+                            }
                         }
                         Err(ClientError::Server { .. }) => {
                             errors.fetch_add(1, Ordering::Relaxed);
@@ -331,21 +366,31 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
                         }
                     }
                 }
-                (requests, probes, hist.snapshot(), traced, phases, edits)
+                (
+                    requests,
+                    probes,
+                    hist.snapshot(),
+                    probe_hist.snapshot(),
+                    traced,
+                    phases,
+                    edits,
+                )
             })
         })
         .collect();
     let mut requests = 0;
     let mut probes = 0;
     let mut latency = Histogram::latency_ns().snapshot();
+    let mut probe_latency = Histogram::latency_ns().snapshot();
     let mut traced = 0;
     let mut phases: BTreeMap<String, u64> = BTreeMap::new();
     let mut edits = 0;
     for w in workers {
-        let (r, p, h, t, ph, e) = w.join().expect("loadgen worker panicked");
+        let (r, p, h, ph_hist, t, ph, e) = w.join().expect("loadgen worker panicked");
         requests += r;
         probes += p;
         latency.merge(&h);
+        probe_latency.merge(&ph_hist);
         traced += t;
         edits += e;
         for (label, ns) in ph {
@@ -365,6 +410,7 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
         edits,
         elapsed: start.elapsed(),
         latency,
+        probe_latency,
         traced,
         phases,
     })

@@ -60,6 +60,7 @@ use crate::protocol::{
 };
 use crate::recorder::FlightRecorder;
 use crate::replication::wire_record;
+use crate::shard::ShardPool;
 
 /// Observability-layer configuration: per-tenant metric families and
 /// the flight recorder. Request tracing (the protocol TRACE flag) is
@@ -126,6 +127,12 @@ pub struct ServerConfig {
     /// Refuse client edits — the stance of a replication follower,
     /// whose only writer is the replayed log.
     pub read_only: bool,
+    /// Shard-affine read workers: with `N > 0`, untraced `QUERY` /
+    /// `BATCH` requests are executed by one of `N` worker threads
+    /// chosen by a stable hash of the tenant name, so each tenant's
+    /// probe directory stays cache-resident on one core. `0` (the
+    /// default) answers reads on the connection thread.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -140,6 +147,7 @@ impl Default for ServerConfig {
             fsync_every: 1,
             retain_epochs: 1,
             read_only: false,
+            shards: 0,
         }
     }
 }
@@ -148,6 +156,7 @@ impl Default for ServerConfig {
 struct Shared {
     farm: Arc<Farm>,
     obs: Option<ObsState>,
+    shards: Option<ShardPool>,
 }
 
 /// The observability layer's per-request handles, resolved once at
@@ -254,9 +263,12 @@ impl Server {
             farm.load(tenant, path)
                 .map_err(|(_, msg)| io::Error::other(format!("preload `{tenant}`: {msg}")))?;
         }
+        let shards =
+            (config.shards > 0).then(|| ShardPool::start(Arc::clone(&farm), config.shards));
         let shared = Arc::new(Shared {
             farm,
             obs: config.obs.enabled.then(|| ObsState::new(&config.obs)),
+            shards,
         });
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -618,9 +630,12 @@ fn handle(shared: &Shared, req: Request) -> (Response, Option<ProbeTiming>) {
             member,
             trace: false,
             as_of,
-        } => plain(match farm.query_at(&tenant, &class, &member, as_of) {
-            Ok(outcome) => Response::Outcome(outcome),
-            Err(e) => err(e),
+        } => plain(match &shared.shards {
+            Some(pool) => pool.query(tenant, class, member, as_of),
+            None => match farm.query_at(&tenant, &class, &member, as_of) {
+                Ok(outcome) => Response::Outcome(outcome),
+                Err(e) => err(e),
+            },
         }),
         Request::Batch {
             tenant,
@@ -636,9 +651,12 @@ fn handle(shared: &Shared, req: Request) -> (Response, Option<ProbeTiming>) {
             probes,
             trace: false,
             as_of,
-        } => plain(match farm.batch_at(&tenant, &probes, as_of) {
-            Ok(outcomes) => Response::Outcomes(outcomes),
-            Err(e) => err(e),
+        } => plain(match &shared.shards {
+            Some(pool) => pool.batch(tenant, probes, as_of),
+            None => match farm.batch_at(&tenant, &probes, as_of) {
+                Ok(outcomes) => Response::Outcomes(outcomes),
+                Err(e) => err(e),
+            },
         }),
         Request::Edit { tenant, directive } => plain(match farm.edit(&tenant, &directive) {
             Ok(epoch) => Response::Edited { epoch },

@@ -1,0 +1,313 @@
+//! Shard-affine worker threads for the untraced read path.
+//!
+//! With sharding enabled, the connection threads stop answering
+//! untraced `QUERY`/`BATCH` requests themselves and instead hand them
+//! to a fixed pool of worker threads, routed by a stable hash of the
+//! tenant name. Every request for a given tenant therefore executes on
+//! the *same* worker, which is what makes the MPH probe directory pay
+//! off under multi-tenant load: a tenant's displacement array and cell
+//! blocks stay resident in one core's cache instead of bouncing between
+//! however many connection threads its clients happen to arrive on.
+//!
+//! Only the untraced read path is routed. Traced probes measure *this
+//! request's* cost, and a queue hop would attribute worker-side wait to
+//! the wrong phase; edits, loads, and admin requests are rare enough
+//! that affinity buys nothing. Those all stay on the connection thread.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+use cpplookup_obs::Counter;
+
+use crate::farm::Farm;
+use crate::protocol::{ErrorCode, Response};
+
+/// One queued read, carrying its reply channel. The rendezvous sender
+/// is `SyncSender<Response>` with capacity 1: the worker never blocks
+/// sending a reply, and a connection that died mid-flight just drops
+/// the receiver.
+enum Job {
+    Query {
+        tenant: String,
+        class: String,
+        member: String,
+        as_of: Option<u64>,
+        reply: mpsc::SyncSender<Response>,
+    },
+    Batch {
+        tenant: String,
+        probes: Vec<(String, String)>,
+        as_of: Option<u64>,
+        reply: mpsc::SyncSender<Response>,
+    },
+}
+
+/// A fixed pool of shard-affine read workers over one farm.
+///
+/// Dropping the pool closes every shard's queue and joins the workers;
+/// in-flight jobs drain first.
+pub struct ShardPool {
+    senders: Vec<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Starts `shards` worker threads (at least one) over `farm`.
+    pub fn start(farm: Arc<Farm>, shards: usize) -> ShardPool {
+        let shards = shards.max(1);
+        let obs = cpplookup_obs::global();
+        obs.gauge("server_shards", "shard-affine read worker threads")
+            .set(shards as i64);
+        let requests = obs.counter_family(
+            "server_shard_requests_total",
+            "reads answered by shard workers, by shard",
+            "shard",
+        );
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let farm = Arc::clone(&farm);
+            let answered = requests.with_label(&shard.to_string());
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("shard-{shard}"))
+                    .spawn(move || worker_loop(&farm, &rx, &answered))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        ShardPool { senders, workers }
+    }
+
+    /// How many shards the pool runs.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard a tenant's reads are pinned to.
+    pub fn shard_of(&self, tenant: &str) -> usize {
+        (fnv1a(tenant.as_bytes()) % self.senders.len() as u64) as usize
+    }
+
+    /// Answers one untraced point query on the tenant's shard worker.
+    pub fn query(
+        &self,
+        tenant: String,
+        class: String,
+        member: String,
+        as_of: Option<u64>,
+    ) -> Response {
+        let (reply, answer) = mpsc::sync_channel(1);
+        let shard = self.shard_of(&tenant);
+        let job = Job::Query {
+            tenant,
+            class,
+            member,
+            as_of,
+            reply,
+        };
+        self.dispatch(shard, job, answer)
+    }
+
+    /// Answers one untraced batch on the tenant's shard worker.
+    pub fn batch(
+        &self,
+        tenant: String,
+        probes: Vec<(String, String)>,
+        as_of: Option<u64>,
+    ) -> Response {
+        let (reply, answer) = mpsc::sync_channel(1);
+        let shard = self.shard_of(&tenant);
+        let job = Job::Batch {
+            tenant,
+            probes,
+            as_of,
+            reply,
+        };
+        self.dispatch(shard, job, answer)
+    }
+
+    fn dispatch(&self, shard: usize, job: Job, answer: mpsc::Receiver<Response>) -> Response {
+        if self.senders[shard].send(job).is_ok() {
+            if let Ok(response) = answer.recv() {
+                return response;
+            }
+        }
+        // Only reachable if the worker died, which only a panic in the
+        // farm can cause; answer something structured rather than
+        // hanging the connection.
+        Response::Error {
+            code: ErrorCode::Busy,
+            message: format!("shard {shard} worker is gone"),
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(farm: &Farm, rx: &mpsc::Receiver<Job>, answered: &Counter) {
+    while let Ok(job) = rx.recv() {
+        answered.inc();
+        match job {
+            Job::Query {
+                tenant,
+                class,
+                member,
+                as_of,
+                reply,
+            } => {
+                let response = match farm.query_at(&tenant, &class, &member, as_of) {
+                    Ok(outcome) => Response::Outcome(outcome),
+                    Err((code, message)) => Response::Error { code, message },
+                };
+                let _ = reply.send(response);
+            }
+            Job::Batch {
+                tenant,
+                probes,
+                as_of,
+                reply,
+            } => {
+                let response = match farm.batch_at(&tenant, &probes, as_of) {
+                    Ok(outcomes) => Response::Outcomes(outcomes),
+                    Err((code, message)) => Response::Error { code, message },
+                };
+                let _ = reply.send(response);
+            }
+        }
+    }
+}
+
+/// FNV-1a over the tenant name: stable across runs (the routing is
+/// observable through per-shard metrics, so it must not depend on
+/// `RandomState`), and well-mixed enough that tenant counts far above
+/// the shard count spread evenly.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farm::FarmOptions;
+    use crate::protocol::WireOutcome;
+
+    fn farm_with_tenants(names: &[&str]) -> (Arc<Farm>, tempdir::Dir) {
+        let dir = tempdir::Dir::new("shard");
+        let farm = Arc::new(Farm::with_options(FarmOptions::default()));
+        let snap = cpplookup_snapshot::Snapshot::compile(&cpplookup_chg::fixtures::fig2());
+        let path = dir.file("fig2.snap");
+        snap.write_to(&path).unwrap();
+        for name in names {
+            farm.load(name, &path).unwrap();
+        }
+        (farm, dir)
+    }
+
+    /// Minimal throwaway temp dir (the integration tests have their own
+    /// copy; unit tests cannot reach it).
+    mod tempdir {
+        use std::path::{Path, PathBuf};
+
+        pub struct Dir(PathBuf);
+
+        impl Dir {
+            pub fn new(tag: &str) -> Dir {
+                let nanos = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos();
+                let dir = std::env::temp_dir().join(format!("cpplookup-{tag}-{nanos:x}"));
+                std::fs::create_dir_all(&dir).unwrap();
+                Dir(dir)
+            }
+
+            pub fn file(&self, name: &str) -> PathBuf {
+                self.0.join(name)
+            }
+        }
+
+        impl Drop for Dir {
+            fn drop(&mut self) {
+                std::fs::remove_dir_all(Path::new(&self.0)).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let (farm, _dir) = farm_with_tenants(&["a"]);
+        let pool = ShardPool::start(farm, 4);
+        assert_eq!(pool.shards(), 4);
+        for tenant in ["a", "b", "acme", "tenant-with-a-long-name"] {
+            let first = pool.shard_of(tenant);
+            assert!(first < 4);
+            assert_eq!(first, pool.shard_of(tenant), "routing must be stable");
+        }
+        // Many tenants spread across every shard.
+        let mut hit = [false; 4];
+        for i in 0..64 {
+            hit[pool.shard_of(&format!("t{i}"))] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "64 tenants must cover 4 shards");
+    }
+
+    #[test]
+    fn zero_shards_still_starts_one_worker() {
+        let (farm, _dir) = farm_with_tenants(&["t"]);
+        let pool = ShardPool::start(farm, 0);
+        assert_eq!(pool.shards(), 1);
+    }
+
+    #[test]
+    fn sharded_answers_match_the_inline_farm() {
+        let (farm, _dir) = farm_with_tenants(&["t0", "t1", "t2"]);
+        let pool = ShardPool::start(Arc::clone(&farm), 3);
+        for tenant in ["t0", "t1", "t2"] {
+            let want = farm.query_at(tenant, "E", "m", None).unwrap();
+            match pool.query(tenant.to_owned(), "E".into(), "m".into(), None) {
+                Response::Outcome(got) => assert_eq!(got, want),
+                other => panic!("unexpected {other:?}"),
+            }
+            let probes = vec![
+                ("E".to_owned(), "m".to_owned()),
+                ("A".to_owned(), "m".to_owned()),
+            ];
+            let want = farm.batch_at(tenant, &probes, None).unwrap();
+            match pool.batch(tenant.to_owned(), probes, None) {
+                Response::Outcomes(got) => assert_eq!(got, want),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Errors stay structured through the queue hop.
+        match pool.query("ghost".into(), "E".into(), "m".into(), None) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::NoSuchTenant),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let (farm, _dir) = farm_with_tenants(&["t"]);
+        let pool = ShardPool::start(farm, 2);
+        match pool.query("t".into(), "E".into(), "m".into(), None) {
+            Response::Outcome(WireOutcome::Resolved { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(pool); // must not hang
+    }
+}

@@ -14,7 +14,8 @@
 //! │ NAMES section              │   interned class + member name tables
 //! │ CHG section                │   topo-ordered, varint-encoded graph
 //! │ TABLE section              │   resolved red/blue lookup entries
-//! │ (each 8-byte aligned,      │
+//! │ MPH section (version ≥ 2)  │   minimal perfect hash over the
+//! │ (each 8-byte aligned,      │   packed (class, member) probe keys
 //! │  zero padding between)     │
 //! ├────────────────────────────┤ len − 8
 //! │ file checksum (8 bytes)    │   word-FNV of bytes [0, len − 8)
@@ -32,8 +33,14 @@ use crate::error::SnapshotError;
 /// The first eight bytes of every snapshot.
 pub const MAGIC: [u8; 8] = *b"CPLKSNAP";
 
-/// The format version this build reads and writes.
-pub const VERSION: u16 = 1;
+/// The format version this build writes. Version 2 added the MPH
+/// section (the serialized minimal perfect hash over the probe keys);
+/// the loader still reads [`MIN_VERSION`]-and-up, with pre-MPH
+/// snapshots served through the open-addressed directory fallback.
+pub const VERSION: u16 = 2;
+
+/// The oldest format version the loader accepts.
+pub const MIN_VERSION: u16 = 1;
 
 /// Endianness canary: written little-endian, so a byte-swapped reader
 /// (or writer) sees `0x2E1F` and bails instead of misreading every
@@ -58,6 +65,11 @@ pub const SECTION_NAMES: u32 = 1;
 pub const SECTION_CHG: u32 = 2;
 /// The resolved lookup-table section.
 pub const SECTION_TABLE: u32 = 3;
+/// The minimal-perfect-hash section (version ≥ 2): the probe
+/// directory's hash, built once at compile time so loads skip the
+/// displacement search. Layout: `seed: u64, n: u32, nbuckets: u32`,
+/// then `nbuckets` little-endian `u32` displacements.
+pub const SECTION_MPH: u32 = 4;
 
 /// Human-readable section name for error messages.
 pub fn section_name(id: u32) -> &'static str {
@@ -65,6 +77,7 @@ pub fn section_name(id: u32) -> &'static str {
         SECTION_NAMES => "names",
         SECTION_CHG => "chg",
         SECTION_TABLE => "table",
+        SECTION_MPH => "mph",
         _ => "unknown",
     }
 }

@@ -20,6 +20,7 @@ use cpplookup_chg::{
     Access, Chg, ChgBuilder, ClassId, Inheritance, MemberDecl, MemberId, MemberKind,
     Path as ChgPath,
 };
+use cpplookup_core::mph::MphFunction;
 use cpplookup_core::{
     obs, EngineOptions, Entry, LeastVirtual, LookupEngine, LookupOptions, LookupOutcome,
     MemberLookup, RedAbs, StaticRule,
@@ -28,7 +29,8 @@ use cpplookup_core::{
 use crate::error::SnapshotError;
 use crate::format::{
     checksum64, section_name, u32_at, Reader, DIR_ENTRY_LEN, ENDIAN_TAG, HEADER_LEN, MAGIC,
-    SECTION_ALIGN, SECTION_CHG, SECTION_NAMES, SECTION_TABLE, TRAILER_LEN, VERSION,
+    MIN_VERSION, SECTION_ALIGN, SECTION_CHG, SECTION_MPH, SECTION_NAMES, SECTION_TABLE,
+    TRAILER_LEN, VERSION,
 };
 
 /// Byte range of one section within the snapshot buffer.
@@ -95,6 +97,10 @@ pub struct SnapshotTable {
     /// `try_lock` only — a contended memo falls back to a plain decode
     /// rather than ever blocking a reader.
     decoded: Mutex<Option<(u32, Entry)>>,
+    /// The validated minimal perfect hash of the MPH section (version
+    /// ≥ 2). `None` for version-1 snapshots, which serve through the
+    /// open-addressed directory fallback.
+    mph: Option<MphFunction>,
 }
 
 impl SnapshotTable {
@@ -145,7 +151,7 @@ impl SnapshotTable {
             return Err(SnapshotError::BadMagic);
         }
         let version = header.u16()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
                 supported: VERSION,
@@ -158,10 +164,18 @@ impl SnapshotTable {
         if header.u32()? != 0 {
             return Err(SnapshotError::malformed("reserved header field is nonzero"));
         }
+        // Version 2 appended the MPH section; earlier files carry
+        // exactly the original three.
+        let expected_ids: &[u32] = if version >= 2 {
+            &[SECTION_NAMES, SECTION_CHG, SECTION_TABLE, SECTION_MPH]
+        } else {
+            &[SECTION_NAMES, SECTION_CHG, SECTION_TABLE]
+        };
         let section_count = header.u32()? as usize;
-        if section_count != 3 {
+        if section_count != expected_ids.len() {
             return Err(SnapshotError::malformed(format!(
-                "version-1 snapshots have exactly 3 sections, found {section_count}"
+                "version-{version} snapshots have exactly {} sections, found {section_count}",
+                expected_ids.len()
             )));
         }
         if header.u32()? != 0 {
@@ -203,12 +217,9 @@ impl SnapshotTable {
                 available: data.len(),
             });
         }
-        let mut sections = [Section { offset: 0, len: 0 }; 3];
+        let mut sections = vec![Section { offset: 0, len: 0 }; section_count];
         let mut cursor = dir_end;
-        for (i, &expected_id) in [SECTION_NAMES, SECTION_CHG, SECTION_TABLE]
-            .iter()
-            .enumerate()
-        {
+        for (i, &expected_id) in expected_ids.iter().enumerate() {
             let at = HEADER_LEN + i * DIR_ENTRY_LEN;
             let mut r = Reader::new(&data[at..at + DIR_ENTRY_LEN], "directory");
             let id = r.u32()?;
@@ -281,11 +292,73 @@ impl SnapshotTable {
             payload_at: 0,
             payload_len: 0,
             decoded: Mutex::new(None),
+            mph: None,
         };
         loaded.validate_names()?;
         loaded.validate_chg()?;
         loaded.validate_table()?;
+        // The MPH is checked against the table's live keys, so it must
+        // come last, once `entry_count` and the row index are trusted.
+        if let Some(&s) = sections.get(3) {
+            loaded.validate_mph(s)?;
+        }
         Ok(loaded)
+    }
+
+    /// Decodes and cross-checks the MPH section (version ≥ 2): the
+    /// serialized function must cover exactly the table's entry count
+    /// and map the live `(class, member)` keys — replayed from the
+    /// already-validated entry index — onto `0..n` as a bijection.
+    /// Anything less falls back to `Malformed`, never to a directory
+    /// that could mis-serve probes.
+    fn validate_mph(&mut self, s: Section) -> Result<(), SnapshotError> {
+        let bytes = s.slice(&self.data);
+        let mut r = Reader::new(bytes, "mph");
+        let seed = r.u64()?;
+        let n = r.u32()?;
+        let nbuckets = r.u32()? as usize;
+        if n as usize != self.entry_count {
+            return Err(SnapshotError::malformed(format!(
+                "mph section covers {n} keys, table section has {} entries",
+                self.entry_count
+            )));
+        }
+        let described = 4usize
+            .checked_mul(nbuckets)
+            .and_then(|d| d.checked_add(16))
+            .ok_or_else(|| SnapshotError::malformed("mph displacement table overflows"))?;
+        if described != s.len {
+            return Err(SnapshotError::malformed(format!(
+                "mph section is {} bytes but its header describes {described}",
+                s.len
+            )));
+        }
+        let mut disp = Vec::with_capacity(nbuckets);
+        for _ in 0..nbuckets {
+            disp.push(r.u32()?);
+        }
+        let mph = MphFunction::from_parts(seed, n, disp).ok_or_else(|| {
+            SnapshotError::malformed(format!(
+                "mph bucket count {nbuckets} is not a nonzero power of two"
+            ))
+        })?;
+        let mut seen = vec![false; self.entry_count];
+        for c in 0..self.class_count {
+            for i in self.row_start(c)..self.row_start(c + 1) {
+                let (m, _) = self.index_record(i);
+                let key = c as u64 | u64::from(m) << 32;
+                let p = mph.position(key);
+                if p >= self.entry_count || seen[p] {
+                    return Err(SnapshotError::malformed(format!(
+                        "mph is not a bijection over the live keys: \
+                         key (class {c}, member {m}) collides at slot {p}"
+                    )));
+                }
+                seen[p] = true;
+            }
+        }
+        self.mph = Some(mph);
+        Ok(())
     }
 
     /// The whole-file checksum failed. Best effort, recompute the
@@ -297,7 +370,11 @@ impl SnapshotTable {
     fn localize_damage(data: &[u8], expected: u64, actual: u64) -> SnapshotError {
         fn damaged_section(data: &[u8]) -> Option<SnapshotError> {
             let limit = data.len().checked_sub(TRAILER_LEN)?;
-            for i in 0..3 {
+            // The header's section count is unverified here (the file
+            // checksum already failed); clamp it to the largest count
+            // any readable version writes before trusting the walk.
+            let count = (u32_at(data, 16)? as usize).min(4);
+            for i in 0..count {
                 let at = HEADER_LEN + i * DIR_ENTRY_LEN;
                 let mut r = Reader::new(data.get(at..at + DIR_ENTRY_LEN)?, "directory");
                 let id = r.u32().ok()?;
@@ -1122,7 +1199,20 @@ impl SnapshotTable {
     /// [`IntoDispatchIndex`](cpplookup_core::IntoDispatchIndex) impl.
     pub fn dispatch_index(&self) -> cpplookup_core::DispatchIndex {
         let start = Instant::now();
-        let index = cpplookup_core::DispatchIndex::from_entries(self.class_count, self.entries());
+        // Version ≥ 2 snapshots ship their probe directory's hash
+        // pre-compiled: reuse it instead of re-running the displacement
+        // search. Version-1 files fall back to the open-addressed
+        // directory, keeping old snapshots loadable forever.
+        let index = match &self.mph {
+            Some(mph) => cpplookup_core::DispatchIndex::from_entries_mph(
+                self.class_count,
+                self.entries(),
+                mph.clone(),
+            ),
+            None => {
+                cpplookup_core::DispatchIndex::from_entries_open(self.class_count, self.entries())
+            }
+        };
         obs::index_built(
             "snapshot",
             index.entry_count() as u64,
@@ -1254,10 +1344,151 @@ mod tests {
     use super::*;
     use crate::Snapshot;
     use cpplookup_chg::fixtures;
-    use cpplookup_core::LookupTable;
+    use cpplookup_core::{DirectoryKind, LookupTable};
 
     fn roundtrip(g: &Chg) -> SnapshotTable {
         SnapshotTable::from_bytes(Snapshot::compile(g).into_bytes()).expect("roundtrip")
+    }
+
+    /// Re-encodes a current (version-2) snapshot as the version-1
+    /// layout the original writer produced: same first three sections,
+    /// no MPH section, version field 1. Byte-exact per the v1 spec, so
+    /// it exercises the loader's backward-compat path end to end.
+    fn downgrade_to_v1(bytes: &[u8]) -> Vec<u8> {
+        let mut payloads = Vec::new();
+        for i in 0..3 {
+            let at = HEADER_LEN + i * DIR_ENTRY_LEN;
+            let id = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+            payloads.push((id, bytes[offset..offset + len].to_vec()));
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&3u32.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes());
+        out.resize(HEADER_LEN + 3 * DIR_ENTRY_LEN, 0);
+        let mut directory = Vec::new();
+        for (id, payload) in &payloads {
+            out.resize(out.len() + crate::format::padding_to_align(out.len()), 0);
+            directory.push((
+                *id,
+                out.len() as u64,
+                payload.len() as u64,
+                checksum64(payload),
+            ));
+            out.extend_from_slice(payload);
+        }
+        for (i, (id, offset, len, sum)) in directory.iter().enumerate() {
+            let at = HEADER_LEN + i * DIR_ENTRY_LEN;
+            out[at..at + 4].copy_from_slice(&id.to_le_bytes());
+            out[at + 4..at + 12].copy_from_slice(&offset.to_le_bytes());
+            out[at + 12..at + 20].copy_from_slice(&len.to_le_bytes());
+            out[at + 20..at + 28].copy_from_slice(&sum.to_le_bytes());
+        }
+        let total = (out.len() + 8) as u64;
+        out[24..32].copy_from_slice(&total.to_le_bytes());
+        let sum = checksum64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Patches `bytes[at..at + patch.len()]`, then re-seals the MPH
+    /// section checksum and the whole-file checksum so the targeted
+    /// structural check — not the integrity sweep — is what fires.
+    fn corrupt_mph_and_reseal(bytes: &mut [u8], at: usize, patch: &[u8]) {
+        bytes[at..at + patch.len()].copy_from_slice(patch);
+        let dir_at = HEADER_LEN + 3 * DIR_ENTRY_LEN;
+        let offset =
+            u64::from_le_bytes(bytes[dir_at + 4..dir_at + 12].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[dir_at + 12..dir_at + 20].try_into().unwrap()) as usize;
+        let sum = checksum64(&bytes[offset..offset + len]);
+        bytes[dir_at + 20..dir_at + 28].copy_from_slice(&sum.to_le_bytes());
+        let n = bytes.len();
+        let sum = checksum64(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    /// Absolute offset of the MPH section of a version-2 image.
+    fn mph_section_at(bytes: &[u8]) -> usize {
+        let dir_at = HEADER_LEN + 3 * DIR_ENTRY_LEN;
+        u64::from_le_bytes(bytes[dir_at + 4..dir_at + 12].try_into().unwrap()) as usize
+    }
+
+    #[test]
+    fn v2_snapshots_serve_through_the_shipped_mph() {
+        let g = fixtures::fig3();
+        let snap = roundtrip(&g);
+        assert!(snap.mph.is_some(), "v2 load must decode the MPH section");
+        let index = snap.dispatch_index();
+        assert_eq!(index.directory_kind(), DirectoryKind::Mph);
+        let table = LookupTable::build(&g);
+        for c in g.classes() {
+            for m in g.member_ids() {
+                assert_eq!(index.lookup_ref(c, m).to_outcome(), table.lookup(c, m));
+            }
+        }
+    }
+
+    #[test]
+    fn v1_snapshots_fall_back_to_the_open_directory() {
+        let g = fixtures::fig9();
+        let v2 = Snapshot::compile(&g).into_bytes();
+        let v1 = downgrade_to_v1(&v2);
+        let snap = SnapshotTable::from_bytes(v1).expect("v1 snapshots must stay loadable");
+        assert!(snap.mph.is_none());
+        let index = snap.dispatch_index();
+        assert_eq!(index.directory_kind(), DirectoryKind::Open);
+        // Downgrading loses no data: every outcome matches the v2 load.
+        let fresh = roundtrip(&g);
+        for c in g.classes() {
+            for m in g.member_ids() {
+                assert_eq!(snap.entry(c, m), fresh.entry(c, m));
+                assert_eq!(snap.lookup(c, m), fresh.lookup(c, m));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_mph_sections_are_rejected() {
+        let g = fixtures::fig3();
+        let good = Snapshot::compile(&g).into_bytes();
+        let at = mph_section_at(&good);
+
+        // Key count disagreeing with the table section.
+        let mut skewed = good.clone();
+        let n = u32::from_le_bytes(good[at + 8..at + 12].try_into().unwrap());
+        corrupt_mph_and_reseal(&mut skewed, at + 8, &(n + 1).to_le_bytes());
+        let err = SnapshotTable::from_bytes(skewed).unwrap_err();
+        assert!(err.to_string().contains("mph"), "{err}");
+
+        // Bucket count disagreeing with the section length.
+        let mut resized = good.clone();
+        let nb = u32::from_le_bytes(good[at + 12..at + 16].try_into().unwrap());
+        corrupt_mph_and_reseal(&mut resized, at + 12, &(nb * 2).to_le_bytes());
+        let err = SnapshotTable::from_bytes(resized).unwrap_err();
+        assert!(err.to_string().contains("mph"), "{err}");
+
+        // A displacement steering keys into a collision. A single
+        // flipped displacement relocates that bucket's keys, which at
+        // minimal load all but guarantees a collision; assert only that
+        // the load never mis-serves (error, or a still-perfect hash).
+        let mut bent = good.clone();
+        let d = u32::from_le_bytes(good[at + 16..at + 20].try_into().unwrap());
+        corrupt_mph_and_reseal(&mut bent, at + 16, &(d ^ 1).to_le_bytes());
+        if let Ok(snap) = SnapshotTable::from_bytes(bent) {
+            let index = snap.dispatch_index();
+            let table = LookupTable::build(&g);
+            for c in g.classes() {
+                for m in g.member_ids() {
+                    assert_eq!(index.lookup_ref(c, m).to_outcome(), table.lookup(c, m));
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,12 +4,13 @@
 use std::path::Path;
 
 use cpplookup_chg::{Chg, Inheritance, MemberKind};
+use cpplookup_core::mph::MphFunction;
 use cpplookup_core::{Entry, LeastVirtual, LookupOptions, LookupTable, StaticRule};
 
 use crate::error::SnapshotError;
 use crate::format::{
     checksum64, padding_to_align, put_varint, DIR_ENTRY_LEN, ENDIAN_TAG, HEADER_LEN, MAGIC,
-    SECTION_CHG, SECTION_NAMES, SECTION_TABLE, VERSION,
+    SECTION_CHG, SECTION_MPH, SECTION_NAMES, SECTION_TABLE, VERSION,
 };
 
 /// A compiled hierarchy serialized into the snapshot format, ready to
@@ -63,11 +64,13 @@ impl Snapshot {
         let names = encode_names(chg);
         let chg_section = encode_chg(chg);
         let table_section = encode_table(chg, table);
+        let mph_section = encode_mph(chg, table);
 
-        let sections: [(u32, Vec<u8>); 3] = [
+        let sections: [(u32, Vec<u8>); 4] = [
             (SECTION_NAMES, names),
             (SECTION_CHG, chg_section),
             (SECTION_TABLE, table_section),
+            (SECTION_MPH, mph_section),
         ];
 
         let dir_len = DIR_ENTRY_LEN * sections.len();
@@ -256,6 +259,34 @@ fn encode_table(chg: &Chg, table: &LookupTable) -> Vec<u8> {
     out
 }
 
+/// MPH section (version ≥ 2): the minimal perfect hash over the packed
+/// `(class, member)` probe keys, compiled once here so every load skips
+/// the displacement search. The key stream mirrors the TABLE section's
+/// entry order — class ascending, members ascending within each class —
+/// which is also the order [`SnapshotTable::entries`]
+/// (crate::SnapshotTable::entries) replays at load time. Layout:
+/// `seed: u64, n: u32, nbuckets: u32`, then `nbuckets` little-endian
+/// `u32` displacements. Deterministic, like every other section.
+fn encode_mph(chg: &Chg, table: &LookupTable) -> Vec<u8> {
+    let mut keys: Vec<u64> = Vec::new();
+    for c in chg.classes() {
+        let mut members: Vec<_> = table.members_of(c).collect();
+        members.sort_unstable();
+        for m in members {
+            keys.push(c.index() as u64 | (m.index() as u64) << 32);
+        }
+    }
+    let mph = MphFunction::build(&keys);
+    let mut out = Vec::with_capacity(16 + 4 * mph.disp().len());
+    out.extend_from_slice(&mph.seed().to_le_bytes());
+    out.extend_from_slice(&mph.n().to_le_bytes());
+    out.extend_from_slice(&(mph.disp().len() as u32).to_le_bytes());
+    for &d in mph.disp() {
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+    out
+}
+
 fn encode_entry(out: &mut Vec<u8>, entry: &Entry) {
     match entry {
         Entry::Red { abs, via, shared } => {
@@ -323,7 +354,7 @@ mod tests {
         let b = Snapshot::compile(&g);
         assert_eq!(a.as_bytes(), b.as_bytes());
         assert!(!a.is_empty());
-        assert!(a.len() > HEADER_LEN + 3 * DIR_ENTRY_LEN + 8);
+        assert!(a.len() > HEADER_LEN + 4 * DIR_ENTRY_LEN + 8);
         assert!(format!("{a:?}").contains("bytes"));
     }
 

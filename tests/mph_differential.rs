@@ -1,0 +1,128 @@
+//! Differential tests of the two probe directories: the minimal
+//! perfect hash directory (the serving default since the MPH tentpole)
+//! must be observationally identical to the open-addressed directory it
+//! replaced — same `OutcomeRef` for every live `(class, member)` pair,
+//! same `NotFound` for every dead key — across the full generator
+//! corpus, both statics rules, and proptest-fuzzed probe streams that
+//! deliberately stray outside the live id ranges.
+
+use cpplookup::hiergen::{families, random_hierarchy, RandomConfig};
+use cpplookup::prelude::*;
+use proptest::prelude::*;
+
+/// The same twelve deterministic families as the golden snapshot
+/// corpus (`tests/corpus.rs`), spanning chains, diamonds, grids,
+/// interface forests, the g++ trap, and seeded random hierarchies.
+fn corpus() -> Vec<(&'static str, Chg)> {
+    vec![
+        ("chain_12", families::chain(12, None)),
+        ("chain_12_virtual_3", families::chain(12, Some(3))),
+        (
+            "stacked_diamonds_3_nonvirtual",
+            families::stacked_diamonds(3, Inheritance::NonVirtual),
+        ),
+        (
+            "stacked_diamonds_3_virtual",
+            families::stacked_diamonds(3, Inheritance::Virtual),
+        ),
+        (
+            "stacked_diamonds_overridden_3",
+            families::stacked_diamonds_overridden(3, Inheritance::Virtual),
+        ),
+        (
+            "wide_diamond_6",
+            families::wide_diamond(6, Inheritance::Virtual),
+        ),
+        ("pyramid_4", families::pyramid(4, Inheritance::NonVirtual)),
+        ("interface_heavy_6x3", families::interface_heavy(6, 3)),
+        ("grid_3x3", families::grid(3, 3)),
+        ("gxx_trap_3", families::gxx_trap(3)),
+        (
+            "random_stress_42",
+            random_hierarchy(&RandomConfig::stress(42)),
+        ),
+        (
+            "random_realistic_20_7",
+            random_hierarchy(&RandomConfig::realistic(20, 7)),
+        ),
+    ]
+}
+
+/// Exhaustive sweep: every pair in (and a margin beyond) the live id
+/// ranges, under both statics rules, through both directories — the
+/// outcomes must match pairwise, and both batch paths must match the
+/// single-probe path.
+#[test]
+fn mph_and_open_directories_agree_on_the_full_corpus() {
+    for (name, g) in corpus() {
+        for statics in [StaticRule::Cpp, StaticRule::Ignore] {
+            let table = LookupTable::build_with(&g, LookupOptions { statics });
+            let mph = DispatchIndex::from_table(table);
+            assert_eq!(mph.directory_kind(), DirectoryKind::Mph, "{name}");
+            let open = mph.with_directory_kind(DirectoryKind::Open);
+            assert_eq!(open.directory_kind(), DirectoryKind::Open, "{name}");
+            let probes: Vec<_> = (0..g.class_count() + 3)
+                .flat_map(|c| {
+                    (0..g.member_name_count() + 3)
+                        .map(move |m| (ClassId::from_index(c), MemberId::from_index(m)))
+                })
+                .collect();
+            for &(c, m) in &probes {
+                assert_eq!(
+                    mph.lookup_ref(c, m),
+                    open.lookup_ref(c, m),
+                    "{name} statics={statics:?} probe ({}, {})",
+                    c.index(),
+                    m.index()
+                );
+            }
+            let mut mph_batch = Vec::new();
+            let mut open_batch = Vec::new();
+            mph.lookup_batch_into(&probes, &mut mph_batch);
+            open.lookup_batch_into(&probes, &mut open_batch);
+            assert_eq!(mph_batch.len(), probes.len(), "{name}");
+            assert_eq!(mph_batch, open_batch, "{name} statics={statics:?}");
+            for (r, &(c, m)) in mph_batch.iter().zip(&probes) {
+                assert_eq!(r, &mph.lookup_ref(c, m), "{name} batch vs single");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fuzzed dead keys: probes drawn far outside the live ranges (and
+    /// landing on dead pairs inside them) must come back `NotFound`
+    /// from the MPH directory — an alien key hashes *somewhere* in
+    /// range, so this is exactly the key-compare rejection working —
+    /// and both directories must agree probe for probe.
+    #[test]
+    fn fuzzed_probes_never_diverge(
+        family in 0usize..12,
+        raw in proptest::collection::vec((any::<u16>(), any::<u16>()), 1..128),
+    ) {
+        let (name, g) = corpus().swap_remove(family);
+        let mph = DispatchIndex::from_table(LookupTable::build(&g));
+        let open = mph.with_directory_kind(DirectoryKind::Open);
+        let probes: Vec<_> = raw
+            .iter()
+            .map(|&(c, m)| {
+                (
+                    ClassId::from_index(c as usize),
+                    MemberId::from_index(m as usize),
+                )
+            })
+            .collect();
+        let mut batch = Vec::new();
+        mph.lookup_batch_into(&probes, &mut batch);
+        for (i, &(c, m)) in probes.iter().enumerate() {
+            let got = mph.lookup_ref(c, m);
+            prop_assert_eq!(&got, &open.lookup_ref(c, m), "{} probe {}", name, i);
+            prop_assert_eq!(&got, &batch[i], "{} batch probe {}", name, i);
+            if mph.entry(c, m).is_none() {
+                prop_assert_eq!(&got, &OutcomeRef::NotFound, "{} dead key {}", name, i);
+            }
+        }
+    }
+}

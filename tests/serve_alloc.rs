@@ -137,6 +137,58 @@ fn lookup_ref_hot_path_is_allocation_free() {
     );
 }
 
+/// The SWAR batch path inherits the criterion: once the caller's output
+/// buffer has been warmed to capacity, `lookup_batch_into` performs
+/// zero allocations per stripe — the whole point of taking `&mut Vec`
+/// instead of returning a fresh one.
+#[test]
+fn lookup_batch_into_hot_path_is_allocation_free() {
+    let ambiguous_g = fixtures::fig1();
+    let bulk_g = families::wide_diamond(8, Inheritance::NonVirtual);
+    for g in [&ambiguous_g, &bulk_g] {
+        let index = DispatchIndex::from_table(LookupTable::build(g));
+        let mut probes: Vec<_> = g
+            .classes()
+            .flat_map(|c| g.member_ids().map(move |m| (c, m)))
+            .collect();
+        // A guaranteed miss, so the batch covers the not-found shape.
+        probes.push((
+            g.classes().next().unwrap(),
+            cpplookup::MemberId::from_index(g.member_name_count() + 1),
+        ));
+        let mut out = Vec::new();
+        // Warm up: grows `out` to its steady-state capacity and faults
+        // in anything one-time, exactly like the single-probe test.
+        index.lookup_batch_into(&probes, &mut out);
+        let expected: Vec<_> = probes
+            .iter()
+            .map(|&(c, m)| index.lookup_ref(c, m).to_outcome())
+            .collect();
+        let allocs = count_allocs(|| {
+            for _ in 0..16 {
+                index.lookup_batch_into(&probes, &mut out);
+                for r in &out {
+                    if let OutcomeRef::Ambiguous { witnesses } = r {
+                        for lv in witnesses.iter() {
+                            std::hint::black_box(lv);
+                        }
+                    }
+                }
+                std::hint::black_box(out.len());
+            }
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "lookup_batch_into allocated {allocs} times over {} probes × 16",
+            probes.len()
+        );
+        // And the reused buffer still holds the right answers.
+        let got: Vec<_> = out.iter().map(|r| r.to_outcome()).collect();
+        assert_eq!(got, expected);
+    }
+}
+
 /// Contrast case documenting *why* `lookup_ref` exists: the owned
 /// `lookup` necessarily allocates on ambiguous hits (it materializes
 /// the witness `Vec`), which is exactly what the ref path avoids.
