@@ -30,7 +30,7 @@ use crate::workloads::{self, Workload};
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27",
 ];
 
 /// Runs one experiment by id (`"e1"`..`"e25"`), writing its report.
@@ -78,6 +78,8 @@ pub fn run(id: &str, w: &mut dyn Write) -> io::Result<()> {
         "e25-smoke" => e25_smoke(w),
         "e26" => e26(w),
         "e26-smoke" => e26_smoke(w),
+        "e27" => e27(w),
+        "e27-smoke" => e27_smoke(w),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}` (known: {})", ALL.join(", ")),
@@ -1428,6 +1430,16 @@ fn host_context_json(client_threads: usize) -> String {
     )
 }
 
+/// The I/O model the wire smokes run under: `CPPLOOKUP_IO_MODEL=epoll`
+/// reruns e23/e24's guards against the reactor, so CI exercises both
+/// models through the same assertions.
+fn io_model_from_env() -> cpplookup_server::IoModel {
+    std::env::var("CPPLOOKUP_IO_MODEL")
+        .ok()
+        .and_then(|v| cpplookup_server::IoModel::parse(&v))
+        .unwrap_or_default()
+}
+
 /// Pulls a bare numeric field out of the hand-rolled `BENCH_e22.json`
 /// (the bench crate has no serde); `None` when the key is absent.
 fn json_f64(json: &str, key: &str) -> Option<f64> {
@@ -1806,7 +1818,12 @@ fn e23_smoke(w: &mut dyn Write) -> io::Result<()> {
     let index = DispatchIndex::from_backend(&table);
     let probes = live_probes(&table);
 
-    let server = Server::start(ServerConfig::default())?;
+    let io_model = io_model_from_env();
+    writeln!(w, "  io-model: {}", io_model.label())?;
+    let server = Server::start(ServerConfig {
+        io_model,
+        ..ServerConfig::default()
+    })?;
     let addr = server.addr().to_string();
     let mut client = Client::connect(addr.as_str(), Some(Duration::from_secs(10)))
         .map_err(|e| io::Error::other(e.to_string()))?;
@@ -2175,6 +2192,8 @@ fn e24_smoke(w: &mut dyn Write) -> io::Result<()> {
     let probes = live_probes(&table);
     let wire = |e: cpplookup_server::client::ClientError| io::Error::other(e.to_string());
 
+    let io_model = io_model_from_env();
+    writeln!(w, "  io-model: {}", io_model.label())?;
     let start = |enabled: bool| -> io::Result<(Server, String)> {
         let server = Server::start(ServerConfig {
             preload: vec![("t0".to_owned(), snap_path.clone())],
@@ -2182,6 +2201,7 @@ fn e24_smoke(w: &mut dyn Write) -> io::Result<()> {
                 enabled,
                 ..ObsConfig::default()
             },
+            io_model,
             ..ServerConfig::default()
         })?;
         let addr = server.addr().to_string();
@@ -3033,6 +3053,427 @@ fn e26_smoke(w: &mut dyn Write) -> io::Result<()> {
     Ok(())
 }
 
+/// The soft fd limit of this process, from `/proc/self/limits`
+/// (`None` off Linux): the idle-connection stage sizes itself to it,
+/// since client and server ends share the process on a loopback bench.
+fn fd_soft_limit() -> Option<usize> {
+    let text = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = text.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// Plays one deterministic wire session — HELLO, point QUERYs, a wide
+/// BATCH, an EDIT, a post-edit QUERY, an AS_OF read back at the
+/// pre-edit epoch, STATS — at a threads-model and an epoll-model server
+/// over the same preloaded tenant, and demands byte-identical response
+/// streams; traced QUERY/BATCH are then compared structurally through
+/// clients (durations are measurements, never byte-stable). Returns
+/// the pinned frame count.
+fn e27_wire_differential(
+    threads_addr: &str,
+    epoll_addr: &str,
+    probes: &[(String, String)],
+) -> io::Result<usize> {
+    use std::io::Write as _;
+    use std::net::{Shutdown, TcpStream};
+    use std::time::Duration;
+
+    use cpplookup_server::protocol::{
+        read_frame, write_frame, FrameError, Request, PROTOCOL_VERSION,
+    };
+    use cpplookup_server::{Client, WireSpan};
+
+    let tenant = "t0".to_owned();
+    let mut session: Vec<Request> = vec![Request::Hello {
+        version: PROTOCOL_VERSION,
+    }];
+    for (class, member) in probes.iter().take(64) {
+        session.push(Request::Query {
+            tenant: tenant.clone(),
+            class: class.clone(),
+            member: member.clone(),
+            trace: false,
+            as_of: None,
+        });
+    }
+    session.push(Request::Batch {
+        tenant: tenant.clone(),
+        probes: probes.iter().take(1024).cloned().collect(),
+        trace: false,
+        as_of: None,
+    });
+    let (class0, member0) = &probes[0];
+    session.push(Request::Edit {
+        tenant: tenant.clone(),
+        directive: format!("member {class0} zz_e27_probe"),
+    });
+    session.push(Request::Query {
+        tenant: tenant.clone(),
+        class: class0.clone(),
+        member: "zz_e27_probe".to_owned(),
+        trace: false,
+        as_of: None,
+    });
+    session.push(Request::Query {
+        tenant: tenant.clone(),
+        class: class0.clone(),
+        member: "zz_e27_probe".to_owned(),
+        trace: false,
+        as_of: Some(1), // pre-edit epoch: the member is not there yet
+    });
+    session.push(Request::Stats {
+        tenant: tenant.clone(),
+    });
+
+    let play = |addr: &str| -> io::Result<Vec<Vec<u8>>> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut wire = Vec::new();
+        for req in &session {
+            write_frame(&mut wire, &req.encode())?;
+        }
+        stream.write_all(&wire)?;
+        stream.shutdown(Shutdown::Write)?;
+        let mut responses = Vec::new();
+        loop {
+            match read_frame(&mut stream) {
+                Ok(body) => responses.push(body),
+                Err(FrameError::Eof) => break,
+                Err(e) => return Err(io::Error::other(format!("differential read: {e}"))),
+            }
+        }
+        Ok(responses)
+    };
+    let want = play(threads_addr)?;
+    let got = play(epoll_addr)?;
+    if want.len() != session.len() {
+        return Err(io::Error::other(format!(
+            "threads model answered {} of {} frames",
+            want.len(),
+            session.len()
+        )));
+    }
+    if got != want {
+        let at = got
+            .iter()
+            .zip(&want)
+            .position(|(g, t)| g != t)
+            .unwrap_or(want.len().min(got.len()));
+        return Err(io::Error::other(format!(
+            "epoll responses diverge from threads at frame {at} of {}",
+            session.len()
+        )));
+    }
+
+    // Traced responses: compare outcome and span-tree structure.
+    let shape = |spans: &[WireSpan]| -> Vec<(u64, u64, String)> {
+        spans
+            .iter()
+            .map(|s| (s.id, s.parent, s.label.clone()))
+            .collect()
+    };
+    let mut ct = Client::connect(threads_addr, Some(Duration::from_secs(10)))
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let mut ce = Client::connect(epoll_addr, Some(Duration::from_secs(10)))
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let wire = |e: cpplookup_server::client::ClientError| io::Error::other(e.to_string());
+    let (to, ts) = ct.query_traced("t0", class0, member0).map_err(wire)?;
+    let (eo, es) = ce.query_traced("t0", class0, member0).map_err(wire)?;
+    if to != eo || shape(&ts) != shape(&es) {
+        return Err(io::Error::other("traced QUERY diverges between models"));
+    }
+    let pair = vec![probes[0].clone(), probes[probes.len() - 1].clone()];
+    let (to, ts) = ct.batch_traced("t0", &pair).map_err(wire)?;
+    let (eo, es) = ce.batch_traced("t0", &pair).map_err(wire)?;
+    if to != eo || shape(&ts) != shape(&es) {
+        return Err(io::Error::other("traced BATCH diverges between models"));
+    }
+    Ok(session.len() + 2)
+}
+
+/// E27 — the epoll reactor vs thread-per-connection, head to head:
+///
+/// 1. **Differential** — one deterministic wire session (QUERY, wide
+///    BATCH, EDIT, AS_OF, STATS, traced) played at both models over
+///    the same preloaded tenant must answer byte-identically before
+///    any number is reported.
+/// 2. **Connection ramp** — closed-loop load at 1/8/64/256/1024
+///    connections per model, with per-level QPS/p50/p99 and the
+///    process's peak open-fd/RSS footprint sampled while each level
+///    runs.
+/// 3. **Idle footprint** — as many idle connections as the fd limit
+///    allows (10k target; client and server ends share the process)
+///    parked against each model, RSS delta measured. This is the
+///    north-star number: a parked thread costs a stack, a parked
+///    reactor connection costs a slab entry.
+///
+/// Emits `BENCH_e27.json` for the CI gate (`e27-smoke`).
+fn e27(w: &mut dyn Write) -> io::Result<()> {
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    use cpplookup_server::cli::live_probes;
+    use cpplookup_server::loadgen::{self, LoadConfig, TenantTarget};
+    use cpplookup_server::{IoModel, Server, ServerConfig};
+    use cpplookup_snapshot::{Snapshot, SnapshotTable};
+
+    const LEVELS: [usize; 5] = [1, 8, 64, 256, 1024];
+
+    writeln!(w, "E27: epoll reactor vs thread-per-connection I/O")?;
+    let dir = BenchDir::new("e27")?;
+    let chg = random_hierarchy(&RandomConfig::realistic(2000, 7));
+    let snap_path = dir.file("main.snap");
+    Snapshot::compile(&chg)
+        .write_to(&snap_path)
+        .map_err(io::Error::other)?;
+    let table = SnapshotTable::load(&snap_path).map_err(io::Error::other)?;
+    let probes = live_probes(&table);
+
+    let start = |io_model: IoModel| -> io::Result<(Server, String)> {
+        let server = Server::start(ServerConfig {
+            preload: vec![("t0".to_owned(), snap_path.clone())],
+            max_connections: 16_000,
+            io_model,
+            ..ServerConfig::default()
+        })?;
+        let addr = server.addr().to_string();
+        Ok((server, addr))
+    };
+    let (_threads, threads_addr) = start(IoModel::Threads)?;
+    let (_epoll, epoll_addr) = start(IoModel::Epoll)?;
+
+    // Stage 1: the differential gates everything downstream.
+    let frames = e27_wire_differential(&threads_addr, &epoll_addr, &probes)?;
+    writeln!(
+        w,
+        "  differential: {frames} frames byte-identical across models \
+         (QUERY/BATCH/EDIT/AS_OF/STATS + traced structural)"
+    )?;
+
+    // Stage 2: the connection ramp, one model at a time.
+    let targets = [TenantTarget {
+        name: "t0".to_owned(),
+        probes: probes.clone(),
+    }];
+    let config = |addr: &str| LoadConfig {
+        addr: addr.to_owned(),
+        duration: Duration::from_millis(1200),
+        ..LoadConfig::default()
+    };
+    let idle_target = 10_000.min(fd_soft_limit().unwrap_or(2048).saturating_sub(1500) / 2);
+    let mut model_json = Vec::new();
+    let mut qps1 = Vec::new();
+    let mut ramp_rss_1024 = Vec::new();
+    let mut idle_rss = Vec::new();
+    for (label, addr) in [("threads", &threads_addr), ("epoll", &epoll_addr)] {
+        writeln!(w, "  {label}: closed loop, 1 probe/request, warm tenant:")?;
+        writeln!(
+            w,
+            "  {:<12} {:>10} {:>10} {:>10} {:>10} {:>9}",
+            "connections", "qps", "p50 us", "p99 us", "peak fds", "peak rss"
+        )?;
+        let rss_before = loadgen::rss_bytes().unwrap_or(0);
+        let levels = loadgen::run_ramp(&config(addr), &targets, &LEVELS)?;
+        let mut level_json = Vec::new();
+        for level in &levels {
+            let fds = level.open_fds.unwrap_or(0);
+            let rss_mb = level.rss_bytes.unwrap_or(0) as f64 / (1024.0 * 1024.0);
+            writeln!(
+                w,
+                "  {:<12} {:>10.0} {:>10.1} {:>10.1} {:>10} {:>8.1}M",
+                level.connections,
+                level.report.qps(),
+                level.report.p50_us(),
+                level.report.p99_us(),
+                fds,
+                rss_mb,
+            )?;
+            level_json.push(format!(
+                "      {{\"connections\": {}, \"qps\": {:.0}, \"p50_us\": {:.1}, \
+                 \"p99_us\": {:.1}, \"errors\": {}, \"peak_fds\": {fds}, \
+                 \"peak_rss_bytes\": {}}}",
+                level.connections,
+                level.report.qps(),
+                level.report.p50_us(),
+                level.report.p99_us(),
+                level.report.errors,
+                level.rss_bytes.unwrap_or(0),
+            ));
+        }
+        qps1.push(levels[0].report.qps());
+        let peak_1024 = levels.last().and_then(|l| l.rss_bytes).unwrap_or(0);
+        ramp_rss_1024.push(peak_1024.saturating_sub(rss_before));
+
+        // Stage 3: park idle connections and weigh them.
+        std::thread::sleep(Duration::from_millis(500)); // let prior level drain
+        let before = loadgen::rss_bytes().unwrap_or(0);
+        let mut parked = Vec::with_capacity(idle_target);
+        for _ in 0..idle_target {
+            parked.push(TcpStream::connect(addr.as_str())?);
+        }
+        // Give the server time to adopt every connection (the threaded
+        // model spawns a thread apiece).
+        std::thread::sleep(Duration::from_millis(1500));
+        let after = loadgen::rss_bytes().unwrap_or(0);
+        let delta = after.saturating_sub(before);
+        drop(parked);
+        std::thread::sleep(Duration::from_millis(1000)); // let the server reap
+        idle_rss.push(delta);
+        writeln!(
+            w,
+            "  {label}: {idle_target} idle connections -> +{:.1} MB RSS",
+            delta as f64 / (1024.0 * 1024.0)
+        )?;
+        model_json.push(format!(
+            "    \"{label}\": {{\n    \"levels\": [\n{}\n    ],\n    \
+             \"ramp_rss_delta_1024_bytes\": {}, \"idle_rss_delta_bytes\": {delta}}}",
+            level_json.join(",\n"),
+            ramp_rss_1024.last().unwrap(),
+        ));
+    }
+
+    // Acceptance checks, reported (the smoke gate enforces its own).
+    let qps_ratio = qps1[1] / qps1[0].max(f64::MIN_POSITIVE);
+    writeln!(
+        w,
+        "  target epoll within 10% of threads QPS at 1 connection: {} ({qps_ratio:.2}x)",
+        if qps_ratio >= 0.9 { "PASS" } else { "FAIL" }
+    )?;
+    writeln!(
+        w,
+        "  target epoll RSS < threads RSS over the 1024-connection ramp: {} ({:.1}M vs {:.1}M)",
+        if ramp_rss_1024[1] < ramp_rss_1024[0] {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        ramp_rss_1024[1] as f64 / (1024.0 * 1024.0),
+        ramp_rss_1024[0] as f64 / (1024.0 * 1024.0),
+    )?;
+    writeln!(
+        w,
+        "  target epoll RSS < threads RSS at {idle_target} idle connections: {} ({:.1}M vs {:.1}M)",
+        if idle_rss[1] < idle_rss[0] {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        idle_rss[1] as f64 / (1024.0 * 1024.0),
+        idle_rss[0] as f64 / (1024.0 * 1024.0),
+    )?;
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e27\",\n  {},\n  \"differential_frames\": {frames},\n  \
+         \"idle_connections\": {idle_target},\n  \"models\": {{\n{}\n  }},\n  \
+         \"epoll_vs_threads_qps_1conn\": {qps_ratio:.3}\n}}\n",
+        host_context_json(1024),
+        model_json.join(",\n"),
+    );
+    std::fs::write("BENCH_e27.json", json)?;
+    writeln!(w, "  wrote BENCH_e27.json")?;
+    Ok(())
+}
+
+/// E27's CI guard: the full epoll-vs-threads wire differential, a
+/// connection-scaling floor on the reactor (64-connection closed-loop
+/// QPS must not fall below 1-connection QPS), and — when a committed
+/// `BENCH_e27.json` exists — a no-regression floor at 0.05x the
+/// recorded epoll 1-connection QPS.
+fn e27_smoke(w: &mut dyn Write) -> io::Result<()> {
+    use std::time::Duration;
+
+    use cpplookup_server::cli::live_probes;
+    use cpplookup_server::loadgen::{self, LoadConfig, TenantTarget};
+    use cpplookup_server::{IoModel, Server, ServerConfig};
+    use cpplookup_snapshot::{Snapshot, SnapshotTable};
+
+    writeln!(w, "E27-smoke: epoll/threads differential + scaling floor")?;
+    let dir = BenchDir::new("e27-smoke")?;
+    let chg = families::interface_heavy(100, 4);
+    let snap_path = dir.file("smoke.snap");
+    Snapshot::compile(&chg)
+        .write_to(&snap_path)
+        .map_err(io::Error::other)?;
+    let table = SnapshotTable::load(&snap_path).map_err(io::Error::other)?;
+    let probes = live_probes(&table);
+
+    let start = |io_model: IoModel| -> io::Result<(Server, String)> {
+        let server = Server::start(ServerConfig {
+            preload: vec![("t0".to_owned(), snap_path.clone())],
+            max_connections: 256,
+            io_model,
+            ..ServerConfig::default()
+        })?;
+        let addr = server.addr().to_string();
+        Ok((server, addr))
+    };
+    let (_threads, threads_addr) = start(IoModel::Threads)?;
+    let (_epoll, epoll_addr) = start(IoModel::Epoll)?;
+
+    let frames = e27_wire_differential(&threads_addr, &epoll_addr, &probes)?;
+    writeln!(w, "  differential: {frames} frames byte-identical")?;
+
+    let targets = [TenantTarget {
+        name: "t0".to_owned(),
+        probes,
+    }];
+    let run_at = |conns: usize| -> io::Result<f64> {
+        let report = loadgen::run(
+            &LoadConfig {
+                addr: epoll_addr.clone(),
+                connections: conns,
+                duration: Duration::from_millis(700),
+                ..LoadConfig::default()
+            },
+            &targets,
+        )?;
+        if report.errors > 0 {
+            return Err(io::Error::other(format!(
+                "{} load errors at {conns} connections",
+                report.errors
+            )));
+        }
+        Ok(report.qps())
+    };
+    let qps_1 = run_at(1)?;
+    let qps_64 = run_at(64)?;
+    writeln!(
+        w,
+        "  reactor closed loop: {qps_1:.0} qps at 1 connection, {qps_64:.0} at 64"
+    )?;
+    // On a single core, 64 closed-loop clients cost a few percent of
+    // scheduler overhead versus one; the gate exists to catch the
+    // reactor *collapsing* under concurrency (head-of-line blocking, a
+    // starved ready queue), not to demand linear scaling.
+    if qps_64 < qps_1 * 0.8 {
+        return Err(io::Error::other(format!(
+            "connection-scaling floor: 64-connection QPS {qps_64:.0} fell below \
+             0.8x the 1-connection QPS {qps_1:.0}"
+        )));
+    }
+
+    let mut floor: f64 = 1000.0;
+    let mut baseline_note = "no BENCH_e27.json baseline".to_owned();
+    if let Ok(baseline) = std::fs::read_to_string("BENCH_e27.json") {
+        // The epoll section's first level is the 1-connection run.
+        if let Some(recorded) = baseline
+            .find("\"epoll\"")
+            .and_then(|at| json_f64(&baseline[at..], "qps"))
+        {
+            floor = floor.max(recorded * 0.05);
+            baseline_note = format!("0.05x recorded epoll 1-connection QPS {recorded:.0}");
+        }
+    }
+    writeln!(w, "  floor {floor:.0} qps ({baseline_note})")?;
+    if qps_1 < floor {
+        return Err(io::Error::other(format!(
+            "smoke QPS {qps_1:.0} fell below the floor {floor:.0}"
+        )));
+    }
+    writeln!(w, "  guard: PASS")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -3062,7 +3503,7 @@ mod tests {
         // Don't run the heavy ones here; just verify dispatch exists by
         // name for every id in ALL (compile-time exhaustiveness is
         // enforced by the match).
-        assert_eq!(ALL.len(), 26);
+        assert_eq!(ALL.len(), 27);
         assert!(ALL.iter().all(|id| id.starts_with('e')));
     }
 }

@@ -20,13 +20,14 @@ use crate::server::{Server, ServerConfig};
 pub const SERVE_USAGE: &str = "[--addr HOST:PORT] [--max-connections N] \
      [--read-timeout-secs N] [--tenant NAME=PATH]... [--no-obs] \
      [--recorder-capacity N] [--slow-threshold-ms N] [--tenant-cardinality N] \
-     [--shards N] [--wal PATH] [--fsync-every N] [--retain-epochs N] [--read-only] \
+     [--shards N] [--io-model threads|epoll] [--reactors N] [--max-frames-per-turn N] \
+     [--wal PATH] [--fsync-every N] [--retain-epochs N] [--read-only] \
      [--compact-every-secs N] [--compact-dir DIR] \
      [--follow ADDR | --follow-log PATH] [--follower-id NAME]";
 
 /// Usage text for the load-generator front end.
 pub const LOADGEN_USAGE: &str = "--addr HOST:PORT --snapshot PATH [--tenants N] [--load] \
-     [--connections N] [--duration-secs N] [--rate QPS] [--batch-size N] \
+     [--connections N] [--ramp N,N,...] [--duration-secs N] [--rate QPS] [--batch-size N] \
      [--tenant-skew S] [--probe-skew S] [--seed N] [--trace] [--edit-every N]";
 
 /// Usage text for the one-shot wire query front end.
@@ -138,6 +139,25 @@ pub fn parse_server_args(args: &[String]) -> Result<ServeArgs, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--shards wants a worker count (0 = answer on connection threads)")?;
             }
+            "--io-model" => {
+                config.io_model = it
+                    .next()
+                    .and_then(|v| crate::server::IoModel::parse(v))
+                    .ok_or("--io-model wants `threads` or `epoll`")?;
+            }
+            "--reactors" => {
+                config.reactors = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--reactors wants a thread count (0 = one per core)")?;
+            }
+            "--max-frames-per-turn" => {
+                config.max_frames_per_turn = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--max-frames-per-turn wants a positive frame count")?;
+            }
             "--follow" => {
                 let addr = it.next().ok_or("--follow wants HOST:PORT")?.clone();
                 out.follow = Some(FollowSource::Wire(addr));
@@ -182,11 +202,22 @@ pub fn parse_server_args(args: &[String]) -> Result<ServeArgs, String> {
 /// Bind or preload failure; on success this never returns.
 pub fn serve_forever(args: ServeArgs) -> std::io::Error {
     let wal_path = args.config.wal_path.clone();
+    let io_model = args.config.io_model;
     let server = match Server::start(args.config) {
         Ok(server) => server,
         Err(e) => return e,
     };
+    // The announcement line is a parse contract: wrapper scripts and
+    // the CLI e2e test read everything after "listening on " as the
+    // bound address (port 0 requests land on a real port). Anything
+    // else goes on its own line — written fallibly, because a wrapper
+    // that only wanted the address may close our stderr right after
+    // reading it, and `eprintln!` panics on the resulting EPIPE.
     eprintln!("listening on {}", server.addr());
+    {
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stderr(), "io model: {}", io_model.label());
+    }
     if let Some(source) = args.follow {
         let follower = Follower::start(
             Arc::clone(server.farm()),
@@ -231,6 +262,10 @@ pub struct LoadgenArgs {
     pub tenants: usize,
     /// Whether to issue `LOAD` for each tenant before the run.
     pub load_first: bool,
+    /// Connection-ramp mode: run once per listed concurrency level and
+    /// report per-level QPS/latency plus process fd/RSS footprint
+    /// (empty = a single run at `config.connections`).
+    pub ramp: Vec<usize>,
 }
 
 /// Parses load-generator flags.
@@ -248,6 +283,7 @@ pub fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
         snapshot: String::new(),
         tenants: 1,
         load_first: false,
+        ramp: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -268,6 +304,19 @@ pub fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
                     .ok_or("--connections wants a positive number")?;
+            }
+            "--ramp" => {
+                let levels = it
+                    .next()
+                    .map(|v| {
+                        v.split(',')
+                            .map(|part| part.trim().parse::<usize>())
+                            .collect::<Result<Vec<usize>, _>>()
+                    })
+                    .and_then(Result::ok)
+                    .filter(|levels| !levels.is_empty() && levels.iter().all(|&n| n > 0))
+                    .ok_or("--ramp wants a comma-separated list of connection counts")?;
+                out.ramp = levels;
             }
             "--duration-secs" => {
                 let s: f64 = it
@@ -375,6 +424,11 @@ pub fn run_loadgen(args: &LoadgenArgs) -> Result<String, String> {
                 .load(&t.name, &args.snapshot)
                 .map_err(|e| format!("LOAD {}: {e}", t.name))?;
         }
+    }
+    if !args.ramp.is_empty() {
+        let levels =
+            loadgen::run_ramp(&args.config, &targets, &args.ramp).map_err(|e| e.to_string())?;
+        return Ok(loadgen::render_ramp(&levels));
     }
     let report = loadgen::run(&args.config, &targets).map_err(|e| e.to_string())?;
     Ok(report.render())
@@ -612,6 +666,74 @@ mod tests {
         let cfg = parse_server_args(&strs(&[])).unwrap().config;
         assert_eq!(cfg.shards, 0, "inline by default");
         assert!(parse_server_args(&strs(&["--shards", "four"])).is_err());
+    }
+
+    #[test]
+    fn server_io_model_flags_parse() {
+        use crate::server::IoModel;
+        let cfg = parse_server_args(&strs(&["--io-model", "epoll"]))
+            .unwrap()
+            .config;
+        assert_eq!(cfg.io_model, IoModel::Epoll);
+        let cfg = parse_server_args(&strs(&["--io-model", "threads"]))
+            .unwrap()
+            .config;
+        assert_eq!(cfg.io_model, IoModel::Threads);
+        let cfg = parse_server_args(&strs(&[])).unwrap().config;
+        assert_eq!(cfg.io_model, IoModel::Threads, "threads is the default");
+        assert!(parse_server_args(&strs(&["--io-model", "uring"])).is_err());
+        assert!(parse_server_args(&strs(&["--io-model"])).is_err());
+
+        let cfg = parse_server_args(&strs(&["--reactors", "4"]))
+            .unwrap()
+            .config;
+        assert_eq!(cfg.reactors, 4);
+        let cfg = parse_server_args(&strs(&[])).unwrap().config;
+        assert_eq!(cfg.reactors, 0, "one reactor per core by default");
+        assert!(parse_server_args(&strs(&["--reactors", "many"])).is_err());
+
+        let cfg = parse_server_args(&strs(&["--max-frames-per-turn", "8"]))
+            .unwrap()
+            .config;
+        assert_eq!(cfg.max_frames_per_turn, 8);
+        assert!(parse_server_args(&strs(&["--max-frames-per-turn", "0"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_ramp_flag_parses() {
+        let args = parse_loadgen_args(&strs(&[
+            "--addr",
+            "h:1",
+            "--snapshot",
+            "x",
+            "--ramp",
+            "1,8,64,256,1024",
+        ]))
+        .unwrap();
+        assert_eq!(args.ramp, vec![1, 8, 64, 256, 1024]);
+        let args = parse_loadgen_args(&strs(&["--addr", "h:1", "--snapshot", "x"])).unwrap();
+        assert!(args.ramp.is_empty(), "single-run mode by default");
+        assert!(
+            parse_loadgen_args(&strs(&["--addr", "h:1", "--snapshot", "x", "--ramp", ""])).is_err()
+        );
+        assert!(parse_loadgen_args(&strs(&[
+            "--addr",
+            "h:1",
+            "--snapshot",
+            "x",
+            "--ramp",
+            "1,0,4"
+        ]))
+        .is_err());
+        assert!(parse_loadgen_args(&strs(&[
+            "--addr",
+            "h:1",
+            "--snapshot",
+            "x",
+            "--ramp",
+            "1,two"
+        ]))
+        .is_err());
     }
 
     #[test]

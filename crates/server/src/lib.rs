@@ -17,12 +17,16 @@
 //!   on first traffic (identical cold probes are coalesced into one
 //!   build), and lazily *warmed* to an engine on first edit so
 //!   subsequent queries read the epoch-published index.
-//! * [`server`] — the threaded TCP listener: bounded-accept admission
-//!   control, one thread per connection, request-scoped phase tracing
-//!   (the protocol TRACE flag returns a span tree), per-tenant metric
-//!   families, plus an HTTP admin endpoint (`GET /metrics`,
-//!   `/healthz`, `/tenants`, `/flightrecorder`) sharing the same port
-//!   by first-bytes sniffing.
+//! * [`server`] — the TCP listener: bounded-accept admission control,
+//!   request-scoped phase tracing (the protocol TRACE flag returns a
+//!   span tree), per-tenant metric families, plus an HTTP admin
+//!   endpoint (`GET /metrics`, `/healthz`, `/tenants`,
+//!   `/flightrecorder`) sharing the same port by first-bytes sniffing.
+//!   Two I/O models sit behind one wire contract, selected by
+//!   `--io-model`: `threads` (one thread per connection — the default
+//!   and the portability fallback) and `epoll` (per-core reactor
+//!   threads multiplexing nonblocking connection state machines; see
+//!   the `reactor` module, Linux only).
 //! * [`shard`] — optional shard-affine read workers: with
 //!   `--shards N` untraced reads are routed to a fixed worker thread
 //!   by tenant hash, keeping each tenant's probe directory
@@ -45,9 +49,13 @@
 //! (`cpplookup-cli serve` / `cpplookup-cli loadgen`).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // only `sys` opts out, for the epoll/eventfd syscalls
 
 mod coalesce;
+#[cfg(target_os = "linux")]
+mod reactor;
+#[cfg(target_os = "linux")]
+mod sys;
 
 pub mod cli;
 pub mod client;
@@ -65,5 +73,5 @@ pub use loadgen::{LoadConfig, LoadReport, Pacing};
 pub use protocol::{ErrorCode, Request, Response, WireLv, WireOutcome, WireSpan, PROTOCOL_VERSION};
 pub use recorder::{FlightEntry, FlightRecorder, SlowEntry};
 pub use replication::{FollowSource, Follower, FollowerConfig};
-pub use server::{ObsConfig, Server, ServerConfig};
+pub use server::{IoModel, ObsConfig, Server, ServerConfig};
 pub use shard::ShardPool;

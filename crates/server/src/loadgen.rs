@@ -416,6 +416,113 @@ pub fn run(config: &LoadConfig, targets: &[TenantTarget]) -> io::Result<LoadRepo
     })
 }
 
+/// One level of a connection ramp: the full report at that concurrency
+/// plus the process-wide resource readings taken while the level's
+/// connections were still open.
+#[derive(Clone, Debug)]
+pub struct RampLevel {
+    /// Concurrent connections at this level.
+    pub connections: usize,
+    /// The level's load report.
+    pub report: LoadReport,
+    /// Peak open file descriptors in *this* (loadgen) process sampled
+    /// while the level ran — on a loopback run each connection holds
+    /// one fd at each end, so this tracks the server's fd footprint
+    /// too. `None` where `/proc` is unavailable.
+    pub open_fds: Option<usize>,
+    /// Peak resident set size of this process sampled while the level
+    /// ran (`None` where `/proc` is unavailable). Meaningful for the
+    /// server's footprint when the server shares the process, as the
+    /// bench harness arranges.
+    pub rss_bytes: Option<u64>,
+}
+
+/// Open fd count of this process, read from `/proc/self/fd`.
+pub fn open_fds() -> Option<usize> {
+    Some(std::fs::read_dir("/proc/self/fd").ok()?.count())
+}
+
+/// Resident set size of this process in bytes, from `/proc/self/status`
+/// (`VmRSS` is reported in kB).
+pub fn rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Runs the load once per requested connection level — the
+/// `--ramp` mode — holding everything else in `config` fixed. A
+/// sampler thread reads the process fd/RSS footprint every few
+/// milliseconds *while* each level's connections are up and keeps the
+/// peak, since the workers close their sockets before [`run`] returns.
+///
+/// # Errors
+///
+/// As [`run`]: the first failing level aborts the ramp.
+pub fn run_ramp(
+    config: &LoadConfig,
+    targets: &[TenantTarget],
+    levels: &[usize],
+) -> io::Result<Vec<RampLevel>> {
+    let mut out = Vec::with_capacity(levels.len());
+    for &connections in levels {
+        let level_config = LoadConfig {
+            connections,
+            ..config.clone()
+        };
+        let stop = Arc::new(AtomicU64::new(0));
+        let sampler = {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let (mut peak_fds, mut peak_rss) = (None, None);
+                while stop.load(Ordering::Relaxed) == 0 {
+                    peak_fds = peak_fds.max(open_fds());
+                    peak_rss = peak_rss.max(rss_bytes());
+                    thread::sleep(Duration::from_millis(20));
+                }
+                (peak_fds, peak_rss)
+            })
+        };
+        let result = run(&level_config, targets);
+        stop.store(1, Ordering::Relaxed);
+        let (open_fds, rss_bytes) = sampler.join().expect("ramp sampler panicked");
+        out.push(RampLevel {
+            connections,
+            report: result?,
+            open_fds,
+            rss_bytes,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders a ramp as an aligned per-level table.
+pub fn render_ramp(levels: &[RampLevel]) -> String {
+    let mut out =
+        String::from("conns      qps       p50us      p99us     errors    open-fds     rss-mb");
+    for level in levels {
+        let fds = level
+            .open_fds
+            .map_or_else(|| "-".to_owned(), |n| n.to_string());
+        let rss = level.rss_bytes.map_or_else(
+            || "-".to_owned(),
+            |b| format!("{:.1}", b as f64 / (1024.0 * 1024.0)),
+        );
+        out.push_str(&format!(
+            "\n{:>5} {:>8.0} {:>10.1} {:>10.1} {:>10} {:>11} {:>10}",
+            level.connections,
+            level.report.qps(),
+            level.report.p50_us(),
+            level.report.p99_us(),
+            level.report.errors,
+            fds,
+            rss,
+        ));
+    }
+    out
+}
+
 /// Accumulates one traced response's child-phase durations (the spans
 /// whose parent is the root) into the per-phase totals.
 fn merge_phases(phases: &mut BTreeMap<String, u64>, spans: &[WireSpan]) {

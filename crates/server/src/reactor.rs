@@ -1,0 +1,1018 @@
+//! The epoll reactor I/O model: a few threads multiplexing many
+//! nonblocking connection state machines.
+//!
+//! The threaded model parks one OS thread (and its stack) per
+//! connection; at 1024+ mostly-idle connections that is the dominant
+//! server cost, while the probes themselves are nearly free (the MPH
+//! directory made them one cache line each). The reactor replaces the
+//! parked threads with `N` per-core event loops — each owns an epoll
+//! instance, an eventfd doorbell, and a slab of [`Conn`] state
+//! machines; the acceptor round-robins accepted fds across them.
+//!
+//! Per connection the machine is small and explicit:
+//!
+//! ```text
+//!            bytes            "GET "            frame damage
+//!   Start ─────────▶ Binary   Start ──▶ Http    Binary ──▶ error frame,
+//!     │                 │               (hand      drain + close
+//!     ▼                 ▼                off)      after flush
+//!   read ──▶ reassemble ──▶ decode ──▶ handle ──▶ buffer ──▶ writev
+//! ```
+//!
+//! * **Incremental frame reassembly** — [`FrameBuffer`] carries a
+//!   consumed-prefix offset and a resumable length-prefix parse, so a
+//!   frame split across any number of partial reads is decoded exactly
+//!   once, with no re-scanning of consumed bytes.
+//! * **Pipelined decoding with a fairness cap** — one readiness event
+//!   drains at most [`ServerConfig::max_frames_per_turn`] complete
+//!   frames; a connection with more buffered work re-queues itself
+//!   behind every other ready connection, so one pipelining client
+//!   cannot starve the loop.
+//! * **Backpressure by interest, not queues** — responses buffer in
+//!   per-connection `Vec`s flushed with vectored `writev`; `EPOLLOUT`
+//!   interest exists only while a backlog does, and a connection whose
+//!   peer stops reading simply stops being asked for more work.
+//! * **Idle timeouts off a timer wheel** — a coarse hashed wheel with
+//!   lazy reinsertion; activity just stamps the connection's deadline,
+//!   and the wheel checks it when the slot comes due.
+//!
+//! Requests execute through the exact code path the threaded model
+//! uses ([`process_body`](crate::server)), so responses are
+//! byte-identical between the models — pinned by the differential
+//! tests and the e27 CI gate. The rare connection-takeover requests
+//! (HTTP admin, `SUBSCRIBE`) hand their fd back to a plain blocking
+//! thread, keeping the event loop free of long-lived work.
+
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cpplookup_obs::{Counter, Gauge};
+
+use crate::protocol::{checksum64, write_frame, FrameError, MAX_BODY};
+use crate::server::{
+    frame_damage_response, process_body, serve_admin, serve_subscription, Action, ConnCount,
+    ReqCounters, ServerConfig, Shared,
+};
+use crate::sys::{self, Epoll, EpollEvent, EventFd};
+
+/// The epoll token reserved for each reactor's eventfd doorbell.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Per-readiness-event read budget: past this many bytes the loop
+/// moves on and lets level-triggered epoll re-report the fd.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// How many response buffers one `writev` gathers at most.
+const WRITEV_BATCH: usize = 32;
+
+/// A connection's idle deadline when no timeout is configured.
+const FOREVER: Duration = Duration::from_secs(365 * 24 * 3600);
+
+/// Incremental frame reassembly: a growable buffer with a consumed
+/// prefix and a *resumable* length-prefix parse. Bytes are appended as
+/// they arrive; complete frames are peeled off the front. The parsed
+/// body length is cached across calls, so a frame arriving one byte at
+/// a time costs one prefix parse and one checksum pass total — consumed
+/// bytes are never re-scanned.
+struct FrameBuffer {
+    buf: Vec<u8>,
+    pos: usize,
+    /// Body length parsed from the current frame's prefix, once its
+    /// four bytes have arrived.
+    pending: Option<usize>,
+}
+
+/// How far the consumed prefix may grow before the buffer compacts.
+const COMPACT_AT: usize = 64 * 1024;
+
+impl FrameBuffer {
+    fn new() -> FrameBuffer {
+        FrameBuffer {
+            buf: Vec::new(),
+            pos: 0,
+            pending: None,
+        }
+    }
+
+    fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed byte count.
+    fn available(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The first `n` unconsumed bytes, if that many have arrived.
+    fn peek(&self, n: usize) -> Option<&[u8]> {
+        (self.available() >= n).then(|| &self.buf[self.pos..self.pos + n])
+    }
+
+    /// Every unconsumed byte.
+    fn unconsumed(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Peels the next complete frame body off the front, `Ok(None)`
+    /// when more bytes are needed. Frame-level damage (bad length,
+    /// checksum mismatch) is an error — the stream position is garbage
+    /// from there and the connection must close.
+    fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let body_len = match self.pending {
+            Some(len) => len,
+            None => {
+                let Some(prefix) = self.peek(4) else {
+                    return Ok(None);
+                };
+                let len = u32::from_le_bytes(prefix.try_into().expect("peeked 4"));
+                if len == 0 || len > MAX_BODY {
+                    return Err(FrameError::BadLength { len });
+                }
+                self.pending = Some(len as usize);
+                len as usize
+            }
+        };
+        if self.available() < 4 + body_len + 8 {
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        let body_end = start + body_len;
+        let want = u64::from_le_bytes(
+            self.buf[body_end..body_end + 8]
+                .try_into()
+                .expect("checksum bytes present"),
+        );
+        if checksum64(&self.buf[start..body_end]) != want {
+            return Err(FrameError::Checksum);
+        }
+        let body = self.buf[start..body_end].to_vec();
+        self.pos = body_end + 8;
+        self.pending = None;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= COMPACT_AT {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(body))
+    }
+
+    /// Whether another `next_frame` call would make progress: a full
+    /// frame is buffered, or the buffered prefix is already known-bad
+    /// (so the damage error is worth reporting).
+    fn has_work(&self) -> bool {
+        let avail = self.available();
+        match self.pending {
+            Some(len) => avail >= 4 + len + 8,
+            None => {
+                let Some(prefix) = self.peek(4) else {
+                    return false;
+                };
+                let len = u32::from_le_bytes(prefix.try_into().expect("peeked 4"));
+                if len == 0 || len > MAX_BODY {
+                    return true;
+                }
+                avail >= 4 + len as usize + 8
+            }
+        }
+    }
+}
+
+/// What a connection has been identified as.
+enum Mode {
+    /// Nothing sniffed yet: fewer than four bytes have arrived.
+    Start,
+    /// Length-prefixed binary protocol.
+    Binary,
+}
+
+/// One nonblocking connection state machine.
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    buf: FrameBuffer,
+    mode: Mode,
+    /// Buffered response frames, front partially written up to
+    /// `out_head`.
+    out: VecDeque<Vec<u8>>,
+    out_head: usize,
+    /// Total buffered response bytes (the writev backlog).
+    backlog: usize,
+    /// `EPOLLOUT` interest currently registered.
+    want_write: bool,
+    /// Close once the backlog drains (frame damage answered, peer EOF
+    /// served out, or idle expiry with a flush pending).
+    close_after_flush: bool,
+    /// The peer closed its write half; serve what is buffered, then go.
+    read_closed: bool,
+    /// Frame-level damage: ignore everything else the peer sends.
+    discard_input: bool,
+    /// Idle deadline, refreshed on any read or write progress.
+    deadline: Instant,
+    /// When the fairness cap deferred this connection, for queue_wait
+    /// attribution when its turn comes back around.
+    resumed_from: Option<Instant>,
+    /// Already queued on the ready list.
+    queued_ready: bool,
+}
+
+/// A coarse hashed timer wheel with lazy reinsertion: connections are
+/// filed under the slot their deadline falls in; activity only stamps
+/// `Conn::deadline`, and a slot coming due re-checks the real deadline,
+/// closing or re-filing. O(1) per activity, O(slot) per tick.
+struct Wheel {
+    slots: Vec<Vec<(usize, u64)>>,
+    tick: Duration,
+    cursor: usize,
+    last: Instant,
+}
+
+impl Wheel {
+    fn new(timeout: Duration, now: Instant) -> Wheel {
+        // Granularity: the timeout split over half the wheel, so a full
+        // rotation comfortably covers one timeout, floored at 10ms.
+        let tick = (timeout / 32).max(Duration::from_millis(10));
+        Wheel {
+            slots: (0..64).map(|_| Vec::new()).collect(),
+            tick,
+            cursor: 0,
+            last: now,
+        }
+    }
+
+    /// Files `(token, gen)` under the slot `deadline` falls in.
+    fn schedule(&mut self, token: usize, gen: u64, deadline: Instant, now: Instant) {
+        let ticks = (deadline.saturating_duration_since(now).as_nanos()
+            / self.tick.as_nanos().max(1)) as usize
+            + 1;
+        let slot = (self.cursor + ticks.min(self.slots.len() - 1)) % self.slots.len();
+        self.slots[slot].push((token, gen));
+    }
+
+    /// Advances the cursor to `now`, draining every slot that came due
+    /// into `due` (candidates, not verdicts — deadlines are re-checked
+    /// by the caller).
+    fn advance(&mut self, now: Instant, due: &mut Vec<(usize, u64)>) {
+        while now.saturating_duration_since(self.last) >= self.tick {
+            self.last += self.tick;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            due.append(&mut self.slots[self.cursor]);
+        }
+    }
+}
+
+/// The running reactor fleet: round-robin dispatch plus shutdown.
+pub(crate) struct ReactorSet {
+    reactors: Vec<ReactorHandle>,
+    next: AtomicUsize,
+    stop: Arc<AtomicBool>,
+}
+
+struct ReactorHandle {
+    wake: Arc<EventFd>,
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    thread: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl ReactorSet {
+    /// Spawns the reactor threads: `cfg.reactors` of them, or one per
+    /// available core.
+    pub(crate) fn start(
+        shared: Arc<Shared>,
+        cfg: &ServerConfig,
+        count: Arc<ConnCount>,
+    ) -> io::Result<Arc<ReactorSet>> {
+        let n = if cfg.reactors > 0 {
+            cfg.reactors
+        } else {
+            thread::available_parallelism().map_or(1, |p| p.get())
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut reactors = Vec::with_capacity(n);
+        for idx in 0..n {
+            let wake = Arc::new(EventFd::new()?);
+            let inbox = Arc::new(Mutex::new(Vec::new()));
+            let mut reactor = Reactor::new(
+                idx,
+                Arc::clone(&shared),
+                cfg,
+                Arc::clone(&count),
+                Arc::clone(&wake),
+                Arc::clone(&inbox),
+                Arc::clone(&stop),
+            )?;
+            let thread = thread::Builder::new()
+                .name(format!("reactor-{idx}"))
+                .spawn(move || reactor.run())?;
+            reactors.push(ReactorHandle {
+                wake,
+                inbox,
+                thread: Mutex::new(Some(thread)),
+            });
+        }
+        Ok(Arc::new(ReactorSet {
+            reactors,
+            next: AtomicUsize::new(0),
+            stop,
+        }))
+    }
+
+    /// Round-robins an accepted connection onto a reactor and rings its
+    /// doorbell. The admission slot travels with the connection; the
+    /// owning reactor releases it on close.
+    pub(crate) fn dispatch(&self, stream: TcpStream) {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.reactors.len();
+        let handle = &self.reactors[idx];
+        handle
+            .inbox
+            .lock()
+            .expect("reactor inbox poisoned")
+            .push(stream);
+        handle.wake.signal();
+    }
+
+    /// Stops every reactor and joins it; open connections are closed.
+    pub(crate) fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for handle in &self.reactors {
+            handle.wake.signal();
+        }
+        for handle in &self.reactors {
+            let joinable = handle
+                .thread
+                .lock()
+                .expect("reactor handle poisoned")
+                .take();
+            if let Some(thread) = joinable {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+/// One event loop: an epoll instance, a doorbell, and a slab of
+/// connections.
+struct Reactor {
+    idx: usize,
+    shared: Arc<Shared>,
+    count: Arc<ConnCount>,
+    epoll: Epoll,
+    wake: Arc<EventFd>,
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    stop: Arc<AtomicBool>,
+    conns: Vec<Option<Conn>>,
+    /// Per-slot generation counters, bumped on close so stale timer and
+    /// epoll tokens from a previous occupant can never touch a new one.
+    gens: Vec<u64>,
+    free: Vec<usize>,
+    /// Connections deferred by the fairness cap, served after the
+    /// current event batch.
+    ready: VecDeque<usize>,
+    wheel: Option<Wheel>,
+    idle_timeout: Option<Duration>,
+    max_frames: usize,
+    /// Read timeout restored on fds handed off to blocking threads.
+    handoff_timeout: Option<Duration>,
+    counters: ReqCounters,
+    conns_gauge: Arc<Gauge>,
+    wakeups: Arc<Counter>,
+    backlog_gauge: Arc<Gauge>,
+}
+
+impl Reactor {
+    fn new(
+        idx: usize,
+        shared: Arc<Shared>,
+        cfg: &ServerConfig,
+        count: Arc<ConnCount>,
+        wake: Arc<EventFd>,
+        inbox: Arc<Mutex<Vec<TcpStream>>>,
+        stop: Arc<AtomicBool>,
+    ) -> io::Result<Reactor> {
+        let epoll = Epoll::new()?;
+        epoll.add(wake.raw(), sys::EPOLLIN, WAKE_TOKEN)?;
+        let obs = cpplookup_obs::global();
+        let label = idx.to_string();
+        let now = Instant::now();
+        Ok(Reactor {
+            idx,
+            shared,
+            count,
+            epoll,
+            wake,
+            inbox,
+            stop,
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            ready: VecDeque::new(),
+            wheel: cfg.read_timeout.map(|t| Wheel::new(t, now)),
+            idle_timeout: cfg.read_timeout,
+            max_frames: cfg.max_frames_per_turn.max(1),
+            handoff_timeout: cfg.read_timeout,
+            counters: ReqCounters::new(),
+            conns_gauge: obs
+                .gauge_family(
+                    "reactor_connections",
+                    "connections owned, by reactor",
+                    "reactor",
+                    64,
+                )
+                .with_label(&label),
+            wakeups: obs
+                .counter_family(
+                    "reactor_wakeups_total",
+                    "epoll wakeups handled, by reactor",
+                    "reactor",
+                )
+                .with_label(&label),
+            backlog_gauge: obs
+                .gauge_family(
+                    "reactor_writev_backlog_bytes",
+                    "buffered response bytes awaiting writev, by reactor",
+                    "reactor",
+                    64,
+                )
+                .with_label(&label),
+        })
+    }
+
+    fn run(&mut self) {
+        let _ = self.idx;
+        let mut events = vec![
+            EpollEvent {
+                events: 0,
+                token: 0
+            };
+            256
+        ];
+        let mut due: Vec<(usize, u64)> = Vec::new();
+        loop {
+            let timeout_ms = if !self.ready.is_empty() {
+                0
+            } else if let Some(wheel) = &self.wheel {
+                wheel.tick.as_millis().clamp(10, 500) as i32
+            } else {
+                500
+            };
+            let n = match self.epoll.wait(&mut events, timeout_ms) {
+                Ok(n) => n,
+                Err(_) => {
+                    thread::sleep(Duration::from_millis(5));
+                    0
+                }
+            };
+            if n > 0 {
+                self.wakeups.inc();
+            }
+            for event in events.iter().take(n) {
+                let event = *event;
+                if event.token == WAKE_TOKEN {
+                    self.wake.drain();
+                    self.drain_inbox();
+                } else {
+                    self.on_event(event.token as usize, event.events);
+                }
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                self.close_all();
+                return;
+            }
+            // Fairness continuation: connections the cap deferred get
+            // one more turn each, after everyone readiness reported.
+            for _ in 0..self.ready.len() {
+                let Some(token) = self.ready.pop_front() else {
+                    break;
+                };
+                if let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) {
+                    conn.queued_ready = false;
+                    self.process_conn(token);
+                }
+            }
+            // Idle sweep: candidates whose slot came due, deadlines
+            // re-checked (activity may have pushed them out).
+            if self.wheel.is_some() {
+                let now = Instant::now();
+                due.clear();
+                if let Some(wheel) = &mut self.wheel {
+                    wheel.advance(now, &mut due);
+                }
+                let mut expired = Vec::new();
+                let mut refile = Vec::new();
+                for &(token, gen) in &due {
+                    if self.gens.get(token) != Some(&gen) {
+                        continue;
+                    }
+                    let Some(conn) = self.conns.get(token).and_then(Option::as_ref) else {
+                        continue;
+                    };
+                    if conn.deadline <= now {
+                        expired.push(token);
+                    } else {
+                        refile.push((token, gen, conn.deadline));
+                    }
+                }
+                for token in expired {
+                    self.close(token);
+                }
+                if let Some(wheel) = &mut self.wheel {
+                    for (token, gen, deadline) in refile {
+                        wheel.schedule(token, gen, deadline, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adopts connections the acceptor round-robined to this reactor.
+    fn drain_inbox(&mut self) {
+        let streams: Vec<TcpStream> =
+            std::mem::take(&mut *self.inbox.lock().expect("reactor inbox poisoned"));
+        for stream in streams {
+            self.register(stream);
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            self.count.release();
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let fd = stream.as_raw_fd();
+        let token = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.gens.push(0);
+            self.conns.len() - 1
+        });
+        if self
+            .epoll
+            .add(fd, sys::EPOLLIN | sys::EPOLLRDHUP, token as u64)
+            .is_err()
+        {
+            self.free.push(token);
+            self.count.release();
+            return;
+        }
+        let now = Instant::now();
+        let deadline = now + self.idle_timeout.unwrap_or(FOREVER);
+        self.conns[token] = Some(Conn {
+            stream,
+            fd,
+            buf: FrameBuffer::new(),
+            mode: Mode::Start,
+            out: VecDeque::new(),
+            out_head: 0,
+            backlog: 0,
+            want_write: false,
+            close_after_flush: false,
+            read_closed: false,
+            discard_input: false,
+            deadline,
+            resumed_from: None,
+            queued_ready: false,
+        });
+        self.conns_gauge.add(1);
+        if let Some(wheel) = &mut self.wheel {
+            wheel.schedule(token, self.gens[token], deadline, now);
+        }
+    }
+
+    fn on_event(&mut self, token: usize, bits: u32) {
+        if self.conns.get(token).is_none_or(Option::is_none) {
+            return; // stale token from a closed connection
+        }
+        if bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            // Full hangup or error: nothing can be written back.
+            self.close(token);
+            return;
+        }
+        if bits & sys::EPOLLOUT != 0 && self.flush(token) {
+            return; // closed while flushing
+        }
+        if bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+            self.fill(token);
+        }
+    }
+
+    /// Pulls bytes off the socket into the frame buffer, up to the
+    /// per-event budget (level-triggered epoll re-reports the rest),
+    /// then processes what arrived.
+    fn fill(&mut self, token: usize) {
+        let mut scratch = [0u8; 16 * 1024];
+        let mut total = 0usize;
+        loop {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                return;
+            };
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    if !conn.discard_input {
+                        conn.buf.extend(&scratch[..n]);
+                    }
+                    conn.deadline = Instant::now() + self.idle_timeout.unwrap_or(FOREVER);
+                    total += n;
+                    if total >= READ_BUDGET {
+                        break;
+                    }
+                    // A short read means the socket is drained right
+                    // now; skip the syscall that would confirm it with
+                    // WouldBlock. Level-triggered epoll re-reports
+                    // readiness if more bytes are already queued.
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+        self.process_conn(token);
+    }
+
+    /// Drains complete frames from the connection's buffer — at most
+    /// the fairness cap per turn — and buffers their responses.
+    fn process_conn(&mut self, token: usize) {
+        // Sniff the first four bytes: HTTP admin traffic hands off.
+        {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                return;
+            };
+            if matches!(conn.mode, Mode::Start) {
+                match conn.buf.peek(4) {
+                    Some(head) if head == b"GET " => {
+                        self.handoff(token, Handoff::Admin);
+                        return;
+                    }
+                    Some(_) => conn.mode = Mode::Binary,
+                    None => {
+                        if conn.read_closed {
+                            self.close(token);
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+        let mut resumed = self
+            .conns
+            .get_mut(token)
+            .and_then(Option::as_mut)
+            .and_then(|c| c.resumed_from.take());
+        let mut served = 0usize;
+        while served < self.max_frames {
+            let before = Instant::now();
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                return;
+            };
+            if conn.discard_input {
+                break;
+            }
+            let body = match conn.buf.next_frame() {
+                Ok(Some(body)) => body,
+                Ok(None) => break,
+                Err(damage) => {
+                    // Answer once, swallow whatever else arrives, close
+                    // when the answer has flushed — mirroring the
+                    // threaded model's frame-damage policy.
+                    conn.discard_input = true;
+                    conn.close_after_flush = true;
+                    match frame_damage_response(&self.counters, &damage) {
+                        Some(frame_body) => {
+                            let mut framed = Vec::with_capacity(frame_body.len() + 12);
+                            let _ = write_frame(&mut framed, &frame_body);
+                            self.push_out(token, framed);
+                        }
+                        None => {
+                            self.close(token);
+                            return;
+                        }
+                    }
+                    break;
+                }
+            };
+            // queue_wait starts when the frame's turn began: the read
+            // event (first frame), or the deferral instant when the
+            // fairness cap pushed this connection to the back.
+            let t0 = resumed.take().unwrap_or(before);
+            let t1 = Instant::now();
+            match process_body(&self.shared, &self.counters, &body, t0, t1) {
+                Action::Reply(frame_body) => {
+                    let mut framed = Vec::with_capacity(frame_body.len() + 12);
+                    let _ = write_frame(&mut framed, &frame_body);
+                    self.push_out(token, framed);
+                }
+                Action::Subscribe { from_seq } => {
+                    self.handoff(token, Handoff::Subscribe { from_seq });
+                    return;
+                }
+            }
+            served += 1;
+        }
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        if !conn.discard_input && conn.buf.has_work() && !conn.queued_ready {
+            // Fairness: more complete frames than this turn's budget.
+            conn.queued_ready = true;
+            conn.resumed_from = Some(Instant::now());
+            self.ready.push_back(token);
+        } else if conn.read_closed && !conn.buf.has_work() {
+            // Peer is done sending and every complete frame is
+            // answered; a torn trailing frame can never complete.
+            conn.close_after_flush = true;
+        }
+        self.flush(token);
+    }
+
+    fn push_out(&mut self, token: usize, framed: Vec<u8>) {
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        conn.backlog += framed.len();
+        self.backlog_gauge.add(framed.len() as i64);
+        conn.out.push_back(framed);
+    }
+
+    /// Writes the backlog out with vectored writes until empty or
+    /// `WouldBlock`, keeping `EPOLLOUT` interest registered exactly
+    /// while a backlog exists. Returns `true` when the connection was
+    /// closed (error, or close-after-flush completing).
+    fn flush(&mut self, token: usize) -> bool {
+        enum Outcome {
+            Drained,
+            Blocked,
+            Dead,
+        }
+        let outcome = loop {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                return true;
+            };
+            if conn.out.is_empty() {
+                break Outcome::Drained;
+            }
+            let mut slices: Vec<IoSlice> = Vec::with_capacity(conn.out.len().min(WRITEV_BATCH));
+            let mut iter = conn.out.iter();
+            if let Some(first) = iter.next() {
+                slices.push(IoSlice::new(&first[conn.out_head..]));
+            }
+            for buffer in iter.take(WRITEV_BATCH - 1) {
+                slices.push(IoSlice::new(buffer));
+            }
+            match conn.stream.write_vectored(&slices) {
+                Ok(0) => break Outcome::Dead,
+                Ok(mut wrote) => {
+                    conn.backlog -= wrote;
+                    self.backlog_gauge.add(-(wrote as i64));
+                    conn.deadline = Instant::now() + self.idle_timeout.unwrap_or(FOREVER);
+                    while wrote > 0 {
+                        let front_left = conn.out[0].len() - conn.out_head;
+                        if wrote >= front_left {
+                            wrote -= front_left;
+                            conn.out.pop_front();
+                            conn.out_head = 0;
+                        } else {
+                            conn.out_head += wrote;
+                            wrote = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Outcome::Blocked,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break Outcome::Dead,
+            }
+        };
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+            return true;
+        };
+        match outcome {
+            Outcome::Dead => {
+                self.close(token);
+                true
+            }
+            Outcome::Drained if conn.close_after_flush => {
+                self.close(token);
+                true
+            }
+            Outcome::Drained | Outcome::Blocked => {
+                let want = !conn.out.is_empty();
+                if want != conn.want_write {
+                    conn.want_write = want;
+                    let mut interest = sys::EPOLLIN | sys::EPOLLRDHUP;
+                    if want {
+                        interest |= sys::EPOLLOUT;
+                    }
+                    let fd = conn.fd;
+                    let _ = self.epoll.modify(fd, interest, token as u64);
+                }
+                false
+            }
+        }
+    }
+
+    fn close(&mut self, token: usize) {
+        if let Some(conn) = self.conns.get_mut(token).and_then(Option::take) {
+            let _ = self.epoll.delete(conn.fd);
+            self.backlog_gauge.add(-(conn.backlog as i64));
+            self.gens[token] = self.gens[token].wrapping_add(1);
+            self.free.push(token);
+            self.conns_gauge.add(-1);
+            self.count.release();
+            // `conn.stream` drops here, closing the fd.
+        }
+    }
+
+    fn close_all(&mut self) {
+        for token in 0..self.conns.len() {
+            self.close(token);
+        }
+    }
+
+    /// Hands a connection-takeover request (HTTP admin, SUBSCRIBE) to a
+    /// plain blocking thread: these are rare, long-lived, and have no
+    /// business on the event loop. The admission slot follows the fd.
+    fn handoff(&mut self, token: usize, kind: Handoff) {
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::take) else {
+            return;
+        };
+        let _ = self.epoll.delete(conn.fd);
+        self.backlog_gauge.add(-(conn.backlog as i64));
+        self.gens[token] = self.gens[token].wrapping_add(1);
+        self.free.push(token);
+        self.conns_gauge.add(-1);
+        let shared = Arc::clone(&self.shared);
+        let count = Arc::clone(&self.count);
+        let timeout = self.handoff_timeout;
+        thread::spawn(move || {
+            let Conn {
+                mut stream,
+                buf,
+                out,
+                out_head,
+                ..
+            } = conn;
+            let usable = stream.set_nonblocking(false).is_ok();
+            let _ = stream.set_read_timeout(timeout);
+            // Flush responses buffered for earlier pipelined frames
+            // before the takeover protocol speaks.
+            let mut flushed = usable;
+            for (i, buffer) in out.iter().enumerate() {
+                let from = if i == 0 { out_head } else { 0 };
+                if stream.write_all(&buffer[from..]).is_err() {
+                    flushed = false;
+                    break;
+                }
+            }
+            if flushed {
+                match kind {
+                    Handoff::Admin => {
+                        // The buffer still holds the sniffed `GET `;
+                        // everything after it is the admin prefill.
+                        let leftover = buf.unconsumed();
+                        serve_admin(stream, &shared, &leftover[leftover.len().min(4)..]);
+                    }
+                    Handoff::Subscribe { from_seq } => {
+                        serve_subscription(stream, &shared, from_seq);
+                    }
+                }
+            }
+            count.release();
+        });
+    }
+}
+
+enum Handoff {
+    Admin,
+    Subscribe { from_seq: u64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{write_frame, Request};
+
+    fn frame_of(req: &Request) -> Vec<u8> {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        wire
+    }
+
+    fn hello() -> Request {
+        Request::Hello { version: 1 }
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_across_every_split() {
+        let a = frame_of(&hello());
+        let b = frame_of(&Request::Stats {
+            tenant: "t".to_owned(),
+        });
+        let c = frame_of(&Request::Metrics);
+        let stream: Vec<u8> = [a.clone(), b.clone(), c.clone()].concat();
+        let bodies = [&a, &b, &c].map(|f| f[4..f.len() - 8].to_vec());
+        // Every two-part split of the whole pipelined stream must yield
+        // the same three bodies.
+        for cut in 0..=stream.len() {
+            let mut fb = FrameBuffer::new();
+            fb.extend(&stream[..cut]);
+            let mut got = Vec::new();
+            while let Some(body) = fb.next_frame().unwrap() {
+                got.push(body);
+            }
+            fb.extend(&stream[cut..]);
+            while let Some(body) = fb.next_frame().unwrap() {
+                got.push(body);
+            }
+            assert_eq!(got, bodies.to_vec(), "split at {cut}");
+        }
+        // And byte-at-a-time arrival resumes the parse, never
+        // re-scanning: the cached pending length survives each call.
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for &byte in &stream {
+            fb.extend(&[byte]);
+            while let Some(body) = fb.next_frame().unwrap() {
+                got.push(body);
+            }
+        }
+        assert_eq!(got, bodies.to_vec());
+        assert_eq!(fb.available(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_bad_length_and_checksum() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(MAX_BODY + 1).to_le_bytes());
+        assert!(matches!(fb.next_frame(), Err(FrameError::BadLength { .. })));
+        let mut fb = FrameBuffer::new();
+        fb.extend(&0u32.to_le_bytes());
+        assert!(matches!(
+            fb.next_frame(),
+            Err(FrameError::BadLength { len: 0 })
+        ));
+        let mut damaged = frame_of(&hello());
+        let at = damaged.len() - 3; // inside the trailing checksum
+        damaged[at] ^= 0x40;
+        let mut fb = FrameBuffer::new();
+        fb.extend(&damaged);
+        assert!(matches!(fb.next_frame(), Err(FrameError::Checksum)));
+    }
+
+    #[test]
+    fn frame_buffer_has_work_tracks_progress() {
+        let frame = frame_of(&hello());
+        let mut fb = FrameBuffer::new();
+        assert!(!fb.has_work());
+        fb.extend(&frame[..frame.len() - 1]);
+        assert!(!fb.has_work(), "torn frame is not workable");
+        fb.extend(&frame[frame.len() - 1..]);
+        assert!(fb.has_work());
+        fb.next_frame().unwrap().unwrap();
+        assert!(!fb.has_work());
+        // A known-bad prefix counts as work: the damage wants reporting.
+        fb.extend(&(MAX_BODY + 1).to_le_bytes());
+        assert!(fb.has_work());
+    }
+
+    #[test]
+    fn frame_buffer_compacts_consumed_prefix() {
+        let frame = frame_of(&hello());
+        let mut fb = FrameBuffer::new();
+        for _ in 0..3 {
+            fb.extend(&frame);
+        }
+        assert!(fb.next_frame().unwrap().is_some());
+        assert!(fb.pos > 0, "mid-stream keeps the offset");
+        assert!(fb.next_frame().unwrap().is_some());
+        assert!(fb.next_frame().unwrap().is_some());
+        assert_eq!(fb.pos, 0, "fully-consumed buffer resets");
+        assert!(fb.buf.is_empty());
+    }
+
+    #[test]
+    fn wheel_files_and_expires_lazily() {
+        let now = Instant::now();
+        let mut wheel = Wheel::new(Duration::from_millis(400), now);
+        wheel.schedule(3, 0, now + Duration::from_millis(30), now);
+        let mut due = Vec::new();
+        wheel.advance(now + Duration::from_millis(5), &mut due);
+        assert!(due.is_empty(), "slot not due yet");
+        wheel.advance(now + Duration::from_secs(2), &mut due);
+        assert_eq!(due, vec![(3, 0)], "slot came due after the rotation");
+    }
+}

@@ -1,11 +1,16 @@
-//! The threaded TCP server: framing loop, admission control, and the
-//! HTTP admin endpoint.
+//! The TCP server: framing loop, admission control, and the HTTP admin
+//! endpoint, behind a choice of two I/O models.
 //!
-//! One OS thread per connection over blocking I/O — the right trade for
-//! this workload: a connection's requests are strictly sequential (the
-//! protocol is request/response), the farm's read path is wait-free, so
-//! threads spend their lives parked in `read()` costing a stack apiece.
-//! Admission control bounds that cost: past
+//! The default [`IoModel::Threads`] runs one OS thread per connection
+//! over blocking I/O — a fine trade at modest concurrency: a
+//! connection's requests are strictly sequential (the protocol is
+//! request/response), the farm's read path is wait-free, so threads
+//! spend their lives parked in `read()` costing a stack apiece.
+//! [`IoModel::Epoll`] (Linux only; see [`crate::reactor`]) replaces the
+//! parked threads with a few reactor threads multiplexing nonblocking
+//! connection state machines — same protocol, same farm, byte-identical
+//! responses, a fraction of the memory at high connection counts.
+//! Admission control bounds the cost either way: past
 //! [`ServerConfig::max_connections`] a new connection receives one
 //! [`ErrorCode::Busy`] frame and is closed, deterministically, instead
 //! of queueing invisibly in the accept backlog.
@@ -96,6 +101,41 @@ impl Default for ObsConfig {
     }
 }
 
+/// Which I/O model the server multiplexes connections with. The wire
+/// behaviour is identical either way — the reactor is pinned
+/// byte-for-byte against the threaded model — only the cost model
+/// differs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IoModel {
+    /// One blocking OS thread per connection. The default and the
+    /// portability fallback: works everywhere std does.
+    #[default]
+    Threads,
+    /// A small set of epoll reactor threads driving nonblocking
+    /// connection state machines (Linux only). Scales to thousands of
+    /// mostly-idle connections without a parked stack apiece.
+    Epoll,
+}
+
+impl IoModel {
+    /// Parses the `--io-model` flag spelling.
+    pub fn parse(s: &str) -> Option<IoModel> {
+        match s {
+            "threads" => Some(IoModel::Threads),
+            "epoll" => Some(IoModel::Epoll),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling, for usage text and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoModel::Threads => "threads",
+            IoModel::Epoll => "epoll",
+        }
+    }
+}
+
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -133,6 +173,17 @@ pub struct ServerConfig {
     /// probe directory stays cache-resident on one core. `0` (the
     /// default) answers reads on the connection thread.
     pub shards: usize,
+    /// How connections are multiplexed: blocking threads (default) or
+    /// the epoll reactor.
+    pub io_model: IoModel,
+    /// Reactor threads under [`IoModel::Epoll`]; `0` (the default) runs
+    /// one per available core.
+    pub reactors: usize,
+    /// Fairness cap: the most pipelined requests one connection is
+    /// served back-to-back before the server yields to its peers — per
+    /// readiness event under the reactor, per yield point under the
+    /// threaded model.
+    pub max_frames_per_turn: usize,
 }
 
 impl Default for ServerConfig {
@@ -148,12 +199,15 @@ impl Default for ServerConfig {
             retain_epochs: 1,
             read_only: false,
             shards: 0,
+            io_model: IoModel::default(),
+            reactors: 0,
+            max_frames_per_turn: 32,
         }
     }
 }
 
-/// State shared by every connection thread.
-struct Shared {
+/// State shared by every connection, whichever I/O model drives it.
+pub(crate) struct Shared {
     farm: Arc<Farm>,
     obs: Option<ObsState>,
     shards: Option<ShardPool>,
@@ -201,12 +255,87 @@ impl ObsState {
     }
 }
 
+/// The shutdown doorbell: a wakeup fd the acceptor polls beside the
+/// listener, so stopping the server never needs the old "throwaway
+/// connect to unblock accept" hack. Shared by both I/O models (the
+/// reactors carry their own per-thread doorbells on top).
+#[cfg(target_os = "linux")]
+pub(crate) struct Wakeup(crate::sys::EventFd);
+
+#[cfg(target_os = "linux")]
+impl Wakeup {
+    fn new() -> io::Result<Wakeup> {
+        Ok(Wakeup(crate::sys::EventFd::new()?))
+    }
+
+    fn raw(&self) -> std::os::unix::io::RawFd {
+        self.0.raw()
+    }
+
+    fn signal(&self) {
+        self.0.signal();
+    }
+
+    fn drain(&self) {
+        self.0.drain();
+    }
+}
+
+/// Connection admission state shared between the acceptor and whichever
+/// side retires connections (connection threads, reactors, or handoff
+/// threads).
+pub(crate) struct ConnCount {
+    active: AtomicUsize,
+    max: usize,
+    gauge: Arc<cpplookup_obs::Gauge>,
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+}
+
+impl ConnCount {
+    fn new(max: usize) -> ConnCount {
+        let obs = cpplookup_obs::global();
+        ConnCount {
+            active: AtomicUsize::new(0),
+            max,
+            gauge: obs.gauge("server_connections", "connections currently open"),
+            accepted: obs.counter("server_connections_total", "connections accepted"),
+            rejected: obs.counter(
+                "server_rejected_total",
+                "connections refused by admission control",
+            ),
+        }
+    }
+
+    /// Claims a connection slot; `false` means the caller must refuse.
+    fn try_admit(&self) -> bool {
+        if self.active.load(Ordering::SeqCst) >= self.max {
+            self.rejected.inc();
+            return false;
+        }
+        self.accepted.inc();
+        self.active.fetch_add(1, Ordering::SeqCst);
+        self.gauge.add(1);
+        true
+    }
+
+    /// Returns a slot claimed by [`try_admit`](ConnCount::try_admit).
+    pub(crate) fn release(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        self.gauge.add(-1);
+    }
+}
+
 /// A running server; dropping it (or calling
 /// [`shutdown`](Server::shutdown)) stops the acceptor.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     stop: Arc<AtomicBool>,
+    #[cfg(target_os = "linux")]
+    wake: Arc<Wakeup>,
+    #[cfg(target_os = "linux")]
+    reactors: Option<Arc<crate::reactor::ReactorSet>>,
     acceptor: Option<thread::JoinHandle<()>>,
 }
 
@@ -273,17 +402,64 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let stop = Arc::clone(&stop);
-            thread::spawn(move || accept_loop(listener, shared, stop, config))
-        };
-        Ok(Server {
-            addr,
-            shared,
-            stop,
-            acceptor: Some(acceptor),
-        })
+        let count = Arc::new(ConnCount::new(config.max_connections));
+        cpplookup_obs::global()
+            .gauge(
+                "server_io_model",
+                "active I/O model (0 = threads, 1 = epoll reactor)",
+            )
+            .set(match config.io_model {
+                IoModel::Threads => 0,
+                IoModel::Epoll => 1,
+            });
+        #[cfg(target_os = "linux")]
+        {
+            let wake = Arc::new(Wakeup::new()?);
+            let reactors = match config.io_model {
+                IoModel::Epoll => Some(crate::reactor::ReactorSet::start(
+                    Arc::clone(&shared),
+                    &config,
+                    Arc::clone(&count),
+                )?),
+                IoModel::Threads => None,
+            };
+            let acceptor = {
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                let wake = Arc::clone(&wake);
+                let reactors = reactors.clone();
+                thread::spawn(move || {
+                    accept_loop(listener, shared, stop, config, count, wake, reactors)
+                })
+            };
+            Ok(Server {
+                addr,
+                shared,
+                stop,
+                wake,
+                reactors,
+                acceptor: Some(acceptor),
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            if config.io_model == IoModel::Epoll {
+                return Err(io::Error::other(
+                    "--io-model epoll needs Linux; the threads model is the portable fallback",
+                ));
+            }
+            let acceptor = {
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || accept_loop(listener, shared, stop, config, count))
+            };
+            Ok(Server {
+                addr,
+                shared,
+                stop,
+                acceptor: Some(acceptor),
+            })
+        }
     }
 
     /// The bound address (with the real port when `addr` asked for 0).
@@ -301,14 +477,26 @@ impl Server {
         self.shared.obs.as_ref().map(|o| &o.recorder)
     }
 
-    /// Stops the acceptor and waits for it. Already-open connections
-    /// drain on their own threads.
+    /// Stops the acceptor and waits for it. Under the threaded model
+    /// already-open connections drain on their own threads; under the
+    /// reactor the reactors are stopped and their connections closed.
     pub fn shutdown(&mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             self.stop.store(true, Ordering::SeqCst);
-            // Unblock the blocking accept with one throwaway connect.
-            let _ = TcpStream::connect(self.addr);
+            // Ring the doorbell the acceptor polls beside the listener.
+            #[cfg(target_os = "linux")]
+            self.wake.signal();
+            // Portable fallback: no pollable wakeup without the syscall
+            // shim, so unblock the accept with one throwaway connect.
+            #[cfg(not(target_os = "linux"))]
+            {
+                let _ = TcpStream::connect(self.addr);
+            }
             let _ = acceptor.join();
+            #[cfg(target_os = "linux")]
+            if let Some(reactors) = self.reactors.take() {
+                reactors.shutdown();
+            }
         }
     }
 }
@@ -319,44 +507,99 @@ impl Drop for Server {
     }
 }
 
+/// Admits one accepted stream: refuses over the limit, otherwise hands
+/// it to a reactor (epoll model) or a fresh connection thread.
+fn admit(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    cfg: &ServerConfig,
+    count: &Arc<ConnCount>,
+    #[cfg(target_os = "linux")] reactors: &Option<Arc<crate::reactor::ReactorSet>>,
+) {
+    if !count.try_admit() {
+        refuse(stream);
+        return;
+    }
+    #[cfg(target_os = "linux")]
+    if let Some(set) = reactors {
+        set.dispatch(stream);
+        return;
+    }
+    let shared = Arc::clone(shared);
+    let count = Arc::clone(count);
+    let timeout = cfg.read_timeout;
+    let cap = cfg.max_frames_per_turn.max(1);
+    thread::spawn(move || {
+        let _ = stream.set_read_timeout(timeout);
+        let _ = stream.set_nodelay(true);
+        serve_connection(stream, &shared, cap);
+        count.release();
+    });
+}
+
+#[cfg(target_os = "linux")]
 fn accept_loop(
     listener: TcpListener,
     shared: Arc<Shared>,
     stop: Arc<AtomicBool>,
     cfg: ServerConfig,
+    count: Arc<ConnCount>,
+    wake: Arc<Wakeup>,
+    reactors: Option<Arc<crate::reactor::ReactorSet>>,
 ) {
-    let obs = cpplookup_obs::global();
-    let active = Arc::new(AtomicUsize::new(0));
-    let active_gauge = obs.gauge("server_connections", "connections currently open");
-    let accepted = obs.counter("server_connections_total", "connections accepted");
-    let rejected = obs.counter(
-        "server_rejected_total",
-        "connections refused by admission control",
-    );
+    use std::os::unix::io::AsRawFd;
+    // Nonblocking accept polled beside the shutdown doorbell: shutdown
+    // is one eventfd write away, with no connect-to-self hack.
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let readable = match crate::sys::wait_two_readable(listener.as_raw_fd(), wake.raw(), 500) {
+            Ok((l, w)) => {
+                if w {
+                    wake.drain();
+                }
+                l
+            }
+            Err(_) => {
+                thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if !readable {
+            continue;
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => admit(stream, &shared, &cfg, &count, &reactors),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    cfg: ServerConfig,
+    count: Arc<ConnCount>,
+) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        if active.load(Ordering::SeqCst) >= cfg.max_connections {
-            rejected.inc();
-            refuse(stream);
-            continue;
-        }
-        accepted.inc();
-        active.fetch_add(1, Ordering::SeqCst);
-        active_gauge.add(1);
-        let shared = Arc::clone(&shared);
-        let active = Arc::clone(&active);
-        let active_gauge = Arc::clone(&active_gauge);
-        let timeout = cfg.read_timeout;
-        thread::spawn(move || {
-            let _ = stream.set_read_timeout(timeout);
-            let _ = stream.set_nodelay(true);
-            serve_connection(stream, &shared);
-            active.fetch_sub(1, Ordering::SeqCst);
-            active_gauge.add(-1);
-        });
+        admit(stream, &shared, &cfg, &count);
     }
 }
 
@@ -404,17 +647,141 @@ impl ReqMeta {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, shared: &Shared) {
-    let requests = cpplookup_obs::global().counter_family(
-        "server_requests_total",
-        "requests served, by operation",
-        "op",
-    );
-    let errors = cpplookup_obs::global().counter_family(
-        "server_errors_total",
-        "error responses sent, by code",
-        "code",
-    );
+/// The per-operation request/error counter families, resolved once per
+/// connection (threaded model) or per reactor.
+pub(crate) struct ReqCounters {
+    requests: Arc<cpplookup_obs::Family>,
+    errors: Arc<cpplookup_obs::Family>,
+}
+
+impl ReqCounters {
+    pub(crate) fn new() -> ReqCounters {
+        let obs = cpplookup_obs::global();
+        ReqCounters {
+            requests: obs.counter_family(
+                "server_requests_total",
+                "requests served, by operation",
+                "op",
+            ),
+            errors: obs.counter_family(
+                "server_errors_total",
+                "error responses sent, by code",
+                "code",
+            ),
+        }
+    }
+}
+
+/// What a processed request body asks of the connection driver.
+pub(crate) enum Action {
+    /// Send this response frame body back.
+    Reply(Vec<u8>),
+    /// The connection becomes a replication subscription: hand the
+    /// stream to [`serve_subscription`].
+    Subscribe {
+        /// Stream the edit log after this sequence number.
+        from_seq: u64,
+    },
+}
+
+/// The response frame for frame-level damage, or `None` when the peer
+/// simply went away (truncation / transport error — close quietly).
+/// Either way the stream position can no longer be trusted: the caller
+/// must close after sending.
+pub(crate) fn frame_damage_response(counters: &ReqCounters, err: &FrameError) -> Option<Vec<u8>> {
+    let (code, message) = match err {
+        FrameError::BadLength { len } => (
+            ErrorCode::BadLength,
+            format!("frame length {len} outside bounds"),
+        ),
+        FrameError::Checksum => (ErrorCode::BadFrame, "frame checksum mismatch".to_owned()),
+        FrameError::Eof | FrameError::Io(_) => return None,
+    };
+    counters.errors.with_label(code.label()).inc();
+    Some(Response::Error { code, message }.encode())
+}
+
+/// Executes one request body — decode, dispatch, encode, metrics — and
+/// returns what to do with the connection. This is the request core
+/// both I/O models share, so their responses are byte-identical by
+/// construction. `t0` is when the frame became the server's to read
+/// (or, under the reactor, to process) and `t1` when its bytes were
+/// fully acquired; together with the decode and farm phase stamps they
+/// cut the traced span tree's exact partition.
+pub(crate) fn process_body(
+    shared: &Shared,
+    counters: &ReqCounters,
+    body: &[u8],
+    t0: Instant,
+    t1: Instant,
+) -> Action {
+    if let Some(obs) = &shared.obs {
+        obs.bytes_read.add((4 + body.len() + 8) as u64);
+    }
+    let decoded = Request::decode(body);
+    let t2 = Instant::now();
+    let (meta, outcome) = match decoded {
+        Ok(Request::Subscribe { from_seq }) => {
+            // A subscription takes over the connection: from here the
+            // stream speaks nothing but replicated records.
+            counters.requests.with_label("subscribe").inc();
+            return Action::Subscribe { from_seq };
+        }
+        Ok(req) => {
+            counters.requests.with_label(op_label(&req)).inc();
+            (ReqMeta::of(&req), handle(shared, req))
+        }
+        // Payload-level damage: framing is intact, keep going.
+        Err((code, message)) => (
+            ReqMeta {
+                op: "invalid",
+                tenant: String::new(),
+                trace: false,
+            },
+            (Response::Error { code, message }, None),
+        ),
+    };
+    let (response, timing) = outcome;
+    if let Response::Error { code, .. } = &response {
+        counters.errors.with_label(code.label()).inc();
+    }
+    let outcome_label = match &response {
+        Response::Error { code, .. } => code.label(),
+        _ => "ok",
+    };
+    // A traced probe that succeeded answers with its span tree;
+    // everything else (including traced probes that failed) uses the
+    // plain encoding.
+    let mut spans: Vec<Span> = Vec::new();
+    let frame_body = match (&response, meta.trace, timing) {
+        (Response::Outcome(o), true, Some(t)) => {
+            traced_body(std::slice::from_ref(o), t0, t1, t2, t, &mut spans)
+        }
+        (Response::Outcomes(os), true, Some(t)) => traced_body(os, t0, t1, t2, t, &mut spans),
+        _ => response.encode(),
+    };
+    if let Some(obs) = &shared.obs {
+        obs.bytes_written.add((4 + frame_body.len() + 8) as u64);
+        let latency_ns = t0.elapsed().as_nanos() as u64;
+        if !meta.tenant.is_empty() {
+            obs.queries_by_tenant
+                .with_labels(&meta.tenant, meta.op)
+                .inc();
+            if matches!(meta.op, "query" | "batch") {
+                obs.latency_by_tenant
+                    .with_label(&meta.tenant)
+                    .observe(latency_ns);
+            }
+        }
+        obs.recorder
+            .record(&meta.tenant, meta.op, outcome_label, latency_ns, &spans);
+    }
+    Action::Reply(frame_body)
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared, max_frames_per_turn: usize) {
+    let counters = ReqCounters::new();
+    let mut served = 0u64;
     loop {
         // Read the 4-byte prefix ourselves so the first bytes can be
         // sniffed for HTTP admin traffic.
@@ -423,106 +790,41 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             return;
         }
         if &prefix == b"GET " {
-            serve_admin(stream, shared);
+            serve_admin(stream, shared, &[]);
             return;
         }
-        // t0: request visible. t1: frame fully read. t2: decoded.
+        // t0: request visible. t1: frame fully read.
         let t0 = Instant::now();
         let body = match read_frame_body(&mut stream, u32::from_le_bytes(prefix)) {
             Ok(body) => body,
-            Err(FrameError::BadLength { len }) => {
-                // The stream position is garbage from here; answer and
-                // close.
-                errors.with_label(ErrorCode::BadLength.label()).inc();
-                respond(
-                    &mut stream,
-                    Response::Error {
-                        code: ErrorCode::BadLength,
-                        message: format!("frame length {len} outside bounds"),
-                    },
-                );
+            Err(e) => {
+                // Frame-level damage answers once, then closes — the
+                // stream position is garbage from here. Truncation or
+                // I/O failure closes quietly.
+                if let Some(frame) = frame_damage_response(&counters, &e) {
+                    let _ = write_frame(&mut stream, &frame);
+                }
                 return;
             }
-            Err(FrameError::Checksum) => {
-                errors.with_label(ErrorCode::BadFrame.label()).inc();
-                respond(
-                    &mut stream,
-                    Response::Error {
-                        code: ErrorCode::BadFrame,
-                        message: "frame checksum mismatch".to_owned(),
-                    },
-                );
-                return;
-            }
-            // Truncation or I/O failure: nothing sensible to say.
-            Err(FrameError::Eof) | Err(FrameError::Io(_)) => return,
         };
         let t1 = Instant::now();
-        if let Some(obs) = &shared.obs {
-            obs.bytes_read.add((4 + body.len() + 8) as u64);
-        }
-        let decoded = Request::decode(&body);
-        let t2 = Instant::now();
-        let (meta, outcome) = match decoded {
-            Ok(Request::Subscribe { from_seq }) => {
-                // A subscription takes over the connection: from here
-                // the stream speaks nothing but replicated records.
-                requests.with_label("subscribe").inc();
+        match process_body(shared, &counters, &body, t0, t1) {
+            Action::Subscribe { from_seq } => {
                 serve_subscription(stream, shared, from_seq);
                 return;
             }
-            Ok(req) => {
-                requests.with_label(op_label(&req)).inc();
-                (ReqMeta::of(&req), handle(shared, req))
-            }
-            // Payload-level damage: framing is intact, keep going.
-            Err((code, message)) => (
-                ReqMeta {
-                    op: "invalid",
-                    tenant: String::new(),
-                    trace: false,
-                },
-                (Response::Error { code, message }, None),
-            ),
-        };
-        let (response, timing) = outcome;
-        if let Response::Error { code, .. } = &response {
-            errors.with_label(code.label()).inc();
-        }
-        let outcome_label = match &response {
-            Response::Error { code, .. } => code.label(),
-            _ => "ok",
-        };
-        // A traced probe that succeeded answers with its span tree;
-        // everything else (including traced probes that failed) uses
-        // the plain encoding.
-        let mut spans: Vec<Span> = Vec::new();
-        let frame_body = match (&response, meta.trace, timing) {
-            (Response::Outcome(o), true, Some(t)) => {
-                traced_body(std::slice::from_ref(o), t0, t1, t2, t, &mut spans)
-            }
-            (Response::Outcomes(os), true, Some(t)) => traced_body(os, t0, t1, t2, t, &mut spans),
-            _ => response.encode(),
-        };
-        let wrote = write_frame(&mut stream, &frame_body).is_ok();
-        if let Some(obs) = &shared.obs {
-            obs.bytes_written.add((4 + frame_body.len() + 8) as u64);
-            let latency_ns = t0.elapsed().as_nanos() as u64;
-            if !meta.tenant.is_empty() {
-                obs.queries_by_tenant
-                    .with_labels(&meta.tenant, meta.op)
-                    .inc();
-                if matches!(meta.op, "query" | "batch") {
-                    obs.latency_by_tenant
-                        .with_label(&meta.tenant)
-                        .observe(latency_ns);
+            Action::Reply(frame) => {
+                if write_frame(&mut stream, &frame).is_err() {
+                    return;
                 }
             }
-            obs.recorder
-                .record(&meta.tenant, meta.op, outcome_label, latency_ns, &spans);
         }
-        if !wrote {
-            return;
+        // Fairness: a client pipelining an unbroken run of requests
+        // yields the core periodically so its peers' threads run —
+        // the threaded model's analogue of the reactor's per-event cap.
+        served += 1;
+        if served.is_multiple_of(max_frames_per_turn.max(1) as u64) {
+            thread::yield_now();
         }
     }
 }
@@ -702,7 +1004,7 @@ fn handle(shared: &Shared, req: Request) -> (Response, Option<ProbeTiming>) {
 /// disconnects. The subscriber is expected to stay quiet — its ACKs
 /// travel on a separate connection — so inbound bytes (or EOF) end the
 /// stream.
-fn serve_subscription(mut stream: TcpStream, shared: &Shared, from_seq: u64) {
+pub(crate) fn serve_subscription(mut stream: TcpStream, shared: &Shared, from_seq: u64) {
     let Some(wal) = shared.farm.wal().cloned() else {
         respond(
             &mut stream,
@@ -797,12 +1099,20 @@ fn read_exact_or_close(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), ()>
 
 /// Serves one HTTP request on a connection whose first bytes were
 /// `GET `; the rest of the header is read (bounded) and discarded
-/// beyond the request target.
-fn serve_admin(mut stream: TcpStream, shared: &Shared) {
-    // Read until the end of the header block or an 8 KiB cap.
+/// beyond the request target. `prefill` is any bytes past the sniffed
+/// `GET ` that the caller already pulled off the socket — the reactor
+/// hands over whatever its read buffer holds.
+pub(crate) fn serve_admin(mut stream: TcpStream, shared: &Shared, prefill: &[u8]) {
+    // Read until the end of the header block or an 8 KiB cap, consuming
+    // the prefill before touching the socket again.
     let mut header = Vec::with_capacity(256);
+    let mut pre = prefill.iter();
     let mut byte = [0u8; 1];
     while header.len() < 8192 && !header.ends_with(b"\r\n\r\n") {
+        if let Some(&b) = pre.next() {
+            header.push(b);
+            continue;
+        }
         match stream.read(&mut byte) {
             Ok(1) => header.push(byte[0]),
             Ok(_) => break,

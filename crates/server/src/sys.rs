@@ -1,0 +1,276 @@
+//! Thin syscall shim for the epoll reactor: `epoll`, `eventfd`, and
+//! `poll`, declared straight against libc (which std already links on
+//! Linux — no new dependency) and wrapped in owned, close-on-drop
+//! types.
+//!
+//! This is the only module in the crate allowed to use `unsafe`; the
+//! crate root carries `#![deny(unsafe_code)]` and everything above this
+//! layer works with safe wrappers: [`Epoll`], [`EventFd`], and
+//! [`wait_two_readable`]. The module is compiled on Linux only — the
+//! threaded I/O model is the portability fallback and never reaches
+//! here.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::RawFd;
+
+// Values from the Linux x86-64 ABI headers. `epoll_event` is packed on
+// x86-64 (the kernel ABI declares it `__attribute__((packed))` there).
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+/// Readiness: data to read.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: writable without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Condition: error on the fd (always reported, never registered).
+pub const EPOLLERR: u32 = 0x008;
+/// Condition: hangup (always reported, never registered).
+pub const EPOLLHUP: u32 = 0x010;
+/// Condition: peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+const POLLIN: i16 = 0x001;
+
+/// One `struct epoll_event`, as the kernel lays it out on x86-64.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bitmask (`EPOLLIN` | `EPOLLOUT` | ...).
+    pub events: u32,
+    /// The caller's token, returned verbatim with each event.
+    pub token: u64,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: c_int,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance; closed on drop.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// A fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Epoll> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, token };
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Registers `fd` with interest `events`, tagging its readiness
+    /// reports with `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Replaces `fd`'s registered interest set.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregisters `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` (`-1` = forever, `0` = poll) for
+    /// readiness, filling `events` from the front; returns how many
+    /// entries are valid. A signal-interrupted wait reports zero events
+    /// rather than an error.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len().min(c_int::MAX as usize) as c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// An owned eventfd used as a wakeup doorbell: any thread can
+/// [`signal`](EventFd::signal) it, and a reader registered on its fd
+/// wakes and [`drain`](EventFd::drain)s. Nonblocking; closed on drop.
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// A fresh nonblocking eventfd.
+    pub fn new() -> io::Result<EventFd> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(EventFd { fd })
+    }
+
+    /// The raw fd, for registration with an [`Epoll`] or [`wait_two_readable`].
+    pub fn raw(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Rings the doorbell. Never blocks: the counter saturating (a
+    /// reader is behind) still leaves it readable, which is all a
+    /// wakeup needs.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        unsafe { write(self.fd, (&raw const one).cast(), 8) };
+    }
+
+    /// Clears the counter so the fd stops reporting readable.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        unsafe { read(self.fd, (&raw mut buf).cast(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Blocks until `a` or `b` is readable (or `timeout_ms` passes; `-1` =
+/// forever), reporting which. The acceptor's idiom: wait on the listener
+/// and the shutdown doorbell at once, with no throwaway connection.
+pub fn wait_two_readable(a: RawFd, b: RawFd, timeout_ms: i32) -> io::Result<(bool, bool)> {
+    let mut fds = [
+        PollFd {
+            fd: a,
+            events: POLLIN,
+            revents: 0,
+        },
+        PollFd {
+            fd: b,
+            events: POLLIN,
+            revents: 0,
+        },
+    ];
+    let n = unsafe { poll(fds.as_mut_ptr(), 2, timeout_ms) };
+    if n < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok((false, false));
+        }
+        return Err(err);
+    }
+    Ok((fds[0].revents != 0, fds[1].revents != 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_signals_and_drains() {
+        let efd = EventFd::new().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(efd.raw(), EPOLLIN, 7).unwrap();
+        let mut events = [EpollEvent {
+            events: 0,
+            token: 0,
+        }; 4];
+        // Unsignalled: a zero-timeout wait reports nothing.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+        efd.signal();
+        efd.signal();
+        assert_eq!(ep.wait(&mut events, 1000).unwrap(), 1);
+        let first = events[0];
+        assert_eq!({ first.token }, 7);
+        efd.drain();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn epoll_reports_socket_readiness() {
+        use std::io::Write;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        {
+            use std::os::unix::io::AsRawFd;
+            ep.add(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 42)
+                .unwrap();
+        }
+        let mut events = [EpollEvent {
+            events: 0,
+            token: 0,
+        }; 4];
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0, "idle socket");
+        client.write_all(b"ping").unwrap();
+        assert_eq!(ep.wait(&mut events, 1000).unwrap(), 1);
+        let first = events[0];
+        assert_eq!({ first.token }, 42);
+        assert_ne!({ first.events } & EPOLLIN, 0);
+        drop(client);
+        assert_eq!(ep.wait(&mut events, 1000).unwrap(), 1);
+        let first = events[0];
+        assert_ne!({ first.events } & (EPOLLRDHUP | EPOLLHUP | EPOLLIN), 0);
+    }
+
+    #[test]
+    fn wait_two_readable_sees_the_doorbell() {
+        let a = EventFd::new().unwrap();
+        let b = EventFd::new().unwrap();
+        assert_eq!(
+            wait_two_readable(a.raw(), b.raw(), 0).unwrap(),
+            (false, false)
+        );
+        b.signal();
+        assert_eq!(
+            wait_two_readable(a.raw(), b.raw(), 1000).unwrap(),
+            (false, true)
+        );
+    }
+}

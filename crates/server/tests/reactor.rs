@@ -1,0 +1,522 @@
+//! The epoll reactor is an I/O-model swap, not a semantic one: over
+//! any wire session, a `--io-model epoll` server must answer
+//! byte-identically to a `--io-model threads` server — across every
+//! possible partial-read reassembly, pipelining burst, torn frame, and
+//! damaged frame. These tests pin that, plus the reactor-specific
+//! behaviors: fairness under pipelining, idle timeouts, admin and
+//! subscription handoff, and prompt shutdown without the old
+//! throwaway-connect hack.
+#![cfg(target_os = "linux")]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::net::{Shutdown, SocketAddr};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use cpplookup_chg::{fixtures, Chg};
+use cpplookup_server::client::Client;
+use cpplookup_server::protocol::{
+    read_frame, write_frame, FrameError, Request, Response, WireOutcome, PROTOCOL_VERSION,
+};
+use cpplookup_server::server::{IoModel, Server, ServerConfig};
+use cpplookup_snapshot::Snapshot;
+use proptest::prelude::*;
+
+/// A throwaway directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!("cpplookup-reactor-{tag}-{nanos:x}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn write_snapshot(chg: &Chg, path: &Path) {
+    Snapshot::compile(chg).write_to(path).unwrap();
+}
+
+fn config(io_model: IoModel, preload: &[(String, PathBuf)]) -> ServerConfig {
+    ServerConfig {
+        io_model,
+        preload: preload.to_vec(),
+        ..ServerConfig::default()
+    }
+}
+
+/// A server pair over identical preloads: the reactor under test and
+/// the threaded reference.
+fn start_pair(preload: &[(String, PathBuf)]) -> (Server, Server) {
+    let epoll = Server::start(config(IoModel::Epoll, preload)).unwrap();
+    let threads = Server::start(config(IoModel::Threads, preload)).unwrap();
+    (epoll, threads)
+}
+
+fn frame_of(req: &Request) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &req.encode()).unwrap();
+    wire
+}
+
+/// Plays a raw byte stream at a server — written as the given chunks,
+/// flushed between each — and collects one response frame per request.
+fn play_chunks(addr: SocketAddr, chunks: &[&[u8]], expect: usize) -> Vec<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    for chunk in chunks {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+    }
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut responses = Vec::with_capacity(expect);
+    for _ in 0..expect {
+        responses.push(read_frame(&mut stream).unwrap());
+    }
+    assert!(
+        matches!(read_frame(&mut stream), Err(FrameError::Eof)),
+        "server must close cleanly after the write half shuts"
+    );
+    responses
+}
+
+/// Plays a full session (one write) at a server.
+fn play(addr: SocketAddr, requests: &[Request]) -> Vec<Vec<u8>> {
+    let wire: Vec<u8> = requests.iter().flat_map(frame_of).collect();
+    play_chunks(addr, &[&wire], requests.len())
+}
+
+/// One snapshot, loadable by both servers of a pair.
+fn fig2_preload(dir: &TempDir) -> Vec<(String, PathBuf)> {
+    let snap = dir.file("fig2.snap");
+    write_snapshot(&fixtures::fig2(), &snap);
+    vec![("t0".to_owned(), snap)]
+}
+
+fn query(class: &str, member: &str) -> Request {
+    Request::Query {
+        tenant: "t0".to_owned(),
+        class: class.to_owned(),
+        member: member.to_owned(),
+        trace: false,
+        as_of: None,
+    }
+}
+
+/// A deterministic-response session exercising every pinnable opcode:
+/// hello, point queries (hit, miss, unknown-name error), batch, edits,
+/// as-of reads back at the pre-edit epoch, and stats.
+fn recorded_session() -> Vec<Request> {
+    vec![
+        Request::Hello {
+            version: PROTOCOL_VERSION,
+        },
+        query("E", "m"),
+        query("A", "m"),
+        query("E", "nope"),
+        Request::Batch {
+            tenant: "t0".to_owned(),
+            probes: vec![
+                ("E".to_owned(), "m".to_owned()),
+                ("C".to_owned(), "m".to_owned()),
+                ("A".to_owned(), "m".to_owned()),
+            ],
+            trace: false,
+            as_of: None,
+        },
+        Request::Edit {
+            tenant: "t0".to_owned(),
+            directive: "member E fresh".to_owned(),
+        },
+        query("E", "fresh"),
+        Request::Query {
+            tenant: "t0".to_owned(),
+            class: "E".to_owned(),
+            member: "fresh".to_owned(),
+            trace: false,
+            as_of: Some(1),
+        },
+        Request::Stats {
+            tenant: "t0".to_owned(),
+        },
+        query("E", "m"),
+    ]
+}
+
+/// The epoll model must answer the full recorded session byte-for-byte
+/// like the threaded model, and both `Client` conveniences must work
+/// against it unchanged.
+#[test]
+fn epoll_full_session_matches_threads_byte_for_byte() {
+    let dir = TempDir::new("differential");
+    let preload = fig2_preload(&dir);
+    let (epoll, threads) = start_pair(&preload);
+    let session = recorded_session();
+    let got = play(epoll.addr(), &session);
+    let want = play(threads.addr(), &session);
+    assert_eq!(got, want, "reactor diverged from the threaded model");
+
+    // The blocking client speaks to the reactor unchanged.
+    let mut c = Client::connect(epoll.addr(), Some(Duration::from_secs(10))).unwrap();
+    assert_eq!(c.hello().unwrap(), 1);
+    match c.query("t0", "E", "m").unwrap() {
+        WireOutcome::Resolved { class, .. } => assert_eq!(class, "D"),
+        other => panic!("unexpected {other:?}"),
+    }
+    // The io-model gauge is exported (its value is process-global, so
+    // concurrent tests starting threaded servers may overwrite it —
+    // asserting presence here, the value in e27-smoke's single-server
+    // runs).
+    assert!(c.metrics().unwrap().contains("server_io_model"));
+}
+
+/// Traced responses carry measured durations, so they are compared
+/// structurally: same outcome, same span tree shape, and the exact
+/// six-phase partition must hold under the reactor too.
+#[test]
+fn epoll_traced_partition_stays_exact() {
+    let dir = TempDir::new("traced");
+    let preload = fig2_preload(&dir);
+    let (epoll, threads) = start_pair(&preload);
+    let spans_of = |server: &Server| {
+        let mut c = Client::connect(server.addr(), Some(Duration::from_secs(10))).unwrap();
+        c.query_traced("t0", "E", "m").unwrap()
+    };
+    let (outcome_e, spans_e) = spans_of(&epoll);
+    let (outcome_t, spans_t) = spans_of(&threads);
+    assert_eq!(outcome_e, outcome_t);
+    let shape = |s: &[cpplookup_server::WireSpan]| -> Vec<(u64, u64, String)> {
+        s.iter()
+            .map(|x| (x.id, x.parent, x.label.clone()))
+            .collect()
+    };
+    assert_eq!(shape(&spans_e), shape(&spans_t), "span trees must match");
+    // Exact partition: children chain contiguously and sum to the root.
+    let root = &spans_e[0];
+    let mut cursor = 0u64;
+    for span in &spans_e[1..] {
+        assert_eq!(span.parent_id(), Some(root.id));
+        assert_eq!(span.start_ns, cursor, "phases must stay contiguous");
+        cursor += span.duration_ns;
+    }
+    assert_eq!(cursor, root.duration_ns, "partition must stay exact");
+}
+
+/// A pipelined burst far beyond the per-turn fairness cap: every frame
+/// still gets its answer, in order, in both models.
+#[test]
+fn pipelined_burst_beyond_fairness_cap_answers_in_order() {
+    let dir = TempDir::new("burst");
+    let preload = fig2_preload(&dir);
+    let small_cap = |io_model| ServerConfig {
+        max_frames_per_turn: 4,
+        ..config(io_model, &preload)
+    };
+    let session: Vec<Request> = (0..100)
+        .map(|i| {
+            if i % 2 == 0 {
+                query("E", "m")
+            } else {
+                query("A", "m")
+            }
+        })
+        .collect();
+    for io_model in [IoModel::Epoll, IoModel::Threads] {
+        let server = Server::start(small_cap(io_model)).unwrap();
+        let responses = play(server.addr(), &session);
+        assert_eq!(responses.len(), 100);
+        for (i, body) in responses.iter().enumerate() {
+            let decoded = Response::decode(body).unwrap();
+            match decoded {
+                Response::Outcome(WireOutcome::Resolved { ref class, .. }) => {
+                    assert_eq!(class, if i % 2 == 0 { "D" } else { "A" }, "frame {i}")
+                }
+                other => panic!("frame {i}: unexpected {other:?}"),
+            }
+        }
+    }
+}
+
+/// Frame damage mid-pipeline: the frames before the damage are
+/// answered, the damage draws exactly one error frame, and the
+/// connection closes — identically in both models.
+#[test]
+fn damaged_frame_mid_pipeline_answers_prefix_then_one_error() {
+    let dir = TempDir::new("damage");
+    let preload = fig2_preload(&dir);
+    let (epoll, threads) = start_pair(&preload);
+    let good = frame_of(&query("E", "m"));
+    let mut damaged = good.clone();
+    let at = damaged.len() / 2;
+    damaged[at] ^= 0x20; // body damage => trailing checksum mismatch
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&good);
+    wire.extend_from_slice(&good);
+    wire.extend_from_slice(&damaged);
+    wire.extend_from_slice(&good); // never answered: stream is garbage
+    let run = |server: &Server| -> Vec<Vec<u8>> {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        stream.write_all(&wire).unwrap();
+        let mut responses = Vec::new();
+        // Reads until the server closes (EOF or reset) after the error frame.
+        while let Ok(body) = read_frame(&mut stream) {
+            responses.push(body);
+        }
+        responses
+    };
+    let got = run(&epoll);
+    let want = run(&threads);
+    assert_eq!(got, want, "damage handling diverged");
+    assert_eq!(got.len(), 3, "two answers + one error frame");
+    assert!(
+        matches!(Response::decode(&got[2]), Ok(Response::Error { .. })),
+        "third frame must be the damage report"
+    );
+}
+
+/// A torn frame at the end of a pipeline (the peer gives up mid-frame
+/// and closes): the complete frames are answered, the torn one draws
+/// nothing, and the connection closes cleanly.
+#[test]
+fn torn_trailing_frame_is_dropped_after_complete_ones_answer() {
+    let dir = TempDir::new("torn");
+    let preload = fig2_preload(&dir);
+    let (epoll, threads) = start_pair(&preload);
+    let good = frame_of(&query("E", "m"));
+    for cut in 1..good.len() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&good);
+        wire.extend_from_slice(&good[..cut]);
+        let got = play_chunks(epoll.addr(), &[&wire], 1);
+        let want = play_chunks(threads.addr(), &[&wire], 1);
+        assert_eq!(got, want, "torn at {cut} diverged");
+    }
+}
+
+/// The tentpole reassembly property: splitting the recorded session at
+/// EVERY byte boundary (two writes with a flush between) must leave the
+/// reactor's responses byte-identical to the threaded model's answers
+/// for the unsplit session.
+#[test]
+fn every_byte_boundary_split_reassembles_identically() {
+    let dir = TempDir::new("splits");
+    let preload = fig2_preload(&dir);
+    let (epoll, threads) = start_pair(&preload);
+    // A short session keeps every-boundary exhaustive yet fast.
+    let session = vec![
+        Request::Hello {
+            version: PROTOCOL_VERSION,
+        },
+        query("E", "m"),
+        Request::Batch {
+            tenant: "t0".to_owned(),
+            probes: vec![
+                ("E".to_owned(), "m".to_owned()),
+                ("A".to_owned(), "m".to_owned()),
+            ],
+            trace: false,
+            as_of: None,
+        },
+    ];
+    let wire: Vec<u8> = session.iter().flat_map(frame_of).collect();
+    let want = play(threads.addr(), &session);
+    for cut in 0..=wire.len() {
+        let got = play_chunks(epoll.addr(), &[&wire[..cut], &wire[cut..]], session.len());
+        assert_eq!(got, want, "split at byte {cut} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary multi-way splits of the recorded multi-frame session —
+    /// partial writes tearing frames anywhere, many times over — always
+    /// reassemble to the threaded model's byte-exact answers.
+    #[test]
+    fn arbitrary_partial_writes_reassemble_identically(
+        cuts in proptest::collection::vec(0.0f64..1.0, 0..12),
+    ) {
+        let dir = TempDir::new("prop");
+        let preload = fig2_preload(&dir);
+        let (epoll, threads) = start_pair(&preload);
+        let session = recorded_session();
+        let wire: Vec<u8> = session.iter().flat_map(frame_of).collect();
+        let mut offsets: Vec<usize> = cuts
+            .iter()
+            .map(|f| (f * wire.len() as f64) as usize)
+            .collect();
+        offsets.push(0);
+        offsets.push(wire.len());
+        offsets.sort_unstable();
+        offsets.dedup();
+        let chunks: Vec<&[u8]> = offsets
+            .windows(2)
+            .map(|w| &wire[w[0]..w[1]])
+            .collect();
+        let got = play_chunks(epoll.addr(), &chunks, session.len());
+        let want = play(threads.addr(), &session);
+        prop_assert_eq!(got, want, "chunking {:?} diverged", offsets);
+    }
+}
+
+/// Both models enforce the idle timeout: a connection that goes quiet
+/// is dropped, and one that stays active is not.
+#[test]
+fn idle_connections_time_out_in_both_models() {
+    let dir = TempDir::new("idle");
+    let preload = fig2_preload(&dir);
+    for io_model in [IoModel::Epoll, IoModel::Threads] {
+        let server = Server::start(ServerConfig {
+            read_timeout: Some(Duration::from_millis(250)),
+            ..config(io_model, &preload)
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Prove the connection is live, then go quiet.
+        stream.write_all(&frame_of(&query("E", "m"))).unwrap();
+        read_frame(&mut stream).unwrap();
+        let start = Instant::now();
+        let mut buf = [0u8; 1];
+        let n = stream.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "idle connection must be closed ({io_model:?})");
+        assert!(
+            start.elapsed() < Duration::from_secs(8),
+            "timeout must fire promptly ({io_model:?})"
+        );
+    }
+}
+
+/// The HTTP admin endpoint still answers when the connection lands on a
+/// reactor: the sniffed `GET ` hands the fd off to a blocking thread.
+#[test]
+fn admin_endpoint_works_under_epoll() {
+    let dir = TempDir::new("admin");
+    let preload = fig2_preload(&dir);
+    let server = Server::start(config(IoModel::Epoll, &preload)).unwrap();
+    let mut c = Client::connect(server.addr(), Some(Duration::from_secs(10))).unwrap();
+    c.query("t0", "E", "m").unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("server_io_model 1"), "{response}");
+    assert!(
+        response.contains("reactor_connections"),
+        "per-reactor gauges must be exported: {response}"
+    );
+}
+
+/// `SUBSCRIBE` under the reactor: the connection is handed off to a
+/// blocking subscription stream and delivers replicated records.
+#[test]
+fn subscription_stream_works_under_epoll() {
+    let dir = TempDir::new("subscribe");
+    let preload = fig2_preload(&dir);
+    let server = Server::start(ServerConfig {
+        wal_path: Some(dir.file("edits.wal")),
+        ..config(IoModel::Epoll, &preload)
+    })
+    .unwrap();
+    let mut writer = Client::connect(server.addr(), Some(Duration::from_secs(10))).unwrap();
+    writer.edit("t0", "member E fresh").unwrap();
+    let follower = Client::connect(server.addr(), Some(Duration::from_secs(10))).unwrap();
+    let mut sub = follower.subscribe(0).unwrap();
+    // Seq 1 is the preload's Open record, seq 2 the edit.
+    let (seq, _epoch, record) = sub.next_record().unwrap();
+    assert_eq!(seq, 1);
+    assert!(
+        matches!(record, cpplookup_server::protocol::WireRecord::Open { ref tenant, .. } if tenant == "t0"),
+        "unexpected {record:?}"
+    );
+    let (seq, _epoch, record) = sub.next_record().unwrap();
+    assert_eq!(seq, 2);
+    assert!(
+        matches!(record, cpplookup_server::protocol::WireRecord::Edit { ref tenant, .. } if tenant == "t0"),
+        "unexpected {record:?}"
+    );
+}
+
+/// Shutdown is prompt in both models with open idle connections and no
+/// throwaway self-connect: the eventfd doorbell unblocks the acceptor,
+/// and the reactors close their slabs.
+#[test]
+fn shutdown_is_prompt_with_open_connections() {
+    let dir = TempDir::new("shutdown");
+    let preload = fig2_preload(&dir);
+    for io_model in [IoModel::Epoll, IoModel::Threads] {
+        let mut server = Server::start(config(io_model, &preload)).unwrap();
+        // Park a couple of live, idle connections.
+        let mut held: Vec<Client> = (0..2)
+            .map(|_| Client::connect(server.addr(), Some(Duration::from_secs(10))).unwrap())
+            .collect();
+        for c in &mut held {
+            c.hello().unwrap();
+        }
+        let start = Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shutdown must not hang ({io_model:?})"
+        );
+    }
+}
+
+/// Round-robin across multiple reactors: connections spread over the
+/// configured reactor threads and all of them serve traffic.
+#[test]
+fn multiple_reactors_share_the_accept_stream() {
+    let dir = TempDir::new("spread");
+    let preload = fig2_preload(&dir);
+    let server = Server::start(ServerConfig {
+        reactors: 3,
+        ..config(IoModel::Epoll, &preload)
+    })
+    .unwrap();
+    let mut clients: Vec<Client> = (0..6)
+        .map(|_| Client::connect(server.addr(), Some(Duration::from_secs(10))).unwrap())
+        .collect();
+    for c in &mut clients {
+        match c.query("t0", "E", "m").unwrap() {
+            WireOutcome::Resolved { class, .. } => assert_eq!(class, "D"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // All three reactors took connections (the registry is
+    // process-global, so reactor 0 also carries other tests' servers —
+    // labels 1 and 2 exist only because round-robin reached them).
+    let metrics = clients[0].metrics().unwrap();
+    for reactor in 0..3 {
+        assert!(
+            metrics.contains(&format!("reactor_connections{{reactor=\"{reactor}\"}}")),
+            "round-robin must reach reactor {reactor}: {metrics}"
+        );
+    }
+}
