@@ -30,8 +30,11 @@
 //!   cannot starve the loop.
 //! * **Backpressure by interest, not queues** — responses buffer in
 //!   per-connection `Vec`s flushed with vectored `writev`; `EPOLLOUT`
-//!   interest exists only while a backlog does, and a connection whose
-//!   peer stops reading simply stops being asked for more work.
+//!   interest exists only while a backlog does, and read interest is
+//!   parked while a backlog exists *or* the frame buffer holds a
+//!   budget of unprocessed frames, so a peer that pipelines requests
+//!   without reading responses stops being read from (TCP flow
+//!   control takes over) instead of growing our buffers forever.
 //! * **Idle timeouts off a timer wheel** — a coarse hashed wheel with
 //!   lazy reinsertion; activity just stamps the connection's deadline,
 //!   and the wheel checks it when the slot comes due.
@@ -205,8 +208,8 @@ struct Conn {
     out_head: usize,
     /// Total buffered response bytes (the writev backlog).
     backlog: usize,
-    /// `EPOLLOUT` interest currently registered.
-    want_write: bool,
+    /// The interest set currently registered with epoll.
+    interest: u32,
     /// Close once the backlog drains (frame damage answered, peer EOF
     /// served out, or idle expiry with a flush pending).
     close_after_flush: bool,
@@ -373,8 +376,11 @@ struct Reactor {
     gens: Vec<u64>,
     free: Vec<usize>,
     /// Connections deferred by the fairness cap, served after the
-    /// current event batch.
-    ready: VecDeque<usize>,
+    /// current event batch. Entries carry the slot generation so a
+    /// queued connection that closes (and whose slot is reused) before
+    /// its turn can never act on the new occupant — the same staleness
+    /// check the timer wheel uses.
+    ready: VecDeque<(usize, u64)>,
     wheel: Option<Wheel>,
     idle_timeout: Option<Duration>,
     max_frames: usize,
@@ -488,9 +494,12 @@ impl Reactor {
             // Fairness continuation: connections the cap deferred get
             // one more turn each, after everyone readiness reported.
             for _ in 0..self.ready.len() {
-                let Some(token) = self.ready.pop_front() else {
+                let Some((token, gen)) = self.ready.pop_front() else {
                     break;
                 };
+                if self.gens.get(token) != Some(&gen) {
+                    continue; // slot closed and reused since queuing
+                }
                 if let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) {
                     conn.queued_ready = false;
                     self.process_conn(token);
@@ -571,7 +580,7 @@ impl Reactor {
             out: VecDeque::new(),
             out_head: 0,
             backlog: 0,
-            want_write: false,
+            interest: sys::EPOLLIN | sys::EPOLLRDHUP,
             close_after_flush: false,
             read_closed: false,
             discard_input: false,
@@ -612,6 +621,14 @@ impl Reactor {
             let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
                 return;
             };
+            // Input high-water mark: stop ingesting once a budget's
+            // worth of bytes sits unprocessed — `update_interest` parks
+            // read interest until processing drains below it, so a
+            // pipelining peer can never balloon the frame buffer faster
+            // than the fairness cap serves it.
+            if input_saturated(conn) {
+                break;
+            }
             match conn.stream.read(&mut scratch) {
                 Ok(0) => {
                     conn.read_closed = true;
@@ -727,16 +744,14 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
             return;
         };
-        if !conn.discard_input && conn.buf.has_work() && !conn.queued_ready {
-            // Fairness: more complete frames than this turn's budget.
-            conn.queued_ready = true;
-            conn.resumed_from = Some(Instant::now());
-            self.ready.push_back(token);
-        } else if conn.read_closed && !conn.buf.has_work() {
+        if conn.read_closed && !conn.buf.has_work() {
             // Peer is done sending and every complete frame is
             // answered; a torn trailing frame can never complete.
             conn.close_after_flush = true;
         }
+        // `flush` re-queues the connection for the frames still
+        // buffered past this turn's budget — unless a write backlog
+        // exists, in which case the requeue waits for the drain.
         self.flush(token);
     }
 
@@ -810,18 +825,61 @@ impl Reactor {
                 true
             }
             Outcome::Drained | Outcome::Blocked => {
-                let want = !conn.out.is_empty();
-                if want != conn.want_write {
-                    conn.want_write = want;
-                    let mut interest = sys::EPOLLIN | sys::EPOLLRDHUP;
-                    if want {
-                        interest |= sys::EPOLLOUT;
-                    }
-                    let fd = conn.fd;
-                    let _ = self.epoll.modify(fd, interest, token as u64);
+                self.update_interest(token);
+                let gen = self.gens[token];
+                let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                    return true;
+                };
+                if conn.out.is_empty()
+                    && !conn.discard_input
+                    && conn.buf.has_work()
+                    && !conn.queued_ready
+                {
+                    // Fairness: more complete frames than the turn's
+                    // budget, and no backlog holding them back.
+                    conn.queued_ready = true;
+                    conn.resumed_from = Some(Instant::now());
+                    self.ready.push_back((token, gen));
                 }
                 false
             }
+        }
+    }
+
+    /// Recomputes the fd's epoll interest from the connection's state
+    /// and applies it if it changed:
+    ///
+    /// * write interest exactly while a response backlog exists;
+    /// * read interest only while the reactor actually wants bytes —
+    ///   the peer has not half-closed, no response backlog exists, and
+    ///   the frame buffer is not [saturated](input_saturated). This is
+    ///   backpressure by interest: a peer that pipelines requests
+    ///   without reading responses stops being read from (TCP flow
+    ///   control takes it from there), and both the frame buffer and
+    ///   the response queue stay bounded;
+    /// * `EPOLLIN` and `EPOLLRDHUP` always travel together — both are
+    ///   level-triggered, so leaving either registered while reads are
+    ///   parked (or after the EOF has been seen) would busy-spin the
+    ///   reactor until the backlog drained. A peer that fully closes or
+    ///   errors still punches through via `EPOLLHUP`/`EPOLLERR`, which
+    ///   epoll always reports; a half-close is noticed when reads
+    ///   resume, or by the idle timeout if they never do.
+    fn update_interest(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        let reads_wanted = !conn.read_closed && conn.out.is_empty() && !input_saturated(conn);
+        let mut interest = 0;
+        if reads_wanted {
+            interest |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if !conn.out.is_empty() {
+            interest |= sys::EPOLLOUT;
+        }
+        if interest != conn.interest {
+            conn.interest = interest;
+            let fd = conn.fd;
+            let _ = self.epoll.modify(fd, interest, token as u64);
         }
     }
 
@@ -866,16 +924,20 @@ impl Reactor {
                 out_head,
                 ..
             } = conn;
-            let usable = stream.set_nonblocking(false).is_ok();
+            // If the fd cannot be returned to blocking mode, writing
+            // would fail spuriously with `WouldBlock` mid-buffer; close
+            // instead of speaking a takeover protocol on a broken fd.
+            let mut flushed = stream.set_nonblocking(false).is_ok();
             let _ = stream.set_read_timeout(timeout);
-            // Flush responses buffered for earlier pipelined frames
-            // before the takeover protocol speaks.
-            let mut flushed = usable;
-            for (i, buffer) in out.iter().enumerate() {
-                let from = if i == 0 { out_head } else { 0 };
-                if stream.write_all(&buffer[from..]).is_err() {
-                    flushed = false;
-                    break;
+            if flushed {
+                // Flush responses buffered for earlier pipelined frames
+                // before the takeover protocol speaks.
+                for (i, buffer) in out.iter().enumerate() {
+                    let from = if i == 0 { out_head } else { 0 };
+                    if stream.write_all(&buffer[from..]).is_err() {
+                        flushed = false;
+                        break;
+                    }
                 }
             }
             if flushed {
@@ -899,6 +961,17 @@ impl Reactor {
 enum Handoff {
     Admin,
     Subscribe { from_seq: u64 },
+}
+
+/// Whether a connection's input side has hit its high-water mark: a
+/// budget's worth of bytes is buffered *and* at least one complete
+/// frame waits among them, so processing (not reading) is what makes
+/// progress next. The second condition matters — a single legal frame
+/// can run to [`MAX_BODY`], far past the budget, and parking reads
+/// mid-frame would deadlock it; one complete frame in the buffer
+/// guarantees the ready-list keeps draining until reads resume.
+fn input_saturated(conn: &Conn) -> bool {
+    conn.buf.available() >= READ_BUDGET && conn.buf.has_work()
 }
 
 #[cfg(test)]

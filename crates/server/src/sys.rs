@@ -12,11 +12,12 @@
 #![allow(unsafe_code)]
 
 use std::io;
-use std::os::raw::{c_int, c_uint, c_void};
+use std::os::raw::{c_int, c_uint, c_ulong, c_void};
 use std::os::unix::io::RawFd;
 
-// Values from the Linux x86-64 ABI headers. `epoll_event` is packed on
-// x86-64 (the kernel ABI declares it `__attribute__((packed))` there).
+// Values from the Linux UAPI headers; they are identical across the
+// architectures Linux supports (the historic alpha/mips/sparc O_CLOEXEC
+// deviations do not apply to the epoll/eventfd flag words used here).
 const EPOLL_CLOEXEC: c_int = 0o2000000;
 const EPOLL_CTL_ADD: c_int = 1;
 const EPOLL_CTL_DEL: c_int = 2;
@@ -39,7 +40,27 @@ const EFD_NONBLOCK: c_int = 0o4000;
 const POLLIN: i16 = 0x001;
 
 /// One `struct epoll_event`, as the kernel lays it out on x86-64.
+///
+/// The kernel ABI packs this struct on x86-64 only (`__EPOLL_PACKED`
+/// in the UAPI headers): 12 bytes, no padding. Declaring it packed on
+/// any other architecture would make `epoll_wait` write its 16-byte
+/// records past the ends of our 12-byte slots.
+#[cfg(target_arch = "x86_64")]
 #[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bitmask (`EPOLLIN` | `EPOLLOUT` | ...).
+    pub events: u32,
+    /// The caller's token, returned verbatim with each event.
+    pub token: u64,
+}
+
+/// One `struct epoll_event`, as the kernel lays it out everywhere but
+/// x86-64: natural alignment, so `token` sits at offset 8 (16 bytes
+/// total on 64-bit, 12 with 4-byte `u64` alignment on 32-bit x86 —
+/// `repr(C)` matches the platform C ABI in both cases).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
 #[derive(Clone, Copy)]
 pub struct EpollEvent {
     /// Readiness bitmask (`EPOLLIN` | `EPOLLOUT` | ...).
@@ -61,7 +82,7 @@ extern "C" {
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
     fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
     fn eventfd(initval: c_uint, flags: c_int) -> c_int;
-    fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
     fn close(fd: c_int) -> c_int;

@@ -314,6 +314,105 @@ fn torn_trailing_frame_is_dropped_after_complete_ones_answer() {
     }
 }
 
+/// A peer that pipelines a multi-megabyte burst of responses' worth of
+/// requests while refusing to read: the reactor parks its read interest
+/// under the write backlog (backpressure by interest — its buffers stay
+/// bounded by TCP flow control) and must still answer every frame,
+/// byte-identical to the threaded model, once the peer starts draining.
+#[test]
+fn unread_pipelined_backlog_parks_reads_then_drains_completely() {
+    let dir = TempDir::new("backlog");
+    let preload = fig2_preload(&dir);
+    let small_cap = |io_model| ServerConfig {
+        max_frames_per_turn: 4,
+        ..config(io_model, &preload)
+    };
+    // 256 batches of 256 probes each: ~2 MB of responses, far past the
+    // socket buffers, so the server is forced through its blocked-write
+    // state while the client deliberately sits on the unread backlog.
+    let probes: Vec<(String, String)> = (0..256)
+        .map(|i| {
+            let class = if i % 2 == 0 { "E" } else { "A" };
+            (class.to_owned(), "m".to_owned())
+        })
+        .collect();
+    let batch = frame_of(&Request::Batch {
+        tenant: "t0".to_owned(),
+        probes,
+        trace: false,
+        as_of: None,
+    });
+    let count = 256usize;
+    let wire: Vec<u8> = batch.repeat(count);
+    let mut per_model = Vec::new();
+    for io_model in [IoModel::Epoll, IoModel::Threads] {
+        let server = Server::start(small_cap(io_model)).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        // The requests flow from a separate thread: once the response
+        // backlog stalls the server, the request stream backs up too,
+        // and this writer blocks until the main thread starts reading.
+        let mut writer_half = stream.try_clone().unwrap();
+        let writer_wire = wire.clone();
+        let writer = std::thread::spawn(move || {
+            writer_half.write_all(&writer_wire).unwrap();
+            writer_half.flush().unwrap();
+            writer_half.shutdown(Shutdown::Write).unwrap();
+        });
+        // Hold every response unread long enough for the backlog (and
+        // the parked read interest) to actually form.
+        std::thread::sleep(Duration::from_millis(200));
+        let responses: Vec<Vec<u8>> = (0..count)
+            .map(|i| read_frame(&mut stream).unwrap_or_else(|e| panic!("frame {i}: {e:?}")))
+            .collect();
+        writer.join().unwrap();
+        assert!(
+            matches!(read_frame(&mut stream), Err(FrameError::Eof)),
+            "server must close cleanly after the drain"
+        );
+        per_model.push(responses);
+    }
+    assert_eq!(
+        per_model[0], per_model[1],
+        "epoll and threads diverged under an unread backlog"
+    );
+}
+
+/// A single frame far larger than the reactor's per-event read budget
+/// (which doubles as the input high-water mark): the park must never
+/// engage mid-frame — a complete frame has to be able to finish
+/// arriving — and the answer must match the threaded model's.
+#[test]
+fn frame_larger_than_read_budget_completes_in_both_models() {
+    let dir = TempDir::new("bigframe");
+    let preload = fig2_preload(&dir);
+    let (epoll, threads) = start_pair(&preload);
+    // ~80k probes ≈ 480 KiB of frame, past the 256 KiB read budget.
+    let probes: Vec<(String, String)> = (0..80_000)
+        .map(|i| {
+            let class = if i % 2 == 0 { "E" } else { "A" };
+            (class.to_owned(), "m".to_owned())
+        })
+        .collect();
+    let big = Request::Batch {
+        tenant: "t0".to_owned(),
+        probes,
+        trace: false,
+        as_of: None,
+    };
+    let wire = frame_of(&big);
+    assert!(wire.len() > 256 * 1024, "frame must exceed the budget");
+    // A small frame ahead of the giant one, so the buffer holds
+    // complete work while the big frame is still arriving.
+    let session: Vec<u8> = [frame_of(&query("E", "m")), wire].concat();
+    let got = play_chunks(epoll.addr(), &[&session], 2);
+    let want = play_chunks(threads.addr(), &[&session], 2);
+    assert_eq!(got, want, "oversized frame diverged between models");
+}
+
 /// The tentpole reassembly property: splitting the recorded session at
 /// EVERY byte boundary (two writes with a flush between) must leave the
 /// reactor's responses byte-identical to the threaded model's answers
